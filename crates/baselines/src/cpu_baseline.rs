@@ -1,0 +1,72 @@
+//! A *measured* CPU baseline: times this crate tree's own software NTT on
+//! the host and casts it into the Table-I schema, complementing the cited
+//! CPU row (which comes from the CryptoPIM paper's measurements).
+
+use crate::spec::{DesignSpec, MemTechnology};
+use bpntt_ntt::{forward, NttParams, Polynomial, TwiddleTable};
+use std::time::Instant;
+
+/// Times `iters` forward NTTs of the given parameter set on the host CPU
+/// and returns the mean latency in microseconds.
+///
+/// # Panics
+///
+/// Panics if `iters` is zero.
+#[must_use]
+pub fn measure_host_ntt_us(params: &NttParams, iters: u32) -> f64 {
+    assert!(iters > 0);
+    let twiddles = TwiddleTable::new(params);
+    let poly = Polynomial::pseudo_random(params, 0xFACE);
+    let mut a = poly.coeffs().to_vec();
+    // Warm up.
+    forward::ntt_in_place_unchecked(params, &twiddles, &mut a);
+    let start = Instant::now();
+    for _ in 0..iters {
+        forward::ntt_in_place_unchecked(params, &twiddles, &mut a);
+    }
+    start.elapsed().as_secs_f64() * 1e6 / f64::from(iters)
+}
+
+/// Builds a host-measured CPU design point. Energy is estimated from an
+/// assumed package power (`watts`), the honest way to fill Table I's
+/// energy column for software.
+#[must_use]
+pub fn host_cpu_row(params: &NttParams, iters: u32, watts: f64) -> DesignSpec {
+    let latency_us = measure_host_ntt_us(params, iters);
+    DesignSpec {
+        name: "CPU (host, measured)",
+        technology: MemTechnology::Cpu,
+        tech_nm: 45,
+        coeff_bits: params.q_bits(),
+        max_freq_mhz: None,
+        latency_us,
+        throughput_kntt_s: 1e3 / latency_us,
+        energy_nj: latency_us * watts * 1e3, // W × µs → nJ
+        area_mm2: None,
+        note: "this repository's software NTT timed on the build host",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_measurement_is_sane() {
+        let params = NttParams::dac_256_14bit().unwrap();
+        let row = host_cpu_row(&params, 50, 10.0);
+        // A 256-point NTT takes somewhere between 100 ns and 10 ms on any
+        // machine this builds on.
+        assert!(row.latency_us > 0.1 && row.latency_us < 10_000.0, "{}", row.latency_us);
+        assert!(row.throughput_kntt_s > 0.0);
+        assert!(row.tput_per_power() > 0.0);
+    }
+
+    #[test]
+    fn throughput_is_latency_reciprocal() {
+        let params = NttParams::new(64, 7681).unwrap();
+        let row = host_cpu_row(&params, 20, 5.0);
+        let recon = 1e3 / row.latency_us;
+        assert!((row.throughput_kntt_s - recon).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,92 @@
+//! Memory-footprint models behind the paper's Fig. 7.
+//!
+//! Fig. 7 compares the cells needed to compute a 32-bit, 128-point NTT:
+//! BP-NTT needs 4 288 SRAM cells (134 rows × 32 columns), MeNTT needs
+//! 16 640 cells (130 rows × 128 columns), and RM-NTT needs 524 288 ReRAM
+//! cells (128 rows × 4 096 columns). Each model generalizes the paper's
+//! numbers to arbitrary `(n, bitwidth)`.
+
+/// A rows × columns footprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Footprint {
+    /// Design label.
+    pub name: &'static str,
+    /// Rows occupied.
+    pub rows: usize,
+    /// Columns occupied.
+    pub cols: usize,
+}
+
+impl Footprint {
+    /// Total memory cells.
+    #[must_use]
+    pub fn cells(&self) -> usize {
+        self.rows * self.cols
+    }
+}
+
+/// BP-NTT: one tile of `bitwidth` columns; `n` coefficient rows plus the
+/// six intermediate rows (Fig. 5(a)).
+#[must_use]
+pub fn bp_ntt(n: usize, bitwidth: usize) -> Footprint {
+    Footprint { name: "BP-NTT", rows: n + 6, cols: bitwidth }
+}
+
+/// MeNTT: bit-serial, one coefficient per column, so `n` columns; per
+/// column it keeps the `bitwidth`-bit operand plus two further operand
+/// copies for its in-place butterfly dataflow and two transfer rows
+/// (130 rows for 32-bit in the paper: 4 × 32 + 2).
+#[must_use]
+pub fn mentt(n: usize, bitwidth: usize) -> Footprint {
+    Footprint { name: "MeNTT", rows: 4 * bitwidth + 2, cols: n }
+}
+
+/// RM-NTT: vector–matrix formulation; the transform matrix is `n × n`
+/// with each element in `bitwidth` bit-sliced columns.
+#[must_use]
+pub fn rm_ntt(n: usize, bitwidth: usize) -> Footprint {
+    Footprint { name: "RM-NTT", rows: n, cols: n * bitwidth }
+}
+
+/// The three designs at the figure's configuration, in the paper's order.
+#[must_use]
+pub fn fig7(n: usize, bitwidth: usize) -> Vec<Footprint> {
+    vec![bp_ntt(n, bitwidth), mentt(n, bitwidth), rm_ntt(n, bitwidth)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_printed_numbers() {
+        // 32-bit, 128-point — the figure's configuration.
+        let bp = bp_ntt(128, 32);
+        assert_eq!((bp.rows, bp.cols, bp.cells()), (134, 32, 4288));
+        let me = mentt(128, 32);
+        assert_eq!((me.rows, me.cols, me.cells()), (130, 128, 16640));
+        let rm = rm_ntt(128, 32);
+        assert_eq!((rm.rows, rm.cols, rm.cells()), (128, 4096, 524_288));
+    }
+
+    #[test]
+    fn ordering_is_stable_across_configs() {
+        for (n, w) in [(64usize, 16usize), (256, 16), (256, 32), (1024, 29)] {
+            let f = fig7(n, w);
+            assert!(f[0].cells() < f[1].cells(), "BP-NTT beats MeNTT at n={n} w={w}");
+            assert!(f[1].cells() < f[2].cells(), "MeNTT beats RM-NTT at n={n} w={w}");
+        }
+    }
+
+    #[test]
+    fn paper_ratios() {
+        // "at least 2.4×–4.6× lower area overhead compared to the
+        // state-of-the-art in-memory designs" — at the Fig. 7 config the
+        // cell ratios are 3.9× (MeNTT) and 122× (RM-NTT).
+        let f = fig7(128, 32);
+        let ratio_mentt = f[1].cells() as f64 / f[0].cells() as f64;
+        assert!(ratio_mentt > 3.5 && ratio_mentt < 4.5);
+        let ratio_rm = f[2].cells() as f64 / f[0].cells() as f64;
+        assert!(ratio_rm > 100.0);
+    }
+}

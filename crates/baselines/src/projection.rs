@@ -1,0 +1,81 @@
+//! First-order technology-node projection.
+//!
+//! The paper footnotes Table I with "technology nodes are projected to
+//! 45 nm for an apples-to-apples comparison". This module provides the
+//! standard first-order scaling used for such projections: with the
+//! linear-dimension ratio `s = to_nm / from_nm`,
+//!
+//! * area scales as `s²`,
+//! * gate delay scales as `s` (so frequency as `1/s`),
+//! * switching energy scales as `s³` (capacitance × V², both shrinking).
+//!
+//! These exponents are the classical Dennard rules; published projections
+//! (including the paper's) often fold in voltage and design-specific
+//! corrections, so round-trips against printed numbers are approximate by
+//! nature — the unit tests check direction and magnitude, not identity.
+
+use crate::spec::DesignSpec;
+
+/// Scales a design point from its `spec.tech_nm` node to `to_nm`.
+///
+/// # Example
+///
+/// ```
+/// use bpntt_baselines::{projection, published};
+///
+/// let at_45 = published::sapphire_45nm();
+/// let at_28 = projection::project(&at_45, 28);
+/// assert!(at_28.area_mm2.unwrap() < at_45.area_mm2.unwrap());
+/// assert!(at_28.latency_us < at_45.latency_us);
+/// ```
+#[must_use]
+pub fn project(spec: &DesignSpec, to_nm: u32) -> DesignSpec {
+    let s = f64::from(to_nm) / f64::from(spec.tech_nm);
+    DesignSpec {
+        tech_nm: to_nm,
+        max_freq_mhz: spec.max_freq_mhz.map(|f| f / s),
+        latency_us: spec.latency_us * s,
+        throughput_kntt_s: spec.throughput_kntt_s / s,
+        energy_nj: spec.energy_nj * s.powi(3),
+        area_mm2: spec.area_mm2.map(|a| a * s * s),
+        ..spec.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::published;
+
+    #[test]
+    fn projection_round_trips() {
+        let d45 = published::mentt_45nm();
+        let d65 = project(&d45, 65);
+        let back = project(&d65, 45);
+        assert!((back.area_mm2.unwrap() - d45.area_mm2.unwrap()).abs() < 1e-9);
+        assert!((back.energy_nj - d45.energy_nj).abs() < 1e-6);
+        assert!((back.latency_us - d45.latency_us).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaling_directions() {
+        let d45 = published::leia_45nm();
+        let d40 = project(&d45, 40);
+        assert!(d40.area_mm2.unwrap() < d45.area_mm2.unwrap());
+        assert!(d40.energy_nj < d45.energy_nj);
+        assert!(d40.latency_us < d45.latency_us);
+        assert!(d40.max_freq_mhz.unwrap() > d45.max_freq_mhz.unwrap());
+        // Efficiency metrics improve with shrink (both numerator effects).
+        assert!(d40.tput_per_power() > d45.tput_per_power());
+        assert!(d40.tput_per_area().unwrap() > d45.tput_per_area().unwrap());
+    }
+
+    #[test]
+    fn mentt_original_node_magnitude() {
+        // MeNTT published ~0.36 mm² at 65 nm; projecting our 45 nm row back
+        // up should land in that neighbourhood (first-order rules).
+        let d65 = project(&published::mentt_45nm(), 65);
+        let a = d65.area_mm2.unwrap();
+        assert!(a > 0.25 && a < 0.5, "area {a:.3} mm² should be ≈0.36 mm²");
+    }
+}

@@ -1,0 +1,199 @@
+//! The seven Table-I baseline design points, projected to 45 nm.
+//!
+//! Values are the paper's Table I entries (which the authors themselves
+//! projected from each design's original node — see each constructor's
+//! note). Derived columns (throughput-per-area, throughput-per-power) are
+//! *recomputed* from the primary columns and unit-tested against the
+//! printed values, which validates our metric definitions.
+
+use crate::spec::{DesignSpec, MemTechnology};
+
+/// MeNTT (Li et al., IEEE TVLSI 2022): bit-serial in-SRAM NTT with
+/// near-memory adders/subtractors, originally at 65 nm.
+#[must_use]
+pub fn mentt_45nm() -> DesignSpec {
+    DesignSpec {
+        name: "MeNTT",
+        technology: MemTechnology::InSram,
+        tech_nm: 45,
+        coeff_bits: 14,
+        max_freq_mhz: Some(218.0),
+        latency_us: 15.9,
+        throughput_kntt_s: 62.8,
+        energy_nj: 47.8,
+        area_mm2: Some(0.173),
+        note: "bit-serial in-SRAM; projected from 65 nm by the BP-NTT authors",
+    }
+}
+
+/// CryptoPIM (Nejatollahi et al., DAC 2020): ReRAM NTT accelerator with a
+/// shift-add reduction pipeline.
+#[must_use]
+pub fn cryptopim_45nm() -> DesignSpec {
+    DesignSpec {
+        name: "CryptoPIM",
+        technology: MemTechnology::ReRam,
+        tech_nm: 45,
+        coeff_bits: 16,
+        max_freq_mhz: Some(909.0),
+        latency_us: 68.7,
+        throughput_kntt_s: 553.3,
+        energy_nj: 2600.0,
+        area_mm2: Some(0.152),
+        note: "area is the authors' optimistic subarray-only estimate (Destiny)",
+    }
+}
+
+/// RM-NTT (Park et al., IEEE JXCDC 2022): ReRAM vector–matrix
+/// multiplication NTT.
+#[must_use]
+pub fn rmntt_45nm() -> DesignSpec {
+    DesignSpec {
+        name: "RM-NTT",
+        technology: MemTechnology::ReRam,
+        tech_nm: 45,
+        coeff_bits: 14,
+        max_freq_mhz: Some(249.0),
+        latency_us: 0.45,
+        throughput_kntt_s: 2200.0,
+        energy_nj: 602.0,
+        area_mm2: Some(0.289),
+        note: "area is the subarray-only estimate; VMM formulation",
+    }
+}
+
+/// LEIA (Song et al., CICC 2018): lattice-crypto ASIC, originally 40 nm.
+#[must_use]
+pub fn leia_45nm() -> DesignSpec {
+    DesignSpec {
+        name: "LEIA",
+        technology: MemTechnology::Asic,
+        tech_nm: 45,
+        coeff_bits: 14,
+        max_freq_mhz: Some(267.0),
+        latency_us: 0.6,
+        // Table I prints 1.7K; 1665 reproduces both printed efficiency
+        // columns (940.6 kNTT/s/mm², 22.7 kNTT/mJ) exactly.
+        throughput_kntt_s: 1665.0,
+        energy_nj: 44.1,
+        area_mm2: Some(1.77),
+        note: "projected from the 2.05 mm² / 40 nm silicon",
+    }
+}
+
+/// Sapphire (Banerjee et al., TCHES 2019): configurable lattice-crypto
+/// processor, originally 40 nm.
+#[must_use]
+pub fn sapphire_45nm() -> DesignSpec {
+    DesignSpec {
+        name: "Sapphire",
+        technology: MemTechnology::Asic,
+        tech_nm: 45,
+        coeff_bits: 14,
+        max_freq_mhz: Some(64.0),
+        latency_us: 20.1,
+        throughput_kntt_s: 49.7,
+        energy_nj: 236.3,
+        area_mm2: Some(0.354),
+        note: "low-power modular-arithmetic core; projected from 40 nm",
+    }
+}
+
+/// FPGA energy-efficient array processor (Nejatollahi et al., ICASSP 2020).
+#[must_use]
+pub fn fpga_45nm() -> DesignSpec {
+    DesignSpec {
+        name: "FPGA",
+        technology: MemTechnology::Fpga,
+        tech_nm: 45,
+        coeff_bits: 16,
+        max_freq_mhz: Some(164.0),
+        latency_us: 24.3,
+        throughput_kntt_s: 41.2,
+        energy_nj: 3061.0,
+        area_mm2: None,
+        note: "reconfigurable fabric; die area not comparable",
+    }
+}
+
+/// Software NTT on an x86 CPU (as reported by the CryptoPIM paper).
+#[must_use]
+pub fn cpu() -> DesignSpec {
+    DesignSpec {
+        name: "CPU",
+        technology: MemTechnology::Cpu,
+        tech_nm: 45,
+        coeff_bits: 16,
+        max_freq_mhz: Some(2000.0),
+        latency_us: 85.0,
+        throughput_kntt_s: 11.8,
+        energy_nj: 570_000.0,
+        area_mm2: None,
+        note: "x86 software baseline from the CryptoPIM measurements",
+    }
+}
+
+/// All seven baselines in Table I's row order.
+#[must_use]
+pub fn all_baselines() -> Vec<DesignSpec> {
+    vec![
+        mentt_45nm(),
+        cryptopim_45nm(),
+        rmntt_45nm(),
+        leia_45nm(),
+        sapphire_45nm(),
+        fpga_45nm(),
+        cpu(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Each printed efficiency column of Table I must be reproducible from
+    /// the primary columns with our metric definitions.
+    #[test]
+    fn derived_columns_match_table_one() {
+        let cases: &[(DesignSpec, Option<f64>, f64)] = &[
+            (mentt_45nm(), Some(364.0), 20.9),
+            (cryptopim_45nm(), Some(3600.0), 14.7),
+            (rmntt_45nm(), Some(7700.0), 1.67),
+            (leia_45nm(), Some(940.6), 22.7),
+            (sapphire_45nm(), Some(140.1), 4.23),
+        ];
+        for (spec, ta, tp) in cases {
+            if let Some(ta) = ta {
+                let got = spec.tput_per_area().expect("area known");
+                assert!((got - ta).abs() / ta < 0.06, "{}: TA {got:.1} vs printed {ta}", spec.name);
+            }
+            let got = spec.tput_per_power();
+            assert!((got - tp).abs() / tp < 0.04, "{}: TP {got:.2} vs printed {tp}", spec.name);
+        }
+    }
+
+    #[test]
+    fn headline_ratios_hold() {
+        // "10–138× better throughput-per-power": BP-NTT's printed 230.7
+        // against each baseline with known TP.
+        let bp_tp = 230.7;
+        let tps: Vec<f64> = all_baselines()
+            .iter()
+            .filter(|d| d.technology != MemTechnology::Cpu && d.technology != MemTechnology::Fpga)
+            .map(|d| bp_tp / d.tput_per_power())
+            .collect();
+        let min = tps.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = tps.iter().cloned().fold(0.0, f64::max);
+        assert!(min > 9.0 && min < 12.0, "min ratio {min:.1} should be ≈10×");
+        assert!(max > 130.0 && max < 145.0, "max ratio {max:.1} should be ≈138×");
+        // "up to 29× higher throughput-per-area" vs ASIC/FPGA:
+        let bp_ta = 4100.0;
+        let sapphire_ratio = bp_ta / sapphire_45nm().tput_per_area().unwrap();
+        assert!(sapphire_ratio > 28.0 && sapphire_ratio < 30.5, "{sapphire_ratio:.1}");
+    }
+
+    #[test]
+    fn all_rows_present() {
+        assert_eq!(all_baselines().len(), 7);
+    }
+}

@@ -1,0 +1,139 @@
+//! The Table-I design-point schema.
+
+use std::fmt;
+
+/// Implementation technology of a compared design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemTechnology {
+    /// Processing in 6T SRAM (BP-NTT, MeNTT).
+    InSram,
+    /// Processing in resistive RAM (CryptoPIM, RM-NTT).
+    ReRam,
+    /// Standard-cell ASIC (LEIA, Sapphire).
+    Asic,
+    /// FPGA implementation.
+    Fpga,
+    /// General-purpose CPU software.
+    Cpu,
+}
+
+impl fmt::Display for MemTechnology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MemTechnology::InSram => "In-SRAM",
+            MemTechnology::ReRam => "ReRAM",
+            MemTechnology::Asic => "ASIC",
+            MemTechnology::Fpga => "FPGA",
+            MemTechnology::Cpu => "x86",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One row of Table I: a 256-point-NTT design point at a common node.
+///
+/// # Example
+///
+/// ```
+/// use bpntt_baselines::published;
+///
+/// let mentt = published::mentt_45nm();
+/// assert!((mentt.tput_per_area().unwrap() - 364.0).abs() / 364.0 < 0.05);
+/// assert!((mentt.tput_per_power() - 20.9).abs() / 20.9 < 0.05);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignSpec {
+    /// Design name as cited in the paper.
+    pub name: &'static str,
+    /// Implementation technology.
+    pub technology: MemTechnology,
+    /// Technology node the numbers refer to (after projection).
+    pub tech_nm: u32,
+    /// Coefficient bit width of the evaluated configuration.
+    pub coeff_bits: u32,
+    /// Maximum clock in MHz (`None` where the paper leaves it blank).
+    pub max_freq_mhz: Option<f64>,
+    /// Latency of one 256-point NTT batch in µs.
+    pub latency_us: f64,
+    /// Throughput in kNTT/s.
+    pub throughput_kntt_s: f64,
+    /// Energy per batch in nJ.
+    pub energy_nj: f64,
+    /// Area in mm² (`None` for the FPGA/CPU rows).
+    pub area_mm2: Option<f64>,
+    /// Provenance note (original node, source of the projection).
+    pub note: &'static str,
+}
+
+impl DesignSpec {
+    /// Throughput per area in kNTT/s/mm², when area is known.
+    #[must_use]
+    pub fn tput_per_area(&self) -> Option<f64> {
+        self.area_mm2.map(|a| self.throughput_kntt_s / a)
+    }
+
+    /// Throughput per power in kNTT/mJ.
+    ///
+    /// Power is `energy / latency`; the metric reduces to
+    /// `throughput / (energy/latency)` in kNTT/s per mW.
+    #[must_use]
+    pub fn tput_per_power(&self) -> f64 {
+        let power_mw = self.energy_nj * 1e-9 / (self.latency_us * 1e-6) * 1e3;
+        self.throughput_kntt_s / power_mw
+    }
+
+    /// Energy attributable to one NTT, in nJ (energy divided by the NTTs
+    /// completed in one latency window).
+    #[must_use]
+    pub fn energy_per_ntt_nj(&self) -> f64 {
+        let ntts_per_batch = self.throughput_kntt_s * 1e3 * self.latency_us * 1e-6;
+        self.energy_nj / ntts_per_batch
+    }
+}
+
+impl fmt::Display for DesignSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<18} {:<8} {:>3}b {:>8} {:>9.2} {:>9.1} {:>9.1} {:>8} {:>9} {:>9.2}",
+            self.name,
+            self.technology.to_string(),
+            self.coeff_bits,
+            self.max_freq_mhz.map_or("-".into(), |v| format!("{v:.0}")),
+            self.latency_us,
+            self.throughput_kntt_s,
+            self.energy_nj,
+            self.area_mm2.map_or("-".into(), |v| format!("{v:.3}")),
+            self.tput_per_area().map_or("-".into(), |v| format!("{v:.1}")),
+            self.tput_per_power(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let d = DesignSpec {
+            name: "toy",
+            technology: MemTechnology::Asic,
+            tech_nm: 45,
+            coeff_bits: 16,
+            max_freq_mhz: Some(1000.0),
+            latency_us: 10.0,
+            throughput_kntt_s: 100.0,
+            energy_nj: 1000.0,
+            area_mm2: Some(2.0),
+            note: "",
+        };
+        assert_eq!(d.tput_per_area(), Some(50.0));
+        // power = 1000nJ / 10µs = 0.1 mW... = 1e-6/1e-5 W = 0.1 W = 100 mW
+        // TP = 100 kNTT/s / 100 mW = 1 kNTT/mJ.
+        assert!((d.tput_per_power() - 1.0).abs() < 1e-9);
+        // 1 NTT per µs × 10 µs = 1 NTT per batch → 1000 nJ each.
+        assert!((d.energy_per_ntt_nj() - 1000.0).abs() < 1e-9);
+        assert!(d.to_string().contains("toy"));
+    }
+}

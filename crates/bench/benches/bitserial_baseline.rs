@@ -1,0 +1,43 @@
+//! Bit-serial vs bit-parallel ablation bench (§IV-D), printing the
+//! measured comparison once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bpntt_baselines::bitserial::BitSerialKernel;
+use bpntt_eval::ablation;
+
+fn print_ablations_once() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| match ablation::render_all() {
+        Ok(s) => println!("\n=== ablations (measured) ===\n{s}"),
+        Err(e) => println!("ablation failed: {e}"),
+    });
+}
+
+fn bench_bitserial(c: &mut Criterion) {
+    print_ablations_once();
+    let mut g = c.benchmark_group("bitserial_kernel");
+    g.sample_size(10);
+    g.bench_function("modmul_256cols_14bit", |b| {
+        b.iter(|| {
+            let mut k = BitSerialKernel::new(256, 14, 7681).unwrap();
+            let ops: Vec<u64> = (0..256u64).map(|c| (c * 13 + 1) % 7681).collect();
+            k.load_operands(&ops);
+            k.modmul_const(4321).unwrap();
+            k.stats().cycles
+        });
+    });
+    g.finish();
+}
+
+fn bench_ablation_comparison(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_serial_vs_parallel");
+    g.sample_size(10);
+    g.bench_function("width14", |b| {
+        b.iter(|| ablation::serial_vs_parallel(14, 7681).unwrap());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_bitserial, bench_ablation_comparison);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Fig. 8 regeneration benches: sweep points as benchmark cases, with the
+//! sweep tables printed once per run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bpntt_eval::fig8;
+
+fn print_sweeps_once() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        if let Ok(pts) = fig8::fig8a(&[4, 8, 16, 32]) {
+            println!("\n=== Fig. 8(a) bit-width sweep (order 256) ===");
+            println!("{}", fig8::render(&pts));
+        }
+        if let Ok(pts) = fig8::fig8b(&[64, 128, 256, 512]) {
+            println!("=== Fig. 8(b) order sweep (16-bit) ===");
+            println!("{}", fig8::render(&pts));
+        }
+        if let Ok(pts) = fig8::array_scaling(&[(128, 128), (262, 256), (512, 512)]) {
+            println!("=== array scaling (256-pt / 16-bit) ===");
+            println!("{}", fig8::render(&pts));
+        }
+    });
+}
+
+fn bench_fig8a(c: &mut Criterion) {
+    print_sweeps_once();
+    let mut g = c.benchmark_group("fig8a_bitwidth");
+    g.sample_size(10);
+    for w in [4usize, 8, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, &w| {
+            b.iter(|| fig8::run_synthetic_forward(262, 256, w, 256, 99).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig8b(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8b_order");
+    g.sample_size(10);
+    for n in [64usize, 128, 256] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                fig8::run_real_forward(262, 256, 16, bpntt_ntt::NttParams::new(n, 12_289).unwrap())
+                    .unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig8a, bench_fig8b);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Fig. 7 regeneration bench (footprint models are pure arithmetic; the
+//! bench mostly exists to print the reproduced figure alongside the rest
+//! of `cargo bench`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bpntt_baselines::footprint;
+
+fn print_fig7_once() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        println!("\n=== Fig. 7 footprints (128-pt, 32-bit) ===");
+        println!("{}", bpntt_eval::fig7::render(128, 32));
+    });
+}
+
+fn bench_footprint(c: &mut Criterion) {
+    print_fig7_once();
+    c.bench_function("footprint_models", |b| {
+        b.iter(|| {
+            let f = footprint::fig7(black_box(128), black_box(32));
+            f.iter().map(footprint::Footprint::cells).sum::<usize>()
+        });
+    });
+}
+
+criterion_group!(benches, bench_footprint);
+criterion_main!(benches);

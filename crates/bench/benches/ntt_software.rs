@@ -1,0 +1,62 @@
+//! Software (CPU) NTT benchmarks — the reference implementation that also
+//! serves as Table I's CPU-row sanity check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bpntt_ntt::{forward, inverse, polymul, NttParams, Polynomial, TwiddleTable};
+
+fn bench_forward(c: &mut Criterion) {
+    let mut g = c.benchmark_group("software_ntt_forward");
+    for (name, params) in NttParams::all_standard() {
+        let twiddles = TwiddleTable::new(&params);
+        let poly = Polynomial::pseudo_random(&params, 42);
+        g.bench_with_input(BenchmarkId::from_parameter(name), &params, |b, p| {
+            b.iter(|| {
+                let mut a = poly.coeffs().to_vec();
+                forward::ntt_in_place_unchecked(p, &twiddles, black_box(&mut a));
+                black_box(a)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_roundtrip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("software_ntt_roundtrip");
+    for (name, params) in [("dilithium", NttParams::dilithium().unwrap()),
+        ("falcon-1024", NttParams::falcon1024().unwrap())]
+    {
+        let twiddles = TwiddleTable::new(&params);
+        let poly = Polynomial::pseudo_random(&params, 7);
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut a = poly.coeffs().to_vec();
+                forward::ntt_in_place_unchecked(&params, &twiddles, &mut a);
+                inverse::intt_in_place_unchecked(&params, &twiddles, &mut a);
+                black_box(a)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_polymul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("software_polymul");
+    let params = NttParams::dilithium().unwrap();
+    let twiddles = TwiddleTable::new(&params);
+    let a = Polynomial::pseudo_random(&params, 1);
+    let b = Polynomial::pseudo_random(&params, 2);
+    g.bench_function("ntt_256", |bench| {
+        bench.iter(|| {
+            polymul::polymul_ntt_with(&params, &twiddles, a.coeffs(), b.coeffs()).unwrap()
+        });
+    });
+    g.bench_function("schoolbook_256", |bench| {
+        bench.iter(|| polymul::polymul_schoolbook(&params, a.coeffs(), b.coeffs()).unwrap());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_forward, bench_roundtrip, bench_polymul);
+criterion_main!(benches);

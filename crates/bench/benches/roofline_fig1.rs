@@ -1,0 +1,35 @@
+//! Fig. 1 regeneration bench: instrumented kernels through the cache
+//! simulator, printing the roofline placement once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bpntt_eval::roofline::{ntt_kernel_points, render, Machine};
+use bpntt_ntt::NttParams;
+
+fn print_roofline_once() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let machine = Machine::typical_x86();
+        let params = NttParams::dilithium().unwrap();
+        let pts = ntt_kernel_points(&params, &machine);
+        println!("\n=== Fig. 1 roofline placement (Dilithium) ===");
+        println!("{}", render(&pts, &machine));
+    });
+}
+
+fn bench_roofline(c: &mut Criterion) {
+    print_roofline_once();
+    let machine = Machine::typical_x86();
+    let mut g = c.benchmark_group("roofline_pipeline");
+    for (name, params) in
+        [("dilithium_256", NttParams::dilithium().unwrap()), ("he_1024_16b", NttParams::he_1024_16bit().unwrap())]
+    {
+        g.bench_function(name, |b| {
+            b.iter(|| ntt_kernel_points(&params, &machine));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_roofline);
+criterion_main!(benches);

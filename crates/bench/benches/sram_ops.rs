@@ -1,0 +1,82 @@
+//! Simulator micro-benchmarks: how fast the SRAM model executes
+//! instructions (host speed, not modeled hardware speed).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bpntt_sram::{
+    BitOp, BitRow, Controller, Instruction, PredMode, RowAddr, ShiftDir, SramArray,
+};
+
+fn controller() -> Controller {
+    let mut ctl = Controller::new(SramArray::new(256, 256).unwrap(), 16).unwrap();
+    for r in 0..8 {
+        let mut row = BitRow::zero(256);
+        for t in 0..16 {
+            row.set_tile_word(t, 16, (r as u64 * 3 + t as u64 * 7) & 0xFFFF);
+        }
+        ctl.load_data_row(r, row);
+    }
+    ctl
+}
+
+fn bench_instructions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sram_sim_instructions");
+    let dual = Instruction::Binary {
+        dst: RowAddr(4),
+        op: BitOp::And,
+        src0: RowAddr(0),
+        src1: RowAddr(1),
+        dst2: Some((RowAddr(5), BitOp::Xor)),
+        shift: None,
+        pred: PredMode::Always,
+    };
+    g.bench_function("binary_dual_writeback", |b| {
+        let mut ctl = controller();
+        b.iter(|| ctl.execute(black_box(&dual)).unwrap());
+    });
+    let shift = Instruction::Shift {
+        dst: RowAddr(6),
+        src: RowAddr(2),
+        dir: ShiftDir::Left,
+        masked: true,
+        pred: PredMode::Always,
+    };
+    g.bench_function("masked_shift", |b| {
+        let mut ctl = controller();
+        b.iter(|| ctl.execute(black_box(&shift)).unwrap());
+    });
+    let check = Instruction::Check { src: RowAddr(0), bit: 0 };
+    let pred_copy = Instruction::Unary {
+        dst: RowAddr(7),
+        src: RowAddr(3),
+        kind: bpntt_sram::UnaryKind::Copy,
+        pred: PredMode::IfSet,
+    };
+    g.bench_function("check_plus_predicated_copy", |b| {
+        let mut ctl = controller();
+        b.iter(|| {
+            ctl.execute(&check).unwrap();
+            ctl.execute(black_box(&pred_copy)).unwrap();
+        });
+    });
+    g.finish();
+}
+
+fn bench_encode_decode(c: &mut Criterion) {
+    let i = Instruction::Binary {
+        dst: RowAddr(100),
+        op: BitOp::Xor,
+        src0: RowAddr(200),
+        src1: RowAddr(201),
+        dst2: Some((RowAddr(101), BitOp::And)),
+        shift: Some((ShiftDir::Right, true)),
+        pred: PredMode::IfSet,
+    };
+    c.bench_function("isa_encode_decode_roundtrip", |b| {
+        b.iter(|| Instruction::decode(black_box(i.encode())).unwrap());
+    });
+}
+
+criterion_group!(benches, bench_instructions, bench_encode_decode);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Table I regeneration bench: times the full accelerator simulation at
+//! the paper's design points and prints the reproduced table once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bpntt_core::{BpNtt, BpNttConfig};
+
+fn print_table_once() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        match bpntt_eval::table1::build() {
+            Ok(rows) => {
+                println!("\n=== Table I (reproduced) ===");
+                println!("{}", bpntt_eval::table1::render(&rows));
+            }
+            Err(e) => println!("table1 generation failed: {e}"),
+        }
+    });
+}
+
+fn forward_batch(cfg: BpNttConfig) -> u64 {
+    let mut acc = BpNtt::new(cfg).unwrap();
+    let q = acc.config().params().modulus();
+    let n = acc.config().params().n();
+    let lanes = acc.config().layout().lanes();
+    let polys: Vec<Vec<u64>> =
+        (0..lanes as u64).map(|s| (0..n as u64).map(|j| (s + j * 17) % q).collect()).collect();
+    acc.load_batch(&polys).unwrap();
+    acc.reset_stats();
+    acc.forward().unwrap();
+    acc.stats().cycles
+}
+
+fn bench_design_points(c: &mut Criterion) {
+    print_table_once();
+    let mut g = c.benchmark_group("table1_accelerator_sim");
+    g.sample_size(10);
+    g.bench_function("paper_256pt_16bit_batch16", |b| {
+        b.iter(|| forward_batch(BpNttConfig::paper_256pt_16bit().unwrap()));
+    });
+    g.bench_function("paper_256pt_14bit_batch18", |b| {
+        b.iter(|| forward_batch(BpNttConfig::paper_256pt_14bit().unwrap()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_design_points);
+criterion_main!(benches);

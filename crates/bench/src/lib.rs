@@ -1,0 +1,3 @@
+//! Criterion benchmark harness (library stub; benches live in `benches/`).
+
+#![forbid(unsafe_code)]

@@ -1,0 +1,264 @@
+//! A multi-level cache hierarchy with traffic accounting.
+
+use crate::cache::{Cache, CacheConfig};
+
+/// Aggregated statistics for a [`Hierarchy`] run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HierarchyStats {
+    /// Total accesses issued by the core.
+    pub accesses: u64,
+    /// Bytes requested by the core (the register↔L1 traffic).
+    pub core_bytes: u64,
+    /// Hits per level (index 0 = L1).
+    pub level_hits: Vec<u64>,
+    /// Misses per level.
+    pub level_misses: Vec<u64>,
+    /// Bytes moved *into* each level from below (fills) plus write-backs
+    /// pushed down — i.e. the traffic on the link below level `i`.
+    /// `traffic_bytes[0]` is L1↔L2 traffic; the last entry is
+    /// last-level-cache↔DRAM traffic.
+    pub traffic_bytes: Vec<u64>,
+}
+
+impl HierarchyStats {
+    /// Traffic in bytes served to the core (loads + stores at L1).
+    #[must_use]
+    pub fn l1_bytes(&self) -> u64 {
+        self.core_bytes
+    }
+
+    /// Bytes that crossed the link just below cache level `i`
+    /// (0-based; `i = 0` → L1↔L2 link).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn link_bytes(&self, i: usize) -> u64 {
+        self.traffic_bytes[i]
+    }
+}
+
+/// An inclusive cache hierarchy: L1 at index 0, deeper levels after,
+/// DRAM behind the last level.
+///
+/// Fills allocate in every level on the path (write-allocate); dirty
+/// evictions are written back one level down and counted as traffic.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    levels: Vec<Cache>,
+    stats: HierarchyStats,
+}
+
+impl Hierarchy {
+    /// Builds a hierarchy from per-level configs (L1 first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `configs` is empty or line sizes differ between levels
+    /// (mixed line sizes complicate inclusion and are not needed here).
+    #[must_use]
+    pub fn new(configs: &[CacheConfig]) -> Self {
+        assert!(!configs.is_empty(), "hierarchy needs at least one level");
+        let line = configs[0].line_size();
+        assert!(
+            configs.iter().all(|c| c.line_size() == line),
+            "all levels must share a line size"
+        );
+        let n = configs.len();
+        Hierarchy {
+            levels: configs.iter().map(|&c| Cache::new(c)).collect(),
+            stats: HierarchyStats {
+                accesses: 0,
+                core_bytes: 0,
+                level_hits: vec![0; n],
+                level_misses: vec![0; n],
+                traffic_bytes: vec![0; n],
+            },
+        }
+    }
+
+    /// A typical x86 client hierarchy, close to the Intel parts the paper
+    /// profiled with Advisor: 32 KiB / 8-way L1D, 1 MiB / 16-way L2,
+    /// 8 MiB / 16-way L3, 64-byte lines.
+    #[must_use]
+    pub fn typical_x86() -> Self {
+        Self::new(&[
+            CacheConfig::new(32 * 1024, 64, 8),
+            CacheConfig::new(1024 * 1024, 64, 16),
+            CacheConfig::new(8 * 1024 * 1024, 64, 16),
+        ])
+    }
+
+    /// Number of cache levels.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Issues one core access of `size` bytes at `addr`.
+    ///
+    /// Accesses are assumed not to straddle cache lines (the NTT traces use
+    /// naturally aligned 4- or 8-byte elements); a straddling access is
+    /// split internally to keep accounting exact.
+    pub fn access(&mut self, addr: u64, size: u64, write: bool) {
+        self.stats.accesses += 1;
+        self.stats.core_bytes += size;
+        let line = self.levels[0].config().line_size();
+        let first_line = addr / line;
+        let last_line = (addr + size.saturating_sub(1)) / line;
+        for l in first_line..=last_line {
+            self.access_one_line(l * line, write);
+        }
+    }
+
+    fn access_one_line(&mut self, line_addr: u64, write: bool) {
+        let line = self.levels[0].config().line_size();
+        let depth = self.levels.len();
+        // Find the first level that hits.
+        let mut served_by = depth; // `depth` means DRAM
+        let mut writebacks: Vec<(usize, u64)> = Vec::new();
+        for (i, level) in self.levels.iter_mut().enumerate() {
+            let res = level.access_line(line_addr, write && i == 0);
+            if res.hit {
+                self.stats.level_hits[i] += 1;
+                served_by = i;
+                if let Some(victim) = res.writeback {
+                    writebacks.push((i, victim));
+                }
+                break;
+            }
+            self.stats.level_misses[i] += 1;
+            if let Some(victim) = res.writeback {
+                writebacks.push((i, victim));
+            }
+        }
+        // Fill traffic: the line crossed every link between the serving
+        // level and L1.
+        for i in 0..served_by.min(depth) {
+            self.stats.traffic_bytes[i] += line;
+        }
+        if served_by == depth {
+            // Served from DRAM: the access already allocated in every level
+            // (access_line on miss fills), so only account the last link.
+            // (Links between caches were counted in the loop above.)
+        }
+        // Write-backs: a dirty victim evicted from level i crosses the link
+        // below i into level i+1 (or DRAM).
+        for (i, victim) in writebacks {
+            self.stats.traffic_bytes[i] += line;
+            if i + 1 < depth {
+                self.levels[i + 1].fill_dirty(victim);
+            }
+        }
+    }
+
+    /// Current statistics.
+    #[must_use]
+    pub fn stats(&self) -> &HierarchyStats {
+        &self.stats
+    }
+
+    /// Zeroes the statistics while keeping cache contents — used to
+    /// measure steady-state (warm) behaviour after a warm-up pass.
+    pub fn reset_stats(&mut self) {
+        let n = self.levels.len();
+        self.stats = HierarchyStats {
+            accesses: 0,
+            core_bytes: 0,
+            level_hits: vec![0; n],
+            level_misses: vec![0; n],
+            traffic_bytes: vec![0; n],
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Hierarchy {
+        // L1: 128 B (2 lines, direct-mapped-ish), L2: 512 B.
+        Hierarchy::new(&[CacheConfig::new(128, 64, 1), CacheConfig::new(512, 64, 2)])
+    }
+
+    #[test]
+    fn l1_resident_workload_generates_no_l2_traffic_after_warmup() {
+        let mut h = tiny();
+        h.access(0, 8, false); // cold miss: fills both levels
+        h.access(64, 8, false);
+        let warm = h.stats().traffic_bytes.clone();
+        for _ in 0..100 {
+            h.access(0, 8, false);
+            h.access(64, 8, false);
+        }
+        assert_eq!(h.stats().traffic_bytes, warm, "steady-state must stay in L1");
+        assert_eq!(h.stats().level_hits[0], 200);
+    }
+
+    #[test]
+    fn streaming_workload_misses_everywhere() {
+        let mut h = tiny();
+        let lines = 64u64;
+        for i in 0..lines {
+            h.access(i * 64, 8, false);
+        }
+        let s = h.stats();
+        assert_eq!(s.level_misses[0], lines);
+        // Working set (4 KiB) exceeds L2 (512 B): every line came from DRAM.
+        assert_eq!(s.level_misses[1], lines);
+        assert_eq!(s.traffic_bytes[0], lines * 64);
+        assert_eq!(s.traffic_bytes[1], lines * 64);
+    }
+
+    #[test]
+    fn l2_resident_workload_hits_l2() {
+        let mut h = tiny();
+        // 6 lines: exceeds L1 (2 lines), fits L2 (8 lines).
+        let lines = 6u64;
+        for _round in 0..10 {
+            for i in 0..lines {
+                h.access(i * 64, 8, false);
+            }
+        }
+        let s = h.stats();
+        assert!(s.level_hits[1] > 0, "L2 should serve the L1 overflow");
+        // After the cold round, DRAM traffic must not grow.
+        assert_eq!(s.traffic_bytes[1], lines * 64);
+    }
+
+    #[test]
+    fn dirty_writeback_traffic_is_counted() {
+        let mut h = Hierarchy::new(&[CacheConfig::new(64, 64, 1)]); // single 1-line L1
+        h.access(0, 8, true); // dirty line 0; fill traffic 64
+        h.access(64, 8, false); // evicts dirty line 0 → writeback + fill
+        let s = h.stats();
+        assert_eq!(s.traffic_bytes[0], 64 * 3, "two fills + one writeback");
+    }
+
+    #[test]
+    fn straddling_access_touches_two_lines() {
+        let mut h = tiny();
+        h.access(60, 8, false); // crosses the line boundary at 64
+        assert_eq!(h.stats().level_misses[0], 2);
+    }
+
+    #[test]
+    fn hits_plus_misses_equal_line_accesses() {
+        let mut h = Hierarchy::typical_x86();
+        let mut x = 12345u64;
+        let mut line_accesses = 0u64;
+        for _ in 0..10_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let addr = x % (1 << 22);
+            h.access(addr, 4, x & 1 == 0);
+            let line = 64;
+            line_accesses += (addr + 3) / line - addr / line + 1;
+        }
+        let s = h.stats();
+        assert_eq!(s.level_hits[0] + s.level_misses[0], line_accesses);
+        assert_eq!(s.accesses, 10_000);
+    }
+}

@@ -1,0 +1,33 @@
+//! Set-associative cache-hierarchy simulator.
+//!
+//! Built to reproduce the roofline analysis of the BP-NTT paper (Fig. 1):
+//! the paper profiles lattice-crypto kernels with Intel Advisor and observes
+//! that NTT/INTT are bound by **L1/L2 bandwidth** rather than DRAM. To show
+//! the same thing without Advisor, the instrumented kernels of `bpntt-ntt`
+//! emit logical memory traces, and this crate replays them through a
+//! configurable L1/L2/L3 hierarchy (LRU, write-allocate, write-back),
+//! reporting per-level hit rates and inter-level traffic. Operational
+//! intensity per level — the x-axis of the roofline — is then
+//! `ops / traffic(level)`.
+//!
+//! # Example
+//!
+//! ```
+//! use bpntt_cachesim::Hierarchy;
+//!
+//! let mut h = Hierarchy::typical_x86();
+//! for i in 0..1024u64 {
+//!     h.access(i * 8, 8, false); // stream 8 KiB of loads
+//! }
+//! let stats = h.stats();
+//! assert!(stats.level_hits[0] > 0); // most accesses hit in L1
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod hierarchy;
+
+pub use cache::{Cache, CacheConfig};
+pub use hierarchy::{Hierarchy, HierarchyStats};

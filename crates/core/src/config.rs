@@ -1,0 +1,180 @@
+//! Accelerator configuration and validation.
+
+use crate::error::BpNttError;
+use crate::layout::Layout;
+use bpntt_ntt::NttParams;
+use bpntt_sram::geometry::ArrayGeometry;
+
+/// A validated BP-NTT accelerator configuration.
+///
+/// Ties together the array geometry, the coefficient bit width (= tile
+/// width), and the NTT parameter set. The paper's flexibility claim is that
+/// all three are free knobs of the *same* hardware; this struct is where
+/// the legal combinations are enforced:
+///
+/// * `bitwidth ∈ 2..=64` with at least one tile fitting the array;
+/// * `q < 2^(bitwidth−1)` — one bit of headroom, required by the packing
+///   observations of Algorithm 2 and by the MSB-based sign tests of the
+///   in-place modular add/subtract (`DESIGN.md` D6);
+/// * the polynomial fits the tile layout (see [`Layout`]).
+///
+/// # Example
+///
+/// ```
+/// use bpntt_core::BpNttConfig;
+///
+/// // The paper's headline configuration: 256×256 array, 16-bit words,
+/// // 256-point NTT modulo the 14-bit Falcon prime.
+/// let cfg = BpNttConfig::paper_256pt_16bit()?;
+/// assert_eq!(cfg.layout().lanes(), 16); // 16 NTTs in parallel
+/// # Ok::<(), bpntt_core::BpNttError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BpNttConfig {
+    rows: usize,
+    cols: usize,
+    bitwidth: usize,
+    params: NttParams,
+    layout: Layout,
+}
+
+impl BpNttConfig {
+    /// Builds and validates a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Any violated constraint documented on the type, wrapped in
+    /// [`BpNttError`].
+    pub fn new(rows: usize, cols: usize, bitwidth: usize, params: NttParams) -> Result<Self, BpNttError> {
+        if !(2..=64).contains(&bitwidth) {
+            return Err(BpNttError::InvalidBitwidth { bitwidth });
+        }
+        if cols < bitwidth {
+            return Err(BpNttError::ArrayTooNarrow { cols, bitwidth });
+        }
+        let q = params.modulus();
+        if bitwidth < 64 && q >= 1u64 << (bitwidth - 1) {
+            return Err(BpNttError::NoHeadroom { q, bitwidth });
+        }
+        let layout = Layout::new(rows, cols, bitwidth, params.n())?;
+        Ok(BpNttConfig { rows, cols, bitwidth, params, layout })
+    }
+
+    /// The paper's Table I design point: a 256×256 data array **plus the
+    /// six intermediate rows** (the paper's own accounting under Fig. 8(a):
+    /// "a 256×256 BP-NTT design plus 6 rows for intermediate data" — 262
+    /// wordlines total), 16-bit coefficients, 256-point NTT with modulus
+    /// 12289 (the 14-bit prime shared with the MeNTT/ASIC baselines).
+    /// Yields 16 parallel lanes, matching Table I's 258.6 kNTT/s at
+    /// 61.9 µs = 16 NTTs per batch.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice.
+    pub fn paper_256pt_16bit() -> Result<Self, BpNttError> {
+        Self::new(262, 256, 16, NttParams::dac_256_14bit()?)
+    }
+
+    /// The paper's 14-bit variant of the Table I point: 18 tiles of 14 bits
+    /// in 256 columns (4 columns unused), modulus 7681 — the original
+    /// Kyber prime, the largest common 13-bit choice that leaves the
+    /// headroom bit free inside 14-bit words.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice.
+    pub fn paper_256pt_14bit() -> Result<Self, BpNttError> {
+        Self::new(262, 256, 14, NttParams::new(256, 7681)?)
+    }
+
+    /// Array height in rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Physical array width in columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Coefficient (tile) width in bits.
+    #[must_use]
+    pub fn bitwidth(&self) -> usize {
+        self.bitwidth
+    }
+
+    /// The NTT parameter set.
+    #[must_use]
+    pub fn params(&self) -> &NttParams {
+        &self.params
+    }
+
+    /// The derived tile layout.
+    #[must_use]
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// The physical geometry for the area/frequency models.
+    #[must_use]
+    pub fn geometry(&self) -> ArrayGeometry {
+        ArrayGeometry { rows: self.rows, cols: self.cols }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_points_validate() {
+        let c16 = BpNttConfig::paper_256pt_16bit().unwrap();
+        assert_eq!(c16.layout().n_tiles(), 16);
+        assert_eq!(c16.layout().lanes(), 16);
+        assert!(!c16.layout().is_multi_tile());
+        let c14 = BpNttConfig::paper_256pt_14bit().unwrap();
+        assert_eq!(c14.layout().n_tiles(), 18, "⌊256/14⌋ tiles");
+        assert_eq!(c14.layout().active_cols(), 252);
+        assert_eq!(c14.layout().lanes(), 18);
+        // A bare 256-row array cannot hold 256 coefficients + 6
+        // intermediates in one tile: the layout falls back to spanning two
+        // tiles (the paper's "excess coefficients in adjacent tiles").
+        let spill = BpNttConfig::new(256, 256, 16, NttParams::dac_256_14bit().unwrap()).unwrap();
+        assert!(spill.layout().is_multi_tile());
+        assert_eq!(spill.layout().lanes(), 8);
+    }
+
+    #[test]
+    fn headroom_is_enforced() {
+        // q = 12289 is a 14-bit prime: it fits 15-bit words (one spare
+        // bit) but must be rejected in 14-bit words.
+        let p = NttParams::dac_256_14bit().unwrap();
+        assert!(BpNttConfig::new(256, 256, 15, p.clone()).is_ok());
+        assert!(matches!(
+            BpNttConfig::new(256, 256, 14, p),
+            Err(BpNttError::NoHeadroom { .. })
+        ));
+        // q = 7681 (13-bit) is the largest common choice for 14-bit words.
+        let p = NttParams::new(256, 7681).unwrap();
+        assert!(BpNttConfig::new(256, 256, 14, p).is_ok());
+    }
+
+    #[test]
+    fn geometry_limits() {
+        let p = NttParams::new(16, 97).unwrap();
+        assert!(matches!(
+            BpNttConfig::new(256, 4, 8, p.clone()),
+            Err(BpNttError::ArrayTooNarrow { .. })
+        ));
+        assert!(matches!(
+            BpNttConfig::new(256, 256, 1, p.clone()),
+            Err(BpNttError::InvalidBitwidth { .. })
+        ));
+        assert!(matches!(
+            BpNttConfig::new(256, 256, 65, p),
+            Err(BpNttError::InvalidBitwidth { .. })
+        ));
+    }
+}

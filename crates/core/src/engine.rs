@@ -1,0 +1,622 @@
+//! The BP-NTT batch execution engine.
+//!
+//! Ties the tile [`Layout`](crate::layout::Layout), the
+//! [`Kernels`](crate::kernels::Kernels) code generator, and the SRAM
+//! [`Controller`] together into the accelerator the paper evaluates:
+//! load a batch of polynomials (one per lane), run the in-place forward or
+//! inverse NTT schedule entirely inside the array, and read the batch
+//! back. All lanes execute the same instruction stream — the SIMD
+//! parallelism across tiles is where BP-NTT's throughput comes from.
+
+use crate::config::BpNttConfig;
+use crate::error::BpNttError;
+use crate::kernels::Kernels;
+use bpntt_modmath::montgomery::MontCtx;
+use bpntt_modmath::zq::mul_mod;
+use bpntt_ntt::TwiddleTable;
+use bpntt_sram::{
+    BitRow, Controller, Instruction, PredMode, RowAddr, ShiftDir, SramArray, Stats, UnaryKind,
+};
+
+/// The BP-NTT accelerator instance.
+///
+/// # Example
+///
+/// ```
+/// use bpntt_core::{BpNtt, BpNttConfig};
+/// use bpntt_ntt::NttParams;
+///
+/// // Four 8-bit lanes of an 8-point NTT on a tiny 16×32 array.
+/// let cfg = BpNttConfig::new(16, 32, 8, NttParams::new(8, 97)?)?;
+/// let mut acc = BpNtt::new(cfg)?;
+/// let polys = vec![vec![1u64, 2, 3, 4, 5, 6, 7, 8]; 4];
+/// acc.load_batch(&polys)?;
+/// acc.forward()?;
+/// acc.inverse()?;
+/// assert_eq!(acc.read_batch(4)?, polys); // roundtrip
+/// # Ok::<(), bpntt_core::BpNttError>(())
+/// ```
+#[derive(Debug)]
+pub struct BpNtt {
+    config: BpNttConfig,
+    twiddles: TwiddleTable,
+    mont: MontCtx,
+    kernels: Kernels,
+    ctl: Controller,
+}
+
+impl BpNtt {
+    /// Builds the accelerator: allocates the (simulated) array, installs
+    /// the constant rows (`M` and `2^w − M`), and precomputes twiddles.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and simulator construction failures.
+    pub fn new(config: BpNttConfig) -> Result<Self, BpNttError> {
+        let layout = config.layout().clone();
+        let q = config.params().modulus();
+        let bw = config.bitwidth();
+        let array = SramArray::new(config.rows(), layout.active_cols())?;
+        let mut ctl = Controller::new(array, bw)?;
+        let mont = MontCtx::new(q, bw as u32)?;
+        let kernels = Kernels::new(*layout.rowmap(), q, bw);
+        let twiddles = TwiddleTable::new(config.params());
+        // Install the constant rows (uncosted one-time setup would be
+        // unfair: count them as ordinary row loads).
+        let n_tiles = layout.n_tiles();
+        let mut m_row = BitRow::zero(layout.active_cols());
+        let mut comp_row = BitRow::zero(layout.active_cols());
+        let mask = if bw == 64 { u64::MAX } else { (1u64 << bw) - 1 };
+        for t in 0..n_tiles {
+            m_row.set_tile_word(t, bw, q);
+            comp_row.set_tile_word(t, bw, q.wrapping_neg() & mask);
+        }
+        ctl.load_data_row(layout.rowmap().modulus.index(), m_row);
+        ctl.load_data_row(layout.rowmap().comp_modulus.index(), comp_row);
+        Ok(BpNtt { config, twiddles, mont, kernels, ctl })
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &BpNttConfig {
+        &self.config
+    }
+
+    /// Accumulated simulator statistics.
+    #[must_use]
+    pub fn stats(&self) -> &Stats {
+        self.ctl.stats()
+    }
+
+    /// Resets the statistics (array contents are untouched).
+    pub fn reset_stats(&mut self) {
+        self.ctl.reset_stats();
+    }
+
+    /// Replaces the timing model (for sensitivity studies).
+    pub fn set_timing_model(&mut self, t: bpntt_sram::TimingModel) {
+        self.ctl.set_timing_model(t);
+    }
+
+    fn n(&self) -> usize {
+        self.config.params().n()
+    }
+
+    fn q(&self) -> u64 {
+        self.config.params().modulus()
+    }
+
+    /// Loads `polys` (one polynomial per lane, natural order) into the
+    /// array starting at coefficient row 0. Unused lanes are zeroed.
+    ///
+    /// # Errors
+    ///
+    /// Rejects oversized batches, wrong lengths, and unreduced
+    /// coefficients.
+    pub fn load_batch(&mut self, polys: &[Vec<u64>]) -> Result<(), BpNttError> {
+        self.load_batch_at(0, polys)
+    }
+
+    /// Loads a batch with coefficient rows based at `base` (used by
+    /// [`Self::polymul`] to hold two operands).
+    fn load_batch_at(&mut self, base: usize, polys: &[Vec<u64>]) -> Result<(), BpNttError> {
+        let layout = self.config.layout().clone();
+        let n = self.n();
+        let q = self.q();
+        if polys.len() > layout.lanes() {
+            return Err(BpNttError::BatchTooLarge { batch: polys.len(), lanes: layout.lanes() });
+        }
+        for (lane, p) in polys.iter().enumerate() {
+            if p.len() != n {
+                return Err(BpNttError::WrongLength { expected: n, actual: p.len() });
+            }
+            if let Some((index, &value)) = p.iter().enumerate().find(|(_, &v)| v >= q) {
+                return Err(BpNttError::Unreduced { lane, index, value });
+            }
+        }
+        let bw = layout.bitwidth();
+        let cpt = layout.coeffs_per_tile();
+        let tpp = layout.tiles_per_poly();
+        for r in 0..cpt {
+            let mut row = BitRow::zero(layout.active_cols());
+            for t in 0..layout.n_tiles() {
+                let lane = t / tpp;
+                let g = t % tpp;
+                let j = g * cpt + r;
+                let v = if lane < polys.len() && j < n { polys[lane][j] } else { 0 };
+                row.set_tile_word(t, bw, v);
+            }
+            self.ctl.load_data_row(base + r, row);
+        }
+        Ok(())
+    }
+
+    /// Reads `batch` polynomials back out of the array (coefficient rows
+    /// based at row 0).
+    ///
+    /// # Errors
+    ///
+    /// Rejects `batch` larger than the lane count.
+    pub fn read_batch(&mut self, batch: usize) -> Result<Vec<Vec<u64>>, BpNttError> {
+        self.read_batch_at(0, batch)
+    }
+
+    fn read_batch_at(&mut self, base: usize, batch: usize) -> Result<Vec<Vec<u64>>, BpNttError> {
+        let layout = self.config.layout().clone();
+        if batch > layout.lanes() {
+            return Err(BpNttError::BatchTooLarge { batch, lanes: layout.lanes() });
+        }
+        let n = self.n();
+        let bw = layout.bitwidth();
+        let cpt = layout.coeffs_per_tile();
+        let tpp = layout.tiles_per_poly();
+        let mut out = vec![vec![0u64; n]; batch];
+        for r in 0..cpt {
+            let row = self.ctl.read_data_row(base + r);
+            for (lane, poly) in out.iter_mut().enumerate() {
+                for g in 0..tpp {
+                    let j = g * cpt + r;
+                    if j < n {
+                        poly[j] = row.tile_word(lane * tpp + g, bw);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    // ---- schedules ---------------------------------------------------------
+
+    /// Runs the in-place forward NTT (paper Algorithm 1) on the loaded
+    /// batch: natural order in, bit-reversed order out.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator faults.
+    pub fn forward(&mut self) -> Result<(), BpNttError> {
+        self.forward_region(0)
+    }
+
+    fn forward_region(&mut self, base: usize) -> Result<(), BpNttError> {
+        let layout = self.config.layout().clone();
+        let n = self.n();
+        if !layout.is_multi_tile() {
+            // One polynomial per tile: every lane shares the compile-time
+            // twiddle schedule (the multiplier lives in the control flow).
+            let mut k = 0usize;
+            let mut len = n / 2;
+            while len > 0 {
+                let mut idx = 0;
+                while idx < n {
+                    k += 1;
+                    let z = self.mont.to_mont(self.twiddles.zetas()[k]);
+                    for j in idx..idx + len {
+                        let lo = RowAddr((base + j) as u16);
+                        let hi = RowAddr((base + j + len) as u16);
+                        self.kernels.ct_butterfly_const(&mut self.ctl, lo, hi, z)?;
+                    }
+                    idx += 2 * len;
+                }
+                len /= 2;
+            }
+            return Ok(());
+        }
+        // Multi-tile: one polynomial spans tiles; twiddles differ per tile
+        // and are delivered through the twiddle row (data-driven path).
+        let cpt = layout.coeffs_per_tile();
+        let mut len = n / 2;
+        while len > 0 {
+            if len >= cpt {
+                let d = len / cpt;
+                for r in 0..cpt {
+                    self.load_twiddle_row(len, r, false)?;
+                    self.cross_tile_ct(r, d)?;
+                }
+            } else {
+                let mut idx = 0;
+                while idx < cpt {
+                    self.load_twiddle_row(len, idx, false)?;
+                    for r in idx..idx + len {
+                        let lo = layout.offset_row(r);
+                        let hi = layout.offset_row(r + len);
+                        self.kernels.ct_butterfly_data(&mut self.ctl, lo, hi)?;
+                    }
+                    idx += 2 * len;
+                }
+            }
+            len /= 2;
+        }
+        Ok(())
+    }
+
+    /// Runs the in-place inverse NTT: bit-reversed order in, natural order
+    /// out, including the final `N⁻¹` scaling.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator faults.
+    pub fn inverse(&mut self) -> Result<(), BpNttError> {
+        let scale = self.mont.to_mont(self.config.params().n_inv());
+        self.inverse_region(0, scale)
+    }
+
+    fn inverse_region(&mut self, base: usize, scale_mont: u64) -> Result<(), BpNttError> {
+        let layout = self.config.layout().clone();
+        let n = self.n();
+        if !layout.is_multi_tile() {
+            let mut len = 1;
+            while len < n {
+                let k_base = n / (2 * len);
+                let mut idx = 0;
+                let mut b = 0;
+                while idx < n {
+                    let zi = self.mont.to_mont(self.twiddles.inv_zetas()[k_base + b]);
+                    for j in idx..idx + len {
+                        let lo = RowAddr((base + j) as u16);
+                        let hi = RowAddr((base + j + len) as u16);
+                        self.kernels.gs_butterfly_const(&mut self.ctl, lo, hi, zi)?;
+                    }
+                    idx += 2 * len;
+                    b += 1;
+                }
+                len *= 2;
+            }
+            for j in 0..n {
+                self.kernels.scale_const(&mut self.ctl, RowAddr((base + j) as u16), scale_mont)?;
+            }
+            return Ok(());
+        }
+        let cpt = layout.coeffs_per_tile();
+        let mut len = 1;
+        while len < n {
+            if len >= cpt {
+                let d = len / cpt;
+                for r in 0..cpt {
+                    self.load_twiddle_row(len, r, true)?;
+                    self.cross_tile_gs(r, d)?;
+                }
+            } else {
+                let mut idx = 0;
+                while idx < cpt {
+                    self.load_twiddle_row(len, idx, true)?;
+                    for r in idx..idx + len {
+                        let lo = layout.offset_row(r);
+                        let hi = layout.offset_row(r + len);
+                        self.kernels.gs_butterfly_data(&mut self.ctl, lo, hi)?;
+                    }
+                    idx += 2 * len;
+                }
+            }
+            len *= 2;
+        }
+        for r in 0..cpt {
+            self.kernels.scale_const(&mut self.ctl, layout.offset_row(r), scale_mont)?;
+        }
+        Ok(())
+    }
+
+    /// Fills the twiddle row: tile `t` receives the (Montgomery-scaled)
+    /// twiddle of the butterfly block that its coefficient at offset `r`
+    /// belongs to at stage `len`.
+    fn load_twiddle_row(&mut self, len: usize, r: usize, inverse: bool) -> Result<(), BpNttError> {
+        let layout = self.config.layout().clone();
+        let tw_row = layout.rowmap().twiddle.expect("multi-tile layouts have a twiddle row");
+        let bw = layout.bitwidth();
+        let cpt = layout.coeffs_per_tile();
+        let tpp = layout.tiles_per_poly();
+        let n = self.n();
+        let k_base = n / (2 * len);
+        let mut row = BitRow::zero(layout.active_cols());
+        for t in 0..layout.n_tiles() {
+            let g = t % tpp;
+            let j = g * cpt + r;
+            let block = j / (2 * len);
+            let k = k_base + block;
+            let z = if inverse { self.twiddles.inv_zetas()[k] } else { self.twiddles.zetas()[k] };
+            row.set_tile_word(t, bw, self.mont.to_mont(z));
+        }
+        self.ctl.load_data_row(tw_row.index(), row);
+        Ok(())
+    }
+
+    /// Cross-tile Cooley–Tukey butterfly on coefficient row `r`: partners
+    /// sit `d` tiles apart in the *same* physical row, so the partner word
+    /// is staged through `d·w` one-bit shifts — the Fig. 8(b) overhead.
+    fn cross_tile_ct(&mut self, r: usize, d: usize) -> Result<(), BpNttError> {
+        let layout = self.config.layout().clone();
+        let rm = *layout.rowmap();
+        let scratch = rm.scratch.expect("multi-tile layouts have a scratch row");
+        let row_r = layout.offset_row(r);
+        let stride_log2 = d.trailing_zeros() as u8;
+        // Stage partner words: tile t sees tile t+d's coefficient.
+        self.kernels.move_tiles(&mut self.ctl, scratch, row_r, d, ShiftDir::Right)?;
+        // t = ζ · partner (valid in the low-half tiles).
+        self.kernels.modmul_data(&mut self.ctl, scratch, rm.twiddle.expect("twiddle row"))?;
+        self.kernels.finish_modmul(&mut self.ctl)?;
+        // new_hi = a[lo] − t (computed everywhere, consumed from low tiles).
+        self.kernels.sub_mod(&mut self.ctl, scratch, row_r, rm.sum, None)?;
+        // a[lo] ← a[lo] + t, only in the low-half tiles.
+        self.kernels.add_mod(&mut self.ctl, row_r, row_r, rm.sum, Some((stride_log2, false)))?;
+        // Ship new_hi to the high-half tiles.
+        self.kernels.move_tiles(&mut self.ctl, scratch, scratch, d, ShiftDir::Left)?;
+        self.ctl.execute(&Instruction::MaskTiles { stride_log2, phase: true })?;
+        self.ctl.execute(&Instruction::Unary {
+            dst: row_r,
+            src: scratch,
+            kind: UnaryKind::Copy,
+            pred: PredMode::Always,
+        })?;
+        self.ctl.execute(&Instruction::MaskAll)?;
+        Ok(())
+    }
+
+    /// Cross-tile Gentleman–Sande butterfly on coefficient row `r`.
+    fn cross_tile_gs(&mut self, r: usize, d: usize) -> Result<(), BpNttError> {
+        let layout = self.config.layout().clone();
+        let rm = *layout.rowmap();
+        let scratch = rm.scratch.expect("multi-tile layouts have a scratch row");
+        let row_r = layout.offset_row(r);
+        let stride_log2 = d.trailing_zeros() as u8;
+        self.kernels.move_tiles(&mut self.ctl, scratch, row_r, d, ShiftDir::Right)?;
+        // Sum ← u − v; a[lo] ← u + v (low tiles only).
+        self.kernels.sub_mod(&mut self.ctl, rm.sum, row_r, scratch, None)?;
+        self.kernels.add_mod(&mut self.ctl, row_r, row_r, scratch, Some((stride_log2, false)))?;
+        // hi ← ζ⁻¹ (u − v), staged through scratch.
+        self.ctl.execute(&Instruction::Unary {
+            dst: scratch,
+            src: rm.sum,
+            kind: UnaryKind::Copy,
+            pred: PredMode::Always,
+        })?;
+        self.kernels.modmul_data(&mut self.ctl, scratch, rm.twiddle.expect("twiddle row"))?;
+        self.kernels.finish_modmul(&mut self.ctl)?;
+        self.ctl.execute(&Instruction::Unary {
+            dst: scratch,
+            src: rm.sum,
+            kind: UnaryKind::Copy,
+            pred: PredMode::Always,
+        })?;
+        self.kernels.move_tiles(&mut self.ctl, scratch, scratch, d, ShiftDir::Left)?;
+        self.ctl.execute(&Instruction::MaskTiles { stride_log2, phase: true })?;
+        self.ctl.execute(&Instruction::Unary {
+            dst: row_r,
+            src: scratch,
+            kind: UnaryKind::Copy,
+            pred: PredMode::Always,
+        })?;
+        self.ctl.execute(&Instruction::MaskAll)?;
+        Ok(())
+    }
+
+    /// Full negacyclic polynomial multiplication on the accelerator:
+    /// loads `a` and `b` batches, transforms both, multiplies pointwise
+    /// (data-driven multiplier), inverse-transforms, and returns the
+    /// products.
+    ///
+    /// Requires a single-tile layout with room for both operands
+    /// (`2N + 6` rows).
+    ///
+    /// # Errors
+    ///
+    /// [`BpNttError::CapacityExceeded`] when the operands do not fit;
+    /// otherwise propagates load/validation/simulator failures.
+    pub fn polymul(
+        &mut self,
+        a: &[Vec<u64>],
+        b: &[Vec<u64>],
+    ) -> Result<Vec<Vec<u64>>, BpNttError> {
+        let layout = self.config.layout().clone();
+        let n = self.n();
+        if layout.is_multi_tile() || 2 * n + layout.reserved_rows() > self.config.rows() {
+            return Err(BpNttError::CapacityExceeded {
+                n: 2 * n,
+                capacity: self.config.rows().saturating_sub(layout.reserved_rows()),
+            });
+        }
+        let batch = a.len().max(b.len());
+        self.load_batch_at(0, a)?;
+        self.load_batch_at(n, b)?;
+        self.forward_region(0)?;
+        self.forward_region(n)?;
+        // Pointwise: c_j = â_j · b̂_j · R⁻¹ (the stray R⁻¹ is absorbed by
+        // the inverse transform's scaling constant below).
+        for j in 0..n {
+            let a_row = RowAddr(j as u16);
+            let b_row = RowAddr((n + j) as u16);
+            self.kernels.modmul_data(&mut self.ctl, a_row, b_row)?;
+            self.kernels.finish_modmul(&mut self.ctl)?;
+            self.ctl.execute(&Instruction::Unary {
+                dst: a_row,
+                src: layout.rowmap().sum,
+                kind: UnaryKind::Copy,
+                pred: PredMode::Always,
+            })?;
+        }
+        // Scale constant n⁻¹·R² : output = x · n⁻¹ · R, cancelling the R⁻¹
+        // introduced by the pointwise step.
+        let q = self.q();
+        let n_inv_r2 = self.mont.to_mont(mul_mod(
+            self.config.params().n_inv(),
+            self.mont.r_mod_m(),
+            q,
+        ));
+        self.inverse_region(0, n_inv_r2)?;
+        self.read_batch_at(0, batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpntt_ntt::forward::ntt_in_place;
+    use bpntt_ntt::inverse::intt_in_place;
+    use bpntt_ntt::polymul::polymul_schoolbook;
+    use bpntt_ntt::NttParams;
+
+    fn pseudo(n: usize, q: u64, seed: u64) -> Vec<u64> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x % q
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_tile_forward_matches_reference() {
+        let params = NttParams::new(8, 97).unwrap();
+        let cfg = BpNttConfig::new(16, 32, 8, params.clone()).unwrap();
+        let mut acc = BpNtt::new(cfg).unwrap();
+        let lanes = acc.config().layout().lanes();
+        assert_eq!(lanes, 4);
+        let polys: Vec<Vec<u64>> = (0..lanes as u64).map(|s| pseudo(8, 97, s + 1)).collect();
+        acc.load_batch(&polys).unwrap();
+        acc.forward().unwrap();
+        let got = acc.read_batch(lanes).unwrap();
+        let t = TwiddleTable::new(&params);
+        for (lane, p) in polys.iter().enumerate() {
+            let mut expect = p.clone();
+            ntt_in_place(&params, &t, &mut expect).unwrap();
+            assert_eq!(got[lane], expect, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn single_tile_roundtrip() {
+        let params = NttParams::new(16, 193).unwrap();
+        let cfg = BpNttConfig::new(32, 64, 9, params).unwrap(); // 7 lanes of 9-bit tiles
+        let mut acc = BpNtt::new(cfg).unwrap();
+        let lanes = acc.config().layout().lanes();
+        let polys: Vec<Vec<u64>> = (0..lanes as u64).map(|s| pseudo(16, 193, s + 9)).collect();
+        acc.load_batch(&polys).unwrap();
+        acc.forward().unwrap();
+        acc.inverse().unwrap();
+        assert_eq!(acc.read_batch(lanes).unwrap(), polys);
+    }
+
+    #[test]
+    fn inverse_matches_reference() {
+        let params = NttParams::new(8, 97).unwrap();
+        let cfg = BpNttConfig::new(16, 32, 8, params.clone()).unwrap();
+        let mut acc = BpNtt::new(cfg).unwrap();
+        let polys = vec![pseudo(8, 97, 5), pseudo(8, 97, 6)];
+        acc.load_batch(&polys).unwrap();
+        acc.inverse().unwrap();
+        let got = acc.read_batch(2).unwrap();
+        let t = TwiddleTable::new(&params);
+        for (lane, p) in polys.iter().enumerate() {
+            let mut expect = p.clone();
+            intt_in_place(&params, &t, &mut expect).unwrap();
+            assert_eq!(got[lane], expect, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn multi_tile_forward_matches_reference() {
+        // 16-point polynomial over 8 coefficients/tile → 2 tiles per
+        // polynomial, 2 lanes on a 4-tile array.
+        let params = NttParams::new(16, 97).unwrap();
+        let cfg = BpNttConfig::new(16, 32, 8, params.clone()).unwrap();
+        assert!(cfg.layout().is_multi_tile());
+        assert_eq!(cfg.layout().coeffs_per_tile(), 8);
+        assert_eq!(cfg.layout().lanes(), 2);
+        let mut acc = BpNtt::new(cfg).unwrap();
+        let polys = vec![pseudo(16, 97, 11), pseudo(16, 97, 22)];
+        acc.load_batch(&polys).unwrap();
+        acc.forward().unwrap();
+        let got = acc.read_batch(2).unwrap();
+        let t = TwiddleTable::new(&params);
+        for (lane, p) in polys.iter().enumerate() {
+            let mut expect = p.clone();
+            ntt_in_place(&params, &t, &mut expect).unwrap();
+            assert_eq!(got[lane], expect, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn multi_tile_roundtrip_deeper() {
+        // 32-point over 8 coefficients/tile → 4 tiles per polynomial
+        // (q = 193 ≡ 1 mod 64, fitting 9-bit words with headroom).
+        let params = NttParams::new(32, 193).unwrap();
+        let cfg = BpNttConfig::new(16, 72, 9, params).unwrap();
+        assert_eq!(cfg.layout().tiles_per_poly(), 4);
+        let mut acc = BpNtt::new(cfg).unwrap();
+        let polys = vec![pseudo(32, 97, 31), pseudo(32, 97, 32)];
+        acc.load_batch(&polys).unwrap();
+        acc.forward().unwrap();
+        acc.inverse().unwrap();
+        assert_eq!(acc.read_batch(2).unwrap(), polys);
+    }
+
+    #[test]
+    fn polymul_matches_schoolbook() {
+        let params = NttParams::new(8, 97).unwrap();
+        let cfg = BpNttConfig::new(32, 32, 8, params.clone()).unwrap(); // 2·8+6 ≤ 32 rows
+        let mut acc = BpNtt::new(cfg).unwrap();
+        let a = vec![pseudo(8, 97, 100), pseudo(8, 97, 101)];
+        let b = vec![pseudo(8, 97, 200), pseudo(8, 97, 201)];
+        let got = acc.polymul(&a, &b).unwrap();
+        for lane in 0..2 {
+            let expect = polymul_schoolbook(&params, &a[lane], &b[lane]).unwrap();
+            assert_eq!(got[lane], expect, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn load_validation() {
+        let params = NttParams::new(8, 97).unwrap();
+        let cfg = BpNttConfig::new(16, 32, 8, params).unwrap();
+        let mut acc = BpNtt::new(cfg).unwrap();
+        assert!(matches!(
+            acc.load_batch(&vec![vec![0u64; 8]; 5]),
+            Err(BpNttError::BatchTooLarge { .. })
+        ));
+        assert!(matches!(
+            acc.load_batch(&[vec![0u64; 7]]),
+            Err(BpNttError::WrongLength { .. })
+        ));
+        assert!(matches!(
+            acc.load_batch(&[vec![97u64; 8]]),
+            Err(BpNttError::Unreduced { .. })
+        ));
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let params = NttParams::new(8, 97).unwrap();
+        let cfg = BpNttConfig::new(16, 32, 8, params).unwrap();
+        let mut acc = BpNtt::new(cfg).unwrap();
+        acc.load_batch(&[pseudo(8, 97, 1)]).unwrap();
+        acc.reset_stats();
+        acc.forward().unwrap();
+        let s = *acc.stats();
+        assert!(s.cycles > 0);
+        assert!(s.counts.binary > 0);
+        assert!(s.energy_pj > 0.0);
+        acc.reset_stats();
+        assert_eq!(acc.stats().cycles, 0);
+    }
+}

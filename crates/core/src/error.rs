@@ -1,0 +1,142 @@
+//! Error type for the BP-NTT accelerator.
+
+use bpntt_modmath::ModMathError;
+use bpntt_ntt::NttError;
+use bpntt_sram::SramError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by accelerator configuration and execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BpNttError {
+    /// The coefficient bit width must lie in `2..=64`.
+    InvalidBitwidth {
+        /// Requested width.
+        bitwidth: usize,
+    },
+    /// The array is too narrow to hold even one tile.
+    ArrayTooNarrow {
+        /// Array columns.
+        cols: usize,
+        /// Requested tile width.
+        bitwidth: usize,
+    },
+    /// The modulus needs one spare bit (`q < 2^(bitwidth−1)`) for the
+    /// packing observations and the MSB-based sign checks to hold.
+    NoHeadroom {
+        /// The modulus.
+        q: u64,
+        /// The coefficient width.
+        bitwidth: usize,
+    },
+    /// The polynomial does not fit the array under the chosen layout.
+    CapacityExceeded {
+        /// Polynomial order.
+        n: usize,
+        /// Points the layout can hold per lane.
+        capacity: usize,
+    },
+    /// More polynomials were supplied than the layout has lanes.
+    BatchTooLarge {
+        /// Supplied batch size.
+        batch: usize,
+        /// Available lanes.
+        lanes: usize,
+    },
+    /// A supplied polynomial had the wrong length.
+    WrongLength {
+        /// Expected coefficients.
+        expected: usize,
+        /// Got.
+        actual: usize,
+    },
+    /// A coefficient was not reduced modulo `q`.
+    Unreduced {
+        /// Lane index.
+        lane: usize,
+        /// Coefficient index.
+        index: usize,
+        /// Value found.
+        value: u64,
+    },
+    /// Underlying NTT parameter failure.
+    Ntt(NttError),
+    /// Underlying modular-arithmetic failure.
+    Math(ModMathError),
+    /// Underlying SRAM simulator failure.
+    Sram(SramError),
+}
+
+impl fmt::Display for BpNttError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BpNttError::InvalidBitwidth { bitwidth } => {
+                write!(f, "bit width {bitwidth} outside the supported range 2..=64")
+            }
+            BpNttError::ArrayTooNarrow { cols, bitwidth } => {
+                write!(f, "array with {cols} columns cannot hold a {bitwidth}-bit tile")
+            }
+            BpNttError::NoHeadroom { q, bitwidth } => {
+                write!(f, "modulus {q} needs one spare bit in {bitwidth}-bit words (q < 2^{})", bitwidth - 1)
+            }
+            BpNttError::CapacityExceeded { n, capacity } => {
+                write!(f, "{n}-point polynomial exceeds the layout capacity of {capacity} points")
+            }
+            BpNttError::BatchTooLarge { batch, lanes } => {
+                write!(f, "batch of {batch} polynomials exceeds the {lanes} available lanes")
+            }
+            BpNttError::WrongLength { expected, actual } => {
+                write!(f, "expected {expected} coefficients, got {actual}")
+            }
+            BpNttError::Unreduced { lane, index, value } => {
+                write!(f, "coefficient {value} (lane {lane}, index {index}) is not reduced")
+            }
+            BpNttError::Ntt(e) => write!(f, "ntt parameter error: {e}"),
+            BpNttError::Math(e) => write!(f, "modular arithmetic error: {e}"),
+            BpNttError::Sram(e) => write!(f, "sram simulator error: {e}"),
+        }
+    }
+}
+
+impl Error for BpNttError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BpNttError::Ntt(e) => Some(e),
+            BpNttError::Math(e) => Some(e),
+            BpNttError::Sram(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NttError> for BpNttError {
+    fn from(e: NttError) -> Self {
+        BpNttError::Ntt(e)
+    }
+}
+
+impl From<ModMathError> for BpNttError {
+    fn from(e: ModMathError) -> Self {
+        BpNttError::Math(e)
+    }
+}
+
+impl From<SramError> for BpNttError {
+    fn from(e: SramError) -> Self {
+        BpNttError::Sram(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = BpNttError::NoHeadroom { q: 40961, bitwidth: 16 };
+        assert!(e.to_string().contains("2^15"));
+        let e = BpNttError::Sram(SramError::BadOpcode { opcode: 9 });
+        assert!(e.source().is_some());
+    }
+}

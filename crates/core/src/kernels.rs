@@ -1,0 +1,639 @@
+//! In-SRAM kernel code generation: Algorithm 2 and the butterfly arithmetic.
+//!
+//! Every routine here emits BP-NTT instructions against a
+//! [`Controller`], using only the row budget of the layout's [`RowMap`]:
+//! the carry-save accumulator (`Sum`, `Carry`), two half-adder temporaries,
+//! and the two constant rows (`M`, `2^w − M`). Shift discipline follows
+//! `DESIGN.md` D1/D2:
+//!
+//! * the `Carry << 1` realignment of Algorithm 2 uses a **global** shift —
+//!   the end-of-iteration carry provably has a clear MSB in every tile
+//!   whenever `M < 2^(w−1)`, *independent of the data*, so nothing ever
+//!   crosses a tile boundary (the paper's Observation 1);
+//! * the Montgomery halving and all resolution loops use **tile-masked**
+//!   shifts, giving exact mod-`2^w` semantics per tile even for tiles
+//!   holding staging garbage during cross-tile SIMD.
+//!
+//! The multiplier of a modular multiplication is either a compile-time
+//! constant (twiddle factors of a single-lane-per-tile schedule — the
+//! multiplier is "hidden in the control commands", §IV-D) or a per-tile
+//! value in a row, consumed bit-by-bit through `Check` predication (used by
+//! pointwise multiplication and by multi-tile schedules where each tile
+//! needs a different twiddle).
+
+use crate::error::BpNttError;
+use crate::layout::RowMap;
+use bpntt_sram::{BitOp, Controller, Instruction, PredMode, RowAddr, ShiftDir, UnaryKind};
+
+/// Emits in-SRAM arithmetic kernels for one modulus / bit-width pair.
+#[derive(Debug, Clone, Copy)]
+pub struct Kernels {
+    rm: RowMap,
+    q: u64,
+    bitwidth: usize,
+}
+
+impl Kernels {
+    /// Creates a kernel emitter.
+    ///
+    /// The caller (the engine) guarantees `q < 2^(bitwidth−1)` — validated
+    /// by [`BpNttConfig`](crate::BpNttConfig).
+    #[must_use]
+    pub fn new(rm: RowMap, q: u64, bitwidth: usize) -> Self {
+        debug_assert!(bitwidth == 64 || q < (1u64 << (bitwidth - 1)));
+        Kernels { rm, q, bitwidth }
+    }
+
+    /// The row map in use.
+    #[must_use]
+    pub fn rowmap(&self) -> &RowMap {
+        &self.rm
+    }
+
+    fn exec(&self, ctl: &mut Controller, i: Instruction) -> Result<(), BpNttError> {
+        ctl.execute(&i)?;
+        Ok(())
+    }
+
+    // ---- Algorithm 2 ----------------------------------------------------
+
+    /// `Sum ← a · B · R⁻¹` in carry-save form, with the multiplier `a` a
+    /// compile-time constant (twiddles pre-scaled by `R`). Leaves the
+    /// accumulator in `(Sum, Carry)`; follow with [`Self::resolve`] and
+    /// [`Self::cond_sub_q`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator faults (bad rows — a codegen bug, not a user
+    /// input).
+    pub fn modmul_const(
+        &self,
+        ctl: &mut Controller,
+        b_row: RowAddr,
+        a: u64,
+    ) -> Result<(), BpNttError> {
+        let rm = &self.rm;
+        self.exec(ctl, Instruction::Unary { dst: rm.sum, src: rm.sum, kind: UnaryKind::Zero, pred: PredMode::Always })?;
+        self.exec(ctl, Instruction::Unary { dst: rm.carry, src: rm.carry, kind: UnaryKind::Zero, pred: PredMode::Always })?;
+        for i in 0..self.bitwidth {
+            if (a >> i) & 1 == 1 {
+                self.add_b_step(ctl, b_row, PredMode::Always)?;
+            }
+            self.montgomery_halve_step(ctl)?;
+        }
+        Ok(())
+    }
+
+    /// `Sum ← A · B · R⁻¹` in carry-save form with the multiplier read from
+    /// `a_row` (per-tile values, consumed via `Check` predication). Used by
+    /// pointwise multiplication and per-tile-twiddle schedules. Runs in
+    /// data-independent time (every iteration executes the same
+    /// instructions).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator faults.
+    pub fn modmul_data(
+        &self,
+        ctl: &mut Controller,
+        b_row: RowAddr,
+        a_row: RowAddr,
+    ) -> Result<(), BpNttError> {
+        let rm = &self.rm;
+        self.exec(ctl, Instruction::Unary { dst: rm.sum, src: rm.sum, kind: UnaryKind::Zero, pred: PredMode::Always })?;
+        self.exec(ctl, Instruction::Unary { dst: rm.carry, src: rm.carry, kind: UnaryKind::Zero, pred: PredMode::Always })?;
+        for i in 0..self.bitwidth {
+            self.exec(ctl, Instruction::Check { src: a_row, bit: i as u16 })?;
+            self.add_b_step(ctl, b_row, PredMode::IfSet)?;
+            self.montgomery_halve_step(ctl)?;
+        }
+        Ok(())
+    }
+
+    /// Lines 6–9 of Algorithm 2: `P ← P + B` as two half-adder passes.
+    fn add_b_step(
+        &self,
+        ctl: &mut Controller,
+        b_row: RowAddr,
+        pred: PredMode,
+    ) -> Result<(), BpNttError> {
+        let rm = &self.rm;
+        // c1, s1 = Sum & B, Sum ⊕ B — one activation, two write-backs.
+        self.exec(ctl, Instruction::Binary {
+            dst: rm.t_carry,
+            op: BitOp::And,
+            src0: rm.sum,
+            src1: b_row,
+            dst2: Some((rm.t_sum, BitOp::Xor)),
+            shift: None,
+            pred,
+        })?;
+        // Carry << 1 (Observation 1: global shift is safe — the previous
+        // iteration's carry MSB is clear in every tile).
+        self.exec(ctl, Instruction::Shift {
+            dst: rm.carry,
+            src: rm.carry,
+            dir: ShiftDir::Left,
+            masked: false,
+            pred,
+        })?;
+        // c2, Sum = Carry & s1, Carry ⊕ s1 — write c2 over Carry itself.
+        self.exec(ctl, Instruction::Binary {
+            dst: rm.carry,
+            op: BitOp::And,
+            src0: rm.carry,
+            src1: rm.t_sum,
+            dst2: Some((rm.sum, BitOp::Xor)),
+            shift: None,
+            pred,
+        })?;
+        // Carry = c1 | c2.
+        self.exec(ctl, Instruction::Binary {
+            dst: rm.carry,
+            op: BitOp::Or,
+            src0: rm.carry,
+            src1: rm.t_carry,
+            dst2: None,
+            shift: None,
+            pred,
+        })
+    }
+
+    /// Lines 11–16 of Algorithm 2: `m ← LSB(Sum) ? M : 0`, then
+    /// `P ← (P + m) / 2`. The `m` selection is per-tile predication on the
+    /// constant row `M` — no materialized `m` row is needed, which is what
+    /// keeps the reserved-row budget at the paper's six.
+    fn montgomery_halve_step(&self, ctl: &mut Controller) -> Result<(), BpNttError> {
+        let rm = &self.rm;
+        self.exec(ctl, Instruction::Check { src: rm.sum, bit: 0 })?;
+        // Odd tiles: c1, s1 = Sum & M, (Sum ⊕ M) >> 1 (fused shift;
+        // Observation 2 makes the dropped LSB provably zero).
+        self.exec(ctl, Instruction::Binary {
+            dst: rm.t_sum,
+            op: BitOp::Xor,
+            src0: rm.sum,
+            src1: rm.modulus,
+            dst2: Some((rm.t_carry, BitOp::And)),
+            shift: Some((ShiftDir::Right, true)),
+            pred: PredMode::IfSet,
+        })?;
+        // Even tiles: m = 0, so s1 = Sum >> 1 and c1 = 0.
+        self.exec(ctl, Instruction::Shift {
+            dst: rm.t_sum,
+            src: rm.sum,
+            dir: ShiftDir::Right,
+            masked: true,
+            pred: PredMode::IfClear,
+        })?;
+        self.exec(ctl, Instruction::Unary {
+            dst: rm.t_carry,
+            src: rm.t_carry,
+            kind: UnaryKind::Zero,
+            pred: PredMode::IfClear,
+        })?;
+        // c2, s2 = s1 & c1, s1 ⊕ c1.
+        self.exec(ctl, Instruction::Binary {
+            dst: rm.t_carry,
+            op: BitOp::And,
+            src0: rm.t_sum,
+            src1: rm.t_carry,
+            dst2: Some((rm.t_sum, BitOp::Xor)),
+            shift: None,
+            pred: PredMode::Always,
+        })?;
+        // c3, Sum = Carry & s2, Carry ⊕ s2.
+        self.exec(ctl, Instruction::Binary {
+            dst: rm.carry,
+            op: BitOp::And,
+            src0: rm.carry,
+            src1: rm.t_sum,
+            dst2: Some((rm.sum, BitOp::Xor)),
+            shift: None,
+            pred: PredMode::Always,
+        })?;
+        // Carry = c2 | c3.
+        self.exec(ctl, Instruction::Binary {
+            dst: rm.carry,
+            op: BitOp::Or,
+            src0: rm.carry,
+            src1: rm.t_carry,
+            dst2: None,
+            shift: None,
+            pred: PredMode::Always,
+        })
+    }
+
+    // ---- carry/borrow resolution -----------------------------------------
+
+    /// Resolves an arbitrary `(sum, carry)` carry-save pair into a plain
+    /// value in `s_row`, using tile-masked shifts and the wired-OR zero
+    /// detector for early termination.
+    fn resolve_pair(
+        &self,
+        ctl: &mut Controller,
+        s_row: RowAddr,
+        c_row: RowAddr,
+    ) -> Result<(), BpNttError> {
+        for _ in 0..=self.bitwidth {
+            self.exec(ctl, Instruction::CheckZero { src: c_row })?;
+            if ctl.zero_flag() {
+                return Ok(());
+            }
+            self.exec(ctl, Instruction::Shift {
+                dst: c_row,
+                src: c_row,
+                dir: ShiftDir::Left,
+                masked: true,
+                pred: PredMode::Always,
+            })?;
+            self.exec(ctl, Instruction::Binary {
+                dst: c_row,
+                op: BitOp::And,
+                src0: s_row,
+                src1: c_row,
+                dst2: Some((s_row, BitOp::Xor)),
+                shift: None,
+                pred: PredMode::Always,
+            })?;
+        }
+        debug_assert!(ctl.zero_flag(), "carry resolution must converge within the word width");
+        Ok(())
+    }
+
+    /// Resolves the main accumulator: `Sum ← Sum + 2·Carry` (plain value).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator faults.
+    pub fn resolve(&self, ctl: &mut Controller) -> Result<(), BpNttError> {
+        self.resolve_pair(ctl, self.rm.sum, self.rm.carry)
+    }
+
+    /// Conditionally subtracts `q` once: maps `Sum ∈ [0, 2q)` to `[0, q)`.
+    ///
+    /// Computes `D = (Sum + (2^w − q)) mod 2^w` with the constant
+    /// complement row; `MSB(D) = 0 ⇔ Sum ≥ q` (one headroom bit), then a
+    /// predicated copy selects `D` or keeps `Sum`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator faults.
+    pub fn cond_sub_q(&self, ctl: &mut Controller) -> Result<(), BpNttError> {
+        let rm = &self.rm;
+        self.exec(ctl, Instruction::Binary {
+            dst: rm.t_carry,
+            op: BitOp::And,
+            src0: rm.sum,
+            src1: rm.comp_modulus,
+            dst2: Some((rm.t_sum, BitOp::Xor)),
+            shift: None,
+            pred: PredMode::Always,
+        })?;
+        self.resolve_pair(ctl, rm.t_sum, rm.t_carry)?;
+        self.exec(ctl, Instruction::Check { src: rm.t_sum, bit: (self.bitwidth - 1) as u16 })?;
+        self.exec(ctl, Instruction::Unary {
+            dst: rm.sum,
+            src: rm.t_sum,
+            kind: UnaryKind::Copy,
+            pred: PredMode::IfClear,
+        })
+    }
+
+    // ---- modular add / subtract ------------------------------------------
+
+    /// `dst ← (x + y) mod q` for reduced operands. When `final_mask` is
+    /// given, only tiles selected by `MaskTiles(stride_log2, phase)`
+    /// receive the result (the arithmetic itself runs in every tile so the
+    /// zero detector converges); the mask is restored to all-tiles after.
+    ///
+    /// Clobbers both temporaries and `Carry` (not `Sum` unless it is `dst`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator faults.
+    pub fn add_mod(
+        &self,
+        ctl: &mut Controller,
+        dst: RowAddr,
+        x: RowAddr,
+        y: RowAddr,
+        final_mask: Option<(u8, bool)>,
+    ) -> Result<(), BpNttError> {
+        let rm = &self.rm;
+        // x + y < 2q < 2^w: carry-save then resolve.
+        self.exec(ctl, Instruction::Binary {
+            dst: rm.t_carry,
+            op: BitOp::And,
+            src0: x,
+            src1: y,
+            dst2: Some((rm.t_sum, BitOp::Xor)),
+            shift: None,
+            pred: PredMode::Always,
+        })?;
+        self.resolve_pair(ctl, rm.t_sum, rm.t_carry)?;
+        // D = (t_sum + comp) mod 2^w into Carry.
+        self.exec(ctl, Instruction::Binary {
+            dst: rm.t_carry,
+            op: BitOp::And,
+            src0: rm.t_sum,
+            src1: rm.comp_modulus,
+            dst2: Some((rm.carry, BitOp::Xor)),
+            shift: None,
+            pred: PredMode::Always,
+        })?;
+        self.resolve_pair(ctl, rm.carry, rm.t_carry)?;
+        self.exec(ctl, Instruction::Check { src: rm.carry, bit: (self.bitwidth - 1) as u16 })?;
+        if let Some((stride_log2, phase)) = final_mask {
+            self.exec(ctl, Instruction::MaskTiles { stride_log2, phase })?;
+        }
+        self.exec(ctl, Instruction::Unary { dst, src: rm.t_sum, kind: UnaryKind::Copy, pred: PredMode::IfSet })?;
+        self.exec(ctl, Instruction::Unary { dst, src: rm.carry, kind: UnaryKind::Copy, pred: PredMode::IfClear })?;
+        if final_mask.is_some() {
+            self.exec(ctl, Instruction::MaskAll)?;
+        }
+        Ok(())
+    }
+
+    /// `dst ← (x − y) mod q` for reduced operands, via borrow-save
+    /// subtraction (`s = x ⊕ y`, `b = ¬x ∧ y`, iterated) with an MSB sign
+    /// test and a predicated `+q` fix-up. Same masking contract and row
+    /// clobbers as [`Self::add_mod`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator faults.
+    pub fn sub_mod(
+        &self,
+        ctl: &mut Controller,
+        dst: RowAddr,
+        x: RowAddr,
+        y: RowAddr,
+        final_mask: Option<(u8, bool)>,
+    ) -> Result<(), BpNttError> {
+        let rm = &self.rm;
+        // s0 = x ⊕ y; b0 = ¬x ∧ y = (x ⊕ y) ∧ y.
+        self.exec(ctl, Instruction::Binary {
+            dst: rm.t_sum,
+            op: BitOp::Xor,
+            src0: x,
+            src1: y,
+            dst2: None,
+            shift: None,
+            pred: PredMode::Always,
+        })?;
+        self.exec(ctl, Instruction::Binary {
+            dst: rm.t_carry,
+            op: BitOp::And,
+            src0: rm.t_sum,
+            src1: y,
+            dst2: None,
+            shift: None,
+            pred: PredMode::Always,
+        })?;
+        // Borrow resolution: value = s − 2b. Rounds alternate the `s` row
+        // between t_sum and carry to stay within the row budget.
+        let mut s_cur = rm.t_sum;
+        let mut s_other = rm.carry;
+        for _ in 0..=self.bitwidth {
+            self.exec(ctl, Instruction::CheckZero { src: rm.t_carry })?;
+            if ctl.zero_flag() {
+                break;
+            }
+            self.exec(ctl, Instruction::Shift {
+                dst: rm.t_carry,
+                src: rm.t_carry,
+                dir: ShiftDir::Left,
+                masked: true,
+                pred: PredMode::Always,
+            })?;
+            self.exec(ctl, Instruction::Binary {
+                dst: s_other,
+                op: BitOp::Xor,
+                src0: s_cur,
+                src1: rm.t_carry,
+                dst2: None,
+                shift: None,
+                pred: PredMode::Always,
+            })?;
+            self.exec(ctl, Instruction::Binary {
+                dst: rm.t_carry,
+                op: BitOp::And,
+                src0: s_other,
+                src1: rm.t_carry,
+                dst2: None,
+                shift: None,
+                pred: PredMode::Always,
+            })?;
+            std::mem::swap(&mut s_cur, &mut s_other);
+        }
+        debug_assert!(ctl.zero_flag(), "borrow resolution must converge within the word width");
+        if s_cur != rm.t_sum {
+            self.exec(ctl, Instruction::Unary {
+                dst: rm.t_sum,
+                src: rm.carry,
+                kind: UnaryKind::Copy,
+                pred: PredMode::Always,
+            })?;
+        }
+        // Negative ⇔ MSB set (one headroom bit). Add q where negative.
+        self.exec(ctl, Instruction::Check { src: rm.t_sum, bit: (self.bitwidth - 1) as u16 })?;
+        self.exec(ctl, Instruction::Unary { dst: rm.carry, src: rm.carry, kind: UnaryKind::Zero, pred: PredMode::Always })?;
+        self.exec(ctl, Instruction::Unary {
+            dst: rm.carry,
+            src: rm.modulus,
+            kind: UnaryKind::Copy,
+            pred: PredMode::IfSet,
+        })?;
+        self.exec(ctl, Instruction::Binary {
+            dst: rm.t_carry,
+            op: BitOp::And,
+            src0: rm.t_sum,
+            src1: rm.carry,
+            dst2: Some((rm.t_sum, BitOp::Xor)),
+            shift: None,
+            pred: PredMode::Always,
+        })?;
+        self.resolve_pair(ctl, rm.t_sum, rm.t_carry)?;
+        if let Some((stride_log2, phase)) = final_mask {
+            self.exec(ctl, Instruction::MaskTiles { stride_log2, phase })?;
+        }
+        self.exec(ctl, Instruction::Unary { dst, src: rm.t_sum, kind: UnaryKind::Copy, pred: PredMode::Always })?;
+        if final_mask.is_some() {
+            self.exec(ctl, Instruction::MaskAll)?;
+        }
+        Ok(())
+    }
+
+    // ---- butterflies ------------------------------------------------------
+
+    /// Completes a modular multiplication: resolve the accumulator and
+    /// reduce into `[0, q)`; the product ends in `Sum`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator faults.
+    pub fn finish_modmul(&self, ctl: &mut Controller) -> Result<(), BpNttError> {
+        self.resolve(ctl)?;
+        self.cond_sub_q(ctl)
+    }
+
+    /// Cooley–Tukey butterfly with a compile-time twiddle:
+    /// `t = ζ·a[hi]; a[hi] = a[lo] − t; a[lo] = a[lo] + t` (paper
+    /// Algorithm 1 lines 6–8). `zeta_mont = ζ·R mod q`.
+    ///
+    /// Note the *implicit shift*: `a[lo]` and `a[hi]` are combined purely
+    /// by activating their rows — no coefficient ever moves columns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator faults.
+    pub fn ct_butterfly_const(
+        &self,
+        ctl: &mut Controller,
+        lo: RowAddr,
+        hi: RowAddr,
+        zeta_mont: u64,
+    ) -> Result<(), BpNttError> {
+        self.modmul_const(ctl, hi, zeta_mont)?;
+        self.finish_modmul(ctl)?;
+        self.sub_mod(ctl, hi, lo, self.rm.sum, None)?;
+        self.add_mod(ctl, lo, lo, self.rm.sum, None)
+    }
+
+    /// Cooley–Tukey butterfly with per-tile twiddles read from the layout's
+    /// twiddle row.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layout has no twiddle row (single-tile layouts use
+    /// [`Self::ct_butterfly_const`]).
+    pub fn ct_butterfly_data(
+        &self,
+        ctl: &mut Controller,
+        lo: RowAddr,
+        hi: RowAddr,
+    ) -> Result<(), BpNttError> {
+        let tw = self.rm.twiddle.expect("data-driven butterfly needs a twiddle row");
+        self.modmul_data(ctl, hi, tw)?;
+        self.finish_modmul(ctl)?;
+        self.sub_mod(ctl, hi, lo, self.rm.sum, None)?;
+        self.add_mod(ctl, lo, lo, self.rm.sum, None)
+    }
+
+    /// Gentleman–Sande butterfly with a compile-time inverse twiddle:
+    /// `u = a[lo]; v = a[hi]; a[lo] = u + v; a[hi] = ζ⁻¹·(u − v)`.
+    /// `inv_zeta_mont = ζ⁻¹·R mod q`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator faults.
+    pub fn gs_butterfly_const(
+        &self,
+        ctl: &mut Controller,
+        lo: RowAddr,
+        hi: RowAddr,
+        inv_zeta_mont: u64,
+    ) -> Result<(), BpNttError> {
+        let rm = &self.rm;
+        self.sub_mod(ctl, rm.sum, lo, hi, None)?;
+        self.add_mod(ctl, lo, lo, hi, None)?;
+        self.exec(ctl, Instruction::Unary { dst: hi, src: rm.sum, kind: UnaryKind::Copy, pred: PredMode::Always })?;
+        self.modmul_const(ctl, hi, inv_zeta_mont)?;
+        self.finish_modmul(ctl)?;
+        self.exec(ctl, Instruction::Unary { dst: hi, src: rm.sum, kind: UnaryKind::Copy, pred: PredMode::Always })
+    }
+
+    /// Gentleman–Sande butterfly with per-tile inverse twiddles.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layout has no twiddle/scratch rows.
+    pub fn gs_butterfly_data(
+        &self,
+        ctl: &mut Controller,
+        lo: RowAddr,
+        hi: RowAddr,
+    ) -> Result<(), BpNttError> {
+        let rm = &self.rm;
+        let tw = rm.twiddle.expect("data-driven butterfly needs a twiddle row");
+        let scratch = rm.scratch.expect("data-driven GS butterfly needs the scratch row");
+        self.sub_mod(ctl, rm.sum, lo, hi, None)?;
+        self.add_mod(ctl, lo, lo, hi, None)?;
+        self.exec(ctl, Instruction::Unary { dst: scratch, src: rm.sum, kind: UnaryKind::Copy, pred: PredMode::Always })?;
+        self.modmul_data(ctl, scratch, tw)?;
+        self.finish_modmul(ctl)?;
+        self.exec(ctl, Instruction::Unary { dst: hi, src: rm.sum, kind: UnaryKind::Copy, pred: PredMode::Always })
+    }
+
+    /// Multiplies a coefficient row by a compile-time constant in place:
+    /// `row ← c·row·R⁻¹ mod q` (used for the inverse transform's `N⁻¹`
+    /// scaling; pass `c = k·R mod q` to realize `row ← k·row`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator faults.
+    pub fn scale_const(
+        &self,
+        ctl: &mut Controller,
+        row: RowAddr,
+        c: u64,
+    ) -> Result<(), BpNttError> {
+        self.modmul_const(ctl, row, c)?;
+        self.finish_modmul(ctl)?;
+        self.exec(ctl, Instruction::Unary {
+            dst: row,
+            src: self.rm.sum,
+            kind: UnaryKind::Copy,
+            pred: PredMode::Always,
+        })
+    }
+
+    /// Moves `src` into `dst` shifted by `d_tiles` whole tiles (global
+    /// shifts; `d_tiles × bitwidth` cycles — the cross-tile alignment cost
+    /// of Fig. 8(b)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator faults.
+    pub fn move_tiles(
+        &self,
+        ctl: &mut Controller,
+        dst: RowAddr,
+        src: RowAddr,
+        d_tiles: usize,
+        dir: ShiftDir,
+    ) -> Result<(), BpNttError> {
+        let steps = d_tiles * self.bitwidth;
+        for k in 0..steps {
+            let from = if k == 0 { src } else { dst };
+            self.exec(ctl, Instruction::Shift {
+                dst,
+                src: from,
+                dir,
+                masked: false,
+                pred: PredMode::Always,
+            })?;
+        }
+        Ok(())
+    }
+
+    /// The modulus this emitter was built for.
+    #[must_use]
+    pub fn modulus(&self) -> u64 {
+        self.q
+    }
+
+    /// The word width in bits.
+    #[must_use]
+    pub fn bitwidth(&self) -> usize {
+        self.bitwidth
+    }
+}

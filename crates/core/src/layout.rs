@@ -1,0 +1,325 @@
+//! Tile-based data layout (paper §IV-B, Fig. 5(a)).
+//!
+//! The array is split into `⌊cols / bitwidth⌋` tiles; each tile's rows hold
+//! one coefficient per row with the word laid out across the tile's
+//! bitlines. Because all coefficients of a polynomial share their tile's
+//! bitlines, a butterfly selects its two operands purely by row address —
+//! the paper's *implicit (costless) shift*.
+//!
+//! Two regimes:
+//!
+//! * **Single-tile** (`N ≤ rows − 6`): one polynomial per tile, so the
+//!   layout processes `n_tiles` independent NTTs in SIMD. Six non-data rows
+//!   are reserved — `Sum`, `Carry`, two half-adder temporaries, the modulus
+//!   row `M`, and its two's-complement companion `2^w − M` — exactly the
+//!   paper's "250 rows for coefficients and 6 rows for intermediate
+//!   variables" on a 256-row array.
+//! * **Multi-tile** (`N > rows − 6`): one polynomial spans
+//!   `N / coeffs_per_tile` adjacent tiles, where `coeffs_per_tile` is a
+//!   power of two so that every Cooley–Tukey stage pairs tiles at a uniform
+//!   distance (SIMD across blocks). Two further rows are reserved: a
+//!   cross-tile staging row and a per-tile twiddle row (stages then use the
+//!   data-driven multiplier path). Cross-tile alignment costs
+//!   `distance × bitwidth` one-bit shifts — the extra shift overhead that
+//!   drives Fig. 8(b).
+
+use crate::error::BpNttError;
+use bpntt_sram::RowAddr;
+
+/// Reserved (non-coefficient) rows of the layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowMap {
+    /// Carry-save accumulator: bitwise sum word.
+    pub sum: RowAddr,
+    /// Carry-save accumulator: carry word.
+    pub carry: RowAddr,
+    /// Half-adder temporary (the `c1`/`c2`/`c3` of Algorithm 2).
+    pub t_carry: RowAddr,
+    /// Half-adder temporary (the `s1`/`s2` of Algorithm 2).
+    pub t_sum: RowAddr,
+    /// Constant row holding the modulus `M` replicated in every tile.
+    pub modulus: RowAddr,
+    /// Constant row holding `2^bitwidth − M` (two's-complement companion,
+    /// used by the conditional subtraction).
+    pub comp_modulus: RowAddr,
+    /// Cross-tile staging row (multi-tile layouts only).
+    pub scratch: Option<RowAddr>,
+    /// Per-tile twiddle operand row (multi-tile layouts only).
+    pub twiddle: Option<RowAddr>,
+}
+
+/// The derived data layout for one configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layout {
+    rows: usize,
+    cols: usize,
+    bitwidth: usize,
+    n: usize,
+    n_tiles: usize,
+    coeffs_per_tile: usize,
+    tiles_per_poly: usize,
+    lanes: usize,
+    rowmap: RowMap,
+}
+
+impl Layout {
+    /// Derives the layout for an `n`-point polynomial on a `rows × cols`
+    /// array with `bitwidth`-bit tiles.
+    ///
+    /// # Errors
+    ///
+    /// [`BpNttError::CapacityExceeded`] when the polynomial cannot fit,
+    /// [`BpNttError::ArrayTooNarrow`] when not even one tile fits.
+    pub fn new(rows: usize, cols: usize, bitwidth: usize, n: usize) -> Result<Self, BpNttError> {
+        let n_tiles = cols / bitwidth;
+        if n_tiles == 0 {
+            return Err(BpNttError::ArrayTooNarrow { cols, bitwidth });
+        }
+        let single_tile_capacity = rows.saturating_sub(6);
+        let top = rows as u16;
+        let base_map = RowMap {
+            sum: RowAddr(top - 1),
+            carry: RowAddr(top - 2),
+            t_carry: RowAddr(top - 3),
+            t_sum: RowAddr(top - 4),
+            modulus: RowAddr(top - 5),
+            comp_modulus: RowAddr(top - 6),
+            scratch: None,
+            twiddle: None,
+        };
+        if n <= single_tile_capacity {
+            return Ok(Layout {
+                rows,
+                cols,
+                bitwidth,
+                n,
+                n_tiles,
+                coeffs_per_tile: n,
+                tiles_per_poly: 1,
+                lanes: n_tiles,
+                rowmap: base_map,
+            });
+        }
+        // Multi-tile: reserve 8 rows, power-of-two coefficients per tile.
+        let usable = rows.saturating_sub(8);
+        if usable == 0 {
+            return Err(BpNttError::CapacityExceeded { n, capacity: 0 });
+        }
+        let coeffs_per_tile = prev_power_of_two(usable);
+        let tiles_per_poly = n.div_ceil(coeffs_per_tile);
+        if !n.is_multiple_of(coeffs_per_tile) || tiles_per_poly > n_tiles {
+            return Err(BpNttError::CapacityExceeded { n, capacity: coeffs_per_tile * n_tiles });
+        }
+        let rowmap = RowMap {
+            scratch: Some(RowAddr(top - 7)),
+            twiddle: Some(RowAddr(top - 8)),
+            ..base_map
+        };
+        Ok(Layout {
+            rows,
+            cols,
+            bitwidth,
+            n,
+            n_tiles,
+            coeffs_per_tile,
+            tiles_per_poly,
+            lanes: n_tiles / tiles_per_poly,
+            rowmap,
+        })
+    }
+
+    /// Array height.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Physical columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Tile width = coefficient bit width.
+    #[must_use]
+    pub fn bitwidth(&self) -> usize {
+        self.bitwidth
+    }
+
+    /// Polynomial order.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of tiles, `⌊cols / bitwidth⌋`.
+    #[must_use]
+    pub fn n_tiles(&self) -> usize {
+        self.n_tiles
+    }
+
+    /// Columns actually occupied by tiles (`n_tiles × bitwidth`); the
+    /// remainder of the physical row is unused, as in the paper's
+    /// "`n` tiles with `⌊256/n⌋`-bit coefficients".
+    #[must_use]
+    pub fn active_cols(&self) -> usize {
+        self.n_tiles * self.bitwidth
+    }
+
+    /// Coefficients stored per tile.
+    #[must_use]
+    pub fn coeffs_per_tile(&self) -> usize {
+        self.coeffs_per_tile
+    }
+
+    /// Tiles spanned by one polynomial (1 in the single-tile regime).
+    #[must_use]
+    pub fn tiles_per_poly(&self) -> usize {
+        self.tiles_per_poly
+    }
+
+    /// Independent polynomials processed in parallel.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// True when one polynomial spans several tiles.
+    #[must_use]
+    pub fn is_multi_tile(&self) -> bool {
+        self.tiles_per_poly > 1
+    }
+
+    /// The reserved-row map.
+    #[must_use]
+    pub fn rowmap(&self) -> &RowMap {
+        &self.rowmap
+    }
+
+    /// Number of reserved (non-coefficient) rows: 6 in the single-tile
+    /// regime (matching the paper's Fig. 5(a)), 8 when cross-tile staging
+    /// and per-tile twiddles are needed.
+    #[must_use]
+    pub fn reserved_rows(&self) -> usize {
+        if self.is_multi_tile() {
+            8
+        } else {
+            6
+        }
+    }
+
+    /// The `(tile, row)` holding coefficient `j` of lane `lane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` or `j` exceed the layout (internal callers iterate
+    /// within bounds).
+    #[must_use]
+    pub fn coeff_position(&self, lane: usize, j: usize) -> (usize, RowAddr) {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        assert!(j < self.n, "coefficient {j} out of range");
+        let tile = lane * self.tiles_per_poly + j / self.coeffs_per_tile;
+        let row = j % self.coeffs_per_tile;
+        (tile, RowAddr(row as u16))
+    }
+
+    /// The row shared by coefficient offset `r` in every tile (multi-tile
+    /// schedules operate on whole rows).
+    #[must_use]
+    pub fn offset_row(&self, r: usize) -> RowAddr {
+        debug_assert!(r < self.coeffs_per_tile);
+        RowAddr(r as u16)
+    }
+
+    /// Storage capacity in points for a whole array at this bit width if
+    /// used purely as coefficient storage (the paper's headline claims:
+    /// 250-point × 256-bit or 4500-point × 14-bit for one 256×256 array).
+    #[must_use]
+    pub fn storage_capacity(rows: usize, cols: usize, bitwidth: usize) -> usize {
+        (cols / bitwidth) * rows.saturating_sub(6)
+    }
+}
+
+fn prev_power_of_two(x: usize) -> usize {
+    debug_assert!(x > 0);
+    1usize << (usize::BITS - 1 - x.leading_zeros())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_capacity_claims() {
+        // "a single 256×256 SRAM subarray … up to a 250-point polynomial
+        //  with 256-bit coefficients or a 4500-point polynomial with 14-bit
+        //  coefficients"
+        assert_eq!(Layout::storage_capacity(256, 256, 256), 250);
+        assert_eq!(Layout::storage_capacity(256, 256, 14), 18 * 250);
+        assert_eq!(Layout::storage_capacity(256, 256, 14), 4500);
+        // And the PQC/HE requirements from the introduction fit:
+        assert!(Layout::storage_capacity(256, 256, 32) >= 1024);
+        assert!(Layout::storage_capacity(256, 256, 16) >= 1024);
+    }
+
+    #[test]
+    fn single_tile_layout_matches_fig5a() {
+        // Fig. 5(a): eight 32-bit tiles, 250 coefficient rows, 6 reserved.
+        let l = Layout::new(256, 256, 32, 128).unwrap();
+        assert_eq!(l.n_tiles(), 8);
+        assert_eq!(l.lanes(), 8);
+        assert_eq!(l.reserved_rows(), 6);
+        assert!(!l.is_multi_tile());
+        let (tile, row) = l.coeff_position(3, 17);
+        assert_eq!((tile, row.index()), (3, 17));
+        // Reserved rows sit at the top of the array.
+        assert_eq!(l.rowmap().sum.index(), 255);
+        assert_eq!(l.rowmap().comp_modulus.index(), 250);
+        assert_eq!(l.rowmap().scratch, None);
+    }
+
+    #[test]
+    fn max_single_tile_order_uses_all_rows() {
+        let l = Layout::new(256, 256, 16, 250).unwrap();
+        assert!(!l.is_multi_tile());
+        assert_eq!(l.coeffs_per_tile(), 250);
+        let (_, row) = l.coeff_position(0, 249);
+        assert_eq!(row.index(), 249);
+    }
+
+    #[test]
+    fn multi_tile_layout_for_large_orders() {
+        // 1024-point, 16-bit on 256×256: 128 coefficients per tile,
+        // 8 tiles per polynomial, 2 lanes.
+        let l = Layout::new(256, 256, 16, 1024).unwrap();
+        assert!(l.is_multi_tile());
+        assert_eq!(l.coeffs_per_tile(), 128);
+        assert_eq!(l.tiles_per_poly(), 8);
+        assert_eq!(l.lanes(), 2);
+        assert_eq!(l.reserved_rows(), 8);
+        assert!(l.rowmap().scratch.is_some());
+        let (tile, row) = l.coeff_position(1, 300);
+        assert_eq!(tile, 8 + 2); // lane 1 starts at tile 8; 300/128 = 2
+        assert_eq!(row.index(), 300 - 2 * 128);
+    }
+
+    #[test]
+    fn capacity_errors() {
+        // 4096-point 16-bit needs 32 tiles of 128 — only 16 exist.
+        assert!(matches!(
+            Layout::new(256, 256, 16, 4096),
+            Err(BpNttError::CapacityExceeded { .. })
+        ));
+        // Fits at 8-bit width (32 tiles).
+        assert!(Layout::new(256, 256, 8, 4096).is_ok());
+    }
+
+    #[test]
+    fn prev_power_of_two_works() {
+        assert_eq!(prev_power_of_two(1), 1);
+        assert_eq!(prev_power_of_two(2), 2);
+        assert_eq!(prev_power_of_two(3), 2);
+        assert_eq!(prev_power_of_two(248), 128);
+        assert_eq!(prev_power_of_two(256), 256);
+    }
+}

@@ -1,0 +1,144 @@
+//! Performance metrics in the units of the paper's Table I.
+
+use bpntt_sram::geometry::{AreaModel, ArrayGeometry, FrequencyModel};
+use bpntt_sram::Stats;
+use std::fmt;
+
+/// A Table-I-style performance report for one accelerator run.
+///
+/// Conventions follow the paper: *latency* is the wall-clock time of one
+/// batch (all lanes run in SIMD), *throughput* counts every NTT in the
+/// batch, *energy* is the whole-array energy of the batch, and the two
+/// efficiency metrics are throughput per mm² and throughput per milliwatt
+/// (equivalently kNTT per mJ).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfReport {
+    /// Array geometry the run used.
+    pub geometry: ArrayGeometry,
+    /// Clock frequency from the frequency model (Hz).
+    pub f_hz: f64,
+    /// Simulated compute cycles for the batch.
+    pub cycles: u64,
+    /// Independent NTTs in the batch (lanes actually used).
+    pub batch: usize,
+    /// Batch latency in seconds.
+    pub latency_s: f64,
+    /// Throughput in NTT/s.
+    pub throughput: f64,
+    /// Whole-array batch energy in nanojoules.
+    pub energy_nj: f64,
+    /// Energy attributable to one NTT (nJ).
+    pub energy_per_ntt_nj: f64,
+    /// Average power in watts.
+    pub power_w: f64,
+    /// Array area in mm² (including the compute modifications).
+    pub area_mm2: f64,
+    /// Throughput per area, kNTT/s/mm².
+    pub tput_per_area: f64,
+    /// Throughput per power, kNTT/mJ (= kNTT/s per mW).
+    pub tput_per_power: f64,
+}
+
+impl PerfReport {
+    /// Derives a report from simulator statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero or the stats carry no cycles.
+    #[must_use]
+    pub fn from_stats(
+        stats: &Stats,
+        batch: usize,
+        geometry: ArrayGeometry,
+        area: &AreaModel,
+        freq: &FrequencyModel,
+    ) -> Self {
+        assert!(batch > 0, "batch must be nonzero");
+        assert!(stats.cycles > 0, "run produced no cycles");
+        let f_hz = freq.f_max_hz(geometry);
+        let latency_s = stats.cycles as f64 / f_hz;
+        let throughput = batch as f64 / latency_s;
+        let energy_nj = stats.energy_nj();
+        let power_w = energy_nj * 1e-9 / latency_s;
+        let area_mm2 = area.breakdown(geometry).total_mm2();
+        PerfReport {
+            geometry,
+            f_hz,
+            cycles: stats.cycles,
+            batch,
+            latency_s,
+            throughput,
+            energy_nj,
+            energy_per_ntt_nj: energy_nj / batch as f64,
+            power_w,
+            area_mm2,
+            tput_per_area: throughput / 1e3 / area_mm2,
+            tput_per_power: throughput / 1e3 / (power_w * 1e3),
+        }
+    }
+
+    /// Latency in microseconds (the paper's unit).
+    #[must_use]
+    pub fn latency_us(&self) -> f64 {
+        self.latency_s * 1e6
+    }
+
+    /// Throughput in kNTT/s (the paper's unit).
+    #[must_use]
+    pub fn throughput_kntt_s(&self) -> f64 {
+        self.throughput / 1e3
+    }
+}
+
+impl fmt::Display for PerfReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "array:        {}×{} @ {:.2} GHz", self.geometry.rows, self.geometry.cols, self.f_hz / 1e9)?;
+        writeln!(f, "batch:        {} NTTs in {} cycles", self.batch, self.cycles)?;
+        writeln!(f, "latency:      {:.2} µs", self.latency_us())?;
+        writeln!(f, "throughput:   {:.1} kNTT/s", self.throughput_kntt_s())?;
+        writeln!(f, "energy:       {:.1} nJ/batch ({:.2} nJ/NTT)", self.energy_nj, self.energy_per_ntt_nj)?;
+        writeln!(f, "power:        {:.3} mW", self.power_w * 1e3)?;
+        writeln!(f, "area:         {:.4} mm²", self.area_mm2)?;
+        writeln!(f, "tput/area:    {:.1} kNTT/s/mm²", self.tput_per_area)?;
+        write!(f, "tput/power:   {:.1} kNTT/mJ", self.tput_per_power)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions_are_consistent() {
+        let stats = Stats { cycles: 380_000, energy_pj: 69_400.0, ..Default::default() };
+        let geom = ArrayGeometry::paper_256x256();
+        let r = PerfReport::from_stats(
+            &stats,
+            16,
+            geom,
+            &AreaModel::cmos_45nm(),
+            &FrequencyModel::cmos_45nm(),
+        );
+        // 380k cycles at ~3.8 GHz ≈ 100 µs.
+        assert!((r.latency_us() - 100.0).abs() < 2.0);
+        // throughput = batch / latency.
+        assert!((r.throughput - 16.0 / r.latency_s).abs() < 1e-6);
+        // TP(kNTT/mJ) = 1 / (energy per NTT in mJ) / 1000.
+        let tp_expect = 1.0 / (r.energy_per_ntt_nj * 1e-6) / 1e3;
+        assert!((r.tput_per_power - tp_expect).abs() / tp_expect < 1e-9);
+        assert!(r.tput_per_area > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch must be nonzero")]
+    fn zero_batch_rejected() {
+        let stats = Stats { cycles: 1, ..Default::default() };
+        let _ = PerfReport::from_stats(
+            &stats,
+            0,
+            ArrayGeometry::paper_256x256(),
+            &AreaModel::cmos_45nm(),
+            &FrequencyModel::cmos_45nm(),
+        );
+    }
+}

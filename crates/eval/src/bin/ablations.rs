@@ -1,0 +1,6 @@
+//! Ablation studies: bit-serial vs bit-parallel, shift accounting,
+//! column packing, timing sensitivity.
+
+fn main() {
+    println!("{}", bpntt_eval::ablation::render_all().expect("simulation failed"));
+}

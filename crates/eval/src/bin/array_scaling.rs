@@ -1,0 +1,8 @@
+//! The remark under Fig. 8(b): larger subarrays avoid cross-tile overhead.
+
+fn main() {
+    let pts = bpntt_eval::fig8::array_scaling(&[(128, 128), (262, 256), (512, 512), (1024, 256)])
+        .expect("simulation failed");
+    println!("array-size scaling at the 256-point / 16-bit workload\n");
+    println!("{}", bpntt_eval::fig8::render(&pts));
+}

@@ -1,0 +1,35 @@
+//! Runs every experiment in order (source for EXPERIMENTS.md).
+
+fn main() {
+    println!("################ Table I ################\n");
+    let rows = bpntt_eval::table1::build().expect("table1");
+    println!("{}", bpntt_eval::table1::render(&rows));
+
+    println!("\n################ Fig. 1 (roofline) ################\n");
+    let machine = bpntt_eval::roofline::Machine::typical_x86();
+    let params = bpntt_ntt::NttParams::dilithium().unwrap();
+    let points = bpntt_eval::roofline::ntt_kernel_points(&params, &machine);
+    println!("{}", bpntt_eval::roofline::render(&points, &machine));
+
+    println!("\n################ Fig. 7 (footprint) ################\n");
+    println!("{}", bpntt_eval::fig7::render(128, 32));
+
+    println!("\n################ Fig. 8(a) (bit width) ################\n");
+    let pts = bpntt_eval::fig8::fig8a(&[4, 8, 16, 32, 64]).expect("fig8a");
+    println!("{}", bpntt_eval::fig8::render(&pts));
+
+    println!("\n################ Fig. 8(b) (order) ################\n");
+    let pts = bpntt_eval::fig8::fig8b(&[16, 32, 64, 128, 256, 512, 1024, 2048]).expect("fig8b");
+    println!("{}", bpntt_eval::fig8::render(&pts));
+
+    println!("\n################ array scaling ################\n");
+    let pts = bpntt_eval::fig8::array_scaling(&[(128, 128), (262, 256), (512, 512)]).expect("scal");
+    println!("{}", bpntt_eval::fig8::render(&pts));
+
+    println!("\n################ ablations ################\n");
+    println!("{}", bpntt_eval::ablation::render_all().expect("ablations"));
+
+    println!("\n################ claim checks ################\n");
+    let claims = bpntt_eval::claims::check_all().expect("claims");
+    println!("{}", bpntt_eval::claims::render(&claims));
+}

@@ -1,0 +1,10 @@
+//! Regenerates Fig. 7: memory footprint of in-memory NTT layouts.
+
+fn main() {
+    println!("Fig. 7 — 32-bit, 128-point NTT footprint\n");
+    println!("{}", bpntt_eval::fig7::render(128, 32));
+    println!("other configurations:\n");
+    for (n, w) in [(256usize, 16usize), (1024, 29)] {
+        println!("{n}-point, {w}-bit:\n{}", bpntt_eval::fig7::render(n, w));
+    }
+}

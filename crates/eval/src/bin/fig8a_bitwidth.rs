@@ -1,0 +1,9 @@
+//! Regenerates Fig. 8(a): clock count & energy vs coefficient bit width
+//! (order 256, 262×256 array). Widths start at 4: a 2-bit word cannot hold
+//! any odd modulus with the required headroom bit.
+
+fn main() {
+    let pts = bpntt_eval::fig8::fig8a(&[4, 8, 16, 32, 64]).expect("simulation failed");
+    println!("Fig. 8(a) — bit-width sweep at order 256\n");
+    println!("{}", bpntt_eval::fig8::render(&pts));
+}

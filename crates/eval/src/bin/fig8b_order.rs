@@ -1,0 +1,9 @@
+//! Regenerates Fig. 8(b): clock count & energy vs polynomial order
+//! (16-bit, q = 12289, 262×256 array).
+
+fn main() {
+    let pts = bpntt_eval::fig8::fig8b(&[16, 32, 64, 128, 256, 512, 1024, 2048])
+        .expect("simulation failed");
+    println!("Fig. 8(b) — polynomial-order sweep at 16-bit\n");
+    println!("{}", bpntt_eval::fig8::render(&pts));
+}

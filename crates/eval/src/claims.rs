@@ -1,0 +1,253 @@
+//! Claim checks: every quantitative statement of the paper, re-verified
+//! against this reproduction with explicit pass bands.
+
+use crate::ablation;
+use crate::fig8;
+use crate::table1;
+use bpntt_baselines::footprint;
+use bpntt_core::{BpNttError, Layout};
+use bpntt_modmath::bitparallel;
+use bpntt_sram::geometry::{AreaModel, ArrayGeometry, FrequencyModel};
+
+/// One checked claim.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClaimCheck {
+    /// Short identifier (section/figure of the paper).
+    pub id: &'static str,
+    /// What the paper claims.
+    pub description: &'static str,
+    /// The paper's value.
+    pub paper: String,
+    /// Our measured/derived value.
+    pub measured: String,
+    /// Whether the measurement falls inside the reproduction band.
+    pub pass: bool,
+}
+
+fn check(id: &'static str, description: &'static str, paper: String, measured: String, pass: bool) -> ClaimCheck {
+    ClaimCheck { id, description, paper, measured, pass }
+}
+
+/// Runs every claim check. The Table-I claims simulate the full paper
+/// design point, so expect a few hundred thousand simulated instructions.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn check_all() -> Result<Vec<ClaimCheck>, BpNttError> {
+    let mut out = Vec::new();
+
+    // Fig. 6 worked example.
+    let trace = bitparallel::bp_modmul_traced(4, 3, 7, 3);
+    out.push(check(
+        "Fig6",
+        "A=4, B=3, M=7 bit-parallel Montgomery gives 5",
+        "5".into(),
+        trace.value().to_string(),
+        trace.value() == 5,
+    ));
+
+    // §I capacity claims.
+    let c256 = Layout::storage_capacity(256, 256, 256);
+    let c14 = Layout::storage_capacity(256, 256, 14);
+    out.push(check(
+        "§I",
+        "256×256 array stores a 250-point/256-bit polynomial",
+        "250".into(),
+        c256.to_string(),
+        c256 == 250,
+    ));
+    out.push(check(
+        "§I",
+        "256×256 array stores a 4500-point/14-bit polynomial",
+        "4500".into(),
+        c14.to_string(),
+        c14 == 4500,
+    ));
+
+    // §IV-B reserved rows.
+    let l = Layout::new(256, 256, 32, 128)?;
+    out.push(check(
+        "Fig5a",
+        "six intermediate rows per array (Sum, Carry, 2 temps, M, 2^w−M)",
+        "6".into(),
+        l.reserved_rows().to_string(),
+        l.reserved_rows() == 6,
+    ));
+
+    // §IV-A area/frequency.
+    let geom = ArrayGeometry::paper_256x256();
+    let b = AreaModel::cmos_45nm().breakdown(geom);
+    out.push(check(
+        "TableI",
+        "array area ≈ 0.063 mm² at 45 nm",
+        "0.063".into(),
+        format!("{:.4}", b.total_mm2()),
+        (b.total_mm2() - 0.063).abs() < 0.004,
+    ));
+    out.push(check(
+        "§IV-A",
+        "compute modifications < 2% of a conventional array",
+        "<2%".into(),
+        format!("{:.2}%", b.overhead_fraction() * 100.0),
+        b.overhead_fraction() < 0.02,
+    ));
+    let fhz = FrequencyModel::cmos_45nm().f_max_hz(geom);
+    out.push(check(
+        "TableI",
+        "maximum clock ≈ 3.8 GHz",
+        "3.8 GHz".into(),
+        format!("{:.2} GHz", fhz / 1e9),
+        (fhz - 3.8e9).abs() / 3.8e9 < 0.02,
+    ));
+
+    // Table I measured BP-NTT row.
+    let mp = table1::bp_ntt_16bit()?;
+    let r = &mp.report;
+    out.push(check(
+        "TableI",
+        "batch latency for 16 × 256-point/16-bit NTTs",
+        "61.9 µs".into(),
+        format!("{:.1} µs", r.latency_us()),
+        r.latency_us() > 30.0 && r.latency_us() < 124.0,
+    ));
+    out.push(check(
+        "TableI",
+        "batch energy",
+        "69.4 nJ".into(),
+        format!("{:.1} nJ", r.energy_nj),
+        (r.energy_nj - 69.4).abs() / 69.4 < 0.25,
+    ));
+    out.push(check(
+        "TableI",
+        "throughput per power",
+        "230.7 kNTT/mJ".into(),
+        format!("{:.1} kNTT/mJ", r.tput_per_power),
+        (r.tput_per_power - 230.7).abs() / 230.7 < 0.25,
+    ));
+    out.push(check(
+        "TableI",
+        "throughput per area",
+        "4100 kNTT/s/mm²".into(),
+        format!("{:.0} kNTT/s/mm²", r.tput_per_area),
+        r.tput_per_area > 2050.0 && r.tput_per_area < 8200.0,
+    ));
+
+    // Abstract headline ratios, recomputed from the measured row.
+    let (tp_min, tp_max, ta_asic) = table1::headline_ratios(&mp.spec);
+    out.push(check(
+        "Abstract",
+        "10–138× better throughput-per-power than in-memory/ASIC designs",
+        "10–138×".into(),
+        format!("{tp_min:.1}–{tp_max:.1}×"),
+        tp_min > 7.0 && (100.0..200.0).contains(&tp_max),
+    ));
+    out.push(check(
+        "Abstract",
+        "up to ≈29× higher throughput-per-area than ASICs",
+        "29×".into(),
+        format!("{ta_asic:.1}×"),
+        ta_asic > 14.0 && ta_asic < 40.0,
+    ));
+
+    // §IV-D packing.
+    let (lanes_n, lanes_n1, loss) = ablation::packing_loss(256, 32);
+    out.push(check(
+        "§IV-D",
+        "n+1 columns would cost 12.5% throughput (7 vs 8 parallel 32-bit words)",
+        "12.5%".into(),
+        format!("{:.1}% ({lanes_n} vs {lanes_n1} lanes)", loss * 100.0),
+        (loss - 0.125).abs() < 1e-9,
+    ));
+
+    // §I/§IV-B shifts halved.
+    let s = ablation::shift_accounting(262, 256, 16, 256, 12_289)?;
+    out.push(check(
+        "§I",
+        "tile layout halves the shifts of word-aligned in-SRAM NTT",
+        "≈2×".into(),
+        format!("{:.2}×", s.ratio),
+        s.ratio > 1.4 && s.ratio < 3.0,
+    ));
+
+    // Fig. 7 footprints.
+    let f7 = footprint::fig7(128, 32);
+    let cells: Vec<usize> = f7.iter().map(footprint::Footprint::cells).collect();
+    out.push(check(
+        "Fig7",
+        "footprint cells: BP-NTT 4288, MeNTT 16640, RM-NTT 524288",
+        "4288/16640/524288".into(),
+        format!("{}/{}/{}", cells[0], cells[1], cells[2]),
+        cells == vec![4288, 16_640, 524_288],
+    ));
+
+    // Fig. 8 trends.
+    let a = fig8::fig8a(&[4, 16, 64])?;
+    let cycle_growth = a[2].cycles as f64 / a[0].cycles as f64;
+    let energy_growth = a[2].energy_per_ntt_nj / a[0].energy_per_ntt_nj;
+    out.push(check(
+        "Fig8a",
+        "clock count and energy grow with bit width; energy grows steeper",
+        "monotonic, energy steeper".into(),
+        format!("cycles ×{cycle_growth:.1}, energy/NTT ×{energy_growth:.1}"),
+        a[0].cycles < a[1].cycles && a[1].cycles < a[2].cycles && energy_growth > cycle_growth,
+    ));
+    let bpts = fig8::fig8b(&[128, 256, 512])?;
+    let per_ntt = |p: &fig8::SweepPoint| p.cycles as f64 / p.lanes as f64;
+    let within = per_ntt(&bpts[1]) / per_ntt(&bpts[0]);
+    let crossing = per_ntt(&bpts[2]) / per_ntt(&bpts[1]);
+    out.push(check(
+        "Fig8b",
+        "per-NTT cost rises steeply once a polynomial spans tiles",
+        "steeper past capacity".into(),
+        format!("×{within:.2} per doubling in-capacity, ×{crossing:.2} crossing capacity"),
+        crossing > 1.2 * within,
+    ));
+
+    Ok(out)
+}
+
+/// Renders the claim table.
+#[must_use]
+pub fn render(claims: &[ClaimCheck]) -> String {
+    let mut t = crate::render::Table::new(vec!["", "id", "claim", "paper", "measured"]);
+    for c in claims {
+        t.push_row(vec![
+            if c.pass { "PASS".to_string() } else { "FAIL".to_string() },
+            c.id.to_string(),
+            c.description.to_string(),
+            c.paper.clone(),
+            c.measured.clone(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cheap_claims_pass() {
+        // The non-simulating subset (capacity, rows, area, frequency,
+        // packing, footprints) must hold exactly.
+        let c256 = Layout::storage_capacity(256, 256, 256);
+        assert_eq!(c256, 250);
+        let b = AreaModel::cmos_45nm().breakdown(ArrayGeometry::paper_256x256());
+        assert!(b.overhead_fraction() < 0.02);
+        let (_, _, loss) = ablation::packing_loss(256, 32);
+        assert!((loss - 0.125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_marks_passes() {
+        let c = vec![ClaimCheck {
+            id: "X",
+            description: "demo",
+            paper: "1".into(),
+            measured: "1".into(),
+            pass: true,
+        }];
+        assert!(render(&c).contains("PASS"));
+    }
+}

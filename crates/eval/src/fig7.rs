@@ -1,0 +1,34 @@
+//! Fig. 7: in-memory data-layout footprint comparison.
+
+use crate::render::Table;
+use bpntt_baselines::footprint;
+
+/// Renders the Fig. 7 comparison (default: the paper's 32-bit, 128-point
+/// configuration).
+#[must_use]
+pub fn render(n: usize, bitwidth: usize) -> String {
+    let mut t = Table::new(vec!["design", "rows", "cols", "cells", "vs BP-NTT"]);
+    let prints = footprint::fig7(n, bitwidth);
+    let base = prints[0].cells() as f64;
+    for p in &prints {
+        t.push_row(vec![
+            p.name.to_string(),
+            p.rows.to_string(),
+            p.cols.to_string(),
+            p.cells().to_string(),
+            format!("{:.1}x", p.cells() as f64 / base),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn paper_configuration_renders() {
+        let s = super::render(128, 32);
+        assert!(s.contains("4288"), "BP-NTT cell count");
+        assert!(s.contains("16640"), "MeNTT cell count");
+        assert!(s.contains("524288"), "RM-NTT cell count");
+    }
+}

@@ -1,0 +1,28 @@
+//! Evaluation harness: regenerates every table and figure of the BP-NTT
+//! paper from the simulator and the baseline models.
+//!
+//! | Paper artifact | Module | Binary |
+//! |---|---|---|
+//! | Table I (design comparison) | [`table1`] | `table1` |
+//! | Fig. 1 (roofline) | [`roofline`] | `fig1_roofline` |
+//! | Fig. 6 (worked example) | `bpntt_modmath::bitparallel` | `fig6_trace` |
+//! | Fig. 7 (memory footprint) | [`fig7`] | `fig7_footprint` |
+//! | Fig. 8(a) (bit-width sweep) | [`fig8`] | `fig8a_bitwidth` |
+//! | Fig. 8(b) (order sweep) | [`fig8`] | `fig8b_order` |
+//! | array-size remark under Fig. 8(b) | [`fig8`] | `array_scaling` |
+//! | §IV claims (shifts, packing, overhead) | [`ablation`], [`claims`] | `ablations`, `claims` |
+//!
+//! Every binary prints the same rows/series the paper reports, next to the
+//! paper's printed values where applicable; `EXPERIMENTS.md` archives one
+//! run of each.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod claims;
+pub mod fig7;
+pub mod fig8;
+pub mod render;
+pub mod roofline;
+pub mod table1;

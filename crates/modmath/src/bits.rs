@@ -1,0 +1,143 @@
+//! Bit-manipulation helpers: bit reversal, power-of-two predicates.
+//!
+//! The Cooley–Tukey NTT consumes twiddle factors in *bit-reversed* order and
+//! produces output in bit-reversed order (paper Algorithm 1); these helpers
+//! centralize that logic.
+
+/// Reverses the lowest `bits` bits of `value`.
+///
+/// Bits above position `bits` must be zero; this is debug-asserted.
+///
+/// # Panics
+///
+/// Panics in debug builds if `value >= 2^bits` or `bits > 64`.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(bpntt_modmath::bits::bit_reverse(0b001, 3), 0b100);
+/// assert_eq!(bpntt_modmath::bits::bit_reverse(0b110, 3), 0b011);
+/// ```
+#[inline]
+#[must_use]
+pub fn bit_reverse(value: u64, bits: u32) -> u64 {
+    debug_assert!(bits <= 64);
+    debug_assert!(bits == 64 || value < (1u64 << bits), "value out of range");
+    if bits == 0 {
+        return 0;
+    }
+    value.reverse_bits() >> (64 - bits)
+}
+
+/// Permutes `data` in place into bit-reversed index order.
+///
+/// Applying the permutation twice restores the original order.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two.
+///
+/// # Example
+///
+/// ```
+/// let mut v = vec![0, 1, 2, 3, 4, 5, 6, 7];
+/// bpntt_modmath::bits::bitrev_permute(&mut v);
+/// assert_eq!(v, vec![0, 4, 2, 6, 1, 5, 3, 7]);
+/// ```
+pub fn bitrev_permute<T>(data: &mut [T]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "length {n} is not a power of two");
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = bit_reverse(i as u64, bits) as usize;
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+}
+
+/// Returns `log2(n)` when `n` is a power of two.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(bpntt_modmath::bits::log2_exact(256), Some(8));
+/// assert_eq!(bpntt_modmath::bits::log2_exact(255), None);
+/// ```
+#[inline]
+#[must_use]
+pub fn log2_exact(n: u64) -> Option<u32> {
+    if n.is_power_of_two() {
+        Some(n.trailing_zeros())
+    } else {
+        None
+    }
+}
+
+/// Returns the mask with the lowest `bits` bits set.
+///
+/// `bits` may be 64, in which case the full-word mask is returned.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(bpntt_modmath::bits::low_mask(3), 0b111);
+/// assert_eq!(bpntt_modmath::bits::low_mask(64), u64::MAX);
+/// assert_eq!(bpntt_modmath::bits::low_mask(0), 0);
+/// ```
+#[inline]
+#[must_use]
+pub fn low_mask(bits: u32) -> u64 {
+    debug_assert!(bits <= 64);
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_reverse_is_involutive() {
+        for bits in [1u32, 3, 8, 13, 32, 63] {
+            for v in [0u64, 1, 5, 100].iter().map(|v| v & low_mask(bits)) {
+                assert_eq!(bit_reverse(bit_reverse(v, bits), bits), v);
+            }
+        }
+    }
+
+    #[test]
+    fn bit_reverse_full_width() {
+        assert_eq!(bit_reverse(1, 64), 1u64 << 63);
+        assert_eq!(bit_reverse(0, 0), 0);
+    }
+
+    #[test]
+    fn permute_is_involutive() {
+        let mut v: Vec<u32> = (0..64).collect();
+        let orig = v.clone();
+        bitrev_permute(&mut v);
+        assert_ne!(v, orig);
+        bitrev_permute(&mut v);
+        assert_eq!(v, orig);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a power of two")]
+    fn permute_rejects_non_power_of_two() {
+        let mut v = vec![1, 2, 3];
+        bitrev_permute(&mut v);
+    }
+
+    #[test]
+    fn log2_exact_works() {
+        assert_eq!(log2_exact(1), Some(0));
+        assert_eq!(log2_exact(2), Some(1));
+        assert_eq!(log2_exact(1 << 40), Some(40));
+        assert_eq!(log2_exact(0), None);
+        assert_eq!(log2_exact(3), None);
+    }
+}

@@ -1,0 +1,209 @@
+//! Redundant carry-save arithmetic on `u64` words.
+//!
+//! A carry-save adder keeps a number as a `(Sum, Carry)` pair with value
+//! `Sum + 2·Carry`, so additions touch every bit position independently —
+//! no carry ripple. This is the property BP-NTT exploits: all bit positions
+//! of an SRAM row are processed by the sense amplifiers in the same cycle,
+//! so an addition that would otherwise serialize over the carry chain
+//! completes in a constant number of row activations.
+//!
+//! The word-level operations here mirror, bit for bit, the row operations
+//! the accelerator performs (`bpntt-core` cross-validates against them).
+
+/// A number in carry-save representation: value = `sum + 2·carry`.
+///
+/// # Example
+///
+/// ```
+/// use bpntt_modmath::carrysave::CsPair;
+///
+/// let mut p = CsPair::ZERO;
+/// p = p.add(13);
+/// p = p.add(29);
+/// assert_eq!(p.value(), 42);
+/// assert_eq!(p.resolve().0, 42);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct CsPair {
+    /// The bitwise-sum word.
+    pub sum: u64,
+    /// The carry word; each bit has weight `2^(i+1)`.
+    pub carry: u64,
+}
+
+impl CsPair {
+    /// The pair representing zero.
+    pub const ZERO: CsPair = CsPair { sum: 0, carry: 0 };
+
+    /// Creates a pair holding the plain value `v` (carry empty).
+    #[inline]
+    #[must_use]
+    pub fn from_value(v: u64) -> Self {
+        CsPair { sum: v, carry: 0 }
+    }
+
+    /// The represented value, `sum + 2·carry`, computed exactly in `u128`.
+    #[inline]
+    #[must_use]
+    pub fn value(&self) -> u128 {
+        u128::from(self.sum) + 2 * u128::from(self.carry)
+    }
+
+    /// Adds a plain word using two half-adder passes — the exact dataflow of
+    /// BP-NTT Algorithm 2 lines 6–9 (`c1,s1 = Sum&B, Sum⊕B`;
+    /// `Carry<<1`; `c2,Sum = Carry&s1, Carry⊕s1`; `Carry = c1|c2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `carry` has its top bit set (the left shift
+    /// would overflow the word; within Algorithm 2 this never happens — that
+    /// is the paper's Observation 1).
+    #[inline]
+    #[must_use]
+    pub fn add(self, b: u64) -> Self {
+        let c1 = self.sum & b;
+        let s1 = self.sum ^ b;
+        debug_assert_eq!(self.carry >> 63, 0, "carry top bit must be clear before the shift");
+        let cs = self.carry << 1;
+        let c2 = cs & s1;
+        let sum = cs ^ s1;
+        debug_assert_eq!(c1 & c2, 0, "half-adder carries are disjoint");
+        CsPair { sum, carry: c1 | c2 }
+    }
+
+    /// Halves the represented value after adding `b`, fused exactly like
+    /// Algorithm 2 lines 11–16 (`c1,s1 = Sum&b, Sum⊕b`; `s1>>1`;
+    /// `c2,s2 = s1&c1, s1⊕c1`; `c3,Sum = Carry&s2, Carry⊕s2`;
+    /// `Carry = c2|c3`).
+    ///
+    /// The represented value must be even after adding `b` (the Montgomery
+    /// step guarantees this; it is the paper's Observation 2) — otherwise
+    /// the dropped bit is debug-asserted.
+    #[inline]
+    #[must_use]
+    pub fn add_then_halve(self, b: u64) -> Self {
+        let c1 = self.sum & b;
+        let s1 = self.sum ^ b;
+        debug_assert_eq!(s1 & 1, 0, "value must be even before halving (Observation 2)");
+        let s1 = s1 >> 1;
+        let c2 = s1 & c1;
+        let s2 = s1 ^ c1;
+        let c3 = self.carry & s2;
+        let sum = self.carry ^ s2;
+        debug_assert_eq!(c2 & c3, 0, "half-adder carries are disjoint");
+        CsPair { sum, carry: c2 | c3 }
+    }
+
+    /// Resolves the pair to a plain value by iterated half-adds, returning
+    /// the value and the number of ripple rounds needed (what the
+    /// accelerator pays in row operations).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the value overflows 64 bits.
+    #[must_use]
+    pub fn resolve(mut self) -> (u64, u32) {
+        let mut rounds = 0;
+        while self.carry != 0 {
+            debug_assert_eq!(self.carry >> 63, 0, "resolution overflow");
+            let cs = self.carry << 1;
+            let sum = self.sum ^ cs;
+            self.carry = self.sum & cs;
+            self.sum = sum;
+            rounds += 1;
+        }
+        (self.sum, rounds)
+    }
+
+    /// True when the represented value's least-significant bit is 1.
+    ///
+    /// Because the carry word carries weight `2^(i+1)`, the LSB of the value
+    /// equals the LSB of `sum` — this is what lets the accelerator's `Check`
+    /// instruction read parity from the Sum row alone.
+    #[inline]
+    #[must_use]
+    pub fn is_odd(&self) -> bool {
+        self.sum & 1 == 1
+    }
+}
+
+/// Classic 3:2 carry-save compressor: returns `(sum, carry)` with
+/// `a + b + c = sum + 2·carry`.
+///
+/// # Example
+///
+/// ```
+/// let (s, c) = bpntt_modmath::carrysave::compress3(5, 6, 7);
+/// assert_eq!(u128::from(s) + 2 * u128::from(c), 18);
+/// ```
+#[inline]
+#[must_use]
+pub fn compress3(a: u64, b: u64, c: u64) -> (u64, u64) {
+    let sum = a ^ b ^ c;
+    let carry = (a & b) | (a & c) | (b & c);
+    (sum, carry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_preserves_value() {
+        let mut p = CsPair::ZERO;
+        let mut expect: u128 = 0;
+        for b in [0u64, 1, 0xFF, 0xDEAD_BEEF, 1 << 40, 0x0F0F_F0F0] {
+            p = p.add(b);
+            expect += u128::from(b);
+            assert_eq!(p.value(), expect);
+        }
+        let (v, _) = p.resolve();
+        assert_eq!(u128::from(v), expect);
+    }
+
+    #[test]
+    fn add_then_halve_preserves_value() {
+        // Start with odd value 13, add odd 7 → 20, halve → 10.
+        let p = CsPair::from_value(13).add_then_halve(7);
+        assert_eq!(p.value(), 10);
+        // Even value, add zero → halve.
+        let p = CsPair::from_value(10).add_then_halve(0);
+        assert_eq!(p.value(), 5);
+    }
+
+    #[test]
+    fn resolve_counts_ripple_rounds() {
+        let (v, r) = CsPair::ZERO.resolve();
+        assert_eq!((v, r), (0, 0));
+        let (v, r) = CsPair { sum: 0b01, carry: 0b01 }.resolve();
+        assert_eq!(v, 3);
+        assert!(r >= 1);
+        // Worst-case ripple: 0b0111…1 + 1 propagates across the word.
+        let (v, r) = CsPair { sum: (1 << 20) - 1, carry: 1 }.resolve();
+        assert_eq!(u128::from(v), ((1u128 << 20) - 1) + 2);
+        assert!(r >= 20, "long ripple expected, got {r}");
+    }
+
+    #[test]
+    fn parity_via_sum_lsb() {
+        for v in 0..32u64 {
+            let p = CsPair { sum: v, carry: v.rotate_left(3) & 0x7FFF_FFFF };
+            assert_eq!(p.is_odd(), p.value() % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn compressor_identity() {
+        for a in [0u64, 3, 0xFFFF, 1 << 30] {
+            for b in [0u64, 5, 0xF0F0] {
+                for c in [0u64, 9, 0xAAAA] {
+                    let (s, cy) = compress3(a, b, c);
+                    assert_eq!(
+                        u128::from(s) + 2 * u128::from(cy),
+                        u128::from(a) + u128::from(b) + u128::from(c)
+                    );
+                }
+            }
+        }
+    }
+}

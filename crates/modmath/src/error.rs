@@ -1,0 +1,119 @@
+//! Error type shared by the modular-arithmetic routines.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by modular-arithmetic construction and queries.
+///
+/// The arithmetic kernels themselves (`add_mod`, `mont_mul`, …) are total
+/// once their context has been validated, so errors surface only at
+/// construction/validation boundaries, per the "validate arguments"
+/// guideline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModMathError {
+    /// The modulus must be odd for Montgomery arithmetic (`M ⊥ R`, `R = 2^n`).
+    EvenModulus {
+        /// The offending modulus.
+        modulus: u64,
+    },
+    /// The modulus must be at least 3.
+    ModulusTooSmall {
+        /// The offending modulus.
+        modulus: u64,
+    },
+    /// The modulus does not fit the requested bit width.
+    ModulusTooWide {
+        /// The offending modulus.
+        modulus: u64,
+        /// The requested width in bits.
+        bits: u32,
+    },
+    /// Bit widths must lie in `2..=64`.
+    InvalidBitWidth {
+        /// The requested width in bits.
+        bits: u32,
+    },
+    /// The element has no inverse modulo the modulus.
+    NotInvertible {
+        /// The non-invertible element.
+        value: u64,
+        /// The modulus.
+        modulus: u64,
+    },
+    /// No root of unity of the requested order exists in `Z_q`.
+    NoRootOfUnity {
+        /// The requested multiplicative order.
+        order: u64,
+        /// The modulus.
+        modulus: u64,
+    },
+    /// Prime search exhausted its range without finding a match.
+    NoPrimeFound {
+        /// The requested bit length.
+        bits: u32,
+        /// The congruence stride (`q ≡ 1 mod stride`).
+        stride: u64,
+    },
+}
+
+impl fmt::Display for ModMathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ModMathError::EvenModulus { modulus } => {
+                write!(f, "modulus {modulus} is even; Montgomery arithmetic requires an odd modulus")
+            }
+            ModMathError::ModulusTooSmall { modulus } => {
+                write!(f, "modulus {modulus} is too small; at least 3 is required")
+            }
+            ModMathError::ModulusTooWide { modulus, bits } => {
+                write!(f, "modulus {modulus} does not fit in {bits} bits")
+            }
+            ModMathError::InvalidBitWidth { bits } => {
+                write!(f, "bit width {bits} is outside the supported range 2..=64")
+            }
+            ModMathError::NotInvertible { value, modulus } => {
+                write!(f, "{value} is not invertible modulo {modulus}")
+            }
+            ModMathError::NoRootOfUnity { order, modulus } => {
+                write!(f, "no root of unity of order {order} exists modulo {modulus}")
+            }
+            ModMathError::NoPrimeFound { bits, stride } => {
+                write!(f, "no {bits}-bit prime congruent to 1 mod {stride} was found")
+            }
+        }
+    }
+}
+
+impl Error for ModMathError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            ModMathError::EvenModulus { modulus: 8 },
+            ModMathError::ModulusTooSmall { modulus: 1 },
+            ModMathError::ModulusTooWide { modulus: 100, bits: 4 },
+            ModMathError::InvalidBitWidth { bits: 1 },
+            ModMathError::NotInvertible { value: 2, modulus: 8 },
+            ModMathError::NoRootOfUnity { order: 16, modulus: 17 },
+            ModMathError::NoPrimeFound { bits: 3, stride: 4096 },
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            // Messages start with the offending value or a lowercase word,
+            // never with an uppercase sentence opener.
+            assert!(!s.chars().next().unwrap().is_uppercase(), "bad message: {s}");
+        }
+    }
+
+    #[test]
+    fn error_trait_object_is_usable() {
+        let e: Box<dyn Error + Send + Sync> = Box::new(ModMathError::EvenModulus { modulus: 4 });
+        assert!(e.to_string().contains("even"));
+    }
+}

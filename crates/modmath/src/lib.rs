@@ -1,0 +1,50 @@
+//! Modular arithmetic foundations for the BP-NTT reproduction.
+//!
+//! This crate is the numerical substrate of the workspace. It provides:
+//!
+//! * [`zq`] — plain modular arithmetic over `u64` operands
+//!   (addition, subtraction, multiplication, exponentiation, inversion).
+//! * [`bits`] — bit-reversal and power-of-two utilities used by the NTT.
+//! * [`primes`] — deterministic Miller–Rabin primality testing, Pollard-rho
+//!   factorization, and NTT-friendly prime search (`q ≡ 1 mod 2N`).
+//! * [`roots`] — primitive roots and roots of unity in `Z_q`.
+//! * [`montgomery`] — a word-level Montgomery multiplication reference
+//!   (`REDC`), including the classical bit-serial interleaved formulation.
+//! * [`carrysave`] — redundant (Sum, Carry) arithmetic in the style of a
+//!   carry-save adder, the key enabler of bit-parallel in-SRAM computation.
+//! * [`bitparallel`] — **Algorithm 2 of the BP-NTT paper**: in-memory
+//!   bit-parallel Montgomery modular multiplication expressed purely with
+//!   bitwise AND/XOR/OR and 1-bit shifts, together with a step tracer that
+//!   reproduces the worked example of Fig. 6.
+//!
+//! Everything here is pure, deterministic software; the in-SRAM execution of
+//! the same algorithm lives in the `bpntt-sram` and `bpntt-core` crates and
+//! is cross-validated against this crate's word models.
+//!
+//! # Example
+//!
+//! ```
+//! use bpntt_modmath::{bitparallel, montgomery::MontCtx};
+//!
+//! // The paper's Fig. 6 example: A = 4, B = 3, M = 7, n = 3 bits.
+//! let ctx = MontCtx::new(7, 3)?;
+//! let out = bitparallel::bp_modmul_full(4, 3, 7, 3);
+//! assert!(out.is_exact());
+//! assert_eq!(out.value() % 7, u128::from(ctx.mont_mul(4, 3)));
+//! assert_eq!(out.value(), 5); // A·B·R⁻¹ mod M = 4·3·R⁻¹ ≡ 5 (mod 7), R = 8
+//! # Ok::<(), bpntt_modmath::ModMathError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitparallel;
+pub mod bits;
+pub mod carrysave;
+pub mod error;
+pub mod montgomery;
+pub mod primes;
+pub mod roots;
+pub mod zq;
+
+pub use error::ModMathError;

@@ -1,0 +1,230 @@
+//! Word-level Montgomery multiplication reference.
+//!
+//! BP-NTT's Algorithm 2 is a carry-save reformulation of radix-2 interleaved
+//! Montgomery multiplication. This module provides the two classical
+//! formulations it must agree with:
+//!
+//! * [`MontCtx::mont_mul`] — the textbook REDC (`A·B·R⁻¹ mod M` computed
+//!   with one wide product and one reduction), and
+//! * [`MontCtx::mont_mul_interleaved`] — the bit-serial interleaved loop
+//!   (`P ← (P + aᵢ·B + m)/2`), which is step-for-step the integer shadow of
+//!   Algorithm 2.
+//!
+//! Both are used as oracles in unit, property, and integration tests.
+
+use crate::error::ModMathError;
+use crate::zq::{inv_mod, reduce_once};
+
+/// Montgomery multiplication context for modulus `m` and radix `R = 2^n`.
+///
+/// # Example
+///
+/// ```
+/// use bpntt_modmath::montgomery::MontCtx;
+///
+/// let ctx = MontCtx::new(3329, 13)?;
+/// let a_m = ctx.to_mont(1234);
+/// let b_m = ctx.to_mont(567);
+/// let prod = ctx.from_mont(ctx.mont_mul(a_m, b_m));
+/// assert_eq!(prod, (1234 * 567) % 3329);
+/// # Ok::<(), bpntt_modmath::ModMathError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MontCtx {
+    m: u64,
+    n_bits: u32,
+    /// `R mod m`.
+    r_mod_m: u64,
+    /// `R² mod m`, used by [`MontCtx::to_mont`].
+    r2_mod_m: u64,
+    /// `R⁻¹ mod m`, used by tests and by [`MontCtx::from_mont`].
+    r_inv: u64,
+    /// `−m⁻¹ mod R` (masked to `n_bits`), used by REDC.
+    neg_m_inv: u64,
+}
+
+impl MontCtx {
+    /// Creates a context for odd modulus `m` and radix `R = 2^n_bits`.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModMathError::EvenModulus`] if `m` is even (then `m ∤ R` fails).
+    /// * [`ModMathError::ModulusTooSmall`] if `m < 3`.
+    /// * [`ModMathError::InvalidBitWidth`] if `n_bits ∉ 2..=64`.
+    /// * [`ModMathError::ModulusTooWide`] if `m ≥ 2^n_bits`.
+    pub fn new(m: u64, n_bits: u32) -> Result<Self, ModMathError> {
+        if m % 2 == 0 {
+            return Err(ModMathError::EvenModulus { modulus: m });
+        }
+        if m < 3 {
+            return Err(ModMathError::ModulusTooSmall { modulus: m });
+        }
+        if !(2..=64).contains(&n_bits) {
+            return Err(ModMathError::InvalidBitWidth { bits: n_bits });
+        }
+        if n_bits < 64 && m >= (1u64 << n_bits) {
+            return Err(ModMathError::ModulusTooWide { modulus: m, bits: n_bits });
+        }
+        let r = 1u128 << n_bits;
+        let r_mod_m = (r % u128::from(m)) as u64;
+        let r2_mod_m = ((u128::from(r_mod_m) * u128::from(r_mod_m)) % u128::from(m)) as u64;
+        // m⁻¹ mod 2^64 by Newton–Hensel lifting, then mask to n_bits.
+        let mut inv: u64 = 1;
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(m.wrapping_mul(inv)));
+        }
+        debug_assert_eq!(m.wrapping_mul(inv), 1);
+        let mask = if n_bits == 64 { u64::MAX } else { (1u64 << n_bits) - 1 };
+        let neg_m_inv = inv.wrapping_neg() & mask;
+        // R⁻¹ mod m exists because m is odd.
+        let r_inv = inv_mod(r_mod_m, m)?;
+        Ok(MontCtx { m, n_bits, r_mod_m, r2_mod_m, r_inv, neg_m_inv })
+    }
+
+    /// The modulus `M`.
+    #[inline]
+    #[must_use]
+    pub fn modulus(&self) -> u64 {
+        self.m
+    }
+
+    /// The radix exponent `n` (`R = 2^n`).
+    #[inline]
+    #[must_use]
+    pub fn n_bits(&self) -> u32 {
+        self.n_bits
+    }
+
+    /// `R mod M` — the Montgomery representation of 1.
+    #[inline]
+    #[must_use]
+    pub fn r_mod_m(&self) -> u64 {
+        self.r_mod_m
+    }
+
+    /// Converts `a` into the Montgomery domain: `a·R mod M`.
+    #[inline]
+    #[must_use]
+    pub fn to_mont(&self, a: u64) -> u64 {
+        self.mont_mul(a % self.m, self.r2_mod_m)
+    }
+
+    /// Converts `a` out of the Montgomery domain: `a·R⁻¹ mod M`.
+    #[inline]
+    #[must_use]
+    pub fn from_mont(&self, a: u64) -> u64 {
+        self.mont_mul(a, 1)
+    }
+
+    /// Montgomery product `A·B·R⁻¹ mod M` via REDC, fully reduced.
+    ///
+    /// Inputs must be `< M`; this is debug-asserted.
+    #[must_use]
+    pub fn mont_mul(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.m && b < self.m);
+        let mask: u128 = if self.n_bits == 64 { u128::from(u64::MAX) } else { (1u128 << self.n_bits) - 1 };
+        let t = u128::from(a) * u128::from(b);
+        let k = ((t & mask) * u128::from(self.neg_m_inv)) & mask;
+        let u = (t + k * u128::from(self.m)) >> self.n_bits;
+        reduce_once(u as u64, self.m)
+    }
+
+    /// Bit-serial interleaved Montgomery product, the integer shadow of
+    /// BP-NTT Algorithm 2: `P ← (P + aᵢ·B + m)/2` for `n` rounds.
+    ///
+    /// Returns the *unreduced* accumulator `P < 2M`; apply
+    /// [`reduce_once`](crate::zq::reduce_once) for the canonical residue.
+    /// Inputs must be `< M`; this is debug-asserted.
+    #[must_use]
+    pub fn mont_mul_interleaved(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.m && b < self.m);
+        let mut p: u128 = 0;
+        for i in 0..self.n_bits {
+            if (a >> i) & 1 == 1 {
+                p += u128::from(b);
+            }
+            if p & 1 == 1 {
+                p += u128::from(self.m);
+            }
+            p >>= 1;
+        }
+        debug_assert!(p < 2 * u128::from(self.m));
+        p as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zq::mul_mod;
+
+    fn residues(q: u64) -> Vec<u64> {
+        vec![0, 1, 2, q / 3, q / 2, q - 2, q - 1]
+    }
+
+    #[test]
+    fn redc_matches_schoolbook_for_standard_params() {
+        for (q, n) in [(3329u64, 13u32), (3329, 16), (12289, 16), (8380417, 24), (8380417, 32)] {
+            let ctx = MontCtx::new(q, n).unwrap();
+            for &a in &residues(q) {
+                for &b in &residues(q) {
+                    let expect = mul_mod(mul_mod(a, b, q), ctx.r_inv, q);
+                    assert_eq!(ctx.mont_mul(a, b), expect, "a={a} b={b} q={q} n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_matches_redc() {
+        for (q, n) in [(7u64, 3u32), (3329, 13), (12289, 14), (8380417, 23)] {
+            let ctx = MontCtx::new(q, n).unwrap();
+            for &a in &residues(q) {
+                for &b in &residues(q) {
+                    assert_eq!(
+                        reduce_once(ctx.mont_mul_interleaved(a, b), q),
+                        ctx.mont_mul(a, b),
+                        "a={a} b={b} q={q} n={n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn domain_conversion_roundtrips() {
+        let ctx = MontCtx::new(3329, 13).unwrap();
+        for a in (0..3329).step_by(97) {
+            assert_eq!(ctx.from_mont(ctx.to_mont(a)), a);
+        }
+    }
+
+    #[test]
+    fn fig6_example_in_integers() {
+        // A = 4, B = 3, M = 7, R = 8: 4·3·R⁻¹ ≡ 5 (mod 7).
+        let ctx = MontCtx::new(7, 3).unwrap();
+        assert_eq!(reduce_once(ctx.mont_mul_interleaved(4, 3), 7), 5);
+        assert_eq!(ctx.mont_mul(4, 3), 5);
+    }
+
+    #[test]
+    fn sixty_four_bit_radix() {
+        let q = (1u64 << 62) - 57; // a large odd number (not necessarily prime; REDC only needs odd)
+        let ctx = MontCtx::new(q, 64).unwrap();
+        let a = q - 12345;
+        let b = q - 67890;
+        let expect = mul_mod(mul_mod(a, b, q), ctx.r_inv, q);
+        assert_eq!(ctx.mont_mul(a, b), expect);
+        assert_eq!(reduce_once(ctx.mont_mul_interleaved(a, b), q), expect);
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(matches!(MontCtx::new(8, 8), Err(ModMathError::EvenModulus { .. })));
+        assert!(matches!(MontCtx::new(1, 8), Err(ModMathError::ModulusTooSmall { .. })));
+        assert!(matches!(MontCtx::new(257, 8), Err(ModMathError::ModulusTooWide { .. })));
+        assert!(matches!(MontCtx::new(7, 1), Err(ModMathError::InvalidBitWidth { .. })));
+        assert!(matches!(MontCtx::new(7, 65), Err(ModMathError::InvalidBitWidth { .. })));
+        assert!(MontCtx::new(255, 8).is_ok());
+    }
+}

@@ -1,0 +1,292 @@
+//! Primality testing, factorization, and NTT-friendly prime search.
+//!
+//! An `N`-point negacyclic NTT over `Z_q` requires a primitive `2N`-th root
+//! of unity, which exists exactly when `q ≡ 1 (mod 2N)`. The lattice
+//! parameter sets used in the paper (Kyber, Dilithium, Falcon, and the
+//! homomorphic-encryption levels of the HE standard) all pick such primes;
+//! [`find_ntt_prime`] reproduces that search for arbitrary bit widths, which
+//! is what the flexibility sweep of Fig. 8 relies on.
+
+use crate::error::ModMathError;
+use crate::zq::{gcd, mul_mod, pow_mod};
+
+/// Deterministic Miller–Rabin primality test, exact for all `u64` inputs.
+///
+/// Uses the standard deterministic witness set
+/// `{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}` which is known to be
+/// sufficient below 3.3 × 10²⁴.
+///
+/// # Example
+///
+/// ```
+/// assert!(bpntt_modmath::primes::is_prime(3329));     // Kyber q
+/// assert!(bpntt_modmath::primes::is_prime(8380417));  // Dilithium q
+/// assert!(!bpntt_modmath::primes::is_prime(3331 * 7));
+/// ```
+#[must_use]
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n % p == 0 {
+            return false;
+        }
+    }
+    // Write n-1 = d · 2^s with d odd.
+    let mut d = n - 1;
+    let s = d.trailing_zeros();
+    d >>= s;
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 1..s {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Factors `n` into its distinct prime factors (Pollard's rho + trial
+/// division), returned in ascending order.
+///
+/// Multiplicities are not reported because root-of-unity searches only need
+/// the distinct factors of `q − 1`.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(bpntt_modmath::primes::distinct_prime_factors(3328), vec![2, 13]);
+/// ```
+#[must_use]
+pub fn distinct_prime_factors(n: u64) -> Vec<u64> {
+    let mut factors = Vec::new();
+    let mut stack = vec![n];
+    while let Some(mut m) = stack.pop() {
+        if m < 2 {
+            continue;
+        }
+        while m % 2 == 0 {
+            push_unique(&mut factors, 2);
+            m /= 2;
+        }
+        if m == 1 {
+            continue;
+        }
+        if is_prime(m) {
+            push_unique(&mut factors, m);
+            continue;
+        }
+        // Trial division for small factors keeps rho's work composite-only.
+        let mut found_small = false;
+        let mut p = 3u64;
+        while p * p <= m && p < 1000 {
+            if m % p == 0 {
+                push_unique(&mut factors, p);
+                while m % p == 0 {
+                    m /= p;
+                }
+                found_small = true;
+            }
+            p += 2;
+        }
+        if found_small {
+            stack.push(m);
+            continue;
+        }
+        let d = pollard_rho(m);
+        stack.push(d);
+        stack.push(m / d);
+    }
+    factors.sort_unstable();
+    factors
+}
+
+fn push_unique(v: &mut Vec<u64>, x: u64) {
+    if !v.contains(&x) {
+        v.push(x);
+    }
+}
+
+/// Pollard's rho with Brent's cycle detection. `n` must be odd, composite,
+/// and free of factors below 1000.
+fn pollard_rho(n: u64) -> u64 {
+    debug_assert!(n > 1 && !is_prime(n) && n % 2 == 1);
+    let mut c = 1u64;
+    loop {
+        let f = |x: u64| -> u64 { (mul_mod(x, x, n) + c) % n };
+        let (mut x, mut y, mut d) = (2u64, 2u64, 1u64);
+        while d == 1 {
+            x = f(x);
+            y = f(f(y));
+            d = gcd(x.abs_diff(y), n);
+        }
+        if d != n {
+            return d;
+        }
+        c += 1; // cycle hit n itself; retry with a different polynomial
+    }
+}
+
+/// Finds the smallest prime of exactly `bits` bits with `q ≡ 1 (mod stride)`.
+///
+/// `stride` is typically `2N` for an `N`-point negacyclic NTT. The search
+/// starts from `2^(bits-1)` and walks upward in steps of `stride`.
+///
+/// # Errors
+///
+/// Returns [`ModMathError::NoPrimeFound`] if no such prime exists below
+/// `2^bits`, and [`ModMathError::InvalidBitWidth`] for `bits` outside
+/// `3..=63`.
+///
+/// # Example
+///
+/// ```
+/// // A 14-bit prime supporting a 512-point negacyclic NTT: Falcon's 12289.
+/// let q = bpntt_modmath::primes::find_ntt_prime(14, 1024)?;
+/// assert_eq!(q, 12289);
+/// # Ok::<(), bpntt_modmath::ModMathError>(())
+/// ```
+pub fn find_ntt_prime(bits: u32, stride: u64) -> Result<u64, ModMathError> {
+    if !(3..=63).contains(&bits) {
+        return Err(ModMathError::InvalidBitWidth { bits });
+    }
+    let lo = 1u64 << (bits - 1);
+    let hi = 1u64 << bits;
+    // First candidate ≥ lo with q ≡ 1 (mod stride).
+    let rem = (lo - 1) % stride;
+    let mut q = if rem == 0 {
+        lo
+    } else {
+        lo.checked_add(stride - rem).ok_or(ModMathError::NoPrimeFound { bits, stride })?
+    };
+    while q < hi {
+        if is_prime(q) {
+            return Ok(q);
+        }
+        q = match q.checked_add(stride) {
+            Some(next) => next,
+            None => break,
+        };
+    }
+    Err(ModMathError::NoPrimeFound { bits, stride })
+}
+
+/// Finds the *largest* prime of exactly `bits` bits with `q ≡ 1 (mod stride)`.
+///
+/// Useful for HE-style parameter sets that want the modulus close to the top
+/// of its bit range.
+///
+/// # Errors
+///
+/// Same conditions as [`find_ntt_prime`].
+pub fn find_ntt_prime_high(bits: u32, stride: u64) -> Result<u64, ModMathError> {
+    if !(3..=63).contains(&bits) {
+        return Err(ModMathError::InvalidBitWidth { bits });
+    }
+    let lo = 1u64 << (bits - 1);
+    let hi = 1u64 << bits;
+    let mut q = hi - ((hi - 1) % stride); // largest value < hi with q ≡ 1 (mod stride)
+    while q >= lo {
+        if is_prime(q) {
+            return Ok(q);
+        }
+        match q.checked_sub(stride) {
+            Some(next) => q = next,
+            None => break,
+        }
+    }
+    Err(ModMathError::NoPrimeFound { bits, stride })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes_and_composites() {
+        let primes = [2u64, 3, 5, 7, 11, 13, 97, 3329, 7681, 12289, 8380417];
+        for p in primes {
+            assert!(is_prime(p), "{p} should be prime");
+        }
+        let composites = [0u64, 1, 4, 9, 91, 561, 3329 * 7681, 1 << 40];
+        for c in composites {
+            assert!(!is_prime(c), "{c} should be composite");
+        }
+    }
+
+    #[test]
+    fn large_primes() {
+        // Largest 64-bit prime and a Carmichael-adjacent case.
+        assert!(is_prime(18_446_744_073_709_551_557));
+        assert!(!is_prime(18_446_744_073_709_551_555));
+    }
+
+    #[test]
+    fn factors_of_known_values() {
+        assert_eq!(distinct_prime_factors(1), Vec::<u64>::new());
+        assert_eq!(distinct_prime_factors(2), vec![2]);
+        assert_eq!(distinct_prime_factors(3328), vec![2, 13]); // Kyber q-1 = 2^8·13
+        assert_eq!(distinct_prime_factors(8380416), vec![2, 3, 11, 31]); // Dilithium q-1 = 2^13·3·11·31... verified below
+        let q = 8380417u64;
+        let fs = distinct_prime_factors(q - 1);
+        let mut prod_check = q - 1;
+        for f in &fs {
+            assert!(is_prime(*f));
+            while prod_check % f == 0 {
+                prod_check /= f;
+            }
+        }
+        assert_eq!(prod_check, 1);
+    }
+
+    #[test]
+    fn factors_of_semiprime() {
+        let p = 1_000_003u64;
+        let r = 999_983u64;
+        let mut fs = distinct_prime_factors(p * r);
+        fs.sort_unstable();
+        assert_eq!(fs, vec![r, p]);
+    }
+
+    #[test]
+    fn ntt_prime_search_matches_standards() {
+        // Kyber: 12-bit prime with q ≡ 1 mod 256 (n=128 tree); 3329 = 13·256+1.
+        assert_eq!(find_ntt_prime(12, 256).unwrap(), 3329);
+        // Falcon: 14-bit prime, 2N = 1024 → 12289.
+        assert_eq!(find_ntt_prime(14, 1024).unwrap(), 12289);
+        // Dilithium: 23-bit prime, 2N = 512 → 8380417 is ≡ 1 mod 8192, check it's found for stride 512.
+        let q = find_ntt_prime(23, 512).unwrap();
+        assert!(is_prime(q) && q % 512 == 1 && (q >> 22) == 1);
+    }
+
+    #[test]
+    fn ntt_prime_bounds_respected() {
+        // 13-bit primes ≡ 1 mod 2048 do not exist (only 4097 and 6145 are
+        // candidates, both composite) — widths start at 14 for stride 2048.
+        assert!(find_ntt_prime(13, 2048).is_err());
+        for bits in [14u32, 16, 21, 29, 31] {
+            let q = find_ntt_prime(bits, 2048).unwrap();
+            assert!(is_prime(q));
+            assert_eq!(q % 2048, 1);
+            assert_eq!(64 - q.leading_zeros(), bits, "q={q} not exactly {bits} bits");
+            let qh = find_ntt_prime_high(bits, 2048).unwrap();
+            assert!(is_prime(qh) && qh % 2048 == 1 && qh >= q);
+        }
+    }
+
+    #[test]
+    fn ntt_prime_rejects_bad_width() {
+        assert!(find_ntt_prime(2, 8).is_err());
+        assert!(find_ntt_prime(64, 8).is_err());
+    }
+}

@@ -1,0 +1,137 @@
+//! Primitive roots and roots of unity in `Z_q`.
+//!
+//! The NTT needs a primitive `N`-th root of unity `ω`, and the negacyclic
+//! ("x^N + 1") variant used by all lattice schemes additionally needs a
+//! primitive `2N`-th root `ψ` with `ψ² = ω`. This module finds both from a
+//! generator of `Z_q*`.
+
+use crate::error::ModMathError;
+use crate::primes::distinct_prime_factors;
+use crate::zq::pow_mod;
+
+/// Finds the smallest primitive root (generator of `Z_q*`) for prime `q`.
+///
+/// # Errors
+///
+/// Returns [`ModMathError::ModulusTooSmall`] for `q < 3`. Behaviour is
+/// unspecified for composite `q` (the search may loop over all residues and
+/// fail); callers are expected to pass primes.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(bpntt_modmath::roots::primitive_root(7).unwrap(), 3);
+/// assert_eq!(bpntt_modmath::roots::primitive_root(3329).unwrap(), 3);
+/// ```
+pub fn primitive_root(q: u64) -> Result<u64, ModMathError> {
+    if q < 3 {
+        return Err(ModMathError::ModulusTooSmall { modulus: q });
+    }
+    let phi = q - 1;
+    let factors = distinct_prime_factors(phi);
+    'candidate: for g in 2..q {
+        for f in &factors {
+            if pow_mod(g, phi / f, q) == 1 {
+                continue 'candidate;
+            }
+        }
+        return Ok(g);
+    }
+    Err(ModMathError::NoRootOfUnity { order: phi, modulus: q })
+}
+
+/// Finds a primitive `order`-th root of unity modulo prime `q`.
+///
+/// The returned element `r` satisfies `r^order = 1` and `r^(order/p) ≠ 1`
+/// for every prime `p | order`.
+///
+/// # Errors
+///
+/// Returns [`ModMathError::NoRootOfUnity`] when `order ∤ q − 1`, and
+/// propagates failures of [`primitive_root`].
+///
+/// # Example
+///
+/// ```
+/// use bpntt_modmath::{roots, zq};
+/// let omega = roots::primitive_nth_root(256, 3329)?;
+/// assert_eq!(zq::pow_mod(omega, 256, 3329), 1);
+/// assert_ne!(zq::pow_mod(omega, 128, 3329), 1);
+/// # Ok::<(), bpntt_modmath::ModMathError>(())
+/// ```
+pub fn primitive_nth_root(order: u64, q: u64) -> Result<u64, ModMathError> {
+    if order == 0 || (q - 1) % order != 0 {
+        return Err(ModMathError::NoRootOfUnity { order, modulus: q });
+    }
+    let g = primitive_root(q)?;
+    let r = pow_mod(g, (q - 1) / order, q);
+    debug_assert!(is_primitive_root_of_order(r, order, q));
+    Ok(r)
+}
+
+/// Checks that `r` has exact multiplicative order `order` modulo `q`.
+///
+/// # Example
+///
+/// ```
+/// assert!(bpntt_modmath::roots::is_primitive_root_of_order(6, 2, 7)); // 6 ≡ −1
+/// assert!(!bpntt_modmath::roots::is_primitive_root_of_order(2, 2, 7));
+/// ```
+#[must_use]
+pub fn is_primitive_root_of_order(r: u64, order: u64, q: u64) -> bool {
+    if pow_mod(r, order, q) != 1 {
+        return false;
+    }
+    distinct_prime_factors(order)
+        .iter()
+        .all(|p| pow_mod(r, order / p, q) != 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zq::mul_mod;
+
+    #[test]
+    fn primitive_roots_of_known_primes() {
+        for (q, g) in [(3u64, 2u64), (5, 2), (7, 3), (17, 3), (3329, 3), (12289, 11)] {
+            assert_eq!(primitive_root(q).unwrap(), g, "primitive root of {q}");
+        }
+    }
+
+    #[test]
+    fn rejects_tiny_modulus() {
+        assert!(primitive_root(2).is_err());
+        assert!(primitive_root(0).is_err());
+    }
+
+    #[test]
+    fn nth_roots_have_exact_order() {
+        for q in [3329u64, 7681, 12289, 8380417] {
+            let mut order = 2u64;
+            while (q - 1) % order == 0 && order <= 8192 {
+                let r = primitive_nth_root(order, q).unwrap();
+                assert!(is_primitive_root_of_order(r, order, q), "order {order} mod {q}");
+                order *= 2;
+            }
+        }
+    }
+
+    #[test]
+    fn psi_squared_is_omega() {
+        let q = 3329u64;
+        let psi = primitive_nth_root(256, q).unwrap(); // 2N = 256 for Kyber's 128-point layer
+        let omega = primitive_nth_root(128, q).unwrap();
+        // ψ² is *a* primitive 128-th root; it generates the same subgroup as ω.
+        let psi2 = mul_mod(psi, psi, q);
+        assert!(is_primitive_root_of_order(psi2, 128, q));
+        assert!(is_primitive_root_of_order(omega, 128, q));
+    }
+
+    #[test]
+    fn rejects_orders_not_dividing_group() {
+        assert!(primitive_nth_root(0, 17).is_err());
+        assert!(primitive_nth_root(5, 17).is_err());
+        assert!(primitive_nth_root(32, 17).is_err());
+    }
+}

@@ -1,0 +1,249 @@
+//! Plain modular arithmetic over `u64` operands.
+//!
+//! These routines are the ground truth against which every optimized or
+//! hardware-mapped kernel in the workspace is validated. Intermediate
+//! products are computed in `u128`, so any modulus below 2⁶⁴ is supported.
+
+use crate::error::ModMathError;
+
+/// Adds two residues modulo `m`.
+///
+/// Both inputs must already be reduced (`< m`); this is debug-asserted.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(bpntt_modmath::zq::add_mod(5, 6, 7), 4);
+/// ```
+#[inline]
+#[must_use]
+pub fn add_mod(a: u64, b: u64, m: u64) -> u64 {
+    debug_assert!(a < m && b < m, "operands must be reduced");
+    let (sum, overflow) = a.overflowing_add(b);
+    if overflow || sum >= m {
+        sum.wrapping_sub(m)
+    } else {
+        sum
+    }
+}
+
+/// Subtracts `b` from `a` modulo `m`.
+///
+/// Both inputs must already be reduced (`< m`); this is debug-asserted.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(bpntt_modmath::zq::sub_mod(2, 5, 7), 4);
+/// ```
+#[inline]
+#[must_use]
+pub fn sub_mod(a: u64, b: u64, m: u64) -> u64 {
+    debug_assert!(a < m && b < m, "operands must be reduced");
+    if a >= b {
+        a - b
+    } else {
+        a.wrapping_sub(b).wrapping_add(m)
+    }
+}
+
+/// Multiplies two residues modulo `m` using a 128-bit intermediate.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(bpntt_modmath::zq::mul_mod(6, 6, 7), 1);
+/// ```
+#[inline]
+#[must_use]
+pub fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    debug_assert!(m > 0);
+    ((u128::from(a) * u128::from(b)) % u128::from(m)) as u64
+}
+
+/// Computes `base^exp mod m` by square-and-multiply.
+///
+/// `base` need not be reduced. `0^0` is defined as `1 mod m`.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(bpntt_modmath::zq::pow_mod(3, 6, 7), 1);
+/// ```
+#[must_use]
+pub fn pow_mod(base: u64, mut exp: u64, m: u64) -> u64 {
+    debug_assert!(m > 0);
+    if m == 1 {
+        return 0;
+    }
+    let mut acc: u64 = 1;
+    let mut base = base % m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base, m);
+        }
+        base = mul_mod(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Greatest common divisor by the binary Euclidean algorithm.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(bpntt_modmath::zq::gcd(12, 30), 6);
+/// ```
+#[must_use]
+pub fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Computes the modular inverse of `a` modulo `m` via the extended
+/// Euclidean algorithm.
+///
+/// # Errors
+///
+/// Returns [`ModMathError::NotInvertible`] when `gcd(a, m) ≠ 1`.
+///
+/// # Example
+///
+/// ```
+/// let inv = bpntt_modmath::zq::inv_mod(3, 7)?;
+/// assert_eq!(inv, 5); // 3·5 = 15 ≡ 1 (mod 7)
+/// # Ok::<(), bpntt_modmath::ModMathError>(())
+/// ```
+pub fn inv_mod(a: u64, m: u64) -> Result<u64, ModMathError> {
+    let a_red = a % m;
+    if a_red == 0 {
+        return Err(ModMathError::NotInvertible { value: a, modulus: m });
+    }
+    // Extended Euclid on (m, a); track only the coefficient of `a`.
+    let (mut old_r, mut r) = (i128::from(m), i128::from(a_red));
+    let (mut old_t, mut t) = (0i128, 1i128);
+    while r != 0 {
+        let quotient = old_r / r;
+        (old_r, r) = (r, old_r - quotient * r);
+        (old_t, t) = (t, old_t - quotient * t);
+    }
+    if old_r != 1 {
+        return Err(ModMathError::NotInvertible { value: a, modulus: m });
+    }
+    let m_i = i128::from(m);
+    let inv = ((old_t % m_i) + m_i) % m_i;
+    Ok(inv as u64)
+}
+
+/// Conditionally subtracts `m` once, mapping `[0, 2m)` onto `[0, m)`.
+///
+/// This mirrors the final correction step of Montgomery multiplication and
+/// of modular addition in the accelerator.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(bpntt_modmath::zq::reduce_once(9, 7), 2);
+/// assert_eq!(bpntt_modmath::zq::reduce_once(5, 7), 5);
+/// ```
+#[inline]
+#[must_use]
+pub fn reduce_once(a: u64, m: u64) -> u64 {
+    debug_assert!(a < 2 * m, "input must be below 2m");
+    if a >= m {
+        a - m
+    } else {
+        a
+    }
+}
+
+/// Negates a residue modulo `m` (`0` maps to `0`).
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(bpntt_modmath::zq::neg_mod(3, 7), 4);
+/// assert_eq!(bpntt_modmath::zq::neg_mod(0, 7), 0);
+/// ```
+#[inline]
+#[must_use]
+pub fn neg_mod(a: u64, m: u64) -> u64 {
+    debug_assert!(a < m);
+    if a == 0 {
+        0
+    } else {
+        m - a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_wraps_correctly_near_word_boundary() {
+        let m = u64::MAX - 58; // odd, near 2^64
+        assert_eq!(add_mod(m - 1, m - 1, m), m - 2);
+        assert_eq!(add_mod(0, 0, m), 0);
+        assert_eq!(add_mod(1, m - 1, m), 0);
+    }
+
+    #[test]
+    fn sub_wraps_correctly() {
+        assert_eq!(sub_mod(0, 1, 17), 16);
+        assert_eq!(sub_mod(16, 16, 17), 0);
+    }
+
+    #[test]
+    fn pow_matches_fermat_little_theorem() {
+        for &q in &[3329u64, 7681, 12289, 8380417] {
+            for a in [2u64, 3, 17, 1234] {
+                assert_eq!(pow_mod(a, q - 1, q), 1, "a^{{q-1}} != 1 for q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn pow_edge_cases() {
+        assert_eq!(pow_mod(0, 0, 7), 1);
+        assert_eq!(pow_mod(0, 5, 7), 0);
+        assert_eq!(pow_mod(5, 0, 7), 1);
+        assert_eq!(pow_mod(5, 1, 1), 0);
+    }
+
+    #[test]
+    fn inverse_roundtrips() {
+        let q = 3329;
+        for a in 1..200u64 {
+            let inv = inv_mod(a, q).unwrap();
+            assert_eq!(mul_mod(a, inv, q), 1);
+        }
+    }
+
+    #[test]
+    fn inverse_rejects_non_coprime() {
+        assert!(matches!(inv_mod(6, 9), Err(ModMathError::NotInvertible { .. })));
+        assert!(matches!(inv_mod(0, 9), Err(ModMathError::NotInvertible { .. })));
+        assert!(matches!(inv_mod(9, 9), Err(ModMathError::NotInvertible { .. })));
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(gcd(5, 0), 5);
+        assert_eq!(gcd(1, 1), 1);
+        assert_eq!(gcd(2 * 3 * 5 * 7, 3 * 7 * 11), 21);
+    }
+
+    #[test]
+    fn neg_and_reduce() {
+        assert_eq!(neg_mod(1, 3329), 3328);
+        assert_eq!(reduce_once(3329, 3329), 0);
+        assert_eq!(reduce_once(6657, 3329), 3328);
+    }
+}

@@ -1,0 +1,95 @@
+//! Error type for NTT parameter validation and transform entry points.
+
+use bpntt_modmath::ModMathError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when building NTT parameters or running transforms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NttError {
+    /// The transform length must be a power of two, at least 2.
+    InvalidLength {
+        /// The offending length.
+        n: usize,
+    },
+    /// The modulus must be prime for `Z_q` to be a field.
+    ModulusNotPrime {
+        /// The offending modulus.
+        q: u64,
+    },
+    /// A negacyclic `N`-point NTT needs `q ≡ 1 (mod 2N)`.
+    UnsupportedModulus {
+        /// The transform length.
+        n: usize,
+        /// The offending modulus.
+        q: u64,
+    },
+    /// An input slice had the wrong length for the parameter set.
+    LengthMismatch {
+        /// Expected length (the parameter set's `N`).
+        expected: usize,
+        /// Provided length.
+        actual: usize,
+    },
+    /// A coefficient was not reduced modulo `q`.
+    UnreducedCoefficient {
+        /// Index of the offending coefficient.
+        index: usize,
+        /// Its value.
+        value: u64,
+        /// The modulus.
+        q: u64,
+    },
+    /// An underlying modular-arithmetic failure (root search, inversion).
+    Math(ModMathError),
+}
+
+impl fmt::Display for NttError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NttError::InvalidLength { n } => {
+                write!(f, "transform length {n} is not a power of two ≥ 2")
+            }
+            NttError::ModulusNotPrime { q } => write!(f, "modulus {q} is not prime"),
+            NttError::UnsupportedModulus { n, q } => {
+                write!(f, "modulus {q} does not support a negacyclic {n}-point NTT (need q ≡ 1 mod {})", 2 * n)
+            }
+            NttError::LengthMismatch { expected, actual } => {
+                write!(f, "expected {expected} coefficients, got {actual}")
+            }
+            NttError::UnreducedCoefficient { index, value, q } => {
+                write!(f, "coefficient {value} at index {index} is not reduced modulo {q}")
+            }
+            NttError::Math(e) => write!(f, "modular arithmetic error: {e}"),
+        }
+    }
+}
+
+impl Error for NttError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NttError::Math(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModMathError> for NttError {
+    fn from(e: ModMathError) -> Self {
+        NttError::Math(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = NttError::UnsupportedModulus { n: 256, q: 3329 };
+        assert!(e.to_string().contains("512"));
+        let e = NttError::Math(ModMathError::EvenModulus { modulus: 4 });
+        assert!(e.source().is_some());
+    }
+}

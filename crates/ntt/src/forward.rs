@@ -1,0 +1,170 @@
+//! In-place Cooley–Tukey forward NTT (paper Algorithm 1).
+//!
+//! Input is in natural coefficient order; output is in bit-reversed order.
+//! The loop structure matches the paper exactly:
+//!
+//! ```text
+//! k = 0
+//! for len = n/2; len > 0; len >>= 1:
+//!     for idx = 0; idx < n; idx = j + len:
+//!         z = ζ[++k]
+//!         for j = idx .. idx+len:
+//!             t        = z · a[j+len] mod q
+//!             a[j+len] = a[j] − t    mod q
+//!             a[j]     = a[j] + t    mod q
+//! ```
+
+use crate::error::NttError;
+use crate::params::NttParams;
+use crate::twiddle::TwiddleTable;
+use bpntt_modmath::zq::{add_mod, mul_mod, sub_mod};
+
+/// Runs the forward negacyclic NTT in place.
+///
+/// `a` must hold `N` reduced coefficients in natural order; on return it
+/// holds `NTT(a)` in bit-reversed order.
+///
+/// # Errors
+///
+/// Returns a validation error if `a` has the wrong length or unreduced
+/// coefficients.
+///
+/// # Example
+///
+/// ```
+/// use bpntt_ntt::{forward, inverse, NttParams, TwiddleTable};
+///
+/// let p = NttParams::dac_256_14bit()?;
+/// let t = TwiddleTable::new(&p);
+/// let mut a: Vec<u64> = (0..256u64).collect();
+/// let orig = a.clone();
+/// forward::ntt_in_place(&p, &t, &mut a)?;
+/// inverse::intt_in_place(&p, &t, &mut a)?;
+/// assert_eq!(a, orig);
+/// # Ok::<(), bpntt_ntt::NttError>(())
+/// ```
+pub fn ntt_in_place(params: &NttParams, twiddles: &TwiddleTable, a: &mut [u64]) -> Result<(), NttError> {
+    params.validate_slice(a)?;
+    ntt_in_place_unchecked(params, twiddles, a);
+    Ok(())
+}
+
+/// Forward NTT without input validation (callers guarantee reduced, `N`-long
+/// input). Used on hot paths and by the instrumented twin.
+pub fn ntt_in_place_unchecked(params: &NttParams, twiddles: &TwiddleTable, a: &mut [u64]) {
+    let n = params.n();
+    let q = params.modulus();
+    let zetas = twiddles.zetas();
+    let mut k = 0usize;
+    let mut len = n / 2;
+    while len > 0 {
+        let mut idx = 0;
+        while idx < n {
+            k += 1;
+            let z = zetas[k];
+            for j in idx..idx + len {
+                let t = mul_mod(z, a[j + len], q);
+                a[j + len] = sub_mod(a[j], t, q);
+                a[j] = add_mod(a[j], t, q);
+            }
+            idx += 2 * len;
+        }
+        len /= 2;
+    }
+}
+
+/// Evaluates the polynomial at `ψ^(2·brv(i)+1)` directly — the O(N²)
+/// definition of the negacyclic NTT, used as an oracle in tests.
+#[must_use]
+pub fn ntt_by_definition(params: &NttParams, a: &[u64]) -> Vec<u64> {
+    let n = params.n();
+    let q = params.modulus();
+    let bits = params.log2_n();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        // Output slot i (bit-reversed order) holds the evaluation at
+        // ω^brv(i) · ψ = ψ^(2·brv(i)+1).
+        let r = bpntt_modmath::bits::bit_reverse(i as u64, bits);
+        let root = bpntt_modmath::zq::pow_mod(params.psi(), 2 * r + 1, q);
+        let mut acc = 0u64;
+        let mut x = 1u64; // root^j
+        for &coeff in a {
+            acc = add_mod(acc, mul_mod(coeff, x, q), q);
+            x = mul_mod(x, root, q);
+        }
+        out.push(acc);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params_small() -> NttParams {
+        NttParams::new(8, 97).unwrap() // 97 ≡ 1 (mod 16)
+    }
+
+    #[test]
+    fn matches_definition_small() {
+        let p = params_small();
+        let t = TwiddleTable::new(&p);
+        let mut a: Vec<u64> = vec![1, 2, 3, 4, 5, 6, 7, 8];
+        let expect = ntt_by_definition(&p, &a);
+        ntt_in_place(&p, &t, &mut a).unwrap();
+        assert_eq!(a, expect);
+    }
+
+    #[test]
+    fn matches_definition_standard_sets() {
+        for (name, p) in NttParams::all_standard() {
+            if p.n() > 512 {
+                continue; // keep the O(N²) oracle cheap in unit tests
+            }
+            let t = TwiddleTable::new(&p);
+            let mut a: Vec<u64> = (0..p.n() as u64).map(|i| (i * 2654435761) % p.modulus()).collect();
+            let expect = ntt_by_definition(&p, &a);
+            ntt_in_place(&p, &t, &mut a).unwrap();
+            assert_eq!(a, expect, "{name}");
+        }
+    }
+
+    #[test]
+    fn transform_of_delta_is_all_ones_scaled() {
+        // NTT(δ₀) evaluates the constant polynomial 1 everywhere.
+        let p = params_small();
+        let t = TwiddleTable::new(&p);
+        let mut a = vec![0u64; 8];
+        a[0] = 1;
+        ntt_in_place(&p, &t, &mut a).unwrap();
+        assert_eq!(a, vec![1u64; 8]);
+    }
+
+    #[test]
+    fn rejects_invalid_input() {
+        let p = params_small();
+        let t = TwiddleTable::new(&p);
+        let mut short = vec![0u64; 4];
+        assert!(ntt_in_place(&p, &t, &mut short).is_err());
+        let mut unreduced = vec![0u64; 8];
+        unreduced[3] = 97;
+        assert!(ntt_in_place(&p, &t, &mut unreduced).is_err());
+    }
+
+    #[test]
+    fn linearity() {
+        let p = params_small();
+        let t = TwiddleTable::new(&p);
+        let q = p.modulus();
+        let a: Vec<u64> = vec![5, 0, 93, 12, 44, 7, 1, 90];
+        let b: Vec<u64> = vec![13, 22, 9, 0, 96, 3, 71, 2];
+        let mut sum: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| add_mod(x, y, q)).collect();
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        ntt_in_place(&p, &t, &mut fa).unwrap();
+        ntt_in_place(&p, &t, &mut fb).unwrap();
+        ntt_in_place(&p, &t, &mut sum).unwrap();
+        let fsum: Vec<u64> = fa.iter().zip(&fb).map(|(&x, &y)| add_mod(x, y, q)).collect();
+        assert_eq!(sum, fsum);
+    }
+}

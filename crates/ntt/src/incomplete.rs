@@ -1,0 +1,353 @@
+//! Truncated ("incomplete") NTT with small-degree base multiplication.
+//!
+//! CRYSTALS-Kyber's `q = 3329` satisfies only `q ≡ 1 (mod 256)`, so a full
+//! 256-point negacyclic NTT does not exist; Kyber instead stops the
+//! Cooley–Tukey recursion after 7 layers and multiplies degree-1 residue
+//! polynomials directly ("basemul"). The BP-NTT paper lists Kyber among its
+//! target workloads; this module supplies that transform — generically, for
+//! any number of layers — and validates it against schoolbook negacyclic
+//! multiplication.
+
+use crate::error::NttError;
+use bpntt_modmath::bits::bit_reverse;
+use bpntt_modmath::primes::is_prime;
+use bpntt_modmath::roots::primitive_nth_root;
+use bpntt_modmath::zq::{add_mod, inv_mod, mul_mod, pow_mod, sub_mod};
+
+/// Parameters for an `N`-point incomplete NTT with `L` Cooley–Tukey layers.
+///
+/// After `L` layers, `x^N + 1` splits into `2^L` factors
+/// `x^d − γ_i` of degree `d = N / 2^L`, where `γ_i = ψ^(2·brv_L(i)+1)` and
+/// `ψ` is a primitive `2^(L+1)`-th root of unity. Kyber is `N = 256`,
+/// `L = 7`, `d = 2`.
+///
+/// # Example
+///
+/// ```
+/// use bpntt_ntt::incomplete::IncompleteNtt;
+///
+/// let kyber = IncompleteNtt::kyber()?;
+/// assert_eq!(kyber.residue_degree(), 2);
+/// # Ok::<(), bpntt_ntt::NttError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IncompleteNtt {
+    n: usize,
+    q: u64,
+    layers: u32,
+    psi: u64,
+    /// `ζ[k] = ψ^brv_L(k)` for `k ∈ 0..2^L`.
+    zetas: Vec<u64>,
+    inv_zetas: Vec<u64>,
+    /// `γ_i = ψ^(2·brv_L(i)+1)` — the twist of residue block `i`.
+    gammas: Vec<u64>,
+    /// `(2^L)⁻¹ mod q` — inverse-transform scale.
+    scale_inv: u64,
+}
+
+impl IncompleteNtt {
+    /// Builds an incomplete NTT over `Z_q[x]/(x^n + 1)` with `layers`
+    /// butterfly layers.
+    ///
+    /// # Errors
+    ///
+    /// * [`NttError::InvalidLength`] if `n` is not a power of two or
+    ///   `layers` does not leave a residue degree ≥ 1.
+    /// * [`NttError::ModulusNotPrime`] if `q` is composite.
+    /// * [`NttError::UnsupportedModulus`] if `q ≢ 1 (mod 2^(layers+1))`.
+    pub fn new(n: usize, q: u64, layers: u32) -> Result<Self, NttError> {
+        let order = 1u64 << (layers.min(62) + 1);
+        Self::validate_config(n, q, layers)?;
+        let psi = primitive_nth_root(order, q)?;
+        Self::from_psi(n, q, layers, psi)
+    }
+
+    /// Like [`Self::new`] but with a caller-chosen `ψ` (must be a primitive
+    /// `2^(layers+1)`-th root of unity), so standardized constants — like
+    /// Kyber's `ψ = 17` — are reproduced exactly.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::new`], plus [`NttError::UnsupportedModulus`] when `psi`
+    /// does not have the required order.
+    pub fn new_with_psi(n: usize, q: u64, layers: u32, psi: u64) -> Result<Self, NttError> {
+        Self::validate_config(n, q, layers)?;
+        let order = 1u64 << (layers + 1);
+        if !bpntt_modmath::roots::is_primitive_root_of_order(psi, order, q) {
+            return Err(NttError::UnsupportedModulus { n, q });
+        }
+        Self::from_psi(n, q, layers, psi)
+    }
+
+    fn validate_config(n: usize, q: u64, layers: u32) -> Result<(), NttError> {
+        if n < 2 || !n.is_power_of_two() || layers == 0 || layers > 62 || (1usize << layers) > n {
+            return Err(NttError::InvalidLength { n });
+        }
+        if !is_prime(q) {
+            return Err(NttError::ModulusNotPrime { q });
+        }
+        let order = 1u64 << (layers + 1);
+        if (q - 1) % order != 0 {
+            return Err(NttError::UnsupportedModulus { n, q });
+        }
+        Ok(())
+    }
+
+    fn from_psi(n: usize, q: u64, layers: u32, psi: u64) -> Result<Self, NttError> {
+        let groups = 1usize << layers;
+        let mut zetas = Vec::with_capacity(groups);
+        let mut inv_zetas = Vec::with_capacity(groups);
+        let mut gammas = Vec::with_capacity(groups);
+        for k in 0..groups {
+            let e = bit_reverse(k as u64, layers);
+            let z = pow_mod(psi, e, q);
+            zetas.push(z);
+            inv_zetas.push(inv_mod(z, q)?);
+            gammas.push(pow_mod(psi, 2 * e + 1, q));
+        }
+        let scale_inv = inv_mod(groups as u64, q)?;
+        Ok(IncompleteNtt { n, q, layers, psi, zetas, inv_zetas, gammas, scale_inv })
+    }
+
+    /// The Kyber parameter set: `N = 256`, `q = 3329`, 7 layers, `ψ = 17`
+    /// (the constant fixed by the FIPS 203 specification).
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice.
+    pub fn kyber() -> Result<Self, NttError> {
+        Self::new_with_psi(256, 3329, 7, 17)
+    }
+
+    /// Transform length `N`.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The modulus `q`.
+    #[must_use]
+    pub fn modulus(&self) -> u64 {
+        self.q
+    }
+
+    /// Degree of each residue polynomial, `d = N / 2^L` (2 for Kyber).
+    #[must_use]
+    pub fn residue_degree(&self) -> usize {
+        self.n >> self.layers
+    }
+
+    /// The primitive `2^(L+1)`-th root `ψ` (17 for Kyber).
+    #[must_use]
+    pub fn psi(&self) -> u64 {
+        self.psi
+    }
+
+    fn validate(&self, a: &[u64]) -> Result<(), NttError> {
+        if a.len() != self.n {
+            return Err(NttError::LengthMismatch { expected: self.n, actual: a.len() });
+        }
+        for (index, &value) in a.iter().enumerate() {
+            if value >= self.q {
+                return Err(NttError::UnreducedCoefficient { index, value, q: self.q });
+            }
+        }
+        Ok(())
+    }
+
+    /// In-place forward incomplete NTT (L layers of CT butterflies).
+    ///
+    /// # Errors
+    ///
+    /// Returns a validation error on bad input.
+    pub fn forward(&self, a: &mut [u64]) -> Result<(), NttError> {
+        self.validate(a)?;
+        let q = self.q;
+        let mut k = 0usize;
+        let mut len = self.n / 2;
+        let len_min = self.residue_degree();
+        while len >= len_min {
+            let mut idx = 0;
+            while idx < self.n {
+                k += 1;
+                let z = self.zetas[k];
+                for j in idx..idx + len {
+                    let t = mul_mod(z, a[j + len], q);
+                    a[j + len] = sub_mod(a[j], t, q);
+                    a[j] = add_mod(a[j], t, q);
+                }
+                idx += 2 * len;
+            }
+            len /= 2;
+        }
+        Ok(())
+    }
+
+    /// In-place inverse incomplete NTT (unwinds [`Self::forward`], then
+    /// scales by `2^-L`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a validation error on bad input.
+    pub fn inverse(&self, a: &mut [u64]) -> Result<(), NttError> {
+        self.validate(a)?;
+        let q = self.q;
+        let groups = 1usize << self.layers;
+        let mut len = self.residue_degree();
+        while len <= self.n / 2 {
+            let k_base = self.n / (2 * len);
+            let mut idx = 0;
+            let mut b = 0;
+            while idx < self.n {
+                let z_inv = self.inv_zetas[k_base + b];
+                for j in idx..idx + len {
+                    let u = a[j];
+                    let v = a[j + len];
+                    a[j] = add_mod(u, v, q);
+                    a[j + len] = mul_mod(z_inv, sub_mod(u, v, q), q);
+                }
+                idx += 2 * len;
+                b += 1;
+            }
+            len *= 2;
+        }
+        let _ = groups;
+        for x in a.iter_mut() {
+            *x = mul_mod(*x, self.scale_inv, q);
+        }
+        Ok(())
+    }
+
+    /// Multiplies two transformed vectors block-wise: residue block `i`
+    /// (length `d`) is multiplied modulo `x^d − γ_i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a validation error on bad input.
+    pub fn basemul(&self, a: &[u64], b: &[u64]) -> Result<Vec<u64>, NttError> {
+        self.validate(a)?;
+        self.validate(b)?;
+        let q = self.q;
+        let d = self.residue_degree();
+        let mut c = vec![0u64; self.n];
+        for (i, gamma) in self.gammas.iter().enumerate() {
+            let base = i * d;
+            for x in 0..d {
+                for y in 0..d {
+                    let prod = mul_mod(a[base + x], b[base + y], q);
+                    if x + y < d {
+                        c[base + x + y] = add_mod(c[base + x + y], prod, q);
+                    } else {
+                        // x^d ≡ γ_i in this block.
+                        let wrapped = mul_mod(prod, *gamma, q);
+                        c[base + x + y - d] = add_mod(c[base + x + y - d], wrapped, q);
+                    }
+                }
+            }
+        }
+        Ok(c)
+    }
+
+    /// Full negacyclic product via forward / basemul / inverse.
+    ///
+    /// # Errors
+    ///
+    /// Returns a validation error on bad input.
+    pub fn polymul(&self, a: &[u64], b: &[u64]) -> Result<Vec<u64>, NttError> {
+        let mut fa = a.to_vec();
+        let mut fb = b.to_vec();
+        self.forward(&mut fa)?;
+        self.forward(&mut fb)?;
+        let mut fc = self.basemul(&fa, &fb)?;
+        self.inverse(&mut fc)?;
+        Ok(fc)
+    }
+}
+
+/// Schoolbook negacyclic multiplication modulo `x^n + 1` for arbitrary odd
+/// prime `q` (no root-of-unity requirement) — oracle for the incomplete NTT.
+#[must_use]
+pub fn negacyclic_schoolbook(a: &[u64], b: &[u64], q: u64) -> Vec<u64> {
+    let n = a.len();
+    let mut c = vec![0u64; n];
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
+            let prod = mul_mod(ai, bj, q);
+            let k = i + j;
+            if k < n {
+                c[k] = add_mod(c[k], prod, q);
+            } else {
+                c[k - n] = sub_mod(c[k - n], prod, q);
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo(n: usize, q: u64, seed: u64) -> Vec<u64> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x % q
+            })
+            .collect()
+    }
+
+    #[test]
+    fn kyber_constants() {
+        let k = IncompleteNtt::kyber().unwrap();
+        assert_eq!(k.psi(), 17, "Kyber's documented 256-th root of unity");
+        assert_eq!(k.residue_degree(), 2);
+        assert_eq!(pow_mod(17, 128, 3329), 3328, "ψ^128 = −1");
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        let k = IncompleteNtt::kyber().unwrap();
+        let orig = pseudo(256, 3329, 77);
+        let mut a = orig.clone();
+        k.forward(&mut a).unwrap();
+        assert_ne!(a, orig);
+        k.inverse(&mut a).unwrap();
+        assert_eq!(a, orig);
+    }
+
+    #[test]
+    fn kyber_polymul_matches_schoolbook() {
+        let k = IncompleteNtt::kyber().unwrap();
+        let a = pseudo(256, 3329, 1);
+        let b = pseudo(256, 3329, 2);
+        assert_eq!(k.polymul(&a, &b).unwrap(), negacyclic_schoolbook(&a, &b, 3329));
+    }
+
+    #[test]
+    fn deeper_truncations_work() {
+        // N=64 with 3, 4, 5 layers over a 3329-like modulus.
+        for layers in [3u32, 4, 5] {
+            let t = IncompleteNtt::new(64, 3329, layers).unwrap();
+            let a = pseudo(64, 3329, u64::from(layers));
+            let b = pseudo(64, 3329, u64::from(layers) + 100);
+            assert_eq!(
+                t.polymul(&a, &b).unwrap(),
+                negacyclic_schoolbook(&a, &b, 3329),
+                "layers={layers}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_unsupported_configs() {
+        assert!(IncompleteNtt::new(256, 3329, 0).is_err());
+        assert!(IncompleteNtt::new(100, 3329, 2).is_err());
+        assert!(IncompleteNtt::new(256, 3330, 7).is_err());
+        // 3329 ≡ 1 (mod 256) but ≢ 1 (mod 512): 8 layers need a 512-th root.
+        assert!(IncompleteNtt::new(256, 3329, 8).is_err());
+    }
+}

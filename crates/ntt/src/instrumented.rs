@@ -1,0 +1,236 @@
+//! Operation- and memory-instrumented NTT kernels.
+//!
+//! The paper's Fig. 1 places the NTT and inverse-NTT kernels of
+//! lattice-based cryptography on a roofline and observes they are bound by
+//! **L1/L2 bandwidth**, not DRAM. Reproducing that figure needs two numbers
+//! per kernel: how many arithmetic operations it executes and how many bytes
+//! it moves at each memory level. This module replays the exact transform
+//! loops of [`crate::forward`]/[`crate::inverse`] while counting operations
+//! and recording a logical memory-access trace; `bpntt-cachesim` then
+//! attributes the traffic to cache levels.
+
+use crate::params::NttParams;
+use crate::twiddle::TwiddleTable;
+use bpntt_modmath::zq::{add_mod, mul_mod, sub_mod};
+
+/// One logical memory access of an instrumented kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Byte address.
+    pub addr: u64,
+    /// True for stores, false for loads.
+    pub write: bool,
+    /// Access size in bytes.
+    pub size: u8,
+}
+
+/// Arithmetic-operation counts of an instrumented kernel run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpCounts {
+    /// Modular multiplications.
+    pub mul: u64,
+    /// Modular additions.
+    pub add: u64,
+    /// Modular subtractions.
+    pub sub: u64,
+}
+
+impl OpCounts {
+    /// Total arithmetic operations (each modular op counted once).
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.mul + self.add + self.sub
+    }
+}
+
+/// Result of an instrumented kernel: op counts plus the memory trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelProfile {
+    /// Kernel label (e.g. `"NTT"`, `"INVNTT"`).
+    pub name: &'static str,
+    /// Arithmetic operation counts.
+    pub ops: OpCounts,
+    /// Logical memory accesses in program order.
+    pub trace: Vec<Access>,
+    /// Element size used for coefficients, in bytes.
+    pub elem_size: u8,
+}
+
+impl KernelProfile {
+    /// Total bytes touched by the trace (every access counted).
+    #[must_use]
+    pub fn bytes_accessed(&self) -> u64 {
+        self.trace.iter().map(|a| u64::from(a.size)).sum()
+    }
+}
+
+/// Layout constants for the instrumented kernels' address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddressMap {
+    /// Base byte address of the coefficient array.
+    pub coeff_base: u64,
+    /// Base byte address of the twiddle table.
+    pub twiddle_base: u64,
+    /// Coefficient/twiddle element size in bytes (4 for ≤32-bit moduli).
+    pub elem_size: u8,
+}
+
+impl Default for AddressMap {
+    fn default() -> Self {
+        // Distinct 64 KiB-aligned regions so array and table never alias.
+        AddressMap { coeff_base: 0x10000, twiddle_base: 0x80000, elem_size: 4 }
+    }
+}
+
+/// Runs the forward NTT while recording operations and memory accesses.
+///
+/// The computation is identical to
+/// [`forward::ntt_in_place_unchecked`](crate::forward::ntt_in_place_unchecked);
+/// the returned coefficients are the real transform output, which tests use
+/// to prove the instrumented twin never diverges.
+#[must_use]
+pub fn profile_forward(
+    params: &NttParams,
+    twiddles: &TwiddleTable,
+    a: &mut [u64],
+    map: AddressMap,
+) -> KernelProfile {
+    debug_assert_eq!(a.len(), params.n());
+    let n = params.n();
+    let q = params.modulus();
+    let zetas = twiddles.zetas();
+    let es = map.elem_size;
+    let esz = u64::from(es);
+    let mut ops = OpCounts::default();
+    let mut trace = Vec::new();
+    let mut k = 0usize;
+    let mut len = n / 2;
+    while len > 0 {
+        let mut idx = 0;
+        while idx < n {
+            k += 1;
+            trace.push(Access { addr: map.twiddle_base + k as u64 * esz, write: false, size: es });
+            let z = zetas[k];
+            for j in idx..idx + len {
+                trace.push(Access { addr: map.coeff_base + (j + len) as u64 * esz, write: false, size: es });
+                trace.push(Access { addr: map.coeff_base + j as u64 * esz, write: false, size: es });
+                let t = mul_mod(z, a[j + len], q);
+                ops.mul += 1;
+                a[j + len] = sub_mod(a[j], t, q);
+                ops.sub += 1;
+                a[j] = add_mod(a[j], t, q);
+                ops.add += 1;
+                trace.push(Access { addr: map.coeff_base + (j + len) as u64 * esz, write: true, size: es });
+                trace.push(Access { addr: map.coeff_base + j as u64 * esz, write: true, size: es });
+            }
+            idx += 2 * len;
+        }
+        len /= 2;
+    }
+    KernelProfile { name: "NTT", ops, trace, elem_size: es }
+}
+
+/// Runs the inverse NTT while recording operations and memory accesses
+/// (instrumented twin of
+/// [`inverse::intt_in_place_unchecked`](crate::inverse::intt_in_place_unchecked)).
+#[must_use]
+pub fn profile_inverse(
+    params: &NttParams,
+    twiddles: &TwiddleTable,
+    a: &mut [u64],
+    map: AddressMap,
+) -> KernelProfile {
+    debug_assert_eq!(a.len(), params.n());
+    let n = params.n();
+    let q = params.modulus();
+    let inv_zetas = twiddles.inv_zetas();
+    let es = map.elem_size;
+    let esz = u64::from(es);
+    let mut ops = OpCounts::default();
+    let mut trace = Vec::new();
+    let mut len = 1;
+    while len < n {
+        let k_base = n / (2 * len);
+        let mut idx = 0;
+        let mut b = 0;
+        while idx < n {
+            trace.push(Access { addr: map.twiddle_base + (k_base + b) as u64 * esz, write: false, size: es });
+            let z_inv = inv_zetas[k_base + b];
+            for j in idx..idx + len {
+                trace.push(Access { addr: map.coeff_base + j as u64 * esz, write: false, size: es });
+                trace.push(Access { addr: map.coeff_base + (j + len) as u64 * esz, write: false, size: es });
+                let u = a[j];
+                let v = a[j + len];
+                a[j] = add_mod(u, v, q);
+                ops.add += 1;
+                a[j + len] = mul_mod(z_inv, sub_mod(u, v, q), q);
+                ops.sub += 1;
+                ops.mul += 1;
+                trace.push(Access { addr: map.coeff_base + j as u64 * esz, write: true, size: es });
+                trace.push(Access { addr: map.coeff_base + (j + len) as u64 * esz, write: true, size: es });
+            }
+            idx += 2 * len;
+            b += 1;
+        }
+        len *= 2;
+    }
+    let n_inv = params.n_inv();
+    for (j, x) in a.iter_mut().enumerate() {
+        trace.push(Access { addr: map.coeff_base + j as u64 * esz, write: false, size: es });
+        *x = mul_mod(*x, n_inv, q);
+        ops.mul += 1;
+        trace.push(Access { addr: map.coeff_base + j as u64 * esz, write: true, size: es });
+    }
+    KernelProfile { name: "INVNTT", ops, trace, elem_size: es }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forward::ntt_in_place_unchecked;
+    use crate::inverse::intt_in_place_unchecked;
+
+    #[test]
+    fn instrumented_forward_matches_plain() {
+        let p = NttParams::dac_256_14bit().unwrap();
+        let t = TwiddleTable::new(&p);
+        let orig: Vec<u64> = (0..256u64).map(|i| (i * 7919) % p.modulus()).collect();
+        let mut plain = orig.clone();
+        ntt_in_place_unchecked(&p, &t, &mut plain);
+        let mut inst = orig.clone();
+        let profile = profile_forward(&p, &t, &mut inst, AddressMap::default());
+        assert_eq!(plain, inst, "instrumented twin diverged");
+        // N/2·log₂N butterflies, 1 mul + 1 add + 1 sub each.
+        assert_eq!(profile.ops.mul, 128 * 8);
+        assert_eq!(profile.ops.add, 128 * 8);
+        assert_eq!(profile.ops.sub, 128 * 8);
+        assert!(!profile.trace.is_empty());
+    }
+
+    #[test]
+    fn instrumented_inverse_matches_plain() {
+        let p = NttParams::dac_256_14bit().unwrap();
+        let t = TwiddleTable::new(&p);
+        let orig: Vec<u64> = (0..256u64).map(|i| (i * 104729) % p.modulus()).collect();
+        let mut plain = orig.clone();
+        intt_in_place_unchecked(&p, &t, &mut plain);
+        let mut inst = orig.clone();
+        let profile = profile_inverse(&p, &t, &mut inst, AddressMap::default());
+        assert_eq!(plain, inst);
+        // Butterflies plus the final N scaling multiplications.
+        assert_eq!(profile.ops.mul, 128 * 8 + 256);
+    }
+
+    #[test]
+    fn trace_volume_is_as_expected() {
+        let p = NttParams::new(8, 97).unwrap();
+        let t = TwiddleTable::new(&p);
+        let mut a = vec![1u64; 8];
+        let profile = profile_forward(&p, &t, &mut a, AddressMap::default());
+        // Per stage: (#blocks) twiddle loads + 4 accesses per butterfly.
+        // N=8: stages (len=4,2,1) have 1+2+4 blocks and 4 butterflies each.
+        let expected = (1 + 2 + 4) + 3 * 4 * 4;
+        assert_eq!(profile.trace.len(), expected);
+        assert_eq!(profile.bytes_accessed(), expected as u64 * 4);
+    }
+}

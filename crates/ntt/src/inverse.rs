@@ -1,0 +1,126 @@
+//! In-place Gentleman–Sande inverse NTT.
+//!
+//! Consumes bit-reversed input (the forward transform's output) and produces
+//! natural-order coefficients. Each stage is the exact inverse of the
+//! corresponding Cooley–Tukey stage — the butterfly `(u, v) → (u+v, ζ⁻¹(u−v))`
+//! unwinds `(a, b) → (a+ζb, a−ζb)` up to a factor of 2, and the aggregated
+//! `2^log₂N` is removed by the final `N⁻¹` scaling, as in the paper's
+//! description of INTT.
+
+use crate::error::NttError;
+use crate::params::NttParams;
+use crate::twiddle::TwiddleTable;
+use bpntt_modmath::zq::{add_mod, mul_mod, sub_mod};
+
+/// Runs the inverse negacyclic NTT in place.
+///
+/// `a` must hold `N` reduced values in bit-reversed order; on return it
+/// holds the natural-order coefficients.
+///
+/// # Errors
+///
+/// Returns a validation error if `a` has the wrong length or unreduced
+/// values.
+///
+/// # Example
+///
+/// ```
+/// use bpntt_ntt::{forward, inverse, NttParams, TwiddleTable};
+///
+/// let p = NttParams::falcon512()?;
+/// let t = TwiddleTable::new(&p);
+/// let mut a = vec![7u64; 512];
+/// forward::ntt_in_place(&p, &t, &mut a)?;
+/// inverse::intt_in_place(&p, &t, &mut a)?;
+/// assert_eq!(a, vec![7u64; 512]);
+/// # Ok::<(), bpntt_ntt::NttError>(())
+/// ```
+pub fn intt_in_place(params: &NttParams, twiddles: &TwiddleTable, a: &mut [u64]) -> Result<(), NttError> {
+    params.validate_slice(a)?;
+    intt_in_place_unchecked(params, twiddles, a);
+    Ok(())
+}
+
+/// Inverse NTT without input validation (callers guarantee reduced, `N`-long
+/// input). Used on hot paths and by the instrumented twin.
+pub fn intt_in_place_unchecked(params: &NttParams, twiddles: &TwiddleTable, a: &mut [u64]) {
+    let n = params.n();
+    let q = params.modulus();
+    let inv_zetas = twiddles.inv_zetas();
+    let mut len = 1;
+    while len < n {
+        // The CT stage with this `len` consumed zetas[k] for
+        // k = n/(2len) + b over blocks b; unwind with the same indices.
+        let k_base = n / (2 * len);
+        let mut idx = 0;
+        let mut b = 0;
+        while idx < n {
+            let z_inv = inv_zetas[k_base + b];
+            for j in idx..idx + len {
+                let u = a[j];
+                let v = a[j + len];
+                a[j] = add_mod(u, v, q);
+                a[j + len] = mul_mod(z_inv, sub_mod(u, v, q), q);
+            }
+            idx += 2 * len;
+            b += 1;
+        }
+        len *= 2;
+    }
+    let n_inv = params.n_inv();
+    for x in a.iter_mut() {
+        *x = mul_mod(*x, n_inv, q);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forward::ntt_in_place;
+
+    #[test]
+    fn roundtrip_all_standard_sets() {
+        for (name, p) in NttParams::all_standard() {
+            let t = TwiddleTable::new(&p);
+            let orig: Vec<u64> = (0..p.n() as u64)
+                .map(|i| i.wrapping_mul(6364136223846793005) % p.modulus())
+                .collect();
+            let mut a = orig.clone();
+            ntt_in_place(&p, &t, &mut a).unwrap();
+            assert_ne!(a, orig, "{name}: transform should not be identity");
+            intt_in_place(&p, &t, &mut a).unwrap();
+            assert_eq!(a, orig, "{name}: roundtrip failed");
+        }
+    }
+
+    #[test]
+    fn roundtrip_reverse_order() {
+        // INTT then NTT is also the identity (both are bijections on Z_q^N).
+        let p = NttParams::new(32, 12289).unwrap();
+        let t = TwiddleTable::new(&p);
+        let orig: Vec<u64> = (0..32u64).map(|i| (i * i * 37) % 12289).collect();
+        let mut a = orig.clone();
+        intt_in_place(&p, &t, &mut a).unwrap();
+        ntt_in_place(&p, &t, &mut a).unwrap();
+        assert_eq!(a, orig);
+    }
+
+    #[test]
+    fn inverse_of_all_ones_is_delta() {
+        let p = NttParams::new(8, 97).unwrap();
+        let t = TwiddleTable::new(&p);
+        let mut a = vec![1u64; 8];
+        intt_in_place(&p, &t, &mut a).unwrap();
+        let mut delta = vec![0u64; 8];
+        delta[0] = 1;
+        assert_eq!(a, delta);
+    }
+
+    #[test]
+    fn rejects_invalid_input() {
+        let p = NttParams::new(8, 97).unwrap();
+        let t = TwiddleTable::new(&p);
+        let mut wrong = vec![0u64; 16];
+        assert!(intt_in_place(&p, &t, &mut wrong).is_err());
+    }
+}

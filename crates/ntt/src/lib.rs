@@ -1,0 +1,59 @@
+//! Reference number-theoretic transform (NTT) library.
+//!
+//! This crate implements the algorithmic layer of the BP-NTT reproduction in
+//! plain software:
+//!
+//! * [`params`] — validated NTT parameter sets, including the lattice-based
+//!   schemes the paper targets (Dilithium, Falcon, Kyber) and the
+//!   homomorphic-encryption levels (1024-point, 16/21/29-bit moduli).
+//! * [`twiddle`] — pre-computed twiddle-factor tables in the bit-reversed
+//!   order consumed by the in-place transforms (paper Algorithm 1).
+//! * [`forward`] / [`inverse`] — the in-place Cooley–Tukey forward NTT and
+//!   its exact Gentleman–Sande inverse over `x^N + 1` (negacyclic).
+//! * [`polymul`] — negacyclic polynomial multiplication, both NTT-based and
+//!   schoolbook (the correctness oracle).
+//! * [`incomplete`] — Kyber's truncated seven-layer NTT with degree-one base
+//!   multiplication, demonstrating the "generality" the paper claims.
+//! * [`instrumented`] — an operation- and memory-trace-counting forward/
+//!   inverse used to regenerate the paper's roofline analysis (Fig. 1).
+//! * [`poly`] — a small polynomial convenience wrapper.
+//!
+//! Every transform here is the oracle against which the in-SRAM accelerator
+//! (`bpntt-core`) is validated.
+//!
+//! # Example
+//!
+//! ```
+//! use bpntt_ntt::{params::NttParams, polymul};
+//!
+//! let p = NttParams::dilithium()?;
+//! let a = vec![1u64; 256];
+//! let b = {
+//!     let mut b = vec![0u64; 256];
+//!     b[1] = 1; // b(x) = x
+//!     b
+//! };
+//! // (Σ xʲ) · x mod (x²⁵⁶ + 1): coefficient of x⁰ becomes −1 ≡ q−1.
+//! let c = polymul::polymul_ntt(&p, &a, &b)?;
+//! assert_eq!(c[0], p.modulus() - 1);
+//! assert_eq!(c[1], 1);
+//! # Ok::<(), bpntt_ntt::NttError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod forward;
+pub mod incomplete;
+pub mod instrumented;
+pub mod inverse;
+pub mod params;
+pub mod poly;
+pub mod polymul;
+pub mod twiddle;
+
+pub use error::NttError;
+pub use params::NttParams;
+pub use poly::Polynomial;
+pub use twiddle::TwiddleTable;

@@ -1,0 +1,305 @@
+//! Validated NTT parameter sets.
+//!
+//! A negacyclic `N`-point NTT over `Z_q[x]/(x^N + 1)` exists when `q` is a
+//! prime with `q ≡ 1 (mod 2N)`; the primitive `2N`-th root of unity `ψ`
+//! then folds the negacyclic twist into the twiddle factors, which is the
+//! formulation of the paper's Algorithm 1.
+//!
+//! The named constructors cover the workloads the paper cites:
+//! CRYSTALS-Dilithium, Falcon, the 14-/16-bit 256-point comparison points of
+//! Table I, and the three BKZ.qsieve HE security levels (1024-point with
+//! 16-, 21-, and 29-bit moduli). CRYSTALS-Kyber's `q = 3329` does not admit
+//! a full 256-point negacyclic transform (3329 ≢ 1 mod 512); its truncated
+//! seven-layer variant lives in [`crate::incomplete`].
+
+use crate::error::NttError;
+use bpntt_modmath::primes::{find_ntt_prime_high, is_prime};
+use bpntt_modmath::roots::{is_primitive_root_of_order, primitive_nth_root};
+use bpntt_modmath::zq::{inv_mod, mul_mod};
+
+/// A validated negacyclic NTT parameter set.
+///
+/// Invariants established at construction: `n` is a power of two ≥ 2, `q`
+/// is prime, `q ≡ 1 (mod 2n)`, `psi` is a primitive `2n`-th root of unity,
+/// and all stored inverses are exact.
+///
+/// # Example
+///
+/// ```
+/// use bpntt_ntt::NttParams;
+///
+/// let p = NttParams::new(512, 12289)?; // Falcon-512
+/// assert_eq!(p.q_bits(), 14);
+/// assert_eq!(bpntt_modmath::zq::pow_mod(p.psi(), 1024, 12289), 1);
+/// # Ok::<(), bpntt_ntt::NttError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NttParams {
+    n: usize,
+    q: u64,
+    psi: u64,
+    psi_inv: u64,
+    omega: u64,
+    omega_inv: u64,
+    n_inv: u64,
+    log2_n: u32,
+}
+
+impl NttParams {
+    /// Builds a parameter set for an `n`-point negacyclic NTT modulo `q`.
+    ///
+    /// # Errors
+    ///
+    /// * [`NttError::InvalidLength`] if `n` is not a power of two ≥ 2.
+    /// * [`NttError::ModulusNotPrime`] if `q` is composite.
+    /// * [`NttError::UnsupportedModulus`] if `q ≢ 1 (mod 2n)`.
+    pub fn new(n: usize, q: u64) -> Result<Self, NttError> {
+        if n < 2 || !n.is_power_of_two() {
+            return Err(NttError::InvalidLength { n });
+        }
+        if !is_prime(q) {
+            return Err(NttError::ModulusNotPrime { q });
+        }
+        let two_n = 2 * n as u64;
+        if (q - 1) % two_n != 0 {
+            return Err(NttError::UnsupportedModulus { n, q });
+        }
+        let psi = primitive_nth_root(two_n, q)?;
+        debug_assert!(is_primitive_root_of_order(psi, two_n, q));
+        let psi_inv = inv_mod(psi, q)?;
+        let omega = mul_mod(psi, psi, q);
+        let omega_inv = inv_mod(omega, q)?;
+        let n_inv = inv_mod(n as u64, q)?;
+        Ok(NttParams { n, q, psi, psi_inv, omega, omega_inv, n_inv, log2_n: n.trailing_zeros() })
+    }
+
+    /// The transform length `N`.
+    #[inline]
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The prime modulus `q`.
+    #[inline]
+    #[must_use]
+    pub fn modulus(&self) -> u64 {
+        self.q
+    }
+
+    /// The primitive `2N`-th root of unity `ψ` (negacyclic twist).
+    #[inline]
+    #[must_use]
+    pub fn psi(&self) -> u64 {
+        self.psi
+    }
+
+    /// `ψ⁻¹ mod q`.
+    #[inline]
+    #[must_use]
+    pub fn psi_inv(&self) -> u64 {
+        self.psi_inv
+    }
+
+    /// The primitive `N`-th root of unity `ω = ψ²`.
+    #[inline]
+    #[must_use]
+    pub fn omega(&self) -> u64 {
+        self.omega
+    }
+
+    /// `ω⁻¹ mod q`.
+    #[inline]
+    #[must_use]
+    pub fn omega_inv(&self) -> u64 {
+        self.omega_inv
+    }
+
+    /// `N⁻¹ mod q`, the inverse-transform scale factor.
+    #[inline]
+    #[must_use]
+    pub fn n_inv(&self) -> u64 {
+        self.n_inv
+    }
+
+    /// `log₂ N`.
+    #[inline]
+    #[must_use]
+    pub fn log2_n(&self) -> u32 {
+        self.log2_n
+    }
+
+    /// Number of bits needed to store `q` (e.g. 14 for Falcon's 12289).
+    #[inline]
+    #[must_use]
+    pub fn q_bits(&self) -> u32 {
+        64 - self.q.leading_zeros()
+    }
+
+    /// Validates that `a` has length `N` with all coefficients `< q`.
+    ///
+    /// # Errors
+    ///
+    /// [`NttError::LengthMismatch`] or [`NttError::UnreducedCoefficient`].
+    pub fn validate_slice(&self, a: &[u64]) -> Result<(), NttError> {
+        if a.len() != self.n {
+            return Err(NttError::LengthMismatch { expected: self.n, actual: a.len() });
+        }
+        for (index, &value) in a.iter().enumerate() {
+            if value >= self.q {
+                return Err(NttError::UnreducedCoefficient { index, value, q: self.q });
+            }
+        }
+        Ok(())
+    }
+
+    // ---- Named parameter sets -------------------------------------------
+
+    /// CRYSTALS-Dilithium: `N = 256`, `q = 8 380 417` (23-bit).
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; the `Result` keeps the constructor uniform.
+    pub fn dilithium() -> Result<Self, NttError> {
+        Self::new(256, 8_380_417)
+    }
+
+    /// Falcon-512: `N = 512`, `q = 12 289` (14-bit).
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice.
+    pub fn falcon512() -> Result<Self, NttError> {
+        Self::new(512, 12_289)
+    }
+
+    /// Falcon-1024: `N = 1024`, `q = 12 289` (14-bit).
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice.
+    pub fn falcon1024() -> Result<Self, NttError> {
+        Self::new(1024, 12_289)
+    }
+
+    /// The paper's Table I comparison point: 256-point, 14-bit modulus
+    /// (`q = 12 289`, the same prime MeNTT and the ASIC baselines use).
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice.
+    pub fn dac_256_14bit() -> Result<Self, NttError> {
+        Self::new(256, 12_289)
+    }
+
+    /// HE level 1 under BKZ.qsieve: 1024-point, 16-bit modulus
+    /// (`q = 40 961`, the largest 16-bit prime ≡ 1 mod 2048).
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice.
+    pub fn he_1024_16bit() -> Result<Self, NttError> {
+        Self::new(1024, 40_961)
+    }
+
+    /// HE level 2 under BKZ.qsieve: 1024-point, 21-bit modulus.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice.
+    pub fn he_1024_21bit() -> Result<Self, NttError> {
+        let q = find_ntt_prime_high(21, 2048)?;
+        Self::new(1024, q)
+    }
+
+    /// HE level 3 under BKZ.qsieve: 1024-point, 29-bit modulus.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice.
+    pub fn he_1024_29bit() -> Result<Self, NttError> {
+        let q = find_ntt_prime_high(29, 2048)?;
+        Self::new(1024, q)
+    }
+
+    /// All named parameter sets with human-readable labels, in the order
+    /// they appear in the paper's motivation.
+    #[must_use]
+    pub fn all_standard() -> Vec<(&'static str, NttParams)> {
+        let sets: [(&'static str, fn() -> Result<NttParams, NttError>); 7] = [
+            ("dilithium-256/23b", NttParams::dilithium),
+            ("falcon-512/14b", NttParams::falcon512),
+            ("falcon-1024/14b", NttParams::falcon1024),
+            ("dac-256/14b", NttParams::dac_256_14bit),
+            ("he-1024/16b", NttParams::he_1024_16bit),
+            ("he-1024/21b", NttParams::he_1024_21bit),
+            ("he-1024/29b", NttParams::he_1024_29bit),
+        ];
+        sets.into_iter()
+            .map(|(name, ctor)| (name, ctor().expect("standard parameter sets are valid")))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpntt_modmath::zq::pow_mod;
+
+    #[test]
+    fn standard_sets_validate() {
+        for (name, p) in NttParams::all_standard() {
+            assert!(p.n().is_power_of_two(), "{name}");
+            assert_eq!((p.modulus() - 1) % (2 * p.n() as u64), 0, "{name}");
+            // ψ has exact order 2N.
+            assert_eq!(pow_mod(p.psi(), 2 * p.n() as u64, p.modulus()), 1, "{name}");
+            assert_eq!(pow_mod(p.psi(), p.n() as u64, p.modulus()), p.modulus() - 1, "{name}: ψ^N = −1");
+            // Inverses are exact.
+            assert_eq!(mul_mod(p.psi(), p.psi_inv(), p.modulus()), 1, "{name}");
+            assert_eq!(mul_mod(p.omega(), p.omega_inv(), p.modulus()), 1, "{name}");
+            assert_eq!(mul_mod(p.n() as u64, p.n_inv(), p.modulus()), 1, "{name}");
+            assert_eq!(p.omega(), mul_mod(p.psi(), p.psi(), p.modulus()), "{name}");
+        }
+    }
+
+    #[test]
+    fn q_bits_match_paper_claims() {
+        assert_eq!(NttParams::dilithium().unwrap().q_bits(), 23);
+        assert_eq!(NttParams::dac_256_14bit().unwrap().q_bits(), 14);
+        assert_eq!(NttParams::he_1024_16bit().unwrap().q_bits(), 16);
+        assert_eq!(NttParams::he_1024_21bit().unwrap().q_bits(), 21);
+        assert_eq!(NttParams::he_1024_29bit().unwrap().q_bits(), 29);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(matches!(NttParams::new(100, 12289), Err(NttError::InvalidLength { .. })));
+        assert!(matches!(NttParams::new(0, 12289), Err(NttError::InvalidLength { .. })));
+        assert!(matches!(NttParams::new(256, 12288), Err(NttError::ModulusNotPrime { .. })));
+        // Kyber's q: prime but 3329 ≢ 1 (mod 512).
+        assert!(matches!(NttParams::new(256, 3329), Err(NttError::UnsupportedModulus { .. })));
+    }
+
+    #[test]
+    fn validate_slice_flags_problems() {
+        let p = NttParams::dac_256_14bit().unwrap();
+        assert!(p.validate_slice(&vec![0; 256]).is_ok());
+        assert!(matches!(p.validate_slice(&vec![0; 255]), Err(NttError::LengthMismatch { .. })));
+        let mut bad = vec![0; 256];
+        bad[7] = 12_289;
+        assert!(matches!(
+            p.validate_slice(&bad),
+            Err(NttError::UnreducedCoefficient { index: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn small_transforms_exist() {
+        // Tiny parameter sets used heavily by unit tests elsewhere.
+        for n in [2usize, 4, 8, 16, 32] {
+            let q = bpntt_modmath::primes::find_ntt_prime(14, 2 * n as u64).unwrap();
+            let p = NttParams::new(n, q).unwrap();
+            assert_eq!(pow_mod(p.psi(), n as u64, q), q - 1);
+        }
+    }
+}

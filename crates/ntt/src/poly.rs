@@ -1,0 +1,207 @@
+//! A thin owned-polynomial wrapper over coefficient vectors.
+//!
+//! The transform functions in this crate operate on slices; [`Polynomial`]
+//! packages a coefficient vector with the convenience operations examples
+//! and tests want (construction, ring arithmetic, transforms).
+
+use crate::error::NttError;
+use crate::params::NttParams;
+use crate::polymul;
+use crate::twiddle::TwiddleTable;
+use bpntt_modmath::zq::{add_mod, sub_mod};
+
+/// An element of `Z_q[x]/(x^N + 1)` stored as `N` reduced coefficients.
+///
+/// # Example
+///
+/// ```
+/// use bpntt_ntt::{NttParams, Polynomial};
+///
+/// let p = NttParams::new(8, 97)?;
+/// let a = Polynomial::from_coeffs(&p, vec![1, 2, 0, 0, 0, 0, 0, 0])?;
+/// let b = Polynomial::from_coeffs(&p, vec![3, 1, 0, 0, 0, 0, 0, 0])?;
+/// let c = a.mul(&b, &p)?;
+/// assert_eq!(&c.coeffs()[..3], &[3, 7, 2]);
+/// # Ok::<(), bpntt_ntt::NttError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Polynomial {
+    coeffs: Vec<u64>,
+}
+
+impl Polynomial {
+    /// The zero polynomial of length `n`.
+    #[must_use]
+    pub fn zero(n: usize) -> Self {
+        Polynomial { coeffs: vec![0; n] }
+    }
+
+    /// Wraps a coefficient vector after validating it against `params`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a validation error on wrong length or unreduced coefficients.
+    pub fn from_coeffs(params: &NttParams, coeffs: Vec<u64>) -> Result<Self, NttError> {
+        params.validate_slice(&coeffs)?;
+        Ok(Polynomial { coeffs })
+    }
+
+    /// Deterministic pseudo-random polynomial from a seed (xorshift64),
+    /// handy for tests and benches without threading an RNG through.
+    #[must_use]
+    pub fn pseudo_random(params: &NttParams, seed: u64) -> Self {
+        let mut x = seed | 1;
+        let coeffs = (0..params.n())
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x % params.modulus()
+            })
+            .collect();
+        Polynomial { coeffs }
+    }
+
+    /// Borrows the coefficients.
+    #[inline]
+    #[must_use]
+    pub fn coeffs(&self) -> &[u64] {
+        &self.coeffs
+    }
+
+    /// Mutably borrows the coefficients (callers must keep them reduced).
+    #[inline]
+    pub fn coeffs_mut(&mut self) -> &mut [u64] {
+        &mut self.coeffs
+    }
+
+    /// Consumes the polynomial, returning its coefficient vector.
+    #[inline]
+    #[must_use]
+    pub fn into_coeffs(self) -> Vec<u64> {
+        self.coeffs
+    }
+
+    /// Number of coefficients.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// True when the polynomial has no coefficients.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Coefficient-wise sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns a validation error on parameter mismatch.
+    pub fn add(&self, other: &Polynomial, params: &NttParams) -> Result<Polynomial, NttError> {
+        params.validate_slice(&self.coeffs)?;
+        params.validate_slice(&other.coeffs)?;
+        let q = params.modulus();
+        let coeffs =
+            self.coeffs.iter().zip(&other.coeffs).map(|(&a, &b)| add_mod(a, b, q)).collect();
+        Ok(Polynomial { coeffs })
+    }
+
+    /// Coefficient-wise difference.
+    ///
+    /// # Errors
+    ///
+    /// Returns a validation error on parameter mismatch.
+    pub fn sub(&self, other: &Polynomial, params: &NttParams) -> Result<Polynomial, NttError> {
+        params.validate_slice(&self.coeffs)?;
+        params.validate_slice(&other.coeffs)?;
+        let q = params.modulus();
+        let coeffs =
+            self.coeffs.iter().zip(&other.coeffs).map(|(&a, &b)| sub_mod(a, b, q)).collect();
+        Ok(Polynomial { coeffs })
+    }
+
+    /// Negacyclic product via the NTT.
+    ///
+    /// # Errors
+    ///
+    /// Returns a validation error on parameter mismatch.
+    pub fn mul(&self, other: &Polynomial, params: &NttParams) -> Result<Polynomial, NttError> {
+        Ok(Polynomial { coeffs: polymul::polymul_ntt(params, &self.coeffs, &other.coeffs)? })
+    }
+
+    /// In-place forward NTT.
+    ///
+    /// # Errors
+    ///
+    /// Returns a validation error on parameter mismatch.
+    pub fn ntt(&mut self, params: &NttParams, twiddles: &TwiddleTable) -> Result<(), NttError> {
+        crate::forward::ntt_in_place(params, twiddles, &mut self.coeffs)
+    }
+
+    /// In-place inverse NTT.
+    ///
+    /// # Errors
+    ///
+    /// Returns a validation error on parameter mismatch.
+    pub fn intt(&mut self, params: &NttParams, twiddles: &TwiddleTable) -> Result<(), NttError> {
+        crate::inverse::intt_in_place(params, twiddles, &mut self.coeffs)
+    }
+}
+
+impl AsRef<[u64]> for Polynomial {
+    fn as_ref(&self) -> &[u64] {
+        &self.coeffs
+    }
+}
+
+impl FromIterator<u64> for Polynomial {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        Polynomial { coeffs: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_axioms_spotcheck() {
+        let p = NttParams::new(16, 12289).unwrap();
+        let t = TwiddleTable::new(&p);
+        let a = Polynomial::pseudo_random(&p, 1);
+        let b = Polynomial::pseudo_random(&p, 2);
+        let c = Polynomial::pseudo_random(&p, 3);
+        // (a + b) · c == a·c + b·c
+        let lhs = a.add(&b, &p).unwrap().mul(&c, &p).unwrap();
+        let rhs = a.mul(&c, &p).unwrap().add(&b.mul(&c, &p).unwrap(), &p).unwrap();
+        assert_eq!(lhs, rhs);
+        // a − a == 0
+        assert_eq!(a.sub(&a, &p).unwrap(), Polynomial::zero(16));
+        // transform roundtrip through the wrapper
+        let mut d = a.clone();
+        d.ntt(&p, &t).unwrap();
+        d.intt(&p, &t).unwrap();
+        assert_eq!(d, a);
+    }
+
+    #[test]
+    fn pseudo_random_is_deterministic_and_reduced() {
+        let p = NttParams::new(32, 193).unwrap(); // 193 ≡ 1 (mod 64)
+        let a = Polynomial::pseudo_random(&p, 9);
+        let b = Polynomial::pseudo_random(&p, 9);
+        assert_eq!(a, b);
+        assert!(a.coeffs().iter().all(|&c| c < 193));
+    }
+
+    #[test]
+    fn from_coeffs_validates() {
+        let p = NttParams::new(8, 97).unwrap();
+        assert!(Polynomial::from_coeffs(&p, vec![0; 7]).is_err());
+        assert!(Polynomial::from_coeffs(&p, vec![97; 8]).is_err());
+        assert!(Polynomial::from_coeffs(&p, vec![96; 8]).is_ok());
+    }
+}

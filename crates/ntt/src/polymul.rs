@@ -1,0 +1,171 @@
+//! Negacyclic polynomial multiplication in `Z_q[x]/(x^N + 1)`.
+//!
+//! [`polymul_ntt`] is the `O(N log N)` pipeline the paper accelerates
+//! (`ab = NTT⁻¹(NTT(a) ∘ NTT(b))`); [`polymul_schoolbook`] is the `O(N²)`
+//! ground truth used to validate it and every accelerator run.
+
+use crate::error::NttError;
+use crate::forward::ntt_in_place;
+use crate::inverse::intt_in_place;
+use crate::params::NttParams;
+use crate::twiddle::TwiddleTable;
+use bpntt_modmath::zq::{add_mod, mul_mod, sub_mod};
+
+/// Schoolbook negacyclic multiplication: exact `O(N²)` reference.
+///
+/// `c_k = Σ_{i+j=k} a_i·b_j − Σ_{i+j=k+N} a_i·b_j (mod q)` — the wrap-around
+/// terms pick up the `x^N = −1` sign.
+///
+/// # Errors
+///
+/// Returns a validation error if either input has the wrong length or
+/// unreduced coefficients.
+pub fn polymul_schoolbook(params: &NttParams, a: &[u64], b: &[u64]) -> Result<Vec<u64>, NttError> {
+    params.validate_slice(a)?;
+    params.validate_slice(b)?;
+    let n = params.n();
+    let q = params.modulus();
+    let mut c = vec![0u64; n];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        for (j, &bj) in b.iter().enumerate() {
+            let prod = mul_mod(ai, bj, q);
+            let k = i + j;
+            if k < n {
+                c[k] = add_mod(c[k], prod, q);
+            } else {
+                c[k - n] = sub_mod(c[k - n], prod, q);
+            }
+        }
+    }
+    Ok(c)
+}
+
+/// Element-wise product of two NTT-domain vectors.
+///
+/// # Errors
+///
+/// Returns a validation error on length/reduction mismatches.
+pub fn pointwise(params: &NttParams, a: &[u64], b: &[u64]) -> Result<Vec<u64>, NttError> {
+    params.validate_slice(a)?;
+    params.validate_slice(b)?;
+    let q = params.modulus();
+    Ok(a.iter().zip(b).map(|(&x, &y)| mul_mod(x, y, q)).collect())
+}
+
+/// NTT-based negacyclic multiplication: `NTT⁻¹(NTT(a) ∘ NTT(b))`.
+///
+/// # Errors
+///
+/// Returns a validation error on length/reduction mismatches.
+///
+/// # Example
+///
+/// ```
+/// use bpntt_ntt::{polymul, NttParams};
+///
+/// let p = NttParams::new(8, 97)?;
+/// let a = vec![1, 2, 0, 0, 0, 0, 0, 0]; // 1 + 2x
+/// let b = vec![3, 1, 0, 0, 0, 0, 0, 0]; // 3 + x
+/// let c = polymul::polymul_ntt(&p, &a, &b)?;
+/// assert_eq!(&c[..3], &[3, 7, 2]); // 3 + 7x + 2x²
+/// # Ok::<(), bpntt_ntt::NttError>(())
+/// ```
+pub fn polymul_ntt(params: &NttParams, a: &[u64], b: &[u64]) -> Result<Vec<u64>, NttError> {
+    let twiddles = TwiddleTable::new(params);
+    polymul_ntt_with(params, &twiddles, a, b)
+}
+
+/// NTT-based multiplication reusing a pre-built twiddle table.
+///
+/// # Errors
+///
+/// Returns a validation error on length/reduction mismatches.
+pub fn polymul_ntt_with(
+    params: &NttParams,
+    twiddles: &TwiddleTable,
+    a: &[u64],
+    b: &[u64],
+) -> Result<Vec<u64>, NttError> {
+    let mut fa = a.to_vec();
+    let mut fb = b.to_vec();
+    ntt_in_place(params, twiddles, &mut fa)?;
+    ntt_in_place(params, twiddles, &mut fb)?;
+    let mut fc = pointwise(params, &fa, &fb)?;
+    intt_in_place(params, twiddles, &mut fc)?;
+    Ok(fc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_poly(n: usize, q: u64, seed: u64) -> Vec<u64> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x % q
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ntt_matches_schoolbook_small() {
+        let p = NttParams::new(8, 97).unwrap();
+        let a = pseudo_poly(8, 97, 42);
+        let b = pseudo_poly(8, 97, 1234);
+        assert_eq!(polymul_ntt(&p, &a, &b).unwrap(), polymul_schoolbook(&p, &a, &b).unwrap());
+    }
+
+    #[test]
+    fn ntt_matches_schoolbook_standard_sets() {
+        for (name, p) in NttParams::all_standard() {
+            if p.n() > 512 {
+                continue;
+            }
+            let a = pseudo_poly(p.n(), p.modulus(), 7);
+            let b = pseudo_poly(p.n(), p.modulus(), 99);
+            assert_eq!(
+                polymul_ntt(&p, &a, &b).unwrap(),
+                polymul_schoolbook(&p, &a, &b).unwrap(),
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn negacyclic_wraparound_sign() {
+        // x^(N-1) · x = x^N = −1.
+        let p = NttParams::new(8, 97).unwrap();
+        let mut a = vec![0u64; 8];
+        a[7] = 1;
+        let mut b = vec![0u64; 8];
+        b[1] = 1;
+        let c = polymul_ntt(&p, &a, &b).unwrap();
+        let mut expect = vec![0u64; 8];
+        expect[0] = 96; // −1 mod 97
+        assert_eq!(c, expect);
+    }
+
+    #[test]
+    fn multiplication_by_one_is_identity() {
+        let p = NttParams::dac_256_14bit().unwrap();
+        let a = pseudo_poly(256, p.modulus(), 5);
+        let mut one = vec![0u64; 256];
+        one[0] = 1;
+        assert_eq!(polymul_ntt(&p, &a, &one).unwrap(), a);
+    }
+
+    #[test]
+    fn multiplication_is_commutative() {
+        let p = NttParams::new(16, 97).unwrap();
+        let a = pseudo_poly(16, 97, 3);
+        let b = pseudo_poly(16, 97, 11);
+        assert_eq!(polymul_ntt(&p, &a, &b).unwrap(), polymul_ntt(&p, &b, &a).unwrap());
+    }
+}

@@ -1,0 +1,117 @@
+//! Twiddle-factor tables in bit-reversed order.
+//!
+//! The in-place Cooley–Tukey NTT (paper Algorithm 1) consumes the powers of
+//! `ψ` in bit-reversed index order: the `k`-th butterfly group uses
+//! `ζ[k] = ψ^brv(k)`. Folding `ψ` (rather than `ω`) into the table merges
+//! the negacyclic pre-twist into the transform, so no separate scaling pass
+//! is needed — the standard Kyber/Dilithium formulation.
+
+use crate::params::NttParams;
+use bpntt_modmath::bits::bit_reverse;
+use bpntt_modmath::zq::{inv_mod, mul_mod};
+
+/// Pre-computed twiddle factors for one parameter set.
+///
+/// `zetas[k] = ψ^brv(k) mod q` for `k ∈ 0..N` (index 0 holds `ψ⁰ = 1` and
+/// is never consumed by the transform loops, matching the paper's `++k`
+/// indexing), and `inv_zetas[k] = zetas[k]⁻¹ mod q`.
+///
+/// # Example
+///
+/// ```
+/// use bpntt_ntt::{NttParams, TwiddleTable};
+///
+/// let p = NttParams::dac_256_14bit()?;
+/// let t = TwiddleTable::new(&p);
+/// assert_eq!(t.zetas()[0], 1);
+/// assert_eq!(t.zetas()[1], bpntt_modmath::zq::pow_mod(p.psi(), 128, p.modulus()));
+/// # Ok::<(), bpntt_ntt::NttError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TwiddleTable {
+    zetas: Vec<u64>,
+    inv_zetas: Vec<u64>,
+    q: u64,
+}
+
+impl TwiddleTable {
+    /// Builds the forward and inverse tables for `params`.
+    #[must_use]
+    pub fn new(params: &NttParams) -> Self {
+        let n = params.n();
+        let q = params.modulus();
+        let bits = params.log2_n();
+        let mut zetas = Vec::with_capacity(n);
+        let mut inv_zetas = Vec::with_capacity(n);
+        // Iteratively exponentiate: psi_pows[e] = ψ^e for e in 0..n.
+        let mut psi_pows = Vec::with_capacity(n);
+        let mut acc = 1u64;
+        for _ in 0..n {
+            psi_pows.push(acc);
+            acc = mul_mod(acc, params.psi(), q);
+        }
+        for k in 0..n {
+            let e = bit_reverse(k as u64, bits) as usize;
+            let z = psi_pows[e];
+            zetas.push(z);
+            inv_zetas.push(inv_mod(z, q).expect("ψ powers are invertible in a field"));
+        }
+        TwiddleTable { zetas, inv_zetas, q }
+    }
+
+    /// Forward twiddles `ζ[k] = ψ^brv(k)`.
+    #[inline]
+    #[must_use]
+    pub fn zetas(&self) -> &[u64] {
+        &self.zetas
+    }
+
+    /// Inverse twiddles `ζ[k]⁻¹`.
+    #[inline]
+    #[must_use]
+    pub fn inv_zetas(&self) -> &[u64] {
+        &self.inv_zetas
+    }
+
+    /// The modulus the table was built for.
+    #[inline]
+    #[must_use]
+    pub fn modulus(&self) -> u64 {
+        self.q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpntt_modmath::zq::pow_mod;
+
+    #[test]
+    fn zeta_table_matches_direct_exponentiation() {
+        let p = NttParams::new(16, 97).unwrap(); // 97 ≡ 1 (mod 32)
+        let t = TwiddleTable::new(&p);
+        for k in 0..16u64 {
+            let e = bit_reverse(k, 4);
+            assert_eq!(t.zetas()[k as usize], pow_mod(p.psi(), e, 97));
+        }
+    }
+
+    #[test]
+    fn inverse_table_is_elementwise_inverse() {
+        let p = NttParams::dac_256_14bit().unwrap();
+        let t = TwiddleTable::new(&p);
+        for k in 0..p.n() {
+            assert_eq!(mul_mod(t.zetas()[k], t.inv_zetas()[k], p.modulus()), 1);
+        }
+    }
+
+    #[test]
+    fn first_entries() {
+        let p = NttParams::falcon512().unwrap();
+        let t = TwiddleTable::new(&p);
+        assert_eq!(t.zetas()[0], 1);
+        // zetas[1] = ψ^brv(1) = ψ^(N/2), which squares to ψ^N = −1.
+        let z1 = t.zetas()[1];
+        assert_eq!(mul_mod(z1, z1, p.modulus()), p.modulus() - 1);
+    }
+}

@@ -1,0 +1,358 @@
+//! A fixed-width row of SRAM bits with the operations the bitline
+//! periphery can perform.
+//!
+//! Column `c` of the array maps to bit `c` of the row. Within a tile of
+//! width `w`, the word of tile `t` occupies columns `t·w .. (t+1)·w` with
+//! its least-significant bit at column `t·w`. A "left" shift moves every
+//! bit to the next higher column (multiply by two within a tile); "right"
+//! moves it down. Global shifts let bits cross tile boundaries (how BP-NTT
+//! merges spilled coefficients); masked shifts inject zero at configured
+//! tile boundaries (needed for two's-complement arithmetic whose carry-out
+//! is data-dependent — design decision D2 in `DESIGN.md`).
+
+use std::fmt;
+
+/// One row of bits, indexed by column.
+///
+/// # Example
+///
+/// ```
+/// use bpntt_sram::BitRow;
+///
+/// let mut r = BitRow::zero(256);
+/// r.set_tile_word(3, 32, 0xDEAD_BEEF);
+/// assert_eq!(r.tile_word(3, 32), 0xDEAD_BEEF);
+/// assert_eq!(r.tile_word(2, 32), 0);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitRow {
+    words: Vec<u64>,
+    cols: usize,
+}
+
+impl BitRow {
+    /// An all-zero row of `cols` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols` is zero.
+    #[must_use]
+    pub fn zero(cols: usize) -> Self {
+        assert!(cols > 0, "a row needs at least one column");
+        BitRow { words: vec![0; cols.div_ceil(64)], cols }
+    }
+
+    /// Number of columns.
+    #[inline]
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Reads bit at column `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= cols`.
+    #[inline]
+    #[must_use]
+    pub fn bit(&self, c: usize) -> bool {
+        assert!(c < self.cols, "column {c} out of range");
+        (self.words[c / 64] >> (c % 64)) & 1 == 1
+    }
+
+    /// Sets bit at column `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= cols`.
+    #[inline]
+    pub fn set_bit(&mut self, c: usize, v: bool) {
+        assert!(c < self.cols, "column {c} out of range");
+        let w = &mut self.words[c / 64];
+        if v {
+            *w |= 1 << (c % 64);
+        } else {
+            *w &= !(1 << (c % 64));
+        }
+    }
+
+    /// Extracts the `width`-bit word of tile `tile` (LSB at column
+    /// `tile·width`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or > 64, or the tile exceeds the row.
+    #[must_use]
+    pub fn tile_word(&self, tile: usize, width: usize) -> u64 {
+        assert!(width > 0 && width <= 64, "tile width {width} outside 1..=64");
+        let base = tile * width;
+        assert!(base + width <= self.cols, "tile {tile} out of range");
+        let mut v = 0u64;
+        for j in 0..width {
+            if self.bit(base + j) {
+                v |= 1 << j;
+            }
+        }
+        v
+    }
+
+    /// Writes the `width`-bit word of tile `tile`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on geometry violations or if `value` does not fit `width`.
+    pub fn set_tile_word(&mut self, tile: usize, width: usize, value: u64) {
+        assert!(width > 0 && width <= 64, "tile width {width} outside 1..=64");
+        assert!(width == 64 || value < (1u64 << width), "value does not fit tile width");
+        let base = tile * width;
+        assert!(base + width <= self.cols, "tile {tile} out of range");
+        for j in 0..width {
+            self.set_bit(base + j, (value >> j) & 1 == 1);
+        }
+    }
+
+    /// Bitwise AND of two rows.
+    #[must_use]
+    pub fn and(&self, other: &BitRow) -> BitRow {
+        self.zip(other, |a, b| a & b)
+    }
+
+    /// Bitwise OR of two rows.
+    #[must_use]
+    pub fn or(&self, other: &BitRow) -> BitRow {
+        self.zip(other, |a, b| a | b)
+    }
+
+    /// Bitwise XOR of two rows.
+    #[must_use]
+    pub fn xor(&self, other: &BitRow) -> BitRow {
+        self.zip(other, |a, b| a ^ b)
+    }
+
+    /// Bitwise NOR of two rows (the native 6T dual-activation result on the
+    /// complementary bitline).
+    #[must_use]
+    pub fn nor(&self, other: &BitRow) -> BitRow {
+        let mut r = self.zip(other, |a, b| !(a | b));
+        r.clear_tail();
+        r
+    }
+
+    /// Bitwise complement (sensed on the complementary bitline of a single
+    /// activated row).
+    #[must_use]
+    pub fn not(&self) -> BitRow {
+        let mut r = BitRow { words: self.words.iter().map(|w| !w).collect(), cols: self.cols };
+        r.clear_tail();
+        r
+    }
+
+    fn zip(&self, other: &BitRow, f: impl Fn(u64, u64) -> u64) -> BitRow {
+        assert_eq!(self.cols, other.cols, "rows must have equal width");
+        BitRow {
+            words: self.words.iter().zip(&other.words).map(|(&a, &b)| f(a, b)).collect(),
+            cols: self.cols,
+        }
+    }
+
+    /// Zeroes the bits beyond `cols` in the last storage word.
+    fn clear_tail(&mut self) {
+        let rem = self.cols % 64;
+        if rem != 0 {
+            let last = self.words.len() - 1;
+            self.words[last] &= (1u64 << rem) - 1;
+        }
+    }
+
+    /// Global 1-bit shift toward higher columns; the top bit falls off,
+    /// zero enters at column 0. Bits cross tile boundaries.
+    #[must_use]
+    pub fn shl1_global(&self) -> BitRow {
+        let mut words = vec![0u64; self.words.len()];
+        let mut carry = 0u64;
+        for (i, &w) in self.words.iter().enumerate() {
+            words[i] = (w << 1) | carry;
+            carry = w >> 63;
+        }
+        let mut r = BitRow { words, cols: self.cols };
+        r.clear_tail();
+        r
+    }
+
+    /// Global 1-bit shift toward lower columns; bit 0 falls off, zero
+    /// enters at the top column. Bits cross tile boundaries.
+    #[must_use]
+    pub fn shr1_global(&self) -> BitRow {
+        let mut words = vec![0u64; self.words.len()];
+        let mut carry = 0u64;
+        for (i, &w) in self.words.iter().enumerate().rev() {
+            words[i] = (w >> 1) | (carry << 63);
+            carry = w & 1;
+        }
+        BitRow { words, cols: self.cols }
+    }
+
+    /// 1-bit left shift with zero injected at every tile boundary: the bit
+    /// leaving tile `t`'s MSB is discarded instead of entering tile `t+1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile_width` does not divide the column count.
+    #[must_use]
+    pub fn shl1_masked(&self, tile_width: usize) -> BitRow {
+        assert_eq!(self.cols % tile_width, 0, "tile width must divide the row");
+        let mut r = self.shl1_global();
+        for base in (0..self.cols).step_by(tile_width) {
+            r.set_bit(base, false); // the bit that crossed in from below
+        }
+        r
+    }
+
+    /// 1-bit right shift with zero injected at every tile boundary: the bit
+    /// leaving tile `t`'s LSB is discarded instead of entering tile `t−1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile_width` does not divide the column count.
+    #[must_use]
+    pub fn shr1_masked(&self, tile_width: usize) -> BitRow {
+        assert_eq!(self.cols % tile_width, 0, "tile width must divide the row");
+        let mut r = self.shr1_global();
+        for base in (0..self.cols).step_by(tile_width) {
+            r.set_bit(base + tile_width - 1, false);
+        }
+        r
+    }
+
+    /// True when every bit is zero (sensed in hardware by a wired-OR across
+    /// the sense amplifiers; used by the carry-resolution loops).
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of set bits.
+    #[must_use]
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+}
+
+impl fmt::Debug for BitRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitRow[{}; ", self.cols)?;
+        // Highest column first, like a binary literal.
+        for c in (0..self.cols).rev() {
+            write!(f, "{}", u8::from(self.bit(c)))?;
+            if c % 8 == 0 && c != 0 {
+                write!(f, "_")?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_word_roundtrip() {
+        let mut r = BitRow::zero(256);
+        for t in 0..8 {
+            r.set_tile_word(t, 32, 0x0123_4567 * (t as u64 + 1));
+        }
+        for t in 0..8 {
+            assert_eq!(r.tile_word(t, 32), 0x0123_4567 * (t as u64 + 1));
+        }
+    }
+
+    #[test]
+    fn logic_ops_match_u64_semantics() {
+        let mut a = BitRow::zero(96);
+        let mut b = BitRow::zero(96);
+        a.set_tile_word(0, 48, 0xF0F0_1234_ABCD);
+        b.set_tile_word(0, 48, 0x0FF0_5678_00FF);
+        assert_eq!(a.and(&b).tile_word(0, 48), 0xF0F0_1234_ABCD & 0x0FF0_5678_00FF);
+        assert_eq!(a.or(&b).tile_word(0, 48), 0xF0F0_1234_ABCD | 0x0FF0_5678_00FF);
+        assert_eq!(a.xor(&b).tile_word(0, 48), 0xF0F0_1234_ABCD ^ 0x0FF0_5678_00FF);
+        let mask = (1u64 << 48) - 1;
+        assert_eq!(a.nor(&b).tile_word(0, 48), !(0xF0F0_1234_ABCDu64 | 0x0FF0_5678_00FF) & mask);
+        assert_eq!(a.not().tile_word(0, 48), !0xF0F0_1234_ABCDu64 & mask);
+    }
+
+    #[test]
+    fn global_shifts_cross_tile_boundaries() {
+        let mut r = BitRow::zero(64);
+        // Two 32-bit tiles; set tile 0's MSB.
+        r.set_bit(31, true);
+        let l = r.shl1_global();
+        assert!(l.bit(32), "bit must cross into tile 1's LSB");
+        let back = l.shr1_global();
+        assert!(back.bit(31));
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn masked_shifts_block_tile_boundaries() {
+        let mut r = BitRow::zero(64);
+        r.set_bit(31, true); // tile 0 MSB
+        r.set_bit(32, true); // tile 1 LSB
+        let l = r.shl1_masked(32);
+        assert!(!l.bit(32), "crossing bit must be discarded");
+        assert!(l.bit(33), "in-tile shift still happens");
+        let s = r.shr1_masked(32);
+        assert!(!s.bit(31), "crossing bit must be discarded");
+        assert!(s.bit(30));
+    }
+
+    #[test]
+    fn shifts_at_word_boundaries() {
+        // 128 columns = two u64 words; exercise the inter-word carry.
+        let mut r = BitRow::zero(128);
+        r.set_bit(63, true);
+        assert!(r.shl1_global().bit(64));
+        let mut r = BitRow::zero(128);
+        r.set_bit(64, true);
+        assert!(r.shr1_global().bit(63));
+    }
+
+    #[test]
+    fn top_bit_falls_off_and_tail_stays_clear() {
+        let mut r = BitRow::zero(100);
+        r.set_bit(99, true);
+        let l = r.shl1_global();
+        assert!(l.is_zero(), "bit above column 99 must not linger");
+        let n = r.not();
+        assert_eq!(n.count_ones(), 99);
+    }
+
+    #[test]
+    fn odd_tile_widths() {
+        // 3 tiles of 14 bits in a 42-column row (the paper's 14-bit mode).
+        let mut r = BitRow::zero(42);
+        r.set_tile_word(0, 14, 0x3FFF);
+        r.set_tile_word(2, 14, 0x2AAA);
+        assert_eq!(r.tile_word(0, 14), 0x3FFF);
+        assert_eq!(r.tile_word(1, 14), 0);
+        assert_eq!(r.tile_word(2, 14), 0x2AAA);
+        let l = r.shl1_masked(14);
+        assert_eq!(l.tile_word(0, 14), 0x3FFE);
+        assert_eq!(l.tile_word(1, 14), 0);
+        assert_eq!(l.tile_word(2, 14), (0x2AAA << 1) & 0x3FFF);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bit_bounds_checked() {
+        let r = BitRow::zero(10);
+        let _ = r.bit(10);
+    }
+
+    #[test]
+    fn debug_format_is_nonempty() {
+        let r = BitRow::zero(8);
+        assert!(format!("{r:?}").contains("BitRow[8"));
+    }
+}

@@ -1,0 +1,95 @@
+//! Error type for the in-SRAM computing simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by array construction, ISA decoding, and execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SramError {
+    /// Array geometry is unusable.
+    BadGeometry {
+        /// Rows requested.
+        rows: usize,
+        /// Columns requested.
+        cols: usize,
+        /// Why the geometry was rejected.
+        reason: &'static str,
+    },
+    /// A row address exceeded the array height.
+    RowOutOfRange {
+        /// The offending row.
+        row: usize,
+        /// The array height.
+        rows: usize,
+    },
+    /// The tile width must divide the column count.
+    BadTileWidth {
+        /// Requested tile width.
+        width: usize,
+        /// Array columns.
+        cols: usize,
+    },
+    /// An instruction word had an unknown opcode.
+    BadOpcode {
+        /// The opcode field.
+        opcode: u8,
+    },
+    /// An instruction word had bits set in fields its opcode does not use.
+    ReservedBits {
+        /// The full instruction word.
+        word: u64,
+    },
+    /// A `Check` bit index must fall inside one tile.
+    CheckBitOutOfRange {
+        /// Requested bit.
+        bit: u16,
+        /// Tile width.
+        tile_width: usize,
+    },
+}
+
+impl fmt::Display for SramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            SramError::BadGeometry { rows, cols, reason } => {
+                write!(f, "unusable array geometry {rows}×{cols}: {reason}")
+            }
+            SramError::RowOutOfRange { row, rows } => {
+                write!(f, "row {row} out of range for a {rows}-row array")
+            }
+            SramError::BadTileWidth { width, cols } => {
+                write!(f, "tile width {width} does not divide {cols} columns")
+            }
+            SramError::BadOpcode { opcode } => write!(f, "unknown opcode {opcode}"),
+            SramError::ReservedBits { word } => {
+                write!(f, "instruction word {word:#018x} sets reserved bits")
+            }
+            SramError::CheckBitOutOfRange { bit, tile_width } => {
+                write!(f, "check bit {bit} outside the {tile_width}-column tile")
+            }
+        }
+    }
+}
+
+impl Error for SramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let msgs = [
+            SramError::BadGeometry { rows: 0, cols: 1, reason: "empty" }.to_string(),
+            SramError::RowOutOfRange { row: 9, rows: 4 }.to_string(),
+            SramError::BadTileWidth { width: 3, cols: 256 }.to_string(),
+            SramError::BadOpcode { opcode: 15 }.to_string(),
+            SramError::ReservedBits { word: 1 << 62 }.to_string(),
+            SramError::CheckBitOutOfRange { bit: 40, tile_width: 32 }.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+        }
+    }
+}

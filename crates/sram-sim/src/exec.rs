@@ -1,0 +1,531 @@
+//! The controller: executes BP-NTT instructions against an [`SramArray`],
+//! maintaining per-tile predicates, the tile write mask, and run statistics.
+
+use crate::array::{SenseResult, SramArray};
+use crate::bitrow::BitRow;
+use crate::cost::{EnergyModel, TimingModel};
+use crate::error::SramError;
+use crate::isa::{BitOp, Instruction, PredMode, Program, ShiftDir, UnaryKind};
+use crate::stats::Stats;
+
+/// Executes instructions against one SRAM subarray.
+///
+/// The controller models the CTRL/CMD subarray of Fig. 4(b): it decodes
+/// instruction words, drives the two wordline decoders, latches per-tile
+/// predicates from `Check`, holds the tile write mask, and accounts cycles
+/// and energy per the configured models.
+///
+/// # Example
+///
+/// ```
+/// use bpntt_sram::{BitOp, BitRow, Controller, Instruction, PredMode, RowAddr, SramArray};
+///
+/// let array = SramArray::new(8, 64)?;
+/// let mut ctl = Controller::new(array, 32)?; // two 32-bit tiles
+/// let mut a = BitRow::zero(64);
+/// a.set_tile_word(0, 32, 0b1100);
+/// ctl.load_data_row(0, a);
+/// let mut b = BitRow::zero(64);
+/// b.set_tile_word(0, 32, 0b1010);
+/// ctl.load_data_row(1, b);
+/// ctl.execute(&Instruction::Binary {
+///     dst: RowAddr(2),
+///     op: BitOp::Xor,
+///     src0: RowAddr(0),
+///     src1: RowAddr(1),
+///     dst2: Some((RowAddr(3), BitOp::And)),
+///     shift: None,
+///     pred: PredMode::Always,
+/// })?;
+/// assert_eq!(ctl.peek_row(2).tile_word(0, 32), 0b0110);
+/// assert_eq!(ctl.peek_row(3).tile_word(0, 32), 0b1000);
+/// # Ok::<(), bpntt_sram::SramError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Controller {
+    array: SramArray,
+    tile_width: usize,
+    n_tiles: usize,
+    pred: Vec<bool>,
+    tile_mask: Vec<bool>,
+    /// Pre-built column masks, one per tile (all of tile `t`'s bits set).
+    tile_col_masks: Vec<BitRow>,
+    zero_flag: bool,
+    timing: TimingModel,
+    energy: EnergyModel,
+    stats: Stats,
+}
+
+impl Controller {
+    /// Wraps an array with a tile configuration and default cost models.
+    ///
+    /// # Errors
+    ///
+    /// [`SramError::BadTileWidth`] when `tile_width` does not divide the
+    /// array's column count (or is zero).
+    pub fn new(array: SramArray, tile_width: usize) -> Result<Self, SramError> {
+        if tile_width == 0 || array.cols() % tile_width != 0 {
+            return Err(SramError::BadTileWidth { width: tile_width, cols: array.cols() });
+        }
+        let n_tiles = array.cols() / tile_width;
+        let tile_col_masks = (0..n_tiles)
+            .map(|t| {
+                let mut m = BitRow::zero(array.cols());
+                for c in t * tile_width..(t + 1) * tile_width {
+                    m.set_bit(c, true);
+                }
+                m
+            })
+            .collect();
+        Ok(Controller {
+            array,
+            tile_width,
+            n_tiles,
+            pred: vec![false; n_tiles],
+            tile_mask: vec![true; n_tiles],
+            tile_col_masks,
+            zero_flag: false,
+            timing: TimingModel::paper(),
+            energy: EnergyModel::cmos_45nm(),
+            stats: Stats::default(),
+        })
+    }
+
+    /// Replaces the timing model (e.g. [`TimingModel::conservative`]).
+    pub fn set_timing_model(&mut self, timing: TimingModel) {
+        self.timing = timing;
+    }
+
+    /// Replaces the energy model.
+    pub fn set_energy_model(&mut self, energy: EnergyModel) {
+        self.energy = energy;
+    }
+
+    /// Tile width in columns.
+    #[must_use]
+    pub fn tile_width(&self) -> usize {
+        self.tile_width
+    }
+
+    /// Number of tiles.
+    #[must_use]
+    pub fn n_tiles(&self) -> usize {
+        self.n_tiles
+    }
+
+    /// Array height.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.array.rows()
+    }
+
+    /// Array width.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.array.cols()
+    }
+
+    /// The wired-OR zero flag set by the last `CheckZero`.
+    #[must_use]
+    pub fn zero_flag(&self) -> bool {
+        self.zero_flag
+    }
+
+    /// The predicate latch of tile `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    #[must_use]
+    pub fn pred(&self, t: usize) -> bool {
+        self.pred[t]
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Resets the statistics to zero (array contents are untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = Stats::default();
+    }
+
+    /// Uncosted debug view of a row (not a simulated access).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    #[must_use]
+    pub fn peek_row(&self, r: usize) -> &BitRow {
+        self.array.row(r)
+    }
+
+    /// Loads one data row through the normal SRAM write port (costed as a
+    /// row write, not a compute instruction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range or the row width mismatches.
+    pub fn load_data_row(&mut self, r: usize, data: BitRow) {
+        self.array.write_row(r, data);
+        self.stats.row_loads += 1;
+        self.stats.cycles += self.timing.row_io;
+        self.stats.energy_pj += self.energy.row_io_pj(self.array.cols());
+    }
+
+    /// Reads one data row through the normal SRAM read port (costed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    #[must_use]
+    pub fn read_data_row(&mut self, r: usize) -> BitRow {
+        self.stats.row_stores += 1;
+        self.stats.cycles += self.timing.row_io;
+        self.stats.energy_pj += self.energy.row_io_pj(self.array.cols());
+        self.array.row(r).clone()
+    }
+
+    fn check_row(&self, r: crate::isa::RowAddr) -> Result<usize, SramError> {
+        let idx = r.index();
+        if idx >= self.array.rows() {
+            return Err(SramError::RowOutOfRange { row: idx, rows: self.array.rows() });
+        }
+        Ok(idx)
+    }
+
+    fn write_enabled(&self, t: usize, pred: PredMode) -> bool {
+        self.tile_mask[t]
+            && match pred {
+                PredMode::Always => true,
+                PredMode::IfSet => self.pred[t],
+                PredMode::IfClear => !self.pred[t],
+            }
+    }
+
+    /// Write-back with per-tile gating: only enabled tiles take the new
+    /// value; the rest keep the old row contents.
+    fn write_gated(&mut self, dst: usize, computed: BitRow, pred: PredMode) {
+        let all_enabled =
+            pred == PredMode::Always && self.tile_mask.iter().all(|&m| m);
+        if all_enabled {
+            self.array.write_row(dst, computed);
+            return;
+        }
+        // Column mask of all enabled tiles, then a word-level merge.
+        let mut mask = BitRow::zero(self.array.cols());
+        let mut any = false;
+        for t in 0..self.n_tiles {
+            if self.write_enabled(t, pred) {
+                mask = mask.or(&self.tile_col_masks[t]);
+                any = true;
+            }
+        }
+        if !any {
+            return;
+        }
+        let merged = self.array.row(dst).and(&mask.not()).or(&computed.and(&mask));
+        self.array.write_row(dst, merged);
+    }
+
+    fn apply_shift(&self, row: &BitRow, dir: ShiftDir, masked: bool) -> BitRow {
+        match (dir, masked) {
+            (ShiftDir::Left, false) => row.shl1_global(),
+            (ShiftDir::Left, true) => row.shl1_masked(self.tile_width),
+            (ShiftDir::Right, false) => row.shr1_global(),
+            (ShiftDir::Right, true) => row.shr1_masked(self.tile_width),
+        }
+    }
+
+    fn select(sense: &SenseResult, op: BitOp) -> BitRow {
+        match op {
+            BitOp::And => sense.and.clone(),
+            BitOp::Or => sense.or.clone(),
+            BitOp::Xor => sense.xor.clone(),
+            BitOp::Nor => sense.nor.clone(),
+        }
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// [`SramError::RowOutOfRange`] for bad row addresses and
+    /// [`SramError::CheckBitOutOfRange`] for a `Check` outside the tile.
+    pub fn execute(&mut self, instr: &Instruction) -> Result<(), SramError> {
+        self.stats.cycles += self.timing.cycles(instr);
+        self.stats.energy_pj += self.energy.energy_pj(instr, self.array.cols());
+        match *instr {
+            Instruction::Check { src, bit } => {
+                let src = self.check_row(src)?;
+                if usize::from(bit) >= self.tile_width {
+                    return Err(SramError::CheckBitOutOfRange {
+                        bit,
+                        tile_width: self.tile_width,
+                    });
+                }
+                let row = self.array.row(src);
+                for t in 0..self.n_tiles {
+                    self.pred[t] = row.bit(t * self.tile_width + usize::from(bit));
+                }
+                self.stats.counts.check += 1;
+            }
+            Instruction::CheckZero { src } => {
+                let src = self.check_row(src)?;
+                self.zero_flag = self.array.row(src).is_zero();
+                self.stats.counts.check_zero += 1;
+            }
+            Instruction::MaskTiles { stride_log2, phase } => {
+                for (t, m) in self.tile_mask.iter_mut().enumerate() {
+                    let bit = if stride_log2 >= 63 { 0 } else { (t >> stride_log2) & 1 };
+                    *m = (bit == 1) == phase;
+                }
+                self.stats.counts.mask += 1;
+            }
+            Instruction::MaskAll => {
+                self.tile_mask.iter_mut().for_each(|m| *m = true);
+                self.stats.counts.mask += 1;
+            }
+            Instruction::Unary { dst, src, kind, pred } => {
+                let dst = self.check_row(dst)?;
+                let computed = match kind {
+                    UnaryKind::Copy => self.array.row(self.check_row(src)?).clone(),
+                    UnaryKind::Not => self.array.row(self.check_row(src)?).not(),
+                    UnaryKind::Zero => BitRow::zero(self.array.cols()),
+                };
+                self.write_gated(dst, computed, pred);
+                self.stats.counts.unary += 1;
+            }
+            Instruction::Shift { dst, src, dir, masked, pred } => {
+                let dst = self.check_row(dst)?;
+                let src = self.check_row(src)?;
+                let computed = self.apply_shift(self.array.row(src), dir, masked);
+                // Clone is needed because apply_shift borrows the array.
+                self.write_gated(dst, computed, pred);
+                self.stats.counts.shift += 1;
+            }
+            Instruction::Binary { dst, op, src0, src1, dst2, shift, pred } => {
+                let dst = self.check_row(dst)?;
+                let src0 = self.check_row(src0)?;
+                let src1 = self.check_row(src1)?;
+                let sense = self.array.sense(src0, src1);
+                let mut primary = Self::select(&sense, op);
+                if let Some((dir, masked)) = shift {
+                    primary = self.apply_shift(&primary, dir, masked);
+                    self.stats.counts.fused_shifts += 1;
+                }
+                // Compute the second result *before* any write-back so both
+                // derive from the same activation.
+                let second = dst2.map(|(d2, op2)| (d2, Self::select(&sense, op2)));
+                self.write_gated(dst, primary, pred);
+                if let Some((d2, row2)) = second {
+                    let d2 = self.check_row(d2)?;
+                    self.write_gated(d2, row2, pred);
+                    self.stats.counts.second_writebacks += 1;
+                }
+                self.stats.counts.binary += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes a straight-line program.
+    ///
+    /// # Errors
+    ///
+    /// Stops at — and returns — the first instruction error.
+    pub fn run(&mut self, program: &Program) -> Result<(), SramError> {
+        for i in program.instructions() {
+            self.execute(i)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::RowAddr;
+
+    fn controller(rows: usize, cols: usize, w: usize) -> Controller {
+        Controller::new(SramArray::new(rows, cols).unwrap(), w).unwrap()
+    }
+
+    fn row_with(cols: usize, w: usize, words: &[u64]) -> BitRow {
+        let mut r = BitRow::zero(cols);
+        for (t, &v) in words.iter().enumerate() {
+            r.set_tile_word(t, w, v);
+        }
+        r
+    }
+
+    #[test]
+    fn rejects_bad_tile_width() {
+        assert!(Controller::new(SramArray::new(8, 64).unwrap(), 0).is_err());
+        assert!(Controller::new(SramArray::new(8, 64).unwrap(), 48).is_err());
+        assert!(Controller::new(SramArray::new(8, 64).unwrap(), 16).is_ok());
+    }
+
+    #[test]
+    fn check_latches_per_tile_predicates() {
+        let mut c = controller(4, 64, 16);
+        c.load_data_row(0, row_with(64, 16, &[1, 0, 1, 0]));
+        c.execute(&Instruction::Check { src: RowAddr(0), bit: 0 }).unwrap();
+        assert_eq!((c.pred(0), c.pred(1), c.pred(2), c.pred(3)), (true, false, true, false));
+    }
+
+    #[test]
+    fn check_bit_out_of_tile_errors() {
+        let mut c = controller(4, 64, 16);
+        assert!(matches!(
+            c.execute(&Instruction::Check { src: RowAddr(0), bit: 16 }),
+            Err(SramError::CheckBitOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn predicated_write_only_touches_selected_tiles() {
+        let mut c = controller(4, 64, 16);
+        c.load_data_row(0, row_with(64, 16, &[1, 0, 1, 0])); // predicates
+        c.load_data_row(1, row_with(64, 16, &[7, 7, 7, 7])); // source
+        c.load_data_row(2, row_with(64, 16, &[9, 9, 9, 9])); // destination
+        c.execute(&Instruction::Check { src: RowAddr(0), bit: 0 }).unwrap();
+        c.execute(&Instruction::Unary {
+            dst: RowAddr(2),
+            src: RowAddr(1),
+            kind: UnaryKind::Copy,
+            pred: PredMode::IfSet,
+        })
+        .unwrap();
+        let r = c.peek_row(2);
+        assert_eq!(
+            [r.tile_word(0, 16), r.tile_word(1, 16), r.tile_word(2, 16), r.tile_word(3, 16)],
+            [7, 9, 7, 9]
+        );
+        // Complementary predicate covers the rest.
+        c.execute(&Instruction::Unary {
+            dst: RowAddr(2),
+            src: RowAddr(1),
+            kind: UnaryKind::Zero,
+            pred: PredMode::IfClear,
+        })
+        .unwrap();
+        let r = c.peek_row(2);
+        assert_eq!(
+            [r.tile_word(0, 16), r.tile_word(1, 16), r.tile_word(2, 16), r.tile_word(3, 16)],
+            [7, 0, 7, 0]
+        );
+    }
+
+    #[test]
+    fn tile_mask_gates_writes() {
+        let mut c = controller(4, 64, 16);
+        c.load_data_row(0, row_with(64, 16, &[1, 2, 3, 4]));
+        c.execute(&Instruction::MaskTiles { stride_log2: 0, phase: false }).unwrap();
+        // Tiles 0 and 2 enabled ((t>>0)&1 == 0).
+        c.execute(&Instruction::Unary {
+            dst: RowAddr(1),
+            src: RowAddr(0),
+            kind: UnaryKind::Copy,
+            pred: PredMode::Always,
+        })
+        .unwrap();
+        let r = c.peek_row(1);
+        assert_eq!(
+            [r.tile_word(0, 16), r.tile_word(1, 16), r.tile_word(2, 16), r.tile_word(3, 16)],
+            [1, 0, 3, 0]
+        );
+        c.execute(&Instruction::MaskAll).unwrap();
+        c.execute(&Instruction::Unary {
+            dst: RowAddr(1),
+            src: RowAddr(0),
+            kind: UnaryKind::Copy,
+            pred: PredMode::Always,
+        })
+        .unwrap();
+        assert_eq!(c.peek_row(1), c.peek_row(0));
+    }
+
+    #[test]
+    fn binary_dual_writeback_uses_one_activation() {
+        let mut c = controller(8, 64, 32);
+        c.load_data_row(0, row_with(64, 32, &[0b1100, 0b1111]));
+        c.load_data_row(1, row_with(64, 32, &[0b1010, 0b0001]));
+        // dst overlaps an operand: the second write-back must still see the
+        // original operands.
+        c.execute(&Instruction::Binary {
+            dst: RowAddr(0), // overwrite src0 with AND
+            op: BitOp::And,
+            src0: RowAddr(0),
+            src1: RowAddr(1),
+            dst2: Some((RowAddr(2), BitOp::Xor)),
+            shift: None,
+            pred: PredMode::Always,
+        })
+        .unwrap();
+        assert_eq!(c.peek_row(0).tile_word(0, 32), 0b1000);
+        assert_eq!(c.peek_row(2).tile_word(0, 32), 0b0110, "XOR of the *original* rows");
+        assert_eq!(c.peek_row(2).tile_word(1, 32), 0b1110);
+        assert_eq!(c.stats().counts.binary, 1);
+        assert_eq!(c.stats().counts.second_writebacks, 1);
+    }
+
+    #[test]
+    fn fused_shift_applies_to_primary_result() {
+        let mut c = controller(8, 64, 32);
+        c.load_data_row(0, row_with(64, 32, &[0b0110, 0]));
+        c.load_data_row(1, row_with(64, 32, &[0b0000, 0]));
+        c.execute(&Instruction::Binary {
+            dst: RowAddr(2),
+            op: BitOp::Or,
+            src0: RowAddr(0),
+            src1: RowAddr(1),
+            dst2: None,
+            shift: Some((ShiftDir::Right, false)),
+            pred: PredMode::Always,
+        })
+        .unwrap();
+        assert_eq!(c.peek_row(2).tile_word(0, 32), 0b0011);
+        assert_eq!(c.stats().counts.fused_shifts, 1);
+    }
+
+    #[test]
+    fn zero_flag_reflects_row_contents() {
+        let mut c = controller(4, 64, 32);
+        c.execute(&Instruction::CheckZero { src: RowAddr(1) }).unwrap();
+        assert!(c.zero_flag());
+        c.load_data_row(1, row_with(64, 32, &[0, 1]));
+        c.execute(&Instruction::CheckZero { src: RowAddr(1) }).unwrap();
+        assert!(!c.zero_flag());
+    }
+
+    #[test]
+    fn costs_accumulate() {
+        let mut c = controller(4, 64, 32);
+        c.load_data_row(0, row_with(64, 32, &[5, 6]));
+        c.execute(&Instruction::Shift {
+            dst: RowAddr(1),
+            src: RowAddr(0),
+            dir: ShiftDir::Left,
+            masked: true,
+            pred: PredMode::Always,
+        })
+        .unwrap();
+        let s = c.stats();
+        assert_eq!(s.cycles, 2, "1 row load + 1 shift at the paper timing");
+        assert!(s.energy_pj > 0.0);
+        assert_eq!(s.row_loads, 1);
+        assert_eq!(s.counts.shift, 1);
+    }
+
+    #[test]
+    fn out_of_range_rows_error() {
+        let mut c = controller(4, 64, 32);
+        assert!(matches!(
+            c.execute(&Instruction::CheckZero { src: RowAddr(4) }),
+            Err(SramError::RowOutOfRange { row: 4, rows: 4 })
+        ));
+    }
+}

@@ -1,0 +1,216 @@
+//! Area and frequency models for the SRAM subarray at 45 nm.
+//!
+//! The paper reports, for a 256×256 BP-NTT subarray at 45 nm: 0.063 mm²
+//! total area, **< 2% overhead** versus a conventional subarray, and a
+//! maximum clock of 3.8 GHz (Table I). These models reproduce those numbers
+//! from a component-level breakdown and extrapolate to other geometries for
+//! the array-scaling studies (the "larger subarray" remark under Fig. 8(b)).
+
+/// Array geometry in rows × columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArrayGeometry {
+    /// Wordlines.
+    pub rows: usize,
+    /// Bitline pairs.
+    pub cols: usize,
+}
+
+impl ArrayGeometry {
+    /// The paper's design point, sized after an Arm Cortex-M0+-class MCU
+    /// cache subarray.
+    #[must_use]
+    pub fn paper_256x256() -> Self {
+        ArrayGeometry { rows: 256, cols: 256 }
+    }
+
+    /// Total bit cells.
+    #[must_use]
+    pub fn cells(&self) -> usize {
+        self.rows * self.cols
+    }
+}
+
+/// Component-level area breakdown in mm².
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaBreakdown {
+    /// 6T cell matrix.
+    pub cells_mm2: f64,
+    /// Row periphery: the two wordline decoders + drivers (dual-row
+    /// activation needs two decoders, Fig. 4(c)).
+    pub row_periphery_mm2: f64,
+    /// Column periphery: precharge, sense amplifiers, write drivers.
+    pub col_periphery_mm2: f64,
+    /// Timing/control logic of a conventional subarray.
+    pub control_mm2: f64,
+    /// BP-NTT additions: NOR+inverter for XOR/OR, shift MUX + latch,
+    /// predicate latch per sense amplifier.
+    pub compute_extra_mm2: f64,
+}
+
+impl AreaBreakdown {
+    /// Area of the unmodified, conventional subarray.
+    #[must_use]
+    pub fn conventional_mm2(&self) -> f64 {
+        self.cells_mm2 + self.row_periphery_mm2 + self.col_periphery_mm2 + self.control_mm2
+    }
+
+    /// Total area including the compute modifications.
+    #[must_use]
+    pub fn total_mm2(&self) -> f64 {
+        self.conventional_mm2() + self.compute_extra_mm2
+    }
+
+    /// Compute-modification overhead as a fraction of the conventional
+    /// array (the paper claims < 2%).
+    #[must_use]
+    pub fn overhead_fraction(&self) -> f64 {
+        self.compute_extra_mm2 / self.conventional_mm2()
+    }
+}
+
+/// Area model with 45 nm component constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaModel {
+    /// One 6T cell (µm²). 0.38 µm² is a typical published 45 nm value.
+    pub cell_um2: f64,
+    /// Per-row driver + decoder slice for each of the two decoders (µm²).
+    pub row_driver_um2: f64,
+    /// Per-column precharge + SA + write driver (µm²).
+    pub col_periphery_um2: f64,
+    /// Fixed control/timing block (µm²).
+    pub control_um2: f64,
+    /// Per-column BP-NTT additions (µm²): extra NOR/inverter, shift MUX,
+    /// latch, predicate latch.
+    pub compute_extra_um2_per_col: f64,
+}
+
+impl AreaModel {
+    /// 45 nm constants, calibrated so the 256×256 design point totals the
+    /// paper's 0.063 mm² with < 2% compute overhead.
+    #[must_use]
+    pub fn cmos_45nm() -> Self {
+        AreaModel {
+            cell_um2: 0.38,
+            row_driver_um2: 30.0,
+            col_periphery_um2: 70.0,
+            control_um2: 3800.0,
+            compute_extra_um2_per_col: 4.5,
+        }
+    }
+
+    /// Breakdown for a geometry.
+    #[must_use]
+    pub fn breakdown(&self, geom: ArrayGeometry) -> AreaBreakdown {
+        let to_mm2 = 1e-6;
+        AreaBreakdown {
+            cells_mm2: geom.cells() as f64 * self.cell_um2 * to_mm2,
+            row_periphery_mm2: 2.0 * geom.rows as f64 * self.row_driver_um2 * to_mm2,
+            col_periphery_mm2: geom.cols as f64 * self.col_periphery_um2 * to_mm2,
+            control_mm2: self.control_um2 * to_mm2,
+            compute_extra_mm2: geom.cols as f64 * self.compute_extra_um2_per_col * to_mm2,
+        }
+    }
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        AreaModel::cmos_45nm()
+    }
+}
+
+/// Critical-path model for the subarray clock.
+///
+/// `t = t_fixed + t_dec·log₂(rows) + t_wl·cols + t_bl·rows + t_sa`
+/// (decoder depth, wordline RC, bitline RC, sense time), calibrated to
+/// 3.8 GHz at 256×256 / 45 nm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrequencyModel {
+    /// Fixed clocking overhead (ps).
+    pub t_fixed_ps: f64,
+    /// Per-decoder-level delay (ps).
+    pub t_dec_ps: f64,
+    /// Wordline RC per column (ps).
+    pub t_wl_ps_per_col: f64,
+    /// Bitline RC per row (ps).
+    pub t_bl_ps_per_row: f64,
+    /// Sense-amplifier resolution (ps).
+    pub t_sa_ps: f64,
+}
+
+impl FrequencyModel {
+    /// 45 nm constants (3.8 GHz at the 256×256 design point).
+    #[must_use]
+    pub fn cmos_45nm() -> Self {
+        FrequencyModel {
+            t_fixed_ps: 29.6,
+            t_dec_ps: 6.25,
+            t_wl_ps_per_col: 0.25,
+            t_bl_ps_per_row: 0.35,
+            t_sa_ps: 30.0,
+        }
+    }
+
+    /// Critical-path delay in picoseconds.
+    #[must_use]
+    pub fn delay_ps(&self, geom: ArrayGeometry) -> f64 {
+        self.t_fixed_ps
+            + self.t_dec_ps * (geom.rows as f64).log2()
+            + self.t_wl_ps_per_col * geom.cols as f64
+            + self.t_bl_ps_per_row * geom.rows as f64
+            + self.t_sa_ps
+    }
+
+    /// Maximum clock frequency in hertz.
+    #[must_use]
+    pub fn f_max_hz(&self, geom: ArrayGeometry) -> f64 {
+        1e12 / self.delay_ps(geom)
+    }
+}
+
+impl Default for FrequencyModel {
+    fn default() -> Self {
+        FrequencyModel::cmos_45nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_design_point_area() {
+        let b = AreaModel::cmos_45nm().breakdown(ArrayGeometry::paper_256x256());
+        let total = b.total_mm2();
+        assert!(
+            (total - 0.063).abs() < 0.002,
+            "total area {total:.4} mm² should be ≈0.063 mm² (Table I)"
+        );
+        assert!(
+            b.overhead_fraction() < 0.02,
+            "compute overhead {:.3}% must stay under the paper's 2%",
+            b.overhead_fraction() * 100.0
+        );
+        assert!(b.overhead_fraction() > 0.005, "overhead should be nonzero and visible");
+    }
+
+    #[test]
+    fn paper_design_point_frequency() {
+        let f = FrequencyModel::cmos_45nm().f_max_hz(ArrayGeometry::paper_256x256());
+        assert!(
+            (f - 3.8e9).abs() / 3.8e9 < 0.01,
+            "f_max {:.3} GHz should be ≈3.8 GHz (Table I)",
+            f / 1e9
+        );
+    }
+
+    #[test]
+    fn bigger_arrays_are_slower_and_bigger() {
+        let fm = FrequencyModel::cmos_45nm();
+        let am = AreaModel::cmos_45nm();
+        let small = ArrayGeometry { rows: 128, cols: 128 };
+        let big = ArrayGeometry { rows: 512, cols: 512 };
+        assert!(fm.f_max_hz(small) > fm.f_max_hz(ArrayGeometry::paper_256x256()));
+        assert!(fm.f_max_hz(big) < fm.f_max_hz(ArrayGeometry::paper_256x256()));
+        assert!(am.breakdown(big).total_mm2() > 4.0 * am.breakdown(small).total_mm2());
+    }
+}

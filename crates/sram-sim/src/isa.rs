@@ -1,0 +1,503 @@
+//! The BP-NTT instruction set and its binary encoding.
+//!
+//! Fig. 4(d) of the paper defines four instruction classes — `Check`,
+//! `Unary`, `Shift`, `Binary` — issued from a repurposed command/control
+//! subarray. This module reproduces that ISA, extended with the three
+//! facilities the paper's dataflow implies but does not spell out
+//! (`DESIGN.md` D2/D3):
+//!
+//! * **per-tile predication** — `Check` latches one bit per tile (the
+//!   "implicit compare" of Algorithm 2 line 11); later instructions can be
+//!   gated on it;
+//! * **zero detection** — `CheckZero` wire-ORs a row's sense amplifiers so
+//!   carry-resolution loops can terminate early;
+//! * **static tile masks** — `MaskTiles` enables SIMD butterflies across
+//!   tiles when one polynomial spans several tiles (Fig. 8(b) workloads).
+//!
+//! Instructions encode to a fixed 64-bit word (the paper packs into ~34
+//! bits for a 256-row array; we widen the row fields to 10 bits so array
+//! scaling experiments fit the same format).
+
+use crate::error::SramError;
+
+/// A wordline (row) address.
+///
+/// # Example
+///
+/// ```
+/// let r = bpntt_sram::RowAddr(3);
+/// assert_eq!(r.index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RowAddr(pub u16);
+
+impl RowAddr {
+    /// The row index as a `usize`.
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+}
+
+/// Boolean sense-amplifier output selected for write-back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BitOp {
+    /// Bitline AND of the two activated rows.
+    And,
+    /// OR (inverted NOR).
+    Or,
+    /// XOR (AND and NOR combined, Fig. 3(b)).
+    Xor,
+    /// The native complementary-bitline NOR.
+    Nor,
+}
+
+/// Direction of a 1-bit shift (left = toward the tile MSB).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShiftDir {
+    /// Toward higher columns (×2 within a tile).
+    Left,
+    /// Toward lower columns (÷2 within a tile).
+    Right,
+}
+
+/// Per-tile predicate gating of a write-back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PredMode {
+    /// Write in every (mask-enabled) tile.
+    #[default]
+    Always,
+    /// Write only in tiles whose predicate latch is set.
+    IfSet,
+    /// Write only in tiles whose predicate latch is clear.
+    IfClear,
+}
+
+/// Source transformation of a `Unary` instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryKind {
+    /// Plain copy (bitline sense).
+    Copy,
+    /// Complement copy (complementary-bitline sense).
+    Not,
+    /// Write all zeros (write drivers only; no source row is read).
+    Zero,
+}
+
+/// One BP-NTT instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instruction {
+    /// Sense tile-relative column `bit` of row `src` and latch it as each
+    /// tile's predicate (paper: the "implicit compare" / LSB check).
+    Check {
+        /// Row to sense.
+        src: RowAddr,
+        /// Tile-relative bit position (0 = tile LSB).
+        bit: u16,
+    },
+    /// Sense row `src` and set the global zero flag when every column reads
+    /// zero (wired-OR across sense amplifiers).
+    CheckZero {
+        /// Row to sense.
+        src: RowAddr,
+    },
+    /// Enable write-back only in tiles `t` with `(t >> stride_log2) & 1 ==
+    /// phase` (SIMD grouping for cross-tile butterflies).
+    MaskTiles {
+        /// log₂ of the pairing distance in tiles.
+        stride_log2: u8,
+        /// Which half of each pair is enabled.
+        phase: bool,
+    },
+    /// Re-enable write-back in every tile.
+    MaskAll,
+    /// `dst ← f(src)` for `f ∈ {copy, not, zero}`.
+    Unary {
+        /// Destination row.
+        dst: RowAddr,
+        /// Source row (ignored for [`UnaryKind::Zero`]).
+        src: RowAddr,
+        /// The transformation.
+        kind: UnaryKind,
+        /// Predicate gating.
+        pred: PredMode,
+    },
+    /// `dst ← src shifted by one bit`.
+    Shift {
+        /// Destination row.
+        dst: RowAddr,
+        /// Source row (may equal `dst`).
+        src: RowAddr,
+        /// Shift direction.
+        dir: ShiftDir,
+        /// Inject zero at tile boundaries instead of letting bits cross.
+        masked: bool,
+        /// Predicate gating.
+        pred: PredMode,
+    },
+    /// Dual-row activation: sense rows `src0`/`src1`, write `op`'s result
+    /// to `dst` (optionally shifted by one bit on the way through the
+    /// sense-amp latch) and optionally a second boolean function of the
+    /// *same* activation to `dst2` — this is how `c1, s1 = {A&B, A⊕B}`
+    /// costs a single step in the paper's Fig. 6.
+    Binary {
+        /// Primary destination row.
+        dst: RowAddr,
+        /// Boolean function written to `dst`.
+        op: BitOp,
+        /// First activated row.
+        src0: RowAddr,
+        /// Second activated row.
+        src1: RowAddr,
+        /// Optional second write-back of the same activation.
+        dst2: Option<(RowAddr, BitOp)>,
+        /// Optional 1-bit shift applied to the primary result
+        /// (`(direction, masked)`).
+        shift: Option<(ShiftDir, bool)>,
+        /// Predicate gating (applies to both write-backs).
+        pred: PredMode,
+    },
+}
+
+// ---- binary encoding -----------------------------------------------------
+
+const OP_CHECK: u64 = 0;
+const OP_CHECKZERO: u64 = 1;
+const OP_MASKTILES: u64 = 2;
+const OP_MASKALL: u64 = 3;
+const OP_UNARY: u64 = 4;
+const OP_SHIFT: u64 = 5;
+const OP_BINARY: u64 = 6;
+
+fn bitop_code(op: BitOp) -> u64 {
+    match op {
+        BitOp::And => 0,
+        BitOp::Or => 1,
+        BitOp::Xor => 2,
+        BitOp::Nor => 3,
+    }
+}
+
+fn bitop_from(code: u64) -> BitOp {
+    match code & 3 {
+        0 => BitOp::And,
+        1 => BitOp::Or,
+        2 => BitOp::Xor,
+        _ => BitOp::Nor,
+    }
+}
+
+fn pred_code(p: PredMode) -> u64 {
+    match p {
+        PredMode::Always => 0,
+        PredMode::IfSet => 1,
+        PredMode::IfClear => 2,
+    }
+}
+
+fn pred_from(code: u64) -> Result<PredMode, SramError> {
+    match code & 3 {
+        0 => Ok(PredMode::Always),
+        1 => Ok(PredMode::IfSet),
+        2 => Ok(PredMode::IfClear),
+        _ => Err(SramError::ReservedBits { word: code }),
+    }
+}
+
+impl Instruction {
+    /// Encodes the instruction into its 64-bit control word.
+    ///
+    /// Field layout (LSB first): opcode\[3:0\], primary row\[13:4\],
+    /// src0\[23:14\], src1\[33:24\], op\[35:34\], pred\[37:36\],
+    /// shift-present\[38\], shift-dir\[39\], shift-masked\[40\],
+    /// dst2-present\[41\], dst2\[51:42\], dst2-op\[53:52\],
+    /// unary-kind\[55:54\], check-bit / mask fields\[63:56\].
+    #[must_use]
+    pub fn encode(&self) -> u64 {
+        match *self {
+            Instruction::Check { src, bit } => {
+                OP_CHECK | (u64::from(src.0) << 4) | (u64::from(bit) << 56)
+            }
+            Instruction::CheckZero { src } => OP_CHECKZERO | (u64::from(src.0) << 4),
+            Instruction::MaskTiles { stride_log2, phase } => {
+                OP_MASKTILES | (u64::from(stride_log2) << 56) | (u64::from(phase) << 62)
+            }
+            Instruction::MaskAll => OP_MASKALL,
+            Instruction::Unary { dst, src, kind, pred } => {
+                let k = match kind {
+                    UnaryKind::Copy => 0u64,
+                    UnaryKind::Not => 1,
+                    UnaryKind::Zero => 2,
+                };
+                OP_UNARY
+                    | (u64::from(dst.0) << 4)
+                    | (u64::from(src.0) << 14)
+                    | (pred_code(pred) << 36)
+                    | (k << 54)
+            }
+            Instruction::Shift { dst, src, dir, masked, pred } => {
+                OP_SHIFT
+                    | (u64::from(dst.0) << 4)
+                    | (u64::from(src.0) << 14)
+                    | (pred_code(pred) << 36)
+                    | (u64::from(dir == ShiftDir::Right) << 39)
+                    | (u64::from(masked) << 40)
+            }
+            Instruction::Binary { dst, op, src0, src1, dst2, shift, pred } => {
+                let mut w = OP_BINARY
+                    | (u64::from(dst.0) << 4)
+                    | (u64::from(src0.0) << 14)
+                    | (u64::from(src1.0) << 24)
+                    | (bitop_code(op) << 34)
+                    | (pred_code(pred) << 36);
+                if let Some((dir, masked)) = shift {
+                    w |= 1 << 38;
+                    w |= u64::from(dir == ShiftDir::Right) << 39;
+                    w |= u64::from(masked) << 40;
+                }
+                if let Some((d2, op2)) = dst2 {
+                    w |= 1 << 41;
+                    w |= u64::from(d2.0) << 42;
+                    w |= bitop_code(op2) << 52;
+                }
+                w
+            }
+        }
+    }
+
+    /// Decodes a 64-bit control word.
+    ///
+    /// # Errors
+    ///
+    /// [`SramError::BadOpcode`] for unknown opcodes and
+    /// [`SramError::ReservedBits`] for malformed fields.
+    pub fn decode(word: u64) -> Result<Self, SramError> {
+        let opcode = word & 0xF;
+        let row = |shift: u32| RowAddr(((word >> shift) & 0x3FF) as u16);
+        match opcode {
+            OP_CHECK => Ok(Instruction::Check { src: row(4), bit: ((word >> 56) & 0xFF) as u16 }),
+            OP_CHECKZERO => Ok(Instruction::CheckZero { src: row(4) }),
+            OP_MASKTILES => Ok(Instruction::MaskTiles {
+                stride_log2: ((word >> 56) & 0x3F) as u8,
+                phase: (word >> 62) & 1 == 1,
+            }),
+            OP_MASKALL => Ok(Instruction::MaskAll),
+            OP_UNARY => {
+                let kind = match (word >> 54) & 3 {
+                    0 => UnaryKind::Copy,
+                    1 => UnaryKind::Not,
+                    2 => UnaryKind::Zero,
+                    _ => return Err(SramError::ReservedBits { word }),
+                };
+                Ok(Instruction::Unary {
+                    dst: row(4),
+                    src: row(14),
+                    kind,
+                    pred: pred_from(word >> 36)?,
+                })
+            }
+            OP_SHIFT => Ok(Instruction::Shift {
+                dst: row(4),
+                src: row(14),
+                dir: if (word >> 39) & 1 == 1 { ShiftDir::Right } else { ShiftDir::Left },
+                masked: (word >> 40) & 1 == 1,
+                pred: pred_from(word >> 36)?,
+            }),
+            OP_BINARY => {
+                let shift = if (word >> 38) & 1 == 1 {
+                    Some((
+                        if (word >> 39) & 1 == 1 { ShiftDir::Right } else { ShiftDir::Left },
+                        (word >> 40) & 1 == 1,
+                    ))
+                } else {
+                    None
+                };
+                let dst2 = if (word >> 41) & 1 == 1 {
+                    Some((RowAddr(((word >> 42) & 0x3FF) as u16), bitop_from(word >> 52)))
+                } else {
+                    None
+                };
+                Ok(Instruction::Binary {
+                    dst: row(4),
+                    op: bitop_from(word >> 34),
+                    src0: row(14),
+                    src1: row(24),
+                    dst2,
+                    shift,
+                    pred: pred_from(word >> 36)?,
+                })
+            }
+            other => Err(SramError::BadOpcode { opcode: other as u8 }),
+        }
+    }
+
+    /// True for the instruction kinds that move a value by one column
+    /// (explicit `Shift` or a fused shift on a `Binary`) — the quantity the
+    /// paper's "half the shifts of bit-serial designs" claim counts.
+    #[must_use]
+    pub fn is_shift(&self) -> bool {
+        matches!(self, Instruction::Shift { .. })
+            || matches!(self, Instruction::Binary { shift: Some(_), .. })
+    }
+}
+
+/// A straight-line instruction sequence.
+///
+/// Dynamic control flow (carry-resolution loops) lives in the engine that
+/// issues programs; a `Program` is the unit of static cost analysis.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    instrs: Vec<Instruction>,
+}
+
+impl Program {
+    /// An empty program.
+    #[must_use]
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    /// Appends one instruction.
+    pub fn push(&mut self, i: Instruction) {
+        self.instrs.push(i);
+    }
+
+    /// The instructions in order.
+    #[must_use]
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instrs
+    }
+
+    /// Number of instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True when the program is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Encodes every instruction (the CTRL/CMD subarray image).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u64> {
+        self.instrs.iter().map(Instruction::encode).collect()
+    }
+}
+
+impl Extend<Instruction> for Program {
+    fn extend<T: IntoIterator<Item = Instruction>>(&mut self, iter: T) {
+        self.instrs.extend(iter);
+    }
+}
+
+impl FromIterator<Instruction> for Program {
+    fn from_iter<T: IntoIterator<Item = Instruction>>(iter: T) -> Self {
+        Program { instrs: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_instructions() -> Vec<Instruction> {
+        vec![
+            Instruction::Check { src: RowAddr(250), bit: 0 },
+            Instruction::Check { src: RowAddr(3), bit: 31 },
+            Instruction::CheckZero { src: RowAddr(251) },
+            Instruction::MaskTiles { stride_log2: 3, phase: true },
+            Instruction::MaskAll,
+            Instruction::Unary { dst: RowAddr(1), src: RowAddr(2), kind: UnaryKind::Copy, pred: PredMode::Always },
+            Instruction::Unary { dst: RowAddr(9), src: RowAddr(9), kind: UnaryKind::Not, pred: PredMode::IfSet },
+            Instruction::Unary { dst: RowAddr(0), src: RowAddr(0), kind: UnaryKind::Zero, pred: PredMode::IfClear },
+            Instruction::Shift { dst: RowAddr(7), src: RowAddr(7), dir: ShiftDir::Left, masked: false, pred: PredMode::Always },
+            Instruction::Shift { dst: RowAddr(8), src: RowAddr(7), dir: ShiftDir::Right, masked: true, pred: PredMode::IfSet },
+            Instruction::Binary {
+                dst: RowAddr(100),
+                op: BitOp::And,
+                src0: RowAddr(101),
+                src1: RowAddr(102),
+                dst2: Some((RowAddr(103), BitOp::Xor)),
+                shift: None,
+                pred: PredMode::Always,
+            },
+            Instruction::Binary {
+                dst: RowAddr(513),
+                op: BitOp::Xor,
+                src0: RowAddr(514),
+                src1: RowAddr(515),
+                dst2: Some((RowAddr(516), BitOp::And)),
+                shift: Some((ShiftDir::Right, false)),
+                pred: PredMode::IfSet,
+            },
+            Instruction::Binary {
+                dst: RowAddr(1),
+                op: BitOp::Or,
+                src0: RowAddr(2),
+                src1: RowAddr(3),
+                dst2: None,
+                shift: Some((ShiftDir::Left, true)),
+                pred: PredMode::IfClear,
+            },
+            Instruction::Binary {
+                dst: RowAddr(4),
+                op: BitOp::Nor,
+                src0: RowAddr(5),
+                src1: RowAddr(6),
+                dst2: None,
+                shift: None,
+                pred: PredMode::Always,
+            },
+        ]
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for i in sample_instructions() {
+            let w = i.encode();
+            let back = Instruction::decode(w).unwrap();
+            assert_eq!(back, i, "word {w:#018x}");
+        }
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        assert!(matches!(Instruction::decode(0xF), Err(SramError::BadOpcode { opcode: 15 })));
+        assert!(matches!(Instruction::decode(7), Err(SramError::BadOpcode { opcode: 7 })));
+    }
+
+    #[test]
+    fn is_shift_classifier() {
+        let shift = Instruction::Shift {
+            dst: RowAddr(0),
+            src: RowAddr(0),
+            dir: ShiftDir::Left,
+            masked: false,
+            pred: PredMode::Always,
+        };
+        assert!(shift.is_shift());
+        let fused = Instruction::Binary {
+            dst: RowAddr(0),
+            op: BitOp::Xor,
+            src0: RowAddr(1),
+            src1: RowAddr(2),
+            dst2: None,
+            shift: Some((ShiftDir::Right, false)),
+            pred: PredMode::Always,
+        };
+        assert!(fused.is_shift());
+        let plain = Instruction::MaskAll;
+        assert!(!plain.is_shift());
+    }
+
+    #[test]
+    fn program_encoding_length() {
+        let p: Program = sample_instructions().into_iter().collect();
+        assert_eq!(p.encode().len(), p.len());
+        assert!(!p.is_empty());
+    }
+}

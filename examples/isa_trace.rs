@@ -1,0 +1,74 @@
+//! A look inside the machine: the Fig. 6 algorithm trace, the instruction
+//! encoding of Fig. 4(d), and a few live controller steps.
+//!
+//! ```text
+//! cargo run --example isa_trace
+//! ```
+
+use bpntt_modmath::bitparallel::bp_modmul_traced;
+use bpntt_sram::{
+    BitOp, BitRow, Controller, Instruction, PredMode, RowAddr, ShiftDir, SramArray,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The paper's worked example (Fig. 6) at the word-model level.
+    println!("== Fig. 6 trace: A=4, B=3, M=7, R=8 ==\n{}", bp_modmul_traced(4, 3, 7, 3));
+
+    // 2. The binary control words of Fig. 4(d): the instruction stream for
+    //    one `c1,s1 = Sum&B, Sum^B` step plus the carry realignment.
+    println!("\n== encoded control words ==");
+    let program = [
+        Instruction::Binary {
+            dst: RowAddr(253),
+            op: BitOp::And,
+            src0: RowAddr(255),
+            src1: RowAddr(0),
+            dst2: Some((RowAddr(252), BitOp::Xor)),
+            shift: None,
+            pred: PredMode::Always,
+        },
+        Instruction::Shift {
+            dst: RowAddr(254),
+            src: RowAddr(254),
+            dir: ShiftDir::Left,
+            masked: false,
+            pred: PredMode::Always,
+        },
+        Instruction::Check { src: RowAddr(255), bit: 0 },
+    ];
+    for i in &program {
+        let w = i.encode();
+        println!("  {w:#018x}  {i:?}");
+        assert_eq!(Instruction::decode(w)?, *i, "round-trip");
+    }
+
+    // 3. Drive a real controller: two 8-bit tiles computing in lockstep.
+    println!("\n== live controller: two 8-bit tiles ==");
+    let mut ctl = Controller::new(SramArray::new(8, 16)?, 8)?;
+    let mut a = BitRow::zero(16);
+    a.set_tile_word(0, 8, 0b1100_1010);
+    a.set_tile_word(1, 8, 0b0001_0111);
+    let mut b = BitRow::zero(16);
+    b.set_tile_word(0, 8, 0b1010_0110);
+    b.set_tile_word(1, 8, 0b1111_0000);
+    ctl.load_data_row(0, a);
+    ctl.load_data_row(1, b);
+    ctl.execute(&Instruction::Binary {
+        dst: RowAddr(2),
+        op: BitOp::And,
+        src0: RowAddr(0),
+        src1: RowAddr(1),
+        dst2: Some((RowAddr(3), BitOp::Xor)),
+        shift: None,
+        pred: PredMode::Always,
+    })?;
+    for t in 0..2 {
+        println!(
+            "  tile {t}: AND = {:08b}, XOR = {:08b}",
+            ctl.peek_row(2).tile_word(t, 8),
+            ctl.peek_row(3).tile_word(t, 8)
+        );
+    }
+    println!("\n  stats after one dual-write activation:\n{}", ctl.stats());
+    Ok(())
+}

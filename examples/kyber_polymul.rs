@@ -1,0 +1,59 @@
+//! Kyber-flavoured polynomial multiplication, two ways.
+//!
+//! ```text
+//! cargo run --release --example kyber_polymul
+//! ```
+//!
+//! 1. **On the accelerator**: full negacyclic products over the original
+//!    Kyber prime `q = 7681` (256-point NTT → pointwise with data-driven
+//!    multipliers → inverse NTT), entirely inside one SRAM bank slice.
+//! 2. **In software**: FIPS-203 Kyber (`q = 3329`) via the truncated
+//!    seven-layer NTT with degree-1 base multiplication — the "generality"
+//!    case the paper claims BP-NTT covers.
+
+use bpntt_core::{BpNtt, BpNttConfig};
+use bpntt_ntt::incomplete::{negacyclic_schoolbook, IncompleteNtt};
+use bpntt_ntt::{polymul, NttParams, Polynomial};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- accelerator path: q = 7681 (Kyber v1), 14-bit words -------------
+    // Polynomial products need both operands resident: 2·256 + 6 rows.
+    // A 520×256 slice models two stacked subarrays of the same bank.
+    let params = NttParams::new(256, 7681)?;
+    let cfg = BpNttConfig::new(520, 256, 14, params.clone())?;
+    let lanes = cfg.layout().lanes();
+    println!("accelerator polymul: {lanes} lanes over Z_7681[x]/(x^256+1)");
+    let batch = 4.min(lanes);
+    let a: Vec<Vec<u64>> = (0..batch as u64)
+        .map(|s| Polynomial::pseudo_random(&params, s + 10).into_coeffs())
+        .collect();
+    let b: Vec<Vec<u64>> = (0..batch as u64)
+        .map(|s| Polynomial::pseudo_random(&params, s + 20).into_coeffs())
+        .collect();
+
+    let mut acc = BpNtt::new(cfg)?;
+    let products = acc.polymul(&a, &b)?;
+    for lane in 0..batch {
+        let expect = polymul::polymul_schoolbook(&params, &a[lane], &b[lane])?;
+        assert_eq!(products[lane], expect, "lane {lane} diverged from schoolbook");
+    }
+    println!("  {batch} products verified against schoolbook");
+    println!("  simulator:\n{}", acc.stats());
+
+    // ---- software path: FIPS-203 Kyber (q = 3329, incomplete NTT) --------
+    let kyber = IncompleteNtt::kyber()?;
+    let mut x = 0xC0FFEEu64;
+    let mut rand = || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x % 3329
+    };
+    let fa: Vec<u64> = (0..256).map(|_| rand()).collect();
+    let fb: Vec<u64> = (0..256).map(|_| rand()).collect();
+    let got = kyber.polymul(&fa, &fb)?;
+    assert_eq!(got, negacyclic_schoolbook(&fa, &fb, 3329));
+    println!("\nFIPS-203 Kyber (q=3329): 7-layer incomplete NTT + basemul verified");
+    println!("  (psi = {}, residue degree {})", kyber.psi(), kyber.residue_degree());
+    Ok(())
+}

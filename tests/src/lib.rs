@@ -1,0 +1,3 @@
+//! Cross-crate integration tests (the tests live in `tests/tests/`).
+
+#![forbid(unsafe_code)]

@@ -1,0 +1,138 @@
+//! End-to-end integration: the in-SRAM accelerator against the software
+//! reference across parameter sets, layouts, and pipelines.
+
+use bpntt_core::{BpNtt, BpNttConfig};
+use bpntt_ntt::polymul::polymul_schoolbook;
+use bpntt_ntt::{forward, inverse, NttParams, Polynomial, TwiddleTable};
+
+fn batch(params: &NttParams, lanes: usize, seed: u64) -> Vec<Vec<u64>> {
+    (0..lanes as u64)
+        .map(|s| Polynomial::pseudo_random(params, seed + s).into_coeffs())
+        .collect()
+}
+
+/// Runs forward on the accelerator and compares every lane to the
+/// reference transform.
+fn assert_forward_matches(rows: usize, cols: usize, bw: usize, params: NttParams, seed: u64) {
+    let cfg = BpNttConfig::new(rows, cols, bw, params.clone()).expect("valid config");
+    let lanes = cfg.layout().lanes();
+    let mut acc = BpNtt::new(cfg).expect("construct accelerator");
+    let polys = batch(&params, lanes, seed);
+    acc.load_batch(&polys).unwrap();
+    acc.forward().unwrap();
+    let got = acc.read_batch(lanes).unwrap();
+    let tw = TwiddleTable::new(&params);
+    for (lane, p) in polys.iter().enumerate() {
+        let mut expect = p.clone();
+        forward::ntt_in_place(&params, &tw, &mut expect).unwrap();
+        assert_eq!(got[lane], expect, "lane {lane} at n={} q={}", params.n(), params.modulus());
+    }
+}
+
+#[test]
+fn forward_matches_reference_small_sets() {
+    assert_forward_matches(16, 32, 8, NttParams::new(8, 97).unwrap(), 1);
+    assert_forward_matches(40, 64, 10, NttParams::new(32, 449).unwrap(), 2); // 449 ≡ 1 (mod 64)
+    assert_forward_matches(70, 128, 14, NttParams::new(64, 7681).unwrap(), 3);
+}
+
+#[test]
+fn forward_matches_reference_paper_point() {
+    // The full Table I design point: 16 lanes × 256-point, 16-bit.
+    assert_forward_matches(262, 256, 16, NttParams::dac_256_14bit().unwrap(), 4);
+}
+
+#[test]
+fn forward_matches_reference_multi_tile() {
+    // 1024-point spanning 8 tiles (2 lanes) — the Fig. 8(b) regime.
+    assert_forward_matches(262, 256, 16, NttParams::new(1024, 12_289).unwrap(), 5);
+}
+
+#[test]
+fn inverse_roundtrip_various_layouts() {
+    for (rows, cols, bw, n, q) in [
+        (16usize, 32usize, 8usize, 8usize, 97u64),
+        (262, 256, 16, 256, 12_289),
+        (262, 256, 16, 512, 12_289), // multi-tile
+    ] {
+        let params = NttParams::new(n, q).unwrap();
+        let cfg = BpNttConfig::new(rows, cols, bw, params.clone()).unwrap();
+        let lanes = cfg.layout().lanes();
+        let mut acc = BpNtt::new(cfg).unwrap();
+        let polys = batch(&params, lanes, 77);
+        acc.load_batch(&polys).unwrap();
+        acc.forward().unwrap();
+        acc.inverse().unwrap();
+        assert_eq!(acc.read_batch(lanes).unwrap(), polys, "n={n} on {rows}x{cols}");
+    }
+}
+
+#[test]
+fn accelerator_inverse_matches_reference_inverse() {
+    let params = NttParams::new(64, 7681).unwrap();
+    let cfg = BpNttConfig::new(70, 128, 14, params.clone()).unwrap();
+    let lanes = cfg.layout().lanes();
+    let mut acc = BpNtt::new(cfg).unwrap();
+    let spectra = batch(&params, lanes, 11);
+    acc.load_batch(&spectra).unwrap();
+    acc.inverse().unwrap();
+    let got = acc.read_batch(lanes).unwrap();
+    let tw = TwiddleTable::new(&params);
+    for (lane, s) in spectra.iter().enumerate() {
+        let mut expect = s.clone();
+        inverse::intt_in_place(&params, &tw, &mut expect).unwrap();
+        assert_eq!(got[lane], expect, "lane {lane}");
+    }
+}
+
+#[test]
+fn polymul_pipeline_matches_schoolbook() {
+    let params = NttParams::new(32, 12_289).unwrap();
+    let cfg = BpNttConfig::new(128, 128, 16, params.clone()).unwrap();
+    let lanes = cfg.layout().lanes().min(3);
+    let mut acc = BpNtt::new(cfg).unwrap();
+    let a = batch(&params, lanes, 100);
+    let b = batch(&params, lanes, 200);
+    let got = acc.polymul(&a, &b).unwrap();
+    for lane in 0..lanes {
+        let expect = polymul_schoolbook(&params, &a[lane], &b[lane]).unwrap();
+        assert_eq!(got[lane], expect, "lane {lane}");
+    }
+}
+
+#[test]
+fn partial_batches_leave_unused_lanes_zero() {
+    let params = NttParams::new(8, 97).unwrap();
+    let cfg = BpNttConfig::new(16, 32, 8, params.clone()).unwrap();
+    let mut acc = BpNtt::new(cfg).unwrap();
+    let polys = batch(&params, 2, 9); // 2 of 4 lanes
+    acc.load_batch(&polys).unwrap();
+    acc.forward().unwrap();
+    let got = acc.read_batch(4).unwrap();
+    // NTT of the zero polynomial is zero: unused lanes stay zero.
+    assert!(got[2].iter().all(|&c| c == 0));
+    assert!(got[3].iter().all(|&c| c == 0));
+    let tw = TwiddleTable::new(&params);
+    let mut expect = polys[0].clone();
+    forward::ntt_in_place(&params, &tw, &mut expect).unwrap();
+    assert_eq!(got[0], expect);
+}
+
+#[test]
+fn stats_scale_with_workload() {
+    let params = NttParams::new(64, 7681).unwrap();
+    let run = |n_params: &NttParams| {
+        let cfg = BpNttConfig::new(262, 256, 14, n_params.clone()).unwrap();
+        let lanes = cfg.layout().lanes();
+        let mut acc = BpNtt::new(cfg).unwrap();
+        acc.load_batch(&batch(n_params, lanes, 3)).unwrap();
+        acc.reset_stats();
+        acc.forward().unwrap();
+        acc.stats().cycles
+    };
+    let c64 = run(&params);
+    let c128 = run(&NttParams::new(128, 7681).unwrap());
+    // 128-point does 448 butterflies vs 192: expect slightly more than 2×.
+    let ratio = c128 as f64 / c64 as f64;
+    assert!(ratio > 2.0 && ratio < 3.5, "cycle ratio {ratio:.2}");
+}

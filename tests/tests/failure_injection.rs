@@ -1,0 +1,116 @@
+//! Failure injection: every public construction and loading path rejects
+//! invalid input with a specific, typed error.
+
+use bpntt_core::{BpNtt, BpNttConfig, BpNttError, Layout};
+use bpntt_modmath::ModMathError;
+use bpntt_ntt::{NttError, NttParams};
+use bpntt_sram::{Controller, Instruction, RowAddr, SramArray, SramError};
+
+#[test]
+fn modmath_rejections() {
+    use bpntt_modmath::montgomery::MontCtx;
+    assert!(matches!(MontCtx::new(10, 8), Err(ModMathError::EvenModulus { .. })));
+    assert!(matches!(MontCtx::new(1, 8), Err(ModMathError::ModulusTooSmall { .. })));
+    assert!(matches!(MontCtx::new(511, 8), Err(ModMathError::ModulusTooWide { .. })));
+    assert!(matches!(
+        bpntt_modmath::zq::inv_mod(4, 8),
+        Err(ModMathError::NotInvertible { .. })
+    ));
+    assert!(matches!(
+        bpntt_modmath::roots::primitive_nth_root(3, 17),
+        Err(ModMathError::NoRootOfUnity { .. })
+    ));
+}
+
+#[test]
+fn ntt_rejections() {
+    assert!(matches!(NttParams::new(100, 12_289), Err(NttError::InvalidLength { .. })));
+    assert!(matches!(NttParams::new(256, 12_288), Err(NttError::ModulusNotPrime { .. })));
+    assert!(matches!(NttParams::new(256, 3329), Err(NttError::UnsupportedModulus { .. })));
+    let p = NttParams::new(8, 97).unwrap();
+    let tw = bpntt_ntt::TwiddleTable::new(&p);
+    let mut wrong_len = vec![0u64; 4];
+    assert!(matches!(
+        bpntt_ntt::forward::ntt_in_place(&p, &tw, &mut wrong_len),
+        Err(NttError::LengthMismatch { .. })
+    ));
+    let mut unreduced = vec![97u64; 8];
+    assert!(matches!(
+        bpntt_ntt::forward::ntt_in_place(&p, &tw, &mut unreduced),
+        Err(NttError::UnreducedCoefficient { .. })
+    ));
+}
+
+#[test]
+fn sram_rejections() {
+    assert!(matches!(SramArray::new(0, 64), Err(SramError::BadGeometry { .. })));
+    assert!(matches!(SramArray::new(2048, 64), Err(SramError::BadGeometry { .. })));
+    let arr = SramArray::new(8, 64).unwrap();
+    assert!(matches!(Controller::new(arr, 48), Err(SramError::BadTileWidth { .. })));
+
+    let mut ctl = Controller::new(SramArray::new(8, 64).unwrap(), 16).unwrap();
+    assert!(matches!(
+        ctl.execute(&Instruction::CheckZero { src: RowAddr(8) }),
+        Err(SramError::RowOutOfRange { .. })
+    ));
+    assert!(matches!(
+        ctl.execute(&Instruction::Check { src: RowAddr(0), bit: 16 }),
+        Err(SramError::CheckBitOutOfRange { .. })
+    ));
+    // Unknown opcodes and malformed words fail to decode.
+    assert!(matches!(Instruction::decode(0x7), Err(SramError::BadOpcode { .. })));
+    assert!(matches!(Instruction::decode(0xF), Err(SramError::BadOpcode { .. })));
+}
+
+#[test]
+fn config_rejections() {
+    let p14 = NttParams::dac_256_14bit().unwrap();
+    assert!(matches!(
+        BpNttConfig::new(262, 256, 1, p14.clone()),
+        Err(BpNttError::InvalidBitwidth { .. })
+    ));
+    assert!(matches!(
+        BpNttConfig::new(262, 8, 16, p14.clone()),
+        Err(BpNttError::ArrayTooNarrow { .. })
+    ));
+    assert!(matches!(
+        BpNttConfig::new(262, 256, 14, p14.clone()),
+        Err(BpNttError::NoHeadroom { .. })
+    ));
+    // 4096-point at 16 bits does not fit a 262×256 array.
+    assert!(matches!(
+        NttParams::new(4096, 40_961).map_err(BpNttError::from).and_then(|p| BpNttConfig::new(262, 256, 17, p)),
+        Err(BpNttError::CapacityExceeded { .. })
+    ));
+}
+
+#[test]
+fn engine_load_rejections() {
+    let cfg = BpNttConfig::new(16, 32, 8, NttParams::new(8, 97).unwrap()).unwrap();
+    let mut acc = BpNtt::new(cfg).unwrap();
+    assert!(matches!(
+        acc.load_batch(&vec![vec![0u64; 8]; 99]),
+        Err(BpNttError::BatchTooLarge { .. })
+    ));
+    assert!(matches!(acc.load_batch(&[vec![0u64; 9]]), Err(BpNttError::WrongLength { .. })));
+    assert!(matches!(acc.load_batch(&[vec![1000u64; 8]]), Err(BpNttError::Unreduced { .. })));
+    // Polynomial multiplication requires room for both operands.
+    let a = vec![vec![0u64; 8]];
+    assert!(matches!(acc.polymul(&a, &a), Err(BpNttError::CapacityExceeded { .. })));
+}
+
+#[test]
+fn layout_capacity_rejections() {
+    assert!(matches!(Layout::new(256, 256, 16, 4096), Err(BpNttError::CapacityExceeded { .. })));
+    assert!(matches!(Layout::new(256, 8, 16, 8), Err(BpNttError::ArrayTooNarrow { .. })));
+}
+
+#[test]
+fn errors_format_and_chain() {
+    use std::error::Error;
+    let e = BpNttError::from(SramError::BadOpcode { opcode: 7 });
+    assert!(e.source().is_some());
+    assert!(!e.to_string().is_empty());
+    let e = BpNttError::from(NttError::InvalidLength { n: 3 });
+    assert!(e.to_string().contains('3'));
+}

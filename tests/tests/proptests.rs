@@ -1,0 +1,221 @@
+//! Property-based tests over the whole stack.
+
+use proptest::prelude::*;
+
+use bpntt_core::{Kernels, Layout};
+use bpntt_modmath::bitparallel::{bp_modmul_full, bp_modmul_reduced};
+use bpntt_modmath::bits::{bit_reverse, low_mask};
+use bpntt_modmath::carrysave::CsPair;
+use bpntt_modmath::montgomery::MontCtx;
+use bpntt_modmath::zq::{add_mod, mul_mod, reduce_once, sub_mod};
+use bpntt_ntt::polymul::{polymul_ntt, polymul_schoolbook};
+use bpntt_ntt::{forward, inverse, NttParams, TwiddleTable};
+use bpntt_sram::{BitRow, Controller, Instruction, RowAddr, SramArray};
+
+/// Strategy: a width w ∈ 3..=24 and an odd modulus with one headroom bit.
+fn width_and_modulus() -> impl Strategy<Value = (u32, u64)> {
+    (3u32..=24).prop_flat_map(|w| {
+        let max = (1u64 << (w - 1)) - 1;
+        (Just(w), (3u64..=max.max(3)).prop_map(|q| q | 1))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Algorithm 2 (word model) equals the interleaved Montgomery
+    /// reference for every in-headroom modulus.
+    #[test]
+    fn algorithm2_matches_montgomery((w, q) in width_and_modulus(), a in any::<u64>(), b in any::<u64>()) {
+        let (a, b) = (a % q, b % q);
+        let ctx = MontCtx::new(q, w).unwrap();
+        let out = bp_modmul_full(a, b, q, w);
+        prop_assert!(out.is_exact(), "packing observations violated with headroom");
+        prop_assert_eq!(out.value(), u128::from(ctx.mont_mul_interleaved(a, b)));
+        prop_assert_eq!(bp_modmul_reduced(a, b, q, w), ctx.mont_mul(a, b));
+    }
+
+    /// Carry-save pairs always represent their value exactly.
+    #[test]
+    fn carry_save_value_invariant(adds in proptest::collection::vec(0u64..(1 << 50), 1..8)) {
+        let mut p = CsPair::ZERO;
+        let mut expect: u128 = 0;
+        for a in adds {
+            p = p.add(a);
+            expect += u128::from(a);
+            prop_assert_eq!(p.value(), expect);
+        }
+        let (v, _) = p.resolve();
+        prop_assert_eq!(u128::from(v), expect);
+    }
+
+    /// Bit reversal is an involution and preserves the value set.
+    #[test]
+    fn bit_reverse_involution(bits in 1u32..=32, v in any::<u64>()) {
+        let v = v & low_mask(bits);
+        prop_assert_eq!(bit_reverse(bit_reverse(v, bits), bits), v);
+    }
+
+    /// NTT then inverse NTT is the identity for random valid parameters.
+    #[test]
+    fn ntt_roundtrip(seed in any::<u64>(), idx in 0usize..4) {
+        let (n, q) = [(8usize, 97u64), (16, 193), (32, 12_289), (64, 7681)][idx];
+        let params = NttParams::new(n, q).unwrap();
+        let tw = TwiddleTable::new(&params);
+        let mut x = seed | 1;
+        let orig: Vec<u64> = (0..n).map(|_| {
+            x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+            x % q
+        }).collect();
+        let mut a = orig.clone();
+        forward::ntt_in_place(&params, &tw, &mut a).unwrap();
+        inverse::intt_in_place(&params, &tw, &mut a).unwrap();
+        prop_assert_eq!(a, orig);
+    }
+
+    /// NTT-based negacyclic multiplication equals schoolbook.
+    #[test]
+    fn polymul_matches_schoolbook(seed in any::<u64>()) {
+        let params = NttParams::new(16, 12_289).unwrap();
+        let mut x = seed | 1;
+        let mut rand_poly = || -> Vec<u64> {
+            (0..16).map(|_| {
+                x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+                x % 12_289
+            }).collect()
+        };
+        let a = rand_poly();
+        let b = rand_poly();
+        prop_assert_eq!(
+            polymul_ntt(&params, &a, &b).unwrap(),
+            polymul_schoolbook(&params, &a, &b).unwrap()
+        );
+    }
+
+    /// ISA instructions survive an encode/decode round trip.
+    #[test]
+    fn isa_roundtrip(dst in 0u16..1024, src0 in 0u16..1024, src1 in 0u16..1024,
+                     op in 0u8..4, dual in any::<bool>(), shift in 0u8..3,
+                     masked in any::<bool>(), pred in 0u8..3) {
+        use bpntt_sram::{BitOp, PredMode, ShiftDir};
+        let bitop = [BitOp::And, BitOp::Or, BitOp::Xor, BitOp::Nor][op as usize];
+        let predmode = [PredMode::Always, PredMode::IfSet, PredMode::IfClear][pred as usize];
+        let instr = Instruction::Binary {
+            dst: RowAddr(dst),
+            op: bitop,
+            src0: RowAddr(src0),
+            src1: RowAddr(src1),
+            dst2: dual.then_some((RowAddr(src1 ^ 1), bitop)),
+            shift: match shift {
+                0 => None,
+                1 => Some((ShiftDir::Left, masked)),
+                _ => Some((ShiftDir::Right, masked)),
+            },
+            pred: predmode,
+        };
+        prop_assert_eq!(Instruction::decode(instr.encode()).unwrap(), instr);
+    }
+}
+
+/// Builds a small in-SRAM kernel bench: 4 tiles of width `w`, modulus `q`,
+/// with per-tile operand words, and runs `f`.
+fn with_kernel_setup(
+    w: usize,
+    q: u64,
+    b_words: &[u64; 4],
+    f: impl FnOnce(&Kernels, &mut Controller, &Layout),
+) {
+    let layout = Layout::new(16, 4 * w, w, 4).unwrap();
+    let array = SramArray::new(16, layout.active_cols()).unwrap();
+    let mut ctl = Controller::new(array, w).unwrap();
+    let kernels = Kernels::new(*layout.rowmap(), q, w);
+    let mask = low_mask(w as u32);
+    let mut m_row = BitRow::zero(layout.active_cols());
+    let mut c_row = BitRow::zero(layout.active_cols());
+    let mut b_row = BitRow::zero(layout.active_cols());
+    for t in 0..4 {
+        m_row.set_tile_word(t, w, q);
+        c_row.set_tile_word(t, w, q.wrapping_neg() & mask);
+        b_row.set_tile_word(t, w, b_words[t]);
+    }
+    ctl.load_data_row(layout.rowmap().modulus.index(), m_row);
+    ctl.load_data_row(layout.rowmap().comp_modulus.index(), c_row);
+    ctl.load_data_row(0, b_row);
+    f(&kernels, &mut ctl, &layout);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The in-SRAM constant-multiplier kernel matches the word model in
+    /// every tile simultaneously (which also proves tile isolation: each
+    /// tile carries different data through shared instructions).
+    #[test]
+    fn insram_modmul_matches_word_model(
+        (w32, q) in (4u32..=16).prop_flat_map(|w| {
+            let max = (1u64 << (w - 1)) - 1;
+            (Just(w), (3u64..=max.max(3)).prop_map(|q| q | 1))
+        }),
+        a in any::<u64>(),
+        bs in [any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()],
+    ) {
+        let w = w32 as usize;
+        let a = a % q;
+        let b_words = [bs[0] % q, bs[1] % q, bs[2] % q, bs[3] % q];
+        with_kernel_setup(w, q, &b_words, |kernels, ctl, layout| {
+            kernels.modmul_const(ctl, RowAddr(0), a).unwrap();
+            kernels.finish_modmul(ctl).unwrap();
+            let sum_row = layout.rowmap().sum.index();
+            for (t, &b) in b_words.iter().enumerate() {
+                let got = ctl.peek_row(sum_row).tile_word(t, w);
+                let expect = bp_modmul_reduced(a, b, q, w32);
+                assert_eq!(got, expect, "tile {t}: a={a} b={b} q={q} w={w}");
+            }
+        });
+    }
+
+    /// The in-SRAM add/sub kernels compute modular sums and differences.
+    #[test]
+    fn insram_addsub_matches_reference(
+        (w32, q) in (4u32..=16).prop_flat_map(|w| {
+            let max = (1u64 << (w - 1)) - 1;
+            (Just(w), (3u64..=max.max(3)).prop_map(|q| q | 1))
+        }),
+        xs in [any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()],
+        ys in [any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()],
+    ) {
+        let w = w32 as usize;
+        let x_words = [xs[0] % q, xs[1] % q, xs[2] % q, xs[3] % q];
+        let y_words = [ys[0] % q, ys[1] % q, ys[2] % q, ys[3] % q];
+        with_kernel_setup(w, q, &x_words, |kernels, ctl, _layout| {
+            let mut y_row = BitRow::zero(ctl.cols());
+            for t in 0..4 {
+                y_row.set_tile_word(t, w, y_words[t]);
+            }
+            ctl.load_data_row(1, y_row);
+            kernels.add_mod(ctl, RowAddr(2), RowAddr(0), RowAddr(1), None).unwrap();
+            kernels.sub_mod(ctl, RowAddr(3), RowAddr(0), RowAddr(1), None).unwrap();
+            for t in 0..4 {
+                assert_eq!(
+                    ctl.peek_row(2).tile_word(t, w),
+                    add_mod(x_words[t], y_words[t], q),
+                    "add tile {t} q={q} w={w}"
+                );
+                assert_eq!(
+                    ctl.peek_row(3).tile_word(t, w),
+                    sub_mod(x_words[t], y_words[t], q),
+                    "sub tile {t} q={q} w={w}"
+                );
+            }
+        });
+    }
+
+    /// Modular identities hold for the reference layer (sanity anchor).
+    #[test]
+    fn reference_ring_identities(q in (3u64..=1_000_000).prop_map(|q| q | 1), a in any::<u64>(), b in any::<u64>()) {
+        let (a, b) = (a % q, b % q);
+        prop_assert_eq!(add_mod(sub_mod(a, b, q), b, q), a);
+        prop_assert_eq!(reduce_once(add_mod(a, b, q), q), add_mod(a, b, q));
+        prop_assert_eq!(mul_mod(a, b, q), mul_mod(b, a, q));
+    }
+}
