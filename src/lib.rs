@@ -1,0 +1,24 @@
+//! Umbrella crate for the BP-NTT workspace: re-exports every layer so the
+//! `examples/` directory and downstream users can depend on one crate.
+//!
+//! The layers, bottom to top:
+//!
+//! * [`modmath`] — word-level modular arithmetic oracles (Montgomery,
+//!   Shoup, carry-save, Algorithm 2 word model);
+//! * [`sram`] — the bit-accurate in-SRAM computing simulator and its
+//!   compiled-program replay fast path;
+//! * [`ntt`] — software reference NTT (forward/inverse/polymul);
+//! * [`core`] — the BP-NTT accelerator engine (layout, kernels,
+//!   compile-once/replay-many programs, sharded batch execution);
+//! * [`baselines`], [`cachesim`], [`eval`] — comparison designs and the
+//!   paper-figure evaluation harness.
+
+#![forbid(unsafe_code)]
+
+pub use bpntt_baselines as baselines;
+pub use bpntt_cachesim as cachesim;
+pub use bpntt_core as core;
+pub use bpntt_eval as eval;
+pub use bpntt_modmath as modmath;
+pub use bpntt_ntt as ntt;
+pub use bpntt_sram as sram;
