@@ -1,0 +1,72 @@
+//! The compile-once/replay-many win: per-call emission vs cached-program
+//! replay vs sharded replay, on a 256-point Dilithium forward NTT (the
+//! acceptance config: 24-bit tiles, 10 lanes on a 262×256 array).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bpntt_core::{BpNtt, BpNttConfig, ShardedBpNtt};
+use bpntt_ntt::NttParams;
+
+fn dilithium_config() -> BpNttConfig {
+    BpNttConfig::new(262, 256, 24, NttParams::new(256, 8_380_417).unwrap()).unwrap()
+}
+
+fn pseudo_batch(cfg: &BpNttConfig, lanes: usize, seed: u64) -> Vec<Vec<u64>> {
+    let n = cfg.params().n();
+    let q = cfg.params().modulus();
+    let mut x = seed | 1;
+    (0..lanes)
+        .map(|_| {
+            (0..n)
+                .map(|_| {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    x % q
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_replay_vs_emit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dilithium256_forward");
+    g.sample_size(10);
+    let cfg = dilithium_config();
+    let lanes = cfg.layout().lanes();
+    let batch = pseudo_batch(&cfg, lanes, 1);
+
+    let mut emit = BpNtt::new(cfg.clone()).unwrap();
+    emit.load_batch(&batch).unwrap();
+    g.bench_function("emit_per_call", |b| {
+        b.iter(|| emit.forward_uncached().unwrap());
+    });
+
+    let mut replay = BpNtt::new(cfg.clone()).unwrap();
+    replay.load_batch(&batch).unwrap();
+    replay.forward().unwrap(); // compile + warm the cache
+    g.bench_function("replay_cached", |b| {
+        b.iter(|| replay.forward().unwrap());
+    });
+    g.finish();
+}
+
+fn bench_sharded(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dilithium256_sharded_polys_per_call");
+    g.sample_size(10);
+    let cfg = dilithium_config();
+    let lanes = cfg.layout().lanes();
+    for shards in [1usize, 2, 4, 8] {
+        let mut sharded = ShardedBpNtt::new(&cfg, shards).unwrap();
+        let batch = pseudo_batch(&cfg, shards * lanes, 7);
+        // Warm the shared program cache outside the timing loop.
+        sharded.forward_batch(&batch).unwrap();
+        g.bench_function(format!("shards={shards} ({} polys)", batch.len()), |b| {
+            b.iter(|| sharded.forward_batch(&batch).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_replay_vs_emit, bench_sharded);
+criterion_main!(benches);

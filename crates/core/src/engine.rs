@@ -7,16 +7,47 @@
 //! inverse NTT schedule entirely inside the array, and read the batch
 //! back. All lanes execute the same instruction stream — the SIMD
 //! parallelism across tiles is where BP-NTT's throughput comes from.
+//!
+//! # Compile once, replay many
+//!
+//! The instruction stream of a schedule depends only on the configuration
+//! (`NttParams` + `Layout` + cost models) — never on the loaded data. The
+//! engine therefore *traces* each schedule once through a
+//! [`Recorder`](bpntt_sram::Recorder) into a compiled program and replays
+//! it on every subsequent call ([`BpNtt::forward`], [`BpNtt::inverse`],
+//! [`BpNtt::polymul`]); replay skips code generation, twiddle Montgomery
+//! conversions, per-instruction validation, and cost-model evaluation,
+//! while producing bit-identical array contents and bit-identical
+//! [`Stats`] to direct emission (see [`BpNtt::forward_uncached`]). The
+//! compiled programs are shared — [`ShardedBpNtt`](crate::ShardedBpNtt)
+//! clones them across shards behind an `Arc`.
+
+use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::config::BpNttConfig;
 use crate::error::BpNttError;
 use crate::kernels::Kernels;
+use crate::layout::Layout;
 use bpntt_modmath::montgomery::MontCtx;
 use bpntt_modmath::zq::mul_mod;
 use bpntt_ntt::TwiddleTable;
 use bpntt_sram::{
-    BitRow, Controller, Instruction, PredMode, RowAddr, ShiftDir, SramArray, Stats, UnaryKind,
+    BitRow, CompiledProgram, Controller, InstrSink, Instruction, PredMode, Recorder, RowAddr,
+    ShiftDir, SramArray, Stats, UnaryKind,
 };
+
+/// Cache key for one compiled schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum ProgramKey {
+    /// Forward NTT over the coefficient region based at `base`.
+    Forward { base: u16 },
+    /// Inverse NTT (with its final scaling constant, in Montgomery form)
+    /// over the region based at `base`.
+    Inverse { base: u16, scale_mont: u64 },
+    /// Pointwise products `a_j ← â_j · b̂_j · R⁻¹` over two regions.
+    Pointwise { a_base: u16, b_base: u16 },
+}
 
 /// The BP-NTT accelerator instance.
 ///
@@ -43,6 +74,265 @@ pub struct BpNtt {
     mont: MontCtx,
     kernels: Kernels,
     ctl: Controller,
+    programs: HashMap<ProgramKey, Arc<CompiledProgram>>,
+}
+
+/// Emits complete NTT schedules into any [`InstrSink`]: a live controller
+/// (the uncached path) or a recorder (program compilation). Borrows only
+/// the engine's read-only state so the controller can be the sink.
+struct Emitter<'a> {
+    kernels: &'a Kernels,
+    layout: &'a Layout,
+    twiddles: &'a TwiddleTable,
+    mont: &'a MontCtx,
+    n: usize,
+}
+
+impl Emitter<'_> {
+    fn forward_region<S: InstrSink>(&self, sink: &mut S, base: usize) -> Result<(), BpNttError> {
+        let layout = self.layout;
+        let n = self.n;
+        if !layout.is_multi_tile() {
+            // One polynomial per tile: every lane shares the compile-time
+            // twiddle schedule (the multiplier lives in the control flow).
+            let mut k = 0usize;
+            let mut len = n / 2;
+            while len > 0 {
+                let mut idx = 0;
+                while idx < n {
+                    k += 1;
+                    let z = self.mont.to_mont(self.twiddles.zetas()[k]);
+                    for j in idx..idx + len {
+                        let lo = RowAddr((base + j) as u16);
+                        let hi = RowAddr((base + j + len) as u16);
+                        self.kernels.ct_butterfly_const(sink, lo, hi, z)?;
+                    }
+                    idx += 2 * len;
+                }
+                len /= 2;
+            }
+            return Ok(());
+        }
+        // Multi-tile: one polynomial spans tiles; twiddles differ per tile
+        // and are delivered through the twiddle row (data-driven path).
+        let cpt = layout.coeffs_per_tile();
+        let mut len = n / 2;
+        while len > 0 {
+            if len >= cpt {
+                let d = len / cpt;
+                for r in 0..cpt {
+                    self.load_twiddle_row(sink, len, r, false)?;
+                    self.cross_tile_ct(sink, r, d)?;
+                }
+            } else {
+                let mut idx = 0;
+                while idx < cpt {
+                    self.load_twiddle_row(sink, len, idx, false)?;
+                    for r in idx..idx + len {
+                        let lo = layout.offset_row(r);
+                        let hi = layout.offset_row(r + len);
+                        self.kernels.ct_butterfly_data(sink, lo, hi)?;
+                    }
+                    idx += 2 * len;
+                }
+            }
+            len /= 2;
+        }
+        Ok(())
+    }
+
+    fn inverse_region<S: InstrSink>(
+        &self,
+        sink: &mut S,
+        base: usize,
+        scale_mont: u64,
+    ) -> Result<(), BpNttError> {
+        let layout = self.layout;
+        let n = self.n;
+        if !layout.is_multi_tile() {
+            let mut len = 1;
+            while len < n {
+                let k_base = n / (2 * len);
+                let mut idx = 0;
+                let mut b = 0;
+                while idx < n {
+                    let zi = self.mont.to_mont(self.twiddles.inv_zetas()[k_base + b]);
+                    for j in idx..idx + len {
+                        let lo = RowAddr((base + j) as u16);
+                        let hi = RowAddr((base + j + len) as u16);
+                        self.kernels.gs_butterfly_const(sink, lo, hi, zi)?;
+                    }
+                    idx += 2 * len;
+                    b += 1;
+                }
+                len *= 2;
+            }
+            for j in 0..n {
+                self.kernels.scale_const(sink, RowAddr((base + j) as u16), scale_mont)?;
+            }
+            return Ok(());
+        }
+        let cpt = layout.coeffs_per_tile();
+        let mut len = 1;
+        while len < n {
+            if len >= cpt {
+                let d = len / cpt;
+                for r in 0..cpt {
+                    self.load_twiddle_row(sink, len, r, true)?;
+                    self.cross_tile_gs(sink, r, d)?;
+                }
+            } else {
+                let mut idx = 0;
+                while idx < cpt {
+                    self.load_twiddle_row(sink, len, idx, true)?;
+                    for r in idx..idx + len {
+                        let lo = layout.offset_row(r);
+                        let hi = layout.offset_row(r + len);
+                        self.kernels.gs_butterfly_data(sink, lo, hi)?;
+                    }
+                    idx += 2 * len;
+                }
+            }
+            len *= 2;
+        }
+        for r in 0..cpt {
+            self.kernels.scale_const(sink, layout.offset_row(r), scale_mont)?;
+        }
+        Ok(())
+    }
+
+    /// Fills the twiddle row: tile `t` receives the (Montgomery-scaled)
+    /// twiddle of the butterfly block that its coefficient at offset `r`
+    /// belongs to at stage `len`. The row image depends only on the
+    /// parameters and layout, so it records as a compile-time constant.
+    fn load_twiddle_row<S: InstrSink>(
+        &self,
+        sink: &mut S,
+        len: usize,
+        r: usize,
+        inverse: bool,
+    ) -> Result<(), BpNttError> {
+        let layout = self.layout;
+        let tw_row = layout.rowmap().twiddle.expect("multi-tile layouts have a twiddle row");
+        let bw = layout.bitwidth();
+        let cpt = layout.coeffs_per_tile();
+        let tpp = layout.tiles_per_poly();
+        let k_base = self.n / (2 * len);
+        let mut row = BitRow::zero(layout.active_cols());
+        for t in 0..layout.n_tiles() {
+            let g = t % tpp;
+            let j = g * cpt + r;
+            let block = j / (2 * len);
+            let k = k_base + block;
+            let z = if inverse { self.twiddles.inv_zetas()[k] } else { self.twiddles.zetas()[k] };
+            row.set_tile_word(t, bw, self.mont.to_mont(z));
+        }
+        sink.load_row(tw_row, &row)?;
+        Ok(())
+    }
+
+    /// Cross-tile Cooley–Tukey butterfly on coefficient row `r`: partners
+    /// sit `d` tiles apart in the *same* physical row, so the partner word
+    /// is staged through `d·w` one-bit shifts — the Fig. 8(b) overhead.
+    fn cross_tile_ct<S: InstrSink>(&self, sink: &mut S, r: usize, d: usize) -> Result<(), BpNttError> {
+        let rm = *self.layout.rowmap();
+        let scratch = rm.scratch.expect("multi-tile layouts have a scratch row");
+        let row_r = self.layout.offset_row(r);
+        let stride_log2 = d.trailing_zeros() as u8;
+        // Stage partner words: tile t sees tile t+d's coefficient.
+        self.kernels.move_tiles(sink, scratch, row_r, d, ShiftDir::Right)?;
+        // t = ζ · partner (valid in the low-half tiles).
+        self.kernels.modmul_data(sink, scratch, rm.twiddle.expect("twiddle row"))?;
+        self.kernels.finish_modmul(sink)?;
+        // new_hi = a[lo] − t (computed everywhere, consumed from low tiles).
+        self.kernels.sub_mod(sink, scratch, row_r, rm.sum, None)?;
+        // a[lo] ← a[lo] + t, only in the low-half tiles.
+        self.kernels.add_mod(sink, row_r, row_r, rm.sum, Some((stride_log2, false)))?;
+        // Ship new_hi to the high-half tiles.
+        self.kernels.move_tiles(sink, scratch, scratch, d, ShiftDir::Left)?;
+        sink.emit(Instruction::MaskTiles { stride_log2, phase: true })?;
+        sink.emit(Instruction::Unary {
+            dst: row_r,
+            src: scratch,
+            kind: UnaryKind::Copy,
+            pred: PredMode::Always,
+        })?;
+        sink.emit(Instruction::MaskAll)?;
+        Ok(())
+    }
+
+    /// Cross-tile Gentleman–Sande butterfly on coefficient row `r`.
+    fn cross_tile_gs<S: InstrSink>(&self, sink: &mut S, r: usize, d: usize) -> Result<(), BpNttError> {
+        let rm = *self.layout.rowmap();
+        let scratch = rm.scratch.expect("multi-tile layouts have a scratch row");
+        let row_r = self.layout.offset_row(r);
+        let stride_log2 = d.trailing_zeros() as u8;
+        self.kernels.move_tiles(sink, scratch, row_r, d, ShiftDir::Right)?;
+        // Sum ← u − v; a[lo] ← u + v (low tiles only).
+        self.kernels.sub_mod(sink, rm.sum, row_r, scratch, None)?;
+        self.kernels.add_mod(sink, row_r, row_r, scratch, Some((stride_log2, false)))?;
+        // hi ← ζ⁻¹ (u − v), staged through scratch.
+        sink.emit(Instruction::Unary {
+            dst: scratch,
+            src: rm.sum,
+            kind: UnaryKind::Copy,
+            pred: PredMode::Always,
+        })?;
+        self.kernels.modmul_data(sink, scratch, rm.twiddle.expect("twiddle row"))?;
+        self.kernels.finish_modmul(sink)?;
+        sink.emit(Instruction::Unary {
+            dst: scratch,
+            src: rm.sum,
+            kind: UnaryKind::Copy,
+            pred: PredMode::Always,
+        })?;
+        self.kernels.move_tiles(sink, scratch, scratch, d, ShiftDir::Left)?;
+        sink.emit(Instruction::MaskTiles { stride_log2, phase: true })?;
+        sink.emit(Instruction::Unary {
+            dst: row_r,
+            src: scratch,
+            kind: UnaryKind::Copy,
+            pred: PredMode::Always,
+        })?;
+        sink.emit(Instruction::MaskAll)?;
+        Ok(())
+    }
+
+    /// Pointwise products: `a_j ← â_j · b̂_j · R⁻¹` for every coefficient
+    /// row of the two operand regions.
+    fn pointwise<S: InstrSink>(
+        &self,
+        sink: &mut S,
+        a_base: usize,
+        b_base: usize,
+    ) -> Result<(), BpNttError> {
+        for j in 0..self.n {
+            let a_row = RowAddr((a_base + j) as u16);
+            let b_row = RowAddr((b_base + j) as u16);
+            self.kernels.modmul_data(sink, a_row, b_row)?;
+            self.kernels.finish_modmul(sink)?;
+            sink.emit(Instruction::Unary {
+                dst: a_row,
+                src: self.layout.rowmap().sum,
+                kind: UnaryKind::Copy,
+                pred: PredMode::Always,
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Emits the schedule identified by `key`.
+    fn emit_key<S: InstrSink>(&self, sink: &mut S, key: ProgramKey) -> Result<(), BpNttError> {
+        match key {
+            ProgramKey::Forward { base } => self.forward_region(sink, usize::from(base)),
+            ProgramKey::Inverse { base, scale_mont } => {
+                self.inverse_region(sink, usize::from(base), scale_mont)
+            }
+            ProgramKey::Pointwise { a_base, b_base } => {
+                self.pointwise(sink, usize::from(a_base), usize::from(b_base))
+            }
+        }
+    }
 }
 
 impl BpNtt {
@@ -73,7 +363,7 @@ impl BpNtt {
         }
         ctl.load_data_row(layout.rowmap().modulus.index(), m_row);
         ctl.load_data_row(layout.rowmap().comp_modulus.index(), comp_row);
-        Ok(BpNtt { config, twiddles, mont, kernels, ctl })
+        Ok(BpNtt { config, twiddles, mont, kernels, ctl, programs: HashMap::new() })
     }
 
     /// The configuration.
@@ -93,9 +383,29 @@ impl BpNtt {
         self.ctl.reset_stats();
     }
 
-    /// Replaces the timing model (for sensitivity studies).
+    /// Replaces the timing model (for sensitivity studies). Invalidates
+    /// the compiled-program cache: programs embed precomputed costs.
     pub fn set_timing_model(&mut self, t: bpntt_sram::TimingModel) {
         self.ctl.set_timing_model(t);
+        self.programs.clear();
+    }
+
+    /// Number of schedules currently compiled and cached.
+    #[must_use]
+    pub fn cached_programs(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// Uncosted debug view of one physical array row (delegates to the
+    /// controller; used by equivalence tests to compare *all* state, not
+    /// just the coefficient region).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    #[must_use]
+    pub fn peek_row(&self, r: usize) -> &BitRow {
+        self.ctl.peek_row(r)
     }
 
     fn n(&self) -> usize {
@@ -104,6 +414,80 @@ impl BpNtt {
 
     fn q(&self) -> u64 {
         self.config.params().modulus()
+    }
+
+    /// Returns the compiled program for `key`, tracing and compiling it on
+    /// first use.
+    pub(crate) fn program(&mut self, key: ProgramKey) -> Result<Arc<CompiledProgram>, BpNttError> {
+        if let Some(p) = self.programs.get(&key) {
+            return Ok(Arc::clone(p));
+        }
+        let mut rec = Recorder::new();
+        {
+            let em = Emitter {
+                kernels: &self.kernels,
+                layout: self.config.layout(),
+                twiddles: &self.twiddles,
+                mont: &self.mont,
+                n: self.config.params().n(),
+            };
+            em.emit_key(&mut rec, key)?;
+        }
+        let compiled = Arc::new(rec.finish().compile(&self.ctl)?);
+        self.programs.insert(key, Arc::clone(&compiled));
+        Ok(compiled)
+    }
+
+    /// Installs an externally compiled program (used by
+    /// [`ShardedBpNtt`](crate::ShardedBpNtt) to share one compilation
+    /// across identically configured shards).
+    pub(crate) fn install_program(&mut self, key: ProgramKey, prog: Arc<CompiledProgram>) {
+        self.programs.insert(key, prog);
+    }
+
+    /// The four program keys [`Self::polymul`] replays, in execution order.
+    pub(crate) fn polymul_program_keys(&self) -> [ProgramKey; 4] {
+        let n = self.n() as u16;
+        let n_inv_r2 = self.mont.to_mont(mul_mod(
+            self.config.params().n_inv(),
+            self.mont.r_mod_m(),
+            self.q(),
+        ));
+        [
+            ProgramKey::Forward { base: 0 },
+            ProgramKey::Forward { base: n },
+            ProgramKey::Pointwise { a_base: 0, b_base: n },
+            ProgramKey::Inverse { base: 0, scale_mont: n_inv_r2 },
+        ]
+    }
+
+    /// The program keys of a forward + inverse roundtrip.
+    pub(crate) fn transform_program_keys(&self) -> [ProgramKey; 2] {
+        let scale = self.mont.to_mont(self.config.params().n_inv());
+        [
+            ProgramKey::Forward { base: 0 },
+            ProgramKey::Inverse { base: 0, scale_mont: scale },
+        ]
+    }
+
+    /// The compiled forward-NTT program for this configuration (compiling
+    /// it on first use). Exposed for benchmarks and sharding.
+    ///
+    /// # Errors
+    ///
+    /// Propagates trace/compile failures.
+    pub fn compiled_forward(&mut self) -> Result<Arc<CompiledProgram>, BpNttError> {
+        self.program(ProgramKey::Forward { base: 0 })
+    }
+
+    /// The compiled inverse-NTT program (with the standard `N⁻¹` scaling).
+    ///
+    /// # Errors
+    ///
+    /// Propagates trace/compile failures.
+    pub fn compiled_inverse(&mut self) -> Result<Arc<CompiledProgram>, BpNttError> {
+        let scale = self.mont.to_mont(self.config.params().n_inv());
+        self.program(ProgramKey::Inverse { base: 0, scale_mont: scale })
     }
 
     /// Loads `polys` (one polynomial per lane, natural order) into the
@@ -188,230 +572,74 @@ impl BpNtt {
     // ---- schedules ---------------------------------------------------------
 
     /// Runs the in-place forward NTT (paper Algorithm 1) on the loaded
-    /// batch: natural order in, bit-reversed order out.
+    /// batch: natural order in, bit-reversed order out. Replays the cached
+    /// compiled program (tracing it on first call).
     ///
     /// # Errors
     ///
     /// Propagates simulator faults.
     pub fn forward(&mut self) -> Result<(), BpNttError> {
-        self.forward_region(0)
-    }
-
-    fn forward_region(&mut self, base: usize) -> Result<(), BpNttError> {
-        let layout = self.config.layout().clone();
-        let n = self.n();
-        if !layout.is_multi_tile() {
-            // One polynomial per tile: every lane shares the compile-time
-            // twiddle schedule (the multiplier lives in the control flow).
-            let mut k = 0usize;
-            let mut len = n / 2;
-            while len > 0 {
-                let mut idx = 0;
-                while idx < n {
-                    k += 1;
-                    let z = self.mont.to_mont(self.twiddles.zetas()[k]);
-                    for j in idx..idx + len {
-                        let lo = RowAddr((base + j) as u16);
-                        let hi = RowAddr((base + j + len) as u16);
-                        self.kernels.ct_butterfly_const(&mut self.ctl, lo, hi, z)?;
-                    }
-                    idx += 2 * len;
-                }
-                len /= 2;
-            }
-            return Ok(());
-        }
-        // Multi-tile: one polynomial spans tiles; twiddles differ per tile
-        // and are delivered through the twiddle row (data-driven path).
-        let cpt = layout.coeffs_per_tile();
-        let mut len = n / 2;
-        while len > 0 {
-            if len >= cpt {
-                let d = len / cpt;
-                for r in 0..cpt {
-                    self.load_twiddle_row(len, r, false)?;
-                    self.cross_tile_ct(r, d)?;
-                }
-            } else {
-                let mut idx = 0;
-                while idx < cpt {
-                    self.load_twiddle_row(len, idx, false)?;
-                    for r in idx..idx + len {
-                        let lo = layout.offset_row(r);
-                        let hi = layout.offset_row(r + len);
-                        self.kernels.ct_butterfly_data(&mut self.ctl, lo, hi)?;
-                    }
-                    idx += 2 * len;
-                }
-            }
-            len /= 2;
-        }
+        let prog = self.program(ProgramKey::Forward { base: 0 })?;
+        self.ctl.run_compiled(&prog)?;
         Ok(())
     }
 
+    /// Forward NTT through per-call code generation (no program cache):
+    /// the schedule is re-emitted through [`Kernels`] and executed
+    /// instruction by instruction. Produces bit-identical rows and
+    /// [`Stats`] to [`Self::forward`]; kept as the replay-equivalence
+    /// baseline and for benchmarking the compile-once win.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator faults.
+    pub fn forward_uncached(&mut self) -> Result<(), BpNttError> {
+        let em = Emitter {
+            kernels: &self.kernels,
+            layout: self.config.layout(),
+            twiddles: &self.twiddles,
+            mont: &self.mont,
+            n: self.config.params().n(),
+        };
+        em.forward_region(&mut self.ctl, 0)
+    }
+
     /// Runs the in-place inverse NTT: bit-reversed order in, natural order
-    /// out, including the final `N⁻¹` scaling.
+    /// out, including the final `N⁻¹` scaling. Replays the cached compiled
+    /// program (tracing it on first call).
     ///
     /// # Errors
     ///
     /// Propagates simulator faults.
     pub fn inverse(&mut self) -> Result<(), BpNttError> {
         let scale = self.mont.to_mont(self.config.params().n_inv());
-        self.inverse_region(0, scale)
-    }
-
-    fn inverse_region(&mut self, base: usize, scale_mont: u64) -> Result<(), BpNttError> {
-        let layout = self.config.layout().clone();
-        let n = self.n();
-        if !layout.is_multi_tile() {
-            let mut len = 1;
-            while len < n {
-                let k_base = n / (2 * len);
-                let mut idx = 0;
-                let mut b = 0;
-                while idx < n {
-                    let zi = self.mont.to_mont(self.twiddles.inv_zetas()[k_base + b]);
-                    for j in idx..idx + len {
-                        let lo = RowAddr((base + j) as u16);
-                        let hi = RowAddr((base + j + len) as u16);
-                        self.kernels.gs_butterfly_const(&mut self.ctl, lo, hi, zi)?;
-                    }
-                    idx += 2 * len;
-                    b += 1;
-                }
-                len *= 2;
-            }
-            for j in 0..n {
-                self.kernels.scale_const(&mut self.ctl, RowAddr((base + j) as u16), scale_mont)?;
-            }
-            return Ok(());
-        }
-        let cpt = layout.coeffs_per_tile();
-        let mut len = 1;
-        while len < n {
-            if len >= cpt {
-                let d = len / cpt;
-                for r in 0..cpt {
-                    self.load_twiddle_row(len, r, true)?;
-                    self.cross_tile_gs(r, d)?;
-                }
-            } else {
-                let mut idx = 0;
-                while idx < cpt {
-                    self.load_twiddle_row(len, idx, true)?;
-                    for r in idx..idx + len {
-                        let lo = layout.offset_row(r);
-                        let hi = layout.offset_row(r + len);
-                        self.kernels.gs_butterfly_data(&mut self.ctl, lo, hi)?;
-                    }
-                    idx += 2 * len;
-                }
-            }
-            len *= 2;
-        }
-        for r in 0..cpt {
-            self.kernels.scale_const(&mut self.ctl, layout.offset_row(r), scale_mont)?;
-        }
+        let prog = self.program(ProgramKey::Inverse { base: 0, scale_mont: scale })?;
+        self.ctl.run_compiled(&prog)?;
         Ok(())
     }
 
-    /// Fills the twiddle row: tile `t` receives the (Montgomery-scaled)
-    /// twiddle of the butterfly block that its coefficient at offset `r`
-    /// belongs to at stage `len`.
-    fn load_twiddle_row(&mut self, len: usize, r: usize, inverse: bool) -> Result<(), BpNttError> {
-        let layout = self.config.layout().clone();
-        let tw_row = layout.rowmap().twiddle.expect("multi-tile layouts have a twiddle row");
-        let bw = layout.bitwidth();
-        let cpt = layout.coeffs_per_tile();
-        let tpp = layout.tiles_per_poly();
-        let n = self.n();
-        let k_base = n / (2 * len);
-        let mut row = BitRow::zero(layout.active_cols());
-        for t in 0..layout.n_tiles() {
-            let g = t % tpp;
-            let j = g * cpt + r;
-            let block = j / (2 * len);
-            let k = k_base + block;
-            let z = if inverse { self.twiddles.inv_zetas()[k] } else { self.twiddles.zetas()[k] };
-            row.set_tile_word(t, bw, self.mont.to_mont(z));
-        }
-        self.ctl.load_data_row(tw_row.index(), row);
-        Ok(())
-    }
-
-    /// Cross-tile Cooley–Tukey butterfly on coefficient row `r`: partners
-    /// sit `d` tiles apart in the *same* physical row, so the partner word
-    /// is staged through `d·w` one-bit shifts — the Fig. 8(b) overhead.
-    fn cross_tile_ct(&mut self, r: usize, d: usize) -> Result<(), BpNttError> {
-        let layout = self.config.layout().clone();
-        let rm = *layout.rowmap();
-        let scratch = rm.scratch.expect("multi-tile layouts have a scratch row");
-        let row_r = layout.offset_row(r);
-        let stride_log2 = d.trailing_zeros() as u8;
-        // Stage partner words: tile t sees tile t+d's coefficient.
-        self.kernels.move_tiles(&mut self.ctl, scratch, row_r, d, ShiftDir::Right)?;
-        // t = ζ · partner (valid in the low-half tiles).
-        self.kernels.modmul_data(&mut self.ctl, scratch, rm.twiddle.expect("twiddle row"))?;
-        self.kernels.finish_modmul(&mut self.ctl)?;
-        // new_hi = a[lo] − t (computed everywhere, consumed from low tiles).
-        self.kernels.sub_mod(&mut self.ctl, scratch, row_r, rm.sum, None)?;
-        // a[lo] ← a[lo] + t, only in the low-half tiles.
-        self.kernels.add_mod(&mut self.ctl, row_r, row_r, rm.sum, Some((stride_log2, false)))?;
-        // Ship new_hi to the high-half tiles.
-        self.kernels.move_tiles(&mut self.ctl, scratch, scratch, d, ShiftDir::Left)?;
-        self.ctl.execute(&Instruction::MaskTiles { stride_log2, phase: true })?;
-        self.ctl.execute(&Instruction::Unary {
-            dst: row_r,
-            src: scratch,
-            kind: UnaryKind::Copy,
-            pred: PredMode::Always,
-        })?;
-        self.ctl.execute(&Instruction::MaskAll)?;
-        Ok(())
-    }
-
-    /// Cross-tile Gentleman–Sande butterfly on coefficient row `r`.
-    fn cross_tile_gs(&mut self, r: usize, d: usize) -> Result<(), BpNttError> {
-        let layout = self.config.layout().clone();
-        let rm = *layout.rowmap();
-        let scratch = rm.scratch.expect("multi-tile layouts have a scratch row");
-        let row_r = layout.offset_row(r);
-        let stride_log2 = d.trailing_zeros() as u8;
-        self.kernels.move_tiles(&mut self.ctl, scratch, row_r, d, ShiftDir::Right)?;
-        // Sum ← u − v; a[lo] ← u + v (low tiles only).
-        self.kernels.sub_mod(&mut self.ctl, rm.sum, row_r, scratch, None)?;
-        self.kernels.add_mod(&mut self.ctl, row_r, row_r, scratch, Some((stride_log2, false)))?;
-        // hi ← ζ⁻¹ (u − v), staged through scratch.
-        self.ctl.execute(&Instruction::Unary {
-            dst: scratch,
-            src: rm.sum,
-            kind: UnaryKind::Copy,
-            pred: PredMode::Always,
-        })?;
-        self.kernels.modmul_data(&mut self.ctl, scratch, rm.twiddle.expect("twiddle row"))?;
-        self.kernels.finish_modmul(&mut self.ctl)?;
-        self.ctl.execute(&Instruction::Unary {
-            dst: scratch,
-            src: rm.sum,
-            kind: UnaryKind::Copy,
-            pred: PredMode::Always,
-        })?;
-        self.kernels.move_tiles(&mut self.ctl, scratch, scratch, d, ShiftDir::Left)?;
-        self.ctl.execute(&Instruction::MaskTiles { stride_log2, phase: true })?;
-        self.ctl.execute(&Instruction::Unary {
-            dst: row_r,
-            src: scratch,
-            kind: UnaryKind::Copy,
-            pred: PredMode::Always,
-        })?;
-        self.ctl.execute(&Instruction::MaskAll)?;
-        Ok(())
+    /// Inverse NTT through per-call code generation (no program cache);
+    /// see [`Self::forward_uncached`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator faults.
+    pub fn inverse_uncached(&mut self) -> Result<(), BpNttError> {
+        let scale = self.mont.to_mont(self.config.params().n_inv());
+        let em = Emitter {
+            kernels: &self.kernels,
+            layout: self.config.layout(),
+            twiddles: &self.twiddles,
+            mont: &self.mont,
+            n: self.config.params().n(),
+        };
+        em.inverse_region(&mut self.ctl, 0, scale)
     }
 
     /// Full negacyclic polynomial multiplication on the accelerator:
     /// loads `a` and `b` batches, transforms both, multiplies pointwise
     /// (data-driven multiplier), inverse-transforms, and returns the
-    /// products.
+    /// products. All four compute phases replay cached compiled programs.
     ///
     /// Requires a single-tile layout with room for both operands
     /// (`2N + 6` rows).
@@ -436,22 +664,11 @@ impl BpNtt {
         let batch = a.len().max(b.len());
         self.load_batch_at(0, a)?;
         self.load_batch_at(n, b)?;
-        self.forward_region(0)?;
-        self.forward_region(n)?;
+        let fwd_a = self.program(ProgramKey::Forward { base: 0 })?;
+        let fwd_b = self.program(ProgramKey::Forward { base: n as u16 })?;
         // Pointwise: c_j = â_j · b̂_j · R⁻¹ (the stray R⁻¹ is absorbed by
         // the inverse transform's scaling constant below).
-        for j in 0..n {
-            let a_row = RowAddr(j as u16);
-            let b_row = RowAddr((n + j) as u16);
-            self.kernels.modmul_data(&mut self.ctl, a_row, b_row)?;
-            self.kernels.finish_modmul(&mut self.ctl)?;
-            self.ctl.execute(&Instruction::Unary {
-                dst: a_row,
-                src: layout.rowmap().sum,
-                kind: UnaryKind::Copy,
-                pred: PredMode::Always,
-            })?;
-        }
+        let pointwise = self.program(ProgramKey::Pointwise { a_base: 0, b_base: n as u16 })?;
         // Scale constant n⁻¹·R² : output = x · n⁻¹ · R, cancelling the R⁻¹
         // introduced by the pointwise step.
         let q = self.q();
@@ -460,7 +677,11 @@ impl BpNtt {
             self.mont.r_mod_m(),
             q,
         ));
-        self.inverse_region(0, n_inv_r2)?;
+        let inv = self.program(ProgramKey::Inverse { base: 0, scale_mont: n_inv_r2 })?;
+        self.ctl.run_compiled(&fwd_a)?;
+        self.ctl.run_compiled(&fwd_b)?;
+        self.ctl.run_compiled(&pointwise)?;
+        self.ctl.run_compiled(&inv)?;
         self.read_batch_at(0, batch)
     }
 }
@@ -583,6 +804,7 @@ mod tests {
             let expect = polymul_schoolbook(&params, &a[lane], &b[lane]).unwrap();
             assert_eq!(got[lane], expect, "lane {lane}");
         }
+        assert_eq!(acc.cached_programs(), 4, "fwd×2 + pointwise + inverse");
     }
 
     #[test]
@@ -618,5 +840,61 @@ mod tests {
         assert!(s.energy_pj > 0.0);
         acc.reset_stats();
         assert_eq!(acc.stats().cycles, 0);
+    }
+
+    #[test]
+    fn cached_replay_matches_uncached_emission() {
+        // Same data, one engine replaying and one emitting: bit-identical
+        // outputs and bit-identical statistics (including the f64 energy).
+        for (n, q, rows, cols, bw) in
+            [(8usize, 97u64, 16usize, 32usize, 8usize), (16, 97, 16, 32, 8)]
+        {
+            let params = NttParams::new(n, q).unwrap();
+            let mk = || BpNtt::new(BpNttConfig::new(rows, cols, bw, params.clone()).unwrap()).unwrap();
+            let lanes = mk().config().layout().lanes();
+            let polys: Vec<Vec<u64>> = (0..lanes as u64).map(|s| pseudo(n, q, s + 3)).collect();
+
+            let mut replayed = mk();
+            replayed.load_batch(&polys).unwrap();
+            replayed.reset_stats();
+            replayed.forward().unwrap();
+            replayed.inverse().unwrap();
+
+            let mut emitted = mk();
+            emitted.load_batch(&polys).unwrap();
+            emitted.reset_stats();
+            emitted.forward_uncached().unwrap();
+            emitted.inverse_uncached().unwrap();
+
+            assert_eq!(
+                replayed.read_batch(lanes).unwrap(),
+                emitted.read_batch(lanes).unwrap(),
+                "n={n}"
+            );
+            let (rs, es) = (*replayed.stats(), *emitted.stats());
+            assert_eq!(rs.cycles, es.cycles, "n={n}");
+            assert_eq!(rs.counts, es.counts, "n={n}");
+            assert_eq!(rs.row_loads, es.row_loads, "n={n}");
+            assert_eq!(rs.energy_pj.to_bits(), es.energy_pj.to_bits(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn program_cache_fills_and_invalidates() {
+        let params = NttParams::new(8, 97).unwrap();
+        let cfg = BpNttConfig::new(16, 32, 8, params).unwrap();
+        let mut acc = BpNtt::new(cfg).unwrap();
+        assert_eq!(acc.cached_programs(), 0);
+        acc.load_batch(&[pseudo(8, 97, 1)]).unwrap();
+        acc.forward().unwrap();
+        assert_eq!(acc.cached_programs(), 1);
+        acc.forward().unwrap();
+        assert_eq!(acc.cached_programs(), 1, "second call hits the cache");
+        acc.inverse().unwrap();
+        assert_eq!(acc.cached_programs(), 2);
+        acc.set_timing_model(bpntt_sram::TimingModel::conservative());
+        assert_eq!(acc.cached_programs(), 0, "stale costs are dropped");
+        acc.forward().unwrap();
+        assert_eq!(acc.cached_programs(), 1, "recompiled under the new model");
     }
 }

@@ -60,6 +60,18 @@ pub enum BpNttError {
         /// Value found.
         value: u64,
     },
+    /// A sharded engine needs at least one shard.
+    InvalidShardCount {
+        /// Requested shard count.
+        shards: usize,
+    },
+    /// Paired batch operands must have equal lengths.
+    BatchMismatch {
+        /// Length of the first operand batch.
+        a: usize,
+        /// Length of the second operand batch.
+        b: usize,
+    },
     /// Underlying NTT parameter failure.
     Ntt(NttError),
     /// Underlying modular-arithmetic failure.
@@ -91,6 +103,12 @@ impl fmt::Display for BpNttError {
             }
             BpNttError::Unreduced { lane, index, value } => {
                 write!(f, "coefficient {value} (lane {lane}, index {index}) is not reduced")
+            }
+            BpNttError::InvalidShardCount { shards } => {
+                write!(f, "a sharded engine needs at least one shard (got {shards})")
+            }
+            BpNttError::BatchMismatch { a, b } => {
+                write!(f, "paired batches must have equal lengths (got {a} and {b})")
             }
             BpNttError::Ntt(e) => write!(f, "ntt parameter error: {e}"),
             BpNttError::Math(e) => write!(f, "modular arithmetic error: {e}"),

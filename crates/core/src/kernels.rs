@@ -1,9 +1,13 @@
 //! In-SRAM kernel code generation: Algorithm 2 and the butterfly arithmetic.
 //!
-//! Every routine here emits BP-NTT instructions against a
-//! [`Controller`], using only the row budget of the layout's [`RowMap`]:
-//! the carry-save accumulator (`Sum`, `Carry`), two half-adder temporaries,
-//! and the two constant rows (`M`, `2^w − M`). Shift discipline follows
+//! Every routine here emits BP-NTT instructions into an
+//! [`InstrSink`] — either a live [`Controller`](bpntt_sram::Controller)
+//! (execute-as-emitted, the classic path) or a
+//! [`Recorder`](bpntt_sram::Recorder) (capture once, replay many times
+//! through [`Controller::run_compiled`](bpntt_sram::Controller::run_compiled)).
+//! Generation uses only the row budget of the layout's [`RowMap`]: the
+//! carry-save accumulator (`Sum`, `Carry`), two half-adder temporaries, and
+//! the two constant rows (`M`, `2^w − M`). Shift discipline follows
 //! `DESIGN.md` D1/D2:
 //!
 //! * the `Carry << 1` realignment of Algorithm 2 uses a **global** shift —
@@ -14,6 +18,12 @@
 //!   shifts, giving exact mod-`2^w` semantics per tile even for tiles
 //!   holding staging garbage during cross-tile SIMD.
 //!
+//! The carry/borrow resolution loops terminate early through the wired-OR
+//! zero detector. That is the *only* data dependence in the instruction
+//! stream, and it is expressed as a structured
+//! [`ZeroLoopSpec`] so a recorded program replays the exact
+//! dynamic trace emission would produce.
+//!
 //! The multiplier of a modular multiplication is either a compile-time
 //! constant (twiddle factors of a single-lane-per-tile schedule — the
 //! multiplier is "hidden in the control commands", §IV-D) or a per-tile
@@ -23,7 +33,9 @@
 
 use crate::error::BpNttError;
 use crate::layout::RowMap;
-use bpntt_sram::{BitOp, Controller, Instruction, PredMode, RowAddr, ShiftDir, UnaryKind};
+use bpntt_sram::{
+    BitOp, InstrSink, Instruction, PredMode, RowAddr, ShiftDir, UnaryKind, ZeroLoopSpec,
+};
 
 /// Emits in-SRAM arithmetic kernels for one modulus / bit-width pair.
 #[derive(Debug, Clone, Copy)]
@@ -50,8 +62,8 @@ impl Kernels {
         &self.rm
     }
 
-    fn exec(&self, ctl: &mut Controller, i: Instruction) -> Result<(), BpNttError> {
-        ctl.execute(&i)?;
+    fn exec<S: InstrSink>(&self, sink: &mut S, i: Instruction) -> Result<(), BpNttError> {
+        sink.emit(i)?;
         Ok(())
     }
 
@@ -66,20 +78,20 @@ impl Kernels {
     ///
     /// Propagates simulator faults (bad rows — a codegen bug, not a user
     /// input).
-    pub fn modmul_const(
+    pub fn modmul_const<S: InstrSink>(
         &self,
-        ctl: &mut Controller,
+        sink: &mut S,
         b_row: RowAddr,
         a: u64,
     ) -> Result<(), BpNttError> {
         let rm = &self.rm;
-        self.exec(ctl, Instruction::Unary { dst: rm.sum, src: rm.sum, kind: UnaryKind::Zero, pred: PredMode::Always })?;
-        self.exec(ctl, Instruction::Unary { dst: rm.carry, src: rm.carry, kind: UnaryKind::Zero, pred: PredMode::Always })?;
+        self.exec(sink, Instruction::Unary { dst: rm.sum, src: rm.sum, kind: UnaryKind::Zero, pred: PredMode::Always })?;
+        self.exec(sink, Instruction::Unary { dst: rm.carry, src: rm.carry, kind: UnaryKind::Zero, pred: PredMode::Always })?;
         for i in 0..self.bitwidth {
             if (a >> i) & 1 == 1 {
-                self.add_b_step(ctl, b_row, PredMode::Always)?;
+                self.add_b_step(sink, b_row, PredMode::Always)?;
             }
-            self.montgomery_halve_step(ctl)?;
+            self.montgomery_halve_step(sink)?;
         }
         Ok(())
     }
@@ -93,33 +105,33 @@ impl Kernels {
     /// # Errors
     ///
     /// Propagates simulator faults.
-    pub fn modmul_data(
+    pub fn modmul_data<S: InstrSink>(
         &self,
-        ctl: &mut Controller,
+        sink: &mut S,
         b_row: RowAddr,
         a_row: RowAddr,
     ) -> Result<(), BpNttError> {
         let rm = &self.rm;
-        self.exec(ctl, Instruction::Unary { dst: rm.sum, src: rm.sum, kind: UnaryKind::Zero, pred: PredMode::Always })?;
-        self.exec(ctl, Instruction::Unary { dst: rm.carry, src: rm.carry, kind: UnaryKind::Zero, pred: PredMode::Always })?;
+        self.exec(sink, Instruction::Unary { dst: rm.sum, src: rm.sum, kind: UnaryKind::Zero, pred: PredMode::Always })?;
+        self.exec(sink, Instruction::Unary { dst: rm.carry, src: rm.carry, kind: UnaryKind::Zero, pred: PredMode::Always })?;
         for i in 0..self.bitwidth {
-            self.exec(ctl, Instruction::Check { src: a_row, bit: i as u16 })?;
-            self.add_b_step(ctl, b_row, PredMode::IfSet)?;
-            self.montgomery_halve_step(ctl)?;
+            self.exec(sink, Instruction::Check { src: a_row, bit: i as u16 })?;
+            self.add_b_step(sink, b_row, PredMode::IfSet)?;
+            self.montgomery_halve_step(sink)?;
         }
         Ok(())
     }
 
     /// Lines 6–9 of Algorithm 2: `P ← P + B` as two half-adder passes.
-    fn add_b_step(
+    fn add_b_step<S: InstrSink>(
         &self,
-        ctl: &mut Controller,
+        sink: &mut S,
         b_row: RowAddr,
         pred: PredMode,
     ) -> Result<(), BpNttError> {
         let rm = &self.rm;
         // c1, s1 = Sum & B, Sum ⊕ B — one activation, two write-backs.
-        self.exec(ctl, Instruction::Binary {
+        self.exec(sink, Instruction::Binary {
             dst: rm.t_carry,
             op: BitOp::And,
             src0: rm.sum,
@@ -130,7 +142,7 @@ impl Kernels {
         })?;
         // Carry << 1 (Observation 1: global shift is safe — the previous
         // iteration's carry MSB is clear in every tile).
-        self.exec(ctl, Instruction::Shift {
+        self.exec(sink, Instruction::Shift {
             dst: rm.carry,
             src: rm.carry,
             dir: ShiftDir::Left,
@@ -138,7 +150,7 @@ impl Kernels {
             pred,
         })?;
         // c2, Sum = Carry & s1, Carry ⊕ s1 — write c2 over Carry itself.
-        self.exec(ctl, Instruction::Binary {
+        self.exec(sink, Instruction::Binary {
             dst: rm.carry,
             op: BitOp::And,
             src0: rm.carry,
@@ -148,7 +160,7 @@ impl Kernels {
             pred,
         })?;
         // Carry = c1 | c2.
-        self.exec(ctl, Instruction::Binary {
+        self.exec(sink, Instruction::Binary {
             dst: rm.carry,
             op: BitOp::Or,
             src0: rm.carry,
@@ -163,12 +175,12 @@ impl Kernels {
     /// `P ← (P + m) / 2`. The `m` selection is per-tile predication on the
     /// constant row `M` — no materialized `m` row is needed, which is what
     /// keeps the reserved-row budget at the paper's six.
-    fn montgomery_halve_step(&self, ctl: &mut Controller) -> Result<(), BpNttError> {
+    fn montgomery_halve_step<S: InstrSink>(&self, sink: &mut S) -> Result<(), BpNttError> {
         let rm = &self.rm;
-        self.exec(ctl, Instruction::Check { src: rm.sum, bit: 0 })?;
+        self.exec(sink, Instruction::Check { src: rm.sum, bit: 0 })?;
         // Odd tiles: c1, s1 = Sum & M, (Sum ⊕ M) >> 1 (fused shift;
         // Observation 2 makes the dropped LSB provably zero).
-        self.exec(ctl, Instruction::Binary {
+        self.exec(sink, Instruction::Binary {
             dst: rm.t_sum,
             op: BitOp::Xor,
             src0: rm.sum,
@@ -178,21 +190,21 @@ impl Kernels {
             pred: PredMode::IfSet,
         })?;
         // Even tiles: m = 0, so s1 = Sum >> 1 and c1 = 0.
-        self.exec(ctl, Instruction::Shift {
+        self.exec(sink, Instruction::Shift {
             dst: rm.t_sum,
             src: rm.sum,
             dir: ShiftDir::Right,
             masked: true,
             pred: PredMode::IfClear,
         })?;
-        self.exec(ctl, Instruction::Unary {
+        self.exec(sink, Instruction::Unary {
             dst: rm.t_carry,
             src: rm.t_carry,
             kind: UnaryKind::Zero,
             pred: PredMode::IfClear,
         })?;
         // c2, s2 = s1 & c1, s1 ⊕ c1.
-        self.exec(ctl, Instruction::Binary {
+        self.exec(sink, Instruction::Binary {
             dst: rm.t_carry,
             op: BitOp::And,
             src0: rm.t_sum,
@@ -202,7 +214,7 @@ impl Kernels {
             pred: PredMode::Always,
         })?;
         // c3, Sum = Carry & s2, Carry ⊕ s2.
-        self.exec(ctl, Instruction::Binary {
+        self.exec(sink, Instruction::Binary {
             dst: rm.carry,
             op: BitOp::And,
             src0: rm.carry,
@@ -212,7 +224,7 @@ impl Kernels {
             pred: PredMode::Always,
         })?;
         // Carry = c2 | c3.
-        self.exec(ctl, Instruction::Binary {
+        self.exec(sink, Instruction::Binary {
             dst: rm.carry,
             op: BitOp::Or,
             src0: rm.carry,
@@ -228,25 +240,21 @@ impl Kernels {
     /// Resolves an arbitrary `(sum, carry)` carry-save pair into a plain
     /// value in `s_row`, using tile-masked shifts and the wired-OR zero
     /// detector for early termination.
-    fn resolve_pair(
+    fn resolve_pair<S: InstrSink>(
         &self,
-        ctl: &mut Controller,
+        sink: &mut S,
         s_row: RowAddr,
         c_row: RowAddr,
     ) -> Result<(), BpNttError> {
-        for _ in 0..=self.bitwidth {
-            self.exec(ctl, Instruction::CheckZero { src: c_row })?;
-            if ctl.zero_flag() {
-                return Ok(());
-            }
-            self.exec(ctl, Instruction::Shift {
+        let body = [
+            Instruction::Shift {
                 dst: c_row,
                 src: c_row,
                 dir: ShiftDir::Left,
                 masked: true,
                 pred: PredMode::Always,
-            })?;
-            self.exec(ctl, Instruction::Binary {
+            },
+            Instruction::Binary {
                 dst: c_row,
                 op: BitOp::And,
                 src0: s_row,
@@ -254,9 +262,15 @@ impl Kernels {
                 dst2: Some((s_row, BitOp::Xor)),
                 shift: None,
                 pred: PredMode::Always,
-            })?;
-        }
-        debug_assert!(ctl.zero_flag(), "carry resolution must converge within the word width");
+            },
+        ];
+        sink.zero_loop(ZeroLoopSpec {
+            src: c_row,
+            even_body: &body,
+            odd_body: &body,
+            max_checks: self.bitwidth + 1,
+            odd_epilogue: &[],
+        })?;
         Ok(())
     }
 
@@ -265,8 +279,8 @@ impl Kernels {
     /// # Errors
     ///
     /// Propagates simulator faults.
-    pub fn resolve(&self, ctl: &mut Controller) -> Result<(), BpNttError> {
-        self.resolve_pair(ctl, self.rm.sum, self.rm.carry)
+    pub fn resolve<S: InstrSink>(&self, sink: &mut S) -> Result<(), BpNttError> {
+        self.resolve_pair(sink, self.rm.sum, self.rm.carry)
     }
 
     /// Conditionally subtracts `q` once: maps `Sum ∈ [0, 2q)` to `[0, q)`.
@@ -278,9 +292,9 @@ impl Kernels {
     /// # Errors
     ///
     /// Propagates simulator faults.
-    pub fn cond_sub_q(&self, ctl: &mut Controller) -> Result<(), BpNttError> {
+    pub fn cond_sub_q<S: InstrSink>(&self, sink: &mut S) -> Result<(), BpNttError> {
         let rm = &self.rm;
-        self.exec(ctl, Instruction::Binary {
+        self.exec(sink, Instruction::Binary {
             dst: rm.t_carry,
             op: BitOp::And,
             src0: rm.sum,
@@ -289,9 +303,9 @@ impl Kernels {
             shift: None,
             pred: PredMode::Always,
         })?;
-        self.resolve_pair(ctl, rm.t_sum, rm.t_carry)?;
-        self.exec(ctl, Instruction::Check { src: rm.t_sum, bit: (self.bitwidth - 1) as u16 })?;
-        self.exec(ctl, Instruction::Unary {
+        self.resolve_pair(sink, rm.t_sum, rm.t_carry)?;
+        self.exec(sink, Instruction::Check { src: rm.t_sum, bit: (self.bitwidth - 1) as u16 })?;
+        self.exec(sink, Instruction::Unary {
             dst: rm.sum,
             src: rm.t_sum,
             kind: UnaryKind::Copy,
@@ -311,9 +325,9 @@ impl Kernels {
     /// # Errors
     ///
     /// Propagates simulator faults.
-    pub fn add_mod(
+    pub fn add_mod<S: InstrSink>(
         &self,
-        ctl: &mut Controller,
+        sink: &mut S,
         dst: RowAddr,
         x: RowAddr,
         y: RowAddr,
@@ -321,7 +335,7 @@ impl Kernels {
     ) -> Result<(), BpNttError> {
         let rm = &self.rm;
         // x + y < 2q < 2^w: carry-save then resolve.
-        self.exec(ctl, Instruction::Binary {
+        self.exec(sink, Instruction::Binary {
             dst: rm.t_carry,
             op: BitOp::And,
             src0: x,
@@ -330,9 +344,9 @@ impl Kernels {
             shift: None,
             pred: PredMode::Always,
         })?;
-        self.resolve_pair(ctl, rm.t_sum, rm.t_carry)?;
+        self.resolve_pair(sink, rm.t_sum, rm.t_carry)?;
         // D = (t_sum + comp) mod 2^w into Carry.
-        self.exec(ctl, Instruction::Binary {
+        self.exec(sink, Instruction::Binary {
             dst: rm.t_carry,
             op: BitOp::And,
             src0: rm.t_sum,
@@ -341,15 +355,15 @@ impl Kernels {
             shift: None,
             pred: PredMode::Always,
         })?;
-        self.resolve_pair(ctl, rm.carry, rm.t_carry)?;
-        self.exec(ctl, Instruction::Check { src: rm.carry, bit: (self.bitwidth - 1) as u16 })?;
+        self.resolve_pair(sink, rm.carry, rm.t_carry)?;
+        self.exec(sink, Instruction::Check { src: rm.carry, bit: (self.bitwidth - 1) as u16 })?;
         if let Some((stride_log2, phase)) = final_mask {
-            self.exec(ctl, Instruction::MaskTiles { stride_log2, phase })?;
+            self.exec(sink, Instruction::MaskTiles { stride_log2, phase })?;
         }
-        self.exec(ctl, Instruction::Unary { dst, src: rm.t_sum, kind: UnaryKind::Copy, pred: PredMode::IfSet })?;
-        self.exec(ctl, Instruction::Unary { dst, src: rm.carry, kind: UnaryKind::Copy, pred: PredMode::IfClear })?;
+        self.exec(sink, Instruction::Unary { dst, src: rm.t_sum, kind: UnaryKind::Copy, pred: PredMode::IfSet })?;
+        self.exec(sink, Instruction::Unary { dst, src: rm.carry, kind: UnaryKind::Copy, pred: PredMode::IfClear })?;
         if final_mask.is_some() {
-            self.exec(ctl, Instruction::MaskAll)?;
+            self.exec(sink, Instruction::MaskAll)?;
         }
         Ok(())
     }
@@ -362,9 +376,9 @@ impl Kernels {
     /// # Errors
     ///
     /// Propagates simulator faults.
-    pub fn sub_mod(
+    pub fn sub_mod<S: InstrSink>(
         &self,
-        ctl: &mut Controller,
+        sink: &mut S,
         dst: RowAddr,
         x: RowAddr,
         y: RowAddr,
@@ -372,7 +386,7 @@ impl Kernels {
     ) -> Result<(), BpNttError> {
         let rm = &self.rm;
         // s0 = x ⊕ y; b0 = ¬x ∧ y = (x ⊕ y) ∧ y.
-        self.exec(ctl, Instruction::Binary {
+        self.exec(sink, Instruction::Binary {
             dst: rm.t_sum,
             op: BitOp::Xor,
             src0: x,
@@ -381,7 +395,7 @@ impl Kernels {
             shift: None,
             pred: PredMode::Always,
         })?;
-        self.exec(ctl, Instruction::Binary {
+        self.exec(sink, Instruction::Binary {
             dst: rm.t_carry,
             op: BitOp::And,
             src0: rm.t_sum,
@@ -391,60 +405,60 @@ impl Kernels {
             pred: PredMode::Always,
         })?;
         // Borrow resolution: value = s − 2b. Rounds alternate the `s` row
-        // between t_sum and carry to stay within the row budget.
-        let mut s_cur = rm.t_sum;
-        let mut s_other = rm.carry;
-        for _ in 0..=self.bitwidth {
-            self.exec(ctl, Instruction::CheckZero { src: rm.t_carry })?;
-            if ctl.zero_flag() {
-                break;
-            }
-            self.exec(ctl, Instruction::Shift {
-                dst: rm.t_carry,
-                src: rm.t_carry,
-                dir: ShiftDir::Left,
-                masked: true,
-                pred: PredMode::Always,
-            })?;
-            self.exec(ctl, Instruction::Binary {
-                dst: s_other,
-                op: BitOp::Xor,
-                src0: s_cur,
-                src1: rm.t_carry,
-                dst2: None,
-                shift: None,
-                pred: PredMode::Always,
-            })?;
-            self.exec(ctl, Instruction::Binary {
-                dst: rm.t_carry,
-                op: BitOp::And,
-                src0: s_other,
-                src1: rm.t_carry,
-                dst2: None,
-                shift: None,
-                pred: PredMode::Always,
-            })?;
-            std::mem::swap(&mut s_cur, &mut s_other);
-        }
-        debug_assert!(ctl.zero_flag(), "borrow resolution must converge within the word width");
-        if s_cur != rm.t_sum {
-            self.exec(ctl, Instruction::Unary {
-                dst: rm.t_sum,
-                src: rm.carry,
-                kind: UnaryKind::Copy,
-                pred: PredMode::Always,
-            })?;
-        }
+        // between t_sum and carry to stay within the row budget; the
+        // odd-parity epilogue copies the live row back into t_sum.
+        let round = |s_cur: RowAddr, s_other: RowAddr| {
+            [
+                Instruction::Shift {
+                    dst: rm.t_carry,
+                    src: rm.t_carry,
+                    dir: ShiftDir::Left,
+                    masked: true,
+                    pred: PredMode::Always,
+                },
+                Instruction::Binary {
+                    dst: s_other,
+                    op: BitOp::Xor,
+                    src0: s_cur,
+                    src1: rm.t_carry,
+                    dst2: None,
+                    shift: None,
+                    pred: PredMode::Always,
+                },
+                Instruction::Binary {
+                    dst: rm.t_carry,
+                    op: BitOp::And,
+                    src0: s_other,
+                    src1: rm.t_carry,
+                    dst2: None,
+                    shift: None,
+                    pred: PredMode::Always,
+                },
+            ]
+        };
+        let odd_epilogue = [Instruction::Unary {
+            dst: rm.t_sum,
+            src: rm.carry,
+            kind: UnaryKind::Copy,
+            pred: PredMode::Always,
+        }];
+        sink.zero_loop(ZeroLoopSpec {
+            src: rm.t_carry,
+            even_body: &round(rm.t_sum, rm.carry),
+            odd_body: &round(rm.carry, rm.t_sum),
+            max_checks: self.bitwidth + 1,
+            odd_epilogue: &odd_epilogue,
+        })?;
         // Negative ⇔ MSB set (one headroom bit). Add q where negative.
-        self.exec(ctl, Instruction::Check { src: rm.t_sum, bit: (self.bitwidth - 1) as u16 })?;
-        self.exec(ctl, Instruction::Unary { dst: rm.carry, src: rm.carry, kind: UnaryKind::Zero, pred: PredMode::Always })?;
-        self.exec(ctl, Instruction::Unary {
+        self.exec(sink, Instruction::Check { src: rm.t_sum, bit: (self.bitwidth - 1) as u16 })?;
+        self.exec(sink, Instruction::Unary { dst: rm.carry, src: rm.carry, kind: UnaryKind::Zero, pred: PredMode::Always })?;
+        self.exec(sink, Instruction::Unary {
             dst: rm.carry,
             src: rm.modulus,
             kind: UnaryKind::Copy,
             pred: PredMode::IfSet,
         })?;
-        self.exec(ctl, Instruction::Binary {
+        self.exec(sink, Instruction::Binary {
             dst: rm.t_carry,
             op: BitOp::And,
             src0: rm.t_sum,
@@ -453,13 +467,13 @@ impl Kernels {
             shift: None,
             pred: PredMode::Always,
         })?;
-        self.resolve_pair(ctl, rm.t_sum, rm.t_carry)?;
+        self.resolve_pair(sink, rm.t_sum, rm.t_carry)?;
         if let Some((stride_log2, phase)) = final_mask {
-            self.exec(ctl, Instruction::MaskTiles { stride_log2, phase })?;
+            self.exec(sink, Instruction::MaskTiles { stride_log2, phase })?;
         }
-        self.exec(ctl, Instruction::Unary { dst, src: rm.t_sum, kind: UnaryKind::Copy, pred: PredMode::Always })?;
+        self.exec(sink, Instruction::Unary { dst, src: rm.t_sum, kind: UnaryKind::Copy, pred: PredMode::Always })?;
         if final_mask.is_some() {
-            self.exec(ctl, Instruction::MaskAll)?;
+            self.exec(sink, Instruction::MaskAll)?;
         }
         Ok(())
     }
@@ -472,9 +486,9 @@ impl Kernels {
     /// # Errors
     ///
     /// Propagates simulator faults.
-    pub fn finish_modmul(&self, ctl: &mut Controller) -> Result<(), BpNttError> {
-        self.resolve(ctl)?;
-        self.cond_sub_q(ctl)
+    pub fn finish_modmul<S: InstrSink>(&self, sink: &mut S) -> Result<(), BpNttError> {
+        self.resolve(sink)?;
+        self.cond_sub_q(sink)
     }
 
     /// Cooley–Tukey butterfly with a compile-time twiddle:
@@ -487,17 +501,17 @@ impl Kernels {
     /// # Errors
     ///
     /// Propagates simulator faults.
-    pub fn ct_butterfly_const(
+    pub fn ct_butterfly_const<S: InstrSink>(
         &self,
-        ctl: &mut Controller,
+        sink: &mut S,
         lo: RowAddr,
         hi: RowAddr,
         zeta_mont: u64,
     ) -> Result<(), BpNttError> {
-        self.modmul_const(ctl, hi, zeta_mont)?;
-        self.finish_modmul(ctl)?;
-        self.sub_mod(ctl, hi, lo, self.rm.sum, None)?;
-        self.add_mod(ctl, lo, lo, self.rm.sum, None)
+        self.modmul_const(sink, hi, zeta_mont)?;
+        self.finish_modmul(sink)?;
+        self.sub_mod(sink, hi, lo, self.rm.sum, None)?;
+        self.add_mod(sink, lo, lo, self.rm.sum, None)
     }
 
     /// Cooley–Tukey butterfly with per-tile twiddles read from the layout's
@@ -511,17 +525,17 @@ impl Kernels {
     ///
     /// Panics if the layout has no twiddle row (single-tile layouts use
     /// [`Self::ct_butterfly_const`]).
-    pub fn ct_butterfly_data(
+    pub fn ct_butterfly_data<S: InstrSink>(
         &self,
-        ctl: &mut Controller,
+        sink: &mut S,
         lo: RowAddr,
         hi: RowAddr,
     ) -> Result<(), BpNttError> {
         let tw = self.rm.twiddle.expect("data-driven butterfly needs a twiddle row");
-        self.modmul_data(ctl, hi, tw)?;
-        self.finish_modmul(ctl)?;
-        self.sub_mod(ctl, hi, lo, self.rm.sum, None)?;
-        self.add_mod(ctl, lo, lo, self.rm.sum, None)
+        self.modmul_data(sink, hi, tw)?;
+        self.finish_modmul(sink)?;
+        self.sub_mod(sink, hi, lo, self.rm.sum, None)?;
+        self.add_mod(sink, lo, lo, self.rm.sum, None)
     }
 
     /// Gentleman–Sande butterfly with a compile-time inverse twiddle:
@@ -531,20 +545,20 @@ impl Kernels {
     /// # Errors
     ///
     /// Propagates simulator faults.
-    pub fn gs_butterfly_const(
+    pub fn gs_butterfly_const<S: InstrSink>(
         &self,
-        ctl: &mut Controller,
+        sink: &mut S,
         lo: RowAddr,
         hi: RowAddr,
         inv_zeta_mont: u64,
     ) -> Result<(), BpNttError> {
         let rm = &self.rm;
-        self.sub_mod(ctl, rm.sum, lo, hi, None)?;
-        self.add_mod(ctl, lo, lo, hi, None)?;
-        self.exec(ctl, Instruction::Unary { dst: hi, src: rm.sum, kind: UnaryKind::Copy, pred: PredMode::Always })?;
-        self.modmul_const(ctl, hi, inv_zeta_mont)?;
-        self.finish_modmul(ctl)?;
-        self.exec(ctl, Instruction::Unary { dst: hi, src: rm.sum, kind: UnaryKind::Copy, pred: PredMode::Always })
+        self.sub_mod(sink, rm.sum, lo, hi, None)?;
+        self.add_mod(sink, lo, lo, hi, None)?;
+        self.exec(sink, Instruction::Unary { dst: hi, src: rm.sum, kind: UnaryKind::Copy, pred: PredMode::Always })?;
+        self.modmul_const(sink, hi, inv_zeta_mont)?;
+        self.finish_modmul(sink)?;
+        self.exec(sink, Instruction::Unary { dst: hi, src: rm.sum, kind: UnaryKind::Copy, pred: PredMode::Always })
     }
 
     /// Gentleman–Sande butterfly with per-tile inverse twiddles.
@@ -556,21 +570,21 @@ impl Kernels {
     /// # Panics
     ///
     /// Panics if the layout has no twiddle/scratch rows.
-    pub fn gs_butterfly_data(
+    pub fn gs_butterfly_data<S: InstrSink>(
         &self,
-        ctl: &mut Controller,
+        sink: &mut S,
         lo: RowAddr,
         hi: RowAddr,
     ) -> Result<(), BpNttError> {
         let rm = &self.rm;
         let tw = rm.twiddle.expect("data-driven butterfly needs a twiddle row");
         let scratch = rm.scratch.expect("data-driven GS butterfly needs the scratch row");
-        self.sub_mod(ctl, rm.sum, lo, hi, None)?;
-        self.add_mod(ctl, lo, lo, hi, None)?;
-        self.exec(ctl, Instruction::Unary { dst: scratch, src: rm.sum, kind: UnaryKind::Copy, pred: PredMode::Always })?;
-        self.modmul_data(ctl, scratch, tw)?;
-        self.finish_modmul(ctl)?;
-        self.exec(ctl, Instruction::Unary { dst: hi, src: rm.sum, kind: UnaryKind::Copy, pred: PredMode::Always })
+        self.sub_mod(sink, rm.sum, lo, hi, None)?;
+        self.add_mod(sink, lo, lo, hi, None)?;
+        self.exec(sink, Instruction::Unary { dst: scratch, src: rm.sum, kind: UnaryKind::Copy, pred: PredMode::Always })?;
+        self.modmul_data(sink, scratch, tw)?;
+        self.finish_modmul(sink)?;
+        self.exec(sink, Instruction::Unary { dst: hi, src: rm.sum, kind: UnaryKind::Copy, pred: PredMode::Always })
     }
 
     /// Multiplies a coefficient row by a compile-time constant in place:
@@ -580,15 +594,15 @@ impl Kernels {
     /// # Errors
     ///
     /// Propagates simulator faults.
-    pub fn scale_const(
+    pub fn scale_const<S: InstrSink>(
         &self,
-        ctl: &mut Controller,
+        sink: &mut S,
         row: RowAddr,
         c: u64,
     ) -> Result<(), BpNttError> {
-        self.modmul_const(ctl, row, c)?;
-        self.finish_modmul(ctl)?;
-        self.exec(ctl, Instruction::Unary {
+        self.modmul_const(sink, row, c)?;
+        self.finish_modmul(sink)?;
+        self.exec(sink, Instruction::Unary {
             dst: row,
             src: self.rm.sum,
             kind: UnaryKind::Copy,
@@ -603,9 +617,9 @@ impl Kernels {
     /// # Errors
     ///
     /// Propagates simulator faults.
-    pub fn move_tiles(
+    pub fn move_tiles<S: InstrSink>(
         &self,
-        ctl: &mut Controller,
+        sink: &mut S,
         dst: RowAddr,
         src: RowAddr,
         d_tiles: usize,
@@ -614,7 +628,7 @@ impl Kernels {
         let steps = d_tiles * self.bitwidth;
         for k in 0..steps {
             let from = if k == 0 { src } else { dst };
-            self.exec(ctl, Instruction::Shift {
+            self.exec(sink, Instruction::Shift {
                 dst,
                 src: from,
                 dir,

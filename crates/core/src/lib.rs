@@ -48,6 +48,7 @@ pub mod error;
 pub mod kernels;
 pub mod layout;
 pub mod metrics;
+pub mod sharded;
 
 pub use config::BpNttConfig;
 pub use engine::BpNtt;
@@ -55,3 +56,4 @@ pub use error::BpNttError;
 pub use kernels::Kernels;
 pub use layout::{Layout, RowMap};
 pub use metrics::PerfReport;
+pub use sharded::ShardedBpNtt;

@@ -1,0 +1,335 @@
+//! Multi-array batch sharding: scale one compiled program across K arrays.
+//!
+//! A single BP-NTT array processes `lanes` polynomials per batch. Real
+//! workloads (HE ciphertext limbs, server-side signature verification)
+//! arrive in batches of hundreds to thousands — far beyond one array. A
+//! [`ShardedBpNtt`] provisions `K` identically configured [`BpNtt`]
+//! arrays, compiles each schedule **once**, shares the compiled program
+//! across every shard behind an `Arc`, and replays it on all shards in
+//! parallel (one OS thread per shard, via `std::thread::scope` — the
+//! dependency-free equivalent of a rayon fan-out). Batches larger than
+//! `K × lanes` are processed in waves.
+//!
+//! This mirrors the paper's scaling argument: BP-NTT's area is small
+//! enough (0.063 mm² per 256×256 array) that a memory chip hosts hundreds
+//! of arrays, all driven by the *same* instruction stream. The sharded
+//! engine is that argument in software: one compilation, K replicas, no
+//! cross-shard communication.
+//!
+//! # Example
+//!
+//! ```
+//! use bpntt_core::{BpNttConfig, ShardedBpNtt};
+//! use bpntt_ntt::NttParams;
+//!
+//! let cfg = BpNttConfig::new(32, 32, 8, NttParams::new(8, 97)?)?;
+//! let mut sharded = ShardedBpNtt::new(&cfg, 4)?;
+//! // 4 shards × 4 lanes = 16 polynomials per wave.
+//! assert_eq!(sharded.lanes_total(), 16);
+//! let batch: Vec<Vec<u64>> = (0..23)
+//!     .map(|s| (0..8).map(|j| (s * 13 + j * 7) as u64 % 97).collect())
+//!     .collect();
+//! let spectra = sharded.forward_batch(&batch)?;
+//! assert_eq!(spectra.len(), 23);
+//! # Ok::<(), bpntt_core::BpNttError>(())
+//! ```
+
+use std::sync::Arc;
+
+use crate::config::BpNttConfig;
+use crate::engine::BpNtt;
+use crate::error::BpNttError;
+use bpntt_sram::Stats;
+
+/// `K` identically configured BP-NTT arrays replaying shared compiled
+/// programs over partitioned batches.
+#[derive(Debug)]
+pub struct ShardedBpNtt {
+    shards: Vec<BpNtt>,
+    lanes_per_shard: usize,
+}
+
+/// Which batch operation to run on each shard.
+#[derive(Clone, Copy)]
+enum Op {
+    Forward,
+    Roundtrip,
+}
+
+impl ShardedBpNtt {
+    /// Provisions `shards` arrays with the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`BpNttError::InvalidShardCount`] for zero shards; otherwise
+    /// propagates per-array construction failures.
+    pub fn new(config: &BpNttConfig, shards: usize) -> Result<Self, BpNttError> {
+        if shards == 0 {
+            return Err(BpNttError::InvalidShardCount { shards });
+        }
+        let shards: Vec<BpNtt> =
+            (0..shards).map(|_| BpNtt::new(config.clone())).collect::<Result<_, _>>()?;
+        let lanes_per_shard = config.layout().lanes();
+        Ok(ShardedBpNtt { shards, lanes_per_shard })
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Polynomials processed per wave across all shards.
+    #[must_use]
+    pub fn lanes_total(&self) -> usize {
+        self.shards.len() * self.lanes_per_shard
+    }
+
+    /// Aggregated simulator statistics over every shard.
+    #[must_use]
+    pub fn stats(&self) -> Stats {
+        self.shards.iter().fold(Stats::default(), |acc, s| acc + *s.stats())
+    }
+
+    /// Resets every shard's statistics.
+    pub fn reset_stats(&mut self) {
+        for s in &mut self.shards {
+            s.reset_stats();
+        }
+    }
+
+    /// Compiles the programs for `keys` once (on shard 0) and installs the
+    /// shared `Arc`s into every other shard, so the parallel phase never
+    /// compiles.
+    fn warm_programs(&mut self, keys: &[crate::engine::ProgramKey]) -> Result<(), BpNttError> {
+        for &key in keys {
+            let prog = self.shards[0].program(key)?;
+            for shard in &mut self.shards[1..] {
+                shard.install_program(key, Arc::clone(&prog));
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs one already-warmed operation over one wave of at most
+    /// `lanes_total` polynomials, fanned out one thread per shard.
+    fn run_wave(
+        &mut self,
+        wave: &[Vec<u64>],
+        op: Op,
+        out: &mut Vec<Vec<u64>>,
+    ) -> Result<(), BpNttError> {
+        let lanes = self.lanes_per_shard;
+        debug_assert!(wave.len() <= self.lanes_total());
+        let mut results: Vec<Result<Vec<Vec<u64>>, BpNttError>> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (shard, chunk) in self.shards.iter_mut().zip(wave.chunks(lanes)) {
+                handles.push(scope.spawn(move || -> Result<Vec<Vec<u64>>, BpNttError> {
+                    shard.load_batch(chunk)?;
+                    match op {
+                        Op::Forward => shard.forward()?,
+                        Op::Roundtrip => {
+                            shard.forward()?;
+                            shard.inverse()?;
+                        }
+                    }
+                    shard.read_batch(chunk.len())
+                }));
+            }
+            for h in handles {
+                results.push(h.join().expect("shard thread panicked"));
+            }
+        });
+        for r in results {
+            out.extend(r?);
+        }
+        Ok(())
+    }
+
+    /// Forward-transforms an arbitrarily large batch: waves of
+    /// `lanes_total` polynomials are partitioned across shards and each
+    /// shard replays the shared compiled forward program. Output order
+    /// matches input order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation (length/reduction) and simulator failures.
+    pub fn forward_batch(&mut self, polys: &[Vec<u64>]) -> Result<Vec<Vec<u64>>, BpNttError> {
+        self.warm_programs(&[self.shards[0].transform_program_keys()[0]])?;
+        let mut out = Vec::with_capacity(polys.len());
+        for wave in polys.chunks(self.lanes_total().max(1)) {
+            self.run_wave(wave, Op::Forward, &mut out)?;
+        }
+        Ok(out)
+    }
+
+    /// Forward + inverse roundtrip over an arbitrarily large batch
+    /// (primarily a correctness/throughput harness: the output equals the
+    /// input when the transform pair is exact).
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation and simulator failures.
+    pub fn roundtrip_batch(&mut self, polys: &[Vec<u64>]) -> Result<Vec<Vec<u64>>, BpNttError> {
+        let keys = self.shards[0].transform_program_keys();
+        self.warm_programs(&keys)?;
+        let mut out = Vec::with_capacity(polys.len());
+        for wave in polys.chunks(self.lanes_total().max(1)) {
+            self.run_wave(wave, Op::Roundtrip, &mut out)?;
+        }
+        Ok(out)
+    }
+
+    /// Negacyclic polynomial multiplication over an arbitrarily large
+    /// batch of operand pairs: `out[i] = a[i] ⊛ b[i]`. Each wave is
+    /// partitioned across shards; every shard replays the four shared
+    /// compiled programs (two forwards, pointwise, scaled inverse).
+    ///
+    /// # Errors
+    ///
+    /// [`BpNttError::BatchMismatch`] when `a` and `b` differ in length;
+    /// otherwise propagates validation and simulator failures.
+    pub fn polymul_batch(
+        &mut self,
+        a: &[Vec<u64>],
+        b: &[Vec<u64>],
+    ) -> Result<Vec<Vec<u64>>, BpNttError> {
+        if a.len() != b.len() {
+            return Err(BpNttError::BatchMismatch { a: a.len(), b: b.len() });
+        }
+        let keys = self.shards[0].polymul_program_keys();
+        self.warm_programs(&keys)?;
+        let lanes = self.lanes_per_shard;
+        let per_wave = self.lanes_total();
+        let mut out = Vec::with_capacity(a.len());
+        for (wave_a, wave_b) in a.chunks(per_wave).zip(b.chunks(per_wave)) {
+            let mut results: Vec<Result<Vec<Vec<u64>>, BpNttError>> = Vec::new();
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for ((shard, chunk_a), chunk_b) in
+                    self.shards.iter_mut().zip(wave_a.chunks(lanes)).zip(wave_b.chunks(lanes))
+                {
+                    handles.push(scope.spawn(move || shard.polymul(chunk_a, chunk_b)));
+                }
+                for h in handles {
+                    results.push(h.join().expect("shard thread panicked"));
+                }
+            });
+            for r in results {
+                out.extend(r?);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpntt_ntt::forward::ntt_in_place;
+    use bpntt_ntt::polymul::polymul_schoolbook;
+    use bpntt_ntt::{NttParams, TwiddleTable};
+
+    fn pseudo(n: usize, q: u64, seed: u64) -> Vec<u64> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x % q
+            })
+            .collect()
+    }
+
+    fn config() -> BpNttConfig {
+        BpNttConfig::new(32, 32, 8, NttParams::new(8, 97).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn rejects_zero_shards() {
+        assert!(matches!(
+            ShardedBpNtt::new(&config(), 0),
+            Err(BpNttError::InvalidShardCount { .. })
+        ));
+    }
+
+    #[test]
+    fn forward_batch_matches_reference_across_waves() {
+        let params = NttParams::new(8, 97).unwrap();
+        let mut sharded = ShardedBpNtt::new(&config(), 3).unwrap();
+        // 3 shards × 4 lanes = 12 per wave; 30 polys → 3 waves, last partial.
+        let batch: Vec<Vec<u64>> = (0..30).map(|s| pseudo(8, 97, s + 1)).collect();
+        let got = sharded.forward_batch(&batch).unwrap();
+        assert_eq!(got.len(), 30);
+        let t = TwiddleTable::new(&params);
+        for (i, p) in batch.iter().enumerate() {
+            let mut expect = p.clone();
+            ntt_in_place(&params, &t, &mut expect).unwrap();
+            assert_eq!(got[i], expect, "poly {i}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_batch_is_identity() {
+        let mut sharded = ShardedBpNtt::new(&config(), 2).unwrap();
+        let batch: Vec<Vec<u64>> = (0..17).map(|s| pseudo(8, 97, s + 50)).collect();
+        assert_eq!(sharded.roundtrip_batch(&batch).unwrap(), batch);
+    }
+
+    #[test]
+    fn polymul_batch_matches_schoolbook() {
+        let params = NttParams::new(8, 97).unwrap();
+        let mut sharded = ShardedBpNtt::new(&config(), 2).unwrap();
+        let a: Vec<Vec<u64>> = (0..11).map(|s| pseudo(8, 97, s + 100)).collect();
+        let b: Vec<Vec<u64>> = (0..11).map(|s| pseudo(8, 97, s + 200)).collect();
+        let got = sharded.polymul_batch(&a, &b).unwrap();
+        assert_eq!(got.len(), 11);
+        for i in 0..11 {
+            let expect = polymul_schoolbook(&params, &a[i], &b[i]).unwrap();
+            assert_eq!(got[i], expect, "pair {i}");
+        }
+    }
+
+    #[test]
+    fn polymul_batch_rejects_mismatched_operands() {
+        let mut sharded = ShardedBpNtt::new(&config(), 2).unwrap();
+        let a = vec![pseudo(8, 97, 1)];
+        assert!(matches!(
+            sharded.polymul_batch(&a, &[]),
+            Err(BpNttError::BatchMismatch { a: 1, b: 0 })
+        ));
+    }
+
+    #[test]
+    fn sharded_stats_aggregate_and_match_single_array() {
+        // Two shards fed the *same* chunk accumulate exactly 2× the
+        // single-array statistics (the resolution loops are data-dependent,
+        // so the chunks must match for exact doubling).
+        let chunk: Vec<Vec<u64>> = (0..4).map(|s| pseudo(8, 97, s + 7)).collect();
+        let mut batch = chunk.clone();
+        batch.extend(chunk.iter().cloned());
+
+        let mut single = ShardedBpNtt::new(&config(), 1).unwrap();
+        single.forward_batch(&chunk).unwrap();
+        let s1 = single.stats();
+
+        let mut sharded = ShardedBpNtt::new(&config(), 2).unwrap();
+        sharded.forward_batch(&batch).unwrap();
+        let s2 = sharded.stats();
+
+        assert_eq!(s2.cycles, 2 * s1.cycles);
+        assert_eq!(s2.counts.total(), 2 * s1.counts.total());
+    }
+
+    #[test]
+    fn shared_programs_compile_once() {
+        let mut sharded = ShardedBpNtt::new(&config(), 4).unwrap();
+        let batch: Vec<Vec<u64>> = (0..16).map(|s| pseudo(8, 97, s + 9)).collect();
+        sharded.forward_batch(&batch).unwrap();
+        for shard in &sharded.shards {
+            assert_eq!(shard.cached_programs(), 1, "every shard holds the shared program");
+        }
+    }
+}

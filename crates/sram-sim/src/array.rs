@@ -17,6 +17,24 @@ pub struct SenseResult {
     pub xor: BitRow,
 }
 
+impl SenseResult {
+    /// An all-zero result buffer of the given width, for reuse with
+    /// [`SramArray::sense_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols` is zero.
+    #[must_use]
+    pub fn zero(cols: usize) -> Self {
+        SenseResult {
+            and: BitRow::zero(cols),
+            nor: BitRow::zero(cols),
+            or: BitRow::zero(cols),
+            xor: BitRow::zero(cols),
+        }
+    }
+}
+
 /// A `rows × cols` 6T SRAM subarray.
 ///
 /// # Example
@@ -90,6 +108,28 @@ impl SramArray {
         &self.rows[r]
     }
 
+    /// Mutably borrows a row (used by the allocation-free controller fast
+    /// path to write results in place).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn row_mut(&mut self, r: usize) -> &mut BitRow {
+        &mut self.rows[r]
+    }
+
+    /// Mutably borrows `N` pairwise-distinct rows at once (used by the
+    /// fused superop executors). Returns `None` when indices repeat or
+    /// fall out of range.
+    pub(crate) fn rows_disjoint_mut<const N: usize>(
+        &mut self,
+        idx: [usize; N],
+    ) -> Option<[&mut BitRow; N]> {
+        self.rows.get_disjoint_mut(idx).ok()
+    }
+
     /// Overwrites a row.
     ///
     /// # Panics
@@ -115,6 +155,21 @@ impl SramArray {
         let or = a.or(b);
         let xor = a.xor(b);
         SenseResult { and, nor, or, xor }
+    }
+
+    /// Allocation-free [`Self::sense`]: fills a reusable [`SenseResult`]
+    /// buffer instead of building a fresh one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either row is out of range or the buffer width differs.
+    pub fn sense_into(&self, r0: usize, r1: usize, out: &mut SenseResult) {
+        let a = &self.rows[r0];
+        let b = &self.rows[r1];
+        out.and.assign_and(a, b);
+        out.nor.assign_nor(a, b);
+        out.or.assign_or(a, b);
+        out.xor.assign_xor(a, b);
     }
 }
 
@@ -149,6 +204,27 @@ mod tests {
         // De Morgan consistency between the four outputs.
         assert_eq!(s.or.not(), s.nor);
         assert_eq!(s.xor, s.or.and(&s.and.not()));
+    }
+
+    #[test]
+    fn sense_into_matches_sense() {
+        let mut a = SramArray::new(4, 100).unwrap();
+        let mut r0 = BitRow::zero(100);
+        let mut r1 = BitRow::zero(100);
+        for c in (0..100).step_by(3) {
+            r0.set_bit(c, true);
+        }
+        for c in (0..100).step_by(5) {
+            r1.set_bit(c, true);
+        }
+        a.write_row(0, r0);
+        a.write_row(1, r1);
+        let mut buf = SenseResult::zero(100);
+        // Pre-dirty the buffer to prove it is fully overwritten.
+        buf.and.set_bit(99, true);
+        buf.nor.set_bit(0, true);
+        a.sense_into(0, 1, &mut buf);
+        assert_eq!(buf, a.sense(0, 1));
     }
 
     #[test]

@@ -225,6 +225,198 @@ impl BitRow {
         r
     }
 
+    // ---- allocation-free in-place operations ------------------------------
+    //
+    // The controller's hot path (`exec`) routes every instruction through
+    // two preallocated scratch rows; these `assign_*` methods compute a
+    // peripheral operation directly into `self`'s storage words without
+    // touching the allocator. `self` must have the same width as the
+    // sources (debug-asserted like the allocating variants assert).
+
+    /// Overwrites `self` with a copy of `src` (same width required).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn copy_from(&mut self, src: &BitRow) {
+        assert_eq!(self.cols, src.cols, "rows must have equal width");
+        self.words.copy_from_slice(&src.words);
+    }
+
+    /// Clears every bit.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// `self ← a OP b` without allocating, where `OP` is supplied as a
+    /// word-level function (tail bits are the caller's contract: all four
+    /// sense functions below maintain a clear tail).
+    fn assign_zip(&mut self, a: &BitRow, b: &BitRow, f: impl Fn(u64, u64) -> u64) {
+        assert_eq!(a.cols, b.cols, "rows must have equal width");
+        assert_eq!(self.cols, a.cols, "rows must have equal width");
+        for ((d, &x), &y) in self.words.iter_mut().zip(&a.words).zip(&b.words) {
+            *d = f(x, y);
+        }
+    }
+
+    /// `self ← a AND b` in place.
+    pub fn assign_and(&mut self, a: &BitRow, b: &BitRow) {
+        self.assign_zip(a, b, |x, y| x & y);
+    }
+
+    /// `self ← a OR b` in place.
+    pub fn assign_or(&mut self, a: &BitRow, b: &BitRow) {
+        self.assign_zip(a, b, |x, y| x | y);
+    }
+
+    /// `self ← a XOR b` in place.
+    pub fn assign_xor(&mut self, a: &BitRow, b: &BitRow) {
+        self.assign_zip(a, b, |x, y| x ^ y);
+    }
+
+    /// `self ← a NOR b` in place.
+    pub fn assign_nor(&mut self, a: &BitRow, b: &BitRow) {
+        self.assign_zip(a, b, |x, y| !(x | y));
+        self.clear_tail();
+    }
+
+    /// `self ← NOT a` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn assign_not(&mut self, a: &BitRow) {
+        assert_eq!(self.cols, a.cols, "rows must have equal width");
+        for (d, &x) in self.words.iter_mut().zip(&a.words) {
+            *d = !x;
+        }
+        self.clear_tail();
+    }
+
+    /// Global 1-bit left shift of `self` in place (see [`Self::shl1_global`]).
+    pub fn shl1_global_in_place(&mut self) {
+        let mut carry = 0u64;
+        for w in &mut self.words {
+            let next = *w >> 63;
+            *w = (*w << 1) | carry;
+            carry = next;
+        }
+        self.clear_tail();
+    }
+
+    /// Global 1-bit right shift of `self` in place (see [`Self::shr1_global`]).
+    pub fn shr1_global_in_place(&mut self) {
+        let mut carry = 0u64;
+        for w in self.words.iter_mut().rev() {
+            let next = *w & 1;
+            *w = (*w >> 1) | (carry << 63);
+            carry = next;
+        }
+    }
+
+    /// Tile-masked 1-bit left shift of `self` in place (see
+    /// [`Self::shl1_masked`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile_width` does not divide the column count.
+    pub fn shl1_masked_in_place(&mut self, tile_width: usize) {
+        assert_eq!(self.cols % tile_width, 0, "tile width must divide the row");
+        self.shl1_global_in_place();
+        for base in (0..self.cols).step_by(tile_width) {
+            self.set_bit(base, false);
+        }
+    }
+
+    /// Tile-masked 1-bit right shift of `self` in place (see
+    /// [`Self::shr1_masked`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile_width` does not divide the column count.
+    pub fn shr1_masked_in_place(&mut self, tile_width: usize) {
+        assert_eq!(self.cols % tile_width, 0, "tile width must divide the row");
+        self.shr1_global_in_place();
+        for base in (0..self.cols).step_by(tile_width) {
+            self.set_bit(base + tile_width - 1, false);
+        }
+    }
+
+    /// Sets every bit in the column range `start..end` to `value`
+    /// (word-masked; used to maintain per-tile predicate column masks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the row.
+    pub fn fill_range(&mut self, start: usize, end: usize, value: bool) {
+        assert!(start <= end && end <= self.cols, "column range out of bounds");
+        if start == end {
+            return;
+        }
+        let first = start / 64;
+        let last = (end - 1) / 64;
+        for w in first..=last {
+            let lo = if w == first { start % 64 } else { 0 };
+            let hi = if w == last { (end - 1) % 64 } else { 63 };
+            let mask = (((1u128 << (hi - lo + 1)) - 1) as u64) << lo;
+            if value {
+                self.words[w] |= mask;
+            } else {
+                self.words[w] &= !mask;
+            }
+        }
+    }
+
+    /// `self &= mask` word-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn and_assign(&mut self, mask: &BitRow) {
+        assert_eq!(self.cols, mask.cols, "rows must have equal width");
+        for (d, &m) in self.words.iter_mut().zip(&mask.words) {
+            *d &= m;
+        }
+    }
+
+    /// The underlying storage words (bit `c` lives at word `c/64`, bit
+    /// `c%64`); tail bits beyond `cols` are always zero.
+    #[inline]
+    #[must_use]
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutable storage words. Callers must keep the tail bits clear.
+    #[inline]
+    #[must_use]
+    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// Copies the column range `start..end` from `src` into `self`,
+    /// leaving every other column untouched (the word-masked merge behind
+    /// per-tile write gating).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ or the range exceeds the row.
+    pub fn copy_bits_from(&mut self, src: &BitRow, start: usize, end: usize) {
+        assert_eq!(self.cols, src.cols, "rows must have equal width");
+        assert!(start <= end && end <= self.cols, "column range out of bounds");
+        if start == end {
+            return;
+        }
+        let first = start / 64;
+        let last = (end - 1) / 64;
+        for w in first..=last {
+            let lo = if w == first { start % 64 } else { 0 };
+            let hi = if w == last { (end - 1) % 64 } else { 63 };
+            let mask = (((1u128 << (hi - lo + 1)) - 1) as u64) << lo;
+            self.words[w] = (self.words[w] & !mask) | (src.words[w] & mask);
+        }
+    }
+
     /// True when every bit is zero (sensed in hardware by a wired-OR across
     /// the sense amplifiers; used by the carry-resolution loops).
     #[must_use]
@@ -354,5 +546,77 @@ mod tests {
     fn debug_format_is_nonempty() {
         let r = BitRow::zero(8);
         assert!(format!("{r:?}").contains("BitRow[8"));
+    }
+
+    fn random_row(cols: usize, seed: u64) -> BitRow {
+        let mut r = BitRow::zero(cols);
+        let mut x = seed | 1;
+        for c in 0..cols {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            r.set_bit(c, x & 1 == 1);
+        }
+        r
+    }
+
+    #[test]
+    fn in_place_ops_match_allocating_ops() {
+        for cols in [42, 64, 100, 256] {
+            let a = random_row(cols, 11);
+            let b = random_row(cols, 22);
+            let mut s = BitRow::zero(cols);
+            s.assign_and(&a, &b);
+            assert_eq!(s, a.and(&b));
+            s.assign_or(&a, &b);
+            assert_eq!(s, a.or(&b));
+            s.assign_xor(&a, &b);
+            assert_eq!(s, a.xor(&b));
+            s.assign_nor(&a, &b);
+            assert_eq!(s, a.nor(&b));
+            s.assign_not(&a);
+            assert_eq!(s, a.not());
+            s.copy_from(&a);
+            assert_eq!(s, a);
+            s.clear();
+            assert!(s.is_zero());
+        }
+    }
+
+    #[test]
+    fn in_place_shifts_match_allocating_shifts() {
+        for cols in [42, 64, 100, 256] {
+            let a = random_row(cols, 33);
+            let mut s = a.clone();
+            s.shl1_global_in_place();
+            assert_eq!(s, a.shl1_global(), "cols={cols}");
+            let mut s = a.clone();
+            s.shr1_global_in_place();
+            assert_eq!(s, a.shr1_global(), "cols={cols}");
+        }
+        // Masked variants on widths that divide the row.
+        for (cols, w) in [(42, 14), (64, 16), (256, 32)] {
+            let a = random_row(cols, 44);
+            let mut s = a.clone();
+            s.shl1_masked_in_place(w);
+            assert_eq!(s, a.shl1_masked(w));
+            let mut s = a.clone();
+            s.shr1_masked_in_place(w);
+            assert_eq!(s, a.shr1_masked(w));
+        }
+    }
+
+    #[test]
+    fn copy_bits_from_merges_ranges() {
+        let src = random_row(200, 55);
+        for (start, end) in [(0, 200), (0, 0), (13, 14), (60, 70), (64, 128), (130, 199), (0, 64)] {
+            let mut dst = random_row(200, 66);
+            let before = dst.clone();
+            dst.copy_bits_from(&src, start, end);
+            for c in 0..200 {
+                let expect = if (start..end).contains(&c) { src.bit(c) } else { before.bit(c) };
+                assert_eq!(dst.bit(c), expect, "col {c} range {start}..{end}");
+            }
+        }
     }
 }

@@ -47,6 +47,12 @@ pub enum SramError {
         /// Tile width.
         tile_width: usize,
     },
+    /// A compiled program was replayed on a controller whose geometry or
+    /// cost models differ from the ones it was compiled against.
+    ProgramMismatch {
+        /// Which precondition failed.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for SramError {
@@ -68,6 +74,9 @@ impl fmt::Display for SramError {
             SramError::CheckBitOutOfRange { bit, tile_width } => {
                 write!(f, "check bit {bit} outside the {tile_width}-column tile")
             }
+            SramError::ProgramMismatch { reason } => {
+                write!(f, "compiled program does not match this controller: {reason}")
+            }
         }
     }
 }
@@ -87,6 +96,7 @@ mod tests {
             SramError::BadOpcode { opcode: 15 }.to_string(),
             SramError::ReservedBits { word: 1 << 62 }.to_string(),
             SramError::CheckBitOutOfRange { bit: 40, tile_width: 32 }.to_string(),
+            SramError::ProgramMismatch { reason: "stale timing model" }.to_string(),
         ];
         for m in msgs {
             assert!(!m.is_empty());

@@ -1,7 +1,7 @@
 //! The controller: executes BP-NTT instructions against an [`SramArray`],
 //! maintaining per-tile predicates, the tile write mask, and run statistics.
 
-use crate::array::{SenseResult, SramArray};
+use crate::array::SramArray;
 use crate::bitrow::BitRow;
 use crate::cost::{EnergyModel, TimingModel};
 use crate::error::SramError;
@@ -48,12 +48,37 @@ pub struct Controller {
     n_tiles: usize,
     pred: Vec<bool>,
     tile_mask: Vec<bool>,
-    /// Pre-built column masks, one per tile (all of tile `t`'s bits set).
-    tile_col_masks: Vec<BitRow>,
+    /// Number of tiles currently disabled by the tile mask — an O(1)
+    /// "is every tile enabled?" test on the write-back fast path.
+    n_masked_off: usize,
     zero_flag: bool,
     timing: TimingModel,
     energy: EnergyModel,
     stats: Stats,
+    /// Preallocated result row for the primary write-back: every compute
+    /// instruction lands here before being swapped or merged into the
+    /// array, so the hot loop never touches the allocator.
+    scratch_a: BitRow,
+    /// Preallocated result row for a `Binary`'s second write-back.
+    scratch_b: BitRow,
+    /// Column image of the predicate latches: every column of a
+    /// pred-set tile is 1. Maintained by `Check`, consumed word-wise by
+    /// gated write-backs and the fused superops.
+    pred_mask: BitRow,
+    /// Column image of the tile write mask (enabled tiles' columns set).
+    mask_cols: BitRow,
+    /// Keep-mask of a tile-masked left shift: all columns except each
+    /// tile's base bit (where the crossing bit is discarded).
+    shl_keep: BitRow,
+    /// Keep-mask of a tile-masked right shift: all columns except each
+    /// tile's top bit.
+    shr_keep: BitRow,
+    /// Flattened per-tile `(word, mask)` pairs covering each tile's
+    /// columns (`tile_fill_starts[t]..tile_fill_starts[t+1]` indexes the
+    /// entries of tile `t`) — precomputed so predicate-latch updates are
+    /// plain word ops.
+    tile_fill: Vec<(u32, u64)>,
+    tile_fill_starts: Vec<u32>,
 }
 
 impl Controller {
@@ -68,27 +93,71 @@ impl Controller {
             return Err(SramError::BadTileWidth { width: tile_width, cols: array.cols() });
         }
         let n_tiles = array.cols() / tile_width;
-        let tile_col_masks = (0..n_tiles)
-            .map(|t| {
-                let mut m = BitRow::zero(array.cols());
-                for c in t * tile_width..(t + 1) * tile_width {
-                    m.set_bit(c, true);
-                }
-                m
-            })
-            .collect();
+        let cols = array.cols();
+        let mut mask_cols = BitRow::zero(cols);
+        mask_cols.fill_range(0, cols, true);
+        let mut shl_keep = mask_cols.clone();
+        let mut shr_keep = mask_cols.clone();
+        for base in (0..cols).step_by(tile_width) {
+            shl_keep.set_bit(base, false);
+            shr_keep.set_bit(base + tile_width - 1, false);
+        }
+        let mut tile_fill = Vec::new();
+        let mut tile_fill_starts = Vec::with_capacity(n_tiles + 1);
+        for t in 0..n_tiles {
+            tile_fill_starts.push(tile_fill.len() as u32);
+            let (start, end) = (t * tile_width, (t + 1) * tile_width);
+            let (first, last) = (start / 64, (end - 1) / 64);
+            for w in first..=last {
+                let lo = if w == first { start % 64 } else { 0 };
+                let hi = if w == last { (end - 1) % 64 } else { 63 };
+                tile_fill.push((w as u32, (((1u128 << (hi - lo + 1)) - 1) as u64) << lo));
+            }
+        }
+        tile_fill_starts.push(tile_fill.len() as u32);
         Ok(Controller {
             array,
             tile_width,
             n_tiles,
             pred: vec![false; n_tiles],
             tile_mask: vec![true; n_tiles],
-            tile_col_masks,
+            n_masked_off: 0,
             zero_flag: false,
             timing: TimingModel::paper(),
             energy: EnergyModel::cmos_45nm(),
             stats: Stats::default(),
+            scratch_a: BitRow::zero(cols),
+            scratch_b: BitRow::zero(cols),
+            pred_mask: BitRow::zero(cols),
+            mask_cols,
+            shl_keep,
+            shr_keep,
+            tile_fill,
+            tile_fill_starts,
         })
+    }
+
+    /// Latches the per-tile predicate from tile-relative column `bit` of
+    /// row `src`, maintaining both the boolean latches and the predicate
+    /// column mask with precomputed word plans.
+    fn latch_preds(&mut self, src: usize, bit: usize) {
+        let rw = self.array.row(src).words();
+        let pm = self.pred_mask.words_mut();
+        for t in 0..self.n_tiles {
+            let pos = t * self.tile_width + bit;
+            let v = (rw[pos >> 6] >> (pos & 63)) & 1 == 1;
+            self.pred[t] = v;
+            let (f0, f1) =
+                (self.tile_fill_starts[t] as usize, self.tile_fill_starts[t + 1] as usize);
+            for &(w, m) in &self.tile_fill[f0..f1] {
+                let w = w as usize;
+                if v {
+                    pm[w] |= m;
+                } else {
+                    pm[w] &= !m;
+                }
+            }
+        }
     }
 
     /// Replaces the timing model (e.g. [`TimingModel::conservative`]).
@@ -205,47 +274,537 @@ impl Controller {
             }
     }
 
-    /// Write-back with per-tile gating: only enabled tiles take the new
-    /// value; the rest keep the old row contents.
-    fn write_gated(&mut self, dst: usize, computed: BitRow, pred: PredMode) {
-        let all_enabled =
-            pred == PredMode::Always && self.tile_mask.iter().all(|&m| m);
-        if all_enabled {
-            self.array.write_row(dst, computed);
+    /// Write-back of one scratch row with per-tile gating: only enabled
+    /// tiles take the new value; the rest keep the old row contents. The
+    /// all-enabled fast path is a pointer swap — the scratch row becomes
+    /// the (dead) previous destination contents and is fully overwritten by
+    /// the next compute instruction. The gated path is a word-wise merge
+    /// through the predicate/tile column masks (no per-tile loop).
+    fn write_back(&mut self, dst: usize, pred: PredMode, second: bool) {
+        if pred == PredMode::Always && self.n_masked_off == 0 {
+            let scratch = if second { &mut self.scratch_b } else { &mut self.scratch_a };
+            std::mem::swap(self.array.row_mut(dst), scratch);
             return;
         }
-        // Column mask of all enabled tiles, then a word-level merge.
-        let mut mask = BitRow::zero(self.array.cols());
-        let mut any = false;
-        for t in 0..self.n_tiles {
-            if self.write_enabled(t, pred) {
-                mask = mask.or(&self.tile_col_masks[t]);
-                any = true;
+        let scratch = if second { &self.scratch_b } else { &self.scratch_a };
+        let sw = scratch.words();
+        let mw = self.mask_cols.words();
+        let pw = self.pred_mask.words();
+        let rw = self.array.row_mut(dst).words_mut();
+        match pred {
+            PredMode::Always => {
+                for ((r, &s), &m) in rw.iter_mut().zip(sw).zip(mw) {
+                    *r = (*r & !m) | (s & m);
+                }
+            }
+            PredMode::IfSet => {
+                for (((r, &s), &m), &p) in rw.iter_mut().zip(sw).zip(mw).zip(pw) {
+                    let g = m & p;
+                    *r = (*r & !g) | (s & g);
+                }
+            }
+            PredMode::IfClear => {
+                for (((r, &s), &m), &p) in rw.iter_mut().zip(sw).zip(mw).zip(pw) {
+                    let g = m & !p;
+                    *r = (*r & !g) | (s & g);
+                }
             }
         }
-        if !any {
-            return;
-        }
-        let merged = self.array.row(dst).and(&mask.not()).or(&computed.and(&mask));
-        self.array.write_row(dst, merged);
     }
 
-    fn apply_shift(&self, row: &BitRow, dir: ShiftDir, masked: bool) -> BitRow {
-        match (dir, masked) {
-            (ShiftDir::Left, false) => row.shl1_global(),
-            (ShiftDir::Left, true) => row.shl1_masked(self.tile_width),
-            (ShiftDir::Right, false) => row.shr1_global(),
-            (ShiftDir::Right, true) => row.shr1_masked(self.tile_width),
+    /// Validates an instruction's row addresses and `Check` bit against
+    /// this controller (the same checks [`Self::execute`] performs, shared
+    /// with program compilation).
+    pub(crate) fn validate_instr(&self, instr: &Instruction) -> Result<(), SramError> {
+        match *instr {
+            Instruction::Check { src, bit } => {
+                self.check_row(src)?;
+                if usize::from(bit) >= self.tile_width {
+                    return Err(SramError::CheckBitOutOfRange { bit, tile_width: self.tile_width });
+                }
+            }
+            Instruction::CheckZero { src } => {
+                self.check_row(src)?;
+            }
+            Instruction::MaskTiles { .. } | Instruction::MaskAll => {}
+            Instruction::Unary { dst, src, kind, .. } => {
+                self.check_row(dst)?;
+                if kind != UnaryKind::Zero {
+                    self.check_row(src)?;
+                }
+            }
+            Instruction::Shift { dst, src, .. } => {
+                self.check_row(dst)?;
+                self.check_row(src)?;
+            }
+            Instruction::Binary { dst, src0, src1, dst2, .. } => {
+                self.check_row(dst)?;
+                self.check_row(src0)?;
+                self.check_row(src1)?;
+                if let Some((d2, _)) = dst2 {
+                    self.check_row(d2)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies one *validated* instruction: the semantic work and the
+    /// instruction-class counters, but no cycle/energy accounting and no
+    /// address validation. Shared by [`Self::execute`] (which validates and
+    /// costs per call) and compiled-program replay (which validated at
+    /// compile time and replays precomputed costs).
+    pub(crate) fn apply_instr(&mut self, instr: &Instruction) {
+        match *instr {
+            Instruction::Check { src, bit } => {
+                self.latch_preds(src.index(), usize::from(bit));
+                self.stats.counts.check += 1;
+            }
+            Instruction::CheckZero { src } => {
+                self.zero_flag = self.array.row(src.index()).is_zero();
+                self.stats.counts.check_zero += 1;
+            }
+            Instruction::MaskTiles { stride_log2, phase } => {
+                let mut off = 0;
+                for (t, m) in self.tile_mask.iter_mut().enumerate() {
+                    let bit = if stride_log2 >= 63 { 0 } else { (t >> stride_log2) & 1 };
+                    *m = (bit == 1) == phase;
+                    off += usize::from(!*m);
+                    self.mask_cols.fill_range(t * self.tile_width, (t + 1) * self.tile_width, *m);
+                }
+                self.n_masked_off = off;
+                self.stats.counts.mask += 1;
+            }
+            Instruction::MaskAll => {
+                self.tile_mask.iter_mut().for_each(|m| *m = true);
+                self.n_masked_off = 0;
+                self.mask_cols.fill_range(0, self.array.cols(), true);
+                self.stats.counts.mask += 1;
+            }
+            Instruction::Unary { dst, src, kind, pred } => {
+                match kind {
+                    UnaryKind::Copy => self.scratch_a.copy_from(self.array.row(src.index())),
+                    UnaryKind::Not => self.scratch_a.assign_not(self.array.row(src.index())),
+                    UnaryKind::Zero => self.scratch_a.clear(),
+                }
+                self.write_back(dst.index(), pred, false);
+                self.stats.counts.unary += 1;
+            }
+            Instruction::Shift { dst, src, dir, masked, pred } => {
+                self.scratch_a.copy_from(self.array.row(src.index()));
+                self.shift_scratch_a(dir, masked);
+                self.write_back(dst.index(), pred, false);
+                self.stats.counts.shift += 1;
+            }
+            Instruction::Binary { dst, op, src0, src1, dst2, shift, pred } => {
+                // Both results are computed from the same activation,
+                // before any write-back, so a destination overlapping an
+                // operand cannot corrupt the second result.
+                {
+                    let a = self.array.row(src0.index());
+                    let b = self.array.row(src1.index());
+                    Self::assign_bitop(&mut self.scratch_a, a, b, op);
+                    if let Some((_, op2)) = dst2 {
+                        Self::assign_bitop(&mut self.scratch_b, a, b, op2);
+                    }
+                }
+                if let Some((dir, masked)) = shift {
+                    self.shift_scratch_a(dir, masked);
+                    self.stats.counts.fused_shifts += 1;
+                }
+                self.write_back(dst.index(), pred, false);
+                if let Some((d2, _)) = dst2 {
+                    self.write_back(d2.index(), pred, true);
+                    self.stats.counts.second_writebacks += 1;
+                }
+                self.stats.counts.binary += 1;
+            }
         }
     }
 
-    fn select(sense: &SenseResult, op: BitOp) -> BitRow {
+    fn assign_bitop(out: &mut BitRow, a: &BitRow, b: &BitRow, op: BitOp) {
         match op {
-            BitOp::And => sense.and.clone(),
-            BitOp::Or => sense.or.clone(),
-            BitOp::Xor => sense.xor.clone(),
-            BitOp::Nor => sense.nor.clone(),
+            BitOp::And => out.assign_and(a, b),
+            BitOp::Or => out.assign_or(a, b),
+            BitOp::Xor => out.assign_xor(a, b),
+            BitOp::Nor => out.assign_nor(a, b),
         }
+    }
+
+    fn shift_scratch_a(&mut self, dir: ShiftDir, masked: bool) {
+        match (dir, masked) {
+            (ShiftDir::Left, false) => self.scratch_a.shl1_global_in_place(),
+            (ShiftDir::Left, true) => {
+                self.scratch_a.shl1_global_in_place();
+                self.scratch_a.and_assign(&self.shl_keep);
+            }
+            (ShiftDir::Right, false) => self.scratch_a.shr1_global_in_place(),
+            (ShiftDir::Right, true) => {
+                self.scratch_a.shr1_global_in_place();
+                self.scratch_a.and_assign(&self.shr_keep);
+            }
+        }
+    }
+
+    /// Adds precomputed instruction costs (compiled-program replay path).
+    #[inline]
+    pub(crate) fn add_cost(&mut self, cycles: u64, energy_pj: f64) {
+        self.stats.cycles += cycles;
+        self.stats.energy_pj += energy_pj;
+    }
+
+    /// Adds a fused group's pre-aggregated costs. Cycle and count sums are
+    /// exact; energies are added value by value in emission order so the
+    /// floating-point accumulator matches per-instruction execution bit
+    /// for bit.
+    pub(crate) fn apply_group_cost(&mut self, gc: &crate::program::GroupCost) {
+        self.stats.cycles += gc.cycles;
+        self.stats.counts += gc.counts;
+        for &e in &gc.energy {
+            self.stats.energy_pj += e;
+        }
+    }
+
+    /// Adds batched instruction-class counts.
+    #[inline]
+    pub(crate) fn add_counts(&mut self, counts: crate::stats::InstrCounts) {
+        self.stats.counts += counts;
+    }
+
+    /// Adds a sequence of per-instruction energies in order.
+    #[inline]
+    pub(crate) fn add_energy_seq(&mut self, energies: &[f64]) {
+        for &e in energies {
+            self.stats.energy_pj += e;
+        }
+    }
+
+    // ---- fused superop executors ------------------------------------------
+    //
+    // Each executes one recognized instruction group in a single pass over
+    // the storage words, leaving rows, predicate latches, and the zero
+    // flag exactly as per-instruction execution would. All return `false`
+    // (caller falls back to the generic instruction range) when the
+    // current tile mask disables any tile — the fused derivations assume
+    // `mask_cols` is all-enabled, which also makes them tail-safe (the
+    // mask words carry zero tail bits).
+
+    /// Fused add-B step: `c1,s1 = Sum&B, Sum⊕B; Carry <<= 1;
+    /// c2,Sum = Carry&s1, Carry⊕s1; Carry = c1|c2`, optionally gated
+    /// per-tile by the predicate latches (`IfSet`).
+    pub(crate) fn exec_addb(&mut self, op: &crate::program::AddBOp) -> bool {
+        if self.n_masked_off != 0 {
+            return false;
+        }
+        let Some([sum, carry, t_sum, t_carry, b]) = self.array.rows_disjoint_mut([
+            usize::from(op.sum),
+            usize::from(op.carry),
+            usize::from(op.t_sum),
+            usize::from(op.t_carry),
+            usize::from(op.b),
+        ]) else {
+            return false;
+        };
+        addb_words(
+            sum.words_mut(),
+            carry.words_mut(),
+            t_sum.words_mut(),
+            t_carry.words_mut(),
+            b.words(),
+            self.mask_cols.words(),
+            self.pred_mask.words(),
+            op.pred == PredMode::IfSet,
+        );
+        true
+    }
+
+    /// Fused Montgomery halve step: latch the per-tile LSB predicate from
+    /// `Sum`, add `M` in odd tiles, and halve the carry-save pair.
+    pub(crate) fn exec_halve(&mut self, op: &crate::program::HalveOp) -> bool {
+        if self.n_masked_off != 0 {
+            return false;
+        }
+        // The Check's predicate latch, from the pre-instruction Sum.
+        self.latch_preds(usize::from(op.sum), 0);
+        let Some([sum, carry, t_sum, t_carry, m]) = self.array.rows_disjoint_mut([
+            usize::from(op.sum),
+            usize::from(op.carry),
+            usize::from(op.t_sum),
+            usize::from(op.t_carry),
+            usize::from(op.modulus),
+        ]) else {
+            return false;
+        };
+        halve_words(
+            sum.words_mut(),
+            carry.words_mut(),
+            t_sum.words_mut(),
+            t_carry.words_mut(),
+            m.words(),
+            self.pred_mask.words(),
+            self.shr_keep.words(),
+        );
+        true
+    }
+
+    /// Fused multiplier chain: a run of add-B and halve steps over one
+    /// accumulator row set (the inner loop of Algorithm 2), with the rows
+    /// borrowed once and every step executed word-level. The per-step
+    /// statistics are applied by the caller in emission order.
+    pub(crate) fn exec_chain(&mut self, op: &crate::program::ChainOp) -> bool {
+        if self.n_masked_off != 0 {
+            return false;
+        }
+        let Some([sum, carry, t_sum, t_carry, b, m]) = self.array.rows_disjoint_mut([
+            usize::from(op.sum),
+            usize::from(op.carry),
+            usize::from(op.t_sum),
+            usize::from(op.t_carry),
+            usize::from(op.b),
+            usize::from(op.modulus),
+        ]) else {
+            return false;
+        };
+        let sw = sum.words_mut();
+        let cw = carry.words_mut();
+        let tsw = t_sum.words_mut();
+        let tcw = t_carry.words_mut();
+        let bw = b.words();
+        let m_words = m.words();
+        let mw = self.mask_cols.words();
+        let shr = self.shr_keep.words();
+        for step in &op.steps {
+            match *step {
+                crate::program::ChainStep::AddB(pred) => {
+                    addb_words(
+                        sw,
+                        cw,
+                        tsw,
+                        tcw,
+                        bw,
+                        mw,
+                        self.pred_mask.words(),
+                        pred == PredMode::IfSet,
+                    );
+                }
+                crate::program::ChainStep::Halve => {
+                    // Inline predicate latch (the Check inside the halve
+                    // pattern), reading Sum through the held borrow.
+                    let pm = self.pred_mask.words_mut();
+                    for t in 0..self.n_tiles {
+                        let pos = t * self.tile_width;
+                        let v = (sw[pos >> 6] >> (pos & 63)) & 1 == 1;
+                        self.pred[t] = v;
+                        let (f0, f1) = (
+                            self.tile_fill_starts[t] as usize,
+                            self.tile_fill_starts[t + 1] as usize,
+                        );
+                        for &(w, mask) in &self.tile_fill[f0..f1] {
+                            let w = w as usize;
+                            if v {
+                                pm[w] |= mask;
+                            } else {
+                                pm[w] &= !mask;
+                            }
+                        }
+                    }
+                    halve_words(sw, cw, tsw, tcw, m_words, self.pred_mask.words(), shr);
+                }
+            }
+        }
+        true
+    }
+
+    /// Fully fused carry-resolution loop: rows borrowed once, each round
+    /// a zero test plus one word pass. Returns the number of executed
+    /// rounds, or `None` when the tile mask forces the generic path.
+    pub(crate) fn exec_resolve_loop(
+        &mut self,
+        op: &crate::program::ResolveLoopOp,
+        check_cycles: u64,
+        check_energy: f64,
+        round_cost: &crate::program::GroupCost,
+    ) -> Option<usize> {
+        if self.n_masked_off != 0 {
+            return None;
+        }
+        let Some([s, c]) =
+            self.array.rows_disjoint_mut([usize::from(op.s), usize::from(op.c)])
+        else {
+            return None;
+        };
+        let shl = self.shl_keep.words();
+        let sw = s.words_mut();
+        let cw = c.words_mut();
+        let mut bodies = 0usize;
+        let mut checks = 0u64;
+        for _ in 0..op.max_checks {
+            checks += 1;
+            // The energy accumulator stays per-event (bit-identity); the
+            // integer cycle/count sums are batched after the loop.
+            self.stats.energy_pj += check_energy;
+            let zero = cw.iter().all(|&w| w == 0);
+            self.zero_flag = zero;
+            if zero {
+                break;
+            }
+            let mut carry_in = 0u64;
+            for w in 0..sw.len() {
+                let c_old = cw[w];
+                let csh = ((c_old << 1) | carry_in) & shl[w];
+                carry_in = c_old >> 63;
+                let s_w = sw[w];
+                cw[w] = s_w & csh;
+                sw[w] = s_w ^ csh;
+            }
+            for &e in &round_cost.energy {
+                self.stats.energy_pj += e;
+            }
+            bodies += 1;
+        }
+        debug_assert!(self.zero_flag, "resolution loop must converge within max_checks");
+        self.stats.cycles += checks * check_cycles + bodies as u64 * round_cost.cycles;
+        self.stats.counts.check_zero += checks;
+        self.stats.counts += round_cost.counts.scaled(bodies as u64);
+        Some(bodies)
+    }
+
+    /// Fully fused borrow-resolution loop: the three rows borrowed once,
+    /// the live row alternating between `live` and `other` per round.
+    /// Returns the executed round count (the caller runs the odd-parity
+    /// epilogue), or `None` when the tile mask forces the generic path.
+    pub(crate) fn exec_borrow_loop(
+        &mut self,
+        op: &crate::program::BorrowLoopOp,
+        check_cycles: u64,
+        check_energy: f64,
+        round_cost: &crate::program::GroupCost,
+    ) -> Option<usize> {
+        if self.n_masked_off != 0 {
+            return None;
+        }
+        let Some([live, other, t]) = self.array.rows_disjoint_mut([
+            usize::from(op.live),
+            usize::from(op.other),
+            usize::from(op.t),
+        ]) else {
+            return None;
+        };
+        let shl = self.shl_keep.words();
+        let mut cur = live.words_mut();
+        let mut nxt = other.words_mut();
+        let tw = t.words_mut();
+        let mut bodies = 0usize;
+        let mut checks = 0u64;
+        for _ in 0..op.max_checks {
+            checks += 1;
+            self.stats.energy_pj += check_energy;
+            let zero = tw.iter().all(|&w| w == 0);
+            self.zero_flag = zero;
+            if zero {
+                break;
+            }
+            let mut carry_in = 0u64;
+            for w in 0..cur.len() {
+                let t_old = tw[w];
+                let tsh = ((t_old << 1) | carry_in) & shl[w];
+                carry_in = t_old >> 63;
+                let so = cur[w] ^ tsh;
+                nxt[w] = so;
+                tw[w] = so & tsh;
+            }
+            std::mem::swap(&mut cur, &mut nxt);
+            for &e in &round_cost.energy {
+                self.stats.energy_pj += e;
+            }
+            bodies += 1;
+        }
+        debug_assert!(self.zero_flag, "resolution loop must converge within max_checks");
+        self.stats.cycles += checks * check_cycles + bodies as u64 * round_cost.cycles;
+        self.stats.counts.check_zero += checks;
+        self.stats.counts += round_cost.counts.scaled(bodies as u64);
+        Some(bodies)
+    }
+
+    /// Fused carry-resolution round: `Carry <<= 1 (masked);
+    /// Carry, Sum = Sum∧Carry, Sum⊕Carry`.
+    pub(crate) fn exec_resolve_round(&mut self, op: &crate::program::ResolveRoundOp) -> bool {
+        if self.n_masked_off != 0 {
+            return false;
+        }
+        let Some([s, c]) =
+            self.array.rows_disjoint_mut([usize::from(op.s), usize::from(op.c)])
+        else {
+            return false;
+        };
+        let shl = self.shl_keep.words();
+        let sw = s.words_mut();
+        let cw = c.words_mut();
+        let mut carry_in = 0u64;
+        for w in 0..sw.len() {
+            let c_old = cw[w];
+            let csh = ((c_old << 1) | carry_in) & shl[w];
+            carry_in = c_old >> 63;
+            let s_w = sw[w];
+            cw[w] = s_w & csh;
+            sw[w] = s_w ^ csh;
+        }
+        true
+    }
+
+    /// Fused borrow-resolution round: `B <<= 1 (masked);
+    /// s_other = s_cur ⊕ B; B = s_other ∧ B`.
+    pub(crate) fn exec_borrow_round(&mut self, op: &crate::program::BorrowRoundOp) -> bool {
+        if self.n_masked_off != 0 {
+            return false;
+        }
+        self.scratch_a.copy_from(self.array.row(usize::from(op.s_cur)));
+        let Some([s_other, b]) =
+            self.array.rows_disjoint_mut([usize::from(op.s_other), usize::from(op.b)])
+        else {
+            return false;
+        };
+        let shl = self.shl_keep.words();
+        let scur = self.scratch_a.words();
+        let sow = s_other.words_mut();
+        let bw = b.words_mut();
+        let mut carry_in = 0u64;
+        for w in 0..sow.len() {
+            let b_old = bw[w];
+            let bsh = ((b_old << 1) | carry_in) & shl[w];
+            carry_in = b_old >> 63;
+            let so = scur[w] ^ bsh;
+            sow[w] = so;
+            bw[w] = so & bsh;
+        }
+        true
+    }
+
+    /// The active timing model.
+    #[must_use]
+    pub fn timing_model(&self) -> &TimingModel {
+        &self.timing
+    }
+
+    /// The active energy model.
+    #[must_use]
+    pub fn energy_model(&self) -> &EnergyModel {
+        &self.energy
+    }
+
+    /// True when every tile's write-back is currently enabled.
+    #[must_use]
+    pub fn all_tiles_enabled(&self) -> bool {
+        self.n_masked_off == 0
+    }
+
+    /// Writes one data row in place through the normal SRAM write port
+    /// without allocating (costed identically to [`Self::load_data_row`]).
+    pub(crate) fn load_data_row_ref(&mut self, r: usize, data: &BitRow) {
+        self.array.row_mut(r).copy_from(data);
+        self.stats.row_loads += 1;
+        self.stats.cycles += self.timing.row_io;
+        self.stats.energy_pj += self.energy.row_io_pj(self.array.cols());
     }
 
     /// Executes one instruction.
@@ -257,77 +816,8 @@ impl Controller {
     pub fn execute(&mut self, instr: &Instruction) -> Result<(), SramError> {
         self.stats.cycles += self.timing.cycles(instr);
         self.stats.energy_pj += self.energy.energy_pj(instr, self.array.cols());
-        match *instr {
-            Instruction::Check { src, bit } => {
-                let src = self.check_row(src)?;
-                if usize::from(bit) >= self.tile_width {
-                    return Err(SramError::CheckBitOutOfRange {
-                        bit,
-                        tile_width: self.tile_width,
-                    });
-                }
-                let row = self.array.row(src);
-                for t in 0..self.n_tiles {
-                    self.pred[t] = row.bit(t * self.tile_width + usize::from(bit));
-                }
-                self.stats.counts.check += 1;
-            }
-            Instruction::CheckZero { src } => {
-                let src = self.check_row(src)?;
-                self.zero_flag = self.array.row(src).is_zero();
-                self.stats.counts.check_zero += 1;
-            }
-            Instruction::MaskTiles { stride_log2, phase } => {
-                for (t, m) in self.tile_mask.iter_mut().enumerate() {
-                    let bit = if stride_log2 >= 63 { 0 } else { (t >> stride_log2) & 1 };
-                    *m = (bit == 1) == phase;
-                }
-                self.stats.counts.mask += 1;
-            }
-            Instruction::MaskAll => {
-                self.tile_mask.iter_mut().for_each(|m| *m = true);
-                self.stats.counts.mask += 1;
-            }
-            Instruction::Unary { dst, src, kind, pred } => {
-                let dst = self.check_row(dst)?;
-                let computed = match kind {
-                    UnaryKind::Copy => self.array.row(self.check_row(src)?).clone(),
-                    UnaryKind::Not => self.array.row(self.check_row(src)?).not(),
-                    UnaryKind::Zero => BitRow::zero(self.array.cols()),
-                };
-                self.write_gated(dst, computed, pred);
-                self.stats.counts.unary += 1;
-            }
-            Instruction::Shift { dst, src, dir, masked, pred } => {
-                let dst = self.check_row(dst)?;
-                let src = self.check_row(src)?;
-                let computed = self.apply_shift(self.array.row(src), dir, masked);
-                // Clone is needed because apply_shift borrows the array.
-                self.write_gated(dst, computed, pred);
-                self.stats.counts.shift += 1;
-            }
-            Instruction::Binary { dst, op, src0, src1, dst2, shift, pred } => {
-                let dst = self.check_row(dst)?;
-                let src0 = self.check_row(src0)?;
-                let src1 = self.check_row(src1)?;
-                let sense = self.array.sense(src0, src1);
-                let mut primary = Self::select(&sense, op);
-                if let Some((dir, masked)) = shift {
-                    primary = self.apply_shift(&primary, dir, masked);
-                    self.stats.counts.fused_shifts += 1;
-                }
-                // Compute the second result *before* any write-back so both
-                // derive from the same activation.
-                let second = dst2.map(|(d2, op2)| (d2, Self::select(&sense, op2)));
-                self.write_gated(dst, primary, pred);
-                if let Some((d2, row2)) = second {
-                    let d2 = self.check_row(d2)?;
-                    self.write_gated(d2, row2, pred);
-                    self.stats.counts.second_writebacks += 1;
-                }
-                self.stats.counts.binary += 1;
-            }
-        }
+        self.validate_instr(instr)?;
+        self.apply_instr(instr);
         Ok(())
     }
 
@@ -341,6 +831,100 @@ impl Controller {
             self.execute(i)?;
         }
         Ok(())
+    }
+}
+
+/// Word-level add-B step over pre-borrowed row storage. `g`-gating:
+/// disabled/unpredicated tiles keep their old contents, exactly like four
+/// gated write-backs (see `Controller::exec_addb`).
+#[allow(clippy::too_many_arguments)]
+fn addb_words(
+    sw: &mut [u64],
+    cw: &mut [u64],
+    tsw: &mut [u64],
+    tcw: &mut [u64],
+    bw: &[u64],
+    mask_cols: &[u64],
+    pred_mask: &[u64],
+    if_set: bool,
+) {
+    let n = sw.len();
+    assert!(
+        cw.len() == n
+            && tsw.len() == n
+            && tcw.len() == n
+            && bw.len() == n
+            && mask_cols.len() == n
+            && pred_mask.len() == n
+    );
+    let mut carry_in = 0u64;
+    for w in 0..n {
+        let g = if if_set { mask_cols[w] & pred_mask[w] } else { mask_cols[w] };
+        let s_w = sw[w];
+        let b_w = bw[w];
+        let c_old = cw[w];
+        let c1 = s_w & b_w;
+        let s1 = s_w ^ b_w;
+        // Global left shift computed from the *old* carry row (bits may
+        // cross tile boundaries, exactly like emission).
+        let csh = (c_old << 1) | carry_in;
+        carry_in = c_old >> 63;
+        // Gated intermediates: disabled tiles observe old row contents.
+        let c_eff = (csh & g) | (c_old & !g);
+        let ts_eff = (s1 & g) | (tsw[w] & !g);
+        let tc_new = (c1 & g) | (tcw[w] & !g);
+        let c2 = c_eff & ts_eff;
+        let s2 = c_eff ^ ts_eff;
+        sw[w] = (s2 & g) | (s_w & !g);
+        tsw[w] = ts_eff;
+        tcw[w] = tc_new;
+        cw[w] = ((c2 | tc_new) & g) | (c_eff & !g);
+    }
+}
+
+/// Word-level Montgomery halve step over pre-borrowed row storage; the
+/// predicate column mask must already reflect `Check(Sum, bit 0)` and
+/// every tile must be write-enabled (see `Controller::exec_halve`).
+#[allow(clippy::too_many_arguments)]
+fn halve_words(
+    sw: &mut [u64],
+    cw: &mut [u64],
+    tsw: &mut [u64],
+    tcw: &mut [u64],
+    m_words: &[u64],
+    pred_mask: &[u64],
+    shr_keep: &[u64],
+) {
+    let n = sw.len();
+    assert!(
+        cw.len() == n
+            && tsw.len() == n
+            && tcw.len() == n
+            && m_words.len() == n
+            && pred_mask.len() == n
+            && shr_keep.len() == n
+    );
+    // Single pass with a one-word lookahead: `tmp = Sum ⊕ (M in odd
+    // tiles)` is the m-selection (computed from the old Sum — only
+    // `sw[w]` has been overwritten when `tmp_next` reads `sw[w+1]`),
+    // `c1 = Sum ∧ M` the half-adder carry (zero in even tiles), then the
+    // tile-masked right shift of s1 and the two remaining half-adder
+    // layers.
+    let mut tmp_cur = if n > 0 { sw[0] ^ (m_words[0] & pred_mask[0]) } else { 0 };
+    for w in 0..n {
+        let tmp_next =
+            if w + 1 < n { sw[w + 1] ^ (m_words[w + 1] & pred_mask[w + 1]) } else { 0 };
+        let tc1 = sw[w] & m_words[w] & pred_mask[w];
+        let ts1 = ((tmp_cur >> 1) | (tmp_next << 63)) & shr_keep[w];
+        let new_tc = ts1 & tc1;
+        let new_ts = ts1 ^ tc1;
+        let c_old = cw[w];
+        let c5 = c_old & new_ts;
+        sw[w] = c_old ^ new_ts;
+        tsw[w] = new_ts;
+        tcw[w] = new_tc;
+        cw[w] = c5 | new_tc;
+        tmp_cur = tmp_next;
     }
 }
 

@@ -65,6 +65,7 @@ pub mod error;
 pub mod exec;
 pub mod geometry;
 pub mod isa;
+pub mod program;
 pub mod stats;
 
 pub use array::{SenseResult, SramArray};
@@ -74,4 +75,5 @@ pub use error::SramError;
 pub use exec::Controller;
 pub use geometry::{AreaBreakdown, AreaModel, ArrayGeometry, FrequencyModel};
 pub use isa::{BitOp, Instruction, PredMode, Program, RowAddr, ShiftDir, UnaryKind};
+pub use program::{CompiledProgram, InstrSink, Recorder, ReplayOp, ReplayProgram, ZeroLoopSpec};
 pub use stats::{InstrCounts, Stats};

@@ -39,6 +39,22 @@ impl InstrCounts {
     pub fn shift_moves(&self) -> u64 {
         self.shift + self.fused_shifts
     }
+
+    /// Every count multiplied by `k` (batched accounting of `k` identical
+    /// instruction groups).
+    #[must_use]
+    pub fn scaled(&self, k: u64) -> InstrCounts {
+        InstrCounts {
+            check: self.check * k,
+            check_zero: self.check_zero * k,
+            mask: self.mask * k,
+            unary: self.unary * k,
+            shift: self.shift * k,
+            binary: self.binary * k,
+            second_writebacks: self.second_writebacks * k,
+            fused_shifts: self.fused_shifts * k,
+        }
+    }
 }
 
 impl Add for InstrCounts {
