@@ -45,6 +45,7 @@ pub mod error;
 pub mod montgomery;
 pub mod primes;
 pub mod roots;
+pub mod shoup;
 pub mod zq;
 
 pub use error::ModMathError;

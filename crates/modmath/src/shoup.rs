@@ -1,0 +1,198 @@
+//! Shoup modular multiplication with a precomputed quotient.
+//!
+//! When one factor `w` is fixed across many multiplications (twiddle
+//! factors in an NTT), Harvey's formulation ("Faster arithmetic for
+//! number-theoretic transforms", arXiv:1205.2926) precomputes
+//! `w' = ⌊w·2⁶⁴ / q⌋` once; each product then costs two widening
+//! multiplications, one low multiplication, and a single conditional
+//! subtraction — no division, no remainder:
+//!
+//! ```text
+//! q̂ = ⌊w'·t / 2⁶⁴⌋          (estimate of ⌊w·t / q⌋, off by at most 1)
+//! r  = (w·t − q̂·q) mod 2⁶⁴   ∈ [0, 2q)
+//! r  −= q  if r ≥ q
+//! ```
+//!
+//! The estimate bound (and therefore correctness for *any* `t < 2⁶⁴`)
+//! holds whenever `q < 2⁶³`; every NTT modulus in this workspace is far
+//! below that.
+
+use crate::zq::mul_mod;
+
+/// Precomputes the Shoup quotient `⌊w·2⁶⁴ / q⌋` for the fixed factor `w`.
+///
+/// # Panics
+///
+/// Panics in debug builds when `w ≥ q` or `q` is zero.
+#[inline]
+#[must_use]
+pub fn shoup_precompute(w: u64, q: u64) -> u64 {
+    debug_assert!(q > 0, "modulus must be nonzero");
+    debug_assert!(w < q, "the fixed factor must be reduced");
+    ((u128::from(w) << 64) / u128::from(q)) as u64
+}
+
+/// Multiplies `t` by the fixed factor `w` modulo `q`, using the
+/// precomputed quotient `w_shoup = ⌊w·2⁶⁴ / q⌋`.
+///
+/// Correct for any `t < 2⁶⁴` whenever `q < 2⁶³` (callers with larger
+/// moduli must fall back to [`mul_mod`]).
+///
+/// # Example
+///
+/// ```
+/// use bpntt_modmath::shoup::{mul_mod_shoup, shoup_precompute};
+///
+/// let (w, q) = (1234, 12289);
+/// let w_shoup = shoup_precompute(w, q);
+/// assert_eq!(mul_mod_shoup(w, w_shoup, 777, q), (1234 * 777) % q);
+/// ```
+#[inline]
+#[must_use]
+pub fn mul_mod_shoup(w: u64, w_shoup: u64, t: u64, q: u64) -> u64 {
+    debug_assert!(q < 1 << 63, "Shoup multiplication needs q < 2^63");
+    let q_hat = ((u128::from(w_shoup) * u128::from(t)) >> 64) as u64;
+    let r = w.wrapping_mul(t).wrapping_sub(q_hat.wrapping_mul(q));
+    if r >= q {
+        r - q
+    } else {
+        r
+    }
+}
+
+/// A fixed factor bundled with its precomputed quotient.
+///
+/// # Example
+///
+/// ```
+/// use bpntt_modmath::shoup::ShoupMul;
+///
+/// let m = ShoupMul::new(3, 17);
+/// assert_eq!(m.mul(10), 13);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShoupMul {
+    w: u64,
+    w_shoup: u64,
+    q: u64,
+}
+
+impl ShoupMul {
+    /// Precomputes the quotient for the fixed factor `w` modulo `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `w ≥ q`, `q = 0`, or `q ≥ 2⁶³`.
+    #[must_use]
+    pub fn new(w: u64, q: u64) -> Self {
+        debug_assert!(q < 1 << 63, "Shoup multiplication needs q < 2^63");
+        ShoupMul { w, w_shoup: shoup_precompute(w, q), q }
+    }
+
+    /// The fixed factor.
+    #[inline]
+    #[must_use]
+    pub fn factor(&self) -> u64 {
+        self.w
+    }
+
+    /// `w·t mod q`.
+    #[inline]
+    #[must_use]
+    pub fn mul(&self, t: u64) -> u64 {
+        mul_mod_shoup(self.w, self.w_shoup, t, self.q)
+    }
+}
+
+/// Reference check used by tests: the Shoup product must equal the
+/// 128-bit-division ground truth.
+#[must_use]
+pub fn matches_mul_mod(w: u64, t: u64, q: u64) -> bool {
+    mul_mod_shoup(w, shoup_precompute(w, q), t, q) == mul_mod(w, t, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhaustive_small_moduli() {
+        // Every (w, t) pair for every modulus (prime or not) up to 64:
+        // the quotient estimate must never be off by more than the single
+        // correction step.
+        for q in 2u64..=64 {
+            for w in 0..q {
+                let w_shoup = shoup_precompute(w, q);
+                for t in 0..q {
+                    assert_eq!(
+                        mul_mod_shoup(w, w_shoup, t, q),
+                        mul_mod(w, t, q),
+                        "w={w} t={t} q={q}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_ntt_primes_sampled_factors() {
+        // The workspace's standard NTT moduli with every small factor and
+        // a stride over the full range.
+        for q in [97u64, 193, 3329, 7681, 12_289, 8_380_417] {
+            for w in (0..q).step_by((q / 97).max(1) as usize) {
+                let w_shoup = shoup_precompute(w, q);
+                for t in (0..q).step_by((q / 61).max(1) as usize) {
+                    assert_eq!(
+                        mul_mod_shoup(w, w_shoup, t, q),
+                        mul_mod(w, t, q),
+                        "w={w} t={t} q={q}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unreduced_second_operand_is_fine() {
+        // Correctness holds for any t < 2^64 (only w must be reduced).
+        let q = 12_289;
+        for w in [0u64, 1, 2, 6144, 12_288] {
+            let w_shoup = shoup_precompute(w, q);
+            for t in [12_289u64, 1 << 32, u64::MAX, u64::MAX - 12_289] {
+                assert_eq!(mul_mod_shoup(w, w_shoup, t, q), mul_mod(w, t % q, q), "w={w} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn large_moduli_near_the_bound() {
+        // Worst-case moduli just below 2^63, with adversarial operands.
+        let mut x = 0x1234_5678_9ABC_DEF0u64;
+        for q in [(1u64 << 62) + 1, (1 << 63) - 25, (1 << 63) - 1] {
+            for _ in 0..2000 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let w = x % q;
+                let t = x.rotate_left(17) % q;
+                assert!(matches_mul_mod(w, t, q), "w={w} t={t} q={q}");
+            }
+            // Edge operands.
+            for w in [0, 1, q - 1] {
+                for t in [0, 1, q - 1] {
+                    assert!(matches_mul_mod(w, t, q), "w={w} t={t} q={q}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shoup_mul_struct_roundtrip() {
+        let q = 7681;
+        for w in 0..q {
+            let m = ShoupMul::new(w, q);
+            assert_eq!(m.factor(), w);
+            assert_eq!(m.mul(4321), mul_mod(w, 4321, q));
+        }
+    }
+}

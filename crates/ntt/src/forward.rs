@@ -17,6 +17,7 @@
 use crate::error::NttError;
 use crate::params::NttParams;
 use crate::twiddle::TwiddleTable;
+use bpntt_modmath::shoup::mul_mod_shoup;
 use bpntt_modmath::zq::{add_mod, mul_mod, sub_mod};
 
 /// Runs the forward negacyclic NTT in place.
@@ -51,10 +52,34 @@ pub fn ntt_in_place(params: &NttParams, twiddles: &TwiddleTable, a: &mut [u64]) 
 
 /// Forward NTT without input validation (callers guarantee reduced, `N`-long
 /// input). Used on hot paths and by the instrumented twin.
+///
+/// The twiddle multiply uses Harvey's Shoup formulation (precomputed
+/// quotients from the [`TwiddleTable`]) whenever the modulus permits, so
+/// the inner butterfly costs no division or 128-bit remainder.
 pub fn ntt_in_place_unchecked(params: &NttParams, twiddles: &TwiddleTable, a: &mut [u64]) {
     let n = params.n();
     let q = params.modulus();
     let zetas = twiddles.zetas();
+    if twiddles.has_shoup() {
+        let zetas_shoup = twiddles.zetas_shoup();
+        let mut k = 0usize;
+        let mut len = n / 2;
+        while len > 0 {
+            let mut idx = 0;
+            while idx < n {
+                k += 1;
+                let (z, z_shoup) = (zetas[k], zetas_shoup[k]);
+                for j in idx..idx + len {
+                    let t = mul_mod_shoup(z, z_shoup, a[j + len], q);
+                    a[j + len] = sub_mod(a[j], t, q);
+                    a[j] = add_mod(a[j], t, q);
+                }
+                idx += 2 * len;
+            }
+            len /= 2;
+        }
+        return;
+    }
     let mut k = 0usize;
     let mut len = n / 2;
     while len > 0 {

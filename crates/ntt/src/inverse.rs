@@ -10,6 +10,7 @@
 use crate::error::NttError;
 use crate::params::NttParams;
 use crate::twiddle::TwiddleTable;
+use bpntt_modmath::shoup::mul_mod_shoup;
 use bpntt_modmath::zq::{add_mod, mul_mod, sub_mod};
 
 /// Runs the inverse negacyclic NTT in place.
@@ -43,10 +44,40 @@ pub fn intt_in_place(params: &NttParams, twiddles: &TwiddleTable, a: &mut [u64])
 
 /// Inverse NTT without input validation (callers guarantee reduced, `N`-long
 /// input). Used on hot paths and by the instrumented twin.
+///
+/// The twiddle multiply and the final `N⁻¹` scaling use Harvey's Shoup
+/// formulation (precomputed quotients from the [`TwiddleTable`]) whenever
+/// the modulus permits.
 pub fn intt_in_place_unchecked(params: &NttParams, twiddles: &TwiddleTable, a: &mut [u64]) {
     let n = params.n();
     let q = params.modulus();
     let inv_zetas = twiddles.inv_zetas();
+    if twiddles.has_shoup() {
+        let inv_zetas_shoup = twiddles.inv_zetas_shoup();
+        let mut len = 1;
+        while len < n {
+            let k_base = n / (2 * len);
+            let mut idx = 0;
+            let mut b = 0;
+            while idx < n {
+                let (z_inv, z_inv_shoup) = (inv_zetas[k_base + b], inv_zetas_shoup[k_base + b]);
+                for j in idx..idx + len {
+                    let u = a[j];
+                    let v = a[j + len];
+                    a[j] = add_mod(u, v, q);
+                    a[j + len] = mul_mod_shoup(z_inv, z_inv_shoup, sub_mod(u, v, q), q);
+                }
+                idx += 2 * len;
+                b += 1;
+            }
+            len *= 2;
+        }
+        let (n_inv, n_inv_shoup) = (params.n_inv(), twiddles.n_inv_shoup());
+        for x in a.iter_mut() {
+            *x = mul_mod_shoup(n_inv, n_inv_shoup, *x, q);
+        }
+        return;
+    }
     let mut len = 1;
     while len < n {
         // The CT stage with this `len` consumed zetas[k] for

@@ -8,6 +8,7 @@
 
 use crate::params::NttParams;
 use bpntt_modmath::bits::bit_reverse;
+use bpntt_modmath::shoup::shoup_precompute;
 use bpntt_modmath::zq::{inv_mod, mul_mod};
 
 /// Pre-computed twiddle factors for one parameter set.
@@ -31,6 +32,11 @@ use bpntt_modmath::zq::{inv_mod, mul_mod};
 pub struct TwiddleTable {
     zetas: Vec<u64>,
     inv_zetas: Vec<u64>,
+    /// Harvey-style precomputed quotients `⌊ζ·2⁶⁴/q⌋` (empty when the
+    /// modulus is too large for Shoup multiplication).
+    zetas_shoup: Vec<u64>,
+    inv_zetas_shoup: Vec<u64>,
+    n_inv_shoup: u64,
     q: u64,
 }
 
@@ -56,7 +62,47 @@ impl TwiddleTable {
             zetas.push(z);
             inv_zetas.push(inv_mod(z, q).expect("ψ powers are invertible in a field"));
         }
-        TwiddleTable { zetas, inv_zetas, q }
+        // Precompute the Shoup quotients for the hot transform loops
+        // (valid — and used — only when q < 2⁶³; see `has_shoup`).
+        let (zetas_shoup, inv_zetas_shoup, n_inv_shoup) = if q < 1 << 63 {
+            (
+                zetas.iter().map(|&z| shoup_precompute(z, q)).collect(),
+                inv_zetas.iter().map(|&z| shoup_precompute(z, q)).collect(),
+                shoup_precompute(params.n_inv(), q),
+            )
+        } else {
+            (Vec::new(), Vec::new(), 0)
+        };
+        TwiddleTable { zetas, inv_zetas, zetas_shoup, inv_zetas_shoup, n_inv_shoup, q }
+    }
+
+    /// True when Shoup quotients were precomputed (`q < 2⁶³`).
+    #[inline]
+    #[must_use]
+    pub fn has_shoup(&self) -> bool {
+        !self.zetas_shoup.is_empty()
+    }
+
+    /// Shoup quotients of the forward twiddles (empty iff
+    /// [`Self::has_shoup`] is false).
+    #[inline]
+    #[must_use]
+    pub fn zetas_shoup(&self) -> &[u64] {
+        &self.zetas_shoup
+    }
+
+    /// Shoup quotients of the inverse twiddles.
+    #[inline]
+    #[must_use]
+    pub fn inv_zetas_shoup(&self) -> &[u64] {
+        &self.inv_zetas_shoup
+    }
+
+    /// Shoup quotient of `N⁻¹` (the inverse transform's final scaling).
+    #[inline]
+    #[must_use]
+    pub fn n_inv_shoup(&self) -> u64 {
+        self.n_inv_shoup
     }
 
     /// Forward twiddles `ζ[k] = ψ^brv(k)`.
