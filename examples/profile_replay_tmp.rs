@@ -1,0 +1,133 @@
+//! Throwaway profiling harness (deleted before merge).
+use bpntt::sram::*;
+use bpntt::sram::program::ZeroLoopSpec;
+use std::time::Instant;
+
+fn mk() -> Controller { Controller::new(SramArray::new(262, 240).unwrap(), 24).unwrap() }
+
+fn rowpat(seed: u64) -> BitRow {
+    let mut r = BitRow::zero(240);
+    let mut x = seed | 1;
+    for t in 0..10 { x ^= x<<13; x ^= x>>7; x ^= x<<17; r.set_tile_word(t, 24, x & 0x7F_FFFF); }
+    r
+}
+
+fn time_it(name: &str, rec: Recorder, per: usize) {
+    let mut ctl = mk();
+    ctl.load_data_row(250, rowpat(1));
+    ctl.load_data_row(254, rowpat(2));
+    ctl.load_data_row(255, rowpat(3));
+    let prog = rec.finish().compile(&ctl).unwrap();
+    let best = (0..5).map(|_| {
+        let t = Instant::now();
+        ctl.run_compiled(&prog).unwrap();
+        t.elapsed().as_nanos() as f64 / per as f64
+    }).fold(f64::MAX, f64::min);
+    println!("{name}: {best:.0} ns/unit");
+}
+
+fn main() {
+    let (s, c, ts, tc, b, m) = (RowAddr(250), RowAddr(251), RowAddr(252), RowAddr(253), RowAddr(254), RowAddr(255));
+    let n = 2000usize;
+
+    // 1. modmul chain (24 bits, ~half AddB)
+    let mut rec = Recorder::new();
+    for _ in 0..n {
+        for bit in 0..24 {
+            if bit % 2 == 0 {
+                for i in [
+                    Instruction::Binary { dst: tc, op: BitOp::And, src0: s, src1: b, dst2: Some((ts, BitOp::Xor)), shift: None, pred: PredMode::Always },
+                    Instruction::Shift { dst: c, src: c, dir: ShiftDir::Left, masked: false, pred: PredMode::Always },
+                    Instruction::Binary { dst: c, op: BitOp::And, src0: c, src1: ts, dst2: Some((s, BitOp::Xor)), shift: None, pred: PredMode::Always },
+                    Instruction::Binary { dst: c, op: BitOp::Or, src0: c, src1: tc, dst2: None, shift: None, pred: PredMode::Always },
+                ] { rec.emit(i).unwrap(); }
+            }
+            for i in [
+                Instruction::Check { src: s, bit: 0 },
+                Instruction::Binary { dst: ts, op: BitOp::Xor, src0: s, src1: m, dst2: Some((tc, BitOp::And)), shift: Some((ShiftDir::Right, true)), pred: PredMode::IfSet },
+                Instruction::Shift { dst: ts, src: s, dir: ShiftDir::Right, masked: true, pred: PredMode::IfClear },
+                Instruction::Unary { dst: tc, src: tc, kind: UnaryKind::Zero, pred: PredMode::IfClear },
+                Instruction::Binary { dst: tc, op: BitOp::And, src0: ts, src1: tc, dst2: Some((ts, BitOp::Xor)), shift: None, pred: PredMode::Always },
+                Instruction::Binary { dst: c, op: BitOp::And, src0: c, src1: ts, dst2: Some((s, BitOp::Xor)), shift: None, pred: PredMode::Always },
+                Instruction::Binary { dst: c, op: BitOp::Or, src0: c, src1: tc, dst2: None, shift: None, pred: PredMode::Always },
+            ] { rec.emit(i).unwrap(); }
+        }
+    }
+    time_it("modmul chain (36 groups)", rec, n);
+
+    // 1b. pure AddB chain
+    let mut rec = Recorder::new();
+    for _ in 0..n {
+        for _bit in 0..24 {
+            for i in [
+                Instruction::Binary { dst: tc, op: BitOp::And, src0: s, src1: b, dst2: Some((ts, BitOp::Xor)), shift: None, pred: PredMode::Always },
+                Instruction::Shift { dst: c, src: c, dir: ShiftDir::Left, masked: false, pred: PredMode::Always },
+                Instruction::Binary { dst: c, op: BitOp::And, src0: c, src1: ts, dst2: Some((s, BitOp::Xor)), shift: None, pred: PredMode::Always },
+                Instruction::Binary { dst: c, op: BitOp::Or, src0: c, src1: tc, dst2: None, shift: None, pred: PredMode::Always },
+                Instruction::Check { src: s, bit: 0 },
+                Instruction::Binary { dst: ts, op: BitOp::Xor, src0: s, src1: m, dst2: Some((tc, BitOp::And)), shift: Some((ShiftDir::Right, true)), pred: PredMode::IfSet },
+                Instruction::Shift { dst: ts, src: s, dir: ShiftDir::Right, masked: true, pred: PredMode::IfClear },
+                Instruction::Unary { dst: tc, src: tc, kind: UnaryKind::Zero, pred: PredMode::IfClear },
+                Instruction::Binary { dst: tc, op: BitOp::And, src0: ts, src1: tc, dst2: Some((ts, BitOp::Xor)), shift: None, pred: PredMode::Always },
+                Instruction::Binary { dst: c, op: BitOp::And, src0: c, src1: ts, dst2: Some((s, BitOp::Xor)), shift: None, pred: PredMode::Always },
+                Instruction::Binary { dst: c, op: BitOp::Or, src0: c, src1: tc, dst2: None, shift: None, pred: PredMode::Always },
+            ] { rec.emit(i).unwrap(); }
+        }
+    }
+    time_it("48-group chain (24 AddB + 24 Halve)", rec, n);
+
+    // 2. resolve loop with refilled data each time (realistic rounds)
+    let mut rec = Recorder::new();
+    let body = [
+        Instruction::Shift { dst: c, src: c, dir: ShiftDir::Left, masked: true, pred: PredMode::Always },
+        Instruction::Binary { dst: c, op: BitOp::And, src0: s, src1: c, dst2: Some((s, BitOp::Xor)), shift: None, pred: PredMode::Always },
+    ];
+    let fill = rowpat(77);
+    for _ in 0..n {
+        InstrSink::load_row(&mut rec, c, &fill).unwrap();
+        InstrSink::zero_loop(&mut rec, ZeroLoopSpec { src: c, even_body: &body, odd_body: &body, max_checks: 25, odd_epilogue: &[] }).unwrap();
+    }
+    time_it("load + resolve loop", rec, n);
+
+    // 3. borrow loop with refilled data
+    let mut rec = Recorder::new();
+    let even = [
+        Instruction::Shift { dst: tc, src: tc, dir: ShiftDir::Left, masked: true, pred: PredMode::Always },
+        Instruction::Binary { dst: c, op: BitOp::Xor, src0: ts, src1: tc, dst2: None, shift: None, pred: PredMode::Always },
+        Instruction::Binary { dst: tc, op: BitOp::And, src0: c, src1: tc, dst2: None, shift: None, pred: PredMode::Always },
+    ];
+    let odd = [
+        Instruction::Shift { dst: tc, src: tc, dir: ShiftDir::Left, masked: true, pred: PredMode::Always },
+        Instruction::Binary { dst: ts, op: BitOp::Xor, src0: c, src1: tc, dst2: None, shift: None, pred: PredMode::Always },
+        Instruction::Binary { dst: tc, op: BitOp::And, src0: ts, src1: tc, dst2: None, shift: None, pred: PredMode::Always },
+    ];
+    let epi = [Instruction::Unary { dst: ts, src: c, kind: UnaryKind::Copy, pred: PredMode::Always }];
+    for _ in 0..n {
+        InstrSink::load_row(&mut rec, tc, &fill).unwrap();
+        InstrSink::zero_loop(&mut rec, ZeroLoopSpec { src: tc, even_body: &even, odd_body: &odd, max_checks: 25, odd_epilogue: &epi }).unwrap();
+    }
+    time_it("load + borrow loop", rec, n);
+
+    // 4. generic mix (cond_sub/sub_mod/add_mod style remainder): ~15 instrs
+    let mut rec = Recorder::new();
+    for _ in 0..n {
+        for i in [
+            Instruction::Binary { dst: tc, op: BitOp::And, src0: s, src1: m, dst2: Some((ts, BitOp::Xor)), shift: None, pred: PredMode::Always },
+            Instruction::Check { src: ts, bit: 23 },
+            Instruction::Unary { dst: s, src: ts, kind: UnaryKind::Copy, pred: PredMode::IfClear },
+            Instruction::Binary { dst: ts, op: BitOp::Xor, src0: s, src1: m, dst2: None, shift: None, pred: PredMode::Always },
+            Instruction::Binary { dst: tc, op: BitOp::And, src0: ts, src1: m, dst2: None, shift: None, pred: PredMode::Always },
+            Instruction::Check { src: ts, bit: 23 },
+            Instruction::Unary { dst: c, src: c, kind: UnaryKind::Zero, pred: PredMode::Always },
+            Instruction::Unary { dst: c, src: m, kind: UnaryKind::Copy, pred: PredMode::IfSet },
+            Instruction::Binary { dst: tc, op: BitOp::And, src0: ts, src1: c, dst2: Some((ts, BitOp::Xor)), shift: None, pred: PredMode::Always },
+            Instruction::Binary { dst: tc, op: BitOp::And, src0: s, src1: b, dst2: Some((ts, BitOp::Xor)), shift: None, pred: PredMode::Always },
+            Instruction::Check { src: c, bit: 23 },
+            Instruction::Unary { dst: s, src: ts, kind: UnaryKind::Copy, pred: PredMode::IfSet },
+            Instruction::Unary { dst: s, src: c, kind: UnaryKind::Copy, pred: PredMode::IfClear },
+            Instruction::Unary { dst: ts, src: s, kind: UnaryKind::Copy, pred: PredMode::Always },
+            Instruction::Unary { dst: c, src: ts, kind: UnaryKind::Copy, pred: PredMode::Always },
+        ] { rec.emit(i).unwrap(); }
+    }
+    time_it("generic 15-instr mix", rec, n);
+}
