@@ -19,7 +19,6 @@
 //! between the bit-serial and bit-parallel formulations instead of quoting
 //! the paper.
 
-
 use bpntt_sram::{
     BitOp, BitRow, Controller, Instruction, PredMode, RowAddr, SramArray, SramError, Stats,
     UnaryKind,
@@ -43,7 +42,12 @@ impl BitSerialLayout {
     /// Budget for `w`-bit operands.
     #[must_use]
     pub fn for_width(w: usize) -> Self {
-        BitSerialLayout { b_rows: w, m_rows: w, p_rows: 2 * w + 1, temp_rows: 3 }
+        BitSerialLayout {
+            b_rows: w,
+            m_rows: w,
+            p_rows: 2 * w + 1,
+            temp_rows: 3,
+        }
     }
 
     /// Total rows needed.
@@ -83,7 +87,10 @@ impl BitSerialKernel {
     /// Panics if `q` violates the width/headroom requirements.
     pub fn new(n_cols: usize, w: usize, q: u64) -> Result<Self, SramError> {
         assert!((2..=63).contains(&w), "width {w} outside 2..=63");
-        assert!(q % 2 == 1 && q < (1u64 << (w - 1)), "modulus needs headroom");
+        assert!(
+            q % 2 == 1 && q < (1u64 << (w - 1)),
+            "modulus needs headroom"
+        );
         let layout = BitSerialLayout::for_width(w);
         let rows = layout.total();
         let array = SramArray::new(rows, n_cols)?;
@@ -107,7 +114,18 @@ impl BitSerialKernel {
             }
             ctl.load_data_row(m_base + b, row);
         }
-        Ok(BitSerialKernel { ctl, w, q, n_cols, b_base, m_base, p_base, carry_row, t0_row, t1_row })
+        Ok(BitSerialKernel {
+            ctl,
+            w,
+            q,
+            n_cols,
+            b_base,
+            m_base,
+            p_base,
+            carry_row,
+            t0_row,
+            t1_row,
+        })
     }
 
     /// Loads one `w`-bit operand per column.
@@ -117,7 +135,10 @@ impl BitSerialKernel {
     /// Panics if `values.len() != n_cols` or any value is unreduced.
     pub fn load_operands(&mut self, values: &[u64]) {
         assert_eq!(values.len(), self.n_cols);
-        assert!(values.iter().all(|&v| v < self.q), "operands must be reduced");
+        assert!(
+            values.iter().all(|&v| v < self.q),
+            "operands must be reduced"
+        );
         for b in 0..self.w {
             let mut row = BitRow::zero(self.n_cols);
             for (c, &v) in values.iter().enumerate() {
@@ -145,7 +166,12 @@ impl BitSerialKernel {
         let carry = RowAddr(self.carry_row as u16);
         let t0 = RowAddr(self.t0_row as u16);
         let t1 = RowAddr(self.t1_row as u16);
-        self.ctl.execute(&Instruction::Unary { dst: carry, src: carry, kind: UnaryKind::Zero, pred })?;
+        self.ctl.execute(&Instruction::Unary {
+            dst: carry,
+            src: carry,
+            kind: UnaryKind::Zero,
+            pred,
+        })?;
         for b in 0..self.w {
             let pb = RowAddr((p + b) as u16);
             let ab = RowAddr((addend_base + b) as u16);
@@ -216,7 +242,10 @@ impl BitSerialKernel {
                 self.add_rows(p, self.b_base, PredMode::Always)?;
             }
             // Conditional +M on odd accumulators, per column.
-            self.ctl.execute(&Instruction::Check { src: RowAddr(p as u16), bit: 0 })?;
+            self.ctl.execute(&Instruction::Check {
+                src: RowAddr(p as u16),
+                bit: 0,
+            })?;
             self.add_rows(p, self.m_base, PredMode::IfSet)?;
         }
         Ok(())
@@ -311,14 +340,18 @@ mod tests {
         let q = 97u64;
         let w = 8;
         let mut k = BitSerialKernel::new(16, w, q).unwrap();
-        k.load_operands(&vec![5; 16]);
+        k.load_operands(&[5; 16]);
         k.reset_stats();
         k.modmul_const(42).unwrap();
         let s = k.stats();
         assert_eq!(s.counts.shift_moves(), 0, "transposed layout never shifts");
         // ≥3 activations per bit row per conditional add, w iterations:
         // the cycle count is quadratic in the width.
-        assert!(s.cycles > (3 * 8 * 8) as u64, "w² serialization: got {}", s.cycles);
+        assert!(
+            s.cycles > (3 * 8 * 8) as u64,
+            "w² serialization: got {}",
+            s.cycles
+        );
     }
 
     #[test]

@@ -57,7 +57,11 @@ mod tests {
         let row = host_cpu_row(&params, 50, 10.0);
         // A 256-point NTT takes somewhere between 100 ns and 10 ms on any
         // machine this builds on.
-        assert!(row.latency_us > 0.1 && row.latency_us < 10_000.0, "{}", row.latency_us);
+        assert!(
+            row.latency_us > 0.1 && row.latency_us < 10_000.0,
+            "{}",
+            row.latency_us
+        );
         assert!(row.throughput_kntt_s > 0.0);
         assert!(row.tput_per_power() > 0.0);
     }

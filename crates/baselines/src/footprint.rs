@@ -29,7 +29,11 @@ impl Footprint {
 /// six intermediate rows (Fig. 5(a)).
 #[must_use]
 pub fn bp_ntt(n: usize, bitwidth: usize) -> Footprint {
-    Footprint { name: "BP-NTT", rows: n + 6, cols: bitwidth }
+    Footprint {
+        name: "BP-NTT",
+        rows: n + 6,
+        cols: bitwidth,
+    }
 }
 
 /// MeNTT: bit-serial, one coefficient per column, so `n` columns; per
@@ -38,14 +42,22 @@ pub fn bp_ntt(n: usize, bitwidth: usize) -> Footprint {
 /// (130 rows for 32-bit in the paper: 4 × 32 + 2).
 #[must_use]
 pub fn mentt(n: usize, bitwidth: usize) -> Footprint {
-    Footprint { name: "MeNTT", rows: 4 * bitwidth + 2, cols: n }
+    Footprint {
+        name: "MeNTT",
+        rows: 4 * bitwidth + 2,
+        cols: n,
+    }
 }
 
 /// RM-NTT: vector–matrix formulation; the transform matrix is `n × n`
 /// with each element in `bitwidth` bit-sliced columns.
 #[must_use]
 pub fn rm_ntt(n: usize, bitwidth: usize) -> Footprint {
-    Footprint { name: "RM-NTT", rows: n, cols: n * bitwidth }
+    Footprint {
+        name: "RM-NTT",
+        rows: n,
+        cols: n * bitwidth,
+    }
 }
 
 /// The three designs at the figure's configuration, in the paper's order.
@@ -73,8 +85,14 @@ mod tests {
     fn ordering_is_stable_across_configs() {
         for (n, w) in [(64usize, 16usize), (256, 16), (256, 32), (1024, 29)] {
             let f = fig7(n, w);
-            assert!(f[0].cells() < f[1].cells(), "BP-NTT beats MeNTT at n={n} w={w}");
-            assert!(f[1].cells() < f[2].cells(), "MeNTT beats RM-NTT at n={n} w={w}");
+            assert!(
+                f[0].cells() < f[1].cells(),
+                "BP-NTT beats MeNTT at n={n} w={w}"
+            );
+            assert!(
+                f[1].cells() < f[2].cells(),
+                "MeNTT beats RM-NTT at n={n} w={w}"
+            );
         }
     }
 

@@ -165,10 +165,18 @@ mod tests {
         for (spec, ta, tp) in cases {
             if let Some(ta) = ta {
                 let got = spec.tput_per_area().expect("area known");
-                assert!((got - ta).abs() / ta < 0.06, "{}: TA {got:.1} vs printed {ta}", spec.name);
+                assert!(
+                    (got - ta).abs() / ta < 0.06,
+                    "{}: TA {got:.1} vs printed {ta}",
+                    spec.name
+                );
             }
             let got = spec.tput_per_power();
-            assert!((got - tp).abs() / tp < 0.04, "{}: TP {got:.2} vs printed {tp}", spec.name);
+            assert!(
+                (got - tp).abs() / tp < 0.04,
+                "{}: TP {got:.2} vs printed {tp}",
+                spec.name
+            );
         }
     }
 
@@ -185,11 +193,17 @@ mod tests {
         let min = tps.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = tps.iter().cloned().fold(0.0, f64::max);
         assert!(min > 9.0 && min < 12.0, "min ratio {min:.1} should be ≈10×");
-        assert!(max > 130.0 && max < 145.0, "max ratio {max:.1} should be ≈138×");
+        assert!(
+            max > 130.0 && max < 145.0,
+            "max ratio {max:.1} should be ≈138×"
+        );
         // "up to 29× higher throughput-per-area" vs ASIC/FPGA:
         let bp_ta = 4100.0;
         let sapphire_ratio = bp_ta / sapphire_45nm().tput_per_area().unwrap();
-        assert!(sapphire_ratio > 28.0 && sapphire_ratio < 30.5, "{sapphire_ratio:.1}");
+        assert!(
+            sapphire_ratio > 28.0 && sapphire_ratio < 30.5,
+            "{sapphire_ratio:.1}"
+        );
     }
 
     #[test]

@@ -104,7 +104,8 @@ impl fmt::Display for DesignSpec {
             self.throughput_kntt_s,
             self.energy_nj,
             self.area_mm2.map_or("-".into(), |v| format!("{v:.3}")),
-            self.tput_per_area().map_or("-".into(), |v| format!("{v:.1}")),
+            self.tput_per_area()
+                .map_or("-".into(), |v| format!("{v:.1}")),
             self.tput_per_power(),
         )
     }

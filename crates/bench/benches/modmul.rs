@@ -9,18 +9,30 @@ use bpntt_modmath::montgomery::MontCtx;
 
 fn bench_modmul(c: &mut Criterion) {
     let mut g = c.benchmark_group("modmul_word_models");
-    for (label, q, n) in [("kyber-7681/14b", 7681u64, 14u32), ("falcon-12289/16b", 12_289, 16), ("dilithium/24b", 8_380_417, 24)] {
+    for (label, q, n) in [
+        ("kyber-7681/14b", 7681u64, 14u32),
+        ("falcon-12289/16b", 12_289, 16),
+        ("dilithium/24b", 8_380_417, 24),
+    ] {
         let ctx = MontCtx::new(q, n).unwrap();
         let (a, b) = (q / 3, q / 5);
         g.bench_with_input(BenchmarkId::new("redc", label), &(a, b), |bch, &(a, b)| {
             bch.iter(|| ctx.mont_mul(black_box(a), black_box(b)));
         });
-        g.bench_with_input(BenchmarkId::new("interleaved", label), &(a, b), |bch, &(a, b)| {
-            bch.iter(|| ctx.mont_mul_interleaved(black_box(a), black_box(b)));
-        });
-        g.bench_with_input(BenchmarkId::new("algorithm2", label), &(a, b), |bch, &(a, b)| {
-            bch.iter(|| bp_modmul(black_box(a), black_box(b), q, n));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("interleaved", label),
+            &(a, b),
+            |bch, &(a, b)| {
+                bch.iter(|| ctx.mont_mul_interleaved(black_box(a), black_box(b)));
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("algorithm2", label),
+            &(a, b),
+            |bch, &(a, b)| {
+                bch.iter(|| bp_modmul(black_box(a), black_box(b), q, n));
+            },
+        );
     }
     g.finish();
 }

@@ -24,9 +24,10 @@ fn bench_forward(c: &mut Criterion) {
 
 fn bench_roundtrip(c: &mut Criterion) {
     let mut g = c.benchmark_group("software_ntt_roundtrip");
-    for (name, params) in [("dilithium", NttParams::dilithium().unwrap()),
-        ("falcon-1024", NttParams::falcon1024().unwrap())]
-    {
+    for (name, params) in [
+        ("dilithium", NttParams::dilithium().unwrap()),
+        ("falcon-1024", NttParams::falcon1024().unwrap()),
+    ] {
         let twiddles = TwiddleTable::new(&params);
         let poly = Polynomial::pseudo_random(&params, 7);
         g.bench_function(name, |b| {

@@ -21,9 +21,10 @@ fn bench_roofline(c: &mut Criterion) {
     print_roofline_once();
     let machine = Machine::typical_x86();
     let mut g = c.benchmark_group("roofline_pipeline");
-    for (name, params) in
-        [("dilithium_256", NttParams::dilithium().unwrap()), ("he_1024_16b", NttParams::he_1024_16bit().unwrap())]
-    {
+    for (name, params) in [
+        ("dilithium_256", NttParams::dilithium().unwrap()),
+        ("he_1024_16b", NttParams::he_1024_16bit().unwrap()),
+    ] {
         g.bench_function(name, |b| {
             b.iter(|| ntt_kernel_points(&params, &machine));
         });

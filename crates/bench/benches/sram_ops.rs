@@ -4,9 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use bpntt_sram::{
-    BitOp, BitRow, Controller, Instruction, PredMode, RowAddr, ShiftDir, SramArray,
-};
+use bpntt_sram::{BitOp, BitRow, Controller, Instruction, PredMode, RowAddr, ShiftDir, SramArray};
 
 fn controller() -> Controller {
     let mut ctl = Controller::new(SramArray::new(256, 256).unwrap(), 16).unwrap();
@@ -46,7 +44,10 @@ fn bench_instructions(c: &mut Criterion) {
         let mut ctl = controller();
         b.iter(|| ctl.execute(black_box(&shift)).unwrap());
     });
-    let check = Instruction::Check { src: RowAddr(0), bit: 0 };
+    let check = Instruction::Check {
+        src: RowAddr(0),
+        bit: 0,
+    };
     let pred_copy = Instruction::Unary {
         dst: RowAddr(7),
         src: RowAddr(3),

@@ -7,14 +7,12 @@ use bpntt_core::{BpNtt, BpNttConfig};
 
 fn print_table_once() {
     static ONCE: std::sync::Once = std::sync::Once::new();
-    ONCE.call_once(|| {
-        match bpntt_eval::table1::build() {
-            Ok(rows) => {
-                println!("\n=== Table I (reproduced) ===");
-                println!("{}", bpntt_eval::table1::render(&rows));
-            }
-            Err(e) => println!("table1 generation failed: {e}"),
+    ONCE.call_once(|| match bpntt_eval::table1::build() {
+        Ok(rows) => {
+            println!("\n=== Table I (reproduced) ===");
+            println!("{}", bpntt_eval::table1::render(&rows));
         }
+        Err(e) => println!("table1 generation failed: {e}"),
     });
 }
 
@@ -23,8 +21,9 @@ fn forward_batch(cfg: BpNttConfig) -> u64 {
     let q = acc.config().params().modulus();
     let n = acc.config().params().n();
     let lanes = acc.config().layout().lanes();
-    let polys: Vec<Vec<u64>> =
-        (0..lanes as u64).map(|s| (0..n as u64).map(|j| (s + j * 17) % q).collect()).collect();
+    let polys: Vec<Vec<u64>> = (0..lanes as u64)
+        .map(|s| (0..n as u64).map(|j| (s + j * 17) % q).collect())
+        .collect();
     acc.load_batch(&polys).unwrap();
     acc.reset_stats();
     acc.forward().unwrap();

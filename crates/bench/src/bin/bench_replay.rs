@@ -1,0 +1,122 @@
+//! Emits `BENCH_replay.json`: the compile-once/replay-many perf
+//! trajectory for future PRs. Run from the workspace root:
+//!
+//! ```text
+//! cargo run --release -p bpntt-bench --bin bench_replay
+//! ```
+//!
+//! Measurements are best-of-N interleaved wall-clock times on whatever
+//! machine runs this (the container is a single-core VM; treat absolute
+//! numbers as indicative and the emit/replay ratios as the signal).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use bpntt_core::{BpNtt, BpNttConfig, ShardedBpNtt};
+use bpntt_ntt::NttParams;
+
+fn pseudo_batch(cfg: &BpNttConfig, lanes: usize, seed: u64) -> Vec<Vec<u64>> {
+    let n = cfg.params().n();
+    let q = cfg.params().modulus();
+    let mut x = seed | 1;
+    (0..lanes)
+        .map(|_| {
+            (0..n)
+                .map(|_| {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    x % q
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn best_of<F: FnMut()>(reps: usize, inner: usize, mut f: F) -> f64 {
+    let mut best = f64::MAX;
+    for _ in 0..reps {
+        let t = Instant::now();
+        for _ in 0..inner {
+            f();
+        }
+        best = best.min(t.elapsed().as_secs_f64() / inner as f64);
+    }
+    best
+}
+
+fn main() {
+    let mut json = String::from(
+        "{\n  \"benchmark\": \"dilithium256_forward_replay_vs_emit\",\n  \"configs\": [\n",
+    );
+    let mut first = true;
+    for cols in [48usize, 96, 144, 256] {
+        let cfg = BpNttConfig::new(262, cols, 24, NttParams::new(256, 8_380_417).unwrap()).unwrap();
+        let lanes = cfg.layout().lanes();
+        let batch = pseudo_batch(&cfg, lanes, 1);
+
+        let mut emit = BpNtt::new(cfg.clone()).unwrap();
+        emit.load_batch(&batch).unwrap();
+        let mut replay = BpNtt::new(cfg.clone()).unwrap();
+        replay.load_batch(&batch).unwrap();
+        replay.forward().unwrap();
+
+        // Interleaved best-of to suppress machine noise.
+        let mut be = f64::MAX;
+        let mut br = f64::MAX;
+        for _ in 0..8 {
+            be = be.min(best_of(1, 3, || emit.forward_uncached().unwrap()));
+            br = br.min(best_of(1, 3, || replay.forward().unwrap()));
+        }
+        if !first {
+            json.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            json,
+            "    {{\"cols\": {cols}, \"lanes\": {lanes}, \"emit_ms\": {:.3}, \"replay_ms\": {:.3}, \"speedup\": {:.2}}}",
+            be * 1e3,
+            br * 1e3,
+            be / br
+        );
+        println!(
+            "cols={cols} lanes={lanes}: emit {:.2} ms, replay {:.2} ms, speedup {:.2}x",
+            be * 1e3,
+            br * 1e3,
+            be / br
+        );
+    }
+    json.push_str("\n  ],\n  \"sharded\": [\n");
+
+    let cfg = BpNttConfig::new(262, 256, 24, NttParams::new(256, 8_380_417).unwrap()).unwrap();
+    let lanes = cfg.layout().lanes();
+    let mut first = true;
+    for shards in [1usize, 2, 4] {
+        let mut sharded = ShardedBpNtt::new(&cfg, shards).unwrap();
+        let batch = pseudo_batch(&cfg, shards * lanes, 7);
+        sharded.forward_batch(&batch).unwrap();
+        let t = best_of(4, 2, || {
+            sharded.forward_batch(&batch).unwrap();
+        });
+        if !first {
+            json.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            json,
+            "    {{\"shards\": {shards}, \"polys\": {}, \"batch_ms\": {:.3}, \"polys_per_sec\": {:.0}}}",
+            batch.len(),
+            t * 1e3,
+            batch.len() as f64 / t
+        );
+        println!(
+            "shards={shards}: {} polys in {:.2} ms ({:.0} polys/s)",
+            batch.len(),
+            t * 1e3,
+            batch.len() as f64 / t
+        );
+    }
+    json.push_str("\n  ],\n  \"note\": \"wall-clock best-of on the build machine; sharded scaling requires multiple cores\"\n}\n");
+    std::fs::write("BENCH_replay.json", &json).expect("write BENCH_replay.json");
+    println!("wrote BENCH_replay.json");
+}

@@ -25,11 +25,27 @@ impl CacheConfig {
     /// `size < line_size × ways`.
     #[must_use]
     pub fn new(size_bytes: u64, line_size: u64, ways: u64) -> Self {
-        assert!(size_bytes.is_power_of_two(), "cache size must be a power of two");
-        assert!(line_size.is_power_of_two(), "line size must be a power of two");
-        assert!(ways.is_power_of_two(), "associativity must be a power of two");
-        assert!(size_bytes >= line_size * ways, "cache must hold at least one set");
-        CacheConfig { size_bytes, line_size, ways }
+        assert!(
+            size_bytes.is_power_of_two(),
+            "cache size must be a power of two"
+        );
+        assert!(
+            line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(
+            ways.is_power_of_two(),
+            "associativity must be a power of two"
+        );
+        assert!(
+            size_bytes >= line_size * ways,
+            "cache must hold at least one set"
+        );
+        CacheConfig {
+            size_bytes,
+            line_size,
+            ways,
+        }
     }
 
     /// Total capacity in bytes.
@@ -90,7 +106,13 @@ impl Cache {
     #[must_use]
     pub fn new(cfg: CacheConfig) -> Self {
         let total_lines = (cfg.sets() * cfg.ways()) as usize;
-        Cache { cfg, lines: vec![Line::default(); total_lines], clock: 0, hits: 0, misses: 0 }
+        Cache {
+            cfg,
+            lines: vec![Line::default(); total_lines],
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// The geometry.
@@ -131,7 +153,10 @@ impl Cache {
                 line.last_used = self.clock;
                 line.dirty |= write;
                 self.hits += 1;
-                return LineAccess { hit: true, writeback: None };
+                return LineAccess {
+                    hit: true,
+                    writeback: None,
+                };
             }
         }
         // Miss: pick invalid slot or LRU victim.
@@ -153,14 +178,22 @@ impl Cache {
         };
         let victim = self.lines[victim_idx];
         let writeback = if victim.valid && victim.dirty {
-            let set = (victim_idx - victim_idx % self.cfg.ways() as usize) / self.cfg.ways() as usize;
+            let set =
+                (victim_idx - victim_idx % self.cfg.ways() as usize) / self.cfg.ways() as usize;
             Some((victim.tag * self.cfg.sets() + set as u64) * self.cfg.line_size)
         } else {
             None
         };
-        self.lines[victim_idx] =
-            Line { tag, valid: true, dirty: write, last_used: self.clock };
-        LineAccess { hit: false, writeback }
+        self.lines[victim_idx] = Line {
+            tag,
+            valid: true,
+            dirty: write,
+            last_used: self.clock,
+        };
+        LineAccess {
+            hit: false,
+            writeback,
+        }
     }
 
     /// Marks the line containing `addr` dirty if present (used when a lower

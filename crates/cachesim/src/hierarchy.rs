@@ -192,7 +192,11 @@ mod tests {
             h.access(0, 8, false);
             h.access(64, 8, false);
         }
-        assert_eq!(h.stats().traffic_bytes, warm, "steady-state must stay in L1");
+        assert_eq!(
+            h.stats().traffic_bytes,
+            warm,
+            "steady-state must stay in L1"
+        );
         assert_eq!(h.stats().level_hits[0], 200);
     }
 

@@ -246,7 +246,10 @@ mod tests {
         let three = run(3);
         assert_eq!(one.cycles, three.cycles, "lock-step: identical latency");
         assert!((three.throughput / one.throughput - 3.0).abs() < 1e-9);
-        assert!(three.energy_nj > 2.9 * one.energy_nj, "energy sums across subarrays");
+        assert!(
+            three.energy_nj > 2.9 * one.energy_nj,
+            "energy sums across subarrays"
+        );
         // The shared CTRL/CMD subarray is amortized: bank TA improves as
         // compute subarrays are added.
         assert!(three.tput_per_area > one.tput_per_area);
@@ -257,7 +260,10 @@ mod tests {
         assert!(Bank::new(config(), 0).is_err());
         let mut bank = Bank::new(config(), 2).unwrap();
         let too_many = vec![vec![vec![0u64; 8]; 1]; 3];
-        assert!(matches!(bank.load_batches(&too_many), Err(BpNttError::BatchTooLarge { .. })));
+        assert!(matches!(
+            bank.load_batches(&too_many),
+            Err(BpNttError::BatchTooLarge { .. })
+        ));
     }
 
     #[test]

@@ -45,7 +45,12 @@ impl BpNttConfig {
     ///
     /// Any violated constraint documented on the type, wrapped in
     /// [`BpNttError`].
-    pub fn new(rows: usize, cols: usize, bitwidth: usize, params: NttParams) -> Result<Self, BpNttError> {
+    pub fn new(
+        rows: usize,
+        cols: usize,
+        bitwidth: usize,
+        params: NttParams,
+    ) -> Result<Self, BpNttError> {
         if !(2..=64).contains(&bitwidth) {
             return Err(BpNttError::InvalidBitwidth { bitwidth });
         }
@@ -57,7 +62,13 @@ impl BpNttConfig {
             return Err(BpNttError::NoHeadroom { q, bitwidth });
         }
         let layout = Layout::new(rows, cols, bitwidth, params.n())?;
-        Ok(BpNttConfig { rows, cols, bitwidth, params, layout })
+        Ok(BpNttConfig {
+            rows,
+            cols,
+            bitwidth,
+            params,
+            layout,
+        })
     }
 
     /// The paper's Table I design point: a 256×256 data array **plus the
@@ -120,7 +131,10 @@ impl BpNttConfig {
     /// The physical geometry for the area/frequency models.
     #[must_use]
     pub fn geometry(&self) -> ArrayGeometry {
-        ArrayGeometry { rows: self.rows, cols: self.cols }
+        ArrayGeometry {
+            rows: self.rows,
+            cols: self.cols,
+        }
     }
 }
 

@@ -168,7 +168,8 @@ impl Emitter<'_> {
                 len *= 2;
             }
             for j in 0..n {
-                self.kernels.scale_const(sink, RowAddr((base + j) as u16), scale_mont)?;
+                self.kernels
+                    .scale_const(sink, RowAddr((base + j) as u16), scale_mont)?;
             }
             return Ok(());
         }
@@ -196,7 +197,8 @@ impl Emitter<'_> {
             len *= 2;
         }
         for r in 0..cpt {
-            self.kernels.scale_const(sink, layout.offset_row(r), scale_mont)?;
+            self.kernels
+                .scale_const(sink, layout.offset_row(r), scale_mont)?;
         }
         Ok(())
     }
@@ -213,7 +215,10 @@ impl Emitter<'_> {
         inverse: bool,
     ) -> Result<(), BpNttError> {
         let layout = self.layout;
-        let tw_row = layout.rowmap().twiddle.expect("multi-tile layouts have a twiddle row");
+        let tw_row = layout
+            .rowmap()
+            .twiddle
+            .expect("multi-tile layouts have a twiddle row");
         let bw = layout.bitwidth();
         let cpt = layout.coeffs_per_tile();
         let tpp = layout.tiles_per_poly();
@@ -224,7 +229,11 @@ impl Emitter<'_> {
             let j = g * cpt + r;
             let block = j / (2 * len);
             let k = k_base + block;
-            let z = if inverse { self.twiddles.inv_zetas()[k] } else { self.twiddles.zetas()[k] };
+            let z = if inverse {
+                self.twiddles.inv_zetas()[k]
+            } else {
+                self.twiddles.zetas()[k]
+            };
             row.set_tile_word(t, bw, self.mont.to_mont(z));
         }
         sink.load_row(tw_row, &row)?;
@@ -234,23 +243,35 @@ impl Emitter<'_> {
     /// Cross-tile Cooley–Tukey butterfly on coefficient row `r`: partners
     /// sit `d` tiles apart in the *same* physical row, so the partner word
     /// is staged through `d·w` one-bit shifts — the Fig. 8(b) overhead.
-    fn cross_tile_ct<S: InstrSink>(&self, sink: &mut S, r: usize, d: usize) -> Result<(), BpNttError> {
+    fn cross_tile_ct<S: InstrSink>(
+        &self,
+        sink: &mut S,
+        r: usize,
+        d: usize,
+    ) -> Result<(), BpNttError> {
         let rm = *self.layout.rowmap();
         let scratch = rm.scratch.expect("multi-tile layouts have a scratch row");
         let row_r = self.layout.offset_row(r);
         let stride_log2 = d.trailing_zeros() as u8;
         // Stage partner words: tile t sees tile t+d's coefficient.
-        self.kernels.move_tiles(sink, scratch, row_r, d, ShiftDir::Right)?;
+        self.kernels
+            .move_tiles(sink, scratch, row_r, d, ShiftDir::Right)?;
         // t = ζ · partner (valid in the low-half tiles).
-        self.kernels.modmul_data(sink, scratch, rm.twiddle.expect("twiddle row"))?;
+        self.kernels
+            .modmul_data(sink, scratch, rm.twiddle.expect("twiddle row"))?;
         self.kernels.finish_modmul(sink)?;
         // new_hi = a[lo] − t (computed everywhere, consumed from low tiles).
         self.kernels.sub_mod(sink, scratch, row_r, rm.sum, None)?;
         // a[lo] ← a[lo] + t, only in the low-half tiles.
-        self.kernels.add_mod(sink, row_r, row_r, rm.sum, Some((stride_log2, false)))?;
+        self.kernels
+            .add_mod(sink, row_r, row_r, rm.sum, Some((stride_log2, false)))?;
         // Ship new_hi to the high-half tiles.
-        self.kernels.move_tiles(sink, scratch, scratch, d, ShiftDir::Left)?;
-        sink.emit(Instruction::MaskTiles { stride_log2, phase: true })?;
+        self.kernels
+            .move_tiles(sink, scratch, scratch, d, ShiftDir::Left)?;
+        sink.emit(Instruction::MaskTiles {
+            stride_log2,
+            phase: true,
+        })?;
         sink.emit(Instruction::Unary {
             dst: row_r,
             src: scratch,
@@ -262,15 +283,22 @@ impl Emitter<'_> {
     }
 
     /// Cross-tile Gentleman–Sande butterfly on coefficient row `r`.
-    fn cross_tile_gs<S: InstrSink>(&self, sink: &mut S, r: usize, d: usize) -> Result<(), BpNttError> {
+    fn cross_tile_gs<S: InstrSink>(
+        &self,
+        sink: &mut S,
+        r: usize,
+        d: usize,
+    ) -> Result<(), BpNttError> {
         let rm = *self.layout.rowmap();
         let scratch = rm.scratch.expect("multi-tile layouts have a scratch row");
         let row_r = self.layout.offset_row(r);
         let stride_log2 = d.trailing_zeros() as u8;
-        self.kernels.move_tiles(sink, scratch, row_r, d, ShiftDir::Right)?;
+        self.kernels
+            .move_tiles(sink, scratch, row_r, d, ShiftDir::Right)?;
         // Sum ← u − v; a[lo] ← u + v (low tiles only).
         self.kernels.sub_mod(sink, rm.sum, row_r, scratch, None)?;
-        self.kernels.add_mod(sink, row_r, row_r, scratch, Some((stride_log2, false)))?;
+        self.kernels
+            .add_mod(sink, row_r, row_r, scratch, Some((stride_log2, false)))?;
         // hi ← ζ⁻¹ (u − v), staged through scratch.
         sink.emit(Instruction::Unary {
             dst: scratch,
@@ -278,7 +306,8 @@ impl Emitter<'_> {
             kind: UnaryKind::Copy,
             pred: PredMode::Always,
         })?;
-        self.kernels.modmul_data(sink, scratch, rm.twiddle.expect("twiddle row"))?;
+        self.kernels
+            .modmul_data(sink, scratch, rm.twiddle.expect("twiddle row"))?;
         self.kernels.finish_modmul(sink)?;
         sink.emit(Instruction::Unary {
             dst: scratch,
@@ -286,8 +315,12 @@ impl Emitter<'_> {
             kind: UnaryKind::Copy,
             pred: PredMode::Always,
         })?;
-        self.kernels.move_tiles(sink, scratch, scratch, d, ShiftDir::Left)?;
-        sink.emit(Instruction::MaskTiles { stride_log2, phase: true })?;
+        self.kernels
+            .move_tiles(sink, scratch, scratch, d, ShiftDir::Left)?;
+        sink.emit(Instruction::MaskTiles {
+            stride_log2,
+            phase: true,
+        })?;
         sink.emit(Instruction::Unary {
             dst: row_r,
             src: scratch,
@@ -363,7 +396,14 @@ impl BpNtt {
         }
         ctl.load_data_row(layout.rowmap().modulus.index(), m_row);
         ctl.load_data_row(layout.rowmap().comp_modulus.index(), comp_row);
-        Ok(BpNtt { config, twiddles, mont, kernels, ctl, programs: HashMap::new() })
+        Ok(BpNtt {
+            config,
+            twiddles,
+            mont,
+            kernels,
+            ctl,
+            programs: HashMap::new(),
+        })
     }
 
     /// The configuration.
@@ -456,8 +496,14 @@ impl BpNtt {
         [
             ProgramKey::Forward { base: 0 },
             ProgramKey::Forward { base: n },
-            ProgramKey::Pointwise { a_base: 0, b_base: n },
-            ProgramKey::Inverse { base: 0, scale_mont: n_inv_r2 },
+            ProgramKey::Pointwise {
+                a_base: 0,
+                b_base: n,
+            },
+            ProgramKey::Inverse {
+                base: 0,
+                scale_mont: n_inv_r2,
+            },
         ]
     }
 
@@ -466,7 +512,10 @@ impl BpNtt {
         let scale = self.mont.to_mont(self.config.params().n_inv());
         [
             ProgramKey::Forward { base: 0 },
-            ProgramKey::Inverse { base: 0, scale_mont: scale },
+            ProgramKey::Inverse {
+                base: 0,
+                scale_mont: scale,
+            },
         ]
     }
 
@@ -487,7 +536,10 @@ impl BpNtt {
     /// Propagates trace/compile failures.
     pub fn compiled_inverse(&mut self) -> Result<Arc<CompiledProgram>, BpNttError> {
         let scale = self.mont.to_mont(self.config.params().n_inv());
-        self.program(ProgramKey::Inverse { base: 0, scale_mont: scale })
+        self.program(ProgramKey::Inverse {
+            base: 0,
+            scale_mont: scale,
+        })
     }
 
     /// Loads `polys` (one polynomial per lane, natural order) into the
@@ -508,11 +560,17 @@ impl BpNtt {
         let n = self.n();
         let q = self.q();
         if polys.len() > layout.lanes() {
-            return Err(BpNttError::BatchTooLarge { batch: polys.len(), lanes: layout.lanes() });
+            return Err(BpNttError::BatchTooLarge {
+                batch: polys.len(),
+                lanes: layout.lanes(),
+            });
         }
         for (lane, p) in polys.iter().enumerate() {
             if p.len() != n {
-                return Err(BpNttError::WrongLength { expected: n, actual: p.len() });
+                return Err(BpNttError::WrongLength {
+                    expected: n,
+                    actual: p.len(),
+                });
             }
             if let Some((index, &value)) = p.iter().enumerate().find(|(_, &v)| v >= q) {
                 return Err(BpNttError::Unreduced { lane, index, value });
@@ -527,7 +585,11 @@ impl BpNtt {
                 let lane = t / tpp;
                 let g = t % tpp;
                 let j = g * cpt + r;
-                let v = if lane < polys.len() && j < n { polys[lane][j] } else { 0 };
+                let v = if lane < polys.len() && j < n {
+                    polys[lane][j]
+                } else {
+                    0
+                };
                 row.set_tile_word(t, bw, v);
             }
             self.ctl.load_data_row(base + r, row);
@@ -548,7 +610,10 @@ impl BpNtt {
     fn read_batch_at(&mut self, base: usize, batch: usize) -> Result<Vec<Vec<u64>>, BpNttError> {
         let layout = self.config.layout().clone();
         if batch > layout.lanes() {
-            return Err(BpNttError::BatchTooLarge { batch, lanes: layout.lanes() });
+            return Err(BpNttError::BatchTooLarge {
+                batch,
+                lanes: layout.lanes(),
+            });
         }
         let n = self.n();
         let bw = layout.bitwidth();
@@ -613,7 +678,10 @@ impl BpNtt {
     /// Propagates simulator faults.
     pub fn inverse(&mut self) -> Result<(), BpNttError> {
         let scale = self.mont.to_mont(self.config.params().n_inv());
-        let prog = self.program(ProgramKey::Inverse { base: 0, scale_mont: scale })?;
+        let prog = self.program(ProgramKey::Inverse {
+            base: 0,
+            scale_mont: scale,
+        })?;
         self.ctl.run_compiled(&prog)?;
         Ok(())
     }
@@ -648,11 +716,7 @@ impl BpNtt {
     ///
     /// [`BpNttError::CapacityExceeded`] when the operands do not fit;
     /// otherwise propagates load/validation/simulator failures.
-    pub fn polymul(
-        &mut self,
-        a: &[Vec<u64>],
-        b: &[Vec<u64>],
-    ) -> Result<Vec<Vec<u64>>, BpNttError> {
+    pub fn polymul(&mut self, a: &[Vec<u64>], b: &[Vec<u64>]) -> Result<Vec<Vec<u64>>, BpNttError> {
         let layout = self.config.layout().clone();
         let n = self.n();
         if layout.is_multi_tile() || 2 * n + layout.reserved_rows() > self.config.rows() {
@@ -668,7 +732,10 @@ impl BpNtt {
         let fwd_b = self.program(ProgramKey::Forward { base: n as u16 })?;
         // Pointwise: c_j = â_j · b̂_j · R⁻¹ (the stray R⁻¹ is absorbed by
         // the inverse transform's scaling constant below).
-        let pointwise = self.program(ProgramKey::Pointwise { a_base: 0, b_base: n as u16 })?;
+        let pointwise = self.program(ProgramKey::Pointwise {
+            a_base: 0,
+            b_base: n as u16,
+        })?;
         // Scale constant n⁻¹·R² : output = x · n⁻¹ · R, cancelling the R⁻¹
         // introduced by the pointwise step.
         let q = self.q();
@@ -677,7 +744,10 @@ impl BpNtt {
             self.mont.r_mod_m(),
             q,
         ));
-        let inv = self.program(ProgramKey::Inverse { base: 0, scale_mont: n_inv_r2 })?;
+        let inv = self.program(ProgramKey::Inverse {
+            base: 0,
+            scale_mont: n_inv_r2,
+        })?;
         self.ctl.run_compiled(&fwd_a)?;
         self.ctl.run_compiled(&fwd_b)?;
         self.ctl.run_compiled(&pointwise)?;
@@ -846,11 +916,13 @@ mod tests {
     fn cached_replay_matches_uncached_emission() {
         // Same data, one engine replaying and one emitting: bit-identical
         // outputs and bit-identical statistics (including the f64 energy).
-        for (n, q, rows, cols, bw) in
-            [(8usize, 97u64, 16usize, 32usize, 8usize), (16, 97, 16, 32, 8)]
-        {
+        for (n, q, rows, cols, bw) in [
+            (8usize, 97u64, 16usize, 32usize, 8usize),
+            (16, 97, 16, 32, 8),
+        ] {
             let params = NttParams::new(n, q).unwrap();
-            let mk = || BpNtt::new(BpNttConfig::new(rows, cols, bw, params.clone()).unwrap()).unwrap();
+            let mk =
+                || BpNtt::new(BpNttConfig::new(rows, cols, bw, params.clone()).unwrap()).unwrap();
             let lanes = mk().config().layout().lanes();
             let polys: Vec<Vec<u64>> = (0..lanes as u64).map(|s| pseudo(n, q, s + 3)).collect();
 

@@ -87,28 +87,50 @@ impl fmt::Display for BpNttError {
                 write!(f, "bit width {bitwidth} outside the supported range 2..=64")
             }
             BpNttError::ArrayTooNarrow { cols, bitwidth } => {
-                write!(f, "array with {cols} columns cannot hold a {bitwidth}-bit tile")
+                write!(
+                    f,
+                    "array with {cols} columns cannot hold a {bitwidth}-bit tile"
+                )
             }
             BpNttError::NoHeadroom { q, bitwidth } => {
-                write!(f, "modulus {q} needs one spare bit in {bitwidth}-bit words (q < 2^{})", bitwidth - 1)
+                write!(
+                    f,
+                    "modulus {q} needs one spare bit in {bitwidth}-bit words (q < 2^{})",
+                    bitwidth - 1
+                )
             }
             BpNttError::CapacityExceeded { n, capacity } => {
-                write!(f, "{n}-point polynomial exceeds the layout capacity of {capacity} points")
+                write!(
+                    f,
+                    "{n}-point polynomial exceeds the layout capacity of {capacity} points"
+                )
             }
             BpNttError::BatchTooLarge { batch, lanes } => {
-                write!(f, "batch of {batch} polynomials exceeds the {lanes} available lanes")
+                write!(
+                    f,
+                    "batch of {batch} polynomials exceeds the {lanes} available lanes"
+                )
             }
             BpNttError::WrongLength { expected, actual } => {
                 write!(f, "expected {expected} coefficients, got {actual}")
             }
             BpNttError::Unreduced { lane, index, value } => {
-                write!(f, "coefficient {value} (lane {lane}, index {index}) is not reduced")
+                write!(
+                    f,
+                    "coefficient {value} (lane {lane}, index {index}) is not reduced"
+                )
             }
             BpNttError::InvalidShardCount { shards } => {
-                write!(f, "a sharded engine needs at least one shard (got {shards})")
+                write!(
+                    f,
+                    "a sharded engine needs at least one shard (got {shards})"
+                )
             }
             BpNttError::BatchMismatch { a, b } => {
-                write!(f, "paired batches must have equal lengths (got {a} and {b})")
+                write!(
+                    f,
+                    "paired batches must have equal lengths (got {a} and {b})"
+                )
             }
             BpNttError::Ntt(e) => write!(f, "ntt parameter error: {e}"),
             BpNttError::Math(e) => write!(f, "modular arithmetic error: {e}"),
@@ -152,7 +174,10 @@ mod tests {
 
     #[test]
     fn displays_and_sources() {
-        let e = BpNttError::NoHeadroom { q: 40961, bitwidth: 16 };
+        let e = BpNttError::NoHeadroom {
+            q: 40961,
+            bitwidth: 16,
+        };
         assert!(e.to_string().contains("2^15"));
         let e = BpNttError::Sram(SramError::BadOpcode { opcode: 9 });
         assert!(e.source().is_some());

@@ -85,8 +85,24 @@ impl Kernels {
         a: u64,
     ) -> Result<(), BpNttError> {
         let rm = &self.rm;
-        self.exec(sink, Instruction::Unary { dst: rm.sum, src: rm.sum, kind: UnaryKind::Zero, pred: PredMode::Always })?;
-        self.exec(sink, Instruction::Unary { dst: rm.carry, src: rm.carry, kind: UnaryKind::Zero, pred: PredMode::Always })?;
+        self.exec(
+            sink,
+            Instruction::Unary {
+                dst: rm.sum,
+                src: rm.sum,
+                kind: UnaryKind::Zero,
+                pred: PredMode::Always,
+            },
+        )?;
+        self.exec(
+            sink,
+            Instruction::Unary {
+                dst: rm.carry,
+                src: rm.carry,
+                kind: UnaryKind::Zero,
+                pred: PredMode::Always,
+            },
+        )?;
         for i in 0..self.bitwidth {
             if (a >> i) & 1 == 1 {
                 self.add_b_step(sink, b_row, PredMode::Always)?;
@@ -112,10 +128,32 @@ impl Kernels {
         a_row: RowAddr,
     ) -> Result<(), BpNttError> {
         let rm = &self.rm;
-        self.exec(sink, Instruction::Unary { dst: rm.sum, src: rm.sum, kind: UnaryKind::Zero, pred: PredMode::Always })?;
-        self.exec(sink, Instruction::Unary { dst: rm.carry, src: rm.carry, kind: UnaryKind::Zero, pred: PredMode::Always })?;
+        self.exec(
+            sink,
+            Instruction::Unary {
+                dst: rm.sum,
+                src: rm.sum,
+                kind: UnaryKind::Zero,
+                pred: PredMode::Always,
+            },
+        )?;
+        self.exec(
+            sink,
+            Instruction::Unary {
+                dst: rm.carry,
+                src: rm.carry,
+                kind: UnaryKind::Zero,
+                pred: PredMode::Always,
+            },
+        )?;
         for i in 0..self.bitwidth {
-            self.exec(sink, Instruction::Check { src: a_row, bit: i as u16 })?;
+            self.exec(
+                sink,
+                Instruction::Check {
+                    src: a_row,
+                    bit: i as u16,
+                },
+            )?;
             self.add_b_step(sink, b_row, PredMode::IfSet)?;
             self.montgomery_halve_step(sink)?;
         }
@@ -131,44 +169,56 @@ impl Kernels {
     ) -> Result<(), BpNttError> {
         let rm = &self.rm;
         // c1, s1 = Sum & B, Sum ⊕ B — one activation, two write-backs.
-        self.exec(sink, Instruction::Binary {
-            dst: rm.t_carry,
-            op: BitOp::And,
-            src0: rm.sum,
-            src1: b_row,
-            dst2: Some((rm.t_sum, BitOp::Xor)),
-            shift: None,
-            pred,
-        })?;
+        self.exec(
+            sink,
+            Instruction::Binary {
+                dst: rm.t_carry,
+                op: BitOp::And,
+                src0: rm.sum,
+                src1: b_row,
+                dst2: Some((rm.t_sum, BitOp::Xor)),
+                shift: None,
+                pred,
+            },
+        )?;
         // Carry << 1 (Observation 1: global shift is safe — the previous
         // iteration's carry MSB is clear in every tile).
-        self.exec(sink, Instruction::Shift {
-            dst: rm.carry,
-            src: rm.carry,
-            dir: ShiftDir::Left,
-            masked: false,
-            pred,
-        })?;
+        self.exec(
+            sink,
+            Instruction::Shift {
+                dst: rm.carry,
+                src: rm.carry,
+                dir: ShiftDir::Left,
+                masked: false,
+                pred,
+            },
+        )?;
         // c2, Sum = Carry & s1, Carry ⊕ s1 — write c2 over Carry itself.
-        self.exec(sink, Instruction::Binary {
-            dst: rm.carry,
-            op: BitOp::And,
-            src0: rm.carry,
-            src1: rm.t_sum,
-            dst2: Some((rm.sum, BitOp::Xor)),
-            shift: None,
-            pred,
-        })?;
+        self.exec(
+            sink,
+            Instruction::Binary {
+                dst: rm.carry,
+                op: BitOp::And,
+                src0: rm.carry,
+                src1: rm.t_sum,
+                dst2: Some((rm.sum, BitOp::Xor)),
+                shift: None,
+                pred,
+            },
+        )?;
         // Carry = c1 | c2.
-        self.exec(sink, Instruction::Binary {
-            dst: rm.carry,
-            op: BitOp::Or,
-            src0: rm.carry,
-            src1: rm.t_carry,
-            dst2: None,
-            shift: None,
-            pred,
-        })
+        self.exec(
+            sink,
+            Instruction::Binary {
+                dst: rm.carry,
+                op: BitOp::Or,
+                src0: rm.carry,
+                src1: rm.t_carry,
+                dst2: None,
+                shift: None,
+                pred,
+            },
+        )
     }
 
     /// Lines 11–16 of Algorithm 2: `m ← LSB(Sum) ? M : 0`, then
@@ -177,62 +227,86 @@ impl Kernels {
     /// keeps the reserved-row budget at the paper's six.
     fn montgomery_halve_step<S: InstrSink>(&self, sink: &mut S) -> Result<(), BpNttError> {
         let rm = &self.rm;
-        self.exec(sink, Instruction::Check { src: rm.sum, bit: 0 })?;
+        self.exec(
+            sink,
+            Instruction::Check {
+                src: rm.sum,
+                bit: 0,
+            },
+        )?;
         // Odd tiles: c1, s1 = Sum & M, (Sum ⊕ M) >> 1 (fused shift;
         // Observation 2 makes the dropped LSB provably zero).
-        self.exec(sink, Instruction::Binary {
-            dst: rm.t_sum,
-            op: BitOp::Xor,
-            src0: rm.sum,
-            src1: rm.modulus,
-            dst2: Some((rm.t_carry, BitOp::And)),
-            shift: Some((ShiftDir::Right, true)),
-            pred: PredMode::IfSet,
-        })?;
+        self.exec(
+            sink,
+            Instruction::Binary {
+                dst: rm.t_sum,
+                op: BitOp::Xor,
+                src0: rm.sum,
+                src1: rm.modulus,
+                dst2: Some((rm.t_carry, BitOp::And)),
+                shift: Some((ShiftDir::Right, true)),
+                pred: PredMode::IfSet,
+            },
+        )?;
         // Even tiles: m = 0, so s1 = Sum >> 1 and c1 = 0.
-        self.exec(sink, Instruction::Shift {
-            dst: rm.t_sum,
-            src: rm.sum,
-            dir: ShiftDir::Right,
-            masked: true,
-            pred: PredMode::IfClear,
-        })?;
-        self.exec(sink, Instruction::Unary {
-            dst: rm.t_carry,
-            src: rm.t_carry,
-            kind: UnaryKind::Zero,
-            pred: PredMode::IfClear,
-        })?;
+        self.exec(
+            sink,
+            Instruction::Shift {
+                dst: rm.t_sum,
+                src: rm.sum,
+                dir: ShiftDir::Right,
+                masked: true,
+                pred: PredMode::IfClear,
+            },
+        )?;
+        self.exec(
+            sink,
+            Instruction::Unary {
+                dst: rm.t_carry,
+                src: rm.t_carry,
+                kind: UnaryKind::Zero,
+                pred: PredMode::IfClear,
+            },
+        )?;
         // c2, s2 = s1 & c1, s1 ⊕ c1.
-        self.exec(sink, Instruction::Binary {
-            dst: rm.t_carry,
-            op: BitOp::And,
-            src0: rm.t_sum,
-            src1: rm.t_carry,
-            dst2: Some((rm.t_sum, BitOp::Xor)),
-            shift: None,
-            pred: PredMode::Always,
-        })?;
+        self.exec(
+            sink,
+            Instruction::Binary {
+                dst: rm.t_carry,
+                op: BitOp::And,
+                src0: rm.t_sum,
+                src1: rm.t_carry,
+                dst2: Some((rm.t_sum, BitOp::Xor)),
+                shift: None,
+                pred: PredMode::Always,
+            },
+        )?;
         // c3, Sum = Carry & s2, Carry ⊕ s2.
-        self.exec(sink, Instruction::Binary {
-            dst: rm.carry,
-            op: BitOp::And,
-            src0: rm.carry,
-            src1: rm.t_sum,
-            dst2: Some((rm.sum, BitOp::Xor)),
-            shift: None,
-            pred: PredMode::Always,
-        })?;
+        self.exec(
+            sink,
+            Instruction::Binary {
+                dst: rm.carry,
+                op: BitOp::And,
+                src0: rm.carry,
+                src1: rm.t_sum,
+                dst2: Some((rm.sum, BitOp::Xor)),
+                shift: None,
+                pred: PredMode::Always,
+            },
+        )?;
         // Carry = c2 | c3.
-        self.exec(sink, Instruction::Binary {
-            dst: rm.carry,
-            op: BitOp::Or,
-            src0: rm.carry,
-            src1: rm.t_carry,
-            dst2: None,
-            shift: None,
-            pred: PredMode::Always,
-        })
+        self.exec(
+            sink,
+            Instruction::Binary {
+                dst: rm.carry,
+                op: BitOp::Or,
+                src0: rm.carry,
+                src1: rm.t_carry,
+                dst2: None,
+                shift: None,
+                pred: PredMode::Always,
+            },
+        )
     }
 
     // ---- carry/borrow resolution -----------------------------------------
@@ -294,23 +368,35 @@ impl Kernels {
     /// Propagates simulator faults.
     pub fn cond_sub_q<S: InstrSink>(&self, sink: &mut S) -> Result<(), BpNttError> {
         let rm = &self.rm;
-        self.exec(sink, Instruction::Binary {
-            dst: rm.t_carry,
-            op: BitOp::And,
-            src0: rm.sum,
-            src1: rm.comp_modulus,
-            dst2: Some((rm.t_sum, BitOp::Xor)),
-            shift: None,
-            pred: PredMode::Always,
-        })?;
+        self.exec(
+            sink,
+            Instruction::Binary {
+                dst: rm.t_carry,
+                op: BitOp::And,
+                src0: rm.sum,
+                src1: rm.comp_modulus,
+                dst2: Some((rm.t_sum, BitOp::Xor)),
+                shift: None,
+                pred: PredMode::Always,
+            },
+        )?;
         self.resolve_pair(sink, rm.t_sum, rm.t_carry)?;
-        self.exec(sink, Instruction::Check { src: rm.t_sum, bit: (self.bitwidth - 1) as u16 })?;
-        self.exec(sink, Instruction::Unary {
-            dst: rm.sum,
-            src: rm.t_sum,
-            kind: UnaryKind::Copy,
-            pred: PredMode::IfClear,
-        })
+        self.exec(
+            sink,
+            Instruction::Check {
+                src: rm.t_sum,
+                bit: (self.bitwidth - 1) as u16,
+            },
+        )?;
+        self.exec(
+            sink,
+            Instruction::Unary {
+                dst: rm.sum,
+                src: rm.t_sum,
+                kind: UnaryKind::Copy,
+                pred: PredMode::IfClear,
+            },
+        )
     }
 
     // ---- modular add / subtract ------------------------------------------
@@ -335,33 +421,61 @@ impl Kernels {
     ) -> Result<(), BpNttError> {
         let rm = &self.rm;
         // x + y < 2q < 2^w: carry-save then resolve.
-        self.exec(sink, Instruction::Binary {
-            dst: rm.t_carry,
-            op: BitOp::And,
-            src0: x,
-            src1: y,
-            dst2: Some((rm.t_sum, BitOp::Xor)),
-            shift: None,
-            pred: PredMode::Always,
-        })?;
+        self.exec(
+            sink,
+            Instruction::Binary {
+                dst: rm.t_carry,
+                op: BitOp::And,
+                src0: x,
+                src1: y,
+                dst2: Some((rm.t_sum, BitOp::Xor)),
+                shift: None,
+                pred: PredMode::Always,
+            },
+        )?;
         self.resolve_pair(sink, rm.t_sum, rm.t_carry)?;
         // D = (t_sum + comp) mod 2^w into Carry.
-        self.exec(sink, Instruction::Binary {
-            dst: rm.t_carry,
-            op: BitOp::And,
-            src0: rm.t_sum,
-            src1: rm.comp_modulus,
-            dst2: Some((rm.carry, BitOp::Xor)),
-            shift: None,
-            pred: PredMode::Always,
-        })?;
+        self.exec(
+            sink,
+            Instruction::Binary {
+                dst: rm.t_carry,
+                op: BitOp::And,
+                src0: rm.t_sum,
+                src1: rm.comp_modulus,
+                dst2: Some((rm.carry, BitOp::Xor)),
+                shift: None,
+                pred: PredMode::Always,
+            },
+        )?;
         self.resolve_pair(sink, rm.carry, rm.t_carry)?;
-        self.exec(sink, Instruction::Check { src: rm.carry, bit: (self.bitwidth - 1) as u16 })?;
+        self.exec(
+            sink,
+            Instruction::Check {
+                src: rm.carry,
+                bit: (self.bitwidth - 1) as u16,
+            },
+        )?;
         if let Some((stride_log2, phase)) = final_mask {
             self.exec(sink, Instruction::MaskTiles { stride_log2, phase })?;
         }
-        self.exec(sink, Instruction::Unary { dst, src: rm.t_sum, kind: UnaryKind::Copy, pred: PredMode::IfSet })?;
-        self.exec(sink, Instruction::Unary { dst, src: rm.carry, kind: UnaryKind::Copy, pred: PredMode::IfClear })?;
+        self.exec(
+            sink,
+            Instruction::Unary {
+                dst,
+                src: rm.t_sum,
+                kind: UnaryKind::Copy,
+                pred: PredMode::IfSet,
+            },
+        )?;
+        self.exec(
+            sink,
+            Instruction::Unary {
+                dst,
+                src: rm.carry,
+                kind: UnaryKind::Copy,
+                pred: PredMode::IfClear,
+            },
+        )?;
         if final_mask.is_some() {
             self.exec(sink, Instruction::MaskAll)?;
         }
@@ -386,24 +500,30 @@ impl Kernels {
     ) -> Result<(), BpNttError> {
         let rm = &self.rm;
         // s0 = x ⊕ y; b0 = ¬x ∧ y = (x ⊕ y) ∧ y.
-        self.exec(sink, Instruction::Binary {
-            dst: rm.t_sum,
-            op: BitOp::Xor,
-            src0: x,
-            src1: y,
-            dst2: None,
-            shift: None,
-            pred: PredMode::Always,
-        })?;
-        self.exec(sink, Instruction::Binary {
-            dst: rm.t_carry,
-            op: BitOp::And,
-            src0: rm.t_sum,
-            src1: y,
-            dst2: None,
-            shift: None,
-            pred: PredMode::Always,
-        })?;
+        self.exec(
+            sink,
+            Instruction::Binary {
+                dst: rm.t_sum,
+                op: BitOp::Xor,
+                src0: x,
+                src1: y,
+                dst2: None,
+                shift: None,
+                pred: PredMode::Always,
+            },
+        )?;
+        self.exec(
+            sink,
+            Instruction::Binary {
+                dst: rm.t_carry,
+                op: BitOp::And,
+                src0: rm.t_sum,
+                src1: y,
+                dst2: None,
+                shift: None,
+                pred: PredMode::Always,
+            },
+        )?;
         // Borrow resolution: value = s − 2b. Rounds alternate the `s` row
         // between t_sum and carry to stay within the row budget; the
         // odd-parity epilogue copies the live row back into t_sum.
@@ -450,28 +570,56 @@ impl Kernels {
             odd_epilogue: &odd_epilogue,
         })?;
         // Negative ⇔ MSB set (one headroom bit). Add q where negative.
-        self.exec(sink, Instruction::Check { src: rm.t_sum, bit: (self.bitwidth - 1) as u16 })?;
-        self.exec(sink, Instruction::Unary { dst: rm.carry, src: rm.carry, kind: UnaryKind::Zero, pred: PredMode::Always })?;
-        self.exec(sink, Instruction::Unary {
-            dst: rm.carry,
-            src: rm.modulus,
-            kind: UnaryKind::Copy,
-            pred: PredMode::IfSet,
-        })?;
-        self.exec(sink, Instruction::Binary {
-            dst: rm.t_carry,
-            op: BitOp::And,
-            src0: rm.t_sum,
-            src1: rm.carry,
-            dst2: Some((rm.t_sum, BitOp::Xor)),
-            shift: None,
-            pred: PredMode::Always,
-        })?;
+        self.exec(
+            sink,
+            Instruction::Check {
+                src: rm.t_sum,
+                bit: (self.bitwidth - 1) as u16,
+            },
+        )?;
+        self.exec(
+            sink,
+            Instruction::Unary {
+                dst: rm.carry,
+                src: rm.carry,
+                kind: UnaryKind::Zero,
+                pred: PredMode::Always,
+            },
+        )?;
+        self.exec(
+            sink,
+            Instruction::Unary {
+                dst: rm.carry,
+                src: rm.modulus,
+                kind: UnaryKind::Copy,
+                pred: PredMode::IfSet,
+            },
+        )?;
+        self.exec(
+            sink,
+            Instruction::Binary {
+                dst: rm.t_carry,
+                op: BitOp::And,
+                src0: rm.t_sum,
+                src1: rm.carry,
+                dst2: Some((rm.t_sum, BitOp::Xor)),
+                shift: None,
+                pred: PredMode::Always,
+            },
+        )?;
         self.resolve_pair(sink, rm.t_sum, rm.t_carry)?;
         if let Some((stride_log2, phase)) = final_mask {
             self.exec(sink, Instruction::MaskTiles { stride_log2, phase })?;
         }
-        self.exec(sink, Instruction::Unary { dst, src: rm.t_sum, kind: UnaryKind::Copy, pred: PredMode::Always })?;
+        self.exec(
+            sink,
+            Instruction::Unary {
+                dst,
+                src: rm.t_sum,
+                kind: UnaryKind::Copy,
+                pred: PredMode::Always,
+            },
+        )?;
         if final_mask.is_some() {
             self.exec(sink, Instruction::MaskAll)?;
         }
@@ -531,7 +679,10 @@ impl Kernels {
         lo: RowAddr,
         hi: RowAddr,
     ) -> Result<(), BpNttError> {
-        let tw = self.rm.twiddle.expect("data-driven butterfly needs a twiddle row");
+        let tw = self
+            .rm
+            .twiddle
+            .expect("data-driven butterfly needs a twiddle row");
         self.modmul_data(sink, hi, tw)?;
         self.finish_modmul(sink)?;
         self.sub_mod(sink, hi, lo, self.rm.sum, None)?;
@@ -555,10 +706,26 @@ impl Kernels {
         let rm = &self.rm;
         self.sub_mod(sink, rm.sum, lo, hi, None)?;
         self.add_mod(sink, lo, lo, hi, None)?;
-        self.exec(sink, Instruction::Unary { dst: hi, src: rm.sum, kind: UnaryKind::Copy, pred: PredMode::Always })?;
+        self.exec(
+            sink,
+            Instruction::Unary {
+                dst: hi,
+                src: rm.sum,
+                kind: UnaryKind::Copy,
+                pred: PredMode::Always,
+            },
+        )?;
         self.modmul_const(sink, hi, inv_zeta_mont)?;
         self.finish_modmul(sink)?;
-        self.exec(sink, Instruction::Unary { dst: hi, src: rm.sum, kind: UnaryKind::Copy, pred: PredMode::Always })
+        self.exec(
+            sink,
+            Instruction::Unary {
+                dst: hi,
+                src: rm.sum,
+                kind: UnaryKind::Copy,
+                pred: PredMode::Always,
+            },
+        )
     }
 
     /// Gentleman–Sande butterfly with per-tile inverse twiddles.
@@ -577,14 +744,34 @@ impl Kernels {
         hi: RowAddr,
     ) -> Result<(), BpNttError> {
         let rm = &self.rm;
-        let tw = rm.twiddle.expect("data-driven butterfly needs a twiddle row");
-        let scratch = rm.scratch.expect("data-driven GS butterfly needs the scratch row");
+        let tw = rm
+            .twiddle
+            .expect("data-driven butterfly needs a twiddle row");
+        let scratch = rm
+            .scratch
+            .expect("data-driven GS butterfly needs the scratch row");
         self.sub_mod(sink, rm.sum, lo, hi, None)?;
         self.add_mod(sink, lo, lo, hi, None)?;
-        self.exec(sink, Instruction::Unary { dst: scratch, src: rm.sum, kind: UnaryKind::Copy, pred: PredMode::Always })?;
+        self.exec(
+            sink,
+            Instruction::Unary {
+                dst: scratch,
+                src: rm.sum,
+                kind: UnaryKind::Copy,
+                pred: PredMode::Always,
+            },
+        )?;
         self.modmul_data(sink, scratch, tw)?;
         self.finish_modmul(sink)?;
-        self.exec(sink, Instruction::Unary { dst: hi, src: rm.sum, kind: UnaryKind::Copy, pred: PredMode::Always })
+        self.exec(
+            sink,
+            Instruction::Unary {
+                dst: hi,
+                src: rm.sum,
+                kind: UnaryKind::Copy,
+                pred: PredMode::Always,
+            },
+        )
     }
 
     /// Multiplies a coefficient row by a compile-time constant in place:
@@ -602,12 +789,15 @@ impl Kernels {
     ) -> Result<(), BpNttError> {
         self.modmul_const(sink, row, c)?;
         self.finish_modmul(sink)?;
-        self.exec(sink, Instruction::Unary {
-            dst: row,
-            src: self.rm.sum,
-            kind: UnaryKind::Copy,
-            pred: PredMode::Always,
-        })
+        self.exec(
+            sink,
+            Instruction::Unary {
+                dst: row,
+                src: self.rm.sum,
+                kind: UnaryKind::Copy,
+                pred: PredMode::Always,
+            },
+        )
     }
 
     /// Moves `src` into `dst` shifted by `d_tiles` whole tiles (global
@@ -628,13 +818,16 @@ impl Kernels {
         let steps = d_tiles * self.bitwidth;
         for k in 0..steps {
             let from = if k == 0 { src } else { dst };
-            self.exec(sink, Instruction::Shift {
-                dst,
-                src: from,
-                dir,
-                masked: false,
-                pred: PredMode::Always,
-            })?;
+            self.exec(
+                sink,
+                Instruction::Shift {
+                    dst,
+                    src: from,
+                    dir,
+                    masked: false,
+                    pred: PredMode::Always,
+                },
+            )?;
         }
         Ok(())
     }

@@ -108,7 +108,10 @@ impl Layout {
         let coeffs_per_tile = prev_power_of_two(usable);
         let tiles_per_poly = n.div_ceil(coeffs_per_tile);
         if !n.is_multiple_of(coeffs_per_tile) || tiles_per_poly > n_tiles {
-            return Err(BpNttError::CapacityExceeded { n, capacity: coeffs_per_tile * n_tiles });
+            return Err(BpNttError::CapacityExceeded {
+                n,
+                capacity: coeffs_per_tile * n_tiles,
+            });
         }
         let rowmap = RowMap {
             scratch: Some(RowAddr(top - 7)),

@@ -92,11 +92,25 @@ impl PerfReport {
 
 impl fmt::Display for PerfReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "array:        {}×{} @ {:.2} GHz", self.geometry.rows, self.geometry.cols, self.f_hz / 1e9)?;
-        writeln!(f, "batch:        {} NTTs in {} cycles", self.batch, self.cycles)?;
+        writeln!(
+            f,
+            "array:        {}×{} @ {:.2} GHz",
+            self.geometry.rows,
+            self.geometry.cols,
+            self.f_hz / 1e9
+        )?;
+        writeln!(
+            f,
+            "batch:        {} NTTs in {} cycles",
+            self.batch, self.cycles
+        )?;
         writeln!(f, "latency:      {:.2} µs", self.latency_us())?;
         writeln!(f, "throughput:   {:.1} kNTT/s", self.throughput_kntt_s())?;
-        writeln!(f, "energy:       {:.1} nJ/batch ({:.2} nJ/NTT)", self.energy_nj, self.energy_per_ntt_nj)?;
+        writeln!(
+            f,
+            "energy:       {:.1} nJ/batch ({:.2} nJ/NTT)",
+            self.energy_nj, self.energy_per_ntt_nj
+        )?;
         writeln!(f, "power:        {:.3} mW", self.power_w * 1e3)?;
         writeln!(f, "area:         {:.4} mm²", self.area_mm2)?;
         writeln!(f, "tput/area:    {:.1} kNTT/s/mm²", self.tput_per_area)?;
@@ -110,7 +124,11 @@ mod tests {
 
     #[test]
     fn unit_conversions_are_consistent() {
-        let stats = Stats { cycles: 380_000, energy_pj: 69_400.0, ..Default::default() };
+        let stats = Stats {
+            cycles: 380_000,
+            energy_pj: 69_400.0,
+            ..Default::default()
+        };
         let geom = ArrayGeometry::paper_256x256();
         let r = PerfReport::from_stats(
             &stats,
@@ -132,7 +150,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "batch must be nonzero")]
     fn zero_batch_rejected() {
-        let stats = Stats { cycles: 1, ..Default::default() };
+        let stats = Stats {
+            cycles: 1,
+            ..Default::default()
+        };
         let _ = PerfReport::from_stats(
             &stats,
             0,

@@ -67,10 +67,14 @@ impl ShardedBpNtt {
         if shards == 0 {
             return Err(BpNttError::InvalidShardCount { shards });
         }
-        let shards: Vec<BpNtt> =
-            (0..shards).map(|_| BpNtt::new(config.clone())).collect::<Result<_, _>>()?;
+        let shards: Vec<BpNtt> = (0..shards)
+            .map(|_| BpNtt::new(config.clone()))
+            .collect::<Result<_, _>>()?;
         let lanes_per_shard = config.layout().lanes();
-        Ok(ShardedBpNtt { shards, lanes_per_shard })
+        Ok(ShardedBpNtt {
+            shards,
+            lanes_per_shard,
+        })
     }
 
     /// Number of shards.
@@ -88,7 +92,9 @@ impl ShardedBpNtt {
     /// Aggregated simulator statistics over every shard.
     #[must_use]
     pub fn stats(&self) -> Stats {
-        self.shards.iter().fold(Stats::default(), |acc, s| acc + *s.stats())
+        self.shards
+            .iter()
+            .fold(Stats::default(), |acc, s| acc + *s.stats())
     }
 
     /// Resets every shard's statistics.
@@ -196,7 +202,10 @@ impl ShardedBpNtt {
         b: &[Vec<u64>],
     ) -> Result<Vec<Vec<u64>>, BpNttError> {
         if a.len() != b.len() {
-            return Err(BpNttError::BatchMismatch { a: a.len(), b: b.len() });
+            return Err(BpNttError::BatchMismatch {
+                a: a.len(),
+                b: b.len(),
+            });
         }
         let keys = self.shards[0].polymul_program_keys();
         self.warm_programs(&keys)?;
@@ -207,8 +216,11 @@ impl ShardedBpNtt {
             let mut results: Vec<Result<Vec<Vec<u64>>, BpNttError>> = Vec::new();
             std::thread::scope(|scope| {
                 let mut handles = Vec::new();
-                for ((shard, chunk_a), chunk_b) in
-                    self.shards.iter_mut().zip(wave_a.chunks(lanes)).zip(wave_b.chunks(lanes))
+                for ((shard, chunk_a), chunk_b) in self
+                    .shards
+                    .iter_mut()
+                    .zip(wave_a.chunks(lanes))
+                    .zip(wave_b.chunks(lanes))
                 {
                     handles.push(scope.spawn(move || shard.polymul(chunk_a, chunk_b)));
                 }
@@ -329,7 +341,11 @@ mod tests {
         let batch: Vec<Vec<u64>> = (0..16).map(|s| pseudo(8, 97, s + 9)).collect();
         sharded.forward_batch(&batch).unwrap();
         for shard in &sharded.shards {
-            assert_eq!(shard.cached_programs(), 1, "every shard holds the shared program");
+            assert_eq!(
+                shard.cached_programs(),
+                1,
+                "every shard holds the shared program"
+            );
         }
     }
 }

@@ -172,7 +172,10 @@ pub fn timing_sensitivity() -> Result<(u64, u64), BpNttError> {
         acc.forward()?;
         Ok(acc.stats().cycles)
     };
-    Ok((run(TimingModel::paper())?, run(TimingModel::conservative())?))
+    Ok((
+        run(TimingModel::paper())?,
+        run(TimingModel::conservative())?,
+    ))
 }
 
 /// Renders every ablation at the default configurations.
@@ -185,8 +188,16 @@ pub fn render_all() -> Result<String, BpNttError> {
 
     out.push_str("== bit-parallel vs bit-serial modular multiplication ==\n");
     let mut t = Table::new(vec![
-        "width", "bp cycles", "bp lanes", "bs cycles", "bs cols", "bs rows",
-        "bp words/cyc", "bs words/cyc", "bp shifts", "bs shifts",
+        "width",
+        "bp cycles",
+        "bp lanes",
+        "bs cycles",
+        "bs cols",
+        "bs rows",
+        "bp words/cyc",
+        "bs words/cyc",
+        "bp shifts",
+        "bs shifts",
     ]);
     for (w, q) in [(8usize, 97u64), (14, 7681), (16, 12_289)] {
         let c = serial_vs_parallel(w, q)?;
@@ -265,6 +276,9 @@ mod tests {
     fn conservative_timing_costs_more() {
         let (paper, conservative) = timing_sensitivity().unwrap();
         assert!(conservative > paper);
-        assert!(conservative < 3 * paper, "bounded by the per-writeback surcharge");
+        assert!(
+            conservative < 3 * paper,
+            "bounded by the per-writeback surcharge"
+        );
     }
 }

@@ -2,5 +2,8 @@
 //! column packing, timing sensitivity.
 
 fn main() {
-    println!("{}", bpntt_eval::ablation::render_all().expect("simulation failed"));
+    println!(
+        "{}",
+        bpntt_eval::ablation::render_all().expect("simulation failed")
+    );
 }

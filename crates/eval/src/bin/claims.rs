@@ -4,6 +4,10 @@ fn main() {
     let claims = bpntt_eval::claims::check_all().expect("simulation failed");
     println!("{}", bpntt_eval::claims::render(&claims));
     let failed = claims.iter().filter(|c| !c.pass).count();
-    println!("\n{} claims checked, {} outside the reproduction band", claims.len(), failed);
+    println!(
+        "\n{} claims checked, {} outside the reproduction band",
+        claims.len(),
+        failed
+    );
     std::process::exit(i32::from(failed > 0));
 }

@@ -6,13 +6,24 @@ use bpntt_ntt::NttParams;
 fn main() {
     let machine = Machine::typical_x86();
     for (name, params) in [
-        ("CRYSTALS-Dilithium (256-pt, 23-bit)", NttParams::dilithium().unwrap()),
-        ("Falcon-1024 (1024-pt, 14-bit)", NttParams::falcon1024().unwrap()),
-        ("HE level 1 (1024-pt, 16-bit)", NttParams::he_1024_16bit().unwrap()),
+        (
+            "CRYSTALS-Dilithium (256-pt, 23-bit)",
+            NttParams::dilithium().unwrap(),
+        ),
+        (
+            "Falcon-1024 (1024-pt, 14-bit)",
+            NttParams::falcon1024().unwrap(),
+        ),
+        (
+            "HE level 1 (1024-pt, 16-bit)",
+            NttParams::he_1024_16bit().unwrap(),
+        ),
     ] {
         println!("== {name} ==");
         let points = ntt_kernel_points(&params, &machine);
         println!("{}", render(&points, &machine));
     }
-    println!("expected placement (paper Fig. 1): NTT and INVNTT bound by L1/L2 bandwidth, not DRAM.");
+    println!(
+        "expected placement (paper Fig. 1): NTT and INVNTT bound by L1/L2 bandwidth, not DRAM."
+    );
 }

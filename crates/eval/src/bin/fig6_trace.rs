@@ -4,7 +4,10 @@
 use bpntt_modmath::bitparallel::bp_modmul_traced;
 
 fn main() {
-    println!("== Fig. 6: A=4, B=3, M=7, n=3 ==\n{}", bp_modmul_traced(4, 3, 7, 3));
+    println!(
+        "== Fig. 6: A=4, B=3, M=7, n=3 ==\n{}",
+        bp_modmul_traced(4, 3, 7, 3)
+    );
     println!("\n== 14-bit example: A=1234, B=567, M=7681 (original Kyber prime) ==");
     println!("{}", bp_modmul_traced(1234, 567, 7681, 14));
 }

@@ -8,8 +8,13 @@ fn main() {
     let bp = &rows[0];
     let (tp_min, tp_max, ta_asic) = bpntt_eval::table1::headline_ratios(bp);
     println!("headline ratios from the measured BP-NTT row:");
-    println!("  throughput-per-power vs in-memory/ASIC: {tp_min:.1}x – {tp_max:.1}x (paper: 10–138x)");
+    println!(
+        "  throughput-per-power vs in-memory/ASIC: {tp_min:.1}x – {tp_max:.1}x (paper: 10–138x)"
+    );
     println!("  throughput-per-area vs best ASIC:       {ta_asic:.1}x (paper: up to ~29x)");
     let detail = bpntt_eval::table1::bp_ntt_16bit().expect("simulation failed");
-    println!("\nmeasured BP-NTT 16-bit design point detail:\n{}", detail.report);
+    println!(
+        "\nmeasured BP-NTT 16-bit design point detail:\n{}",
+        detail.report
+    );
 }

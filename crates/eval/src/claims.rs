@@ -24,8 +24,20 @@ pub struct ClaimCheck {
     pub pass: bool,
 }
 
-fn check(id: &'static str, description: &'static str, paper: String, measured: String, pass: bool) -> ClaimCheck {
-    ClaimCheck { id, description, paper, measured, pass }
+fn check(
+    id: &'static str,
+    description: &'static str,
+    paper: String,
+    measured: String,
+    pass: bool,
+) -> ClaimCheck {
+    ClaimCheck {
+        id,
+        description,
+        paper,
+        measured,
+        pass,
+    }
 }
 
 /// Runs every claim check. The Table-I claims simulate the full paper
@@ -213,7 +225,11 @@ pub fn render(claims: &[ClaimCheck]) -> String {
     let mut t = crate::render::Table::new(vec!["", "id", "claim", "paper", "measured"]);
     for c in claims {
         t.push_row(vec![
-            if c.pass { "PASS".to_string() } else { "FAIL".to_string() },
+            if c.pass {
+                "PASS".to_string()
+            } else {
+                "FAIL".to_string()
+            },
             c.id.to_string(),
             c.description.to_string(),
             c.paper.clone(),

@@ -170,7 +170,10 @@ fn cross_tile_ct_synthetic(
     kernels.sub_mod(ctl, scratch, row_r, rm.sum, None)?;
     kernels.add_mod(ctl, row_r, row_r, rm.sum, Some((stride_log2, false)))?;
     kernels.move_tiles(ctl, scratch, scratch, d, ShiftDir::Left)?;
-    ctl.execute(&Instruction::MaskTiles { stride_log2, phase: true })?;
+    ctl.execute(&Instruction::MaskTiles {
+        stride_log2,
+        phase: true,
+    })?;
     ctl.execute(&Instruction::Unary {
         dst: row_r,
         src: scratch,
@@ -225,7 +228,10 @@ pub fn run_real_forward(
 ///
 /// Propagates simulation failures.
 pub fn fig8a(widths: &[usize]) -> Result<Vec<SweepPoint>, BpNttError> {
-    widths.iter().map(|&w| run_synthetic_forward(262, 256, w, 256, 0xBEEF + w as u64)).collect()
+    widths
+        .iter()
+        .map(|&w| run_synthetic_forward(262, 256, w, 256, 0xBEEF + w as u64))
+        .collect()
 }
 
 /// Fig. 8(b): polynomial-order sweep at 16-bit words on the paper's
@@ -262,13 +268,23 @@ pub fn array_scaling(geometries: &[(usize, usize)]) -> Result<Vec<SweepPoint>, B
 #[must_use]
 pub fn render(points: &[SweepPoint]) -> String {
     let mut t = Table::new(vec![
-        "config", "lanes", "multi-tile", "cycles", "energy/batch(nJ)", "energy/NTT(nJ)", "shifts",
+        "config",
+        "lanes",
+        "multi-tile",
+        "cycles",
+        "energy/batch(nJ)",
+        "energy/NTT(nJ)",
+        "shifts",
     ]);
     for p in points {
         t.push_row(vec![
             p.label.clone(),
             p.lanes.to_string(),
-            if p.multi_tile { "yes".into() } else { "no".to_string() },
+            if p.multi_tile {
+                "yes".into()
+            } else {
+                "no".to_string()
+            },
             p.cycles.to_string(),
             f(p.energy_nj, 1),
             f(p.energy_per_ntt_nj, 2),
@@ -290,7 +306,10 @@ mod tests {
         let synth = run_synthetic_forward(262, 256, 16, 256, 42).unwrap();
         let real = run_real_forward(262, 256, 16, NttParams::new(256, 12_289).unwrap()).unwrap();
         let ratio = synth.cycles as f64 / real.cycles as f64;
-        assert!((0.85..1.15).contains(&ratio), "synthetic/real cycle ratio {ratio:.3}");
+        assert!(
+            (0.85..1.15).contains(&ratio),
+            "synthetic/real cycle ratio {ratio:.3}"
+        );
         assert_eq!(synth.lanes, real.lanes);
     }
 
@@ -319,8 +338,14 @@ mod tests {
         let per_ntt = |p: &SweepPoint| p.cycles as f64 / p.lanes as f64;
         let within = per_ntt(&pts[2]) / per_ntt(&pts[1]);
         let crossing = per_ntt(&pts[3]) / per_ntt(&pts[2]);
-        assert!(within > 1.5 && within < 3.0, "in-capacity growth {within:.2}");
-        assert!(crossing > 2.5, "capacity-crossing growth {crossing:.2} must be steeper");
+        assert!(
+            within > 1.5 && within < 3.0,
+            "in-capacity growth {within:.2}"
+        );
+        assert!(
+            crossing > 2.5,
+            "capacity-crossing growth {crossing:.2} must be steeper"
+        );
         let energy_growth = pts[3].energy_per_ntt_nj / pts[2].energy_per_ntt_nj;
         assert!(energy_growth > 2.5, "energy growth {energy_growth:.2}");
     }

@@ -35,7 +35,13 @@ impl Machine {
     /// (AVX2-class integer peak, per-core cache bandwidths).
     #[must_use]
     pub fn typical_x86() -> Self {
-        Machine { peak_gops: 96.0, bw_l1: 400.0, bw_l2: 150.0, bw_l3: 60.0, bw_dram: 18.0 }
+        Machine {
+            peak_gops: 96.0,
+            bw_l1: 400.0,
+            bw_l2: 150.0,
+            bw_l3: 60.0,
+            bw_dram: 18.0,
+        }
     }
 }
 
@@ -73,7 +79,12 @@ pub fn place(profile: &KernelProfile, machine: &Machine) -> KernelPoint {
         h.access(a.addr, u64::from(a.size), a.write);
     }
     let s = h.stats();
-    let bytes = [s.core_bytes, s.traffic_bytes[0], s.traffic_bytes[1], s.traffic_bytes[2]];
+    let bytes = [
+        s.core_bytes,
+        s.traffic_bytes[0],
+        s.traffic_bytes[1],
+        s.traffic_bytes[2],
+    ];
     let ops = profile.ops.total();
     let bws = [machine.bw_l1, machine.bw_l2, machine.bw_l3, machine.bw_dram];
     let mut intensity = [None; 4];
@@ -90,7 +101,13 @@ pub fn place(profile: &KernelProfile, machine: &Machine) -> KernelPoint {
             }
         }
     }
-    KernelPoint { name: profile.name, ops, bytes, intensity, bound_by }
+    KernelPoint {
+        name: profile.name,
+        ops,
+        bytes,
+        intensity,
+        bound_by,
+    }
 }
 
 /// Profiles the forward and inverse kernels of a parameter set (cold
@@ -98,8 +115,9 @@ pub fn place(profile: &KernelProfile, machine: &Machine) -> KernelPoint {
 #[must_use]
 pub fn ntt_kernel_points(params: &NttParams, machine: &Machine) -> Vec<KernelPoint> {
     let t = TwiddleTable::new(params);
-    let mut a: Vec<u64> =
-        (0..params.n() as u64).map(|i| (i * 2_654_435_761) % params.modulus()).collect();
+    let mut a: Vec<u64> = (0..params.n() as u64)
+        .map(|i| (i * 2_654_435_761) % params.modulus())
+        .collect();
     let fwd = profile_forward(params, &t, &mut a, AddressMap::default());
     let inv = profile_inverse(params, &t, &mut a, AddressMap::default());
     vec![place(&fwd, machine), place(&inv, machine)]
@@ -164,7 +182,12 @@ mod tests {
         let params = NttParams::he_1024_16bit().unwrap();
         let m = Machine::typical_x86();
         for p in ntt_kernel_points(&params, &m) {
-            assert!(p.bound_by == "L1" || p.bound_by == "L2", "{}: {}", p.name, p.bound_by);
+            assert!(
+                p.bound_by == "L1" || p.bound_by == "L2",
+                "{}: {}",
+                p.name,
+                p.bound_by
+            );
         }
     }
 

@@ -36,7 +36,11 @@ pub fn measure_bp_ntt(
     let n = acc.config().params().n();
     let lanes = acc.config().layout().lanes();
     let polys: Vec<Vec<u64>> = (0..lanes as u64)
-        .map(|s| (0..n as u64).map(|j| (s * 7919 + j * 104_729 + 13) % q).collect())
+        .map(|s| {
+            (0..n as u64)
+                .map(|j| (s * 7919 + j * 104_729 + 13) % q)
+                .collect()
+        })
         .collect();
     acc.load_batch(&polys)?;
     acc.reset_stats(); // measure the transform, not the data loading
@@ -156,7 +160,15 @@ mod tests {
         // Rendering only (no simulation) keeps this test fast.
         let rows = published::all_baselines();
         let s = render(&rows);
-        for name in ["MeNTT", "CryptoPIM", "RM-NTT", "LEIA", "Sapphire", "FPGA", "CPU"] {
+        for name in [
+            "MeNTT",
+            "CryptoPIM",
+            "RM-NTT",
+            "LEIA",
+            "Sapphire",
+            "FPGA",
+            "CPU",
+        ] {
             assert!(s.contains(name), "missing {name}");
         }
     }

@@ -89,9 +89,7 @@ pub fn bp_modmul_full(a: u64, b: u64, m: u64, n: u32) -> BpOutcome {
             // P ← P + B  (lines 6–9)
             let c1 = sum & b;
             let s1 = sum ^ b;
-            if n < 64 && (carry >> (n - 1)) & 1 == 1 {
-                obs1 += 1;
-            } else if n == 64 && (carry >> 63) == 1 {
+            if (n < 64 && (carry >> (n - 1)) & 1 == 1) || (n == 64 && (carry >> 63) == 1) {
                 obs1 += 1;
             }
             let cs = (carry << 1) & mask;
@@ -116,7 +114,11 @@ pub fn bp_modmul_full(a: u64, b: u64, m: u64, n: u32) -> BpOutcome {
         carry = c2 | c3;
     }
 
-    BpOutcome { pair: CsPair { sum, carry }, obs1_violations: obs1, obs2_violations: obs2 }
+    BpOutcome {
+        pair: CsPair { sum, carry },
+        obs1_violations: obs1,
+        obs2_violations: obs2,
+    }
 }
 
 /// Strict Algorithm 2: bit-parallel Montgomery multiplication
@@ -147,10 +149,16 @@ pub fn bp_modmul(a: u64, b: u64, m: u64, n: u32) -> u64 {
         "modulus {m} needs one bit of headroom in {n}-bit words"
     );
     if n == 64 {
-        assert!(m < (1u64 << 63), "modulus needs one bit of headroom in 64-bit words");
+        assert!(
+            m < (1u64 << 63),
+            "modulus needs one bit of headroom in 64-bit words"
+        );
     }
     let out = bp_modmul_full(a, b, m, n);
-    debug_assert!(out.is_exact(), "packing observations violated despite headroom");
+    debug_assert!(
+        out.is_exact(),
+        "packing observations violated despite headroom"
+    );
     let v = out.value();
     debug_assert!(v < 2 * u128::from(m));
     v as u64
@@ -234,18 +242,46 @@ impl BpTrace {
 impl std::fmt::Display for BpTrace {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let w = self.n as usize;
-        writeln!(f, "bit-parallel Montgomery: A={}, B={}, M={}, R=2^{}", self.a, self.b, self.m, self.n)?;
+        writeln!(
+            f,
+            "bit-parallel Montgomery: A={}, B={}, M={}, R=2^{}",
+            self.a, self.b, self.m, self.n
+        )?;
         writeln!(f, "  B = {:0w$b}   M = {:0w$b}", self.b, self.m)?;
         for it in &self.iters {
-            writeln!(f, "iteration {} (a{} = {}):", it.i, it.i, u8::from(it.a_bit))?;
+            writeln!(
+                f,
+                "iteration {} (a{} = {}):",
+                it.i,
+                it.i,
+                u8::from(it.a_bit)
+            )?;
             if let Some((c1, s1, c2)) = it.add_step {
                 writeln!(f, "  P += B : c1={:0w$b} s1={:0w$b} c2={:0w$b}", c1, s1, c2)?;
-                writeln!(f, "           Sum={:0w$b} Carry={:0w$b}", it.sum_after_add, it.carry_after_add)?;
+                writeln!(
+                    f,
+                    "           Sum={:0w$b} Carry={:0w$b}",
+                    it.sum_after_add, it.carry_after_add
+                )?;
             }
             let (c1, s1, c2, s2, c3) = it.mont_step;
             writeln!(f, "  m = {:0w$b}", it.m_selected)?;
-            writeln!(f, "  P=(P+m)/2 : c1={:0w$b} s1>>1={:0w$b} c2={:0w$b} s2={:0w$b} c3={:0w$b}", c1, s1, c2, s2, c3)?;
-            writeln!(f, "  Sum={:0w$b} Carry={:0w$b}  (P = {})", it.sum, it.carry, CsPair { sum: it.sum, carry: it.carry }.value())?;
+            writeln!(
+                f,
+                "  P=(P+m)/2 : c1={:0w$b} s1>>1={:0w$b} c2={:0w$b} s2={:0w$b} c3={:0w$b}",
+                c1, s1, c2, s2, c3
+            )?;
+            writeln!(
+                f,
+                "  Sum={:0w$b} Carry={:0w$b}  (P = {})",
+                it.sum,
+                it.carry,
+                CsPair {
+                    sum: it.sum,
+                    carry: it.carry
+                }
+                .value()
+            )?;
         }
         writeln!(
             f,
@@ -285,7 +321,11 @@ pub fn bp_modmul_traced(a: u64, b: u64, m: u64, n: u32) -> BpTrace {
         if a_bit {
             let c1 = sum & b;
             let s1 = sum ^ b;
-            assert_eq!(carry & !(mask >> 1), 0, "Observation 1 violated at iteration {i}");
+            assert_eq!(
+                carry & !(mask >> 1),
+                0,
+                "Observation 1 violated at iteration {i}"
+            );
             let cs = (carry << 1) & mask;
             let c2 = cs & s1;
             sum = cs ^ s1;
@@ -316,7 +356,14 @@ pub fn bp_modmul_traced(a: u64, b: u64, m: u64, n: u32) -> BpTrace {
         });
     }
 
-    BpTrace { a, b, m, n, iters, pair: CsPair { sum, carry } }
+    BpTrace {
+        a,
+        b,
+        m,
+        n,
+        iters,
+        pair: CsPair { sum, carry },
+    }
 }
 
 #[cfg(test)]

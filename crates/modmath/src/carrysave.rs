@@ -60,15 +60,23 @@ impl CsPair {
     /// is the paper's Observation 1).
     #[inline]
     #[must_use]
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, b: u64) -> Self {
         let c1 = self.sum & b;
         let s1 = self.sum ^ b;
-        debug_assert_eq!(self.carry >> 63, 0, "carry top bit must be clear before the shift");
+        debug_assert_eq!(
+            self.carry >> 63,
+            0,
+            "carry top bit must be clear before the shift"
+        );
         let cs = self.carry << 1;
         let c2 = cs & s1;
         let sum = cs ^ s1;
         debug_assert_eq!(c1 & c2, 0, "half-adder carries are disjoint");
-        CsPair { sum, carry: c1 | c2 }
+        CsPair {
+            sum,
+            carry: c1 | c2,
+        }
     }
 
     /// Halves the represented value after adding `b`, fused exactly like
@@ -84,14 +92,21 @@ impl CsPair {
     pub fn add_then_halve(self, b: u64) -> Self {
         let c1 = self.sum & b;
         let s1 = self.sum ^ b;
-        debug_assert_eq!(s1 & 1, 0, "value must be even before halving (Observation 2)");
+        debug_assert_eq!(
+            s1 & 1,
+            0,
+            "value must be even before halving (Observation 2)"
+        );
         let s1 = s1 >> 1;
         let c2 = s1 & c1;
         let s2 = s1 ^ c1;
         let c3 = self.carry & s2;
         let sum = self.carry ^ s2;
         debug_assert_eq!(c2 & c3, 0, "half-adder carries are disjoint");
-        CsPair { sum, carry: c2 | c3 }
+        CsPair {
+            sum,
+            carry: c2 | c3,
+        }
     }
 
     /// Resolves the pair to a plain value by iterated half-adds, returning
@@ -175,11 +190,19 @@ mod tests {
     fn resolve_counts_ripple_rounds() {
         let (v, r) = CsPair::ZERO.resolve();
         assert_eq!((v, r), (0, 0));
-        let (v, r) = CsPair { sum: 0b01, carry: 0b01 }.resolve();
+        let (v, r) = CsPair {
+            sum: 0b01,
+            carry: 0b01,
+        }
+        .resolve();
         assert_eq!(v, 3);
         assert!(r >= 1);
         // Worst-case ripple: 0b0111…1 + 1 propagates across the word.
-        let (v, r) = CsPair { sum: (1 << 20) - 1, carry: 1 }.resolve();
+        let (v, r) = CsPair {
+            sum: (1 << 20) - 1,
+            carry: 1,
+        }
+        .resolve();
         assert_eq!(u128::from(v), ((1u128 << 20) - 1) + 2);
         assert!(r >= 20, "long ripple expected, got {r}");
     }
@@ -187,7 +210,10 @@ mod tests {
     #[test]
     fn parity_via_sum_lsb() {
         for v in 0..32u64 {
-            let p = CsPair { sum: v, carry: v.rotate_left(3) & 0x7FFF_FFFF };
+            let p = CsPair {
+                sum: v,
+                carry: v.rotate_left(3) & 0x7FFF_FFFF,
+            };
             assert_eq!(p.is_odd(), p.value() % 2 == 1);
         }
     }

@@ -61,7 +61,10 @@ impl fmt::Display for ModMathError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
             ModMathError::EvenModulus { modulus } => {
-                write!(f, "modulus {modulus} is even; Montgomery arithmetic requires an odd modulus")
+                write!(
+                    f,
+                    "modulus {modulus} is even; Montgomery arithmetic requires an odd modulus"
+                )
             }
             ModMathError::ModulusTooSmall { modulus } => {
                 write!(f, "modulus {modulus} is too small; at least 3 is required")
@@ -76,10 +79,16 @@ impl fmt::Display for ModMathError {
                 write!(f, "{value} is not invertible modulo {modulus}")
             }
             ModMathError::NoRootOfUnity { order, modulus } => {
-                write!(f, "no root of unity of order {order} exists modulo {modulus}")
+                write!(
+                    f,
+                    "no root of unity of order {order} exists modulo {modulus}"
+                )
             }
             ModMathError::NoPrimeFound { bits, stride } => {
-                write!(f, "no {bits}-bit prime congruent to 1 mod {stride} was found")
+                write!(
+                    f,
+                    "no {bits}-bit prime congruent to 1 mod {stride} was found"
+                )
             }
         }
     }
@@ -96,18 +105,33 @@ mod tests {
         let errors = [
             ModMathError::EvenModulus { modulus: 8 },
             ModMathError::ModulusTooSmall { modulus: 1 },
-            ModMathError::ModulusTooWide { modulus: 100, bits: 4 },
+            ModMathError::ModulusTooWide {
+                modulus: 100,
+                bits: 4,
+            },
             ModMathError::InvalidBitWidth { bits: 1 },
-            ModMathError::NotInvertible { value: 2, modulus: 8 },
-            ModMathError::NoRootOfUnity { order: 16, modulus: 17 },
-            ModMathError::NoPrimeFound { bits: 3, stride: 4096 },
+            ModMathError::NotInvertible {
+                value: 2,
+                modulus: 8,
+            },
+            ModMathError::NoRootOfUnity {
+                order: 16,
+                modulus: 17,
+            },
+            ModMathError::NoPrimeFound {
+                bits: 3,
+                stride: 4096,
+            },
         ];
         for e in errors {
             let s = e.to_string();
             assert!(!s.is_empty());
             // Messages start with the offending value or a lowercase word,
             // never with an uppercase sentence opener.
-            assert!(!s.chars().next().unwrap().is_uppercase(), "bad message: {s}");
+            assert!(
+                !s.chars().next().unwrap().is_uppercase(),
+                "bad message: {s}"
+            );
         }
     }
 

@@ -53,7 +53,7 @@ impl MontCtx {
     /// * [`ModMathError::InvalidBitWidth`] if `n_bits ∉ 2..=64`.
     /// * [`ModMathError::ModulusTooWide`] if `m ≥ 2^n_bits`.
     pub fn new(m: u64, n_bits: u32) -> Result<Self, ModMathError> {
-        if m % 2 == 0 {
+        if m.is_multiple_of(2) {
             return Err(ModMathError::EvenModulus { modulus: m });
         }
         if m < 3 {
@@ -63,7 +63,10 @@ impl MontCtx {
             return Err(ModMathError::InvalidBitWidth { bits: n_bits });
         }
         if n_bits < 64 && m >= (1u64 << n_bits) {
-            return Err(ModMathError::ModulusTooWide { modulus: m, bits: n_bits });
+            return Err(ModMathError::ModulusTooWide {
+                modulus: m,
+                bits: n_bits,
+            });
         }
         let r = 1u128 << n_bits;
         let r_mod_m = (r % u128::from(m)) as u64;
@@ -74,11 +77,22 @@ impl MontCtx {
             inv = inv.wrapping_mul(2u64.wrapping_sub(m.wrapping_mul(inv)));
         }
         debug_assert_eq!(m.wrapping_mul(inv), 1);
-        let mask = if n_bits == 64 { u64::MAX } else { (1u64 << n_bits) - 1 };
+        let mask = if n_bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << n_bits) - 1
+        };
         let neg_m_inv = inv.wrapping_neg() & mask;
         // R⁻¹ mod m exists because m is odd.
         let r_inv = inv_mod(r_mod_m, m)?;
-        Ok(MontCtx { m, n_bits, r_mod_m, r2_mod_m, r_inv, neg_m_inv })
+        Ok(MontCtx {
+            m,
+            n_bits,
+            r_mod_m,
+            r2_mod_m,
+            r_inv,
+            neg_m_inv,
+        })
     }
 
     /// The modulus `M`.
@@ -122,7 +136,11 @@ impl MontCtx {
     #[must_use]
     pub fn mont_mul(&self, a: u64, b: u64) -> u64 {
         debug_assert!(a < self.m && b < self.m);
-        let mask: u128 = if self.n_bits == 64 { u128::from(u64::MAX) } else { (1u128 << self.n_bits) - 1 };
+        let mask: u128 = if self.n_bits == 64 {
+            u128::from(u64::MAX)
+        } else {
+            (1u128 << self.n_bits) - 1
+        };
         let t = u128::from(a) * u128::from(b);
         let k = ((t & mask) * u128::from(self.neg_m_inv)) & mask;
         let u = (t + k * u128::from(self.m)) >> self.n_bits;
@@ -164,7 +182,13 @@ mod tests {
 
     #[test]
     fn redc_matches_schoolbook_for_standard_params() {
-        for (q, n) in [(3329u64, 13u32), (3329, 16), (12289, 16), (8380417, 24), (8380417, 32)] {
+        for (q, n) in [
+            (3329u64, 13u32),
+            (3329, 16),
+            (12289, 16),
+            (8380417, 24),
+            (8380417, 32),
+        ] {
             let ctx = MontCtx::new(q, n).unwrap();
             for &a in &residues(q) {
                 for &b in &residues(q) {
@@ -220,11 +244,26 @@ mod tests {
 
     #[test]
     fn constructor_validation() {
-        assert!(matches!(MontCtx::new(8, 8), Err(ModMathError::EvenModulus { .. })));
-        assert!(matches!(MontCtx::new(1, 8), Err(ModMathError::ModulusTooSmall { .. })));
-        assert!(matches!(MontCtx::new(257, 8), Err(ModMathError::ModulusTooWide { .. })));
-        assert!(matches!(MontCtx::new(7, 1), Err(ModMathError::InvalidBitWidth { .. })));
-        assert!(matches!(MontCtx::new(7, 65), Err(ModMathError::InvalidBitWidth { .. })));
+        assert!(matches!(
+            MontCtx::new(8, 8),
+            Err(ModMathError::EvenModulus { .. })
+        ));
+        assert!(matches!(
+            MontCtx::new(1, 8),
+            Err(ModMathError::ModulusTooSmall { .. })
+        ));
+        assert!(matches!(
+            MontCtx::new(257, 8),
+            Err(ModMathError::ModulusTooWide { .. })
+        ));
+        assert!(matches!(
+            MontCtx::new(7, 1),
+            Err(ModMathError::InvalidBitWidth { .. })
+        ));
+        assert!(matches!(
+            MontCtx::new(7, 65),
+            Err(ModMathError::InvalidBitWidth { .. })
+        ));
         assert!(MontCtx::new(255, 8).is_ok());
     }
 }

@@ -32,7 +32,7 @@ pub fn is_prime(n: u64) -> bool {
         if n == p {
             return true;
         }
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return false;
         }
     }
@@ -167,7 +167,8 @@ pub fn find_ntt_prime(bits: u32, stride: u64) -> Result<u64, ModMathError> {
     let mut q = if rem == 0 {
         lo
     } else {
-        lo.checked_add(stride - rem).ok_or(ModMathError::NoPrimeFound { bits, stride })?
+        lo.checked_add(stride - rem)
+            .ok_or(ModMathError::NoPrimeFound { bits, stride })?
     };
     while q < hi {
         if is_prime(q) {
@@ -242,7 +243,7 @@ mod tests {
         let mut prod_check = q - 1;
         for f in &fs {
             assert!(is_prime(*f));
-            while prod_check % f == 0 {
+            while prod_check.is_multiple_of(*f) {
                 prod_check /= f;
             }
         }
@@ -278,7 +279,11 @@ mod tests {
             let q = find_ntt_prime(bits, 2048).unwrap();
             assert!(is_prime(q));
             assert_eq!(q % 2048, 1);
-            assert_eq!(64 - q.leading_zeros(), bits, "q={q} not exactly {bits} bits");
+            assert_eq!(
+                64 - q.leading_zeros(),
+                bits,
+                "q={q} not exactly {bits} bits"
+            );
             let qh = find_ntt_prime_high(bits, 2048).unwrap();
             assert!(is_prime(qh) && qh % 2048 == 1 && qh >= q);
         }

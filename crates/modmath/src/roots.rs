@@ -37,7 +37,10 @@ pub fn primitive_root(q: u64) -> Result<u64, ModMathError> {
         }
         return Ok(g);
     }
-    Err(ModMathError::NoRootOfUnity { order: phi, modulus: q })
+    Err(ModMathError::NoRootOfUnity {
+        order: phi,
+        modulus: q,
+    })
 }
 
 /// Finds a primitive `order`-th root of unity modulo prime `q`.
@@ -60,7 +63,7 @@ pub fn primitive_root(q: u64) -> Result<u64, ModMathError> {
 /// # Ok::<(), bpntt_modmath::ModMathError>(())
 /// ```
 pub fn primitive_nth_root(order: u64, q: u64) -> Result<u64, ModMathError> {
-    if order == 0 || (q - 1) % order != 0 {
+    if order == 0 || !(q - 1).is_multiple_of(order) {
         return Err(ModMathError::NoRootOfUnity { order, modulus: q });
     }
     let g = primitive_root(q)?;
@@ -94,7 +97,14 @@ mod tests {
 
     #[test]
     fn primitive_roots_of_known_primes() {
-        for (q, g) in [(3u64, 2u64), (5, 2), (7, 3), (17, 3), (3329, 3), (12289, 11)] {
+        for (q, g) in [
+            (3u64, 2u64),
+            (5, 2),
+            (7, 3),
+            (17, 3),
+            (3329, 3),
+            (12289, 11),
+        ] {
             assert_eq!(primitive_root(q).unwrap(), g, "primitive root of {q}");
         }
     }
@@ -111,7 +121,10 @@ mod tests {
             let mut order = 2u64;
             while (q - 1) % order == 0 && order <= 8192 {
                 let r = primitive_nth_root(order, q).unwrap();
-                assert!(is_primitive_root_of_order(r, order, q), "order {order} mod {q}");
+                assert!(
+                    is_primitive_root_of_order(r, order, q),
+                    "order {order} mod {q}"
+                );
                 order *= 2;
             }
         }

@@ -86,7 +86,11 @@ impl ShoupMul {
     #[must_use]
     pub fn new(w: u64, q: u64) -> Self {
         debug_assert!(q < 1 << 63, "Shoup multiplication needs q < 2^63");
-        ShoupMul { w, w_shoup: shoup_precompute(w, q), q }
+        ShoupMul {
+            w,
+            w_shoup: shoup_precompute(w, q),
+            q,
+        }
     }
 
     /// The fixed factor.
@@ -159,7 +163,11 @@ mod tests {
         for w in [0u64, 1, 2, 6144, 12_288] {
             let w_shoup = shoup_precompute(w, q);
             for t in [12_289u64, 1 << 32, u64::MAX, u64::MAX - 12_289] {
-                assert_eq!(mul_mod_shoup(w, w_shoup, t, q), mul_mod(w, t % q, q), "w={w} t={t}");
+                assert_eq!(
+                    mul_mod_shoup(w, w_shoup, t, q),
+                    mul_mod(w, t % q, q),
+                    "w={w} t={t}"
+                );
             }
         }
     }

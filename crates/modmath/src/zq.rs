@@ -122,7 +122,10 @@ pub fn gcd(mut a: u64, mut b: u64) -> u64 {
 pub fn inv_mod(a: u64, m: u64) -> Result<u64, ModMathError> {
     let a_red = a % m;
     if a_red == 0 {
-        return Err(ModMathError::NotInvertible { value: a, modulus: m });
+        return Err(ModMathError::NotInvertible {
+            value: a,
+            modulus: m,
+        });
     }
     // Extended Euclid on (m, a); track only the coefficient of `a`.
     let (mut old_r, mut r) = (i128::from(m), i128::from(a_red));
@@ -133,7 +136,10 @@ pub fn inv_mod(a: u64, m: u64) -> Result<u64, ModMathError> {
         (old_t, t) = (t, old_t - quotient * t);
     }
     if old_r != 1 {
-        return Err(ModMathError::NotInvertible { value: a, modulus: m });
+        return Err(ModMathError::NotInvertible {
+            value: a,
+            modulus: m,
+        });
     }
     let m_i = i128::from(m);
     let inv = ((old_t % m_i) + m_i) % m_i;
@@ -227,9 +233,18 @@ mod tests {
 
     #[test]
     fn inverse_rejects_non_coprime() {
-        assert!(matches!(inv_mod(6, 9), Err(ModMathError::NotInvertible { .. })));
-        assert!(matches!(inv_mod(0, 9), Err(ModMathError::NotInvertible { .. })));
-        assert!(matches!(inv_mod(9, 9), Err(ModMathError::NotInvertible { .. })));
+        assert!(matches!(
+            inv_mod(6, 9),
+            Err(ModMathError::NotInvertible { .. })
+        ));
+        assert!(matches!(
+            inv_mod(0, 9),
+            Err(ModMathError::NotInvertible { .. })
+        ));
+        assert!(matches!(
+            inv_mod(9, 9),
+            Err(ModMathError::NotInvertible { .. })
+        ));
     }
 
     #[test]

@@ -53,13 +53,20 @@ impl fmt::Display for NttError {
             }
             NttError::ModulusNotPrime { q } => write!(f, "modulus {q} is not prime"),
             NttError::UnsupportedModulus { n, q } => {
-                write!(f, "modulus {q} does not support a negacyclic {n}-point NTT (need q ≡ 1 mod {})", 2 * n)
+                write!(
+                    f,
+                    "modulus {q} does not support a negacyclic {n}-point NTT (need q ≡ 1 mod {})",
+                    2 * n
+                )
             }
             NttError::LengthMismatch { expected, actual } => {
                 write!(f, "expected {expected} coefficients, got {actual}")
             }
             NttError::UnreducedCoefficient { index, value, q } => {
-                write!(f, "coefficient {value} at index {index} is not reduced modulo {q}")
+                write!(
+                    f,
+                    "coefficient {value} at index {index} is not reduced modulo {q}"
+                )
             }
             NttError::Math(e) => write!(f, "modular arithmetic error: {e}"),
         }

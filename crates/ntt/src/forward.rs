@@ -44,7 +44,11 @@ use bpntt_modmath::zq::{add_mod, mul_mod, sub_mod};
 /// assert_eq!(a, orig);
 /// # Ok::<(), bpntt_ntt::NttError>(())
 /// ```
-pub fn ntt_in_place(params: &NttParams, twiddles: &TwiddleTable, a: &mut [u64]) -> Result<(), NttError> {
+pub fn ntt_in_place(
+    params: &NttParams,
+    twiddles: &TwiddleTable,
+    a: &mut [u64],
+) -> Result<(), NttError> {
     params.validate_slice(a)?;
     ntt_in_place_unchecked(params, twiddles, a);
     Ok(())
@@ -147,7 +151,9 @@ mod tests {
                 continue; // keep the O(N²) oracle cheap in unit tests
             }
             let t = TwiddleTable::new(&p);
-            let mut a: Vec<u64> = (0..p.n() as u64).map(|i| (i * 2654435761) % p.modulus()).collect();
+            let mut a: Vec<u64> = (0..p.n() as u64)
+                .map(|i| (i * 2654435761) % p.modulus())
+                .collect();
             let expect = ntt_by_definition(&p, &a);
             ntt_in_place(&p, &t, &mut a).unwrap();
             assert_eq!(a, expect, "{name}");
@@ -189,7 +195,11 @@ mod tests {
         ntt_in_place(&p, &t, &mut fa).unwrap();
         ntt_in_place(&p, &t, &mut fb).unwrap();
         ntt_in_place(&p, &t, &mut sum).unwrap();
-        let fsum: Vec<u64> = fa.iter().zip(&fb).map(|(&x, &y)| add_mod(x, y, q)).collect();
+        let fsum: Vec<u64> = fa
+            .iter()
+            .zip(&fb)
+            .map(|(&x, &y)| add_mod(x, y, q))
+            .collect();
         assert_eq!(sum, fsum);
     }
 }

@@ -87,7 +87,7 @@ impl IncompleteNtt {
             return Err(NttError::ModulusNotPrime { q });
         }
         let order = 1u64 << (layers + 1);
-        if (q - 1) % order != 0 {
+        if !(q - 1).is_multiple_of(order) {
             return Err(NttError::UnsupportedModulus { n, q });
         }
         Ok(())
@@ -106,7 +106,16 @@ impl IncompleteNtt {
             gammas.push(pow_mod(psi, 2 * e + 1, q));
         }
         let scale_inv = inv_mod(groups as u64, q)?;
-        Ok(IncompleteNtt { n, q, layers, psi, zetas, inv_zetas, gammas, scale_inv })
+        Ok(IncompleteNtt {
+            n,
+            q,
+            layers,
+            psi,
+            zetas,
+            inv_zetas,
+            gammas,
+            scale_inv,
+        })
     }
 
     /// The Kyber parameter set: `N = 256`, `q = 3329`, 7 layers, `ψ = 17`
@@ -145,11 +154,18 @@ impl IncompleteNtt {
 
     fn validate(&self, a: &[u64]) -> Result<(), NttError> {
         if a.len() != self.n {
-            return Err(NttError::LengthMismatch { expected: self.n, actual: a.len() });
+            return Err(NttError::LengthMismatch {
+                expected: self.n,
+                actual: a.len(),
+            });
         }
         for (index, &value) in a.iter().enumerate() {
             if value >= self.q {
-                return Err(NttError::UnreducedCoefficient { index, value, q: self.q });
+                return Err(NttError::UnreducedCoefficient {
+                    index,
+                    value,
+                    q: self.q,
+                });
             }
         }
         Ok(())
@@ -324,7 +340,10 @@ mod tests {
         let k = IncompleteNtt::kyber().unwrap();
         let a = pseudo(256, 3329, 1);
         let b = pseudo(256, 3329, 2);
-        assert_eq!(k.polymul(&a, &b).unwrap(), negacyclic_schoolbook(&a, &b, 3329));
+        assert_eq!(
+            k.polymul(&a, &b).unwrap(),
+            negacyclic_schoolbook(&a, &b, 3329)
+        );
     }
 
     #[test]

@@ -78,7 +78,11 @@ pub struct AddressMap {
 impl Default for AddressMap {
     fn default() -> Self {
         // Distinct 64 KiB-aligned regions so array and table never alias.
-        AddressMap { coeff_base: 0x10000, twiddle_base: 0x80000, elem_size: 4 }
+        AddressMap {
+            coeff_base: 0x10000,
+            twiddle_base: 0x80000,
+            elem_size: 4,
+        }
     }
 }
 
@@ -109,25 +113,50 @@ pub fn profile_forward(
         let mut idx = 0;
         while idx < n {
             k += 1;
-            trace.push(Access { addr: map.twiddle_base + k as u64 * esz, write: false, size: es });
+            trace.push(Access {
+                addr: map.twiddle_base + k as u64 * esz,
+                write: false,
+                size: es,
+            });
             let z = zetas[k];
             for j in idx..idx + len {
-                trace.push(Access { addr: map.coeff_base + (j + len) as u64 * esz, write: false, size: es });
-                trace.push(Access { addr: map.coeff_base + j as u64 * esz, write: false, size: es });
+                trace.push(Access {
+                    addr: map.coeff_base + (j + len) as u64 * esz,
+                    write: false,
+                    size: es,
+                });
+                trace.push(Access {
+                    addr: map.coeff_base + j as u64 * esz,
+                    write: false,
+                    size: es,
+                });
                 let t = mul_mod(z, a[j + len], q);
                 ops.mul += 1;
                 a[j + len] = sub_mod(a[j], t, q);
                 ops.sub += 1;
                 a[j] = add_mod(a[j], t, q);
                 ops.add += 1;
-                trace.push(Access { addr: map.coeff_base + (j + len) as u64 * esz, write: true, size: es });
-                trace.push(Access { addr: map.coeff_base + j as u64 * esz, write: true, size: es });
+                trace.push(Access {
+                    addr: map.coeff_base + (j + len) as u64 * esz,
+                    write: true,
+                    size: es,
+                });
+                trace.push(Access {
+                    addr: map.coeff_base + j as u64 * esz,
+                    write: true,
+                    size: es,
+                });
             }
             idx += 2 * len;
         }
         len /= 2;
     }
-    KernelProfile { name: "NTT", ops, trace, elem_size: es }
+    KernelProfile {
+        name: "NTT",
+        ops,
+        trace,
+        elem_size: es,
+    }
 }
 
 /// Runs the inverse NTT while recording operations and memory accesses
@@ -154,11 +183,23 @@ pub fn profile_inverse(
         let mut idx = 0;
         let mut b = 0;
         while idx < n {
-            trace.push(Access { addr: map.twiddle_base + (k_base + b) as u64 * esz, write: false, size: es });
+            trace.push(Access {
+                addr: map.twiddle_base + (k_base + b) as u64 * esz,
+                write: false,
+                size: es,
+            });
             let z_inv = inv_zetas[k_base + b];
             for j in idx..idx + len {
-                trace.push(Access { addr: map.coeff_base + j as u64 * esz, write: false, size: es });
-                trace.push(Access { addr: map.coeff_base + (j + len) as u64 * esz, write: false, size: es });
+                trace.push(Access {
+                    addr: map.coeff_base + j as u64 * esz,
+                    write: false,
+                    size: es,
+                });
+                trace.push(Access {
+                    addr: map.coeff_base + (j + len) as u64 * esz,
+                    write: false,
+                    size: es,
+                });
                 let u = a[j];
                 let v = a[j + len];
                 a[j] = add_mod(u, v, q);
@@ -166,8 +207,16 @@ pub fn profile_inverse(
                 a[j + len] = mul_mod(z_inv, sub_mod(u, v, q), q);
                 ops.sub += 1;
                 ops.mul += 1;
-                trace.push(Access { addr: map.coeff_base + j as u64 * esz, write: true, size: es });
-                trace.push(Access { addr: map.coeff_base + (j + len) as u64 * esz, write: true, size: es });
+                trace.push(Access {
+                    addr: map.coeff_base + j as u64 * esz,
+                    write: true,
+                    size: es,
+                });
+                trace.push(Access {
+                    addr: map.coeff_base + (j + len) as u64 * esz,
+                    write: true,
+                    size: es,
+                });
             }
             idx += 2 * len;
             b += 1;
@@ -176,12 +225,25 @@ pub fn profile_inverse(
     }
     let n_inv = params.n_inv();
     for (j, x) in a.iter_mut().enumerate() {
-        trace.push(Access { addr: map.coeff_base + j as u64 * esz, write: false, size: es });
+        trace.push(Access {
+            addr: map.coeff_base + j as u64 * esz,
+            write: false,
+            size: es,
+        });
         *x = mul_mod(*x, n_inv, q);
         ops.mul += 1;
-        trace.push(Access { addr: map.coeff_base + j as u64 * esz, write: true, size: es });
+        trace.push(Access {
+            addr: map.coeff_base + j as u64 * esz,
+            write: true,
+            size: es,
+        });
     }
-    KernelProfile { name: "INVNTT", ops, trace, elem_size: es }
+    KernelProfile {
+        name: "INVNTT",
+        ops,
+        trace,
+        elem_size: es,
+    }
 }
 
 #[cfg(test)]

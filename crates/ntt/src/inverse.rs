@@ -36,7 +36,11 @@ use bpntt_modmath::zq::{add_mod, mul_mod, sub_mod};
 /// assert_eq!(a, vec![7u64; 512]);
 /// # Ok::<(), bpntt_ntt::NttError>(())
 /// ```
-pub fn intt_in_place(params: &NttParams, twiddles: &TwiddleTable, a: &mut [u64]) -> Result<(), NttError> {
+pub fn intt_in_place(
+    params: &NttParams,
+    twiddles: &TwiddleTable,
+    a: &mut [u64],
+) -> Result<(), NttError> {
     params.validate_slice(a)?;
     intt_in_place_unchecked(params, twiddles, a);
     Ok(())

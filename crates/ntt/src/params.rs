@@ -61,7 +61,7 @@ impl NttParams {
             return Err(NttError::ModulusNotPrime { q });
         }
         let two_n = 2 * n as u64;
-        if (q - 1) % two_n != 0 {
+        if !(q - 1).is_multiple_of(two_n) {
             return Err(NttError::UnsupportedModulus { n, q });
         }
         let psi = primitive_nth_root(two_n, q)?;
@@ -70,7 +70,16 @@ impl NttParams {
         let omega = mul_mod(psi, psi, q);
         let omega_inv = inv_mod(omega, q)?;
         let n_inv = inv_mod(n as u64, q)?;
-        Ok(NttParams { n, q, psi, psi_inv, omega, omega_inv, n_inv, log2_n: n.trailing_zeros() })
+        Ok(NttParams {
+            n,
+            q,
+            psi,
+            psi_inv,
+            omega,
+            omega_inv,
+            n_inv,
+            log2_n: n.trailing_zeros(),
+        })
     }
 
     /// The transform length `N`.
@@ -143,11 +152,18 @@ impl NttParams {
     /// [`NttError::LengthMismatch`] or [`NttError::UnreducedCoefficient`].
     pub fn validate_slice(&self, a: &[u64]) -> Result<(), NttError> {
         if a.len() != self.n {
-            return Err(NttError::LengthMismatch { expected: self.n, actual: a.len() });
+            return Err(NttError::LengthMismatch {
+                expected: self.n,
+                actual: a.len(),
+            });
         }
         for (index, &value) in a.iter().enumerate() {
             if value >= self.q {
-                return Err(NttError::UnreducedCoefficient { index, value, q: self.q });
+                return Err(NttError::UnreducedCoefficient {
+                    index,
+                    value,
+                    q: self.q,
+                });
             }
         }
         Ok(())
@@ -225,6 +241,7 @@ impl NttParams {
     /// All named parameter sets with human-readable labels, in the order
     /// they appear in the paper's motivation.
     #[must_use]
+    #[allow(clippy::type_complexity)]
     pub fn all_standard() -> Vec<(&'static str, NttParams)> {
         let sets: [(&'static str, fn() -> Result<NttParams, NttError>); 7] = [
             ("dilithium-256/23b", NttParams::dilithium),
@@ -253,7 +270,11 @@ mod tests {
             assert_eq!((p.modulus() - 1) % (2 * p.n() as u64), 0, "{name}");
             // ψ has exact order 2N.
             assert_eq!(pow_mod(p.psi(), 2 * p.n() as u64, p.modulus()), 1, "{name}");
-            assert_eq!(pow_mod(p.psi(), p.n() as u64, p.modulus()), p.modulus() - 1, "{name}: ψ^N = −1");
+            assert_eq!(
+                pow_mod(p.psi(), p.n() as u64, p.modulus()),
+                p.modulus() - 1,
+                "{name}: ψ^N = −1"
+            );
             // Inverses are exact.
             assert_eq!(mul_mod(p.psi(), p.psi_inv(), p.modulus()), 1, "{name}");
             assert_eq!(mul_mod(p.omega(), p.omega_inv(), p.modulus()), 1, "{name}");
@@ -273,18 +294,33 @@ mod tests {
 
     #[test]
     fn rejects_bad_parameters() {
-        assert!(matches!(NttParams::new(100, 12289), Err(NttError::InvalidLength { .. })));
-        assert!(matches!(NttParams::new(0, 12289), Err(NttError::InvalidLength { .. })));
-        assert!(matches!(NttParams::new(256, 12288), Err(NttError::ModulusNotPrime { .. })));
+        assert!(matches!(
+            NttParams::new(100, 12289),
+            Err(NttError::InvalidLength { .. })
+        ));
+        assert!(matches!(
+            NttParams::new(0, 12289),
+            Err(NttError::InvalidLength { .. })
+        ));
+        assert!(matches!(
+            NttParams::new(256, 12288),
+            Err(NttError::ModulusNotPrime { .. })
+        ));
         // Kyber's q: prime but 3329 ≢ 1 (mod 512).
-        assert!(matches!(NttParams::new(256, 3329), Err(NttError::UnsupportedModulus { .. })));
+        assert!(matches!(
+            NttParams::new(256, 3329),
+            Err(NttError::UnsupportedModulus { .. })
+        ));
     }
 
     #[test]
     fn validate_slice_flags_problems() {
         let p = NttParams::dac_256_14bit().unwrap();
         assert!(p.validate_slice(&vec![0; 256]).is_ok());
-        assert!(matches!(p.validate_slice(&vec![0; 255]), Err(NttError::LengthMismatch { .. })));
+        assert!(matches!(
+            p.validate_slice(&vec![0; 255]),
+            Err(NttError::LengthMismatch { .. })
+        ));
         let mut bad = vec![0; 256];
         bad[7] = 12_289;
         assert!(matches!(

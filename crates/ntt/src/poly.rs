@@ -105,8 +105,12 @@ impl Polynomial {
         params.validate_slice(&self.coeffs)?;
         params.validate_slice(&other.coeffs)?;
         let q = params.modulus();
-        let coeffs =
-            self.coeffs.iter().zip(&other.coeffs).map(|(&a, &b)| add_mod(a, b, q)).collect();
+        let coeffs = self
+            .coeffs
+            .iter()
+            .zip(&other.coeffs)
+            .map(|(&a, &b)| add_mod(a, b, q))
+            .collect();
         Ok(Polynomial { coeffs })
     }
 
@@ -119,8 +123,12 @@ impl Polynomial {
         params.validate_slice(&self.coeffs)?;
         params.validate_slice(&other.coeffs)?;
         let q = params.modulus();
-        let coeffs =
-            self.coeffs.iter().zip(&other.coeffs).map(|(&a, &b)| sub_mod(a, b, q)).collect();
+        let coeffs = self
+            .coeffs
+            .iter()
+            .zip(&other.coeffs)
+            .map(|(&a, &b)| sub_mod(a, b, q))
+            .collect();
         Ok(Polynomial { coeffs })
     }
 
@@ -130,7 +138,9 @@ impl Polynomial {
     ///
     /// Returns a validation error on parameter mismatch.
     pub fn mul(&self, other: &Polynomial, params: &NttParams) -> Result<Polynomial, NttError> {
-        Ok(Polynomial { coeffs: polymul::polymul_ntt(params, &self.coeffs, &other.coeffs)? })
+        Ok(Polynomial {
+            coeffs: polymul::polymul_ntt(params, &self.coeffs, &other.coeffs)?,
+        })
     }
 
     /// In-place forward NTT.
@@ -160,7 +170,9 @@ impl AsRef<[u64]> for Polynomial {
 
 impl FromIterator<u64> for Polynomial {
     fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
-        Polynomial { coeffs: iter.into_iter().collect() }
+        Polynomial {
+            coeffs: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -177,7 +189,11 @@ mod tests {
         let c = Polynomial::pseudo_random(&p, 3);
         // (a + b) · c == a·c + b·c
         let lhs = a.add(&b, &p).unwrap().mul(&c, &p).unwrap();
-        let rhs = a.mul(&c, &p).unwrap().add(&b.mul(&c, &p).unwrap(), &p).unwrap();
+        let rhs = a
+            .mul(&c, &p)
+            .unwrap()
+            .add(&b.mul(&c, &p).unwrap(), &p)
+            .unwrap();
         assert_eq!(lhs, rhs);
         // a − a == 0
         assert_eq!(a.sub(&a, &p).unwrap(), Polynomial::zero(16));

@@ -119,7 +119,10 @@ mod tests {
         let p = NttParams::new(8, 97).unwrap();
         let a = pseudo_poly(8, 97, 42);
         let b = pseudo_poly(8, 97, 1234);
-        assert_eq!(polymul_ntt(&p, &a, &b).unwrap(), polymul_schoolbook(&p, &a, &b).unwrap());
+        assert_eq!(
+            polymul_ntt(&p, &a, &b).unwrap(),
+            polymul_schoolbook(&p, &a, &b).unwrap()
+        );
     }
 
     #[test]
@@ -166,6 +169,9 @@ mod tests {
         let p = NttParams::new(16, 97).unwrap();
         let a = pseudo_poly(16, 97, 3);
         let b = pseudo_poly(16, 97, 11);
-        assert_eq!(polymul_ntt(&p, &a, &b).unwrap(), polymul_ntt(&p, &b, &a).unwrap());
+        assert_eq!(
+            polymul_ntt(&p, &a, &b).unwrap(),
+            polymul_ntt(&p, &b, &a).unwrap()
+        );
     }
 }

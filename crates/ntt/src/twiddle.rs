@@ -73,7 +73,14 @@ impl TwiddleTable {
         } else {
             (Vec::new(), Vec::new(), 0)
         };
-        TwiddleTable { zetas, inv_zetas, zetas_shoup, inv_zetas_shoup, n_inv_shoup, q }
+        TwiddleTable {
+            zetas,
+            inv_zetas,
+            zetas_shoup,
+            inv_zetas_shoup,
+            n_inv_shoup,
+            q,
+        }
     }
 
     /// True when Shoup quotients were precomputed (`q < 2⁶³`).

@@ -69,7 +69,11 @@ impl SramArray {
     /// height exceeds the ISA's 10-bit row address space (1024 rows).
     pub fn new(rows: usize, cols: usize) -> Result<Self, SramError> {
         if rows == 0 || cols == 0 {
-            return Err(SramError::BadGeometry { rows, cols, reason: "dimensions must be nonzero" });
+            return Err(SramError::BadGeometry {
+                rows,
+                cols,
+                reason: "dimensions must be nonzero",
+            });
         }
         if rows > 1024 {
             return Err(SramError::BadGeometry {
@@ -78,7 +82,10 @@ impl SramArray {
                 reason: "row address space is 10 bits (max 1024 rows)",
             });
         }
-        Ok(SramArray { rows: vec![BitRow::zero(cols); rows], cols })
+        Ok(SramArray {
+            rows: vec![BitRow::zero(cols); rows],
+            cols,
+        })
     }
 
     /// Array height in rows.

@@ -39,7 +39,10 @@ impl BitRow {
     #[must_use]
     pub fn zero(cols: usize) -> Self {
         assert!(cols > 0, "a row needs at least one column");
-        BitRow { words: vec![0; cols.div_ceil(64)], cols }
+        BitRow {
+            words: vec![0; cols.div_ceil(64)],
+            cols,
+        }
     }
 
     /// Number of columns.
@@ -85,7 +88,10 @@ impl BitRow {
     /// Panics if `width` is 0 or > 64, or the tile exceeds the row.
     #[must_use]
     pub fn tile_word(&self, tile: usize, width: usize) -> u64 {
-        assert!(width > 0 && width <= 64, "tile width {width} outside 1..=64");
+        assert!(
+            width > 0 && width <= 64,
+            "tile width {width} outside 1..=64"
+        );
         let base = tile * width;
         assert!(base + width <= self.cols, "tile {tile} out of range");
         let mut v = 0u64;
@@ -103,8 +109,14 @@ impl BitRow {
     ///
     /// Panics on geometry violations or if `value` does not fit `width`.
     pub fn set_tile_word(&mut self, tile: usize, width: usize, value: u64) {
-        assert!(width > 0 && width <= 64, "tile width {width} outside 1..=64");
-        assert!(width == 64 || value < (1u64 << width), "value does not fit tile width");
+        assert!(
+            width > 0 && width <= 64,
+            "tile width {width} outside 1..=64"
+        );
+        assert!(
+            width == 64 || value < (1u64 << width),
+            "value does not fit tile width"
+        );
         let base = tile * width;
         assert!(base + width <= self.cols, "tile {tile} out of range");
         for j in 0..width {
@@ -143,7 +155,10 @@ impl BitRow {
     /// activated row).
     #[must_use]
     pub fn not(&self) -> BitRow {
-        let mut r = BitRow { words: self.words.iter().map(|w| !w).collect(), cols: self.cols };
+        let mut r = BitRow {
+            words: self.words.iter().map(|w| !w).collect(),
+            cols: self.cols,
+        };
         r.clear_tail();
         r
     }
@@ -151,7 +166,12 @@ impl BitRow {
     fn zip(&self, other: &BitRow, f: impl Fn(u64, u64) -> u64) -> BitRow {
         assert_eq!(self.cols, other.cols, "rows must have equal width");
         BitRow {
-            words: self.words.iter().zip(&other.words).map(|(&a, &b)| f(a, b)).collect(),
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
             cols: self.cols,
         }
     }
@@ -175,7 +195,10 @@ impl BitRow {
             words[i] = (w << 1) | carry;
             carry = w >> 63;
         }
-        let mut r = BitRow { words, cols: self.cols };
+        let mut r = BitRow {
+            words,
+            cols: self.cols,
+        };
         r.clear_tail();
         r
     }
@@ -190,7 +213,10 @@ impl BitRow {
             words[i] = (w >> 1) | (carry << 63);
             carry = w & 1;
         }
-        BitRow { words, cols: self.cols }
+        BitRow {
+            words,
+            cols: self.cols,
+        }
     }
 
     /// 1-bit left shift with zero injected at every tile boundary: the bit
@@ -349,7 +375,10 @@ impl BitRow {
     ///
     /// Panics if the range exceeds the row.
     pub fn fill_range(&mut self, start: usize, end: usize, value: bool) {
-        assert!(start <= end && end <= self.cols, "column range out of bounds");
+        assert!(
+            start <= end && end <= self.cols,
+            "column range out of bounds"
+        );
         if start == end {
             return;
         }
@@ -403,7 +432,10 @@ impl BitRow {
     /// Panics if the widths differ or the range exceeds the row.
     pub fn copy_bits_from(&mut self, src: &BitRow, start: usize, end: usize) {
         assert_eq!(self.cols, src.cols, "rows must have equal width");
-        assert!(start <= end && end <= self.cols, "column range out of bounds");
+        assert!(
+            start <= end && end <= self.cols,
+            "column range out of bounds"
+        );
         if start == end {
             return;
         }
@@ -466,11 +498,23 @@ mod tests {
         let mut b = BitRow::zero(96);
         a.set_tile_word(0, 48, 0xF0F0_1234_ABCD);
         b.set_tile_word(0, 48, 0x0FF0_5678_00FF);
-        assert_eq!(a.and(&b).tile_word(0, 48), 0xF0F0_1234_ABCD & 0x0FF0_5678_00FF);
-        assert_eq!(a.or(&b).tile_word(0, 48), 0xF0F0_1234_ABCD | 0x0FF0_5678_00FF);
-        assert_eq!(a.xor(&b).tile_word(0, 48), 0xF0F0_1234_ABCD ^ 0x0FF0_5678_00FF);
+        assert_eq!(
+            a.and(&b).tile_word(0, 48),
+            0xF0F0_1234_ABCD & 0x0FF0_5678_00FF
+        );
+        assert_eq!(
+            a.or(&b).tile_word(0, 48),
+            0xF0F0_1234_ABCD | 0x0FF0_5678_00FF
+        );
+        assert_eq!(
+            a.xor(&b).tile_word(0, 48),
+            0xF0F0_1234_ABCD ^ 0x0FF0_5678_00FF
+        );
         let mask = (1u64 << 48) - 1;
-        assert_eq!(a.nor(&b).tile_word(0, 48), !(0xF0F0_1234_ABCDu64 | 0x0FF0_5678_00FF) & mask);
+        assert_eq!(
+            a.nor(&b).tile_word(0, 48),
+            !(0xF0F0_1234_ABCDu64 | 0x0FF0_5678_00FF) & mask
+        );
         assert_eq!(a.not().tile_word(0, 48), !0xF0F0_1234_ABCDu64 & mask);
     }
 
@@ -609,12 +653,24 @@ mod tests {
     #[test]
     fn copy_bits_from_merges_ranges() {
         let src = random_row(200, 55);
-        for (start, end) in [(0, 200), (0, 0), (13, 14), (60, 70), (64, 128), (130, 199), (0, 64)] {
+        for (start, end) in [
+            (0, 200),
+            (0, 0),
+            (13, 14),
+            (60, 70),
+            (64, 128),
+            (130, 199),
+            (0, 64),
+        ] {
             let mut dst = random_row(200, 66);
             let before = dst.clone();
             dst.copy_bits_from(&src, start, end);
             for c in 0..200 {
-                let expect = if (start..end).contains(&c) { src.bit(c) } else { before.bit(c) };
+                let expect = if (start..end).contains(&c) {
+                    src.bit(c)
+                } else {
+                    before.bit(c)
+                };
                 assert_eq!(dst.bit(c), expect, "col {c} range {start}..{end}");
             }
         }

@@ -81,7 +81,12 @@ impl TimingModel {
             Instruction::Unary { .. } => self.unary,
             Instruction::Shift { .. } => self.shift,
             Instruction::Binary { dst2, .. } => {
-                self.binary + if dst2.is_some() { self.second_writeback } else { 0 }
+                self.binary
+                    + if dst2.is_some() {
+                        self.second_writeback
+                    } else {
+                        0
+                    }
             }
         }
     }
@@ -214,7 +219,10 @@ mod tests {
         let e = EnergyModel::cmos_45nm();
         let narrow = e.energy_pj(&binary(true), 64);
         let wide = e.energy_pj(&binary(true), 256);
-        assert!(wide > narrow * 3.0 && wide < narrow * 4.0, "near-linear in columns");
+        assert!(
+            wide > narrow * 3.0 && wide < narrow * 4.0,
+            "near-linear in columns"
+        );
     }
 
     #[test]

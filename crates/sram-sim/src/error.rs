@@ -75,7 +75,10 @@ impl fmt::Display for SramError {
                 write!(f, "check bit {bit} outside the {tile_width}-column tile")
             }
             SramError::ProgramMismatch { reason } => {
-                write!(f, "compiled program does not match this controller: {reason}")
+                write!(
+                    f,
+                    "compiled program does not match this controller: {reason}"
+                )
             }
         }
     }
@@ -90,13 +93,29 @@ mod tests {
     #[test]
     fn displays() {
         let msgs = [
-            SramError::BadGeometry { rows: 0, cols: 1, reason: "empty" }.to_string(),
+            SramError::BadGeometry {
+                rows: 0,
+                cols: 1,
+                reason: "empty",
+            }
+            .to_string(),
             SramError::RowOutOfRange { row: 9, rows: 4 }.to_string(),
-            SramError::BadTileWidth { width: 3, cols: 256 }.to_string(),
+            SramError::BadTileWidth {
+                width: 3,
+                cols: 256,
+            }
+            .to_string(),
             SramError::BadOpcode { opcode: 15 }.to_string(),
             SramError::ReservedBits { word: 1 << 62 }.to_string(),
-            SramError::CheckBitOutOfRange { bit: 40, tile_width: 32 }.to_string(),
-            SramError::ProgramMismatch { reason: "stale timing model" }.to_string(),
+            SramError::CheckBitOutOfRange {
+                bit: 40,
+                tile_width: 32,
+            }
+            .to_string(),
+            SramError::ProgramMismatch {
+                reason: "stale timing model",
+            }
+            .to_string(),
         ];
         for m in msgs {
             assert!(!m.is_empty());

@@ -46,7 +46,6 @@ pub struct Controller {
     array: SramArray,
     tile_width: usize,
     n_tiles: usize,
-    pred: Vec<bool>,
     tile_mask: Vec<bool>,
     /// Number of tiles currently disabled by the tile mask — an O(1)
     /// "is every tile enabled?" test on the write-back fast path.
@@ -73,12 +72,14 @@ pub struct Controller {
     /// Keep-mask of a tile-masked right shift: all columns except each
     /// tile's top bit.
     shr_keep: BitRow,
-    /// Flattened per-tile `(word, mask)` pairs covering each tile's
-    /// columns (`tile_fill_starts[t]..tile_fill_starts[t+1]` indexes the
-    /// entries of tile `t`) — precomputed so predicate-latch updates are
-    /// plain word ops.
-    tile_fill: Vec<(u32, u64)>,
-    tile_fill_starts: Vec<u32>,
+    /// Word-oriented predicate-latch plan: for every storage word of the
+    /// predicate mask, the `(tile_base_column, column_mask)` contributions
+    /// of the tiles overlapping that word
+    /// (`word_fill_starts[w]..word_fill_starts[w+1]` indexes them) —
+    /// precomputed so a `Check` builds each mask word branchlessly in a
+    /// register.
+    word_fill: Vec<(u32, u64)>,
+    word_fill_starts: Vec<u32>,
 }
 
 impl Controller {
@@ -89,8 +90,11 @@ impl Controller {
     /// [`SramError::BadTileWidth`] when `tile_width` does not divide the
     /// array's column count (or is zero).
     pub fn new(array: SramArray, tile_width: usize) -> Result<Self, SramError> {
-        if tile_width == 0 || array.cols() % tile_width != 0 {
-            return Err(SramError::BadTileWidth { width: tile_width, cols: array.cols() });
+        if tile_width == 0 || !array.cols().is_multiple_of(tile_width) {
+            return Err(SramError::BadTileWidth {
+                width: tile_width,
+                cols: array.cols(),
+            });
         }
         let n_tiles = array.cols() / tile_width;
         let cols = array.cols();
@@ -102,24 +106,27 @@ impl Controller {
             shl_keep.set_bit(base, false);
             shr_keep.set_bit(base + tile_width - 1, false);
         }
-        let mut tile_fill = Vec::new();
-        let mut tile_fill_starts = Vec::with_capacity(n_tiles + 1);
-        for t in 0..n_tiles {
-            tile_fill_starts.push(tile_fill.len() as u32);
-            let (start, end) = (t * tile_width, (t + 1) * tile_width);
-            let (first, last) = (start / 64, (end - 1) / 64);
-            for w in first..=last {
-                let lo = if w == first { start % 64 } else { 0 };
-                let hi = if w == last { (end - 1) % 64 } else { 63 };
-                tile_fill.push((w as u32, (((1u128 << (hi - lo + 1)) - 1) as u64) << lo));
+        let n_words = cols.div_ceil(64);
+        let mut word_fill = Vec::new();
+        let mut word_fill_starts = Vec::with_capacity(n_words + 1);
+        for w in 0..n_words {
+            word_fill_starts.push(word_fill.len() as u32);
+            let (w_lo, w_hi) = (w * 64, (w * 64 + 63).min(cols - 1));
+            for t in 0..n_tiles {
+                let (start, end) = (t * tile_width, (t + 1) * tile_width - 1);
+                if end < w_lo || start > w_hi {
+                    continue;
+                }
+                let lo = start.max(w_lo) - w * 64;
+                let hi = end.min(w_hi) - w * 64;
+                word_fill.push((start as u32, (((1u128 << (hi - lo + 1)) - 1) as u64) << lo));
             }
         }
-        tile_fill_starts.push(tile_fill.len() as u32);
+        word_fill_starts.push(word_fill.len() as u32);
         Ok(Controller {
             array,
             tile_width,
             n_tiles,
-            pred: vec![false; n_tiles],
             tile_mask: vec![true; n_tiles],
             n_masked_off: 0,
             zero_flag: false,
@@ -132,32 +139,22 @@ impl Controller {
             mask_cols,
             shl_keep,
             shr_keep,
-            tile_fill,
-            tile_fill_starts,
+            word_fill,
+            word_fill_starts,
         })
     }
 
     /// Latches the per-tile predicate from tile-relative column `bit` of
-    /// row `src`, maintaining both the boolean latches and the predicate
-    /// column mask with precomputed word plans.
+    /// row `src` into the predicate column mask (the boolean per-tile view
+    /// is derived from the mask on demand).
     fn latch_preds(&mut self, src: usize, bit: usize) {
-        let rw = self.array.row(src).words();
-        let pm = self.pred_mask.words_mut();
-        for t in 0..self.n_tiles {
-            let pos = t * self.tile_width + bit;
-            let v = (rw[pos >> 6] >> (pos & 63)) & 1 == 1;
-            self.pred[t] = v;
-            let (f0, f1) =
-                (self.tile_fill_starts[t] as usize, self.tile_fill_starts[t + 1] as usize);
-            for &(w, m) in &self.tile_fill[f0..f1] {
-                let w = w as usize;
-                if v {
-                    pm[w] |= m;
-                } else {
-                    pm[w] &= !m;
-                }
-            }
-        }
+        latch_words(
+            &self.word_fill,
+            &self.word_fill_starts,
+            self.array.row(src).words(),
+            bit,
+            self.pred_mask.words_mut(),
+        );
     }
 
     /// Replaces the timing model (e.g. [`TimingModel::conservative`]).
@@ -200,14 +197,16 @@ impl Controller {
         self.zero_flag
     }
 
-    /// The predicate latch of tile `t`.
+    /// The predicate latch of tile `t` (the tile's columns in the
+    /// predicate mask).
     ///
     /// # Panics
     ///
     /// Panics if `t` is out of range.
     #[must_use]
     pub fn pred(&self, t: usize) -> bool {
-        self.pred[t]
+        assert!(t < self.n_tiles, "tile {t} out of range");
+        self.pred_mask.bit(t * self.tile_width)
     }
 
     /// Accumulated statistics.
@@ -260,18 +259,12 @@ impl Controller {
     fn check_row(&self, r: crate::isa::RowAddr) -> Result<usize, SramError> {
         let idx = r.index();
         if idx >= self.array.rows() {
-            return Err(SramError::RowOutOfRange { row: idx, rows: self.array.rows() });
+            return Err(SramError::RowOutOfRange {
+                row: idx,
+                rows: self.array.rows(),
+            });
         }
         Ok(idx)
-    }
-
-    fn write_enabled(&self, t: usize, pred: PredMode) -> bool {
-        self.tile_mask[t]
-            && match pred {
-                PredMode::Always => true,
-                PredMode::IfSet => self.pred[t],
-                PredMode::IfClear => !self.pred[t],
-            }
     }
 
     /// Write-back of one scratch row with per-tile gating: only enabled
@@ -282,11 +275,19 @@ impl Controller {
     /// through the predicate/tile column masks (no per-tile loop).
     fn write_back(&mut self, dst: usize, pred: PredMode, second: bool) {
         if pred == PredMode::Always && self.n_masked_off == 0 {
-            let scratch = if second { &mut self.scratch_b } else { &mut self.scratch_a };
+            let scratch = if second {
+                &mut self.scratch_b
+            } else {
+                &mut self.scratch_a
+            };
             std::mem::swap(self.array.row_mut(dst), scratch);
             return;
         }
-        let scratch = if second { &self.scratch_b } else { &self.scratch_a };
+        let scratch = if second {
+            &self.scratch_b
+        } else {
+            &self.scratch_a
+        };
         let sw = scratch.words();
         let mw = self.mask_cols.words();
         let pw = self.pred_mask.words();
@@ -320,7 +321,10 @@ impl Controller {
             Instruction::Check { src, bit } => {
                 self.check_row(src)?;
                 if usize::from(bit) >= self.tile_width {
-                    return Err(SramError::CheckBitOutOfRange { bit, tile_width: self.tile_width });
+                    return Err(SramError::CheckBitOutOfRange {
+                        bit,
+                        tile_width: self.tile_width,
+                    });
                 }
             }
             Instruction::CheckZero { src } => {
@@ -337,7 +341,13 @@ impl Controller {
                 self.check_row(dst)?;
                 self.check_row(src)?;
             }
-            Instruction::Binary { dst, src0, src1, dst2, .. } => {
+            Instruction::Binary {
+                dst,
+                src0,
+                src1,
+                dst2,
+                ..
+            } => {
                 self.check_row(dst)?;
                 self.check_row(src0)?;
                 self.check_row(src1)?;
@@ -367,10 +377,15 @@ impl Controller {
             Instruction::MaskTiles { stride_log2, phase } => {
                 let mut off = 0;
                 for (t, m) in self.tile_mask.iter_mut().enumerate() {
-                    let bit = if stride_log2 >= 63 { 0 } else { (t >> stride_log2) & 1 };
+                    let bit = if stride_log2 >= 63 {
+                        0
+                    } else {
+                        (t >> stride_log2) & 1
+                    };
                     *m = (bit == 1) == phase;
                     off += usize::from(!*m);
-                    self.mask_cols.fill_range(t * self.tile_width, (t + 1) * self.tile_width, *m);
+                    self.mask_cols
+                        .fill_range(t * self.tile_width, (t + 1) * self.tile_width, *m);
                 }
                 self.n_masked_off = off;
                 self.stats.counts.mask += 1;
@@ -381,7 +396,12 @@ impl Controller {
                 self.mask_cols.fill_range(0, self.array.cols(), true);
                 self.stats.counts.mask += 1;
             }
-            Instruction::Unary { dst, src, kind, pred } => {
+            Instruction::Unary {
+                dst,
+                src,
+                kind,
+                pred,
+            } => {
                 match kind {
                     UnaryKind::Copy => self.scratch_a.copy_from(self.array.row(src.index())),
                     UnaryKind::Not => self.scratch_a.assign_not(self.array.row(src.index())),
@@ -390,13 +410,27 @@ impl Controller {
                 self.write_back(dst.index(), pred, false);
                 self.stats.counts.unary += 1;
             }
-            Instruction::Shift { dst, src, dir, masked, pred } => {
+            Instruction::Shift {
+                dst,
+                src,
+                dir,
+                masked,
+                pred,
+            } => {
                 self.scratch_a.copy_from(self.array.row(src.index()));
                 self.shift_scratch_a(dir, masked);
                 self.write_back(dst.index(), pred, false);
                 self.stats.counts.shift += 1;
             }
-            Instruction::Binary { dst, op, src0, src1, dst2, shift, pred } => {
+            Instruction::Binary {
+                dst,
+                op,
+                src0,
+                src1,
+                dst2,
+                shift,
+                pred,
+            } => {
                 // Both results are computed from the same activation,
                 // before any write-back, so a destination overlapping an
                 // operand cannot corrupt the second result.
@@ -465,18 +499,34 @@ impl Controller {
         }
     }
 
+    /// The current energy accumulator (replay-internal).
+    #[inline]
+    pub(crate) fn stats_energy(&self) -> f64 {
+        self.stats.energy_pj
+    }
+
+    /// Stores the energy accumulator back (replay-internal).
+    #[inline]
+    pub(crate) fn set_stats_energy(&mut self, e: f64) {
+        self.stats.energy_pj = e;
+    }
+
     /// Adds batched instruction-class counts.
     #[inline]
     pub(crate) fn add_counts(&mut self, counts: crate::stats::InstrCounts) {
         self.stats.counts += counts;
     }
 
-    /// Adds a sequence of per-instruction energies in order.
+    /// Adds a sequence of per-instruction energies in order (the
+    /// accumulator stays in a register for the duration — same add
+    /// sequence, so the result is bit-identical to one-at-a-time adds).
     #[inline]
     pub(crate) fn add_energy_seq(&mut self, energies: &[f64]) {
+        let mut acc = self.stats.energy_pj;
         for &e in energies {
-            self.stats.energy_pj += e;
+            acc += e;
         }
+        self.stats.energy_pj = acc;
     }
 
     // ---- fused superop executors ------------------------------------------
@@ -590,24 +640,13 @@ impl Controller {
                 crate::program::ChainStep::Halve => {
                     // Inline predicate latch (the Check inside the halve
                     // pattern), reading Sum through the held borrow.
-                    let pm = self.pred_mask.words_mut();
-                    for t in 0..self.n_tiles {
-                        let pos = t * self.tile_width;
-                        let v = (sw[pos >> 6] >> (pos & 63)) & 1 == 1;
-                        self.pred[t] = v;
-                        let (f0, f1) = (
-                            self.tile_fill_starts[t] as usize,
-                            self.tile_fill_starts[t + 1] as usize,
-                        );
-                        for &(w, mask) in &self.tile_fill[f0..f1] {
-                            let w = w as usize;
-                            if v {
-                                pm[w] |= mask;
-                            } else {
-                                pm[w] &= !mask;
-                            }
-                        }
-                    }
+                    latch_words(
+                        &self.word_fill,
+                        &self.word_fill_starts,
+                        sw,
+                        0,
+                        self.pred_mask.words_mut(),
+                    );
                     halve_words(sw, cw, tsw, tcw, m_words, self.pred_mask.words(), shr);
                 }
             }
@@ -628,21 +667,20 @@ impl Controller {
         if self.n_masked_off != 0 {
             return None;
         }
-        let Some([s, c]) =
-            self.array.rows_disjoint_mut([usize::from(op.s), usize::from(op.c)])
-        else {
-            return None;
-        };
+        let [s, c] = self
+            .array
+            .rows_disjoint_mut([usize::from(op.s), usize::from(op.c)])?;
         let shl = self.shl_keep.words();
         let sw = s.words_mut();
         let cw = c.words_mut();
         let mut bodies = 0usize;
         let mut checks = 0u64;
+        // Same add sequence as per-instruction execution, with the energy
+        // accumulator register-resident for the whole loop (bit-identical).
+        let mut e_acc = self.stats.energy_pj;
         for _ in 0..op.max_checks {
             checks += 1;
-            // The energy accumulator stays per-event (bit-identity); the
-            // integer cycle/count sums are batched after the loop.
-            self.stats.energy_pj += check_energy;
+            e_acc += check_energy;
             let zero = cw.iter().all(|&w| w == 0);
             self.zero_flag = zero;
             if zero {
@@ -658,11 +696,15 @@ impl Controller {
                 sw[w] = s_w ^ csh;
             }
             for &e in &round_cost.energy {
-                self.stats.energy_pj += e;
+                e_acc += e;
             }
             bodies += 1;
         }
-        debug_assert!(self.zero_flag, "resolution loop must converge within max_checks");
+        debug_assert!(
+            self.zero_flag,
+            "resolution loop must converge within max_checks"
+        );
+        self.stats.energy_pj = e_acc;
         self.stats.cycles += checks * check_cycles + bodies as u64 * round_cost.cycles;
         self.stats.counts.check_zero += checks;
         self.stats.counts += round_cost.counts.scaled(bodies as u64);
@@ -683,22 +725,21 @@ impl Controller {
         if self.n_masked_off != 0 {
             return None;
         }
-        let Some([live, other, t]) = self.array.rows_disjoint_mut([
+        let [live, other, t] = self.array.rows_disjoint_mut([
             usize::from(op.live),
             usize::from(op.other),
             usize::from(op.t),
-        ]) else {
-            return None;
-        };
+        ])?;
         let shl = self.shl_keep.words();
         let mut cur = live.words_mut();
         let mut nxt = other.words_mut();
         let tw = t.words_mut();
         let mut bodies = 0usize;
         let mut checks = 0u64;
+        let mut e_acc = self.stats.energy_pj;
         for _ in 0..op.max_checks {
             checks += 1;
-            self.stats.energy_pj += check_energy;
+            e_acc += check_energy;
             let zero = tw.iter().all(|&w| w == 0);
             self.zero_flag = zero;
             if zero {
@@ -715,11 +756,15 @@ impl Controller {
             }
             std::mem::swap(&mut cur, &mut nxt);
             for &e in &round_cost.energy {
-                self.stats.energy_pj += e;
+                e_acc += e;
             }
             bodies += 1;
         }
-        debug_assert!(self.zero_flag, "resolution loop must converge within max_checks");
+        debug_assert!(
+            self.zero_flag,
+            "resolution loop must converge within max_checks"
+        );
+        self.stats.energy_pj = e_acc;
         self.stats.cycles += checks * check_cycles + bodies as u64 * round_cost.cycles;
         self.stats.counts.check_zero += checks;
         self.stats.counts += round_cost.counts.scaled(bodies as u64);
@@ -732,8 +777,9 @@ impl Controller {
         if self.n_masked_off != 0 {
             return false;
         }
-        let Some([s, c]) =
-            self.array.rows_disjoint_mut([usize::from(op.s), usize::from(op.c)])
+        let Some([s, c]) = self
+            .array
+            .rows_disjoint_mut([usize::from(op.s), usize::from(op.c)])
         else {
             return false;
         };
@@ -758,9 +804,11 @@ impl Controller {
         if self.n_masked_off != 0 {
             return false;
         }
-        self.scratch_a.copy_from(self.array.row(usize::from(op.s_cur)));
-        let Some([s_other, b]) =
-            self.array.rows_disjoint_mut([usize::from(op.s_other), usize::from(op.b)])
+        self.scratch_a
+            .copy_from(self.array.row(usize::from(op.s_cur)));
+        let Some([s_other, b]) = self
+            .array
+            .rows_disjoint_mut([usize::from(op.s_other), usize::from(op.b)])
         else {
             return false;
         };
@@ -834,32 +882,53 @@ impl Controller {
     }
 }
 
+/// Branchless predicate latch: builds each predicate-mask word in a
+/// register from the source row's per-tile bits (tile-relative column
+/// `bit`), using the controller's precomputed word-oriented plan.
+fn latch_words(
+    word_fill: &[(u32, u64)],
+    word_fill_starts: &[u32],
+    rw: &[u64],
+    bit: usize,
+    pm: &mut [u64],
+) {
+    for w in 0..pm.len() {
+        let (f0, f1) = (
+            word_fill_starts[w] as usize,
+            word_fill_starts[w + 1] as usize,
+        );
+        let mut pmw = 0u64;
+        for &(base, mask) in &word_fill[f0..f1] {
+            let pos = base as usize + bit;
+            let v = (rw[pos >> 6] >> (pos & 63)) & 1;
+            pmw |= mask & v.wrapping_neg();
+        }
+        pm[w] = pmw;
+    }
+}
+
 /// Word-level add-B step over pre-borrowed row storage. `g`-gating:
 /// disabled/unpredicated tiles keep their old contents, exactly like four
 /// gated write-backs (see `Controller::exec_addb`).
 #[allow(clippy::too_many_arguments)]
-fn addb_words(
-    sw: &mut [u64],
-    cw: &mut [u64],
-    tsw: &mut [u64],
-    tcw: &mut [u64],
-    bw: &[u64],
-    mask_cols: &[u64],
-    pred_mask: &[u64],
+#[inline(always)]
+fn addb_core<const N: usize>(
+    sw: &mut [u64; N],
+    cw: &mut [u64; N],
+    tsw: &mut [u64; N],
+    tcw: &mut [u64; N],
+    bw: &[u64; N],
+    mask_cols: &[u64; N],
+    pred_mask: &[u64; N],
     if_set: bool,
 ) {
-    let n = sw.len();
-    assert!(
-        cw.len() == n
-            && tsw.len() == n
-            && tcw.len() == n
-            && bw.len() == n
-            && mask_cols.len() == n
-            && pred_mask.len() == n
-    );
     let mut carry_in = 0u64;
-    for w in 0..n {
-        let g = if if_set { mask_cols[w] & pred_mask[w] } else { mask_cols[w] };
+    for w in 0..N {
+        let g = if if_set {
+            mask_cols[w] & pred_mask[w]
+        } else {
+            mask_cols[w]
+        };
         let s_w = sw[w];
         let b_w = bw[w];
         let c_old = cw[w];
@@ -882,10 +951,128 @@ fn addb_words(
     }
 }
 
+/// Word-level add-B step over pre-borrowed row storage, dispatching to a
+/// fully unrolled const-width body for the common array widths.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn addb_words(
+    sw: &mut [u64],
+    cw: &mut [u64],
+    tsw: &mut [u64],
+    tcw: &mut [u64],
+    bw: &[u64],
+    mask_cols: &[u64],
+    pred_mask: &[u64],
+    if_set: bool,
+) {
+    let n = sw.len();
+    assert!(
+        cw.len() == n
+            && tsw.len() == n
+            && tcw.len() == n
+            && bw.len() == n
+            && mask_cols.len() == n
+            && pred_mask.len() == n
+    );
+    macro_rules! fixed {
+        ($k:literal) => {
+            addb_core::<$k>(
+                sw.try_into().unwrap(),
+                cw.try_into().unwrap(),
+                tsw.try_into().unwrap(),
+                tcw.try_into().unwrap(),
+                bw.try_into().unwrap(),
+                mask_cols.try_into().unwrap(),
+                pred_mask.try_into().unwrap(),
+                if_set,
+            )
+        };
+    }
+    match n {
+        1 => fixed!(1),
+        2 => fixed!(2),
+        3 => fixed!(3),
+        4 => fixed!(4),
+        _ => {
+            let mut carry_in = 0u64;
+            for w in 0..n {
+                let g = if if_set {
+                    mask_cols[w] & pred_mask[w]
+                } else {
+                    mask_cols[w]
+                };
+                let s_w = sw[w];
+                let b_w = bw[w];
+                let c_old = cw[w];
+                let c1 = s_w & b_w;
+                let s1 = s_w ^ b_w;
+                let csh = (c_old << 1) | carry_in;
+                carry_in = c_old >> 63;
+                let c_eff = (csh & g) | (c_old & !g);
+                let ts_eff = (s1 & g) | (tsw[w] & !g);
+                let tc_new = (c1 & g) | (tcw[w] & !g);
+                let c2 = c_eff & ts_eff;
+                let s2 = c_eff ^ ts_eff;
+                sw[w] = (s2 & g) | (s_w & !g);
+                tsw[w] = ts_eff;
+                tcw[w] = tc_new;
+                cw[w] = ((c2 | tc_new) & g) | (c_eff & !g);
+            }
+        }
+    }
+}
+
 /// Word-level Montgomery halve step over pre-borrowed row storage; the
 /// predicate column mask must already reflect `Check(Sum, bit 0)` and
 /// every tile must be write-enabled (see `Controller::exec_halve`).
 #[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn halve_core<const N: usize>(
+    sw: &mut [u64; N],
+    cw: &mut [u64; N],
+    tsw: &mut [u64; N],
+    tcw: &mut [u64; N],
+    m_words: &[u64; N],
+    pred_mask: &[u64; N],
+    shr_keep: &[u64; N],
+) {
+    // Single pass with a one-word lookahead: `tmp = Sum ⊕ (M in odd
+    // tiles)` is the m-selection (computed from the old Sum — only
+    // `sw[w]` has been overwritten when `tmp_next` reads `sw[w+1]`),
+    // `c1 = Sum ∧ M` the half-adder carry (zero in even tiles), then the
+    // tile-masked right shift of s1 and the two remaining half-adder
+    // layers.
+    let mut tmp_cur = if N > 0 {
+        sw[0] ^ (m_words[0] & pred_mask[0])
+    } else {
+        0
+    };
+    for w in 0..N {
+        let tmp_next = if w + 1 < N {
+            sw[w + 1] ^ (m_words[w + 1] & pred_mask[w + 1])
+        } else {
+            0
+        };
+        let tc1 = sw[w] & m_words[w] & pred_mask[w];
+        let ts1 = ((tmp_cur >> 1) | (tmp_next << 63)) & shr_keep[w];
+        let new_tc = ts1 & tc1;
+        let new_ts = ts1 ^ tc1;
+        let c_old = cw[w];
+        let c5 = c_old & new_ts;
+        sw[w] = c_old ^ new_ts;
+        tsw[w] = new_ts;
+        tcw[w] = new_tc;
+        cw[w] = c5 | new_tc;
+        tmp_cur = tmp_next;
+    }
+}
+
+/// Word-level Montgomery halve step over pre-borrowed row storage; the
+/// predicate column mask must already reflect `Check(Sum, bit 0)` and
+/// every tile must be write-enabled (see `Controller::exec_halve`).
+/// Dispatches to a fully unrolled const-width body for the common widths.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
 fn halve_words(
     sw: &mut [u64],
     cw: &mut [u64],
@@ -904,27 +1091,49 @@ fn halve_words(
             && pred_mask.len() == n
             && shr_keep.len() == n
     );
-    // Single pass with a one-word lookahead: `tmp = Sum ⊕ (M in odd
-    // tiles)` is the m-selection (computed from the old Sum — only
-    // `sw[w]` has been overwritten when `tmp_next` reads `sw[w+1]`),
-    // `c1 = Sum ∧ M` the half-adder carry (zero in even tiles), then the
-    // tile-masked right shift of s1 and the two remaining half-adder
-    // layers.
-    let mut tmp_cur = if n > 0 { sw[0] ^ (m_words[0] & pred_mask[0]) } else { 0 };
-    for w in 0..n {
-        let tmp_next =
-            if w + 1 < n { sw[w + 1] ^ (m_words[w + 1] & pred_mask[w + 1]) } else { 0 };
-        let tc1 = sw[w] & m_words[w] & pred_mask[w];
-        let ts1 = ((tmp_cur >> 1) | (tmp_next << 63)) & shr_keep[w];
-        let new_tc = ts1 & tc1;
-        let new_ts = ts1 ^ tc1;
-        let c_old = cw[w];
-        let c5 = c_old & new_ts;
-        sw[w] = c_old ^ new_ts;
-        tsw[w] = new_ts;
-        tcw[w] = new_tc;
-        cw[w] = c5 | new_tc;
-        tmp_cur = tmp_next;
+    macro_rules! fixed {
+        ($k:literal) => {
+            halve_core::<$k>(
+                sw.try_into().unwrap(),
+                cw.try_into().unwrap(),
+                tsw.try_into().unwrap(),
+                tcw.try_into().unwrap(),
+                m_words.try_into().unwrap(),
+                pred_mask.try_into().unwrap(),
+                shr_keep.try_into().unwrap(),
+            )
+        };
+    }
+    match n {
+        1 => fixed!(1),
+        2 => fixed!(2),
+        3 => fixed!(3),
+        4 => fixed!(4),
+        _ => {
+            let mut tmp_cur = if n > 0 {
+                sw[0] ^ (m_words[0] & pred_mask[0])
+            } else {
+                0
+            };
+            for w in 0..n {
+                let tmp_next = if w + 1 < n {
+                    sw[w + 1] ^ (m_words[w + 1] & pred_mask[w + 1])
+                } else {
+                    0
+                };
+                let tc1 = sw[w] & m_words[w] & pred_mask[w];
+                let ts1 = ((tmp_cur >> 1) | (tmp_next << 63)) & shr_keep[w];
+                let new_tc = ts1 & tc1;
+                let new_ts = ts1 ^ tc1;
+                let c_old = cw[w];
+                let c5 = c_old & new_ts;
+                sw[w] = c_old ^ new_ts;
+                tsw[w] = new_ts;
+                tcw[w] = new_tc;
+                cw[w] = c5 | new_tc;
+                tmp_cur = tmp_next;
+            }
+        }
     }
 }
 
@@ -956,15 +1165,25 @@ mod tests {
     fn check_latches_per_tile_predicates() {
         let mut c = controller(4, 64, 16);
         c.load_data_row(0, row_with(64, 16, &[1, 0, 1, 0]));
-        c.execute(&Instruction::Check { src: RowAddr(0), bit: 0 }).unwrap();
-        assert_eq!((c.pred(0), c.pred(1), c.pred(2), c.pred(3)), (true, false, true, false));
+        c.execute(&Instruction::Check {
+            src: RowAddr(0),
+            bit: 0,
+        })
+        .unwrap();
+        assert_eq!(
+            (c.pred(0), c.pred(1), c.pred(2), c.pred(3)),
+            (true, false, true, false)
+        );
     }
 
     #[test]
     fn check_bit_out_of_tile_errors() {
         let mut c = controller(4, 64, 16);
         assert!(matches!(
-            c.execute(&Instruction::Check { src: RowAddr(0), bit: 16 }),
+            c.execute(&Instruction::Check {
+                src: RowAddr(0),
+                bit: 16
+            }),
             Err(SramError::CheckBitOutOfRange { .. })
         ));
     }
@@ -975,7 +1194,11 @@ mod tests {
         c.load_data_row(0, row_with(64, 16, &[1, 0, 1, 0])); // predicates
         c.load_data_row(1, row_with(64, 16, &[7, 7, 7, 7])); // source
         c.load_data_row(2, row_with(64, 16, &[9, 9, 9, 9])); // destination
-        c.execute(&Instruction::Check { src: RowAddr(0), bit: 0 }).unwrap();
+        c.execute(&Instruction::Check {
+            src: RowAddr(0),
+            bit: 0,
+        })
+        .unwrap();
         c.execute(&Instruction::Unary {
             dst: RowAddr(2),
             src: RowAddr(1),
@@ -985,7 +1208,12 @@ mod tests {
         .unwrap();
         let r = c.peek_row(2);
         assert_eq!(
-            [r.tile_word(0, 16), r.tile_word(1, 16), r.tile_word(2, 16), r.tile_word(3, 16)],
+            [
+                r.tile_word(0, 16),
+                r.tile_word(1, 16),
+                r.tile_word(2, 16),
+                r.tile_word(3, 16)
+            ],
             [7, 9, 7, 9]
         );
         // Complementary predicate covers the rest.
@@ -998,7 +1226,12 @@ mod tests {
         .unwrap();
         let r = c.peek_row(2);
         assert_eq!(
-            [r.tile_word(0, 16), r.tile_word(1, 16), r.tile_word(2, 16), r.tile_word(3, 16)],
+            [
+                r.tile_word(0, 16),
+                r.tile_word(1, 16),
+                r.tile_word(2, 16),
+                r.tile_word(3, 16)
+            ],
             [7, 0, 7, 0]
         );
     }
@@ -1007,7 +1240,11 @@ mod tests {
     fn tile_mask_gates_writes() {
         let mut c = controller(4, 64, 16);
         c.load_data_row(0, row_with(64, 16, &[1, 2, 3, 4]));
-        c.execute(&Instruction::MaskTiles { stride_log2: 0, phase: false }).unwrap();
+        c.execute(&Instruction::MaskTiles {
+            stride_log2: 0,
+            phase: false,
+        })
+        .unwrap();
         // Tiles 0 and 2 enabled ((t>>0)&1 == 0).
         c.execute(&Instruction::Unary {
             dst: RowAddr(1),
@@ -1018,7 +1255,12 @@ mod tests {
         .unwrap();
         let r = c.peek_row(1);
         assert_eq!(
-            [r.tile_word(0, 16), r.tile_word(1, 16), r.tile_word(2, 16), r.tile_word(3, 16)],
+            [
+                r.tile_word(0, 16),
+                r.tile_word(1, 16),
+                r.tile_word(2, 16),
+                r.tile_word(3, 16)
+            ],
             [1, 0, 3, 0]
         );
         c.execute(&Instruction::MaskAll).unwrap();
@@ -1050,7 +1292,11 @@ mod tests {
         })
         .unwrap();
         assert_eq!(c.peek_row(0).tile_word(0, 32), 0b1000);
-        assert_eq!(c.peek_row(2).tile_word(0, 32), 0b0110, "XOR of the *original* rows");
+        assert_eq!(
+            c.peek_row(2).tile_word(0, 32),
+            0b0110,
+            "XOR of the *original* rows"
+        );
         assert_eq!(c.peek_row(2).tile_word(1, 32), 0b1110);
         assert_eq!(c.stats().counts.binary, 1);
         assert_eq!(c.stats().counts.second_writebacks, 1);
@@ -1078,10 +1324,12 @@ mod tests {
     #[test]
     fn zero_flag_reflects_row_contents() {
         let mut c = controller(4, 64, 32);
-        c.execute(&Instruction::CheckZero { src: RowAddr(1) }).unwrap();
+        c.execute(&Instruction::CheckZero { src: RowAddr(1) })
+            .unwrap();
         assert!(c.zero_flag());
         c.load_data_row(1, row_with(64, 32, &[0, 1]));
-        c.execute(&Instruction::CheckZero { src: RowAddr(1) }).unwrap();
+        c.execute(&Instruction::CheckZero { src: RowAddr(1) })
+            .unwrap();
         assert!(!c.zero_flag());
     }
 

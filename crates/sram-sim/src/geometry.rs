@@ -20,7 +20,10 @@ impl ArrayGeometry {
     /// cache subarray.
     #[must_use]
     pub fn paper_256x256() -> Self {
-        ArrayGeometry { rows: 256, cols: 256 }
+        ArrayGeometry {
+            rows: 256,
+            cols: 256,
+        }
     }
 
     /// Total bit cells.
@@ -190,7 +193,10 @@ mod tests {
             "compute overhead {:.3}% must stay under the paper's 2%",
             b.overhead_fraction() * 100.0
         );
-        assert!(b.overhead_fraction() > 0.005, "overhead should be nonzero and visible");
+        assert!(
+            b.overhead_fraction() > 0.005,
+            "overhead should be nonzero and visible"
+        );
     }
 
     #[test]
@@ -207,8 +213,14 @@ mod tests {
     fn bigger_arrays_are_slower_and_bigger() {
         let fm = FrequencyModel::cmos_45nm();
         let am = AreaModel::cmos_45nm();
-        let small = ArrayGeometry { rows: 128, cols: 128 };
-        let big = ArrayGeometry { rows: 512, cols: 512 };
+        let small = ArrayGeometry {
+            rows: 128,
+            cols: 128,
+        };
+        let big = ArrayGeometry {
+            rows: 512,
+            cols: 512,
+        };
         assert!(fm.f_max_hz(small) > fm.f_max_hz(ArrayGeometry::paper_256x256()));
         assert!(fm.f_max_hz(big) < fm.f_max_hz(ArrayGeometry::paper_256x256()));
         assert!(am.breakdown(big).total_mm2() > 4.0 * am.breakdown(small).total_mm2());

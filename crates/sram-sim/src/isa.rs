@@ -224,7 +224,12 @@ impl Instruction {
                 OP_MASKTILES | (u64::from(stride_log2) << 56) | (u64::from(phase) << 62)
             }
             Instruction::MaskAll => OP_MASKALL,
-            Instruction::Unary { dst, src, kind, pred } => {
+            Instruction::Unary {
+                dst,
+                src,
+                kind,
+                pred,
+            } => {
                 let k = match kind {
                     UnaryKind::Copy => 0u64,
                     UnaryKind::Not => 1,
@@ -236,7 +241,13 @@ impl Instruction {
                     | (pred_code(pred) << 36)
                     | (k << 54)
             }
-            Instruction::Shift { dst, src, dir, masked, pred } => {
+            Instruction::Shift {
+                dst,
+                src,
+                dir,
+                masked,
+                pred,
+            } => {
                 OP_SHIFT
                     | (u64::from(dst.0) << 4)
                     | (u64::from(src.0) << 14)
@@ -244,7 +255,15 @@ impl Instruction {
                     | (u64::from(dir == ShiftDir::Right) << 39)
                     | (u64::from(masked) << 40)
             }
-            Instruction::Binary { dst, op, src0, src1, dst2, shift, pred } => {
+            Instruction::Binary {
+                dst,
+                op,
+                src0,
+                src1,
+                dst2,
+                shift,
+                pred,
+            } => {
                 let mut w = OP_BINARY
                     | (u64::from(dst.0) << 4)
                     | (u64::from(src0.0) << 14)
@@ -276,7 +295,10 @@ impl Instruction {
         let opcode = word & 0xF;
         let row = |shift: u32| RowAddr(((word >> shift) & 0x3FF) as u16);
         match opcode {
-            OP_CHECK => Ok(Instruction::Check { src: row(4), bit: ((word >> 56) & 0xFF) as u16 }),
+            OP_CHECK => Ok(Instruction::Check {
+                src: row(4),
+                bit: ((word >> 56) & 0xFF) as u16,
+            }),
             OP_CHECKZERO => Ok(Instruction::CheckZero { src: row(4) }),
             OP_MASKTILES => Ok(Instruction::MaskTiles {
                 stride_log2: ((word >> 56) & 0x3F) as u8,
@@ -300,21 +322,32 @@ impl Instruction {
             OP_SHIFT => Ok(Instruction::Shift {
                 dst: row(4),
                 src: row(14),
-                dir: if (word >> 39) & 1 == 1 { ShiftDir::Right } else { ShiftDir::Left },
+                dir: if (word >> 39) & 1 == 1 {
+                    ShiftDir::Right
+                } else {
+                    ShiftDir::Left
+                },
                 masked: (word >> 40) & 1 == 1,
                 pred: pred_from(word >> 36)?,
             }),
             OP_BINARY => {
                 let shift = if (word >> 38) & 1 == 1 {
                     Some((
-                        if (word >> 39) & 1 == 1 { ShiftDir::Right } else { ShiftDir::Left },
+                        if (word >> 39) & 1 == 1 {
+                            ShiftDir::Right
+                        } else {
+                            ShiftDir::Left
+                        },
                         (word >> 40) & 1 == 1,
                     ))
                 } else {
                     None
                 };
                 let dst2 = if (word >> 41) & 1 == 1 {
-                    Some((RowAddr(((word >> 42) & 0x3FF) as u16), bitop_from(word >> 52)))
+                    Some((
+                        RowAddr(((word >> 42) & 0x3FF) as u16),
+                        bitop_from(word >> 52),
+                    ))
                 } else {
                     None
                 };
@@ -328,7 +361,9 @@ impl Instruction {
                     pred: pred_from(word >> 36)?,
                 })
             }
-            other => Err(SramError::BadOpcode { opcode: other as u8 }),
+            other => Err(SramError::BadOpcode {
+                opcode: other as u8,
+            }),
         }
     }
 
@@ -396,7 +431,9 @@ impl Extend<Instruction> for Program {
 
 impl FromIterator<Instruction> for Program {
     fn from_iter<T: IntoIterator<Item = Instruction>>(iter: T) -> Self {
-        Program { instrs: iter.into_iter().collect() }
+        Program {
+            instrs: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -406,16 +443,52 @@ mod tests {
 
     fn sample_instructions() -> Vec<Instruction> {
         vec![
-            Instruction::Check { src: RowAddr(250), bit: 0 },
-            Instruction::Check { src: RowAddr(3), bit: 31 },
+            Instruction::Check {
+                src: RowAddr(250),
+                bit: 0,
+            },
+            Instruction::Check {
+                src: RowAddr(3),
+                bit: 31,
+            },
             Instruction::CheckZero { src: RowAddr(251) },
-            Instruction::MaskTiles { stride_log2: 3, phase: true },
+            Instruction::MaskTiles {
+                stride_log2: 3,
+                phase: true,
+            },
             Instruction::MaskAll,
-            Instruction::Unary { dst: RowAddr(1), src: RowAddr(2), kind: UnaryKind::Copy, pred: PredMode::Always },
-            Instruction::Unary { dst: RowAddr(9), src: RowAddr(9), kind: UnaryKind::Not, pred: PredMode::IfSet },
-            Instruction::Unary { dst: RowAddr(0), src: RowAddr(0), kind: UnaryKind::Zero, pred: PredMode::IfClear },
-            Instruction::Shift { dst: RowAddr(7), src: RowAddr(7), dir: ShiftDir::Left, masked: false, pred: PredMode::Always },
-            Instruction::Shift { dst: RowAddr(8), src: RowAddr(7), dir: ShiftDir::Right, masked: true, pred: PredMode::IfSet },
+            Instruction::Unary {
+                dst: RowAddr(1),
+                src: RowAddr(2),
+                kind: UnaryKind::Copy,
+                pred: PredMode::Always,
+            },
+            Instruction::Unary {
+                dst: RowAddr(9),
+                src: RowAddr(9),
+                kind: UnaryKind::Not,
+                pred: PredMode::IfSet,
+            },
+            Instruction::Unary {
+                dst: RowAddr(0),
+                src: RowAddr(0),
+                kind: UnaryKind::Zero,
+                pred: PredMode::IfClear,
+            },
+            Instruction::Shift {
+                dst: RowAddr(7),
+                src: RowAddr(7),
+                dir: ShiftDir::Left,
+                masked: false,
+                pred: PredMode::Always,
+            },
+            Instruction::Shift {
+                dst: RowAddr(8),
+                src: RowAddr(7),
+                dir: ShiftDir::Right,
+                masked: true,
+                pred: PredMode::IfSet,
+            },
             Instruction::Binary {
                 dst: RowAddr(100),
                 op: BitOp::And,
@@ -466,8 +539,14 @@ mod tests {
 
     #[test]
     fn bad_opcode_rejected() {
-        assert!(matches!(Instruction::decode(0xF), Err(SramError::BadOpcode { opcode: 15 })));
-        assert!(matches!(Instruction::decode(7), Err(SramError::BadOpcode { opcode: 7 })));
+        assert!(matches!(
+            Instruction::decode(0xF),
+            Err(SramError::BadOpcode { opcode: 15 })
+        ));
+        assert!(matches!(
+            Instruction::decode(7),
+            Err(SramError::BadOpcode { opcode: 7 })
+        ));
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //!   zero-detect / tile-mask facilities its dataflow implies;
 //! * [`exec`] — the [`Controller`] that executes programs and accounts
 //!   costs;
+//! * [`program`] — the compile-once/replay-many layer: record a kernel's
+//!   instruction stream once ([`Recorder`]), validate and cost it once
+//!   ([`ReplayProgram::compile`], with superop fusion), replay it many
+//!   times ([`Controller::run_compiled`]) bit-identically to emission;
 //! * [`cost`] — calibrated per-instruction timing and energy models;
 //! * [`geometry`] — 45 nm area and frequency models reproducing Table I's
 //!   0.063 mm² / 3.8 GHz and the <2% overhead claim;

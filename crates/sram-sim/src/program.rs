@@ -122,13 +122,20 @@ impl InstrSink for Controller {
             if self.zero_flag() {
                 break;
             }
-            let body = if k % 2 == 0 { spec.even_body } else { spec.odd_body };
+            let body = if k % 2 == 0 {
+                spec.even_body
+            } else {
+                spec.odd_body
+            };
             for i in body {
                 self.execute(i)?;
             }
             bodies += 1;
         }
-        debug_assert!(self.zero_flag(), "resolution loop must converge within max_checks");
+        debug_assert!(
+            self.zero_flag(),
+            "resolution loop must converge within max_checks"
+        );
         if bodies % 2 == 1 {
             for i in spec.odd_epilogue {
                 self.execute(i)?;
@@ -139,7 +146,10 @@ impl InstrSink for Controller {
 
     fn load_row(&mut self, row: RowAddr, data: &BitRow) -> Result<(), SramError> {
         if row.index() >= self.rows() {
-            return Err(SramError::RowOutOfRange { row: row.index(), rows: self.rows() });
+            return Err(SramError::RowOutOfRange {
+                row: row.index(),
+                rows: self.rows(),
+            });
         }
         self.load_data_row(row.index(), data.clone());
         Ok(())
@@ -259,10 +269,21 @@ impl ReplayProgram {
                             reason: "recorded row image width differs from the array",
                         });
                     }
-                    prog.loads.push(LoadStep { row: row.index(), data: data.clone() });
-                    prog.ctrl.push(Ctrl::Load { idx: (prog.loads.len() - 1) as u32 });
+                    prog.loads.push(LoadStep {
+                        row: row.index(),
+                        data: data.clone(),
+                    });
+                    prog.ctrl.push(Ctrl::Load {
+                        idx: (prog.loads.len() - 1) as u32,
+                    });
                 }
-                ReplayOp::ZeroLoop { src, even_body, odd_body, max_checks, odd_epilogue } => {
+                ReplayOp::ZeroLoop {
+                    src,
+                    even_body,
+                    odd_body,
+                    max_checks,
+                    odd_epilogue,
+                } => {
                     prog.flush_segment(ctl, &mut segment, false)?;
                     let check = Instruction::CheckZero { src: *src };
                     ctl.validate_instr(&check)?;
@@ -302,22 +323,25 @@ impl ReplayProgram {
                     };
                     let fused_resolve = match (single_round(even), single_round(odd)) {
                         (Some(e), Some(o)) if epilogue.0 == epilogue.1 => {
-                            let (re, ro) = (&prog.resolve_rounds[e as usize],
-                                            &prog.resolve_rounds[o as usize]);
-                            (re.s == ro.s && re.c == ro.c && re.c == src.0)
-                                .then(|| (re.s, re.c))
+                            let (re, ro) = (
+                                &prog.resolve_rounds[e as usize],
+                                &prog.resolve_rounds[o as usize],
+                            );
+                            (re.s == ro.s && re.c == ro.c && re.c == src.0).then_some((re.s, re.c))
                         }
                         _ => None,
                     };
                     let fused_borrow = match (single_borrow(even), single_borrow(odd)) {
                         (Some(e), Some(o)) => {
-                            let (be, bo) = (&prog.borrow_rounds[e as usize],
-                                            &prog.borrow_rounds[o as usize]);
+                            let (be, bo) = (
+                                &prog.borrow_rounds[e as usize],
+                                &prog.borrow_rounds[o as usize],
+                            );
                             (be.b == bo.b
                                 && be.b == src.0
                                 && be.s_cur == bo.s_other
                                 && be.s_other == bo.s_cur)
-                                .then(|| (be.s_cur, be.s_other, be.b))
+                                .then_some((be.s_cur, be.s_other, be.b))
                         }
                         _ => None,
                     };
@@ -329,8 +353,9 @@ impl ReplayProgram {
                             check_cost,
                             fallback_loop: loop_idx,
                         });
-                        prog.ctrl
-                            .push(Ctrl::ResolveLoop { idx: (prog.resolve_loops.len() - 1) as u32 });
+                        prog.ctrl.push(Ctrl::ResolveLoop {
+                            idx: (prog.resolve_loops.len() - 1) as u32,
+                        });
                     } else if let Some((live, other, t)) = fused_borrow {
                         prog.borrow_loops.push(BorrowLoopOp {
                             live,
@@ -341,8 +366,9 @@ impl ReplayProgram {
                             epilogue,
                             fallback_loop: loop_idx,
                         });
-                        prog.ctrl
-                            .push(Ctrl::BorrowLoop { idx: (prog.borrow_loops.len() - 1) as u32 });
+                        prog.ctrl.push(Ctrl::BorrowLoop {
+                            idx: (prog.borrow_loops.len() - 1) as u32,
+                        });
                     } else {
                         prog.ctrl.push(Ctrl::Loop { idx: loop_idx });
                     }
@@ -358,7 +384,9 @@ impl ReplayProgram {
 // ---- superop pattern matching ---------------------------------------------
 
 fn distinct(rows: &[u16]) -> bool {
-    rows.iter().enumerate().all(|(i, a)| rows[i + 1..].iter().all(|b| a != b))
+    rows.iter()
+        .enumerate()
+        .all(|(i, a)| rows[i + 1..].iter().all(|b| a != b))
 }
 
 /// Matches the add-B half-adder pass emitted by Algorithm 2 lines 6–9.
@@ -378,11 +406,13 @@ fn match_addb(w: &[Instruction]) -> Option<AddBOp> {
         _ => return None,
     };
     let c = match *w.get(1)? {
-        I::Shift { dst, src, dir: ShiftDir::Left, masked: false, pred: p }
-            if dst == src && p == pred =>
-        {
-            dst.0
-        }
+        I::Shift {
+            dst,
+            src,
+            dir: ShiftDir::Left,
+            masked: false,
+            pred: p,
+        } if dst == src && p == pred => dst.0,
         _ => return None,
     };
     match *w.get(2)? {
@@ -398,8 +428,15 @@ fn match_addb(w: &[Instruction]) -> Option<AddBOp> {
         _ => return None,
     }
     match *w.get(3)? {
-        I::Binary { dst, op: BitOp::Or, src0, src1, dst2: None, shift: None, pred: p }
-            if dst.0 == c && src0.0 == c && src1.0 == tc && p == pred => {}
+        I::Binary {
+            dst,
+            op: BitOp::Or,
+            src0,
+            src1,
+            dst2: None,
+            shift: None,
+            pred: p,
+        } if dst.0 == c && src0.0 == c && src1.0 == tc && p == pred => {}
         _ => return None,
     }
     // The executor borrows all five rows disjointly: b must not alias
@@ -412,7 +449,15 @@ fn match_addb(w: &[Instruction]) -> Option<AddBOp> {
         // tested surface small.
         return None;
     }
-    Some(AddBOp { sum: s, b, carry: c, t_sum: ts, t_carry: tc, pred, fallback: (0, 0) })
+    Some(AddBOp {
+        sum: s,
+        b,
+        carry: c,
+        t_sum: ts,
+        t_carry: tc,
+        pred,
+        fallback: (0, 0),
+    })
 }
 
 /// Matches the Montgomery halve step (Algorithm 2 lines 11–16).
@@ -436,12 +481,22 @@ fn match_halve(w: &[Instruction]) -> Option<HalveOp> {
         _ => return None,
     };
     match *w.get(2)? {
-        I::Shift { dst, src, dir: ShiftDir::Right, masked: true, pred: P::IfClear }
-            if dst.0 == ts && src.0 == s => {}
+        I::Shift {
+            dst,
+            src,
+            dir: ShiftDir::Right,
+            masked: true,
+            pred: P::IfClear,
+        } if dst.0 == ts && src.0 == s => {}
         _ => return None,
     }
     match *w.get(3)? {
-        I::Unary { dst, kind: UnaryKind::Zero, pred: P::IfClear, .. } if dst.0 == tc => {}
+        I::Unary {
+            dst,
+            kind: UnaryKind::Zero,
+            pred: P::IfClear,
+            ..
+        } if dst.0 == tc => {}
         _ => return None,
     }
     match *w.get(4)? {
@@ -469,14 +524,28 @@ fn match_halve(w: &[Instruction]) -> Option<HalveOp> {
         _ => return None,
     };
     match *w.get(6)? {
-        I::Binary { dst, op: BitOp::Or, src0, src1, dst2: None, shift: None, pred: P::Always }
-            if dst.0 == c && src0.0 == c && src1.0 == tc => {}
+        I::Binary {
+            dst,
+            op: BitOp::Or,
+            src0,
+            src1,
+            dst2: None,
+            shift: None,
+            pred: P::Always,
+        } if dst.0 == c && src0.0 == c && src1.0 == tc => {}
         _ => return None,
     }
     if !distinct(&[s, c, ts, tc, m]) {
         return None;
     }
-    Some(HalveOp { sum: s, carry: c, t_sum: ts, t_carry: tc, modulus: m, fallback: (0, 0) })
+    Some(HalveOp {
+        sum: s,
+        carry: c,
+        t_sum: ts,
+        t_carry: tc,
+        modulus: m,
+        fallback: (0, 0),
+    })
 }
 
 /// Matches one carry-resolution round (tile-masked shift + dual binary).
@@ -484,11 +553,13 @@ fn match_resolve_round(w: &[Instruction]) -> Option<ResolveRoundOp> {
     use crate::isa::PredMode as P;
     use Instruction as I;
     let c = match *w.first()? {
-        I::Shift { dst, src, dir: ShiftDir::Left, masked: true, pred: P::Always }
-            if dst == src =>
-        {
-            dst.0
-        }
+        I::Shift {
+            dst,
+            src,
+            dir: ShiftDir::Left,
+            masked: true,
+            pred: P::Always,
+        } if dst == src => dst.0,
         _ => return None,
     };
     let s = match *w.get(1)? {
@@ -506,7 +577,11 @@ fn match_resolve_round(w: &[Instruction]) -> Option<ResolveRoundOp> {
     if s == c {
         return None;
     }
-    Some(ResolveRoundOp { s, c, fallback: (0, 0) })
+    Some(ResolveRoundOp {
+        s,
+        c,
+        fallback: (0, 0),
+    })
 }
 
 /// Matches one borrow-resolution round (tile-masked shift + two binaries).
@@ -514,30 +589,48 @@ fn match_borrow_round(w: &[Instruction]) -> Option<BorrowRoundOp> {
     use crate::isa::PredMode as P;
     use Instruction as I;
     let b = match *w.first()? {
-        I::Shift { dst, src, dir: ShiftDir::Left, masked: true, pred: P::Always }
-            if dst == src =>
-        {
-            dst.0
-        }
+        I::Shift {
+            dst,
+            src,
+            dir: ShiftDir::Left,
+            masked: true,
+            pred: P::Always,
+        } if dst == src => dst.0,
         _ => return None,
     };
     let (s_other, s_cur) = match *w.get(1)? {
-        I::Binary { dst, op: BitOp::Xor, src0, src1, dst2: None, shift: None, pred: P::Always }
-            if src1.0 == b =>
-        {
-            (dst.0, src0.0)
-        }
+        I::Binary {
+            dst,
+            op: BitOp::Xor,
+            src0,
+            src1,
+            dst2: None,
+            shift: None,
+            pred: P::Always,
+        } if src1.0 == b => (dst.0, src0.0),
         _ => return None,
     };
     match *w.get(2)? {
-        I::Binary { dst, op: BitOp::And, src0, src1, dst2: None, shift: None, pred: P::Always }
-            if dst.0 == b && src0.0 == s_other && src1.0 == b => {}
+        I::Binary {
+            dst,
+            op: BitOp::And,
+            src0,
+            src1,
+            dst2: None,
+            shift: None,
+            pred: P::Always,
+        } if dst.0 == b && src0.0 == s_other && src1.0 == b => {}
         _ => return None,
     }
     if !distinct(&[s_cur, s_other, b]) {
         return None;
     }
-    Some(BorrowRoundOp { s_cur, s_other, b, fallback: (0, 0) })
+    Some(BorrowRoundOp {
+        s_cur,
+        s_other,
+        b,
+        fallback: (0, 0),
+    })
 }
 
 /// Records an instruction stream instead of executing it.
@@ -578,7 +671,10 @@ impl InstrSink for Recorder {
     }
 
     fn load_row(&mut self, row: RowAddr, data: &BitRow) -> Result<(), SramError> {
-        self.ops.push(ReplayOp::LoadRow { row, data: data.clone() });
+        self.ops.push(ReplayOp::LoadRow {
+            row,
+            data: data.clone(),
+        });
         Ok(())
     }
 }
@@ -596,7 +692,7 @@ impl InstrSink for Recorder {
 /// fallback (taken when a tile mask is active, where the general gating
 /// semantics apply).
 #[derive(Debug, Clone, Copy)]
-enum Ctrl {
+pub(crate) enum Ctrl {
     /// Execute `len` consecutive instructions starting at `start`.
     Run { start: u32, len: u32 },
     /// Execute `loops[idx]` (a zero-terminated resolution loop).
@@ -819,7 +915,11 @@ impl CompiledProgram {
         Ok(())
     }
 
-    fn push_range(&mut self, ctl: &Controller, is: &[Instruction]) -> Result<InstrRange, SramError> {
+    fn push_range(
+        &mut self,
+        ctl: &Controller,
+        is: &[Instruction],
+    ) -> Result<InstrRange, SramError> {
         let start = self.instrs.len() as u32;
         for i in is {
             self.push_instr(ctl, i)?;
@@ -876,7 +976,11 @@ impl CompiledProgram {
         // Straight-line runs may only merge within this lowering call:
         // merging across a call boundary would fold one loop body's run
         // into another's and corrupt both ranges.
-        let barrier = if into_body { self.body_ctrl.len() } else { self.ctrl.len() };
+        let barrier = if into_body {
+            self.body_ctrl.len()
+        } else {
+            self.ctrl.len()
+        };
         let mut i = 0usize;
         while i < instrs.len() {
             let w = &instrs[i..];
@@ -886,7 +990,12 @@ impl CompiledProgram {
                     self.halve_cost = Some(self.group_cost(ctl, &w[..7]));
                 }
                 self.halves.push(op);
-                self.push_ctrl(Ctrl::Halve { idx: (self.halves.len() - 1) as u32 }, into_body);
+                self.push_ctrl(
+                    Ctrl::Halve {
+                        idx: (self.halves.len() - 1) as u32,
+                    },
+                    into_body,
+                );
                 i += 7;
                 continue;
             }
@@ -896,7 +1005,12 @@ impl CompiledProgram {
                     self.addb_cost = Some(self.group_cost(ctl, &w[..4]));
                 }
                 self.addbs.push(op);
-                self.push_ctrl(Ctrl::AddB { idx: (self.addbs.len() - 1) as u32 }, into_body);
+                self.push_ctrl(
+                    Ctrl::AddB {
+                        idx: (self.addbs.len() - 1) as u32,
+                    },
+                    into_body,
+                );
                 i += 4;
                 continue;
             }
@@ -907,7 +1021,9 @@ impl CompiledProgram {
                 }
                 self.borrow_rounds.push(op);
                 self.push_ctrl(
-                    Ctrl::BorrowRound { idx: (self.borrow_rounds.len() - 1) as u32 },
+                    Ctrl::BorrowRound {
+                        idx: (self.borrow_rounds.len() - 1) as u32,
+                    },
                     into_body,
                 );
                 i += 3;
@@ -920,7 +1036,9 @@ impl CompiledProgram {
                 }
                 self.resolve_rounds.push(op);
                 self.push_ctrl(
-                    Ctrl::ResolveRound { idx: (self.resolve_rounds.len() - 1) as u32 },
+                    Ctrl::ResolveRound {
+                        idx: (self.resolve_rounds.len() - 1) as u32,
+                    },
                     into_body,
                 );
                 i += 2;
@@ -929,7 +1047,11 @@ impl CompiledProgram {
             // Generic: append to (or start) a straight-line run.
             self.push_instr(ctl, &instrs[i])?;
             let end = self.instrs.len() as u32;
-            let target = if into_body { &mut self.body_ctrl } else { &mut self.ctrl };
+            let target = if into_body {
+                &mut self.body_ctrl
+            } else {
+                &mut self.ctrl
+            };
             if target.len() > barrier {
                 if let Some(Ctrl::Run { start, len }) = target.last_mut() {
                     if *start + *len == end - 1 {
@@ -939,7 +1061,10 @@ impl CompiledProgram {
                     }
                 }
             }
-            target.push(Ctrl::Run { start: end - 1, len: 1 });
+            target.push(Ctrl::Run {
+                start: end - 1,
+                len: 1,
+            });
             i += 1;
         }
         Ok(())
@@ -1037,7 +1162,9 @@ impl CompiledProgram {
                     counts,
                     fallback_ops: old[i..j].to_vec(),
                 });
-                out.push(Ctrl::Chain { idx: (self.chains.len() - 1) as u32 });
+                out.push(Ctrl::Chain {
+                    idx: (self.chains.len() - 1) as u32,
+                });
                 i = j;
             } else {
                 out.push(old[i]);
@@ -1097,13 +1224,19 @@ impl Controller {
     /// different geometry, tile width, or cost model.
     pub fn run_compiled(&mut self, prog: &CompiledProgram) -> Result<(), SramError> {
         if prog.rows != self.rows() || prog.cols != self.cols() {
-            return Err(SramError::ProgramMismatch { reason: "array geometry differs" });
+            return Err(SramError::ProgramMismatch {
+                reason: "array geometry differs",
+            });
         }
         if prog.tile_width != self.tile_width() {
-            return Err(SramError::ProgramMismatch { reason: "tile width differs" });
+            return Err(SramError::ProgramMismatch {
+                reason: "tile width differs",
+            });
         }
         if prog.timing != *self.timing_model() || prog.energy != *self.energy_model() {
-            return Err(SramError::ProgramMismatch { reason: "cost models differ" });
+            return Err(SramError::ProgramMismatch {
+                reason: "cost models differ",
+            });
         }
         for c in &prog.ctrl {
             self.exec_ctrl(prog, *c);
@@ -1111,13 +1244,24 @@ impl Controller {
         Ok(())
     }
 
-    /// Replays one generic instruction range with precomputed costs.
+    /// Replays one generic instruction range with precomputed costs. The
+    /// energy adds happen in the same order as per-instruction execution
+    /// (their position relative to the row updates does not affect the
+    /// accumulated value), so the result stays bit-identical.
     fn run_instr_range(&mut self, prog: &CompiledProgram, range: InstrRange) {
         let (start, end) = (range.0 as usize, range.1 as usize);
-        for (instr, &ci) in prog.instrs[start..end].iter().zip(&prog.cost_idx[start..end]) {
-            self.add_cost(prog.cycles_table[usize::from(ci)], prog.energy_table[usize::from(ci)]);
+        let mut cycles = 0u64;
+        let mut e_acc = self.stats_energy();
+        for (instr, &ci) in prog.instrs[start..end]
+            .iter()
+            .zip(&prog.cost_idx[start..end])
+        {
+            e_acc += prog.energy_table[usize::from(ci)];
+            cycles += prog.cycles_table[usize::from(ci)];
             self.apply_instr(instr);
         }
+        self.set_stats_energy(e_acc);
+        self.add_cost(cycles, 0.0);
     }
 
     fn exec_ctrl(&mut self, prog: &CompiledProgram, c: Ctrl) {
@@ -1166,16 +1310,14 @@ impl Controller {
                     self.add_counts(op.counts);
                     // Energy still accumulates value by value (shared,
                     // cache-hot per-pattern tables) for bit-identity.
+                    let addb_energy: &[f64] = prog.addb_cost.as_ref().map_or(&[], |gc| &gc.energy);
+                    let halve_energy: &[f64] =
+                        prog.halve_cost.as_ref().map_or(&[], |gc| &gc.energy);
                     for step in &op.steps {
-                        let gc = match step {
-                            ChainStep::AddB(_) => {
-                                prog.addb_cost.as_ref().expect("cost set with op")
-                            }
-                            ChainStep::Halve => {
-                                prog.halve_cost.as_ref().expect("cost set with op")
-                            }
-                        };
-                        self.add_energy_seq(&gc.energy);
+                        self.add_energy_seq(match step {
+                            ChainStep::AddB(_) => addb_energy,
+                            ChainStep::Halve => halve_energy,
+                        });
                     }
                 } else {
                     for c in &op.fallback_ops {
@@ -1189,10 +1331,17 @@ impl Controller {
                     op,
                     prog.cycles_table[usize::from(op.check_cost)],
                     prog.energy_table[usize::from(op.check_cost)],
-                    prog.resolve_round_cost.as_ref().expect("loop body is a round"),
+                    prog.resolve_round_cost
+                        .as_ref()
+                        .expect("loop body is a round"),
                 );
                 if done.is_none() {
-                    self.exec_ctrl(prog, Ctrl::Loop { idx: op.fallback_loop });
+                    self.exec_ctrl(
+                        prog,
+                        Ctrl::Loop {
+                            idx: op.fallback_loop,
+                        },
+                    );
                 }
             }
             Ctrl::BorrowLoop { idx } => {
@@ -1201,7 +1350,9 @@ impl Controller {
                     op,
                     prog.cycles_table[usize::from(op.check_cost)],
                     prog.energy_table[usize::from(op.check_cost)],
-                    prog.borrow_round_cost.as_ref().expect("loop body is a round"),
+                    prog.borrow_round_cost
+                        .as_ref()
+                        .expect("loop body is a round"),
                 );
                 match done {
                     Some(bodies) => {
@@ -1212,7 +1363,12 @@ impl Controller {
                             }
                         }
                     }
-                    None => self.exec_ctrl(prog, Ctrl::Loop { idx: op.fallback_loop }),
+                    None => self.exec_ctrl(
+                        prog,
+                        Ctrl::Loop {
+                            idx: op.fallback_loop,
+                        },
+                    ),
                 }
             }
             Ctrl::Load { idx } => {
@@ -1284,7 +1440,10 @@ mod tests {
             shift: None,
             pred: PredMode::Always,
         })?;
-        sink.emit(Instruction::Check { src: RowAddr(0), bit: 0 })?;
+        sink.emit(Instruction::Check {
+            src: RowAddr(0),
+            bit: 0,
+        })?;
         sink.emit(Instruction::Unary {
             dst: RowAddr(5),
             src: RowAddr(2),
@@ -1329,7 +1488,10 @@ mod tests {
             assert_eq!(emitted.peek_row(r), replayed.peek_row(r), "row {r}");
         }
         assert_eq!(emitted.stats(), replayed.stats());
-        assert_eq!(emitted.stats().energy_pj.to_bits(), replayed.stats().energy_pj.to_bits());
+        assert_eq!(
+            emitted.stats().energy_pj.to_bits(),
+            replayed.stats().energy_pj.to_bits()
+        );
     }
 
     #[test]
@@ -1406,13 +1568,18 @@ mod tests {
     fn compile_validates_addresses() {
         let ctl = controller();
         let mut rec = Recorder::new();
-        rec.emit(Instruction::CheckZero { src: RowAddr(99) }).unwrap();
+        rec.emit(Instruction::CheckZero { src: RowAddr(99) })
+            .unwrap();
         assert!(matches!(
             rec.finish().compile(&ctl),
             Err(SramError::RowOutOfRange { row: 99, .. })
         ));
         let mut rec = Recorder::new();
-        rec.emit(Instruction::Check { src: RowAddr(0), bit: 16 }).unwrap();
+        rec.emit(Instruction::Check {
+            src: RowAddr(0),
+            bit: 16,
+        })
+        .unwrap();
         assert!(matches!(
             rec.finish().compile(&ctl),
             Err(SramError::CheckBitOutOfRange { .. })

@@ -149,7 +149,11 @@ impl fmt::Display for Stats {
             self.counts.shift,
             self.counts.fused_shifts
         )?;
-        write!(f, "row I/O:         {} loads, {} stores", self.row_loads, self.row_stores)
+        write!(
+            f,
+            "row I/O:         {} loads, {} stores",
+            self.row_loads, self.row_stores
+        )
     }
 }
 
@@ -159,13 +163,35 @@ mod tests {
 
     #[test]
     fn totals_and_addition() {
-        let a = InstrCounts { check: 1, binary: 5, shift: 2, fused_shifts: 3, ..Default::default() };
-        let b = InstrCounts { unary: 4, binary: 1, ..Default::default() };
+        let a = InstrCounts {
+            check: 1,
+            binary: 5,
+            shift: 2,
+            fused_shifts: 3,
+            ..Default::default()
+        };
+        let b = InstrCounts {
+            unary: 4,
+            binary: 1,
+            ..Default::default()
+        };
         let c = a + b;
         assert_eq!(c.total(), 1 + 5 + 2 + 4 + 1);
         assert_eq!(c.shift_moves(), 2 + 3);
-        let mut s = Stats { cycles: 10, energy_pj: 2500.0, counts: a, row_loads: 1, row_stores: 2 };
-        s += Stats { cycles: 5, energy_pj: 500.0, counts: b, row_loads: 0, row_stores: 1 };
+        let mut s = Stats {
+            cycles: 10,
+            energy_pj: 2500.0,
+            counts: a,
+            row_loads: 1,
+            row_stores: 2,
+        };
+        s += Stats {
+            cycles: 5,
+            energy_pj: 500.0,
+            counts: b,
+            row_loads: 0,
+            row_stores: 1,
+        };
         assert_eq!(s.cycles, 15);
         assert!((s.energy_nj() - 3.0).abs() < 1e-12);
         assert_eq!(s.row_stores, 3);
@@ -173,7 +199,10 @@ mod tests {
 
     #[test]
     fn display_mentions_everything() {
-        let s = Stats { cycles: 7, ..Default::default() };
+        let s = Stats {
+            cycles: 7,
+            ..Default::default()
+        };
         let text = s.to_string();
         assert!(text.contains("cycles"));
         assert!(text.contains("shift moves"));

@@ -70,7 +70,9 @@ impl BenchmarkId {
 
     /// Parameter-only form.
     pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -116,12 +118,7 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Runs one parameterized benchmark in this group.
-    pub fn bench_with_input<I, F>(
-        &mut self,
-        id: BenchmarkId,
-        input: &I,
-        mut f: F,
-    ) -> &mut Self
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {
@@ -143,7 +140,10 @@ pub struct Criterion {
 impl Criterion {
     /// Opens a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { criterion: self, name: name.into() }
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
     }
 
     /// Runs one stand-alone benchmark.
@@ -156,7 +156,10 @@ impl Criterion {
     }
 
     fn run_one(&mut self, full_name: &str, mut f: impl FnMut(&mut Bencher)) {
-        let mut b = Bencher { ns_per_iter: f64::NAN, window: measurement_window() };
+        let mut b = Bencher {
+            ns_per_iter: f64::NAN,
+            window: measurement_window(),
+        };
         f(&mut b);
         println!("{full_name:<56} time: {}", format_ns(b.ns_per_iter));
         self.results.push((full_name.to_string(), b.ns_per_iter));

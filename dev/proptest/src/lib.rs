@@ -22,7 +22,9 @@ impl TestRng {
     /// runs so failures are reproducible.
     #[must_use]
     pub fn for_case(case: u64) -> Self {
-        TestRng { state: 0x9E37_79B9_7F4A_7C15_u64.wrapping_add(case.wrapping_mul(0xBF58_476D_1CE4_E5B9)) }
+        TestRng {
+            state: 0x9E37_79B9_7F4A_7C15_u64.wrapping_add(case.wrapping_mul(0xBF58_476D_1CE4_E5B9)),
+        }
     }
 
     /// Next raw 64-bit value.
@@ -142,12 +144,7 @@ macro_rules! tuple_strategies {
     )+};
 }
 
-tuple_strategies!(
-    (A.0),
-    (A.0, B.1),
-    (A.0, B.1, C.2),
-    (A.0, B.1, C.2, D.3),
-);
+tuple_strategies!((A.0), (A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3),);
 
 impl<S: Strategy, const N: usize> Strategy for [S; N] {
     type Value = [S::Value; N];
@@ -195,7 +192,9 @@ impl<T: Arbitrary> Strategy for Any<T> {
 /// Unconstrained values of `T` (mirrors `proptest::prelude::any`).
 #[must_use]
 pub fn any<T: Arbitrary>() -> Any<T> {
-    Any { _marker: core::marker::PhantomData }
+    Any {
+        _marker: core::marker::PhantomData,
+    }
 }
 
 /// Collection strategies.
@@ -219,13 +218,19 @@ pub mod collection {
     impl From<core::ops::Range<usize>> for SizeRange {
         fn from(r: core::ops::Range<usize>) -> Self {
             assert!(r.start < r.end, "empty length range");
-            SizeRange { lo: r.start, hi: r.end - 1 }
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
         }
     }
 
     impl From<core::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: core::ops::RangeInclusive<usize>) -> Self {
-            SizeRange { lo: *r.start(), hi: *r.end() }
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
         }
     }
 
@@ -238,7 +243,10 @@ pub mod collection {
     /// Vectors of values from `element` with lengths from `len`
     /// (e.g. `vec(0u64..100, 1..8)`).
     pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, len: len.into() }
+        VecStrategy {
+            element,
+            len: len.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {

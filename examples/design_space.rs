@@ -59,7 +59,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 r.tput_per_power
             ),
             None => {
-                println!("{:<12} {:>6}  (configuration not feasible)", format!("{rows}x{cols}"), bw);
+                println!(
+                    "{:<12} {:>6}  (configuration not feasible)",
+                    format!("{rows}x{cols}"),
+                    bw
+                );
             }
         }
     }

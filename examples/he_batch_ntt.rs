@@ -40,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fwd_stats = *acc.stats();
     acc.inverse()?;
     let roundtrip = acc.read_batch(lanes)?;
-    assert_eq!(roundtrip, polys, "forward then inverse must be the identity");
+    assert_eq!(
+        roundtrip, polys,
+        "forward then inverse must be the identity"
+    );
     println!("forward + inverse round-trip verified\n");
 
     let report = PerfReport::from_stats(

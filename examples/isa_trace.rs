@@ -6,13 +6,14 @@
 //! ```
 
 use bpntt_modmath::bitparallel::bp_modmul_traced;
-use bpntt_sram::{
-    BitOp, BitRow, Controller, Instruction, PredMode, RowAddr, ShiftDir, SramArray,
-};
+use bpntt_sram::{BitOp, BitRow, Controller, Instruction, PredMode, RowAddr, ShiftDir, SramArray};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. The paper's worked example (Fig. 6) at the word-model level.
-    println!("== Fig. 6 trace: A=4, B=3, M=7, R=8 ==\n{}", bp_modmul_traced(4, 3, 7, 3));
+    println!(
+        "== Fig. 6 trace: A=4, B=3, M=7, R=8 ==\n{}",
+        bp_modmul_traced(4, 3, 7, 3)
+    );
 
     // 2. The binary control words of Fig. 4(d): the instruction stream for
     //    one `c1,s1 = Sum&B, Sum^B` step plus the carry realignment.
@@ -34,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             masked: false,
             pred: PredMode::Always,
         },
-        Instruction::Check { src: RowAddr(255), bit: 0 },
+        Instruction::Check {
+            src: RowAddr(255),
+            bit: 0,
+        },
     ];
     for i in &program {
         let w = i.encode();
@@ -69,6 +73,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ctl.peek_row(3).tile_word(t, 8)
         );
     }
-    println!("\n  stats after one dual-write activation:\n{}", ctl.stats());
+    println!(
+        "\n  stats after one dual-write activation:\n{}",
+        ctl.stats()
+    );
     Ok(())
 }

@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let products = acc.polymul(&a, &b)?;
     for lane in 0..batch {
         let expect = polymul::polymul_schoolbook(&params, &a[lane], &b[lane])?;
-        assert_eq!(products[lane], expect, "lane {lane} diverged from schoolbook");
+        assert_eq!(
+            products[lane], expect,
+            "lane {lane} diverged from schoolbook"
+        );
     }
     println!("  {batch} products verified against schoolbook");
     println!("  simulator:\n{}", acc.stats());
@@ -54,6 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let got = kyber.polymul(&fa, &fb)?;
     assert_eq!(got, negacyclic_schoolbook(&fa, &fb, 3329));
     println!("\nFIPS-203 Kyber (q=3329): 7-layer incomplete NTT + basemul verified");
-    println!("  (psi = {}, residue degree {})", kyber.psi(), kyber.residue_degree());
+    println!(
+        "  (psi = {}, residue degree {})",
+        kyber.psi(),
+        kyber.residue_degree()
+    );
     Ok(())
 }

@@ -22,7 +22,11 @@ fn capacity_and_geometry_claims() {
 fn table1_published_columns_consistent() {
     for d in published::all_baselines() {
         // TP recomputation is always possible and finite.
-        assert!(d.tput_per_power().is_finite() && d.tput_per_power() > 0.0, "{}", d.name);
+        assert!(
+            d.tput_per_power().is_finite() && d.tput_per_power() > 0.0,
+            "{}",
+            d.name
+        );
         if let Some(ta) = d.tput_per_area() {
             assert!(ta > 0.0, "{}", d.name);
         }
@@ -33,7 +37,10 @@ fn table1_published_columns_consistent() {
 
 #[test]
 fn fig7_footprints() {
-    let cells: Vec<usize> = footprint::fig7(128, 32).iter().map(footprint::Footprint::cells).collect();
+    let cells: Vec<usize> = footprint::fig7(128, 32)
+        .iter()
+        .map(footprint::Footprint::cells)
+        .collect();
     assert_eq!(cells, vec![4288, 16_640, 524_288]);
     assert!(fig7::render(128, 32).contains("BP-NTT"));
 }
@@ -42,7 +49,12 @@ fn fig7_footprints() {
 fn roofline_is_cache_bound() {
     let m = roofline::Machine::typical_x86();
     for p in roofline::ntt_kernel_points(&NttParams::dilithium().unwrap(), &m) {
-        assert!(p.bound_by == "L1" || p.bound_by == "L2", "{}: {}", p.name, p.bound_by);
+        assert!(
+            p.bound_by == "L1" || p.bound_by == "L2",
+            "{}: {}",
+            p.name,
+            p.bound_by
+        );
         assert_eq!(p.bytes[3], 0, "steady state must not touch DRAM");
     }
 }

@@ -25,7 +25,13 @@ fn assert_forward_matches(rows: usize, cols: usize, bw: usize, params: NttParams
     for (lane, p) in polys.iter().enumerate() {
         let mut expect = p.clone();
         forward::ntt_in_place(&params, &tw, &mut expect).unwrap();
-        assert_eq!(got[lane], expect, "lane {lane} at n={} q={}", params.n(), params.modulus());
+        assert_eq!(
+            got[lane],
+            expect,
+            "lane {lane} at n={} q={}",
+            params.n(),
+            params.modulus()
+        );
     }
 }
 
@@ -63,7 +69,11 @@ fn inverse_roundtrip_various_layouts() {
         acc.load_batch(&polys).unwrap();
         acc.forward().unwrap();
         acc.inverse().unwrap();
-        assert_eq!(acc.read_batch(lanes).unwrap(), polys, "n={n} on {rows}x{cols}");
+        assert_eq!(
+            acc.read_batch(lanes).unwrap(),
+            polys,
+            "n={n} on {rows}x{cols}"
+        );
     }
 }
 

@@ -9,9 +9,18 @@ use bpntt_sram::{Controller, Instruction, RowAddr, SramArray, SramError};
 #[test]
 fn modmath_rejections() {
     use bpntt_modmath::montgomery::MontCtx;
-    assert!(matches!(MontCtx::new(10, 8), Err(ModMathError::EvenModulus { .. })));
-    assert!(matches!(MontCtx::new(1, 8), Err(ModMathError::ModulusTooSmall { .. })));
-    assert!(matches!(MontCtx::new(511, 8), Err(ModMathError::ModulusTooWide { .. })));
+    assert!(matches!(
+        MontCtx::new(10, 8),
+        Err(ModMathError::EvenModulus { .. })
+    ));
+    assert!(matches!(
+        MontCtx::new(1, 8),
+        Err(ModMathError::ModulusTooSmall { .. })
+    ));
+    assert!(matches!(
+        MontCtx::new(511, 8),
+        Err(ModMathError::ModulusTooWide { .. })
+    ));
     assert!(matches!(
         bpntt_modmath::zq::inv_mod(4, 8),
         Err(ModMathError::NotInvertible { .. })
@@ -24,9 +33,18 @@ fn modmath_rejections() {
 
 #[test]
 fn ntt_rejections() {
-    assert!(matches!(NttParams::new(100, 12_289), Err(NttError::InvalidLength { .. })));
-    assert!(matches!(NttParams::new(256, 12_288), Err(NttError::ModulusNotPrime { .. })));
-    assert!(matches!(NttParams::new(256, 3329), Err(NttError::UnsupportedModulus { .. })));
+    assert!(matches!(
+        NttParams::new(100, 12_289),
+        Err(NttError::InvalidLength { .. })
+    ));
+    assert!(matches!(
+        NttParams::new(256, 12_288),
+        Err(NttError::ModulusNotPrime { .. })
+    ));
+    assert!(matches!(
+        NttParams::new(256, 3329),
+        Err(NttError::UnsupportedModulus { .. })
+    ));
     let p = NttParams::new(8, 97).unwrap();
     let tw = bpntt_ntt::TwiddleTable::new(&p);
     let mut wrong_len = vec![0u64; 4];
@@ -43,10 +61,19 @@ fn ntt_rejections() {
 
 #[test]
 fn sram_rejections() {
-    assert!(matches!(SramArray::new(0, 64), Err(SramError::BadGeometry { .. })));
-    assert!(matches!(SramArray::new(2048, 64), Err(SramError::BadGeometry { .. })));
+    assert!(matches!(
+        SramArray::new(0, 64),
+        Err(SramError::BadGeometry { .. })
+    ));
+    assert!(matches!(
+        SramArray::new(2048, 64),
+        Err(SramError::BadGeometry { .. })
+    ));
     let arr = SramArray::new(8, 64).unwrap();
-    assert!(matches!(Controller::new(arr, 48), Err(SramError::BadTileWidth { .. })));
+    assert!(matches!(
+        Controller::new(arr, 48),
+        Err(SramError::BadTileWidth { .. })
+    ));
 
     let mut ctl = Controller::new(SramArray::new(8, 64).unwrap(), 16).unwrap();
     assert!(matches!(
@@ -54,12 +81,21 @@ fn sram_rejections() {
         Err(SramError::RowOutOfRange { .. })
     ));
     assert!(matches!(
-        ctl.execute(&Instruction::Check { src: RowAddr(0), bit: 16 }),
+        ctl.execute(&Instruction::Check {
+            src: RowAddr(0),
+            bit: 16
+        }),
         Err(SramError::CheckBitOutOfRange { .. })
     ));
     // Unknown opcodes and malformed words fail to decode.
-    assert!(matches!(Instruction::decode(0x7), Err(SramError::BadOpcode { .. })));
-    assert!(matches!(Instruction::decode(0xF), Err(SramError::BadOpcode { .. })));
+    assert!(matches!(
+        Instruction::decode(0x7),
+        Err(SramError::BadOpcode { .. })
+    ));
+    assert!(matches!(
+        Instruction::decode(0xF),
+        Err(SramError::BadOpcode { .. })
+    ));
 }
 
 #[test]
@@ -79,7 +115,9 @@ fn config_rejections() {
     ));
     // 4096-point at 16 bits does not fit a 262×256 array.
     assert!(matches!(
-        NttParams::new(4096, 40_961).map_err(BpNttError::from).and_then(|p| BpNttConfig::new(262, 256, 17, p)),
+        NttParams::new(4096, 40_961)
+            .map_err(BpNttError::from)
+            .and_then(|p| BpNttConfig::new(262, 256, 17, p)),
         Err(BpNttError::CapacityExceeded { .. })
     ));
 }
@@ -92,17 +130,32 @@ fn engine_load_rejections() {
         acc.load_batch(&vec![vec![0u64; 8]; 99]),
         Err(BpNttError::BatchTooLarge { .. })
     ));
-    assert!(matches!(acc.load_batch(&[vec![0u64; 9]]), Err(BpNttError::WrongLength { .. })));
-    assert!(matches!(acc.load_batch(&[vec![1000u64; 8]]), Err(BpNttError::Unreduced { .. })));
+    assert!(matches!(
+        acc.load_batch(&[vec![0u64; 9]]),
+        Err(BpNttError::WrongLength { .. })
+    ));
+    assert!(matches!(
+        acc.load_batch(&[vec![1000u64; 8]]),
+        Err(BpNttError::Unreduced { .. })
+    ));
     // Polynomial multiplication requires room for both operands.
     let a = vec![vec![0u64; 8]];
-    assert!(matches!(acc.polymul(&a, &a), Err(BpNttError::CapacityExceeded { .. })));
+    assert!(matches!(
+        acc.polymul(&a, &a),
+        Err(BpNttError::CapacityExceeded { .. })
+    ));
 }
 
 #[test]
 fn layout_capacity_rejections() {
-    assert!(matches!(Layout::new(256, 256, 16, 4096), Err(BpNttError::CapacityExceeded { .. })));
-    assert!(matches!(Layout::new(256, 8, 16, 8), Err(BpNttError::ArrayTooNarrow { .. })));
+    assert!(matches!(
+        Layout::new(256, 256, 16, 4096),
+        Err(BpNttError::CapacityExceeded { .. })
+    ));
+    assert!(matches!(
+        Layout::new(256, 8, 16, 8),
+        Err(BpNttError::ArrayTooNarrow { .. })
+    ));
 }
 
 #[test]

@@ -133,10 +133,10 @@ fn with_kernel_setup(
     let mut m_row = BitRow::zero(layout.active_cols());
     let mut c_row = BitRow::zero(layout.active_cols());
     let mut b_row = BitRow::zero(layout.active_cols());
-    for t in 0..4 {
+    for (t, &bw) in b_words.iter().enumerate() {
         m_row.set_tile_word(t, w, q);
         c_row.set_tile_word(t, w, q.wrapping_neg() & mask);
-        b_row.set_tile_word(t, w, b_words[t]);
+        b_row.set_tile_word(t, w, bw);
     }
     ctl.load_data_row(layout.rowmap().modulus.index(), m_row);
     ctl.load_data_row(layout.rowmap().comp_modulus.index(), c_row);
@@ -189,8 +189,8 @@ proptest! {
         let y_words = [ys[0] % q, ys[1] % q, ys[2] % q, ys[3] % q];
         with_kernel_setup(w, q, &x_words, |kernels, ctl, _layout| {
             let mut y_row = BitRow::zero(ctl.cols());
-            for t in 0..4 {
-                y_row.set_tile_word(t, w, y_words[t]);
+            for (t, &yw) in y_words.iter().enumerate() {
+                y_row.set_tile_word(t, w, yw);
             }
             ctl.load_data_row(1, y_row);
             kernels.add_mod(ctl, RowAddr(2), RowAddr(0), RowAddr(1), None).unwrap();
