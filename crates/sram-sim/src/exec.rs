@@ -907,6 +907,41 @@ fn latch_words(
     }
 }
 
+/// The add-B word loop, written once and expanded for both the
+/// const-width unrolled core and the dynamic-width fallback (`$n` is the
+/// word count; the slice arguments must all have that length).
+macro_rules! addb_body {
+    ($n:expr, $sw:ident, $cw:ident, $tsw:ident, $tcw:ident, $bw:ident, $mask_cols:ident, $pred_mask:ident, $if_set:ident) => {{
+        let mut carry_in = 0u64;
+        for w in 0..$n {
+            let g = if $if_set {
+                $mask_cols[w] & $pred_mask[w]
+            } else {
+                $mask_cols[w]
+            };
+            let s_w = $sw[w];
+            let b_w = $bw[w];
+            let c_old = $cw[w];
+            let c1 = s_w & b_w;
+            let s1 = s_w ^ b_w;
+            // Global left shift computed from the *old* carry row (bits
+            // may cross tile boundaries, exactly like emission).
+            let csh = (c_old << 1) | carry_in;
+            carry_in = c_old >> 63;
+            // Gated intermediates: disabled tiles observe old contents.
+            let c_eff = (csh & g) | (c_old & !g);
+            let ts_eff = (s1 & g) | ($tsw[w] & !g);
+            let tc_new = (c1 & g) | ($tcw[w] & !g);
+            let c2 = c_eff & ts_eff;
+            let s2 = c_eff ^ ts_eff;
+            $sw[w] = (s2 & g) | (s_w & !g);
+            $tsw[w] = ts_eff;
+            $tcw[w] = tc_new;
+            $cw[w] = ((c2 | tc_new) & g) | (c_eff & !g);
+        }
+    }};
+}
+
 /// Word-level add-B step over pre-borrowed row storage. `g`-gating:
 /// disabled/unpredicated tiles keep their old contents, exactly like four
 /// gated write-backs (see `Controller::exec_addb`).
@@ -922,33 +957,7 @@ fn addb_core<const N: usize>(
     pred_mask: &[u64; N],
     if_set: bool,
 ) {
-    let mut carry_in = 0u64;
-    for w in 0..N {
-        let g = if if_set {
-            mask_cols[w] & pred_mask[w]
-        } else {
-            mask_cols[w]
-        };
-        let s_w = sw[w];
-        let b_w = bw[w];
-        let c_old = cw[w];
-        let c1 = s_w & b_w;
-        let s1 = s_w ^ b_w;
-        // Global left shift computed from the *old* carry row (bits may
-        // cross tile boundaries, exactly like emission).
-        let csh = (c_old << 1) | carry_in;
-        carry_in = c_old >> 63;
-        // Gated intermediates: disabled tiles observe old row contents.
-        let c_eff = (csh & g) | (c_old & !g);
-        let ts_eff = (s1 & g) | (tsw[w] & !g);
-        let tc_new = (c1 & g) | (tcw[w] & !g);
-        let c2 = c_eff & ts_eff;
-        let s2 = c_eff ^ ts_eff;
-        sw[w] = (s2 & g) | (s_w & !g);
-        tsw[w] = ts_eff;
-        tcw[w] = tc_new;
-        cw[w] = ((c2 | tc_new) & g) | (c_eff & !g);
-    }
+    addb_body!(N, sw, cw, tsw, tcw, bw, mask_cols, pred_mask, if_set);
 }
 
 /// Word-level add-B step over pre-borrowed row storage, dispatching to a
@@ -993,33 +1002,43 @@ fn addb_words(
         2 => fixed!(2),
         3 => fixed!(3),
         4 => fixed!(4),
-        _ => {
-            let mut carry_in = 0u64;
-            for w in 0..n {
-                let g = if if_set {
-                    mask_cols[w] & pred_mask[w]
-                } else {
-                    mask_cols[w]
-                };
-                let s_w = sw[w];
-                let b_w = bw[w];
-                let c_old = cw[w];
-                let c1 = s_w & b_w;
-                let s1 = s_w ^ b_w;
-                let csh = (c_old << 1) | carry_in;
-                carry_in = c_old >> 63;
-                let c_eff = (csh & g) | (c_old & !g);
-                let ts_eff = (s1 & g) | (tsw[w] & !g);
-                let tc_new = (c1 & g) | (tcw[w] & !g);
-                let c2 = c_eff & ts_eff;
-                let s2 = c_eff ^ ts_eff;
-                sw[w] = (s2 & g) | (s_w & !g);
-                tsw[w] = ts_eff;
-                tcw[w] = tc_new;
-                cw[w] = ((c2 | tc_new) & g) | (c_eff & !g);
-            }
-        }
+        _ => addb_body!(n, sw, cw, tsw, tcw, bw, mask_cols, pred_mask, if_set),
     }
+}
+
+/// The Montgomery-halve word loop, written once and expanded for both the
+/// const-width unrolled core and the dynamic-width fallback. Single pass
+/// with a one-word lookahead: `tmp = Sum ⊕ (M in odd tiles)` is the
+/// m-selection (computed from the old Sum — only `sw[w]` has been
+/// overwritten when `tmp_next` reads `sw[w+1]`), `c1 = Sum ∧ M` the
+/// half-adder carry (zero in even tiles), then the tile-masked right
+/// shift of s1 and the two remaining half-adder layers.
+macro_rules! halve_body {
+    ($n:expr, $sw:ident, $cw:ident, $tsw:ident, $tcw:ident, $m_words:ident, $pred_mask:ident, $shr_keep:ident) => {{
+        let mut tmp_cur = if $n > 0 {
+            $sw[0] ^ ($m_words[0] & $pred_mask[0])
+        } else {
+            0
+        };
+        for w in 0..$n {
+            let tmp_next = if w + 1 < $n {
+                $sw[w + 1] ^ ($m_words[w + 1] & $pred_mask[w + 1])
+            } else {
+                0
+            };
+            let tc1 = $sw[w] & $m_words[w] & $pred_mask[w];
+            let ts1 = ((tmp_cur >> 1) | (tmp_next << 63)) & $shr_keep[w];
+            let new_tc = ts1 & tc1;
+            let new_ts = ts1 ^ tc1;
+            let c_old = $cw[w];
+            let c5 = c_old & new_ts;
+            $sw[w] = c_old ^ new_ts;
+            $tsw[w] = new_ts;
+            $tcw[w] = new_tc;
+            $cw[w] = c5 | new_tc;
+            tmp_cur = tmp_next;
+        }
+    }};
 }
 
 /// Word-level Montgomery halve step over pre-borrowed row storage; the
@@ -1036,35 +1055,7 @@ fn halve_core<const N: usize>(
     pred_mask: &[u64; N],
     shr_keep: &[u64; N],
 ) {
-    // Single pass with a one-word lookahead: `tmp = Sum ⊕ (M in odd
-    // tiles)` is the m-selection (computed from the old Sum — only
-    // `sw[w]` has been overwritten when `tmp_next` reads `sw[w+1]`),
-    // `c1 = Sum ∧ M` the half-adder carry (zero in even tiles), then the
-    // tile-masked right shift of s1 and the two remaining half-adder
-    // layers.
-    let mut tmp_cur = if N > 0 {
-        sw[0] ^ (m_words[0] & pred_mask[0])
-    } else {
-        0
-    };
-    for w in 0..N {
-        let tmp_next = if w + 1 < N {
-            sw[w + 1] ^ (m_words[w + 1] & pred_mask[w + 1])
-        } else {
-            0
-        };
-        let tc1 = sw[w] & m_words[w] & pred_mask[w];
-        let ts1 = ((tmp_cur >> 1) | (tmp_next << 63)) & shr_keep[w];
-        let new_tc = ts1 & tc1;
-        let new_ts = ts1 ^ tc1;
-        let c_old = cw[w];
-        let c5 = c_old & new_ts;
-        sw[w] = c_old ^ new_ts;
-        tsw[w] = new_ts;
-        tcw[w] = new_tc;
-        cw[w] = c5 | new_tc;
-        tmp_cur = tmp_next;
-    }
+    halve_body!(N, sw, cw, tsw, tcw, m_words, pred_mask, shr_keep);
 }
 
 /// Word-level Montgomery halve step over pre-borrowed row storage; the
@@ -1109,31 +1100,7 @@ fn halve_words(
         2 => fixed!(2),
         3 => fixed!(3),
         4 => fixed!(4),
-        _ => {
-            let mut tmp_cur = if n > 0 {
-                sw[0] ^ (m_words[0] & pred_mask[0])
-            } else {
-                0
-            };
-            for w in 0..n {
-                let tmp_next = if w + 1 < n {
-                    sw[w + 1] ^ (m_words[w + 1] & pred_mask[w + 1])
-                } else {
-                    0
-                };
-                let tc1 = sw[w] & m_words[w] & pred_mask[w];
-                let ts1 = ((tmp_cur >> 1) | (tmp_next << 63)) & shr_keep[w];
-                let new_tc = ts1 & tc1;
-                let new_ts = ts1 ^ tc1;
-                let c_old = cw[w];
-                let c5 = c_old & new_ts;
-                sw[w] = c_old ^ new_ts;
-                tsw[w] = new_ts;
-                tcw[w] = new_tc;
-                cw[w] = c5 | new_tc;
-                tmp_cur = tmp_next;
-            }
-        }
+        _ => halve_body!(n, sw, cw, tsw, tcw, m_words, pred_mask, shr_keep),
     }
 }
 

@@ -1309,10 +1309,22 @@ impl Controller {
                     self.add_cost(op.cycles, 0.0);
                     self.add_counts(op.counts);
                     // Energy still accumulates value by value (shared,
-                    // cache-hot per-pattern tables) for bit-identity.
-                    let addb_energy: &[f64] = prog.addb_cost.as_ref().map_or(&[], |gc| &gc.energy);
-                    let halve_energy: &[f64] =
-                        prog.halve_cost.as_ref().map_or(&[], |gc| &gc.energy);
+                    // cache-hot per-pattern tables) for bit-identity. A
+                    // chain always contains both step kinds (the chain
+                    // pass requires a b-row and a modulus row), so both
+                    // costs must have been interned — panic loudly if a
+                    // refactor ever breaks that invariant rather than
+                    // silently undercounting energy.
+                    let addb_energy: &[f64] = &prog
+                        .addb_cost
+                        .as_ref()
+                        .expect("chain implies interned add-B cost")
+                        .energy;
+                    let halve_energy: &[f64] = &prog
+                        .halve_cost
+                        .as_ref()
+                        .expect("chain implies interned halve cost")
+                        .energy;
                     for step in &op.steps {
                         self.add_energy_seq(match step {
                             ChainStep::AddB(_) => addb_energy,
