@@ -2,18 +2,63 @@
 //! trajectory for future PRs. Run from the workspace root:
 //!
 //! ```text
-//! cargo run --release -p bpntt-bench --bin bench_replay
+//! cargo run --release -p bpntt-bench --bin bench_replay [-- OPTIONS]
 //! ```
+//!
+//! Options:
+//!
+//! * `--cols A,B,...` — column geometries to sweep (default
+//!   `48,96,144,256`; each must be a multiple of the 24-bit tile).
+//! * `--lanes N` — polynomials loaded per run (default: every lane the
+//!   geometry provides; capped to the lane count).
+//! * `--json-out PATH` — where to write the JSON (default
+//!   `BENCH_replay.json`).
 //!
 //! Measurements are best-of-N interleaved wall-clock times on whatever
 //! machine runs this (the container is a single-core VM; treat absolute
-//! numbers as indicative and the emit/replay ratios as the signal).
+//! numbers as indicative and the emit/replay ratios as the signal). Each
+//! config also reports the compiled forward program's fused
+//! epilogue-superop count — the instruction groups that ran generic
+//! before the word-engine rework.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use bpntt_core::{BpNtt, BpNttConfig, ShardedBpNtt};
 use bpntt_ntt::NttParams;
+
+struct Options {
+    cols: Vec<usize>,
+    lanes: Option<usize>,
+    json_out: String,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        cols: vec![48, 96, 144, 256],
+        lanes: None,
+        json_out: "BENCH_replay.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--cols" => {
+                opts.cols = value("--cols")
+                    .split(',')
+                    .map(|c| c.trim().parse().expect("--cols takes integers"))
+                    .collect();
+            }
+            "--lanes" => opts.lanes = Some(value("--lanes").parse().expect("--lanes integer")),
+            "--json-out" => opts.json_out = value("--json-out"),
+            other => panic!("unknown option {other} (see --cols/--lanes/--json-out)"),
+        }
+    }
+    opts
+}
 
 fn pseudo_batch(cfg: &BpNttConfig, lanes: usize, seed: u64) -> Vec<Vec<u64>> {
     let n = cfg.params().n();
@@ -46,13 +91,17 @@ fn best_of<F: FnMut()>(reps: usize, inner: usize, mut f: F) -> f64 {
 }
 
 fn main() {
+    let opts = parse_args();
+    let parallelism = std::thread::available_parallelism().map_or(1, usize::from);
     let mut json = String::from(
         "{\n  \"benchmark\": \"dilithium256_forward_replay_vs_emit\",\n  \"configs\": [\n",
     );
     let mut first = true;
-    for cols in [48usize, 96, 144, 256] {
+    for &cols in &opts.cols {
         let cfg = BpNttConfig::new(262, cols, 24, NttParams::new(256, 8_380_417).unwrap()).unwrap();
-        let lanes = cfg.layout().lanes();
+        let lanes = opts
+            .lanes
+            .map_or(cfg.layout().lanes(), |l| l.min(cfg.layout().lanes()).max(1));
         let batch = pseudo_batch(&cfg, lanes, 1);
 
         let mut emit = BpNtt::new(cfg.clone()).unwrap();
@@ -60,6 +109,7 @@ fn main() {
         let mut replay = BpNtt::new(cfg.clone()).unwrap();
         replay.load_batch(&batch).unwrap();
         replay.forward().unwrap();
+        let fused_epilogue = replay.compiled_forward().unwrap().fused_epilogues();
 
         // Interleaved best-of to suppress machine noise.
         let mut be = f64::MAX;
@@ -74,13 +124,13 @@ fn main() {
         first = false;
         let _ = write!(
             json,
-            "    {{\"cols\": {cols}, \"lanes\": {lanes}, \"emit_ms\": {:.3}, \"replay_ms\": {:.3}, \"speedup\": {:.2}}}",
+            "    {{\"cols\": {cols}, \"lanes\": {lanes}, \"emit_ms\": {:.3}, \"replay_ms\": {:.3}, \"speedup\": {:.2}, \"fused_epilogue\": {fused_epilogue}}}",
             be * 1e3,
             br * 1e3,
             be / br
         );
         println!(
-            "cols={cols} lanes={lanes}: emit {:.2} ms, replay {:.2} ms, speedup {:.2}x",
+            "cols={cols} lanes={lanes}: emit {:.2} ms, replay {:.2} ms, speedup {:.2}x, {fused_epilogue} fused epilogues",
             be * 1e3,
             br * 1e3,
             be / br
@@ -88,7 +138,14 @@ fn main() {
     }
     json.push_str("\n  ],\n  \"sharded\": [\n");
 
-    let cfg = BpNttConfig::new(262, 256, 24, NttParams::new(256, 8_380_417).unwrap()).unwrap();
+    let cols_sharded = *opts.cols.last().unwrap_or(&256);
+    let cfg = BpNttConfig::new(
+        262,
+        cols_sharded,
+        24,
+        NttParams::new(256, 8_380_417).unwrap(),
+    )
+    .unwrap();
     let lanes = cfg.layout().lanes();
     let mut first = true;
     for shards in [1usize, 2, 4] {
@@ -98,25 +155,36 @@ fn main() {
         let t = best_of(4, 2, || {
             sharded.forward_batch(&batch).unwrap();
         });
+        let shard_ms: Vec<String> = sharded
+            .last_wave_shard_secs()
+            .iter()
+            .map(|s| format!("{:.3}", s * 1e3))
+            .collect();
         if !first {
             json.push_str(",\n");
         }
         first = false;
         let _ = write!(
             json,
-            "    {{\"shards\": {shards}, \"polys\": {}, \"batch_ms\": {:.3}, \"polys_per_sec\": {:.0}}}",
+            "    {{\"shards\": {shards}, \"polys\": {}, \"batch_ms\": {:.3}, \"polys_per_sec\": {:.0}, \"shard_ms\": [{}]}}",
             batch.len(),
             t * 1e3,
-            batch.len() as f64 / t
+            batch.len() as f64 / t,
+            shard_ms.join(", ")
         );
         println!(
-            "shards={shards}: {} polys in {:.2} ms ({:.0} polys/s)",
+            "shards={shards}: {} polys in {:.2} ms ({:.0} polys/s; per-shard [{}] ms)",
             batch.len(),
             t * 1e3,
-            batch.len() as f64 / t
+            batch.len() as f64 / t,
+            shard_ms.join(", ")
         );
     }
-    json.push_str("\n  ],\n  \"note\": \"wall-clock best-of on the build machine; sharded scaling requires multiple cores\"\n}\n");
-    std::fs::write("BENCH_replay.json", &json).expect("write BENCH_replay.json");
-    println!("wrote BENCH_replay.json");
+    let _ = write!(
+        json,
+        "\n  ],\n  \"note\": \"wall-clock best-of on the build machine; available_parallelism={parallelism}, so shard threads serialize when 1 and flat polys_per_sec scaling is expected\",\n  \"available_parallelism\": {parallelism},\n  \"simd_active\": {}\n}}\n",
+        bpntt_sram::simd_active()
+    );
+    std::fs::write(&opts.json_out, &json).expect("write benchmark JSON");
+    println!("wrote {}", opts.json_out);
 }

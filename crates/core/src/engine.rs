@@ -19,8 +19,13 @@
 //! conversions, per-instruction validation, and cost-model evaluation,
 //! while producing bit-identical array contents and bit-identical
 //! [`Stats`] to direct emission (see [`BpNtt::forward_uncached`]). The
-//! compiled programs are shared — [`ShardedBpNtt`](crate::ShardedBpNtt)
-//! clones them across shards behind an `Arc`.
+//! compiled stream runs almost entirely as fused word-engine superops —
+//! multiplier chains, resolution loops, and the butterfly epilogues
+//! (`CompiledProgram::fused_epilogues` counts the latter) — which the
+//! `bpntt-sram` word-engine executes through runtime-dispatched AVX2
+//! kernels with a bit-identical scalar fallback. The compiled programs
+//! are shared — [`ShardedBpNtt`](crate::ShardedBpNtt) clones them across
+//! shards behind an `Arc`.
 
 use std::collections::HashMap;
 use std::sync::Arc;

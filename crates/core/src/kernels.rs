@@ -30,6 +30,17 @@
 //! value in a row, consumed bit-by-bit through `Check` predication (used by
 //! pointwise multiplication and by multi-tile schedules where each tile
 //! needs a different twiddle).
+//!
+//! **The emitted instruction shapes are a contract.** The replay
+//! compiler's peephole pass (`bpntt_sram::program`) pattern-matches the
+//! exact sequences this module emits — the add-B and halve steps, the
+//! resolution-round bodies, and the butterfly epilogues (the carry-save
+//! and borrow-save initiators, `cond_sub_q`'s conditional copy,
+//! `add_mod`'s conditional select, `sub_mod`'s sign-fix) — and lowers
+//! each to a single-pass word-engine superop. Reordering or reshaping an
+//! emission here silently degrades replay to the generic path (it stays
+//! correct — equivalence proptests still pass — but the replay-vs-emit
+//! benchmarks will regress); update the matchers alongside any change.
 
 use crate::error::BpNttError;
 use crate::layout::RowMap;

@@ -47,6 +47,10 @@ use bpntt_sram::Stats;
 pub struct ShardedBpNtt {
     shards: Vec<BpNtt>,
     lanes_per_shard: usize,
+    /// Wall-clock seconds each shard thread spent in the most recent wave
+    /// (load + compute + read-back), indexed by shard. Shards beyond the
+    /// last wave's chunk count report no entry.
+    last_shard_secs: Vec<f64>,
 }
 
 /// Which batch operation to run on each shard.
@@ -55,6 +59,9 @@ enum Op {
     Forward,
     Roundtrip,
 }
+
+/// One shard's wave outcome plus its thread's wall-clock seconds.
+type ShardOutcome = (Result<Vec<Vec<u64>>, BpNttError>, f64);
 
 impl ShardedBpNtt {
     /// Provisions `shards` arrays with the given configuration.
@@ -74,6 +81,7 @@ impl ShardedBpNtt {
         Ok(ShardedBpNtt {
             shards,
             lanes_per_shard,
+            last_shard_secs: Vec::new(),
         })
     }
 
@@ -104,6 +112,17 @@ impl ShardedBpNtt {
         }
     }
 
+    /// Per-shard wall-clock seconds of the most recent
+    /// forward/roundtrip wave (load, compute, and read-back inside each
+    /// shard thread). On a single-core host the
+    /// sum approximates the wave's wall-clock — the threads serialize — so
+    /// flat `polys_per_sec` scaling is expected there; on real multi-core
+    /// hardware the wave completes in roughly the per-shard maximum.
+    #[must_use]
+    pub fn last_wave_shard_secs(&self) -> &[f64] {
+        &self.last_shard_secs
+    }
+
     /// Compiles the programs for `keys` once (on shard 0) and installs the
     /// shared `Arc`s into every other shard, so the parallel phase never
     /// compiles.
@@ -127,27 +146,37 @@ impl ShardedBpNtt {
     ) -> Result<(), BpNttError> {
         let lanes = self.lanes_per_shard;
         debug_assert!(wave.len() <= self.lanes_total());
-        let mut results: Vec<Result<Vec<Vec<u64>>, BpNttError>> = Vec::new();
+        let mut results: Vec<ShardOutcome> = Vec::new();
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (shard, chunk) in self.shards.iter_mut().zip(wave.chunks(lanes)) {
-                handles.push(scope.spawn(move || -> Result<Vec<Vec<u64>>, BpNttError> {
-                    shard.load_batch(chunk)?;
-                    match op {
-                        Op::Forward => shard.forward()?,
-                        Op::Roundtrip => {
-                            shard.forward()?;
-                            shard.inverse()?;
+                handles.push(scope.spawn(move || {
+                    let t = std::time::Instant::now();
+                    let mut run = || -> Result<Vec<Vec<u64>>, BpNttError> {
+                        shard.load_batch(chunk)?;
+                        match op {
+                            Op::Forward => shard.forward()?,
+                            Op::Roundtrip => {
+                                shard.forward()?;
+                                shard.inverse()?;
+                            }
                         }
-                    }
-                    shard.read_batch(chunk.len())
+                        shard.read_batch(chunk.len())
+                    };
+                    let r = run();
+                    (r, t.elapsed().as_secs_f64())
                 }));
             }
             for h in handles {
                 results.push(h.join().expect("shard thread panicked"));
             }
         });
-        for r in results {
+        // Every thread has joined, so record all timings before the first
+        // shard error can propagate — a failed wave still reports one
+        // entry per participating shard.
+        self.last_shard_secs.clear();
+        self.last_shard_secs.extend(results.iter().map(|&(_, s)| s));
+        for (r, _) in results {
             out.extend(r?);
         }
         Ok(())
@@ -333,6 +362,21 @@ mod tests {
 
         assert_eq!(s2.cycles, 2 * s1.cycles);
         assert_eq!(s2.counts.total(), 2 * s1.counts.total());
+    }
+
+    #[test]
+    fn per_shard_wall_clock_is_recorded() {
+        let mut sharded = ShardedBpNtt::new(&config(), 3).unwrap();
+        assert!(sharded.last_wave_shard_secs().is_empty());
+        // 2 full chunks + 1 partial → all three shards participate.
+        let batch: Vec<Vec<u64>> = (0..9).map(|s| pseudo(8, 97, s + 60)).collect();
+        sharded.forward_batch(&batch).unwrap();
+        let secs = sharded.last_wave_shard_secs();
+        assert_eq!(secs.len(), 3);
+        assert!(secs.iter().all(|&s| s > 0.0));
+        // A wave that fills only one shard reports only that shard.
+        sharded.forward_batch(&batch[..2]).unwrap();
+        assert_eq!(sharded.last_wave_shard_secs().len(), 1);
     }
 
     #[test]

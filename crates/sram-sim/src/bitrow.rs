@@ -12,6 +12,20 @@
 
 use std::fmt;
 
+/// Storage words per chunk: every row's word vector is padded with zero
+/// words up to a multiple of this, so the word-engine's hot loops (see
+/// [`crate::wordkern`]) always see whole 256-bit blocks — one AVX2 vector,
+/// or four iterations of a fully unrollable scalar loop — with no remainder
+/// handling. Bits at and above `cols` are an invariant zero (`clear_tail`).
+pub(crate) const WORD_CHUNK: usize = 4;
+
+/// Number of storage words (padded) backing a row of `cols` bits.
+#[inline]
+#[must_use]
+pub(crate) fn padded_words(cols: usize) -> usize {
+    cols.div_ceil(64).next_multiple_of(WORD_CHUNK)
+}
+
 /// One row of bits, indexed by column.
 ///
 /// # Example
@@ -40,7 +54,7 @@ impl BitRow {
     pub fn zero(cols: usize) -> Self {
         assert!(cols > 0, "a row needs at least one column");
         BitRow {
-            words: vec![0; cols.div_ceil(64)],
+            words: vec![0; padded_words(cols)],
             cols,
         }
     }
@@ -176,12 +190,16 @@ impl BitRow {
         }
     }
 
-    /// Zeroes the bits beyond `cols` in the last storage word.
+    /// Zeroes every bit at column `cols` and above: the partial bits of the
+    /// last in-use word plus all chunk-padding words.
     fn clear_tail(&mut self) {
+        let used = self.cols.div_ceil(64);
         let rem = self.cols % 64;
         if rem != 0 {
-            let last = self.words.len() - 1;
-            self.words[last] &= (1u64 << rem) - 1;
+            self.words[used - 1] &= (1u64 << rem) - 1;
+        }
+        for w in &mut self.words[used..] {
+            *w = 0;
         }
     }
 
@@ -409,7 +427,9 @@ impl BitRow {
     }
 
     /// The underlying storage words (bit `c` lives at word `c/64`, bit
-    /// `c%64`); tail bits beyond `cols` are always zero.
+    /// `c%64`). The slice length is padded to a multiple of
+    /// [`WORD_CHUNK`] and every bit at column `cols` and above is zero —
+    /// the two invariants the word-engine kernels rely on.
     #[inline]
     #[must_use]
     pub(crate) fn words(&self) -> &[u64] {
@@ -647,6 +667,32 @@ mod tests {
             let mut s = a.clone();
             s.shr1_masked_in_place(w);
             assert_eq!(s, a.shr1_masked(w));
+        }
+    }
+
+    #[test]
+    fn storage_is_chunk_padded_and_tail_stays_clear() {
+        for cols in [1, 42, 64, 100, 256, 300] {
+            let r = BitRow::zero(cols);
+            assert_eq!(r.words().len() % WORD_CHUNK, 0, "cols={cols}");
+            assert_eq!(r.words().len(), padded_words(cols));
+            // Every operation that could smear into the padding must keep
+            // it clear: complement is the worst case.
+            let n = random_row(cols, 77).not();
+            let used = cols.div_ceil(64);
+            for (i, &w) in n.words().iter().enumerate().skip(used) {
+                assert_eq!(w, 0, "padding word {i} dirty at cols={cols}");
+            }
+            let mut s = BitRow::zero(cols);
+            s.assign_not(&random_row(cols, 78));
+            for &w in s.words().iter().skip(used) {
+                assert_eq!(w, 0);
+            }
+            let mut s = random_row(cols, 79);
+            s.shl1_global_in_place();
+            for &w in s.words().iter().skip(used) {
+                assert_eq!(w, 0);
+            }
         }
     }
 

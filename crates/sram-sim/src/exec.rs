@@ -106,11 +106,17 @@ impl Controller {
             shl_keep.set_bit(base, false);
             shr_keep.set_bit(base + tile_width - 1, false);
         }
-        let n_words = cols.div_ceil(64);
+        // The plan covers the chunk-padded word count; padding words (and
+        // any word wholly above the columns) get empty fill ranges, so the
+        // latch writes them as zero.
+        let n_words = crate::bitrow::padded_words(cols);
         let mut word_fill = Vec::new();
         let mut word_fill_starts = Vec::with_capacity(n_words + 1);
         for w in 0..n_words {
             word_fill_starts.push(word_fill.len() as u32);
+            if w * 64 >= cols {
+                continue;
+            }
             let (w_lo, w_hi) = (w * 64, (w * 64 + 63).min(cols - 1));
             for t in 0..n_tiles {
                 let (start, end) = (t * tile_width, (t + 1) * tile_width - 1);
@@ -555,7 +561,7 @@ impl Controller {
         ]) else {
             return false;
         };
-        addb_words(
+        crate::wordkern::addb(
             sum.words_mut(),
             carry.words_mut(),
             t_sum.words_mut(),
@@ -585,7 +591,7 @@ impl Controller {
         ]) else {
             return false;
         };
-        halve_words(
+        crate::wordkern::halve(
             sum.words_mut(),
             carry.words_mut(),
             t_sum.words_mut(),
@@ -621,12 +627,31 @@ impl Controller {
         let tcw = t_carry.words_mut();
         let bw = b.words();
         let m_words = m.words();
+        #[cfg(target_arch = "x86_64")]
+        if crate::wordkern::onechunk_fast_path(sw.len()) {
+            // Whole chain register-resident: rows loaded once, stored once
+            // (the dominant case — the paper's ≤256-column geometry).
+            crate::wordkern::chain_onechunk(
+                sw,
+                cw,
+                tsw,
+                tcw,
+                bw,
+                m_words,
+                self.pred_mask.words_mut(),
+                self.shr_keep.words(),
+                &op.steps,
+                &self.word_fill,
+                &self.word_fill_starts,
+            );
+            return true;
+        }
         let mw = self.mask_cols.words();
         let shr = self.shr_keep.words();
         for step in &op.steps {
             match *step {
                 crate::program::ChainStep::AddB(pred) => {
-                    addb_words(
+                    crate::wordkern::addb(
                         sw,
                         cw,
                         tsw,
@@ -647,7 +672,7 @@ impl Controller {
                         0,
                         self.pred_mask.words_mut(),
                     );
-                    halve_words(sw, cw, tsw, tcw, m_words, self.pred_mask.words(), shr);
+                    crate::wordkern::halve(sw, cw, tsw, tcw, m_words, self.pred_mask.words(), shr);
                 }
             }
         }
@@ -673,42 +698,76 @@ impl Controller {
         let shl = self.shl_keep.words();
         let sw = s.words_mut();
         let cw = c.words_mut();
+        #[cfg(target_arch = "x86_64")]
+        if crate::wordkern::onechunk_fast_path(sw.len()) {
+            let (bodies, checks, converged) =
+                crate::wordkern::resolve_loop_onechunk(sw, cw, shl, op.max_checks);
+            self.finish_fused_loop(
+                bodies,
+                checks,
+                converged,
+                check_cycles,
+                check_energy,
+                round_cost,
+            );
+            return Some(bodies);
+        }
         let mut bodies = 0usize;
         let mut checks = 0u64;
-        // Same add sequence as per-instruction execution, with the energy
-        // accumulator register-resident for the whole loop (bit-identical).
-        let mut e_acc = self.stats.energy_pj;
+        let mut converged = false;
         for _ in 0..op.max_checks {
             checks += 1;
-            e_acc += check_energy;
-            let zero = cw.iter().all(|&w| w == 0);
-            self.zero_flag = zero;
-            if zero {
+            if cw.iter().all(|&w| w == 0) {
+                converged = true;
                 break;
             }
-            let mut carry_in = 0u64;
-            for w in 0..sw.len() {
-                let c_old = cw[w];
-                let csh = ((c_old << 1) | carry_in) & shl[w];
-                carry_in = c_old >> 63;
-                let s_w = sw[w];
-                cw[w] = s_w & csh;
-                sw[w] = s_w ^ csh;
-            }
+            crate::wordkern::resolve_round(sw, cw, shl);
+            bodies += 1;
+        }
+        self.finish_fused_loop(
+            bodies,
+            checks,
+            converged,
+            check_cycles,
+            check_energy,
+            round_cost,
+        );
+        Some(bodies)
+    }
+
+    /// Applies a fused resolution loop's outcome: the zero flag and the
+    /// statistics, with the energy values added in exactly the order
+    /// per-instruction execution interleaves them (one check per
+    /// iteration, round energies per body, final check iff converged), so
+    /// the floating-point accumulator stays bit-identical. Shared by the
+    /// register-resident fast paths and the per-round fallback loops —
+    /// this sequence is the replay/emit Stats contract; keep it in one
+    /// place.
+    fn finish_fused_loop(
+        &mut self,
+        bodies: usize,
+        checks: u64,
+        converged: bool,
+        check_cycles: u64,
+        check_energy: f64,
+        round_cost: &crate::program::GroupCost,
+    ) {
+        self.zero_flag = converged;
+        debug_assert!(converged, "resolution loop must converge within max_checks");
+        let mut e_acc = self.stats.energy_pj;
+        for _ in 0..bodies {
+            e_acc += check_energy;
             for &e in &round_cost.energy {
                 e_acc += e;
             }
-            bodies += 1;
         }
-        debug_assert!(
-            self.zero_flag,
-            "resolution loop must converge within max_checks"
-        );
+        if converged {
+            e_acc += check_energy;
+        }
         self.stats.energy_pj = e_acc;
         self.stats.cycles += checks * check_cycles + bodies as u64 * round_cost.cycles;
         self.stats.counts.check_zero += checks;
         self.stats.counts += round_cost.counts.scaled(bodies as u64);
-        Some(bodies)
     }
 
     /// Fully fused borrow-resolution loop: the three rows borrowed once,
@@ -734,40 +793,41 @@ impl Controller {
         let mut cur = live.words_mut();
         let mut nxt = other.words_mut();
         let tw = t.words_mut();
+        #[cfg(target_arch = "x86_64")]
+        if crate::wordkern::onechunk_fast_path(tw.len()) {
+            let (bodies, checks, converged) =
+                crate::wordkern::borrow_loop_onechunk(cur, nxt, tw, shl, op.max_checks);
+            self.finish_fused_loop(
+                bodies,
+                checks,
+                converged,
+                check_cycles,
+                check_energy,
+                round_cost,
+            );
+            return Some(bodies);
+        }
         let mut bodies = 0usize;
         let mut checks = 0u64;
-        let mut e_acc = self.stats.energy_pj;
+        let mut converged = false;
         for _ in 0..op.max_checks {
             checks += 1;
-            e_acc += check_energy;
-            let zero = tw.iter().all(|&w| w == 0);
-            self.zero_flag = zero;
-            if zero {
+            if tw.iter().all(|&w| w == 0) {
+                converged = true;
                 break;
             }
-            let mut carry_in = 0u64;
-            for w in 0..cur.len() {
-                let t_old = tw[w];
-                let tsh = ((t_old << 1) | carry_in) & shl[w];
-                carry_in = t_old >> 63;
-                let so = cur[w] ^ tsh;
-                nxt[w] = so;
-                tw[w] = so & tsh;
-            }
+            crate::wordkern::borrow_round(cur, nxt, tw, shl);
             std::mem::swap(&mut cur, &mut nxt);
-            for &e in &round_cost.energy {
-                e_acc += e;
-            }
             bodies += 1;
         }
-        debug_assert!(
-            self.zero_flag,
-            "resolution loop must converge within max_checks"
+        self.finish_fused_loop(
+            bodies,
+            checks,
+            converged,
+            check_cycles,
+            check_energy,
+            round_cost,
         );
-        self.stats.energy_pj = e_acc;
-        self.stats.cycles += checks * check_cycles + bodies as u64 * round_cost.cycles;
-        self.stats.counts.check_zero += checks;
-        self.stats.counts += round_cost.counts.scaled(bodies as u64);
         Some(bodies)
     }
 
@@ -783,18 +843,7 @@ impl Controller {
         else {
             return false;
         };
-        let shl = self.shl_keep.words();
-        let sw = s.words_mut();
-        let cw = c.words_mut();
-        let mut carry_in = 0u64;
-        for w in 0..sw.len() {
-            let c_old = cw[w];
-            let csh = ((c_old << 1) | carry_in) & shl[w];
-            carry_in = c_old >> 63;
-            let s_w = sw[w];
-            cw[w] = s_w & csh;
-            sw[w] = s_w ^ csh;
-        }
+        crate::wordkern::resolve_round(s.words_mut(), c.words_mut(), self.shl_keep.words());
         true
     }
 
@@ -812,19 +861,132 @@ impl Controller {
         else {
             return false;
         };
-        let shl = self.shl_keep.words();
-        let scur = self.scratch_a.words();
-        let sow = s_other.words_mut();
-        let bw = b.words_mut();
-        let mut carry_in = 0u64;
-        for w in 0..sow.len() {
-            let b_old = bw[w];
-            let bsh = ((b_old << 1) | carry_in) & shl[w];
-            carry_in = b_old >> 63;
-            let so = scur[w] ^ bsh;
-            sow[w] = so;
-            bw[w] = so & bsh;
+        crate::wordkern::borrow_round(
+            self.scratch_a.words(),
+            s_other.words_mut(),
+            b.words_mut(),
+            self.shl_keep.words(),
+        );
+        true
+    }
+
+    // ---- fused epilogue superop executors ---------------------------------
+    //
+    // The butterfly epilogues (conditional subtraction, sign-fix, modular
+    // add/select) are straight-line shapes the compiler fuses like the
+    // Algorithm 2 cores above: one pass over the storage words per group,
+    // same `false`-on-tile-mask fallback contract.
+
+    /// Fused carry-save add initiator: one dual write-back `Binary`
+    /// (`d_and, d_xor = a ∧ b, a ⊕ b`) executed as a single pass.
+    pub(crate) fn exec_csadd(&mut self, op: &crate::program::CsAddOp) -> bool {
+        if self.n_masked_off != 0 {
+            return false;
         }
+        let Some([da, dx, a, b]) = self.array.rows_disjoint_mut([
+            usize::from(op.d_and),
+            usize::from(op.d_xor),
+            usize::from(op.a),
+            usize::from(op.b),
+        ]) else {
+            return false;
+        };
+        crate::wordkern::csadd(da.words_mut(), dx.words_mut(), a.words(), b.words());
+        true
+    }
+
+    /// Fused borrow-save subtract initiator: `ts = x ⊕ y; tc = ts ∧ y`.
+    pub(crate) fn exec_subinit(&mut self, op: &crate::program::SubInitOp) -> bool {
+        if self.n_masked_off != 0 {
+            return false;
+        }
+        let Some([ts, tc, x, y]) = self.array.rows_disjoint_mut([
+            usize::from(op.t_sum),
+            usize::from(op.t_carry),
+            usize::from(op.x),
+            usize::from(op.y),
+        ]) else {
+            return false;
+        };
+        crate::wordkern::subinit(ts.words_mut(), tc.words_mut(), x.words(), y.words());
+        true
+    }
+
+    /// Fused conditional select (`add_mod` epilogue): latch the predicate
+    /// from `check_src`, then `dst ← a` in pred-set tiles, `dst ← b` in
+    /// pred-clear tiles.
+    pub(crate) fn exec_condsel(&mut self, op: &crate::program::CondSelOp) -> bool {
+        if self.n_masked_off != 0 {
+            return false;
+        }
+        // The Check happens first in emission; only reads, so any aliasing
+        // with the select rows is benign.
+        self.latch_preds(usize::from(op.check_src), usize::from(op.bit));
+        let Some([dst, a, b]) = self.array.rows_disjoint_mut([
+            usize::from(op.dst),
+            usize::from(op.a),
+            usize::from(op.b),
+        ]) else {
+            return false;
+        };
+        crate::wordkern::cond_select(
+            dst.words_mut(),
+            a.words(),
+            b.words(),
+            self.mask_cols.words(),
+            self.pred_mask.words(),
+        );
+        true
+    }
+
+    /// Fused conditional copy (`cond_sub_q` epilogue): latch the predicate
+    /// from `check_src`, then a pred-gated `dst ← src` copy.
+    pub(crate) fn exec_condcopy(&mut self, op: &crate::program::CondCopyOp) -> bool {
+        if self.n_masked_off != 0 {
+            return false;
+        }
+        self.latch_preds(usize::from(op.check_src), usize::from(op.bit));
+        let Some([dst, src]) = self
+            .array
+            .rows_disjoint_mut([usize::from(op.dst), usize::from(op.src)])
+        else {
+            return false;
+        };
+        crate::wordkern::masked_copy(
+            dst.words_mut(),
+            src.words(),
+            self.mask_cols.words(),
+            self.pred_mask.words(),
+            op.pred == PredMode::IfSet,
+        );
+        true
+    }
+
+    /// Fused sign-fix (`sub_mod`): latch the difference's sign bit, build
+    /// `c ← M`-in-negative-tiles, and apply the carry-save `+q` layer in
+    /// one pass.
+    pub(crate) fn exec_signfix(&mut self, op: &crate::program::SignFixOp) -> bool {
+        if self.n_masked_off != 0 {
+            return false;
+        }
+        // Check(s, bit) reads s before the pass modifies it.
+        self.latch_preds(usize::from(op.s), usize::from(op.bit));
+        let Some([s, c, tc, m]) = self.array.rows_disjoint_mut([
+            usize::from(op.s),
+            usize::from(op.c),
+            usize::from(op.t_carry),
+            usize::from(op.modulus),
+        ]) else {
+            return false;
+        };
+        crate::wordkern::signfix(
+            s.words_mut(),
+            c.words_mut(),
+            tc.words_mut(),
+            m.words(),
+            self.mask_cols.words(),
+            self.pred_mask.words(),
+        );
         true
     }
 
@@ -907,202 +1069,10 @@ fn latch_words(
     }
 }
 
-/// The add-B word loop, written once and expanded for both the
-/// const-width unrolled core and the dynamic-width fallback (`$n` is the
-/// word count; the slice arguments must all have that length).
-macro_rules! addb_body {
-    ($n:expr, $sw:ident, $cw:ident, $tsw:ident, $tcw:ident, $bw:ident, $mask_cols:ident, $pred_mask:ident, $if_set:ident) => {{
-        let mut carry_in = 0u64;
-        for w in 0..$n {
-            let g = if $if_set {
-                $mask_cols[w] & $pred_mask[w]
-            } else {
-                $mask_cols[w]
-            };
-            let s_w = $sw[w];
-            let b_w = $bw[w];
-            let c_old = $cw[w];
-            let c1 = s_w & b_w;
-            let s1 = s_w ^ b_w;
-            // Global left shift computed from the *old* carry row (bits
-            // may cross tile boundaries, exactly like emission).
-            let csh = (c_old << 1) | carry_in;
-            carry_in = c_old >> 63;
-            // Gated intermediates: disabled tiles observe old contents.
-            let c_eff = (csh & g) | (c_old & !g);
-            let ts_eff = (s1 & g) | ($tsw[w] & !g);
-            let tc_new = (c1 & g) | ($tcw[w] & !g);
-            let c2 = c_eff & ts_eff;
-            let s2 = c_eff ^ ts_eff;
-            $sw[w] = (s2 & g) | (s_w & !g);
-            $tsw[w] = ts_eff;
-            $tcw[w] = tc_new;
-            $cw[w] = ((c2 | tc_new) & g) | (c_eff & !g);
-        }
-    }};
-}
-
-/// Word-level add-B step over pre-borrowed row storage. `g`-gating:
-/// disabled/unpredicated tiles keep their old contents, exactly like four
-/// gated write-backs (see `Controller::exec_addb`).
-#[allow(clippy::too_many_arguments)]
-#[inline(always)]
-fn addb_core<const N: usize>(
-    sw: &mut [u64; N],
-    cw: &mut [u64; N],
-    tsw: &mut [u64; N],
-    tcw: &mut [u64; N],
-    bw: &[u64; N],
-    mask_cols: &[u64; N],
-    pred_mask: &[u64; N],
-    if_set: bool,
-) {
-    addb_body!(N, sw, cw, tsw, tcw, bw, mask_cols, pred_mask, if_set);
-}
-
-/// Word-level add-B step over pre-borrowed row storage, dispatching to a
-/// fully unrolled const-width body for the common array widths.
-#[allow(clippy::too_many_arguments)]
-#[inline(always)]
-fn addb_words(
-    sw: &mut [u64],
-    cw: &mut [u64],
-    tsw: &mut [u64],
-    tcw: &mut [u64],
-    bw: &[u64],
-    mask_cols: &[u64],
-    pred_mask: &[u64],
-    if_set: bool,
-) {
-    let n = sw.len();
-    assert!(
-        cw.len() == n
-            && tsw.len() == n
-            && tcw.len() == n
-            && bw.len() == n
-            && mask_cols.len() == n
-            && pred_mask.len() == n
-    );
-    macro_rules! fixed {
-        ($k:literal) => {
-            addb_core::<$k>(
-                sw.try_into().unwrap(),
-                cw.try_into().unwrap(),
-                tsw.try_into().unwrap(),
-                tcw.try_into().unwrap(),
-                bw.try_into().unwrap(),
-                mask_cols.try_into().unwrap(),
-                pred_mask.try_into().unwrap(),
-                if_set,
-            )
-        };
-    }
-    match n {
-        1 => fixed!(1),
-        2 => fixed!(2),
-        3 => fixed!(3),
-        4 => fixed!(4),
-        _ => addb_body!(n, sw, cw, tsw, tcw, bw, mask_cols, pred_mask, if_set),
-    }
-}
-
-/// The Montgomery-halve word loop, written once and expanded for both the
-/// const-width unrolled core and the dynamic-width fallback. Single pass
-/// with a one-word lookahead: `tmp = Sum ⊕ (M in odd tiles)` is the
-/// m-selection (computed from the old Sum — only `sw[w]` has been
-/// overwritten when `tmp_next` reads `sw[w+1]`), `c1 = Sum ∧ M` the
-/// half-adder carry (zero in even tiles), then the tile-masked right
-/// shift of s1 and the two remaining half-adder layers.
-macro_rules! halve_body {
-    ($n:expr, $sw:ident, $cw:ident, $tsw:ident, $tcw:ident, $m_words:ident, $pred_mask:ident, $shr_keep:ident) => {{
-        let mut tmp_cur = if $n > 0 {
-            $sw[0] ^ ($m_words[0] & $pred_mask[0])
-        } else {
-            0
-        };
-        for w in 0..$n {
-            let tmp_next = if w + 1 < $n {
-                $sw[w + 1] ^ ($m_words[w + 1] & $pred_mask[w + 1])
-            } else {
-                0
-            };
-            let tc1 = $sw[w] & $m_words[w] & $pred_mask[w];
-            let ts1 = ((tmp_cur >> 1) | (tmp_next << 63)) & $shr_keep[w];
-            let new_tc = ts1 & tc1;
-            let new_ts = ts1 ^ tc1;
-            let c_old = $cw[w];
-            let c5 = c_old & new_ts;
-            $sw[w] = c_old ^ new_ts;
-            $tsw[w] = new_ts;
-            $tcw[w] = new_tc;
-            $cw[w] = c5 | new_tc;
-            tmp_cur = tmp_next;
-        }
-    }};
-}
-
-/// Word-level Montgomery halve step over pre-borrowed row storage; the
-/// predicate column mask must already reflect `Check(Sum, bit 0)` and
-/// every tile must be write-enabled (see `Controller::exec_halve`).
-#[allow(clippy::too_many_arguments)]
-#[inline(always)]
-fn halve_core<const N: usize>(
-    sw: &mut [u64; N],
-    cw: &mut [u64; N],
-    tsw: &mut [u64; N],
-    tcw: &mut [u64; N],
-    m_words: &[u64; N],
-    pred_mask: &[u64; N],
-    shr_keep: &[u64; N],
-) {
-    halve_body!(N, sw, cw, tsw, tcw, m_words, pred_mask, shr_keep);
-}
-
-/// Word-level Montgomery halve step over pre-borrowed row storage; the
-/// predicate column mask must already reflect `Check(Sum, bit 0)` and
-/// every tile must be write-enabled (see `Controller::exec_halve`).
-/// Dispatches to a fully unrolled const-width body for the common widths.
-#[allow(clippy::too_many_arguments)]
-#[inline(always)]
-fn halve_words(
-    sw: &mut [u64],
-    cw: &mut [u64],
-    tsw: &mut [u64],
-    tcw: &mut [u64],
-    m_words: &[u64],
-    pred_mask: &[u64],
-    shr_keep: &[u64],
-) {
-    let n = sw.len();
-    assert!(
-        cw.len() == n
-            && tsw.len() == n
-            && tcw.len() == n
-            && m_words.len() == n
-            && pred_mask.len() == n
-            && shr_keep.len() == n
-    );
-    macro_rules! fixed {
-        ($k:literal) => {
-            halve_core::<$k>(
-                sw.try_into().unwrap(),
-                cw.try_into().unwrap(),
-                tsw.try_into().unwrap(),
-                tcw.try_into().unwrap(),
-                m_words.try_into().unwrap(),
-                pred_mask.try_into().unwrap(),
-                shr_keep.try_into().unwrap(),
-            )
-        };
-    }
-    match n {
-        1 => fixed!(1),
-        2 => fixed!(2),
-        3 => fixed!(3),
-        4 => fixed!(4),
-        _ => halve_body!(n, sw, cw, tsw, tcw, m_words, pred_mask, shr_keep),
-    }
-}
+// The word-level kernel bodies — add-B, Montgomery halve, carry/borrow
+// resolution rounds, and the fused epilogue passes — live in
+// [`crate::wordkern`], which dispatches each between an explicit AVX2 path
+// and a bit-identical scalar fallback.
 
 #[cfg(test)]
 mod tests {

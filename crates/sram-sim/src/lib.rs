@@ -20,6 +20,9 @@
 //!   instruction stream once ([`Recorder`]), validate and cost it once
 //!   ([`ReplayProgram::compile`], with superop fusion), replay it many
 //!   times ([`Controller::run_compiled`]) bit-identically to emission;
+//! * [`wordkern`] — the vectorized word-engine behind both paths: chunked
+//!   storage kernels with runtime-dispatched AVX2 implementations and a
+//!   bit-identical scalar fallback (`BPNTT_FORCE_SCALAR=1` pins it);
 //! * [`cost`] — calibrated per-instruction timing and energy models;
 //! * [`geometry`] — 45 nm area and frequency models reproducing Table I's
 //!   0.063 mm² / 3.8 GHz and the <2% overhead claim;
@@ -59,7 +62,10 @@
 //! # Ok::<(), bpntt_sram::SramError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide and re-allowed only inside `wordkern`, whose
+// AVX2 paths need raw-pointer vector loads/stores (each documented with a
+// SAFETY comment and covered by scalar-equivalence tests).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod array;
@@ -71,6 +77,7 @@ pub mod geometry;
 pub mod isa;
 pub mod program;
 pub mod stats;
+pub mod wordkern;
 
 pub use array::{SenseResult, SramArray};
 pub use bitrow::BitRow;
@@ -81,3 +88,4 @@ pub use geometry::{AreaBreakdown, AreaModel, ArrayGeometry, FrequencyModel};
 pub use isa::{BitOp, Instruction, PredMode, Program, RowAddr, ShiftDir, UnaryKind};
 pub use program::{CompiledProgram, InstrSink, Recorder, ReplayOp, ReplayProgram, ZeroLoopSpec};
 pub use stats::{InstrCounts, Stats};
+pub use wordkern::{force_scalar, simd_active};

@@ -240,10 +240,20 @@ impl ReplayProgram {
             chains: Vec::new(),
             resolve_loops: Vec::new(),
             borrow_loops: Vec::new(),
+            csadds: Vec::new(),
+            subinits: Vec::new(),
+            condsels: Vec::new(),
+            condcopies: Vec::new(),
+            signfixes: Vec::new(),
             addb_cost: None,
             halve_cost: None,
             resolve_round_cost: None,
             borrow_round_cost: None,
+            csadd_cost: None,
+            subinit_cost: None,
+            condsel_cost: None,
+            condcopy_cost: None,
+            signfix_cost: None,
             rows: ctl.rows(),
             cols: ctl.cols(),
             tile_width: ctl.tile_width(),
@@ -633,6 +643,199 @@ fn match_borrow_round(w: &[Instruction]) -> Option<BorrowRoundOp> {
     })
 }
 
+/// Matches the sign-fix tail of borrow-save subtraction (`sub_mod`).
+fn match_signfix(w: &[Instruction]) -> Option<SignFixOp> {
+    use crate::isa::PredMode as P;
+    use Instruction as I;
+    let (s, bit) = match *w.first()? {
+        I::Check { src, bit } => (src.0, bit),
+        _ => return None,
+    };
+    let c = match *w.get(1)? {
+        I::Unary {
+            dst,
+            kind: UnaryKind::Zero,
+            pred: P::Always,
+            ..
+        } => dst.0,
+        _ => return None,
+    };
+    let m = match *w.get(2)? {
+        I::Unary {
+            dst,
+            src,
+            kind: UnaryKind::Copy,
+            pred: P::IfSet,
+        } if dst.0 == c => src.0,
+        _ => return None,
+    };
+    let tc = match *w.get(3)? {
+        I::Binary {
+            dst,
+            op: BitOp::And,
+            src0,
+            src1,
+            dst2: Some((d2, BitOp::Xor)),
+            shift: None,
+            pred: P::Always,
+        } if src0.0 == s && src1.0 == c && d2.0 == s => dst.0,
+        _ => return None,
+    };
+    if !distinct(&[s, c, tc, m]) {
+        return None;
+    }
+    Some(SignFixOp {
+        s,
+        bit,
+        c,
+        t_carry: tc,
+        modulus: m,
+        fallback: (0, 0),
+    })
+}
+
+/// Matches the conditional-select epilogue of `add_mod`.
+fn match_condsel(w: &[Instruction]) -> Option<CondSelOp> {
+    use crate::isa::PredMode as P;
+    use Instruction as I;
+    let (cs, bit) = match *w.first()? {
+        I::Check { src, bit } => (src.0, bit),
+        _ => return None,
+    };
+    let (dst, a) = match *w.get(1)? {
+        I::Unary {
+            dst,
+            src,
+            kind: UnaryKind::Copy,
+            pred: P::IfSet,
+        } => (dst.0, src.0),
+        _ => return None,
+    };
+    let b = match *w.get(2)? {
+        I::Unary {
+            dst: d2,
+            src,
+            kind: UnaryKind::Copy,
+            pred: P::IfClear,
+        } if d2.0 == dst => src.0,
+        _ => return None,
+    };
+    // The executor borrows the three select rows disjointly; the check
+    // source may alias any of them (it is only read, before any write).
+    if !distinct(&[dst, a, b]) {
+        return None;
+    }
+    Some(CondSelOp {
+        check_src: cs,
+        bit,
+        dst,
+        a,
+        b,
+        fallback: (0, 0),
+    })
+}
+
+/// Matches a predicate latch followed by one predicated copy
+/// (`cond_sub_q`'s select tail).
+fn match_condcopy(w: &[Instruction]) -> Option<CondCopyOp> {
+    use crate::isa::PredMode as P;
+    use Instruction as I;
+    let (cs, bit) = match *w.first()? {
+        I::Check { src, bit } => (src.0, bit),
+        _ => return None,
+    };
+    let (dst, src, pred) = match *w.get(1)? {
+        I::Unary {
+            dst,
+            src,
+            kind: UnaryKind::Copy,
+            pred: pred @ (P::IfSet | P::IfClear),
+        } => (dst.0, src.0, pred),
+        _ => return None,
+    };
+    if dst == src {
+        return None;
+    }
+    Some(CondCopyOp {
+        check_src: cs,
+        bit,
+        dst,
+        src,
+        pred,
+        fallback: (0, 0),
+    })
+}
+
+/// Matches the borrow-save subtract initiator (`sub_mod` lines 1–2).
+fn match_subinit(w: &[Instruction]) -> Option<SubInitOp> {
+    use crate::isa::PredMode as P;
+    use Instruction as I;
+    let (ts, x, y) = match *w.first()? {
+        I::Binary {
+            dst,
+            op: BitOp::Xor,
+            src0,
+            src1,
+            dst2: None,
+            shift: None,
+            pred: P::Always,
+        } => (dst.0, src0.0, src1.0),
+        _ => return None,
+    };
+    let tc = match *w.get(1)? {
+        I::Binary {
+            dst,
+            op: BitOp::And,
+            src0,
+            src1,
+            dst2: None,
+            shift: None,
+            pred: P::Always,
+        } if src0.0 == ts && src1.0 == y => dst.0,
+        _ => return None,
+    };
+    if !distinct(&[ts, tc, x, y]) {
+        return None;
+    }
+    Some(SubInitOp {
+        t_sum: ts,
+        t_carry: tc,
+        x,
+        y,
+        fallback: (0, 0),
+    })
+}
+
+/// Matches a lone dual write-back carry-save add (`d_and, d_xor =
+/// a ∧ b, a ⊕ b`). Tried after every longer pattern — the add-B step
+/// starts with this exact shape.
+fn match_csadd(w: &[Instruction]) -> Option<CsAddOp> {
+    use crate::isa::PredMode as P;
+    use Instruction as I;
+    let (da, a, b, dx) = match *w.first()? {
+        I::Binary {
+            dst,
+            op: BitOp::And,
+            src0,
+            src1,
+            dst2: Some((d2, BitOp::Xor)),
+            shift: None,
+            pred: P::Always,
+        } => (dst.0, src0.0, src1.0, d2.0),
+        _ => return None,
+    };
+    if !distinct(&[da, dx, a, b]) {
+        return None;
+    }
+    Some(CsAddOp {
+        d_and: da,
+        d_xor: dx,
+        a,
+        b,
+        fallback: (0, 0),
+    })
+}
+
 /// Records an instruction stream instead of executing it.
 #[derive(Debug, Clone, Default)]
 pub struct Recorder {
@@ -710,6 +913,16 @@ pub(crate) enum Ctrl {
     /// Fused multiplier chain — a run of add-B/halve steps over one
     /// accumulator row set, rows borrowed once (`chains[idx]`).
     Chain { idx: u32 },
+    /// Fused carry-save add initiator (`csadds[idx]`).
+    CsAdd { idx: u32 },
+    /// Fused borrow-save subtract initiator (`subinits[idx]`).
+    SubInit { idx: u32 },
+    /// Fused conditional select epilogue (`condsels[idx]`).
+    CondSel { idx: u32 },
+    /// Fused conditional copy epilogue (`condcopies[idx]`).
+    CondCopy { idx: u32 },
+    /// Fused subtraction sign-fix (`signfixes[idx]`).
+    SignFix { idx: u32 },
     /// Fully fused carry-resolution loop (`resolve_loops[idx]`).
     ResolveLoop { idx: u32 },
     /// Fully fused borrow-resolution loop (`borrow_loops[idx]`).
@@ -817,6 +1030,67 @@ pub(crate) struct BorrowRoundOp {
     pub fallback: InstrRange,
 }
 
+/// Fused carry-save add initiator: one dual write-back `Binary`
+/// (`d_and, d_xor = a ∧ b, a ⊕ b`) executed as a single pass instead of
+/// two scratch-row passes plus two write-backs.
+#[derive(Debug, Clone)]
+pub(crate) struct CsAddOp {
+    pub d_and: u16,
+    pub d_xor: u16,
+    pub a: u16,
+    pub b: u16,
+    pub fallback: InstrRange,
+}
+
+/// Fused borrow-save subtract initiator (`sub_mod` lines 1–2):
+/// `t_sum = x ⊕ y; t_carry = t_sum ∧ y` — two `Binary`s, one pass.
+#[derive(Debug, Clone)]
+pub(crate) struct SubInitOp {
+    pub t_sum: u16,
+    pub t_carry: u16,
+    pub x: u16,
+    pub y: u16,
+    pub fallback: InstrRange,
+}
+
+/// Fused conditional select (`add_mod` epilogue): `Check(check_src, bit)`
+/// then `dst ← a` where the predicate is set, `dst ← b` where clear —
+/// three instructions, one latch plus one pass.
+#[derive(Debug, Clone)]
+pub(crate) struct CondSelOp {
+    pub check_src: u16,
+    pub bit: u16,
+    pub dst: u16,
+    pub a: u16,
+    pub b: u16,
+    pub fallback: InstrRange,
+}
+
+/// Fused conditional copy (`cond_sub_q` epilogue): `Check(check_src, bit)`
+/// then one predicated `dst ← src` copy.
+#[derive(Debug, Clone)]
+pub(crate) struct CondCopyOp {
+    pub check_src: u16,
+    pub bit: u16,
+    pub dst: u16,
+    pub src: u16,
+    pub pred: crate::isa::PredMode,
+    pub fallback: InstrRange,
+}
+
+/// Fused sign-fix of borrow-save subtraction (`sub_mod`): `Check(s, bit)`;
+/// `c ← 0`; `c ← M` where set; `t_carry, s = s ∧ c, s ⊕ c` — four
+/// instructions, one latch plus one pass.
+#[derive(Debug, Clone)]
+pub(crate) struct SignFixOp {
+    pub s: u16,
+    pub bit: u16,
+    pub c: u16,
+    pub t_carry: u16,
+    pub modulus: u16,
+    pub fallback: InstrRange,
+}
+
 /// Pre-aggregated execution cost of one fused group: exact cycle and
 /// count sums plus the per-instruction energy values in emission order
 /// (energies are added one by one so the floating-point accumulation is
@@ -878,10 +1152,20 @@ pub struct CompiledProgram {
     pub(crate) chains: Vec<ChainOp>,
     pub(crate) resolve_loops: Vec<ResolveLoopOp>,
     pub(crate) borrow_loops: Vec<BorrowLoopOp>,
+    pub(crate) csadds: Vec<CsAddOp>,
+    pub(crate) subinits: Vec<SubInitOp>,
+    pub(crate) condsels: Vec<CondSelOp>,
+    pub(crate) condcopies: Vec<CondCopyOp>,
+    pub(crate) signfixes: Vec<SignFixOp>,
     pub(crate) addb_cost: Option<GroupCost>,
     pub(crate) halve_cost: Option<GroupCost>,
     pub(crate) resolve_round_cost: Option<GroupCost>,
     pub(crate) borrow_round_cost: Option<GroupCost>,
+    pub(crate) csadd_cost: Option<GroupCost>,
+    pub(crate) subinit_cost: Option<GroupCost>,
+    pub(crate) condsel_cost: Option<GroupCost>,
+    pub(crate) condcopy_cost: Option<GroupCost>,
+    pub(crate) signfix_cost: Option<GroupCost>,
     rows: usize,
     cols: usize,
     tile_width: usize,
@@ -984,66 +1268,50 @@ impl CompiledProgram {
         let mut i = 0usize;
         while i < instrs.len() {
             let w = &instrs[i..];
-            if let Some(mut op) = match_halve(w) {
-                op.fallback = self.push_range(ctl, &w[..7])?;
-                if self.halve_cost.is_none() {
-                    self.halve_cost = Some(self.group_cost(ctl, &w[..7]));
-                }
-                self.halves.push(op);
-                self.push_ctrl(
-                    Ctrl::Halve {
-                        idx: (self.halves.len() - 1) as u32,
-                    },
-                    into_body,
-                );
-                i += 7;
-                continue;
+            /// One fusion attempt: on a match, intern the window as the
+            /// fallback range, memoize the pattern's group cost (identical
+            /// for every occurrence — costs depend only on instruction
+            /// shape and column count), and emit the superop control entry.
+            macro_rules! fuse {
+                ($matcher:ident, $len:expr, $ops:ident, $cost:ident, $ctrl:ident) => {
+                    if let Some(mut op) = $matcher(w) {
+                        op.fallback = self.push_range(ctl, &w[..$len])?;
+                        if self.$cost.is_none() {
+                            self.$cost = Some(self.group_cost(ctl, &w[..$len]));
+                        }
+                        self.$ops.push(op);
+                        let idx = (self.$ops.len() - 1) as u32;
+                        self.push_ctrl(Ctrl::$ctrl { idx }, into_body);
+                        i += $len;
+                        continue;
+                    }
+                };
             }
-            if let Some(mut op) = match_addb(w) {
-                op.fallback = self.push_range(ctl, &w[..4])?;
-                if self.addb_cost.is_none() {
-                    self.addb_cost = Some(self.group_cost(ctl, &w[..4]));
-                }
-                self.addbs.push(op);
-                self.push_ctrl(
-                    Ctrl::AddB {
-                        idx: (self.addbs.len() - 1) as u32,
-                    },
-                    into_body,
-                );
-                i += 4;
-                continue;
-            }
-            if let Some(mut op) = match_borrow_round(w) {
-                op.fallback = self.push_range(ctl, &w[..3])?;
-                if self.borrow_round_cost.is_none() {
-                    self.borrow_round_cost = Some(self.group_cost(ctl, &w[..3]));
-                }
-                self.borrow_rounds.push(op);
-                self.push_ctrl(
-                    Ctrl::BorrowRound {
-                        idx: (self.borrow_rounds.len() - 1) as u32,
-                    },
-                    into_body,
-                );
-                i += 3;
-                continue;
-            }
-            if let Some(mut op) = match_resolve_round(w) {
-                op.fallback = self.push_range(ctl, &w[..2])?;
-                if self.resolve_round_cost.is_none() {
-                    self.resolve_round_cost = Some(self.group_cost(ctl, &w[..2]));
-                }
-                self.resolve_rounds.push(op);
-                self.push_ctrl(
-                    Ctrl::ResolveRound {
-                        idx: (self.resolve_rounds.len() - 1) as u32,
-                    },
-                    into_body,
-                );
-                i += 2;
-                continue;
-            }
+            // Longest-window first within each leading-instruction family:
+            // `Check`-led (halve > sign-fix > select > copy), `Binary`-led
+            // (add-B > sub-init > carry-save add), `Shift`-led (borrow >
+            // resolve round).
+            fuse!(match_halve, 7, halves, halve_cost, Halve);
+            fuse!(match_signfix, 4, signfixes, signfix_cost, SignFix);
+            fuse!(match_condsel, 3, condsels, condsel_cost, CondSel);
+            fuse!(match_condcopy, 2, condcopies, condcopy_cost, CondCopy);
+            fuse!(match_addb, 4, addbs, addb_cost, AddB);
+            fuse!(match_subinit, 2, subinits, subinit_cost, SubInit);
+            fuse!(
+                match_borrow_round,
+                3,
+                borrow_rounds,
+                borrow_round_cost,
+                BorrowRound
+            );
+            fuse!(
+                match_resolve_round,
+                2,
+                resolve_rounds,
+                resolve_round_cost,
+                ResolveRound
+            );
+            fuse!(match_csadd, 1, csadds, csadd_cost, CsAdd);
             // Generic: append to (or start) a straight-line run.
             self.push_instr(ctl, &instrs[i])?;
             let end = self.instrs.len() as u32;
@@ -1210,6 +1478,19 @@ impl CompiledProgram {
     pub fn fused_chains(&self) -> usize {
         self.chains.len() + self.resolve_loops.len()
     }
+
+    /// How many butterfly-epilogue superops the compiler fused (carry-save
+    /// adds, subtract initiators, conditional selects/copies, sign-fixes)
+    /// — the instruction groups that were generic before the word-engine
+    /// rework.
+    #[must_use]
+    pub fn fused_epilogues(&self) -> usize {
+        self.csadds.len()
+            + self.subinits.len()
+            + self.condsels.len()
+            + self.condcopies.len()
+            + self.signfixes.len()
+    }
 }
 
 impl Controller {
@@ -1289,6 +1570,46 @@ impl Controller {
                     self.apply_group_cost(
                         prog.resolve_round_cost.as_ref().expect("cost set with op"),
                     );
+                } else {
+                    self.run_instr_range(prog, op.fallback);
+                }
+            }
+            Ctrl::CsAdd { idx } => {
+                let op = &prog.csadds[idx as usize];
+                if self.exec_csadd(op) {
+                    self.apply_group_cost(prog.csadd_cost.as_ref().expect("cost set with op"));
+                } else {
+                    self.run_instr_range(prog, op.fallback);
+                }
+            }
+            Ctrl::SubInit { idx } => {
+                let op = &prog.subinits[idx as usize];
+                if self.exec_subinit(op) {
+                    self.apply_group_cost(prog.subinit_cost.as_ref().expect("cost set with op"));
+                } else {
+                    self.run_instr_range(prog, op.fallback);
+                }
+            }
+            Ctrl::CondSel { idx } => {
+                let op = &prog.condsels[idx as usize];
+                if self.exec_condsel(op) {
+                    self.apply_group_cost(prog.condsel_cost.as_ref().expect("cost set with op"));
+                } else {
+                    self.run_instr_range(prog, op.fallback);
+                }
+            }
+            Ctrl::CondCopy { idx } => {
+                let op = &prog.condcopies[idx as usize];
+                if self.exec_condcopy(op) {
+                    self.apply_group_cost(prog.condcopy_cost.as_ref().expect("cost set with op"));
+                } else {
+                    self.run_instr_range(prog, op.fallback);
+                }
+            }
+            Ctrl::SignFix { idx } => {
+                let op = &prog.signfixes[idx as usize];
+                if self.exec_signfix(op) {
+                    self.apply_group_cost(prog.signfix_cost.as_ref().expect("cost set with op"));
                 } else {
                     self.run_instr_range(prog, op.fallback);
                 }

@@ -1,0 +1,1062 @@
+//! The vectorized word-engine: the innermost kernels of the SRAM hot path.
+//!
+//! Every compute instruction — emitted or replayed — bottoms out in a pass
+//! over `u64` storage words ([`crate::BitRow`] bit `c` lives at word
+//! `c/64`). At the paper's full 256-column geometry those passes dominate
+//! the runtime, so this module concentrates them behind one dispatch
+//! boundary:
+//!
+//! * **Chunked layout.** Row storage is padded to whole
+//!   [`CHUNK`](crate::bitrow::WORD_CHUNK)-word blocks (256 bits — exactly
+//!   one AVX2 vector) with a hard invariant that every bit at or above the
+//!   column count is zero. Kernels therefore never handle remainders: an
+//!   elementwise pass is a clean multiple of four words that LLVM
+//!   autovectorizes, and the explicit SIMD paths load whole vectors.
+//! * **Explicit AVX2 for the carry chains.** The add-B, Montgomery-halve,
+//!   and carry/borrow-resolution kernels contain a one-bit shift whose
+//!   carry crosses word boundaries; that loop-carried dependence defeats
+//!   autovectorization, so each gets a hand-written `std::arch` path that
+//!   materializes the shift with a lane permute (`valign`-style) and keeps
+//!   the ~10 boolean layers per word in 256-bit registers.
+//! * **Runtime dispatch, bit-identical fallback.** AVX2 use is decided
+//!   once per process: `BPNTT_FORCE_SCALAR=1` (or
+//!   [`force_scalar`]`(true)`) pins the scalar path, otherwise
+//!   `is_x86_feature_detected!("avx2")` decides. Every kernel is pure
+//!   bitwise integer arithmetic, so the two paths are bit-identical by
+//!   construction — and verified against each other by this module's tests
+//!   and by the workspace's replay-equivalence property tests run under
+//!   both settings in CI.
+//!
+//! The module also hosts the single-pass bodies of the *epilogue
+//! superops* (carry-save add, conditional select/copy, sign-fix,
+//! borrow-save init) that the replay compiler fuses out of the butterfly
+//! epilogues; those are elementwise and rely on the chunked layout for
+//! vectorization rather than explicit intrinsics.
+
+// SIMD intrinsics need raw-pointer loads/stores; this module owns the
+// crate's entire unsafe surface (see `#![deny(unsafe_code)]` in lib.rs).
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+pub(crate) use crate::bitrow::WORD_CHUNK as CHUNK;
+
+const UNDECIDED: u8 = 0;
+const SIMD: u8 = 1;
+const SCALAR: u8 = 2;
+
+/// Lazily decided dispatch state (process-wide; see [`simd_active`]).
+static STATE: AtomicU8 = AtomicU8::new(UNDECIDED);
+
+fn detect() -> bool {
+    if std::env::var_os("BPNTT_FORCE_SCALAR").is_some_and(|v| !v.is_empty() && v != "0") {
+        return false;
+    }
+    hardware_has_simd()
+}
+
+fn hardware_has_simd() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// True when the word-engine is running its SIMD path: the CPU supports
+/// AVX2 and neither `BPNTT_FORCE_SCALAR` nor [`force_scalar`] pinned the
+/// scalar fallback. Decided once and cached; cheap to call from hot loops.
+#[must_use]
+pub fn simd_active() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        SIMD => true,
+        SCALAR => false,
+        _ => {
+            let active = detect();
+            STATE.store(if active { SIMD } else { SCALAR }, Ordering::Relaxed);
+            active
+        }
+    }
+}
+
+/// Pins the word-engine to the scalar path (`true`) or returns it to
+/// hardware auto-detection (`false`, ignoring `BPNTT_FORCE_SCALAR`).
+///
+/// A test/bench hook: results are bit-identical either way, so flipping
+/// this mid-run is safe — it only selects which kernel implementation
+/// executes. Process-wide; concurrent tests that exercise both settings
+/// must serialize around it.
+pub fn force_scalar(on: bool) {
+    let s = if on || !hardware_has_simd() {
+        SCALAR
+    } else {
+        SIMD
+    };
+    STATE.store(s, Ordering::Relaxed);
+}
+
+// ---- carry-chain kernels ---------------------------------------------------
+//
+// Shared contract: all slices have the same, CHUNK-multiple length (the
+// padded word count of one row); tile gating uses `mask`/`pred` column
+// images whose padding words are zero, which keeps every output's padding
+// zero as well. Each function documents its semantics once, in the scalar
+// body — the AVX2 variants are transliterations kept lock-step by the
+// equivalence tests at the bottom of this module.
+
+/// One fused add-B step (`c1,s1 = Sum&B, Sum⊕B; Carry <<= 1 (global);
+/// c2,Sum = Carry&s1, Carry⊕s1; Carry = c1|c2`), gated per tile by
+/// `g = mask` or `g = mask & pred`: disabled tiles keep their old row
+/// contents, exactly like four gated write-backs.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn addb(
+    sw: &mut [u64],
+    cw: &mut [u64],
+    tsw: &mut [u64],
+    tcw: &mut [u64],
+    bw: &[u64],
+    mask: &[u64],
+    pred: &[u64],
+    if_set: bool,
+) {
+    let n = sw.len();
+    assert!(
+        cw.len() == n
+            && tsw.len() == n
+            && tcw.len() == n
+            && bw.len() == n
+            && mask.len() == n
+            && pred.len() == n
+    );
+    #[cfg(target_arch = "x86_64")]
+    if simd_active() {
+        // SAFETY: dispatch guarantees AVX2 is available.
+        unsafe { avx2::addb(sw, cw, tsw, tcw, bw, mask, pred, if_set) };
+        return;
+    }
+    addb_scalar(sw, cw, tsw, tcw, bw, mask, pred, if_set);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn addb_scalar(
+    sw: &mut [u64],
+    cw: &mut [u64],
+    tsw: &mut [u64],
+    tcw: &mut [u64],
+    bw: &[u64],
+    mask: &[u64],
+    pred: &[u64],
+    if_set: bool,
+) {
+    let mut carry_in = 0u64;
+    for w in 0..sw.len() {
+        let g = if if_set { mask[w] & pred[w] } else { mask[w] };
+        let s_w = sw[w];
+        let b_w = bw[w];
+        let c_old = cw[w];
+        let c1 = s_w & b_w;
+        let s1 = s_w ^ b_w;
+        // Global left shift computed from the *old* carry row (bits may
+        // cross tile boundaries, exactly like emission).
+        let csh = (c_old << 1) | carry_in;
+        carry_in = c_old >> 63;
+        // Gated intermediates: disabled tiles observe old contents.
+        let c_eff = (csh & g) | (c_old & !g);
+        let ts_eff = (s1 & g) | (tsw[w] & !g);
+        let tc_new = (c1 & g) | (tcw[w] & !g);
+        let c2 = c_eff & ts_eff;
+        let s2 = c_eff ^ ts_eff;
+        sw[w] = (s2 & g) | (s_w & !g);
+        tsw[w] = ts_eff;
+        tcw[w] = tc_new;
+        cw[w] = ((c2 | tc_new) & g) | (c_eff & !g);
+    }
+}
+
+/// One fused Montgomery halve step: `tmp = Sum ⊕ (M in pred-set tiles)` is
+/// the m-selection, `c1 = Sum ∧ M ∧ pred` the half-adder carry, then the
+/// tile-masked right shift of `tmp` and the two remaining half-adder
+/// layers. Single pass with a one-word lookahead (only `sw[w]` has been
+/// overwritten when the lookahead reads `sw[w+1]`). The predicate column
+/// mask must already reflect `Check(Sum, bit 0)` and every tile must be
+/// write-enabled.
+pub(crate) fn halve(
+    sw: &mut [u64],
+    cw: &mut [u64],
+    tsw: &mut [u64],
+    tcw: &mut [u64],
+    mw: &[u64],
+    pred: &[u64],
+    shr_keep: &[u64],
+) {
+    let n = sw.len();
+    assert!(
+        cw.len() == n
+            && tsw.len() == n
+            && tcw.len() == n
+            && mw.len() == n
+            && pred.len() == n
+            && shr_keep.len() == n
+    );
+    #[cfg(target_arch = "x86_64")]
+    if simd_active() {
+        // SAFETY: dispatch guarantees AVX2 is available.
+        unsafe { avx2::halve(sw, cw, tsw, tcw, mw, pred, shr_keep) };
+        return;
+    }
+    halve_scalar(sw, cw, tsw, tcw, mw, pred, shr_keep);
+}
+
+fn halve_scalar(
+    sw: &mut [u64],
+    cw: &mut [u64],
+    tsw: &mut [u64],
+    tcw: &mut [u64],
+    mw: &[u64],
+    pred: &[u64],
+    shr_keep: &[u64],
+) {
+    let n = sw.len();
+    let mut tmp_cur = if n > 0 { sw[0] ^ (mw[0] & pred[0]) } else { 0 };
+    for w in 0..n {
+        let tmp_next = if w + 1 < n {
+            sw[w + 1] ^ (mw[w + 1] & pred[w + 1])
+        } else {
+            0
+        };
+        let tc1 = sw[w] & mw[w] & pred[w];
+        let ts1 = ((tmp_cur >> 1) | (tmp_next << 63)) & shr_keep[w];
+        let new_tc = ts1 & tc1;
+        let new_ts = ts1 ^ tc1;
+        let c_old = cw[w];
+        let c5 = c_old & new_ts;
+        sw[w] = c_old ^ new_ts;
+        tsw[w] = new_ts;
+        tcw[w] = new_tc;
+        cw[w] = c5 | new_tc;
+        tmp_cur = tmp_next;
+    }
+}
+
+/// One carry-resolution round: `Carry <<= 1` (tile-masked via `shl_keep`);
+/// `Carry, Sum = Sum ∧ Carry, Sum ⊕ Carry`.
+pub(crate) fn resolve_round(sw: &mut [u64], cw: &mut [u64], shl_keep: &[u64]) {
+    let n = sw.len();
+    assert!(cw.len() == n && shl_keep.len() == n);
+    #[cfg(target_arch = "x86_64")]
+    if simd_active() {
+        // SAFETY: dispatch guarantees AVX2 is available.
+        unsafe { avx2::resolve_round(sw, cw, shl_keep) };
+        return;
+    }
+    resolve_round_scalar(sw, cw, shl_keep);
+}
+
+fn resolve_round_scalar(sw: &mut [u64], cw: &mut [u64], shl_keep: &[u64]) {
+    let mut carry_in = 0u64;
+    for w in 0..sw.len() {
+        let c_old = cw[w];
+        let csh = ((c_old << 1) | carry_in) & shl_keep[w];
+        carry_in = c_old >> 63;
+        let s_w = sw[w];
+        cw[w] = s_w & csh;
+        sw[w] = s_w ^ csh;
+    }
+}
+
+/// One borrow-resolution round: `B <<= 1` (tile-masked);
+/// `s_next = s_cur ⊕ B; B = s_next ∧ B`. Reads `cur`, writes `nxt`/`tw`.
+pub(crate) fn borrow_round(cur: &[u64], nxt: &mut [u64], tw: &mut [u64], shl_keep: &[u64]) {
+    let n = cur.len();
+    assert!(nxt.len() == n && tw.len() == n && shl_keep.len() == n);
+    #[cfg(target_arch = "x86_64")]
+    if simd_active() {
+        // SAFETY: dispatch guarantees AVX2 is available.
+        unsafe { avx2::borrow_round(cur, nxt, tw, shl_keep) };
+        return;
+    }
+    borrow_round_scalar(cur, nxt, tw, shl_keep);
+}
+
+fn borrow_round_scalar(cur: &[u64], nxt: &mut [u64], tw: &mut [u64], shl_keep: &[u64]) {
+    let mut carry_in = 0u64;
+    for w in 0..cur.len() {
+        let t_old = tw[w];
+        let tsh = ((t_old << 1) | carry_in) & shl_keep[w];
+        carry_in = t_old >> 63;
+        let so = cur[w] ^ tsh;
+        nxt[w] = so;
+        tw[w] = so & tsh;
+    }
+}
+
+// ---- epilogue superop kernels ----------------------------------------------
+//
+// Elementwise single passes over the chunked storage (no cross-word
+// carries), so the plain loops below autovectorize; no explicit SIMD
+// needed. All assume every tile is write-enabled (`mask` is the all-enabled
+// column image), which the fused executors guarantee before calling.
+
+/// Carry-save add initiator: `d_and, d_xor = a ∧ b, a ⊕ b` (one dual
+/// write-back `Binary`, fused to one pass).
+pub(crate) fn csadd(da: &mut [u64], dx: &mut [u64], aw: &[u64], bw: &[u64]) {
+    let n = da.len();
+    assert!(dx.len() == n && aw.len() == n && bw.len() == n);
+    for (((da, dx), &a), &b) in da.iter_mut().zip(dx.iter_mut()).zip(aw).zip(bw) {
+        *da = a & b;
+        *dx = a ^ b;
+    }
+}
+
+/// Borrow-save subtract initiator: `ts = x ⊕ y; tc = ts ∧ y` (two single
+/// write-back `Binary`s, fused to one pass).
+pub(crate) fn subinit(tsw: &mut [u64], tcw: &mut [u64], xw: &[u64], yw: &[u64]) {
+    let n = tsw.len();
+    assert!(tcw.len() == n && xw.len() == n && yw.len() == n);
+    for (((ts, tc), &x), &y) in tsw.iter_mut().zip(tcw.iter_mut()).zip(xw).zip(yw) {
+        let t = x ^ y;
+        *ts = t;
+        *tc = t & y;
+    }
+}
+
+/// Conditional two-way select: `dst ← a` in pred-set tiles, `dst ← b` in
+/// pred-clear tiles, untouched outside the tile mask (the `Check` +
+/// `Copy IfSet` + `Copy IfClear` epilogue of `add_mod`, fused to one
+/// pass after the predicate latch).
+pub(crate) fn cond_select(dw: &mut [u64], aw: &[u64], bw: &[u64], mask: &[u64], pred: &[u64]) {
+    let n = dw.len();
+    assert!(aw.len() == n && bw.len() == n && mask.len() == n && pred.len() == n);
+    for ((((d, &a), &b), &m), &p) in dw.iter_mut().zip(aw).zip(bw).zip(mask).zip(pred) {
+        let g1 = m & p;
+        let g2 = m & !p;
+        *d = (a & g1) | (b & g2) | (*d & !m);
+    }
+}
+
+/// Predicate-gated copy: `dst ← src` in pred-set (`if_set`) or pred-clear
+/// tiles (the `Check` + predicated `Copy` tail of `cond_sub_q`, fused to
+/// one pass after the predicate latch).
+pub(crate) fn masked_copy(dw: &mut [u64], sw: &[u64], mask: &[u64], pred: &[u64], if_set: bool) {
+    let n = dw.len();
+    assert!(sw.len() == n && mask.len() == n && pred.len() == n);
+    for (((d, &s), &m), &p) in dw.iter_mut().zip(sw).zip(mask).zip(pred) {
+        let g = if if_set { m & p } else { m & !p };
+        *d = (*d & !g) | (s & g);
+    }
+}
+
+/// Sign-fix of borrow-save subtraction: with the predicate latched from
+/// the difference's sign bit, `c ← M` in negative tiles (zero elsewhere),
+/// then the carry-save `+q` layer `tc, s = s ∧ c, s ⊕ c` — four recorded
+/// instructions, one pass.
+pub(crate) fn signfix(
+    sw: &mut [u64],
+    cw: &mut [u64],
+    tcw: &mut [u64],
+    mw: &[u64],
+    mask: &[u64],
+    pred: &[u64],
+) {
+    let n = sw.len();
+    assert!(cw.len() == n && tcw.len() == n && mw.len() == n && mask.len() == n && pred.len() == n);
+    for (((((s, c), tc), &m), &msk), &p) in sw
+        .iter_mut()
+        .zip(cw.iter_mut())
+        .zip(tcw.iter_mut())
+        .zip(mw)
+        .zip(mask)
+        .zip(pred)
+    {
+        let g = msk & p;
+        let c_new = m & g;
+        *c = c_new;
+        *tc = *s & c_new;
+        *s ^= c_new;
+    }
+}
+
+// ---- register-resident single-chunk execution ------------------------------
+//
+// At the paper's geometry (≤ 256 columns) a whole row is ONE chunk, so a
+// multiplier chain or a resolution loop can keep every live row in a
+// vector register for its entire duration, touching memory only at entry
+// and exit. This is where the word-engine's speedup actually comes from:
+// the per-step kernels above spend most of their time on loads and stores
+// (nine memory ops for ~a dozen ALU ops), which the chain executor repeats
+// ~36 times per modular multiplication.
+
+/// True when rows of this word count qualify for the register-resident
+/// single-chunk fast paths (one chunk per row, SIMD active).
+#[inline]
+#[must_use]
+pub(crate) fn onechunk_fast_path(n_words: usize) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        n_words == CHUNK && simd_active()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = n_words;
+        false
+    }
+}
+
+/// Scalar predicate latch from tile-relative bit 0 of `src` into `pm`,
+/// using the controller's word-oriented fill plan (the in-register chain's
+/// counterpart of `exec::latch_words`, specialized to the halve step's
+/// LSB check and a one-chunk buffer).
+#[cfg(target_arch = "x86_64")]
+fn latch_bit0_chunk(
+    word_fill: &[(u32, u64)],
+    word_fill_starts: &[u32],
+    src: &[u64; CHUNK],
+    pm: &mut [u64; CHUNK],
+) {
+    for w in 0..CHUNK {
+        let (f0, f1) = (
+            word_fill_starts[w] as usize,
+            word_fill_starts[w + 1] as usize,
+        );
+        let mut pmw = 0u64;
+        for &(base, mask) in &word_fill[f0..f1] {
+            let pos = base as usize;
+            let v = (src[pos >> 6] >> (pos & 63)) & 1;
+            pmw |= mask & v.wrapping_neg();
+        }
+        pm[w] = pmw;
+    }
+}
+
+/// Runs a whole multiplier chain (add-B / halve steps over one accumulator
+/// row set) with every row register-resident; memory is touched once on
+/// entry, once per halve-latch spill, and once on exit. `pred_mask` is
+/// read at entry and left holding the last halve's latch image — exactly
+/// the state per-step execution leaves. Caller must have verified
+/// [`onechunk_fast_path`] and an all-enabled tile mask.
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn chain_onechunk(
+    sw: &mut [u64],
+    cw: &mut [u64],
+    tsw: &mut [u64],
+    tcw: &mut [u64],
+    bw: &[u64],
+    mw: &[u64],
+    pred_mask: &mut [u64],
+    shr_keep: &[u64],
+    steps: &[crate::program::ChainStep],
+    word_fill: &[(u32, u64)],
+    word_fill_starts: &[u32],
+) {
+    debug_assert!(sw.len() == CHUNK && onechunk_fast_path(CHUNK));
+    // SAFETY: `onechunk_fast_path` verified AVX2 support.
+    unsafe {
+        avx2::chain_onechunk(
+            sw,
+            cw,
+            tsw,
+            tcw,
+            bw,
+            mw,
+            pred_mask,
+            shr_keep,
+            steps,
+            word_fill,
+            word_fill_starts,
+        );
+    }
+}
+
+/// Runs a whole zero-terminated carry-resolution loop register-resident.
+/// Returns `(bodies, checks, converged)`; the caller replays the cost
+/// sequence (one check per iteration, round costs per body) in emission
+/// order and sets the zero flag to `converged`.
+#[cfg(target_arch = "x86_64")]
+pub(crate) fn resolve_loop_onechunk(
+    sw: &mut [u64],
+    cw: &mut [u64],
+    shl_keep: &[u64],
+    max_checks: usize,
+) -> (usize, u64, bool) {
+    debug_assert!(sw.len() == CHUNK && onechunk_fast_path(CHUNK));
+    // SAFETY: `onechunk_fast_path` verified AVX2 support.
+    unsafe { avx2::resolve_loop_onechunk(sw, cw, shl_keep, max_checks) }
+}
+
+/// Runs a whole zero-terminated borrow-resolution loop register-resident,
+/// the live value ping-ponging between the `live` and `other` rows by
+/// round parity exactly as emission writes them. Returns
+/// `(bodies, checks, converged)`.
+#[cfg(target_arch = "x86_64")]
+pub(crate) fn borrow_loop_onechunk(
+    live: &mut [u64],
+    other: &mut [u64],
+    tw: &mut [u64],
+    shl_keep: &[u64],
+    max_checks: usize,
+) -> (usize, u64, bool) {
+    debug_assert!(live.len() == CHUNK && onechunk_fast_path(CHUNK));
+    // SAFETY: `onechunk_fast_path` verified AVX2 support.
+    unsafe { avx2::borrow_loop_onechunk(live, other, tw, shl_keep, max_checks) }
+}
+
+// ---- AVX2 paths ------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::CHUNK;
+    use std::arch::x86_64::{
+        __m256i, _mm256_and_si256, _mm256_andnot_si256, _mm256_blend_epi32, _mm256_extract_epi64,
+        _mm256_loadu_si256, _mm256_or_si256, _mm256_permute4x64_epi64, _mm256_set1_epi64x,
+        _mm256_setzero_si256, _mm256_slli_epi64, _mm256_srli_epi64, _mm256_storeu_si256,
+        _mm256_testz_si256, _mm256_xor_si256,
+    };
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn load(s: &[u64], i: usize) -> __m256i {
+        debug_assert!(i + CHUNK <= s.len());
+        // SAFETY: `i + CHUNK <= s.len()` (all kernel slices are CHUNK
+        // multiples and `i` steps by CHUNK); unaligned load is allowed.
+        unsafe { _mm256_loadu_si256(s.as_ptr().add(i).cast()) }
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn store(s: &mut [u64], i: usize, v: __m256i) {
+        debug_assert!(i + CHUNK <= s.len());
+        // SAFETY: as for `load`; unaligned store is allowed.
+        unsafe { _mm256_storeu_si256(s.as_mut_ptr().add(i).cast(), v) }
+    }
+
+    /// `(v << 1) | (prev >> 63)` per lane with the carry chained across
+    /// lanes: lane 0's predecessor is `carry` (the previous chunk's last
+    /// *old* word). Returns the shifted vector and this chunk's last old
+    /// word, to be fed into the next chunk.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    fn shl1_chain(v: __m256i, carry: u64) -> (__m256i, u64) {
+        // rot = [v3, v0, v1, v2]; blend lane 0 to carry → prev.
+        let rot = _mm256_permute4x64_epi64::<0b10_01_00_11>(v);
+        let prev = _mm256_blend_epi32::<0b0000_0011>(rot, _mm256_set1_epi64x(carry as i64));
+        let sh = _mm256_or_si256(_mm256_slli_epi64::<1>(v), _mm256_srli_epi64::<63>(prev));
+        (sh, _mm256_extract_epi64::<3>(v) as u64)
+    }
+
+    /// `(v >> 1) | (next << 63)` per lane with the borrow chained from the
+    /// *next* lane: lane 3's successor is `next_word` (the next chunk's
+    /// first value, or zero at the end of the row).
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    fn shr1_chain(v: __m256i, next_word: u64) -> __m256i {
+        // rot = [v1, v2, v3, v0]; blend lane 3 to next_word → next.
+        let rot = _mm256_permute4x64_epi64::<0b00_11_10_01>(v);
+        let nxt = _mm256_blend_epi32::<0b1100_0000>(rot, _mm256_set1_epi64x(next_word as i64));
+        _mm256_or_si256(_mm256_srli_epi64::<1>(v), _mm256_slli_epi64::<63>(nxt))
+    }
+
+    /// Whole-row (single-chunk) global 1-bit left shift: zero enters the
+    /// bottom lane, nothing chains in or out.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    fn shl1_row(v: __m256i) -> __m256i {
+        let rot = _mm256_permute4x64_epi64::<0b10_01_00_11>(v);
+        let prev = _mm256_blend_epi32::<0b0000_0011>(rot, _mm256_setzero_si256());
+        _mm256_or_si256(_mm256_slli_epi64::<1>(v), _mm256_srli_epi64::<63>(prev))
+    }
+
+    /// Whole-row (single-chunk) global 1-bit right shift.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    fn shr1_row(v: __m256i) -> __m256i {
+        let rot = _mm256_permute4x64_epi64::<0b00_11_10_01>(v);
+        let nxt = _mm256_blend_epi32::<0b1100_0000>(rot, _mm256_setzero_si256());
+        _mm256_or_si256(_mm256_srli_epi64::<1>(v), _mm256_slli_epi64::<63>(nxt))
+    }
+
+    /// AVX2 transliteration of [`super::addb_scalar`].
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn addb(
+        sw: &mut [u64],
+        cw: &mut [u64],
+        tsw: &mut [u64],
+        tcw: &mut [u64],
+        bw: &[u64],
+        mask: &[u64],
+        pred: &[u64],
+        if_set: bool,
+    ) {
+        let mut carry = 0u64;
+        let mut i = 0;
+        while i < sw.len() {
+            // SAFETY: all slices share the same CHUNK-multiple length.
+            unsafe {
+                let s = load(sw, i);
+                let b = load(bw, i);
+                let c = load(cw, i);
+                let ts = load(tsw, i);
+                let tc = load(tcw, i);
+                let g = if if_set {
+                    _mm256_and_si256(load(mask, i), load(pred, i))
+                } else {
+                    load(mask, i)
+                };
+                let c1 = _mm256_and_si256(s, b);
+                let s1 = _mm256_xor_si256(s, b);
+                let (csh, nc) = shl1_chain(c, carry);
+                carry = nc;
+                let c_eff = _mm256_or_si256(_mm256_and_si256(csh, g), _mm256_andnot_si256(g, c));
+                let ts_eff = _mm256_or_si256(_mm256_and_si256(s1, g), _mm256_andnot_si256(g, ts));
+                let tc_new = _mm256_or_si256(_mm256_and_si256(c1, g), _mm256_andnot_si256(g, tc));
+                let c2 = _mm256_and_si256(c_eff, ts_eff);
+                let s2 = _mm256_xor_si256(c_eff, ts_eff);
+                store(
+                    sw,
+                    i,
+                    _mm256_or_si256(_mm256_and_si256(s2, g), _mm256_andnot_si256(g, s)),
+                );
+                store(tsw, i, ts_eff);
+                store(tcw, i, tc_new);
+                store(
+                    cw,
+                    i,
+                    _mm256_or_si256(
+                        _mm256_and_si256(_mm256_or_si256(c2, tc_new), g),
+                        _mm256_andnot_si256(g, c_eff),
+                    ),
+                );
+            }
+            i += CHUNK;
+        }
+    }
+
+    /// AVX2 transliteration of [`super::halve_scalar`].
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn halve(
+        sw: &mut [u64],
+        cw: &mut [u64],
+        tsw: &mut [u64],
+        tcw: &mut [u64],
+        mw: &[u64],
+        pred: &[u64],
+        shr_keep: &[u64],
+    ) {
+        let n = sw.len();
+        let mut i = 0;
+        while i < n {
+            // The lookahead reads the *next* chunk's first sum word, which
+            // has not been overwritten yet (chunks ascend).
+            let next_word = if i + CHUNK < n {
+                sw[i + CHUNK] ^ (mw[i + CHUNK] & pred[i + CHUNK])
+            } else {
+                0
+            };
+            // SAFETY: all slices share the same CHUNK-multiple length.
+            unsafe {
+                let s = load(sw, i);
+                let m = load(mw, i);
+                let p = load(pred, i);
+                let c = load(cw, i);
+                let mp = _mm256_and_si256(m, p);
+                let tmp = _mm256_xor_si256(s, mp);
+                let ts1 = _mm256_and_si256(shr1_chain(tmp, next_word), load(shr_keep, i));
+                let tc1 = _mm256_and_si256(s, mp);
+                let new_tc = _mm256_and_si256(ts1, tc1);
+                let new_ts = _mm256_xor_si256(ts1, tc1);
+                let c5 = _mm256_and_si256(c, new_ts);
+                store(sw, i, _mm256_xor_si256(c, new_ts));
+                store(tsw, i, new_ts);
+                store(tcw, i, new_tc);
+                store(cw, i, _mm256_or_si256(c5, new_tc));
+            }
+            i += CHUNK;
+        }
+    }
+
+    /// AVX2 transliteration of [`super::resolve_round_scalar`].
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn resolve_round(sw: &mut [u64], cw: &mut [u64], shl_keep: &[u64]) {
+        let mut carry = 0u64;
+        let mut i = 0;
+        while i < sw.len() {
+            // SAFETY: all slices share the same CHUNK-multiple length.
+            unsafe {
+                let c = load(cw, i);
+                let s = load(sw, i);
+                let (csh0, nc) = shl1_chain(c, carry);
+                carry = nc;
+                let csh = _mm256_and_si256(csh0, load(shl_keep, i));
+                store(cw, i, _mm256_and_si256(s, csh));
+                store(sw, i, _mm256_xor_si256(s, csh));
+            }
+            i += CHUNK;
+        }
+    }
+
+    /// Register-resident multiplier chain (see
+    /// [`super::chain_onechunk`]). Each step is the single-chunk
+    /// specialization of the per-step kernels above: `Always` add-B with
+    /// an all-enabled mask loses its gating entirely, halve spills `Sum`
+    /// once per step for the scalar predicate latch.
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn chain_onechunk(
+        sw: &mut [u64],
+        cw: &mut [u64],
+        tsw: &mut [u64],
+        tcw: &mut [u64],
+        bw: &[u64],
+        mw: &[u64],
+        pred_mask: &mut [u64],
+        shr_keep: &[u64],
+        steps: &[crate::program::ChainStep],
+        word_fill: &[(u32, u64)],
+        word_fill_starts: &[u32],
+    ) {
+        use crate::isa::PredMode;
+        use crate::program::ChainStep;
+        // SAFETY: all slices are one chunk long (caller contract).
+        unsafe {
+            let mut s = load(sw, 0);
+            let mut c = load(cw, 0);
+            let mut ts = load(tsw, 0);
+            let mut tc = load(tcw, 0);
+            let b = load(bw, 0);
+            let m = load(mw, 0);
+            let shr = load(shr_keep, 0);
+            let mut p = load(pred_mask, 0);
+            let mut sum_buf = [0u64; CHUNK];
+            let mut pm_buf = [0u64; CHUNK];
+            for step in steps {
+                match *step {
+                    ChainStep::AddB(PredMode::Always) => {
+                        // All-enabled, unpredicated: the gating drops out.
+                        let c1 = _mm256_and_si256(s, b);
+                        let s1 = _mm256_xor_si256(s, b);
+                        let csh = shl1_row(c);
+                        let c2 = _mm256_and_si256(csh, s1);
+                        s = _mm256_xor_si256(csh, s1);
+                        ts = s1;
+                        tc = c1;
+                        c = _mm256_or_si256(c2, c1);
+                    }
+                    ChainStep::AddB(_) => {
+                        // IfSet (IfClear is never matched into add-B ops).
+                        let g = p;
+                        let c1 = _mm256_and_si256(s, b);
+                        let s1 = _mm256_xor_si256(s, b);
+                        let csh = shl1_row(c);
+                        let c_eff =
+                            _mm256_or_si256(_mm256_and_si256(csh, g), _mm256_andnot_si256(g, c));
+                        let ts_eff =
+                            _mm256_or_si256(_mm256_and_si256(s1, g), _mm256_andnot_si256(g, ts));
+                        let tc_new =
+                            _mm256_or_si256(_mm256_and_si256(c1, g), _mm256_andnot_si256(g, tc));
+                        let c2 = _mm256_and_si256(c_eff, ts_eff);
+                        let s2 = _mm256_xor_si256(c_eff, ts_eff);
+                        s = _mm256_or_si256(_mm256_and_si256(s2, g), _mm256_andnot_si256(g, s));
+                        ts = ts_eff;
+                        tc = tc_new;
+                        c = _mm256_or_si256(
+                            _mm256_and_si256(_mm256_or_si256(c2, tc_new), g),
+                            _mm256_andnot_si256(g, c_eff),
+                        );
+                    }
+                    ChainStep::Halve => {
+                        // The Check(Sum, bit 0) latch: spill Sum, run the
+                        // scalar fill plan, reload the predicate image.
+                        _mm256_storeu_si256(sum_buf.as_mut_ptr().cast(), s);
+                        super::latch_bit0_chunk(word_fill, word_fill_starts, &sum_buf, &mut pm_buf);
+                        p = _mm256_loadu_si256(pm_buf.as_ptr().cast());
+                        let mp = _mm256_and_si256(m, p);
+                        let tmp = _mm256_xor_si256(s, mp);
+                        let ts1 = _mm256_and_si256(shr1_row(tmp), shr);
+                        let tc1 = _mm256_and_si256(s, mp);
+                        let new_tc = _mm256_and_si256(ts1, tc1);
+                        let new_ts = _mm256_xor_si256(ts1, tc1);
+                        let c5 = _mm256_and_si256(c, new_ts);
+                        s = _mm256_xor_si256(c, new_ts);
+                        ts = new_ts;
+                        tc = new_tc;
+                        c = _mm256_or_si256(c5, new_tc);
+                    }
+                }
+            }
+            store(sw, 0, s);
+            store(cw, 0, c);
+            store(tsw, 0, ts);
+            store(tcw, 0, tc);
+            store(pred_mask, 0, p);
+        }
+    }
+
+    /// Register-resident carry-resolution loop (see
+    /// [`super::resolve_loop_onechunk`]).
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn resolve_loop_onechunk(
+        sw: &mut [u64],
+        cw: &mut [u64],
+        shl_keep: &[u64],
+        max_checks: usize,
+    ) -> (usize, u64, bool) {
+        // SAFETY: all slices are one chunk long (caller contract).
+        unsafe {
+            let mut s = load(sw, 0);
+            let mut c = load(cw, 0);
+            let shl = load(shl_keep, 0);
+            let mut bodies = 0usize;
+            let mut checks = 0u64;
+            let mut converged = false;
+            for _ in 0..max_checks {
+                checks += 1;
+                if _mm256_testz_si256(c, c) == 1 {
+                    converged = true;
+                    break;
+                }
+                let csh = _mm256_and_si256(shl1_row(c), shl);
+                let c_new = _mm256_and_si256(s, csh);
+                s = _mm256_xor_si256(s, csh);
+                c = c_new;
+                bodies += 1;
+            }
+            store(sw, 0, s);
+            store(cw, 0, c);
+            (bodies, checks, converged)
+        }
+    }
+
+    /// Register-resident borrow-resolution loop (see
+    /// [`super::borrow_loop_onechunk`]).
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn borrow_loop_onechunk(
+        live: &mut [u64],
+        other: &mut [u64],
+        tw: &mut [u64],
+        shl_keep: &[u64],
+        max_checks: usize,
+    ) -> (usize, u64, bool) {
+        // SAFETY: all slices are one chunk long (caller contract).
+        unsafe {
+            let mut va = load(live, 0);
+            let mut vb = load(other, 0);
+            let mut vt = load(tw, 0);
+            let shl = load(shl_keep, 0);
+            let mut bodies = 0usize;
+            let mut checks = 0u64;
+            let mut converged = false;
+            for k in 0..max_checks {
+                checks += 1;
+                if _mm256_testz_si256(vt, vt) == 1 {
+                    converged = true;
+                    break;
+                }
+                let tsh = _mm256_and_si256(shl1_row(vt), shl);
+                if k % 2 == 0 {
+                    vb = _mm256_xor_si256(va, tsh);
+                    vt = _mm256_and_si256(vb, tsh);
+                } else {
+                    va = _mm256_xor_si256(vb, tsh);
+                    vt = _mm256_and_si256(va, tsh);
+                }
+                bodies += 1;
+            }
+            store(live, 0, va);
+            store(other, 0, vb);
+            store(tw, 0, vt);
+            (bodies, checks, converged)
+        }
+    }
+
+    /// AVX2 transliteration of [`super::borrow_round_scalar`].
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn borrow_round(
+        cur: &[u64],
+        nxt: &mut [u64],
+        tw: &mut [u64],
+        shl_keep: &[u64],
+    ) {
+        let mut carry = 0u64;
+        let mut i = 0;
+        while i < cur.len() {
+            // SAFETY: all slices share the same CHUNK-multiple length.
+            unsafe {
+                let t = load(tw, i);
+                let (tsh0, nc) = shl1_chain(t, carry);
+                carry = nc;
+                let tsh = _mm256_and_si256(tsh0, load(shl_keep, i));
+                let so = _mm256_xor_si256(load(cur, i), tsh);
+                store(nxt, i, so);
+                store(tw, i, _mm256_and_si256(so, tsh));
+            }
+            i += CHUNK;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng_words(n: usize, seed: u64) -> Vec<u64> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            })
+            .collect()
+    }
+
+    /// Tile-keep style mask: mostly ones with periodic holes.
+    fn keep_words(n: usize, hole: u64) -> Vec<u64> {
+        (0..n).map(|w| !(hole << (w % 7))).collect()
+    }
+
+    #[test]
+    fn dispatch_state_round_trips() {
+        force_scalar(true);
+        assert!(!simd_active());
+        force_scalar(false);
+        // On AVX2 hardware this re-enables SIMD; elsewhere it stays scalar.
+        assert_eq!(
+            simd_active(),
+            hardware_has_simd(),
+            "force_scalar(false) returns to hardware detection"
+        );
+        // Restore lazy env-aware detection for the rest of the process
+        // (this test must not undo a BPNTT_FORCE_SCALAR run).
+        STATE.store(UNDECIDED, Ordering::Relaxed);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_kernels_match_scalar_bit_for_bit() {
+        if !std::arch::is_x86_feature_detected!("avx2") {
+            eprintln!("no AVX2; skipping");
+            return;
+        }
+        for n in [4usize, 8, 12, 16, 32] {
+            for seed in 1..=8u64 {
+                let bw = rng_words(n, seed * 11);
+                let mask = keep_words(n, 0x8000_0001);
+                let pred = rng_words(n, seed * 13);
+                let shl = keep_words(n, 1);
+                let shr = keep_words(n, 0x8000_0000_0000_0000);
+                for if_set in [false, true] {
+                    let mut s1 = rng_words(n, seed);
+                    let mut c1 = rng_words(n, seed + 100);
+                    let mut ts1 = rng_words(n, seed + 200);
+                    let mut tc1 = rng_words(n, seed + 300);
+                    let (mut s2, mut c2, mut ts2, mut tc2) =
+                        (s1.clone(), c1.clone(), ts1.clone(), tc1.clone());
+                    addb_scalar(
+                        &mut s1, &mut c1, &mut ts1, &mut tc1, &bw, &mask, &pred, if_set,
+                    );
+                    unsafe {
+                        avx2::addb(
+                            &mut s2, &mut c2, &mut ts2, &mut tc2, &bw, &mask, &pred, if_set,
+                        )
+                    };
+                    assert_eq!((&s1, &c1, &ts1, &tc1), (&s2, &c2, &ts2, &tc2), "addb n={n}");
+                }
+
+                let mut s1 = rng_words(n, seed + 1);
+                let mut c1 = rng_words(n, seed + 2);
+                let mut ts1 = rng_words(n, seed + 3);
+                let mut tc1 = rng_words(n, seed + 4);
+                let (mut s2, mut c2, mut ts2, mut tc2) =
+                    (s1.clone(), c1.clone(), ts1.clone(), tc1.clone());
+                halve_scalar(&mut s1, &mut c1, &mut ts1, &mut tc1, &bw, &pred, &shr);
+                unsafe { avx2::halve(&mut s2, &mut c2, &mut ts2, &mut tc2, &bw, &pred, &shr) };
+                assert_eq!(
+                    (&s1, &c1, &ts1, &tc1),
+                    (&s2, &c2, &ts2, &tc2),
+                    "halve n={n}"
+                );
+
+                let mut s1 = rng_words(n, seed + 5);
+                let mut c1 = rng_words(n, seed + 6);
+                let (mut s2, mut c2) = (s1.clone(), c1.clone());
+                resolve_round_scalar(&mut s1, &mut c1, &shl);
+                unsafe { avx2::resolve_round(&mut s2, &mut c2, &shl) };
+                assert_eq!((&s1, &c1), (&s2, &c2), "resolve n={n}");
+
+                let cur = rng_words(n, seed + 7);
+                let mut nxt1 = rng_words(n, seed + 8);
+                let mut t1 = rng_words(n, seed + 9);
+                let (mut nxt2, mut t2) = (nxt1.clone(), t1.clone());
+                borrow_round_scalar(&cur, &mut nxt1, &mut t1, &shl);
+                unsafe { avx2::borrow_round(&cur, &mut nxt2, &mut t2, &shl) };
+                assert_eq!((&nxt1, &t1), (&nxt2, &t2), "borrow n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn epilogue_kernels_match_reference_semantics() {
+        let n = 8;
+        let a = rng_words(n, 21);
+        let b = rng_words(n, 22);
+        let mask = keep_words(n, 0x11);
+        let pred = rng_words(n, 23);
+
+        let mut da = rng_words(n, 24);
+        let mut dx = rng_words(n, 25);
+        csadd(&mut da, &mut dx, &a, &b);
+        for w in 0..n {
+            assert_eq!(da[w], a[w] & b[w]);
+            assert_eq!(dx[w], a[w] ^ b[w]);
+        }
+
+        let mut ts = rng_words(n, 26);
+        let mut tc = rng_words(n, 27);
+        subinit(&mut ts, &mut tc, &a, &b);
+        for w in 0..n {
+            assert_eq!(ts[w], a[w] ^ b[w]);
+            assert_eq!(tc[w], (a[w] ^ b[w]) & b[w]);
+        }
+
+        let mut d = rng_words(n, 28);
+        let before = d.clone();
+        cond_select(&mut d, &a, &b, &mask, &pred);
+        for w in 0..n {
+            let expect =
+                (a[w] & mask[w] & pred[w]) | (b[w] & mask[w] & !pred[w]) | (before[w] & !mask[w]);
+            assert_eq!(d[w], expect);
+        }
+
+        for if_set in [false, true] {
+            let mut d = rng_words(n, 29);
+            let before = d.clone();
+            masked_copy(&mut d, &a, &mask, &pred, if_set);
+            for w in 0..n {
+                let g = if if_set {
+                    mask[w] & pred[w]
+                } else {
+                    mask[w] & !pred[w]
+                };
+                assert_eq!(d[w], (before[w] & !g) | (a[w] & g));
+            }
+        }
+
+        let mut s = rng_words(n, 30);
+        let mut c = rng_words(n, 31);
+        let mut tcx = rng_words(n, 32);
+        let s_before = s.clone();
+        signfix(&mut s, &mut c, &mut tcx, &a, &mask, &pred);
+        for w in 0..n {
+            let g = mask[w] & pred[w];
+            let cn = a[w] & g;
+            assert_eq!(c[w], cn);
+            assert_eq!(tcx[w], s_before[w] & cn);
+            assert_eq!(s[w], s_before[w] ^ cn);
+        }
+    }
+}
