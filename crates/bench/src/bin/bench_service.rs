@@ -1,0 +1,201 @@
+//! Emits `BENCH_service.json`: throughput and queue metrics of the
+//! request-queue service under a concurrent mixed workload. Run from the
+//! workspace root:
+//!
+//! ```text
+//! cargo run --release -p bpntt-bench --bin bench_service [-- OPTIONS]
+//! ```
+//!
+//! Options:
+//!
+//! * `--shards N` — arrays per tenant engine (default 2).
+//! * `--clients N` — concurrent client threads (default 4).
+//! * `--requests N` — requests per client (default 48; 2:1
+//!   forward:polymul mix).
+//! * `--queue N` — bounded queue capacity (default 512).
+//! * `--coalesce-us N` — dispatcher coalescing window in µs (default
+//!   500).
+//! * `--json-out PATH` — where to write the JSON (default
+//!   `BENCH_service.json`).
+//!
+//! The workload is a 64-point NTT modulo 7681 (Kyber-class prime) in
+//! 14-bit words — small enough that queueing, coalescing, and fan-out
+//! costs are visible next to the transforms. Every result is verified
+//! against the software reference, so the numbers are for *correct*
+//! traffic. Wall-clock numbers are machine-dependent (the container is a
+//! single-core VM); the wave-occupancy and waves-per-request ratios are
+//! the portable signal.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use bpntt_core::{BpNttConfig, BpNttError, NttService, ServiceOptions};
+use bpntt_ntt::forward::ntt_in_place;
+use bpntt_ntt::polymul::polymul_schoolbook;
+use bpntt_ntt::{NttParams, Polynomial, TwiddleTable};
+
+struct Options {
+    shards: usize,
+    clients: u64,
+    requests: u64,
+    queue: usize,
+    coalesce_us: u64,
+    json_out: String,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        shards: 2,
+        clients: 4,
+        requests: 48,
+        queue: 512,
+        coalesce_us: 500,
+        json_out: "BENCH_service.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--shards" => opts.shards = value("--shards").parse().expect("--shards integer"),
+            "--clients" => opts.clients = value("--clients").parse().expect("--clients integer"),
+            "--requests" => {
+                opts.requests = value("--requests").parse().expect("--requests integer");
+            }
+            "--queue" => opts.queue = value("--queue").parse().expect("--queue integer"),
+            "--coalesce-us" => {
+                opts.coalesce_us = value("--coalesce-us")
+                    .parse()
+                    .expect("--coalesce-us integer");
+            }
+            "--json-out" => opts.json_out = value("--json-out"),
+            other => panic!(
+                "unknown option {other} (see --shards/--clients/--requests/--queue/--coalesce-us/--json-out)"
+            ),
+        }
+    }
+    opts
+}
+
+fn pseudo(params: &NttParams, seed: u64) -> Vec<u64> {
+    Polynomial::pseudo_random(params, seed).into_coeffs()
+}
+
+fn main() {
+    let opts = parse_args();
+    // 64-point Kyber-class workload: 2·64 + 6 = 134 rows, 14-bit tiles in
+    // 256 columns → 18 lanes per shard.
+    let params = NttParams::new(64, 7681).unwrap();
+    let cfg = BpNttConfig::new(134, 256, 14, params.clone()).unwrap();
+    let n = params.n();
+    let q = params.modulus();
+    let lanes_total = cfg.layout().lanes() * opts.shards;
+    let twiddles = TwiddleTable::new(&params);
+
+    let service = NttService::start(
+        &cfg,
+        ServiceOptions {
+            shards: opts.shards,
+            max_queue: opts.queue,
+            coalesce_window: Duration::from_micros(opts.coalesce_us),
+        },
+    )
+    .unwrap();
+
+    let overload_retries = AtomicU64::new(0);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..opts.clients {
+            let service = &service;
+            let params = &params;
+            let twiddles = &twiddles;
+            let overload_retries = &overload_retries;
+            scope.spawn(move || {
+                for r in 0..opts.requests {
+                    let seed = c * 100_000 + r * 31 + 1;
+                    if r % 3 == 2 {
+                        let a = pseudo(params, seed);
+                        let b = pseudo(params, seed + 13);
+                        let ticket = loop {
+                            match service.submit_polymul(a.clone(), b.clone()) {
+                                Ok(t) => break t,
+                                Err(BpNttError::Overloaded { .. }) => {
+                                    overload_retries.fetch_add(1, Ordering::Relaxed);
+                                    std::thread::yield_now();
+                                }
+                                Err(e) => panic!("submission failed: {e}"),
+                            }
+                        };
+                        let got = ticket.wait().unwrap();
+                        let expect = polymul_schoolbook(params, &a, &b).unwrap();
+                        assert_eq!(got, expect, "polymul diverged (client {c}, req {r})");
+                    } else {
+                        let p = pseudo(params, seed);
+                        let ticket = loop {
+                            match service.submit_forward(p.clone()) {
+                                Ok(t) => break t,
+                                Err(BpNttError::Overloaded { .. }) => {
+                                    overload_retries.fetch_add(1, Ordering::Relaxed);
+                                    std::thread::yield_now();
+                                }
+                                Err(e) => panic!("submission failed: {e}"),
+                            }
+                        };
+                        let got = ticket.wait().unwrap();
+                        let mut expect = p.clone();
+                        ntt_in_place(params, twiddles, &mut expect).unwrap();
+                        assert_eq!(got, expect, "forward diverged (client {c}, req {r})");
+                    }
+                }
+            });
+        }
+    });
+    let wall = t0.elapsed().as_secs_f64();
+
+    let metrics = service.shutdown();
+    let total_requests = opts.clients * opts.requests;
+    let client_polys_per_sec = total_requests as f64 / wall;
+    let parallelism = std::thread::available_parallelism().map_or(1, usize::from);
+
+    let mut json = String::from("{\n  \"benchmark\": \"service_mixed_throughput\",\n");
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{\"n\": {n}, \"q\": {q}, \"cols\": 256, \"bitwidth\": 14, \"mix\": \"2:1 forward:polymul\", \"lanes_total\": {lanes_total}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"options\": {{\"shards\": {}, \"clients\": {}, \"requests_per_client\": {}, \"max_queue\": {}, \"coalesce_us\": {}}},",
+        opts.shards, opts.clients, opts.requests, opts.queue, opts.coalesce_us
+    );
+    let _ = write!(
+        json,
+        "  \"wall_s\": {wall:.3},\n  \"client_requests_per_sec\": {client_polys_per_sec:.1},\n  \"overload_retries\": {},\n",
+        overload_retries.load(Ordering::Relaxed)
+    );
+    let _ = writeln!(json, "  \"service\": {},", metrics.to_json());
+    let _ = write!(
+        json,
+        "  \"note\": \"wall-clock on the build machine; every result verified against the software NTT reference\",\n  \"available_parallelism\": {parallelism},\n  \"simd_active\": {}\n}}\n",
+        bpntt_sram::simd_active()
+    );
+    std::fs::write(&opts.json_out, &json).expect("write benchmark JSON");
+
+    println!(
+        "{} clients × {} requests ({} total) in {:.2} s → {:.0} req/s observed by clients",
+        opts.clients, opts.requests, total_requests, wall, client_polys_per_sec
+    );
+    println!(
+        "service: {} waves, occupancy {:.2}, {:.0} polys/s busy, shard ms p50/p90/max {:.3}/{:.3}/{:.3}, {} rejected",
+        metrics.waves,
+        metrics.wave_occupancy,
+        metrics.polys_per_sec,
+        metrics.shard_secs_p50 * 1e3,
+        metrics.shard_secs_p90 * 1e3,
+        metrics.shard_secs_max * 1e3,
+        metrics.rejected
+    );
+    println!("wrote {}", opts.json_out);
+}

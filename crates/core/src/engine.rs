@@ -490,6 +490,16 @@ impl BpNtt {
         self.programs.insert(key, prog);
     }
 
+    /// The key of the standalone forward-NTT program (coefficient region
+    /// based at row 0). Named accessor so batch warm-up paths
+    /// ([`ShardedBpNtt`](crate::ShardedBpNtt), the service dispatcher)
+    /// never select a program by its position inside
+    /// [`Self::transform_program_keys`] — a reordering there cannot
+    /// silently warm the wrong schedule.
+    pub(crate) fn forward_program_key(&self) -> ProgramKey {
+        ProgramKey::Forward { base: 0 }
+    }
+
     /// The four program keys [`Self::polymul`] replays, in execution order.
     pub(crate) fn polymul_program_keys(&self) -> [ProgramKey; 4] {
         let n = self.n() as u16;
@@ -513,15 +523,34 @@ impl BpNtt {
     }
 
     /// The program keys of a forward + inverse roundtrip.
+    ///
+    /// Ordering invariant: the forward key comes first and equals
+    /// [`Self::forward_program_key`] (debug-asserted); callers that need
+    /// only the forward schedule should use the named accessor instead of
+    /// indexing into this array.
     pub(crate) fn transform_program_keys(&self) -> [ProgramKey; 2] {
         let scale = self.mont.to_mont(self.config.params().n_inv());
-        [
-            ProgramKey::Forward { base: 0 },
+        let keys = [
+            self.forward_program_key(),
             ProgramKey::Inverse {
                 base: 0,
                 scale_mont: scale,
             },
-        ]
+        ];
+        debug_assert!(
+            matches!(keys[0], ProgramKey::Forward { base: 0 }),
+            "transform_program_keys must keep the forward key first"
+        );
+        keys
+    }
+
+    /// Every compiled program currently cached, as `(key, Arc)` pairs (the
+    /// service layer harvests these into its cross-tenant program cache).
+    pub(crate) fn export_programs(&self) -> Vec<(ProgramKey, Arc<CompiledProgram>)> {
+        self.programs
+            .iter()
+            .map(|(k, p)| (*k, Arc::clone(p)))
+            .collect()
     }
 
     /// The compiled forward-NTT program for this configuration (compiling

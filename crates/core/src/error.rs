@@ -72,6 +72,22 @@ pub enum BpNttError {
         /// Length of the second operand batch.
         b: usize,
     },
+    /// The service's bounded request queue is full — backpressure: the
+    /// client should retry after draining some tickets.
+    Overloaded {
+        /// Requests currently queued.
+        depth: usize,
+        /// The queue's configured capacity.
+        capacity: usize,
+    },
+    /// The service dispatcher has shut down (or dropped a reply channel);
+    /// no further requests will be served.
+    ServiceShutdown,
+    /// The tenant id was never registered with this service.
+    UnknownTenant {
+        /// The unrecognised tenant id.
+        tenant: u32,
+    },
     /// Underlying NTT parameter failure.
     Ntt(NttError),
     /// Underlying modular-arithmetic failure.
@@ -132,6 +148,18 @@ impl fmt::Display for BpNttError {
                     "paired batches must have equal lengths (got {a} and {b})"
                 )
             }
+            BpNttError::Overloaded { depth, capacity } => {
+                write!(
+                    f,
+                    "service queue overloaded ({depth} of {capacity} slots in use)"
+                )
+            }
+            BpNttError::ServiceShutdown => {
+                write!(f, "the NTT service has shut down")
+            }
+            BpNttError::UnknownTenant { tenant } => {
+                write!(f, "tenant {tenant} is not registered with this service")
+            }
             BpNttError::Ntt(e) => write!(f, "ntt parameter error: {e}"),
             BpNttError::Math(e) => write!(f, "modular arithmetic error: {e}"),
             BpNttError::Sram(e) => write!(f, "sram simulator error: {e}"),
@@ -181,5 +209,16 @@ mod tests {
         assert!(e.to_string().contains("2^15"));
         let e = BpNttError::Sram(SramError::BadOpcode { opcode: 9 });
         assert!(e.source().is_some());
+        let e = BpNttError::Overloaded {
+            depth: 128,
+            capacity: 128,
+        };
+        assert!(e.to_string().contains("128 of 128"));
+        assert!(BpNttError::ServiceShutdown
+            .to_string()
+            .contains("shut down"));
+        assert!(BpNttError::UnknownTenant { tenant: 7 }
+            .to_string()
+            .contains("tenant 7"));
     }
 }

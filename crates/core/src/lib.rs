@@ -48,6 +48,7 @@ pub mod error;
 pub mod kernels;
 pub mod layout;
 pub mod metrics;
+pub mod service;
 pub mod sharded;
 
 pub use config::BpNttConfig;
@@ -55,5 +56,6 @@ pub use engine::BpNtt;
 pub use error::BpNttError;
 pub use kernels::Kernels;
 pub use layout::{Layout, RowMap};
-pub use metrics::PerfReport;
+pub use metrics::{PerfReport, ServiceMetrics};
+pub use service::{NttService, ServiceOptions, TenantId, Ticket};
 pub use sharded::ShardedBpNtt;

@@ -1,8 +1,10 @@
-//! Performance metrics in the units of the paper's Table I.
+//! Performance metrics: the paper's Table I units ([`PerfReport`]) and
+//! the request-queue service's exportable snapshot ([`ServiceMetrics`]).
 
 use bpntt_sram::geometry::{AreaModel, ArrayGeometry, FrequencyModel};
 use bpntt_sram::Stats;
 use std::fmt;
+use std::fmt::Write as _;
 
 /// A Table-I-style performance report for one accelerator run.
 ///
@@ -118,9 +120,159 @@ impl fmt::Display for PerfReport {
     }
 }
 
+/// A point-in-time snapshot of the request-queue service
+/// ([`NttService`](crate::NttService)): queue pressure, wave coalescing
+/// efficiency, throughput, per-shard wall-clock percentiles, and the
+/// cross-tenant compiled-program cache. Exportable as JSON for scrapers
+/// and the `bench_service` trajectory file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceMetrics {
+    /// Requests queued right now.
+    pub queue_depth: usize,
+    /// High-water mark of the queue depth since start.
+    pub peak_queue_depth: usize,
+    /// The bounded queue's capacity (backpressure threshold).
+    pub queue_capacity: usize,
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests rejected with [`Overloaded`](crate::BpNttError::Overloaded).
+    pub rejected: u64,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Requests completed with an error.
+    pub failed: u64,
+    /// Coalesced waves dispatched to the sharded engines.
+    pub waves: u64,
+    /// Polynomial results produced through waves (a polymul pair counts
+    /// once: one result).
+    pub wave_polys: u64,
+    /// Mean wave fill: polynomials per wave relative to the serving
+    /// engine's `lanes_total` capacity, capped at 1 per wave.
+    pub wave_occupancy: f64,
+    /// Wall-clock seconds the dispatcher spent inside engine calls.
+    pub busy_secs: f64,
+    /// Results per second of dispatcher busy time (`wave_polys /
+    /// busy_secs`).
+    pub polys_per_sec: f64,
+    /// Median of the recent per-shard wall-clock samples (seconds).
+    pub shard_secs_p50: f64,
+    /// 90th percentile of the recent per-shard samples (seconds).
+    pub shard_secs_p90: f64,
+    /// Maximum of the recent per-shard samples (seconds).
+    pub shard_secs_max: f64,
+    /// Distinct `(params, layout)` entries in the compiled-program cache.
+    pub program_cache_entries: usize,
+    /// Tenant registrations served from the cache without recompiling.
+    pub program_cache_hits: u64,
+    /// Registered tenants.
+    pub tenants: usize,
+}
+
+impl ServiceMetrics {
+    /// Renders the snapshot as a self-contained JSON object (no trailing
+    /// newline), with the same hand-rolled discipline as the bench
+    /// writers — the workspace builds offline, so no serde.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        let _ = write!(
+            s,
+            "\"queue_depth\": {}, \"peak_queue_depth\": {}, \"queue_capacity\": {}, ",
+            self.queue_depth, self.peak_queue_depth, self.queue_capacity
+        );
+        let _ = write!(
+            s,
+            "\"submitted\": {}, \"rejected\": {}, \"completed\": {}, \"failed\": {}, ",
+            self.submitted, self.rejected, self.completed, self.failed
+        );
+        let _ = write!(
+            s,
+            "\"waves\": {}, \"wave_polys\": {}, \"wave_occupancy\": {:.4}, ",
+            self.waves, self.wave_polys, self.wave_occupancy
+        );
+        let _ = write!(
+            s,
+            "\"busy_secs\": {:.6}, \"polys_per_sec\": {:.1}, ",
+            self.busy_secs, self.polys_per_sec
+        );
+        let _ = write!(
+            s,
+            "\"shard_ms_p50\": {:.4}, \"shard_ms_p90\": {:.4}, \"shard_ms_max\": {:.4}, ",
+            self.shard_secs_p50 * 1e3,
+            self.shard_secs_p90 * 1e3,
+            self.shard_secs_max * 1e3
+        );
+        let _ = write!(
+            s,
+            "\"program_cache_entries\": {}, \"program_cache_hits\": {}, \"tenants\": {}}}",
+            self.program_cache_entries, self.program_cache_hits, self.tenants
+        );
+        s
+    }
+}
+
+/// Nearest-rank percentile of an **ascending-sorted** slice; 0.0 when
+/// empty. `p` in `[0, 1]`.
+pub(crate) fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 0.5), 3.0);
+        assert_eq!(percentile(&xs, 1.0), 5.0);
+        assert_eq!(percentile(&[7.0], 0.9), 7.0);
+    }
+
+    #[test]
+    fn service_metrics_render_as_json() {
+        let m = ServiceMetrics {
+            queue_depth: 1,
+            peak_queue_depth: 9,
+            queue_capacity: 128,
+            submitted: 40,
+            rejected: 2,
+            completed: 37,
+            failed: 1,
+            waves: 5,
+            wave_polys: 38,
+            wave_occupancy: 0.95,
+            busy_secs: 0.5,
+            polys_per_sec: 76.0,
+            shard_secs_p50: 0.001,
+            shard_secs_p90: 0.002,
+            shard_secs_max: 0.003,
+            program_cache_entries: 2,
+            program_cache_hits: 1,
+            tenants: 3,
+        };
+        let json = m.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        for key in [
+            "\"queue_depth\": 1",
+            "\"peak_queue_depth\": 9",
+            "\"rejected\": 2",
+            "\"waves\": 5",
+            "\"wave_occupancy\": 0.9500",
+            "\"polys_per_sec\": 76.0",
+            "\"shard_ms_p90\": 2.0000",
+            "\"program_cache_hits\": 1",
+            "\"tenants\": 3",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
 
     #[test]
     fn unit_conversions_are_consistent() {

@@ -1,0 +1,916 @@
+//! A request-queue service over [`ShardedBpNtt`]: concurrent clients
+//! submit single NTT requests, a dispatcher thread coalesces them into
+//! full waves and fans them out across shards.
+//!
+//! The paper's scaling argument is that one instruction stream drives
+//! hundreds of 0.063 mm² arrays; the sharded engine is that argument in
+//! software, but server-side NTT workloads (HE ciphertext limbs, batch
+//! signature verification) arrive as *streams of small requests*, not
+//! pre-assembled batches. [`NttService`] closes the gap:
+//!
+//! * **Submission API** — [`NttService::submit_forward`] /
+//!   [`NttService::submit_polymul`] validate the operands, enqueue the
+//!   request, and return a [`Ticket`]: a completion handle over a
+//!   channel. `Ticket::wait` blocks; `Ticket::try_wait` polls, so the
+//!   handle composes with any async executor's readiness loop.
+//! * **Wave coalescing** — a dispatcher thread drains the queue in
+//!   batches: it waits (up to `coalesce_window`) for enough requests to
+//!   fill every lane of every shard, then executes one
+//!   [`ShardedBpNtt`] batch call per `(tenant, operation)` group. Inside
+//!   the engine the chunks are **work-stolen** across shards, so a slow
+//!   shard claims fewer chunks instead of stalling the wave.
+//! * **Backpressure** — the queue is bounded; when it is full,
+//!   submission fails fast with [`BpNttError::Overloaded`] instead of
+//!   buffering without limit.
+//! * **Tenants and the program cache** — each tenant registers a
+//!   [`BpNttConfig`]; the dispatcher keeps one sharded engine per tenant
+//!   and a cross-tenant cache of compiled programs keyed by
+//!   `(params, layout)`, so a second tenant with an identical
+//!   configuration installs `Arc`-shared programs instead of
+//!   recompiling.
+//! * **Metrics** — [`NttService::metrics`] snapshots queue depth, wave
+//!   occupancy, throughput, and per-shard wall-clock percentiles as a
+//!   [`ServiceMetrics`], exportable as JSON.
+//!
+//! # Example
+//!
+//! ```
+//! use bpntt_core::{BpNttConfig, NttService, ServiceOptions};
+//! use bpntt_ntt::NttParams;
+//!
+//! let cfg = BpNttConfig::new(32, 32, 8, NttParams::new(8, 97)?)?;
+//! let service = NttService::start(&cfg, ServiceOptions::default())?;
+//! let poly: Vec<u64> = (0..8).map(|j| (j * 13) as u64 % 97).collect();
+//! let ticket = service.submit_forward(poly)?;
+//! let spectrum = ticket.wait()?;
+//! assert_eq!(spectrum.len(), 8);
+//! let m = service.shutdown();
+//! assert_eq!(m.completed, 1);
+//! # Ok::<(), bpntt_core::BpNttError>(())
+//! ```
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::config::BpNttConfig;
+use crate::engine::ProgramKey;
+use crate::error::BpNttError;
+use crate::metrics::{percentile, ServiceMetrics};
+use crate::sharded::ShardedBpNtt;
+use bpntt_sram::CompiledProgram;
+
+/// How many recent per-shard wall-clock samples the percentile window
+/// keeps (a ring buffer; old samples fall off).
+const SHARD_SAMPLE_WINDOW: usize = 4096;
+
+/// Tuning knobs for [`NttService::start`].
+#[derive(Debug, Clone)]
+pub struct ServiceOptions {
+    /// Arrays provisioned per tenant engine.
+    pub shards: usize,
+    /// Bounded queue capacity; a full queue rejects submissions with
+    /// [`BpNttError::Overloaded`].
+    pub max_queue: usize,
+    /// How long the dispatcher waits for more requests before running a
+    /// partially filled wave. Zero dispatches immediately (lowest
+    /// latency, worst occupancy).
+    pub coalesce_window: Duration,
+}
+
+impl Default for ServiceOptions {
+    fn default() -> Self {
+        ServiceOptions {
+            shards: 2,
+            max_queue: 1024,
+            coalesce_window: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Identifies one registered tenant (a `(params, layout)` configuration
+/// with its own sharded engine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TenantId(u32);
+
+impl TenantId {
+    /// The raw id (as reported in [`BpNttError::UnknownTenant`]).
+    #[must_use]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+/// Completion handle for one submitted request.
+///
+/// The result arrives over a dedicated channel once the dispatcher's
+/// wave completes, and is yielded **at most once**: after
+/// [`Ticket::try_wait`] or [`Ticket::wait_timeout`] has returned the
+/// result, later polls of the same ticket report
+/// [`BpNttError::ServiceShutdown`] (the channel is spent), not the
+/// result again. Dropping the ticket cancels nothing — the request
+/// still executes — but its result is discarded.
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<Vec<u64>, BpNttError>>,
+}
+
+impl Ticket {
+    /// Blocks until the result is ready.
+    ///
+    /// # Errors
+    ///
+    /// The request's own failure, or [`BpNttError::ServiceShutdown`] if
+    /// the dispatcher exited without answering.
+    pub fn wait(self) -> Result<Vec<u64>, BpNttError> {
+        self.rx.recv().unwrap_or(Err(BpNttError::ServiceShutdown))
+    }
+
+    /// Non-blocking poll: `None` while the request is still in flight.
+    /// This is the async-integration point — poll it from any executor's
+    /// readiness loop.
+    pub fn try_wait(&self) -> Option<Result<Vec<u64>, BpNttError>> {
+        match self.rx.try_recv() {
+            Ok(r) => Some(r),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(BpNttError::ServiceShutdown)),
+        }
+    }
+
+    /// Blocks up to `timeout`; `None` on timeout.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<Vec<u64>, BpNttError>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(r) => Some(r),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(BpNttError::ServiceShutdown)),
+        }
+    }
+}
+
+type Reply<T> = mpsc::Sender<Result<T, BpNttError>>;
+
+/// One queued request. Control requests (tenant registration) travel on
+/// a separate lane so data-plane coalescing never delays them.
+enum Request {
+    Forward {
+        tenant: TenantId,
+        poly: Vec<u64>,
+        reply: Reply<Vec<u64>>,
+    },
+    Polymul {
+        tenant: TenantId,
+        a: Vec<u64>,
+        b: Vec<u64>,
+        reply: Reply<Vec<u64>>,
+    },
+}
+
+enum Control {
+    AddTenant {
+        config: Box<BpNttConfig>,
+        reply: Reply<TenantId>,
+    },
+}
+
+/// What submit-side validation needs to know about a tenant without
+/// touching the dispatcher-owned engine.
+#[derive(Debug, Clone, Copy)]
+struct TenantInfo {
+    n: usize,
+    q: u64,
+    /// Whether the layout supports on-array polymul (single tile,
+    /// `2N + reserved` rows available).
+    polymul_capacity: Result<(), (usize, usize)>,
+}
+
+/// Queue state guarded by the service mutex.
+struct QueueState {
+    queue: VecDeque<Request>,
+    control: VecDeque<Control>,
+    shutdown: bool,
+}
+
+/// Dispatcher-side counters behind their own lock (snapshots never block
+/// the queue).
+#[derive(Default)]
+struct MetricsState {
+    peak_queue_depth: usize,
+    submitted: u64,
+    rejected: u64,
+    completed: u64,
+    failed: u64,
+    waves: u64,
+    wave_polys: u64,
+    occupancy_sum: f64,
+    busy_secs: f64,
+    shard_secs: VecDeque<f64>,
+    program_cache_entries: usize,
+    program_cache_hits: u64,
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+    tenants: Mutex<HashMap<TenantId, TenantInfo>>,
+    metrics: Mutex<MetricsState>,
+    max_queue: usize,
+    coalesce_window: Duration,
+}
+
+/// Cross-tenant compiled-program cache key: two tenants share programs
+/// exactly when their `(params, layout)` agree (the layout is fully
+/// determined by rows/cols/bitwidth/n, and every engine uses the default
+/// timing model, so equal keys imply bit-identical programs and costs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ProgramCacheKey {
+    n: usize,
+    q: u64,
+    rows: usize,
+    cols: usize,
+    bitwidth: usize,
+}
+
+impl ProgramCacheKey {
+    fn of(config: &BpNttConfig) -> Self {
+        ProgramCacheKey {
+            n: config.params().n(),
+            q: config.params().modulus(),
+            rows: config.rows(),
+            cols: config.cols(),
+            bitwidth: config.bitwidth(),
+        }
+    }
+}
+
+/// The async-capable request-queue service over per-tenant
+/// [`ShardedBpNtt`] engines. See the [module docs](self) for the design
+/// and an example.
+///
+/// All submission methods take `&self`, so one service instance can be
+/// shared across client threads (e.g. behind an `Arc` or borrowed into
+/// `std::thread::scope`). Dropping the service shuts the dispatcher down
+/// after it drains the queue.
+#[derive(Debug)]
+pub struct NttService {
+    shared: Arc<Shared>,
+    dispatcher: Option<JoinHandle<()>>,
+    default_tenant: TenantId,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("max_queue", &self.max_queue)
+            .field("coalesce_window", &self.coalesce_window)
+            .finish_non_exhaustive()
+    }
+}
+
+impl NttService {
+    /// Starts the dispatcher and registers `config` as the default
+    /// tenant (its programs are compiled now, not on the first request).
+    ///
+    /// # Errors
+    ///
+    /// [`BpNttError::InvalidShardCount`] for zero shards; otherwise
+    /// whatever tenant registration reports (engine construction or
+    /// program compilation failures).
+    pub fn start(config: &BpNttConfig, opts: ServiceOptions) -> Result<Self, BpNttError> {
+        if opts.shards == 0 {
+            return Err(BpNttError::InvalidShardCount { shards: 0 });
+        }
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                control: VecDeque::new(),
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            tenants: Mutex::new(HashMap::new()),
+            metrics: Mutex::new(MetricsState::default()),
+            max_queue: opts.max_queue,
+            coalesce_window: opts.coalesce_window,
+        });
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            let shards = opts.shards;
+            std::thread::Builder::new()
+                .name("bpntt-service-dispatcher".into())
+                .spawn(move || dispatcher_loop(&shared, shards))
+                .expect("spawn service dispatcher")
+        };
+        let mut service = NttService {
+            shared,
+            dispatcher: Some(dispatcher),
+            default_tenant: TenantId(0),
+        };
+        service.default_tenant = service.add_tenant(config)?;
+        Ok(service)
+    }
+
+    /// Registers another tenant configuration, building its sharded
+    /// engine and warming its programs (from the cross-tenant cache when
+    /// an identical `(params, layout)` is already registered).
+    ///
+    /// # Errors
+    ///
+    /// Engine construction / program compilation failures, or
+    /// [`BpNttError::ServiceShutdown`] after shutdown.
+    pub fn add_tenant(&self, config: &BpNttConfig) -> Result<TenantId, BpNttError> {
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut st = self.shared.state.lock().expect("service state poisoned");
+            if st.shutdown {
+                return Err(BpNttError::ServiceShutdown);
+            }
+            st.control.push_back(Control::AddTenant {
+                config: Box::new(config.clone()),
+                reply: tx,
+            });
+        }
+        self.shared.cv.notify_all();
+        rx.recv().unwrap_or(Err(BpNttError::ServiceShutdown))
+    }
+
+    /// The tenant registered by [`Self::start`].
+    #[must_use]
+    pub fn default_tenant(&self) -> TenantId {
+        self.default_tenant
+    }
+
+    /// Submits one forward NTT for the default tenant.
+    ///
+    /// # Errors
+    ///
+    /// Validation failures ([`BpNttError::WrongLength`] /
+    /// [`BpNttError::Unreduced`]), [`BpNttError::Overloaded`] under
+    /// backpressure, [`BpNttError::ServiceShutdown`] after shutdown.
+    pub fn submit_forward(&self, poly: Vec<u64>) -> Result<Ticket, BpNttError> {
+        self.submit_forward_as(self.default_tenant, poly)
+    }
+
+    /// Submits one forward NTT for a specific tenant.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::submit_forward`], plus [`BpNttError::UnknownTenant`].
+    pub fn submit_forward_as(
+        &self,
+        tenant: TenantId,
+        poly: Vec<u64>,
+    ) -> Result<Ticket, BpNttError> {
+        let info = self.tenant_info(tenant)?;
+        validate_poly(&info, &poly)?;
+        let (reply, rx) = mpsc::channel();
+        self.enqueue(Request::Forward {
+            tenant,
+            poly,
+            reply,
+        })?;
+        Ok(Ticket { rx })
+    }
+
+    /// Submits one negacyclic polynomial multiplication (`a ⊛ b`) for
+    /// the default tenant.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::submit_forward`], plus
+    /// [`BpNttError::CapacityExceeded`] when the tenant's layout cannot
+    /// host two operands on one tile.
+    pub fn submit_polymul(&self, a: Vec<u64>, b: Vec<u64>) -> Result<Ticket, BpNttError> {
+        self.submit_polymul_as(self.default_tenant, a, b)
+    }
+
+    /// Submits one polynomial multiplication for a specific tenant.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::submit_polymul`], plus [`BpNttError::UnknownTenant`].
+    pub fn submit_polymul_as(
+        &self,
+        tenant: TenantId,
+        a: Vec<u64>,
+        b: Vec<u64>,
+    ) -> Result<Ticket, BpNttError> {
+        let info = self.tenant_info(tenant)?;
+        if let Err((n, capacity)) = info.polymul_capacity {
+            return Err(BpNttError::CapacityExceeded { n, capacity });
+        }
+        validate_poly(&info, &a)?;
+        validate_poly(&info, &b)?;
+        let (reply, rx) = mpsc::channel();
+        self.enqueue(Request::Polymul {
+            tenant,
+            a,
+            b,
+            reply,
+        })?;
+        Ok(Ticket { rx })
+    }
+
+    /// Snapshots the service counters.
+    #[must_use]
+    pub fn metrics(&self) -> ServiceMetrics {
+        let queue_depth = self
+            .shared
+            .state
+            .lock()
+            .expect("service state poisoned")
+            .queue
+            .len();
+        let tenants = self
+            .shared
+            .tenants
+            .lock()
+            .expect("tenant map poisoned")
+            .len();
+        let m = self.shared.metrics.lock().expect("metrics poisoned");
+        let mut sorted: Vec<f64> = m.shard_secs.iter().copied().collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("shard secs are finite"));
+        ServiceMetrics {
+            queue_depth,
+            peak_queue_depth: m.peak_queue_depth,
+            queue_capacity: self.shared.max_queue,
+            submitted: m.submitted,
+            rejected: m.rejected,
+            completed: m.completed,
+            failed: m.failed,
+            waves: m.waves,
+            wave_polys: m.wave_polys,
+            wave_occupancy: if m.waves == 0 {
+                0.0
+            } else {
+                m.occupancy_sum / m.waves as f64
+            },
+            busy_secs: m.busy_secs,
+            polys_per_sec: if m.busy_secs > 0.0 {
+                m.wave_polys as f64 / m.busy_secs
+            } else {
+                0.0
+            },
+            shard_secs_p50: percentile(&sorted, 0.50),
+            shard_secs_p90: percentile(&sorted, 0.90),
+            shard_secs_max: sorted.last().copied().unwrap_or(0.0),
+            program_cache_entries: m.program_cache_entries,
+            program_cache_hits: m.program_cache_hits,
+            tenants,
+        }
+    }
+
+    /// Shuts the dispatcher down after it drains every queued request,
+    /// and returns the final metrics snapshot. Results already produced
+    /// remain readable from their tickets.
+    #[must_use = "the final metrics snapshot is the service's exit report"]
+    pub fn shutdown(mut self) -> ServiceMetrics {
+        self.shutdown_inner();
+        self.metrics()
+    }
+
+    fn shutdown_inner(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("service state poisoned");
+            st.shutdown = true;
+        }
+        self.shared.cv.notify_all();
+        if let Some(handle) = self.dispatcher.take() {
+            // Tolerate a panicked dispatcher: this runs from Drop, where a
+            // second panic would abort the process and swallow the
+            // original panic message. Outstanding tickets already observe
+            // the failure as `ServiceShutdown`.
+            let _ = handle.join();
+        }
+    }
+
+    fn tenant_info(&self, tenant: TenantId) -> Result<TenantInfo, BpNttError> {
+        self.shared
+            .tenants
+            .lock()
+            .expect("tenant map poisoned")
+            .get(&tenant)
+            .copied()
+            .ok_or(BpNttError::UnknownTenant { tenant: tenant.0 })
+    }
+
+    fn enqueue(&self, req: Request) -> Result<(), BpNttError> {
+        {
+            let mut st = self.shared.state.lock().expect("service state poisoned");
+            if st.shutdown {
+                return Err(BpNttError::ServiceShutdown);
+            }
+            if st.queue.len() >= self.shared.max_queue {
+                let depth = st.queue.len();
+                drop(st);
+                let mut m = self.shared.metrics.lock().expect("metrics poisoned");
+                m.rejected += 1;
+                return Err(BpNttError::Overloaded {
+                    depth,
+                    capacity: self.shared.max_queue,
+                });
+            }
+            st.queue.push_back(req);
+            // Count the submission before the state lock drops: once it
+            // does, the dispatcher may complete the request, and a
+            // snapshot must never show completed > submitted. (Metrics
+            // nests inside state here; nothing locks them the other way
+            // round.)
+            let depth = st.queue.len();
+            let mut m = self.shared.metrics.lock().expect("metrics poisoned");
+            m.submitted += 1;
+            m.peak_queue_depth = m.peak_queue_depth.max(depth);
+        }
+        self.shared.cv.notify_all();
+        Ok(())
+    }
+}
+
+impl Drop for NttService {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Rejects wrong-length and unreduced polynomials at submission time, so
+/// a malformed request fails its own submission instead of poisoning the
+/// coalesced wave it would have joined.
+fn validate_poly(info: &TenantInfo, poly: &[u64]) -> Result<(), BpNttError> {
+    if poly.len() != info.n {
+        return Err(BpNttError::WrongLength {
+            expected: info.n,
+            actual: poly.len(),
+        });
+    }
+    if let Some((index, &value)) = poly.iter().enumerate().find(|(_, &v)| v >= info.q) {
+        return Err(BpNttError::Unreduced {
+            lane: 0,
+            index,
+            value,
+        });
+    }
+    Ok(())
+}
+
+fn tenant_info_of(config: &BpNttConfig) -> TenantInfo {
+    let layout = config.layout();
+    let n = config.params().n();
+    let capacity = config.rows().saturating_sub(layout.reserved_rows());
+    let polymul_capacity = if layout.is_multi_tile() || 2 * n > capacity {
+        Err((2 * n, capacity))
+    } else {
+        Ok(())
+    };
+    TenantInfo {
+        n,
+        q: config.params().modulus(),
+        polymul_capacity,
+    }
+}
+
+/// One `(tenant, operation)` group of a drained wave, executed as a
+/// single sharded batch call.
+struct WaveGroup {
+    tenant: TenantId,
+    polymul: bool,
+    a: Vec<Vec<u64>>,
+    b: Vec<Vec<u64>>,
+    replies: Vec<Reply<Vec<u64>>>,
+}
+
+fn dispatcher_loop(shared: &Shared, shards: usize) {
+    let mut engines: HashMap<TenantId, ShardedBpNtt> = HashMap::new();
+    let mut prog_cache: HashMap<ProgramCacheKey, Vec<(ProgramKey, Arc<CompiledProgram>)>> =
+        HashMap::new();
+    let mut next_tenant: u32 = 0;
+    loop {
+        enum Action {
+            Control(Control),
+            Work,
+            Exit,
+        }
+        let action = {
+            let mut st = shared.state.lock().expect("service state poisoned");
+            loop {
+                if let Some(ctrl) = st.control.pop_front() {
+                    break Action::Control(ctrl);
+                }
+                if !st.queue.is_empty() {
+                    break Action::Work;
+                }
+                if st.shutdown {
+                    break Action::Exit;
+                }
+                st = shared.cv.wait(st).expect("service state poisoned");
+            }
+        };
+        match action {
+            Action::Exit => break,
+            Action::Control(Control::AddTenant { config, reply }) => {
+                let result = register_tenant(
+                    shared,
+                    &config,
+                    shards,
+                    &mut engines,
+                    &mut prog_cache,
+                    &mut next_tenant,
+                );
+                let _ = reply.send(result);
+            }
+            Action::Work => {
+                // Coalesce: wait (bounded) until the queue could fill
+                // every lane of the widest tenant engine, then drain
+                // everything that arrived.
+                let target = engines
+                    .values()
+                    .map(ShardedBpNtt::lanes_total)
+                    .max()
+                    .unwrap_or(1)
+                    .min(shared.max_queue.max(1));
+                let drained: Vec<Request> = {
+                    let mut st = shared.state.lock().expect("service state poisoned");
+                    let deadline = Instant::now() + shared.coalesce_window;
+                    while !st.shutdown && st.control.is_empty() && st.queue.len() < target {
+                        let remaining = deadline.saturating_duration_since(Instant::now());
+                        if remaining.is_zero() {
+                            break;
+                        }
+                        let (guard, _) = shared
+                            .cv
+                            .wait_timeout(st, remaining)
+                            .expect("service state poisoned");
+                        st = guard;
+                    }
+                    st.queue.drain(..).collect()
+                };
+                if !drained.is_empty() {
+                    execute_wave(shared, &mut engines, drained);
+                }
+            }
+        }
+    }
+}
+
+fn register_tenant(
+    shared: &Shared,
+    config: &BpNttConfig,
+    shards: usize,
+    engines: &mut HashMap<TenantId, ShardedBpNtt>,
+    prog_cache: &mut HashMap<ProgramCacheKey, Vec<(ProgramKey, Arc<CompiledProgram>)>>,
+    next_tenant: &mut u32,
+) -> Result<TenantId, BpNttError> {
+    let info = tenant_info_of(config);
+    let mut engine = ShardedBpNtt::new(config, shards)?;
+    let key = ProgramCacheKey::of(config);
+    if let Some(progs) = prog_cache.get(&key) {
+        engine.import_programs(progs);
+        let mut m = shared.metrics.lock().expect("metrics poisoned");
+        m.program_cache_hits += 1;
+    } else {
+        engine.warm_transform()?;
+        if info.polymul_capacity.is_ok() {
+            engine.warm_polymul()?;
+        }
+        prog_cache.insert(key, engine.export_programs());
+        let mut m = shared.metrics.lock().expect("metrics poisoned");
+        m.program_cache_entries = prog_cache.len();
+    }
+    let id = TenantId(*next_tenant);
+    *next_tenant += 1;
+    shared
+        .tenants
+        .lock()
+        .expect("tenant map poisoned")
+        .insert(id, info);
+    engines.insert(id, engine);
+    Ok(id)
+}
+
+/// Executes one drained wave: requests are grouped by
+/// `(tenant, operation)` preserving submission order inside each group,
+/// each group runs as one sharded batch call, and every ticket receives
+/// its own result (or the group's error).
+fn execute_wave(
+    shared: &Shared,
+    engines: &mut HashMap<TenantId, ShardedBpNtt>,
+    drained: Vec<Request>,
+) {
+    let mut groups: Vec<WaveGroup> = Vec::new();
+    let mut index: HashMap<(TenantId, bool), usize> = HashMap::new();
+    for req in drained {
+        let (tenant, polymul) = match &req {
+            Request::Forward { tenant, .. } => (*tenant, false),
+            Request::Polymul { tenant, .. } => (*tenant, true),
+        };
+        let slot = *index.entry((tenant, polymul)).or_insert_with(|| {
+            groups.push(WaveGroup {
+                tenant,
+                polymul,
+                a: Vec::new(),
+                b: Vec::new(),
+                replies: Vec::new(),
+            });
+            groups.len() - 1
+        });
+        let g = &mut groups[slot];
+        match req {
+            Request::Forward { poly, reply, .. } => {
+                g.a.push(poly);
+                g.replies.push(reply);
+            }
+            Request::Polymul { a, b, reply, .. } => {
+                g.a.push(a);
+                g.b.push(b);
+                g.replies.push(reply);
+            }
+        }
+    }
+    for group in groups {
+        let Some(engine) = engines.get_mut(&group.tenant) else {
+            // Unreachable in practice: submission validates tenants. Still
+            // counted as failures so submitted == completed + failed holds.
+            {
+                let mut m = shared.metrics.lock().expect("metrics poisoned");
+                m.failed += group.replies.len() as u64;
+            }
+            for reply in group.replies {
+                let _ = reply.send(Err(BpNttError::UnknownTenant {
+                    tenant: group.tenant.0,
+                }));
+            }
+            continue;
+        };
+        let capacity = engine.lanes_total().max(1);
+        let t = Instant::now();
+        let result = if group.polymul {
+            engine.polymul_batch(&group.a, &group.b)
+        } else {
+            engine.forward_batch(&group.a)
+        };
+        let elapsed = t.elapsed().as_secs_f64();
+        {
+            let mut m = shared.metrics.lock().expect("metrics poisoned");
+            m.waves += 1;
+            m.wave_polys += group.a.len() as u64;
+            m.occupancy_sum += (group.a.len() as f64 / capacity as f64).min(1.0);
+            m.busy_secs += elapsed;
+            for &s in engine.last_wave_shard_secs() {
+                if m.shard_secs.len() == SHARD_SAMPLE_WINDOW {
+                    m.shard_secs.pop_front();
+                }
+                m.shard_secs.push_back(s);
+            }
+            match &result {
+                Ok(_) => m.completed += group.replies.len() as u64,
+                Err(_) => m.failed += group.replies.len() as u64,
+            }
+        }
+        match result {
+            Ok(outs) => {
+                debug_assert_eq!(outs.len(), group.replies.len());
+                for (reply, out) in group.replies.into_iter().zip(outs) {
+                    let _ = reply.send(Ok(out));
+                }
+            }
+            Err(e) => {
+                for reply in group.replies {
+                    let _ = reply.send(Err(e.clone()));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpntt_ntt::forward::ntt_in_place;
+    use bpntt_ntt::{NttParams, Polynomial, TwiddleTable};
+
+    fn config8() -> BpNttConfig {
+        BpNttConfig::new(32, 32, 8, NttParams::new(8, 97).unwrap()).unwrap()
+    }
+
+    fn pseudo(n: usize, q: u64, seed: u64) -> Vec<u64> {
+        Polynomial::pseudo_random(&NttParams::new(n, q).unwrap(), seed).into_coeffs()
+    }
+
+    #[test]
+    fn forward_submission_round_trips() {
+        let service = NttService::start(&config8(), ServiceOptions::default()).unwrap();
+        let params = NttParams::new(8, 97).unwrap();
+        let t = TwiddleTable::new(&params);
+        let tickets: Vec<(Vec<u64>, Ticket)> = (0..10)
+            .map(|s| {
+                let p = pseudo(8, 97, s + 1);
+                let ticket = service.submit_forward(p.clone()).unwrap();
+                (p, ticket)
+            })
+            .collect();
+        for (p, ticket) in tickets {
+            let mut expect = p;
+            ntt_in_place(&params, &t, &mut expect).unwrap();
+            assert_eq!(ticket.wait().unwrap(), expect);
+        }
+        let m = service.shutdown();
+        assert_eq!(m.completed, 10);
+        assert_eq!(m.failed, 0);
+        assert!(m.waves >= 1);
+        assert!(m.polys_per_sec > 0.0);
+    }
+
+    #[test]
+    fn submission_validates_before_enqueue() {
+        let service = NttService::start(&config8(), ServiceOptions::default()).unwrap();
+        assert!(matches!(
+            service.submit_forward(vec![0; 7]),
+            Err(BpNttError::WrongLength {
+                expected: 8,
+                actual: 7
+            })
+        ));
+        assert!(matches!(
+            service.submit_forward(vec![97; 8]),
+            Err(BpNttError::Unreduced { value: 97, .. })
+        ));
+        assert!(matches!(
+            service.submit_forward_as(TenantId(99), vec![0; 8]),
+            Err(BpNttError::UnknownTenant { tenant: 99 })
+        ));
+        let m = service.shutdown();
+        assert_eq!(m.submitted, 0, "invalid requests never enter the queue");
+    }
+
+    #[test]
+    fn zero_capacity_queue_rejects_with_overloaded() {
+        let service = NttService::start(
+            &config8(),
+            ServiceOptions {
+                max_queue: 0,
+                ..ServiceOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            service.submit_forward(pseudo(8, 97, 1)),
+            Err(BpNttError::Overloaded {
+                depth: 0,
+                capacity: 0
+            })
+        ));
+        let m = service.shutdown();
+        assert_eq!(m.rejected, 1);
+    }
+
+    #[test]
+    fn polymul_capacity_is_checked_at_submit() {
+        // 16 rows cannot host 2·8 + 6: polymul must be rejected eagerly.
+        let tight = BpNttConfig::new(16, 32, 8, NttParams::new(8, 97).unwrap()).unwrap();
+        let service = NttService::start(&tight, ServiceOptions::default()).unwrap();
+        assert!(matches!(
+            service.submit_polymul(pseudo(8, 97, 1), pseudo(8, 97, 2)),
+            Err(BpNttError::CapacityExceeded { .. })
+        ));
+        // Forward still works on the same tenant.
+        let ticket = service.submit_forward(pseudo(8, 97, 3)).unwrap();
+        assert_eq!(ticket.wait().unwrap().len(), 8);
+    }
+
+    #[test]
+    fn shutdown_drains_pending_requests() {
+        let service = NttService::start(
+            &config8(),
+            ServiceOptions {
+                // A long window so requests are still queued at shutdown.
+                coalesce_window: Duration::from_secs(5),
+                ..ServiceOptions::default()
+            },
+        )
+        .unwrap();
+        let tickets: Vec<Ticket> = (0..3)
+            .map(|s| service.submit_forward(pseudo(8, 97, s + 40)).unwrap())
+            .collect();
+        let m = service.shutdown();
+        assert_eq!(m.completed, 3, "shutdown must drain the queue first");
+        for ticket in tickets {
+            assert!(ticket.wait().is_ok());
+        }
+    }
+
+    #[test]
+    fn tickets_poll_without_blocking() {
+        let service = NttService::start(&config8(), ServiceOptions::default()).unwrap();
+        let ticket = service.submit_forward(pseudo(8, 97, 9)).unwrap();
+        // Poll until completion — exercises the async-integration path.
+        let mut spins = 0u64;
+        let result = loop {
+            if let Some(r) = ticket.try_wait() {
+                break r;
+            }
+            spins += 1;
+            assert!(spins < 1_000_000, "service never completed the request");
+            std::thread::yield_now();
+        };
+        assert_eq!(result.unwrap().len(), 8);
+    }
+}

@@ -34,12 +34,13 @@
 //! # Ok::<(), bpntt_core::BpNttError>(())
 //! ```
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crate::config::BpNttConfig;
 use crate::engine::BpNtt;
 use crate::error::BpNttError;
-use bpntt_sram::Stats;
+use bpntt_sram::{CompiledProgram, Stats};
 
 /// `K` identically configured BP-NTT arrays replaying shared compiled
 /// programs over partitioned batches.
@@ -47,21 +48,26 @@ use bpntt_sram::Stats;
 pub struct ShardedBpNtt {
     shards: Vec<BpNtt>,
     lanes_per_shard: usize,
-    /// Wall-clock seconds each shard thread spent in the most recent wave
-    /// (load + compute + read-back), indexed by shard. Shards beyond the
-    /// last wave's chunk count report no entry.
+    /// Wall-clock seconds each participating shard thread spent in the
+    /// most recent batch fan-out (load + compute + read-back across every
+    /// chunk it claimed), indexed by shard. Shards that spawned no worker
+    /// (fewer chunks than shards) report no entry.
     last_shard_secs: Vec<f64>,
 }
 
-/// Which batch operation to run on each shard.
+/// Which batch operation the wave fan-out runs on each claimed chunk.
 #[derive(Clone, Copy)]
 enum Op {
     Forward,
     Roundtrip,
+    Polymul,
 }
 
-/// One shard's wave outcome plus its thread's wall-clock seconds.
-type ShardOutcome = (Result<Vec<Vec<u64>>, BpNttError>, f64);
+/// One shard worker's outcome: the chunks it completed (tagged with their
+/// chunk index so the wave can reassemble input order), the first error it
+/// hit (it stops claiming chunks after one), and its thread's total
+/// wall-clock seconds.
+type ShardOutcome = (Vec<(usize, Vec<Vec<u64>>)>, Option<BpNttError>, f64);
 
 impl ShardedBpNtt {
     /// Provisions `shards` arrays with the given configuration.
@@ -98,6 +104,15 @@ impl ShardedBpNtt {
     }
 
     /// Aggregated simulator statistics over every shard.
+    ///
+    /// Integer fields (cycles, instruction counts, row loads) are exact
+    /// and independent of scheduling. The `f64` energy accumulator is
+    /// summed in shard order, but work-stealing makes the chunk→shard
+    /// assignment nondeterministic, so the aggregate's last-bit rounding
+    /// can differ run to run on multi-core hosts. The bit-identical
+    /// `Stats` discipline (replay ≡ emit, SIMD ≡ scalar) is a
+    /// *per-engine* invariant and is unaffected — don't compare sharded
+    /// aggregate energy bit-for-bit across runs.
     #[must_use]
     pub fn stats(&self) -> Stats {
         self.shards
@@ -112,10 +127,15 @@ impl ShardedBpNtt {
         }
     }
 
-    /// Per-shard wall-clock seconds of the most recent
-    /// forward/roundtrip wave (load, compute, and read-back inside each
-    /// shard thread). On a single-core host the
-    /// sum approximates the wave's wall-clock — the threads serialize — so
+    /// Per-shard wall-clock seconds of the most recent batch fan-out —
+    /// **every** batch entry point ([`Self::forward_batch`],
+    /// [`Self::roundtrip_batch`], [`Self::polymul_batch`]) routes through
+    /// the same timed [`run_wave`](Self::run_wave) path, so these numbers
+    /// always describe the last call, never a stale earlier wave. One
+    /// entry per participating shard (`min(shards, chunks)` workers
+    /// spawn; work-stealing may let a fast shard claim several chunks).
+    /// Empty batches clear the slice. On a single-core host the sum
+    /// approximates the wave's wall-clock — the threads serialize — so
     /// flat `polys_per_sec` scaling is expected there; on real multi-core
     /// hardware the wave completes in roughly the per-shard maximum.
     #[must_use]
@@ -136,50 +156,99 @@ impl ShardedBpNtt {
         Ok(())
     }
 
-    /// Runs one already-warmed operation over one wave of at most
-    /// `lanes_total` polynomials, fanned out one thread per shard.
+    /// The single timed execution path of every batch operation: the
+    /// batch is cut into chunks of `lanes_per_shard` polynomials, one
+    /// worker thread spawns per participating shard
+    /// (`min(shards, chunks)`), and workers **steal** the next unclaimed
+    /// chunk from a shared counter — a slow shard never stalls the wave,
+    /// it just claims fewer chunks. Output order matches input order
+    /// (chunks are reassembled by index). `b` carries the second operand
+    /// batch for [`Op::Polymul`] and must have `a`'s length.
     fn run_wave(
         &mut self,
-        wave: &[Vec<u64>],
+        a: &[Vec<u64>],
+        b: Option<&[Vec<u64>]>,
         op: Op,
-        out: &mut Vec<Vec<u64>>,
-    ) -> Result<(), BpNttError> {
-        let lanes = self.lanes_per_shard;
-        debug_assert!(wave.len() <= self.lanes_total());
-        let mut results: Vec<ShardOutcome> = Vec::new();
+    ) -> Result<Vec<Vec<u64>>, BpNttError> {
+        let lanes = self.lanes_per_shard.max(1);
+        let n_chunks = a.len().div_ceil(lanes);
+        let workers = self.shards.len().min(n_chunks);
+        let next = AtomicUsize::new(0);
+        let mut outcomes: Vec<ShardOutcome> = Vec::new();
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
-            for (shard, chunk) in self.shards.iter_mut().zip(wave.chunks(lanes)) {
+            for shard in self.shards.iter_mut().take(workers) {
+                let next = &next;
                 handles.push(scope.spawn(move || {
                     let t = std::time::Instant::now();
-                    let mut run = || -> Result<Vec<Vec<u64>>, BpNttError> {
-                        shard.load_batch(chunk)?;
-                        match op {
-                            Op::Forward => shard.forward()?,
-                            Op::Roundtrip => {
-                                shard.forward()?;
-                                shard.inverse()?;
+                    let mut done: Vec<(usize, Vec<Vec<u64>>)> = Vec::new();
+                    let mut err: Option<BpNttError> = None;
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n_chunks {
+                            break;
+                        }
+                        let lo = i * lanes;
+                        let hi = (lo + lanes).min(a.len());
+                        let chunk_a = &a[lo..hi];
+                        let r = match op {
+                            Op::Forward | Op::Roundtrip => {
+                                shard.load_batch(chunk_a).and_then(|()| {
+                                    shard.forward()?;
+                                    if matches!(op, Op::Roundtrip) {
+                                        shard.inverse()?;
+                                    }
+                                    shard.read_batch(chunk_a.len())
+                                })
+                            }
+                            Op::Polymul => {
+                                let chunk_b = &b.expect("polymul wave carries operand b")[lo..hi];
+                                shard.polymul(chunk_a, chunk_b)
+                            }
+                        };
+                        match r {
+                            Ok(v) => done.push((i, v)),
+                            Err(e) => {
+                                // Poison the counter so the other workers
+                                // stop claiming: the wave is already
+                                // doomed, finishing remaining chunks
+                                // would be discarded work.
+                                next.store(n_chunks, Ordering::Relaxed);
+                                err = Some(e);
+                                break;
                             }
                         }
-                        shard.read_batch(chunk.len())
-                    };
-                    let r = run();
-                    (r, t.elapsed().as_secs_f64())
+                    }
+                    (done, err, t.elapsed().as_secs_f64())
                 }));
             }
             for h in handles {
-                results.push(h.join().expect("shard thread panicked"));
+                outcomes.push(h.join().expect("shard thread panicked"));
             }
         });
-        // Every thread has joined, so record all timings before the first
+        // Every worker has joined, so record all timings before the first
         // shard error can propagate — a failed wave still reports one
         // entry per participating shard.
         self.last_shard_secs.clear();
-        self.last_shard_secs.extend(results.iter().map(|&(_, s)| s));
-        for (r, _) in results {
-            out.extend(r?);
+        self.last_shard_secs.extend(outcomes.iter().map(|o| o.2));
+        let mut slots: Vec<Option<Vec<Vec<u64>>>> = (0..n_chunks).map(|_| None).collect();
+        let mut first_err = None;
+        for (done, err, _) in outcomes {
+            for (i, v) in done {
+                slots[i] = Some(v);
+            }
+            if let Some(e) = err {
+                first_err.get_or_insert(e);
+            }
         }
-        Ok(())
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        let mut out = Vec::with_capacity(a.len());
+        for s in slots {
+            out.extend(s.expect("error-free wave fills every chunk"));
+        }
+        Ok(out)
     }
 
     /// Forward-transforms an arbitrarily large batch: waves of
@@ -191,12 +260,12 @@ impl ShardedBpNtt {
     ///
     /// Propagates validation (length/reduction) and simulator failures.
     pub fn forward_batch(&mut self, polys: &[Vec<u64>]) -> Result<Vec<Vec<u64>>, BpNttError> {
-        self.warm_programs(&[self.shards[0].transform_program_keys()[0]])?;
-        let mut out = Vec::with_capacity(polys.len());
-        for wave in polys.chunks(self.lanes_total().max(1)) {
-            self.run_wave(wave, Op::Forward, &mut out)?;
+        self.last_shard_secs.clear();
+        if polys.is_empty() {
+            return Ok(Vec::new());
         }
-        Ok(out)
+        self.warm_programs(&[self.shards[0].forward_program_key()])?;
+        self.run_wave(polys, None, Op::Forward)
     }
 
     /// Forward + inverse roundtrip over an arbitrarily large batch
@@ -207,19 +276,23 @@ impl ShardedBpNtt {
     ///
     /// Propagates validation and simulator failures.
     pub fn roundtrip_batch(&mut self, polys: &[Vec<u64>]) -> Result<Vec<Vec<u64>>, BpNttError> {
+        self.last_shard_secs.clear();
+        if polys.is_empty() {
+            return Ok(Vec::new());
+        }
         let keys = self.shards[0].transform_program_keys();
         self.warm_programs(&keys)?;
-        let mut out = Vec::with_capacity(polys.len());
-        for wave in polys.chunks(self.lanes_total().max(1)) {
-            self.run_wave(wave, Op::Roundtrip, &mut out)?;
-        }
-        Ok(out)
+        self.run_wave(polys, None, Op::Roundtrip)
     }
 
     /// Negacyclic polynomial multiplication over an arbitrarily large
-    /// batch of operand pairs: `out[i] = a[i] ⊛ b[i]`. Each wave is
-    /// partitioned across shards; every shard replays the four shared
-    /// compiled programs (two forwards, pointwise, scaled inverse).
+    /// batch of operand pairs: `out[i] = a[i] ⊛ b[i]`. Chunks of pairs
+    /// are work-stolen across shards through the same timed
+    /// [`run_wave`](Self::run_wave) path as the transforms, so
+    /// [`Self::last_wave_shard_secs`] describes *this* call (it used to
+    /// silently report the previous forward/roundtrip wave); every shard
+    /// replays the four shared compiled programs (two forwards,
+    /// pointwise, scaled inverse).
     ///
     /// # Errors
     ///
@@ -230,38 +303,55 @@ impl ShardedBpNtt {
         a: &[Vec<u64>],
         b: &[Vec<u64>],
     ) -> Result<Vec<Vec<u64>>, BpNttError> {
+        // Clear before any early return: even a rejected call must not
+        // leave a previous wave's timings behind.
+        self.last_shard_secs.clear();
         if a.len() != b.len() {
             return Err(BpNttError::BatchMismatch {
                 a: a.len(),
                 b: b.len(),
             });
         }
+        if a.is_empty() {
+            return Ok(Vec::new());
+        }
         let keys = self.shards[0].polymul_program_keys();
         self.warm_programs(&keys)?;
-        let lanes = self.lanes_per_shard;
-        let per_wave = self.lanes_total();
-        let mut out = Vec::with_capacity(a.len());
-        for (wave_a, wave_b) in a.chunks(per_wave).zip(b.chunks(per_wave)) {
-            let mut results: Vec<Result<Vec<Vec<u64>>, BpNttError>> = Vec::new();
-            std::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for ((shard, chunk_a), chunk_b) in self
-                    .shards
-                    .iter_mut()
-                    .zip(wave_a.chunks(lanes))
-                    .zip(wave_b.chunks(lanes))
-                {
-                    handles.push(scope.spawn(move || shard.polymul(chunk_a, chunk_b)));
-                }
-                for h in handles {
-                    results.push(h.join().expect("shard thread panicked"));
-                }
-            });
-            for r in results {
-                out.extend(r?);
+        self.run_wave(a, Some(b), Op::Polymul)
+    }
+
+    /// Warms the forward + inverse transform programs (compile once on
+    /// shard 0, install everywhere). Used by the service layer so tenant
+    /// registration, not the first request, pays the compile.
+    pub(crate) fn warm_transform(&mut self) -> Result<(), BpNttError> {
+        let keys = self.shards[0].transform_program_keys();
+        self.warm_programs(&keys)
+    }
+
+    /// Warms the four polymul programs; see [`Self::warm_transform`].
+    pub(crate) fn warm_polymul(&mut self) -> Result<(), BpNttError> {
+        let keys = self.shards[0].polymul_program_keys();
+        self.warm_programs(&keys)
+    }
+
+    /// Every compiled program shard 0 holds, for the service layer's
+    /// cross-tenant cache keyed by `(params, layout)`.
+    pub(crate) fn export_programs(&self) -> Vec<(crate::engine::ProgramKey, Arc<CompiledProgram>)> {
+        self.shards[0].export_programs()
+    }
+
+    /// Installs externally compiled programs into every shard (the
+    /// service layer's cache hit path: a new tenant with an identical
+    /// `(params, layout)` never recompiles).
+    pub(crate) fn import_programs(
+        &mut self,
+        progs: &[(crate::engine::ProgramKey, Arc<CompiledProgram>)],
+    ) {
+        for shard in &mut self.shards {
+            for (key, prog) in progs {
+                shard.install_program(*key, Arc::clone(prog));
             }
         }
-        Ok(out)
     }
 }
 
@@ -377,6 +467,95 @@ mod tests {
         // A wave that fills only one shard reports only that shard.
         sharded.forward_batch(&batch[..2]).unwrap();
         assert_eq!(sharded.last_wave_shard_secs().len(), 1);
+    }
+
+    #[test]
+    fn polymul_batch_refreshes_shard_timings() {
+        // Regression: polymul_batch used to run its own untimed fan-out,
+        // leaving last_wave_shard_secs describing the *previous*
+        // forward/roundtrip wave. It now routes through the timed
+        // run_wave path like every other batch op.
+        let mut sharded = ShardedBpNtt::new(&config(), 2).unwrap();
+        // A 9-poly forward leaves 3 chunks → 2 participating shards.
+        let batch: Vec<Vec<u64>> = (0..9).map(|s| pseudo(8, 97, s + 300)).collect();
+        sharded.forward_batch(&batch).unwrap();
+        let stale: Vec<f64> = sharded.last_wave_shard_secs().to_vec();
+        assert_eq!(stale.len(), 2);
+
+        // One pair → one chunk → exactly one participating shard. Before
+        // the fix this call left the two forward entries in place.
+        let a = vec![pseudo(8, 97, 310)];
+        let b = vec![pseudo(8, 97, 311)];
+        sharded.polymul_batch(&a, &b).unwrap();
+        let secs = sharded.last_wave_shard_secs();
+        assert_eq!(
+            secs.len(),
+            1,
+            "polymul must report one entry per participating shard"
+        );
+        assert!(secs[0] > 0.0);
+
+        // A full-width polymul reports every participating shard again.
+        let a: Vec<Vec<u64>> = (0..9).map(|s| pseudo(8, 97, s + 320)).collect();
+        let b: Vec<Vec<u64>> = (0..9).map(|s| pseudo(8, 97, s + 330)).collect();
+        sharded.polymul_batch(&a, &b).unwrap();
+        let secs = sharded.last_wave_shard_secs();
+        assert_eq!(secs.len(), 2);
+        assert!(secs.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn empty_batches_clear_timings_and_skip_work() {
+        // Regression: empty batches used to warm/compile programs and
+        // leave the previous wave's shard timings in place.
+        let mut sharded = ShardedBpNtt::new(&config(), 2).unwrap();
+        let batch: Vec<Vec<u64>> = (0..4).map(|s| pseudo(8, 97, s + 400)).collect();
+        sharded.forward_batch(&batch).unwrap();
+        assert!(!sharded.last_wave_shard_secs().is_empty());
+
+        assert_eq!(sharded.forward_batch(&[]).unwrap(), Vec::<Vec<u64>>::new());
+        assert!(
+            sharded.last_wave_shard_secs().is_empty(),
+            "empty forward batch must clear stale timings"
+        );
+
+        sharded.roundtrip_batch(&batch).unwrap();
+        assert!(!sharded.last_wave_shard_secs().is_empty());
+        assert!(sharded.roundtrip_batch(&[]).unwrap().is_empty());
+        assert!(sharded.last_wave_shard_secs().is_empty());
+
+        sharded.polymul_batch(&batch, &batch).unwrap();
+        assert!(!sharded.last_wave_shard_secs().is_empty());
+        assert!(sharded.polymul_batch(&[], &[]).unwrap().is_empty());
+        assert!(sharded.last_wave_shard_secs().is_empty());
+
+        // And a fresh engine compiles nothing for an empty batch.
+        let mut fresh = ShardedBpNtt::new(&config(), 2).unwrap();
+        fresh.forward_batch(&[]).unwrap();
+        fresh.roundtrip_batch(&[]).unwrap();
+        fresh.polymul_batch(&[], &[]).unwrap();
+        for shard in &fresh.shards {
+            assert_eq!(shard.cached_programs(), 0, "empty batches must not compile");
+        }
+    }
+
+    #[test]
+    fn work_stealing_preserves_input_order() {
+        // 30 polys over 3 shards → 8 chunks stolen by 3 workers in
+        // nondeterministic order; the reassembled output must still match
+        // the reference in input order.
+        let params = NttParams::new(8, 97).unwrap();
+        let mut sharded = ShardedBpNtt::new(&config(), 3).unwrap();
+        let batch: Vec<Vec<u64>> = (0..30).map(|s| pseudo(8, 97, s + 500)).collect();
+        let got = sharded.forward_batch(&batch).unwrap();
+        let t = TwiddleTable::new(&params);
+        for (i, p) in batch.iter().enumerate() {
+            let mut expect = p.clone();
+            ntt_in_place(&params, &t, &mut expect).unwrap();
+            assert_eq!(got[i], expect, "poly {i}");
+        }
+        // Workers spawn for min(shards, chunks) — all 3 here.
+        assert_eq!(sharded.last_wave_shard_secs().len(), 3);
     }
 
     #[test]
