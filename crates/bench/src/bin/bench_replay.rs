@@ -8,7 +8,9 @@
 //! Options:
 //!
 //! * `--cols A,B,...` — column geometries to sweep (default
-//!   `48,96,144,256`; each must be a multiple of the 24-bit tile).
+//!   `48,96,144,256,512,1024` — the paper's ≤256-column points plus the
+//!   HE-batch lane counts that exercise the multi-chunk
+//!   register-resident word-engine).
 //! * `--lanes N` — polynomials loaded per run (default: every lane the
 //!   geometry provides; capped to the lane count).
 //! * `--json-out PATH` — where to write the JSON (default
@@ -16,10 +18,17 @@
 //!
 //! Measurements are best-of-N interleaved wall-clock times on whatever
 //! machine runs this (the container is a single-core VM; treat absolute
-//! numbers as indicative and the emit/replay ratios as the signal). Each
-//! config also reports the compiled forward program's fused
-//! epilogue-superop count — the instruction groups that ran generic
-//! before the word-engine rework.
+//! numbers as indicative and the emit/replay ratios as the signal).
+//! `emit_ms` is strictly per-instruction emission
+//! (`forward_uncached_generic`) — the same baseline every prior PR's
+//! trajectory used — and `speedup` keeps its historical meaning of
+//! replay vs that baseline; `emit_fused_ms` is the fused emission path
+//! (`forward_uncached`, which routes the generated stream through the
+//! replay executors). Each config also reports the compiled forward
+//! program's fused epilogue-superop count and the replay run's
+//! fast-path coverage counters, so "the fast path silently stopped
+//! firing" is visible in the JSON rather than a bench-regression
+//! mystery.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -35,7 +44,7 @@ struct Options {
 
 fn parse_args() -> Options {
     let mut opts = Options {
-        cols: vec![48, 96, 144, 256],
+        cols: vec![48, 96, 144, 256, 512, 1024],
         lanes: None,
         json_out: "BENCH_replay.json".to_string(),
     };
@@ -111,34 +120,58 @@ fn main() {
         replay.forward().unwrap();
         let fused_epilogue = replay.compiled_forward().unwrap().fused_epilogues();
 
-        // Interleaved best-of to suppress machine noise.
+        // Interleaved best-of to suppress machine noise: generic
+        // emission (the trajectory baseline), fused emission, replay.
         let mut be = f64::MAX;
+        let mut bf = f64::MAX;
         let mut br = f64::MAX;
         for _ in 0..8 {
-            be = be.min(best_of(1, 3, || emit.forward_uncached().unwrap()));
+            be = be.min(best_of(1, 3, || emit.forward_uncached_generic().unwrap()));
+            bf = bf.min(best_of(1, 3, || emit.forward_uncached().unwrap()));
             br = br.min(best_of(1, 3, || replay.forward().unwrap()));
         }
+        // Fast-path coverage of one replay call (the counters replay and
+        // fused emission produce are asserted equal by the test suite).
+        replay.reset_stats();
+        replay.forward().unwrap();
+        let fp = *replay.fastpath_stats();
         if !first {
             json.push_str(",\n");
         }
         first = false;
         let _ = write!(
             json,
-            "    {{\"cols\": {cols}, \"lanes\": {lanes}, \"emit_ms\": {:.3}, \"replay_ms\": {:.3}, \"speedup\": {:.2}, \"fused_epilogue\": {fused_epilogue}}}",
+            "    {{\"cols\": {cols}, \"lanes\": {lanes}, \"emit_ms\": {:.3}, \"emit_fused_ms\": {:.3}, \"replay_ms\": {:.3}, \"speedup\": {:.2}, \"fused_emit_speedup\": {:.2}, \"fused_epilogue\": {fused_epilogue}, \"fastpath\": {{\"chains_resident\": {}, \"chains_per_step\": {}, \"resolve_loops_resident\": {}, \"borrow_loops_resident\": {}, \"superops_fused\": {}, \"fallbacks\": {}}}}}",
             be * 1e3,
+            bf * 1e3,
             br * 1e3,
-            be / br
+            be / br,
+            be / bf,
+            fp.chains_resident,
+            fp.chains_per_step,
+            fp.resolve_loops_resident,
+            fp.borrow_loops_resident,
+            fp.superops_fused,
+            fp.fallbacks
         );
         println!(
-            "cols={cols} lanes={lanes}: emit {:.2} ms, replay {:.2} ms, speedup {:.2}x, {fused_epilogue} fused epilogues",
+            "cols={cols} lanes={lanes}: emit {:.2} ms, fused-emit {:.2} ms, replay {:.2} ms, speedup {:.2}x (fused emit {:.2}x), {fused_epilogue} fused epilogues, fastpath[{fp}]",
             be * 1e3,
+            bf * 1e3,
             br * 1e3,
-            be / br
+            be / br,
+            be / bf,
         );
     }
     json.push_str("\n  ],\n  \"sharded\": [\n");
 
-    let cols_sharded = *opts.cols.last().unwrap_or(&256);
+    // Sharded trajectory rows stay at the paper's 256-column geometry
+    // when it is in the sweep (continuity with prior PRs' JSON).
+    let cols_sharded = if opts.cols.contains(&256) {
+        256
+    } else {
+        *opts.cols.last().unwrap_or(&256)
+    };
     let cfg = BpNttConfig::new(
         262,
         cols_sharded,
@@ -182,7 +215,7 @@ fn main() {
     }
     let _ = write!(
         json,
-        "\n  ],\n  \"note\": \"wall-clock best-of on the build machine; available_parallelism={parallelism}, so shard threads serialize when 1 and flat polys_per_sec scaling is expected\",\n  \"available_parallelism\": {parallelism},\n  \"simd_active\": {}\n}}\n",
+        "\n  ],\n  \"note\": \"wall-clock best-of on the build machine; emit_ms is strictly per-instruction emission (the historical baseline), emit_fused_ms routes emission through the fused replay executors; available_parallelism={parallelism}, so shard threads serialize when 1 and flat polys_per_sec scaling is expected\",\n  \"available_parallelism\": {parallelism},\n  \"simd_active\": {}\n}}\n",
         bpntt_sram::simd_active()
     );
     std::fs::write(&opts.json_out, &json).expect("write benchmark JSON");

@@ -23,9 +23,22 @@
 //! multiplier chains, resolution loops, and the butterfly epilogues
 //! (`CompiledProgram::fused_epilogues` counts the latter) — which the
 //! `bpntt-sram` word-engine executes through runtime-dispatched AVX2
-//! kernels with a bit-identical scalar fallback. The compiled programs
+//! kernels with a bit-identical scalar fallback, register-resident for
+//! rows up to four 256-bit chunks (1024 columns). The compiled programs
 //! are shared — [`ShardedBpNtt`](crate::ShardedBpNtt) clones them across
 //! shards behind an `Arc`.
+//!
+//! The *emit* path shares those executors: [`BpNtt::forward_uncached`] /
+//! [`BpNtt::inverse_uncached`] stream their generated instructions
+//! through a [`FusedSink`], which matches the same recorded shapes online
+//! and runs them fused, so per-call code generation no longer executes
+//! ~15 generic instructions per butterfly epilogue. The strictly
+//! per-instruction originals survive as
+//! [`BpNtt::forward_uncached_generic`] /
+//! [`BpNtt::inverse_uncached_generic`] — the ground truth the
+//! equivalence proptests pin every other path against, and the
+//! denominator of the replay-speedup trajectory.
+//! [`BpNtt::fastpath_stats`] reports which strategy actually executed.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -38,8 +51,8 @@ use bpntt_modmath::montgomery::MontCtx;
 use bpntt_modmath::zq::mul_mod;
 use bpntt_ntt::TwiddleTable;
 use bpntt_sram::{
-    BitRow, CompiledProgram, Controller, InstrSink, Instruction, PredMode, Recorder, RowAddr,
-    ShiftDir, SramArray, Stats, UnaryKind,
+    BitRow, CompiledProgram, Controller, FastPathStats, FusedSink, InstrSink, Instruction,
+    PredMode, Recorder, RowAddr, ShiftDir, SramArray, Stats, UnaryKind,
 };
 
 /// Cache key for one compiled schedule.
@@ -93,7 +106,26 @@ struct Emitter<'a> {
     n: usize,
 }
 
-impl Emitter<'_> {
+impl<'a> Emitter<'a> {
+    /// Builds the emitter from the engine's read-only state. Takes the
+    /// fields individually (not `&BpNtt`) so the borrows stay disjoint
+    /// from the controller — an emitter can drive a sink that mutably
+    /// borrows `self.ctl`.
+    fn of(
+        kernels: &'a Kernels,
+        config: &'a BpNttConfig,
+        twiddles: &'a TwiddleTable,
+        mont: &'a MontCtx,
+    ) -> Self {
+        Emitter {
+            kernels,
+            layout: config.layout(),
+            twiddles,
+            mont,
+            n: config.params().n(),
+        }
+    }
+
     fn forward_region<S: InstrSink>(&self, sink: &mut S, base: usize) -> Result<(), BpNttError> {
         let layout = self.layout;
         let n = self.n;
@@ -423,9 +455,19 @@ impl BpNtt {
         self.ctl.stats()
     }
 
-    /// Resets the statistics (array contents are untouched).
+    /// Resets the statistics (array contents are untouched). Also clears
+    /// the fast-path coverage counters.
     pub fn reset_stats(&mut self) {
         self.ctl.reset_stats();
+    }
+
+    /// Word-engine fast-path coverage telemetry accumulated since the
+    /// last [`Self::reset_stats`]: how many fused chains/loops/superops
+    /// actually executed, and which of them ran register-resident. The
+    /// observable for "the fast path silently stopped firing".
+    #[must_use]
+    pub fn fastpath_stats(&self) -> &FastPathStats {
+        self.ctl.fastpath_stats()
     }
 
     /// Replaces the timing model (for sensitivity studies). Invalidates
@@ -468,16 +510,8 @@ impl BpNtt {
             return Ok(Arc::clone(p));
         }
         let mut rec = Recorder::new();
-        {
-            let em = Emitter {
-                kernels: &self.kernels,
-                layout: self.config.layout(),
-                twiddles: &self.twiddles,
-                mont: &self.mont,
-                n: self.config.params().n(),
-            };
-            em.emit_key(&mut rec, key)?;
-        }
+        Emitter::of(&self.kernels, &self.config, &self.twiddles, &self.mont)
+            .emit_key(&mut rec, key)?;
         let compiled = Arc::new(rec.finish().compile(&self.ctl)?);
         self.programs.insert(key, Arc::clone(&compiled));
         Ok(compiled)
@@ -683,23 +717,35 @@ impl BpNtt {
         Ok(())
     }
 
-    /// Forward NTT through per-call code generation (no program cache):
-    /// the schedule is re-emitted through [`Kernels`] and executed
-    /// instruction by instruction. Produces bit-identical rows and
-    /// [`Stats`] to [`Self::forward`]; kept as the replay-equivalence
+    /// Forward NTT through per-call code generation (no program cache),
+    /// with the emitted stream executed through the same fused
+    /// word-engine executors replay uses ([`FusedSink`]). Produces
+    /// bit-identical rows and [`Stats`] to [`Self::forward`] *and* to
+    /// [`Self::forward_uncached_generic`]; kept as the replay-equivalence
     /// baseline and for benchmarking the compile-once win.
     ///
     /// # Errors
     ///
     /// Propagates simulator faults.
     pub fn forward_uncached(&mut self) -> Result<(), BpNttError> {
-        let em = Emitter {
-            kernels: &self.kernels,
-            layout: self.config.layout(),
-            twiddles: &self.twiddles,
-            mont: &self.mont,
-            n: self.config.params().n(),
-        };
+        let em = Emitter::of(&self.kernels, &self.config, &self.twiddles, &self.mont);
+        let mut sink = FusedSink::new(&mut self.ctl);
+        em.forward_region(&mut sink, 0)?;
+        sink.finish()?;
+        Ok(())
+    }
+
+    /// Forward NTT through per-call code generation with strictly
+    /// per-instruction execution — no fused executors anywhere. The
+    /// original emission semantics, kept as the ground-truth baseline the
+    /// equivalence proptests pin both replay and fused emission against,
+    /// and as the denominator of the replay-speedup trajectory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator faults.
+    pub fn forward_uncached_generic(&mut self) -> Result<(), BpNttError> {
+        let em = Emitter::of(&self.kernels, &self.config, &self.twiddles, &self.mont);
         em.forward_region(&mut self.ctl, 0)
     }
 
@@ -720,21 +766,30 @@ impl BpNtt {
         Ok(())
     }
 
-    /// Inverse NTT through per-call code generation (no program cache);
-    /// see [`Self::forward_uncached`].
+    /// Inverse NTT through per-call code generation with fused execution
+    /// (no program cache); see [`Self::forward_uncached`].
     ///
     /// # Errors
     ///
     /// Propagates simulator faults.
     pub fn inverse_uncached(&mut self) -> Result<(), BpNttError> {
         let scale = self.mont.to_mont(self.config.params().n_inv());
-        let em = Emitter {
-            kernels: &self.kernels,
-            layout: self.config.layout(),
-            twiddles: &self.twiddles,
-            mont: &self.mont,
-            n: self.config.params().n(),
-        };
+        let em = Emitter::of(&self.kernels, &self.config, &self.twiddles, &self.mont);
+        let mut sink = FusedSink::new(&mut self.ctl);
+        em.inverse_region(&mut sink, 0, scale)?;
+        sink.finish()?;
+        Ok(())
+    }
+
+    /// Inverse NTT through strictly per-instruction code generation; see
+    /// [`Self::forward_uncached_generic`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator faults.
+    pub fn inverse_uncached_generic(&mut self) -> Result<(), BpNttError> {
+        let scale = self.mont.to_mont(self.config.params().n_inv());
+        let em = Emitter::of(&self.kernels, &self.config, &self.twiddles, &self.mont);
         em.inverse_region(&mut self.ctl, 0, scale)
     }
 
@@ -948,8 +1003,10 @@ mod tests {
 
     #[test]
     fn cached_replay_matches_uncached_emission() {
-        // Same data, one engine replaying and one emitting: bit-identical
-        // outputs and bit-identical statistics (including the f64 energy).
+        // Same data, three engines: replay, fused emission, and strictly
+        // per-instruction emission — bit-identical outputs and
+        // bit-identical statistics (including the f64 energy) across all
+        // three.
         for (n, q, rows, cols, bw) in [
             (8usize, 97u64, 16usize, 32usize, 8usize),
             (16, 97, 16, 32, 8),
@@ -972,16 +1029,31 @@ mod tests {
             emitted.forward_uncached().unwrap();
             emitted.inverse_uncached().unwrap();
 
-            assert_eq!(
-                replayed.read_batch(lanes).unwrap(),
-                emitted.read_batch(lanes).unwrap(),
-                "n={n}"
-            );
-            let (rs, es) = (*replayed.stats(), *emitted.stats());
+            let mut generic = mk();
+            generic.load_batch(&polys).unwrap();
+            generic.reset_stats();
+            generic.forward_uncached_generic().unwrap();
+            generic.inverse_uncached_generic().unwrap();
+
+            // Snapshot stats before read_batch (reads are costed).
+            let (rs, es, gs) = (*replayed.stats(), *emitted.stats(), *generic.stats());
+            let out_e = emitted.read_batch(lanes).unwrap();
+            assert_eq!(replayed.read_batch(lanes).unwrap(), out_e, "n={n}");
+            assert_eq!(out_e, generic.read_batch(lanes).unwrap(), "n={n} (generic)");
             assert_eq!(rs.cycles, es.cycles, "n={n}");
             assert_eq!(rs.counts, es.counts, "n={n}");
             assert_eq!(rs.row_loads, es.row_loads, "n={n}");
             assert_eq!(rs.energy_pj.to_bits(), es.energy_pj.to_bits(), "n={n}");
+            assert_eq!(es.cycles, gs.cycles, "n={n} (generic)");
+            assert_eq!(es.counts, gs.counts, "n={n} (generic)");
+            assert_eq!(
+                es.energy_pj.to_bits(),
+                gs.energy_pj.to_bits(),
+                "n={n} (generic)"
+            );
+            // The fused paths fired, the generic baseline never does.
+            assert!(emitted.fastpath_stats().hits() > 0, "n={n}");
+            assert_eq!(generic.fastpath_stats().hits(), 0, "n={n}");
         }
     }
 

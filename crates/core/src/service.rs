@@ -10,9 +10,10 @@
 //!
 //! * **Submission API** — [`NttService::submit_forward`] /
 //!   [`NttService::submit_polymul`] validate the operands, enqueue the
-//!   request, and return a [`Ticket`]: a completion handle over a
-//!   channel. `Ticket::wait` blocks; `Ticket::try_wait` polls, so the
-//!   handle composes with any async executor's readiness loop.
+//!   request, and return a [`Ticket`]: a completion handle that is also
+//!   a [`std::future::Future`] (waker wiring on the completion slot), so
+//!   it `.await`s from any executor; `Ticket::wait` blocks and
+//!   `Ticket::try_wait` polls for synchronous callers.
 //! * **Wave coalescing** — a dispatcher thread drains the queue in
 //!   batches: it waits (up to `coalesce_window`) for enough requests to
 //!   fill every lane of every shard, then executes one
@@ -103,21 +104,94 @@ impl TenantId {
     }
 }
 
+/// Shared completion slot behind one [`Ticket`]: the dispatcher's send
+/// side stores the result, wakes a parked [`Ticket::wait`] through the
+/// condvar, and wakes a pending async task through the registered waker.
+#[derive(Debug, Default)]
+struct Completion {
+    state: Mutex<CompletionState>,
+    cv: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct CompletionState {
+    result: Option<Result<Vec<u64>, BpNttError>>,
+    waker: Option<std::task::Waker>,
+    /// Set when the send side is gone (result delivered, or dispatcher
+    /// exited without answering).
+    sender_gone: bool,
+}
+
+impl CompletionState {
+    /// Takes the terminal outcome, if any: the result (at most once), or
+    /// `ServiceShutdown` once the sender is gone.
+    fn take_outcome(&mut self) -> Option<Result<Vec<u64>, BpNttError>> {
+        match self.result.take() {
+            Some(r) => Some(r),
+            None if self.sender_gone => Some(Err(BpNttError::ServiceShutdown)),
+            None => None,
+        }
+    }
+}
+
+/// The dispatcher-held send side of one ticket. Dropping it without
+/// [`TicketSender::send`] (dispatcher exit) resolves the ticket to
+/// [`BpNttError::ServiceShutdown`].
+#[derive(Debug)]
+struct TicketSender(Arc<Completion>);
+
+impl TicketSender {
+    fn send(self, r: Result<Vec<u64>, BpNttError>) {
+        self.0.state.lock().expect("ticket state poisoned").result = Some(r);
+        // Drop wakes both kinds of waiters.
+    }
+}
+
+impl Drop for TicketSender {
+    fn drop(&mut self) {
+        let waker = {
+            let mut st = self.0.state.lock().expect("ticket state poisoned");
+            st.sender_gone = true;
+            st.waker.take()
+        };
+        self.0.cv.notify_all();
+        if let Some(w) = waker {
+            w.wake();
+        }
+    }
+}
+
 /// Completion handle for one submitted request.
 ///
-/// The result arrives over a dedicated channel once the dispatcher's
-/// wave completes, and is yielded **at most once**: after
-/// [`Ticket::try_wait`] or [`Ticket::wait_timeout`] has returned the
-/// result, later polls of the same ticket report
-/// [`BpNttError::ServiceShutdown`] (the channel is spent), not the
-/// result again. Dropping the ticket cancels nothing — the request
-/// still executes — but its result is discarded.
+/// The result arrives through a dedicated completion slot once the
+/// dispatcher's wave completes, and is yielded **at most once**: after
+/// [`Ticket::try_wait`], [`Ticket::wait_timeout`], or an `.await` has
+/// returned the result, later polls of the same ticket report
+/// [`BpNttError::ServiceShutdown`] (the slot is spent), not the result
+/// again. Dropping the ticket cancels nothing — the request still
+/// executes — but its result is discarded.
+///
+/// `Ticket` implements [`std::future::Future`] (waker wiring on the
+/// completion slot), so it can be `.await`ed from any executor; the
+/// blocking [`Ticket::wait`] and polling [`Ticket::try_wait`] styles
+/// remain for synchronous callers.
 #[derive(Debug)]
 pub struct Ticket {
-    rx: mpsc::Receiver<Result<Vec<u64>, BpNttError>>,
+    completion: Arc<Completion>,
 }
 
 impl Ticket {
+    /// Creates the connected `(ticket, sender)` pair.
+    fn channel() -> (Ticket, TicketSender) {
+        let completion = Arc::new(Completion::default());
+        (
+            Ticket {
+                completion: Arc::clone(&completion),
+            },
+            TicketSender(completion),
+        )
+    }
+
     /// Blocks until the result is ready.
     ///
     /// # Errors
@@ -125,27 +199,65 @@ impl Ticket {
     /// The request's own failure, or [`BpNttError::ServiceShutdown`] if
     /// the dispatcher exited without answering.
     pub fn wait(self) -> Result<Vec<u64>, BpNttError> {
-        self.rx.recv().unwrap_or(Err(BpNttError::ServiceShutdown))
+        let mut st = self.completion.state.lock().expect("ticket state poisoned");
+        loop {
+            if let Some(outcome) = st.take_outcome() {
+                return outcome;
+            }
+            st = self.completion.cv.wait(st).expect("ticket state poisoned");
+        }
     }
 
     /// Non-blocking poll: `None` while the request is still in flight.
-    /// This is the async-integration point — poll it from any executor's
-    /// readiness loop.
+    /// One synchronous integration point — or just `.await` the ticket.
     pub fn try_wait(&self) -> Option<Result<Vec<u64>, BpNttError>> {
-        match self.rx.try_recv() {
-            Ok(r) => Some(r),
-            Err(mpsc::TryRecvError::Empty) => None,
-            Err(mpsc::TryRecvError::Disconnected) => Some(Err(BpNttError::ServiceShutdown)),
-        }
+        self.completion
+            .state
+            .lock()
+            .expect("ticket state poisoned")
+            .take_outcome()
     }
 
     /// Blocks up to `timeout`; `None` on timeout.
     pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<Vec<u64>, BpNttError>> {
-        match self.rx.recv_timeout(timeout) {
-            Ok(r) => Some(r),
-            Err(mpsc::RecvTimeoutError::Timeout) => None,
-            Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(BpNttError::ServiceShutdown)),
+        let deadline = Instant::now() + timeout;
+        let mut st = self.completion.state.lock().expect("ticket state poisoned");
+        loop {
+            if let Some(outcome) = st.take_outcome() {
+                return Some(outcome);
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return None;
+            }
+            let (guard, _) = self
+                .completion
+                .cv
+                .wait_timeout(st, remaining)
+                .expect("ticket state poisoned");
+            st = guard;
         }
+    }
+}
+
+impl std::future::Future for Ticket {
+    type Output = Result<Vec<u64>, BpNttError>;
+
+    fn poll(
+        self: std::pin::Pin<&mut Self>,
+        cx: &mut std::task::Context<'_>,
+    ) -> std::task::Poll<Self::Output> {
+        let mut st = self.completion.state.lock().expect("ticket state poisoned");
+        if let Some(outcome) = st.take_outcome() {
+            return std::task::Poll::Ready(outcome);
+        }
+        // Keep only the latest waker (`Waker::will_wake` avoids a clone
+        // when the same task polls repeatedly).
+        match &mut st.waker {
+            Some(w) if w.will_wake(cx.waker()) => {}
+            slot => *slot = Some(cx.waker().clone()),
+        }
+        std::task::Poll::Pending
     }
 }
 
@@ -157,13 +269,13 @@ enum Request {
     Forward {
         tenant: TenantId,
         poly: Vec<u64>,
-        reply: Reply<Vec<u64>>,
+        reply: TicketSender,
     },
     Polymul {
         tenant: TenantId,
         a: Vec<u64>,
         b: Vec<u64>,
-        reply: Reply<Vec<u64>>,
+        reply: TicketSender,
     },
 }
 
@@ -363,13 +475,13 @@ impl NttService {
     ) -> Result<Ticket, BpNttError> {
         let info = self.tenant_info(tenant)?;
         validate_poly(&info, &poly)?;
-        let (reply, rx) = mpsc::channel();
+        let (ticket, reply) = Ticket::channel();
         self.enqueue(Request::Forward {
             tenant,
             poly,
             reply,
         })?;
-        Ok(Ticket { rx })
+        Ok(ticket)
     }
 
     /// Submits one negacyclic polynomial multiplication (`a ⊛ b`) for
@@ -401,14 +513,14 @@ impl NttService {
         }
         validate_poly(&info, &a)?;
         validate_poly(&info, &b)?;
-        let (reply, rx) = mpsc::channel();
+        let (ticket, reply) = Ticket::channel();
         self.enqueue(Request::Polymul {
             tenant,
             a,
             b,
             reply,
         })?;
-        Ok(Ticket { rx })
+        Ok(ticket)
     }
 
     /// Snapshots the service counters.
@@ -575,7 +687,7 @@ struct WaveGroup {
     polymul: bool,
     a: Vec<Vec<u64>>,
     b: Vec<Vec<u64>>,
-    replies: Vec<Reply<Vec<u64>>>,
+    replies: Vec<TicketSender>,
 }
 
 fn dispatcher_loop(shared: &Shared, shards: usize) {
@@ -734,7 +846,7 @@ fn execute_wave(
                 m.failed += group.replies.len() as u64;
             }
             for reply in group.replies {
-                let _ = reply.send(Err(BpNttError::UnknownTenant {
+                reply.send(Err(BpNttError::UnknownTenant {
                     tenant: group.tenant.0,
                 }));
             }
@@ -769,12 +881,12 @@ fn execute_wave(
             Ok(outs) => {
                 debug_assert_eq!(outs.len(), group.replies.len());
                 for (reply, out) in group.replies.into_iter().zip(outs) {
-                    let _ = reply.send(Ok(out));
+                    reply.send(Ok(out));
                 }
             }
             Err(e) => {
                 for reply in group.replies {
-                    let _ = reply.send(Err(e.clone()));
+                    reply.send(Err(e.clone()));
                 }
             }
         }
@@ -895,6 +1007,89 @@ mod tests {
         for ticket in tickets {
             assert!(ticket.wait().is_ok());
         }
+    }
+
+    /// A minimal single-future executor: polls with a parker-backed
+    /// waker, parking the thread between wakes. Exercises the real waker
+    /// path — `poll` must register the waker and the dispatcher's send
+    /// must wake it, or this blocks forever (caught by the spin guard).
+    fn block_on<F: std::future::Future>(fut: F) -> F::Output {
+        use std::task::{Context, Poll, Wake, Waker};
+
+        struct ThreadWaker(std::thread::Thread);
+        impl Wake for ThreadWaker {
+            fn wake(self: std::sync::Arc<Self>) {
+                self.0.unpark();
+            }
+        }
+
+        let waker = Waker::from(std::sync::Arc::new(ThreadWaker(std::thread::current())));
+        let mut cx = Context::from_waker(&waker);
+        let mut fut = std::pin::pin!(fut);
+        let mut polls = 0u32;
+        loop {
+            match fut.as_mut().poll(&mut cx) {
+                Poll::Ready(v) => return v,
+                Poll::Pending => {
+                    polls += 1;
+                    assert!(polls < 10_000, "future never completed");
+                    // Park with a timeout so a lost wake fails the spin
+                    // guard instead of hanging the suite.
+                    std::thread::park_timeout(Duration::from_millis(10));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tickets_are_futures() {
+        let service = NttService::start(&config8(), ServiceOptions::default()).unwrap();
+        let params = NttParams::new(8, 97).unwrap();
+        let t = TwiddleTable::new(&params);
+
+        // Single await resolves to the transform.
+        let poly = pseudo(8, 97, 77);
+        let ticket = service.submit_forward(poly.clone()).unwrap();
+        let mut expect = poly;
+        ntt_in_place(&params, &t, &mut expect).unwrap();
+        assert_eq!(block_on(ticket).unwrap(), expect);
+
+        // An async block awaiting several tickets sequentially.
+        let pairs: Vec<(Vec<u64>, Ticket)> = (0..4)
+            .map(|s| {
+                let p = pseudo(8, 97, 200 + s);
+                let ticket = service.submit_forward(p.clone()).unwrap();
+                (p, ticket)
+            })
+            .collect();
+        let results = block_on(async {
+            let mut done = Vec::new();
+            for (p, ticket) in pairs {
+                done.push((p, ticket.await));
+            }
+            done
+        });
+        for (p, got) in results {
+            let mut expect = p;
+            ntt_in_place(&params, &t, &mut expect).unwrap();
+            assert_eq!(got.unwrap(), expect);
+        }
+        let m = service.shutdown();
+        assert_eq!(m.failed, 0);
+    }
+
+    #[test]
+    fn awaiting_after_shutdown_reports_shutdown() {
+        // A ticket that was already answered before shutdown still
+        // resolves; polling a spent ticket reports ServiceShutdown.
+        let service = NttService::start(&config8(), ServiceOptions::default()).unwrap();
+        let ticket = service.submit_forward(pseudo(8, 97, 5)).unwrap();
+        let _ = service.shutdown();
+        let mut ticket = ticket;
+        let first = block_on(&mut ticket);
+        assert!(first.is_ok(), "drained result still readable");
+        let second = block_on(&mut ticket);
+        assert!(matches!(second, Err(BpNttError::ServiceShutdown)));
     }
 
     #[test]

@@ -6,7 +6,8 @@ use crate::bitrow::BitRow;
 use crate::cost::{EnergyModel, TimingModel};
 use crate::error::SramError;
 use crate::isa::{BitOp, Instruction, PredMode, Program, ShiftDir, UnaryKind};
-use crate::stats::Stats;
+use crate::stats::{FastPathStats, Stats};
+use crate::wordkern::FastPathKind;
 
 /// Executes instructions against one SRAM subarray.
 ///
@@ -54,6 +55,14 @@ pub struct Controller {
     timing: TimingModel,
     energy: EnergyModel,
     stats: Stats,
+    /// Fast-path coverage telemetry (see [`FastPathStats`]); deliberately
+    /// outside [`Stats`] so execution strategy never enters the
+    /// replay≡emission bit-identity contract.
+    fastpath: FastPathStats,
+    /// How this geometry executes fused chains and resolution loops —
+    /// decided once from the padded row width (compiled programs record
+    /// the same kind, so replay never re-derives it per superop).
+    fast_path: FastPathKind,
     /// Preallocated result row for the primary write-back: every compute
     /// instruction lands here before being swapped or merged into the
     /// array, so the hot loop never touches the allocator.
@@ -72,14 +81,10 @@ pub struct Controller {
     /// Keep-mask of a tile-masked right shift: all columns except each
     /// tile's top bit.
     shr_keep: BitRow,
-    /// Word-oriented predicate-latch plan: for every storage word of the
-    /// predicate mask, the `(tile_base_column, column_mask)` contributions
-    /// of the tiles overlapping that word
-    /// (`word_fill_starts[w]..word_fill_starts[w+1]` indexes them) —
-    /// precomputed so a `Check` builds each mask word branchlessly in a
-    /// register.
-    word_fill: Vec<(u32, u64)>,
-    word_fill_starts: Vec<u32>,
+    /// Word image with exactly the tile-base columns set — the select
+    /// layer of the multiply-smear predicate latch
+    /// ([`crate::wordkern::latch_tile_bit`]).
+    tile_base_mask: Vec<u64>,
 }
 
 impl Controller {
@@ -88,9 +93,12 @@ impl Controller {
     /// # Errors
     ///
     /// [`SramError::BadTileWidth`] when `tile_width` does not divide the
-    /// array's column count (or is zero).
+    /// array's column count, is zero, or exceeds 64 (the whole ISA is
+    /// built on one ≤64-bit word per tile — `BitRow::tile_word`, the
+    /// `Check` bit field, and the multiply-smear predicate latch all
+    /// assume it).
     pub fn new(array: SramArray, tile_width: usize) -> Result<Self, SramError> {
-        if tile_width == 0 || !array.cols().is_multiple_of(tile_width) {
+        if tile_width == 0 || tile_width > 64 || !array.cols().is_multiple_of(tile_width) {
             return Err(SramError::BadTileWidth {
                 width: tile_width,
                 cols: array.cols(),
@@ -106,29 +114,13 @@ impl Controller {
             shl_keep.set_bit(base, false);
             shr_keep.set_bit(base + tile_width - 1, false);
         }
-        // The plan covers the chunk-padded word count; padding words (and
-        // any word wholly above the columns) get empty fill ranges, so the
-        // latch writes them as zero.
+        // The mask covers the chunk-padded word count; padding words stay
+        // zero, so the latch writes them as zero.
         let n_words = crate::bitrow::padded_words(cols);
-        let mut word_fill = Vec::new();
-        let mut word_fill_starts = Vec::with_capacity(n_words + 1);
-        for w in 0..n_words {
-            word_fill_starts.push(word_fill.len() as u32);
-            if w * 64 >= cols {
-                continue;
-            }
-            let (w_lo, w_hi) = (w * 64, (w * 64 + 63).min(cols - 1));
-            for t in 0..n_tiles {
-                let (start, end) = (t * tile_width, (t + 1) * tile_width - 1);
-                if end < w_lo || start > w_hi {
-                    continue;
-                }
-                let lo = start.max(w_lo) - w * 64;
-                let hi = end.min(w_hi) - w * 64;
-                word_fill.push((start as u32, (((1u128 << (hi - lo + 1)) - 1) as u64) << lo));
-            }
+        let mut tile_base_mask = vec![0u64; n_words];
+        for base in (0..cols).step_by(tile_width) {
+            tile_base_mask[base / 64] |= 1u64 << (base % 64);
         }
-        word_fill_starts.push(word_fill.len() as u32);
         Ok(Controller {
             array,
             tile_width,
@@ -139,14 +131,15 @@ impl Controller {
             timing: TimingModel::paper(),
             energy: EnergyModel::cmos_45nm(),
             stats: Stats::default(),
+            fastpath: FastPathStats::default(),
+            fast_path: FastPathKind::for_words(n_words),
             scratch_a: BitRow::zero(cols),
             scratch_b: BitRow::zero(cols),
             pred_mask: BitRow::zero(cols),
             mask_cols,
             shl_keep,
             shr_keep,
-            word_fill,
-            word_fill_starts,
+            tile_base_mask,
         })
     }
 
@@ -154,9 +147,9 @@ impl Controller {
     /// row `src` into the predicate column mask (the boolean per-tile view
     /// is derived from the mask on demand).
     fn latch_preds(&mut self, src: usize, bit: usize) {
-        latch_words(
-            &self.word_fill,
-            &self.word_fill_starts,
+        crate::wordkern::latch_tile_bit(
+            &self.tile_base_mask,
+            self.tile_width,
             self.array.row(src).words(),
             bit,
             self.pred_mask.words_mut(),
@@ -221,9 +214,23 @@ impl Controller {
         &self.stats
     }
 
-    /// Resets the statistics to zero (array contents are untouched).
+    /// Resets the statistics to zero (array contents are untouched). Also
+    /// clears the fast-path coverage counters.
     pub fn reset_stats(&mut self) {
         self.stats = Stats::default();
+        self.fastpath = FastPathStats::default();
+    }
+
+    /// Fast-path coverage telemetry accumulated since the last reset.
+    #[must_use]
+    pub fn fastpath_stats(&self) -> &FastPathStats {
+        &self.fastpath
+    }
+
+    /// This geometry's fused chain/loop execution strategy.
+    #[must_use]
+    pub fn fast_path_kind(&self) -> FastPathKind {
+        self.fast_path
     }
 
     /// Uncosted debug view of a row (not a simulated access).
@@ -371,14 +378,13 @@ impl Controller {
     /// costs per call) and compiled-program replay (which validated at
     /// compile time and replays precomputed costs).
     pub(crate) fn apply_instr(&mut self, instr: &Instruction) {
+        self.stats.counts.record(instr);
         match *instr {
             Instruction::Check { src, bit } => {
                 self.latch_preds(src.index(), usize::from(bit));
-                self.stats.counts.check += 1;
             }
             Instruction::CheckZero { src } => {
                 self.zero_flag = self.array.row(src.index()).is_zero();
-                self.stats.counts.check_zero += 1;
             }
             Instruction::MaskTiles { stride_log2, phase } => {
                 let mut off = 0;
@@ -394,13 +400,11 @@ impl Controller {
                         .fill_range(t * self.tile_width, (t + 1) * self.tile_width, *m);
                 }
                 self.n_masked_off = off;
-                self.stats.counts.mask += 1;
             }
             Instruction::MaskAll => {
                 self.tile_mask.iter_mut().for_each(|m| *m = true);
                 self.n_masked_off = 0;
                 self.mask_cols.fill_range(0, self.array.cols(), true);
-                self.stats.counts.mask += 1;
             }
             Instruction::Unary {
                 dst,
@@ -414,7 +418,6 @@ impl Controller {
                     UnaryKind::Zero => self.scratch_a.clear(),
                 }
                 self.write_back(dst.index(), pred, false);
-                self.stats.counts.unary += 1;
             }
             Instruction::Shift {
                 dst,
@@ -426,7 +429,6 @@ impl Controller {
                 self.scratch_a.copy_from(self.array.row(src.index()));
                 self.shift_scratch_a(dir, masked);
                 self.write_back(dst.index(), pred, false);
-                self.stats.counts.shift += 1;
             }
             Instruction::Binary {
                 dst,
@@ -450,14 +452,11 @@ impl Controller {
                 }
                 if let Some((dir, masked)) = shift {
                     self.shift_scratch_a(dir, masked);
-                    self.stats.counts.fused_shifts += 1;
                 }
                 self.write_back(dst.index(), pred, false);
                 if let Some((d2, _)) = dst2 {
                     self.write_back(d2.index(), pred, true);
-                    self.stats.counts.second_writebacks += 1;
                 }
-                self.stats.counts.binary += 1;
             }
         }
     }
@@ -535,6 +534,43 @@ impl Controller {
         self.stats.energy_pj = acc;
     }
 
+    /// Accounts one fused instruction group on the *emission* path: live
+    /// cost-model evaluation per instruction, energies added in emission
+    /// order, and the same per-class counters [`Self::apply_instr`] would
+    /// bump — so a fused-emitted group's [`Stats`] are bit-identical to
+    /// executing its instructions one at a time.
+    pub(crate) fn add_emit_group_cost(&mut self, instrs: &[Instruction]) {
+        let cols = self.array.cols();
+        let mut cycles = 0u64;
+        let mut e_acc = self.stats.energy_pj;
+        for i in instrs {
+            cycles += self.timing.cycles(i);
+            e_acc += self.energy.energy_pj(i, cols);
+            self.stats.counts.record(i);
+        }
+        self.stats.energy_pj = e_acc;
+        self.stats.cycles += cycles;
+    }
+
+    /// Builds one fused group's [`GroupCost`](crate::program::GroupCost)
+    /// under the live cost models (the emission-path counterpart of the
+    /// compiler's cost interning), reusing the caller's buffer.
+    pub(crate) fn fill_emit_group_cost(
+        &self,
+        instrs: &[Instruction],
+        gc: &mut crate::program::GroupCost,
+    ) {
+        let cols = self.array.cols();
+        gc.cycles = 0;
+        gc.counts = crate::stats::InstrCounts::default();
+        gc.energy.clear();
+        for i in instrs {
+            gc.cycles += self.timing.cycles(i);
+            gc.energy.push(self.energy.energy_pj(i, cols));
+            gc.counts.record(i);
+        }
+    }
+
     // ---- fused superop executors ------------------------------------------
     //
     // Each executes one recognized instruction group in a single pass over
@@ -550,6 +586,7 @@ impl Controller {
     /// per-tile by the predicate latches (`IfSet`).
     pub(crate) fn exec_addb(&mut self, op: &crate::program::AddBOp) -> bool {
         if self.n_masked_off != 0 {
+            self.fastpath.fallbacks += 1;
             return false;
         }
         let Some([sum, carry, t_sum, t_carry, b]) = self.array.rows_disjoint_mut([
@@ -559,6 +596,7 @@ impl Controller {
             usize::from(op.t_carry),
             usize::from(op.b),
         ]) else {
+            self.fastpath.fallbacks += 1;
             return false;
         };
         crate::wordkern::addb(
@@ -571,6 +609,7 @@ impl Controller {
             self.pred_mask.words(),
             op.pred == PredMode::IfSet,
         );
+        self.fastpath.superops_fused += 1;
         true
     }
 
@@ -578,6 +617,7 @@ impl Controller {
     /// `Sum`, add `M` in odd tiles, and halve the carry-save pair.
     pub(crate) fn exec_halve(&mut self, op: &crate::program::HalveOp) -> bool {
         if self.n_masked_off != 0 {
+            self.fastpath.fallbacks += 1;
             return false;
         }
         // The Check's predicate latch, from the pre-instruction Sum.
@@ -589,6 +629,7 @@ impl Controller {
             usize::from(op.t_carry),
             usize::from(op.modulus),
         ]) else {
+            self.fastpath.fallbacks += 1;
             return false;
         };
         crate::wordkern::halve(
@@ -600,25 +641,40 @@ impl Controller {
             self.pred_mask.words(),
             self.shr_keep.words(),
         );
+        self.fastpath.superops_fused += 1;
         true
     }
 
     /// Fused multiplier chain: a run of add-B and halve steps over one
     /// accumulator row set (the inner loop of Algorithm 2), with the rows
-    /// borrowed once and every step executed word-level. The per-step
+    /// borrowed once and every step executed word-level. Rows of up to
+    /// four chunks run the whole chain register-resident; wider rows run
+    /// the per-step kernels under the single borrow. The per-step
     /// statistics are applied by the caller in emission order.
-    pub(crate) fn exec_chain(&mut self, op: &crate::program::ChainOp) -> bool {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn exec_chain(
+        &mut self,
+        sum: u16,
+        carry: u16,
+        t_sum: u16,
+        t_carry: u16,
+        b: u16,
+        modulus: u16,
+        steps: &[crate::program::ChainStep],
+    ) -> bool {
         if self.n_masked_off != 0 {
+            self.fastpath.fallbacks += 1;
             return false;
         }
         let Some([sum, carry, t_sum, t_carry, b, m]) = self.array.rows_disjoint_mut([
-            usize::from(op.sum),
-            usize::from(op.carry),
-            usize::from(op.t_sum),
-            usize::from(op.t_carry),
-            usize::from(op.b),
-            usize::from(op.modulus),
+            usize::from(sum),
+            usize::from(carry),
+            usize::from(t_sum),
+            usize::from(t_carry),
+            usize::from(b),
+            usize::from(modulus),
         ]) else {
+            self.fastpath.fallbacks += 1;
             return false;
         };
         let sw = sum.words_mut();
@@ -627,28 +683,26 @@ impl Controller {
         let tcw = t_carry.words_mut();
         let bw = b.words();
         let m_words = m.words();
-        #[cfg(target_arch = "x86_64")]
-        if crate::wordkern::onechunk_fast_path(sw.len()) {
-            // Whole chain register-resident: rows loaded once, stored once
-            // (the dominant case — the paper's ≤256-column geometry).
-            crate::wordkern::chain_onechunk(
-                sw,
-                cw,
-                tsw,
-                tcw,
-                bw,
-                m_words,
-                self.pred_mask.words_mut(),
-                self.shr_keep.words(),
-                &op.steps,
-                &self.word_fill,
-                &self.word_fill_starts,
-            );
+        if crate::wordkern::chain_resident(
+            self.fast_path,
+            sw,
+            cw,
+            tsw,
+            tcw,
+            bw,
+            m_words,
+            self.pred_mask.words_mut(),
+            self.shr_keep.words(),
+            steps,
+            &self.tile_base_mask,
+            self.tile_width,
+        ) {
+            self.fastpath.chains_resident += 1;
             return true;
         }
         let mw = self.mask_cols.words();
         let shr = self.shr_keep.words();
-        for step in &op.steps {
+        for step in steps {
             match *step {
                 crate::program::ChainStep::AddB(pred) => {
                     crate::wordkern::addb(
@@ -665,9 +719,9 @@ impl Controller {
                 crate::program::ChainStep::Halve => {
                     // Inline predicate latch (the Check inside the halve
                     // pattern), reading Sum through the held borrow.
-                    latch_words(
-                        &self.word_fill,
-                        &self.word_fill_starts,
+                    crate::wordkern::latch_tile_bit(
+                        &self.tile_base_mask,
+                        self.tile_width,
                         sw,
                         0,
                         self.pred_mask.words_mut(),
@@ -676,32 +730,41 @@ impl Controller {
                 }
             }
         }
+        self.fastpath.chains_per_step += 1;
         true
     }
 
     /// Fully fused carry-resolution loop: rows borrowed once, each round
-    /// a zero test plus one word pass. Returns the number of executed
-    /// rounds, or `None` when the tile mask forces the generic path.
+    /// a zero test plus one word pass (register-resident up to four
+    /// chunks). Returns the number of executed rounds, or `None` when the
+    /// tile mask forces the generic path.
     pub(crate) fn exec_resolve_loop(
         &mut self,
-        op: &crate::program::ResolveLoopOp,
+        s: u16,
+        c: u16,
+        max_checks: usize,
         check_cycles: u64,
         check_energy: f64,
         round_cost: &crate::program::GroupCost,
     ) -> Option<usize> {
         if self.n_masked_off != 0 {
+            self.fastpath.fallbacks += 1;
             return None;
         }
-        let [s, c] = self
+        let Some([s, c]) = self
             .array
-            .rows_disjoint_mut([usize::from(op.s), usize::from(op.c)])?;
+            .rows_disjoint_mut([usize::from(s), usize::from(c)])
+        else {
+            self.fastpath.fallbacks += 1;
+            return None;
+        };
         let shl = self.shl_keep.words();
         let sw = s.words_mut();
         let cw = c.words_mut();
-        #[cfg(target_arch = "x86_64")]
-        if crate::wordkern::onechunk_fast_path(sw.len()) {
-            let (bodies, checks, converged) =
-                crate::wordkern::resolve_loop_onechunk(sw, cw, shl, op.max_checks);
+        if let Some((bodies, checks, converged)) =
+            crate::wordkern::resolve_loop_resident(self.fast_path, sw, cw, shl, max_checks)
+        {
+            self.fastpath.resolve_loops_resident += 1;
             self.finish_fused_loop(
                 bodies,
                 checks,
@@ -715,7 +778,7 @@ impl Controller {
         let mut bodies = 0usize;
         let mut checks = 0u64;
         let mut converged = false;
-        for _ in 0..op.max_checks {
+        for _ in 0..max_checks {
             checks += 1;
             if cw.iter().all(|&w| w == 0) {
                 converged = true;
@@ -724,6 +787,7 @@ impl Controller {
             crate::wordkern::resolve_round(sw, cw, shl);
             bodies += 1;
         }
+        self.fastpath.resolve_loops_per_step += 1;
         self.finish_fused_loop(
             bodies,
             checks,
@@ -771,32 +835,40 @@ impl Controller {
     }
 
     /// Fully fused borrow-resolution loop: the three rows borrowed once,
-    /// the live row alternating between `live` and `other` per round.
-    /// Returns the executed round count (the caller runs the odd-parity
-    /// epilogue), or `None` when the tile mask forces the generic path.
+    /// the live row alternating between `live` and `other` per round
+    /// (register-resident up to four chunks). Returns the executed round
+    /// count (the caller runs the odd-parity epilogue), or `None` when
+    /// the tile mask forces the generic path.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn exec_borrow_loop(
         &mut self,
-        op: &crate::program::BorrowLoopOp,
+        live: u16,
+        other: u16,
+        t: u16,
+        max_checks: usize,
         check_cycles: u64,
         check_energy: f64,
         round_cost: &crate::program::GroupCost,
     ) -> Option<usize> {
         if self.n_masked_off != 0 {
+            self.fastpath.fallbacks += 1;
             return None;
         }
-        let [live, other, t] = self.array.rows_disjoint_mut([
-            usize::from(op.live),
-            usize::from(op.other),
-            usize::from(op.t),
-        ])?;
+        let Some([live, other, t]) =
+            self.array
+                .rows_disjoint_mut([usize::from(live), usize::from(other), usize::from(t)])
+        else {
+            self.fastpath.fallbacks += 1;
+            return None;
+        };
         let shl = self.shl_keep.words();
         let mut cur = live.words_mut();
         let mut nxt = other.words_mut();
         let tw = t.words_mut();
-        #[cfg(target_arch = "x86_64")]
-        if crate::wordkern::onechunk_fast_path(tw.len()) {
-            let (bodies, checks, converged) =
-                crate::wordkern::borrow_loop_onechunk(cur, nxt, tw, shl, op.max_checks);
+        if let Some((bodies, checks, converged)) =
+            crate::wordkern::borrow_loop_resident(self.fast_path, cur, nxt, tw, shl, max_checks)
+        {
+            self.fastpath.borrow_loops_resident += 1;
             self.finish_fused_loop(
                 bodies,
                 checks,
@@ -810,7 +882,7 @@ impl Controller {
         let mut bodies = 0usize;
         let mut checks = 0u64;
         let mut converged = false;
-        for _ in 0..op.max_checks {
+        for _ in 0..max_checks {
             checks += 1;
             if tw.iter().all(|&w| w == 0) {
                 converged = true;
@@ -820,6 +892,7 @@ impl Controller {
             std::mem::swap(&mut cur, &mut nxt);
             bodies += 1;
         }
+        self.fastpath.borrow_loops_per_step += 1;
         self.finish_fused_loop(
             bodies,
             checks,
@@ -835,15 +908,18 @@ impl Controller {
     /// Carry, Sum = Sum∧Carry, Sum⊕Carry`.
     pub(crate) fn exec_resolve_round(&mut self, op: &crate::program::ResolveRoundOp) -> bool {
         if self.n_masked_off != 0 {
+            self.fastpath.fallbacks += 1;
             return false;
         }
         let Some([s, c]) = self
             .array
             .rows_disjoint_mut([usize::from(op.s), usize::from(op.c)])
         else {
+            self.fastpath.fallbacks += 1;
             return false;
         };
         crate::wordkern::resolve_round(s.words_mut(), c.words_mut(), self.shl_keep.words());
+        self.fastpath.superops_fused += 1;
         true
     }
 
@@ -851,6 +927,7 @@ impl Controller {
     /// s_other = s_cur ⊕ B; B = s_other ∧ B`.
     pub(crate) fn exec_borrow_round(&mut self, op: &crate::program::BorrowRoundOp) -> bool {
         if self.n_masked_off != 0 {
+            self.fastpath.fallbacks += 1;
             return false;
         }
         self.scratch_a
@@ -859,6 +936,7 @@ impl Controller {
             .array
             .rows_disjoint_mut([usize::from(op.s_other), usize::from(op.b)])
         else {
+            self.fastpath.fallbacks += 1;
             return false;
         };
         crate::wordkern::borrow_round(
@@ -867,6 +945,7 @@ impl Controller {
             b.words_mut(),
             self.shl_keep.words(),
         );
+        self.fastpath.superops_fused += 1;
         true
     }
 
@@ -881,6 +960,7 @@ impl Controller {
     /// (`d_and, d_xor = a ∧ b, a ⊕ b`) executed as a single pass.
     pub(crate) fn exec_csadd(&mut self, op: &crate::program::CsAddOp) -> bool {
         if self.n_masked_off != 0 {
+            self.fastpath.fallbacks += 1;
             return false;
         }
         let Some([da, dx, a, b]) = self.array.rows_disjoint_mut([
@@ -889,15 +969,18 @@ impl Controller {
             usize::from(op.a),
             usize::from(op.b),
         ]) else {
+            self.fastpath.fallbacks += 1;
             return false;
         };
         crate::wordkern::csadd(da.words_mut(), dx.words_mut(), a.words(), b.words());
+        self.fastpath.superops_fused += 1;
         true
     }
 
     /// Fused borrow-save subtract initiator: `ts = x ⊕ y; tc = ts ∧ y`.
     pub(crate) fn exec_subinit(&mut self, op: &crate::program::SubInitOp) -> bool {
         if self.n_masked_off != 0 {
+            self.fastpath.fallbacks += 1;
             return false;
         }
         let Some([ts, tc, x, y]) = self.array.rows_disjoint_mut([
@@ -906,9 +989,11 @@ impl Controller {
             usize::from(op.x),
             usize::from(op.y),
         ]) else {
+            self.fastpath.fallbacks += 1;
             return false;
         };
         crate::wordkern::subinit(ts.words_mut(), tc.words_mut(), x.words(), y.words());
+        self.fastpath.superops_fused += 1;
         true
     }
 
@@ -917,6 +1002,7 @@ impl Controller {
     /// pred-clear tiles.
     pub(crate) fn exec_condsel(&mut self, op: &crate::program::CondSelOp) -> bool {
         if self.n_masked_off != 0 {
+            self.fastpath.fallbacks += 1;
             return false;
         }
         // The Check happens first in emission; only reads, so any aliasing
@@ -927,6 +1013,7 @@ impl Controller {
             usize::from(op.a),
             usize::from(op.b),
         ]) else {
+            self.fastpath.fallbacks += 1;
             return false;
         };
         crate::wordkern::cond_select(
@@ -936,6 +1023,7 @@ impl Controller {
             self.mask_cols.words(),
             self.pred_mask.words(),
         );
+        self.fastpath.superops_fused += 1;
         true
     }
 
@@ -943,6 +1031,7 @@ impl Controller {
     /// from `check_src`, then a pred-gated `dst ← src` copy.
     pub(crate) fn exec_condcopy(&mut self, op: &crate::program::CondCopyOp) -> bool {
         if self.n_masked_off != 0 {
+            self.fastpath.fallbacks += 1;
             return false;
         }
         self.latch_preds(usize::from(op.check_src), usize::from(op.bit));
@@ -950,6 +1039,7 @@ impl Controller {
             .array
             .rows_disjoint_mut([usize::from(op.dst), usize::from(op.src)])
         else {
+            self.fastpath.fallbacks += 1;
             return false;
         };
         crate::wordkern::masked_copy(
@@ -959,6 +1049,7 @@ impl Controller {
             self.pred_mask.words(),
             op.pred == PredMode::IfSet,
         );
+        self.fastpath.superops_fused += 1;
         true
     }
 
@@ -967,6 +1058,7 @@ impl Controller {
     /// one pass.
     pub(crate) fn exec_signfix(&mut self, op: &crate::program::SignFixOp) -> bool {
         if self.n_masked_off != 0 {
+            self.fastpath.fallbacks += 1;
             return false;
         }
         // Check(s, bit) reads s before the pass modifies it.
@@ -977,6 +1069,7 @@ impl Controller {
             usize::from(op.t_carry),
             usize::from(op.modulus),
         ]) else {
+            self.fastpath.fallbacks += 1;
             return false;
         };
         crate::wordkern::signfix(
@@ -987,6 +1080,7 @@ impl Controller {
             self.mask_cols.words(),
             self.pred_mask.words(),
         );
+        self.fastpath.superops_fused += 1;
         true
     }
 
@@ -1044,31 +1138,6 @@ impl Controller {
     }
 }
 
-/// Branchless predicate latch: builds each predicate-mask word in a
-/// register from the source row's per-tile bits (tile-relative column
-/// `bit`), using the controller's precomputed word-oriented plan.
-fn latch_words(
-    word_fill: &[(u32, u64)],
-    word_fill_starts: &[u32],
-    rw: &[u64],
-    bit: usize,
-    pm: &mut [u64],
-) {
-    for w in 0..pm.len() {
-        let (f0, f1) = (
-            word_fill_starts[w] as usize,
-            word_fill_starts[w + 1] as usize,
-        );
-        let mut pmw = 0u64;
-        for &(base, mask) in &word_fill[f0..f1] {
-            let pos = base as usize + bit;
-            let v = (rw[pos >> 6] >> (pos & 63)) & 1;
-            pmw |= mask & v.wrapping_neg();
-        }
-        pm[w] = pmw;
-    }
-}
-
 // The word-level kernel bodies — add-B, Montgomery halve, carry/borrow
 // resolution rounds, and the fused epilogue passes — live in
 // [`crate::wordkern`], which dispatches each between an explicit AVX2 path
@@ -1096,6 +1165,10 @@ mod tests {
         assert!(Controller::new(SramArray::new(8, 64).unwrap(), 0).is_err());
         assert!(Controller::new(SramArray::new(8, 64).unwrap(), 48).is_err());
         assert!(Controller::new(SramArray::new(8, 64).unwrap(), 16).is_ok());
+        // Tile words are at most 64 bits everywhere in the ISA; the
+        // predicate latch relies on it.
+        assert!(Controller::new(SramArray::new(8, 128).unwrap(), 128).is_err());
+        assert!(Controller::new(SramArray::new(8, 128).unwrap(), 64).is_ok());
     }
 
     #[test]

@@ -86,6 +86,8 @@ pub use error::SramError;
 pub use exec::Controller;
 pub use geometry::{AreaBreakdown, AreaModel, ArrayGeometry, FrequencyModel};
 pub use isa::{BitOp, Instruction, PredMode, Program, RowAddr, ShiftDir, UnaryKind};
-pub use program::{CompiledProgram, InstrSink, Recorder, ReplayOp, ReplayProgram, ZeroLoopSpec};
-pub use stats::{InstrCounts, Stats};
-pub use wordkern::{force_scalar, simd_active};
+pub use program::{
+    CompiledProgram, FusedSink, InstrSink, Recorder, ReplayOp, ReplayProgram, ZeroLoopSpec,
+};
+pub use stats::{FastPathStats, InstrCounts, Stats};
+pub use wordkern::{force_scalar, simd_active, FastPathKind};

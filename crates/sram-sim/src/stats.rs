@@ -40,6 +40,30 @@ impl InstrCounts {
         self.shift + self.fused_shifts
     }
 
+    /// Tallies one instruction into its class counter — the single
+    /// definition of how instructions map to counters, shared by live
+    /// execution, compiled-program cost interning, and fused emission
+    /// (so the three can never classify differently).
+    pub fn record(&mut self, i: &crate::isa::Instruction) {
+        use crate::isa::Instruction as I;
+        match i {
+            I::Check { .. } => self.check += 1,
+            I::CheckZero { .. } => self.check_zero += 1,
+            I::MaskTiles { .. } | I::MaskAll => self.mask += 1,
+            I::Unary { .. } => self.unary += 1,
+            I::Shift { .. } => self.shift += 1,
+            I::Binary { dst2, shift, .. } => {
+                self.binary += 1;
+                if dst2.is_some() {
+                    self.second_writebacks += 1;
+                }
+                if shift.is_some() {
+                    self.fused_shifts += 1;
+                }
+            }
+        }
+    }
+
     /// Every count multiplied by `k` (batched accounting of `k` identical
     /// instruction groups).
     #[must_use]
@@ -76,6 +100,99 @@ impl Add for InstrCounts {
 impl AddAssign for InstrCounts {
     fn add_assign(&mut self, o: InstrCounts) {
         *self = *self + o;
+    }
+}
+
+/// Word-engine fast-path coverage counters: how the fused superops and
+/// loops actually executed. Tracked separately from [`Stats`] — coverage
+/// is an *execution-strategy* diagnostic, deliberately excluded from the
+/// replay≡emission bit-identity contract (a generic emission run has zero
+/// fused executions yet identical [`Stats`]).
+///
+/// Watch these to catch "the fast path silently stopped firing": a
+/// matcher or dispatch regression shows up here as `*_per_step` /
+/// `fallback` growth long before it is visible as a wall-clock mystery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FastPathStats {
+    /// Multiplier chains executed register-resident (rows loaded once).
+    pub chains_resident: u64,
+    /// Multiplier chains executed through the per-step word kernels
+    /// (row too wide for the resident window, or scalar dispatch).
+    pub chains_per_step: u64,
+    /// Carry-resolution loops executed register-resident.
+    pub resolve_loops_resident: u64,
+    /// Carry-resolution loops executed per-round.
+    pub resolve_loops_per_step: u64,
+    /// Borrow-resolution loops executed register-resident.
+    pub borrow_loops_resident: u64,
+    /// Borrow-resolution loops executed per-round.
+    pub borrow_loops_per_step: u64,
+    /// Single-pass superop executions (add-B / halve / resolution rounds /
+    /// butterfly epilogues) that ran fused.
+    pub superops_fused: u64,
+    /// Fused-shape executions that fell back to generic per-instruction
+    /// execution (tile mask active, or aliasing rows).
+    pub fallbacks: u64,
+}
+
+impl FastPathStats {
+    /// Total fast-path executions (anything that avoided the generic
+    /// per-instruction path).
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.chains_resident
+            + self.chains_per_step
+            + self.resolve_loops_resident
+            + self.resolve_loops_per_step
+            + self.borrow_loops_resident
+            + self.borrow_loops_per_step
+            + self.superops_fused
+    }
+
+    /// Register-resident executions only (the chain/loop fast paths this
+    /// coverage telemetry exists to guard).
+    #[must_use]
+    pub fn resident_hits(&self) -> u64 {
+        self.chains_resident + self.resolve_loops_resident + self.borrow_loops_resident
+    }
+}
+
+impl Add for FastPathStats {
+    type Output = FastPathStats;
+    fn add(self, o: FastPathStats) -> FastPathStats {
+        FastPathStats {
+            chains_resident: self.chains_resident + o.chains_resident,
+            chains_per_step: self.chains_per_step + o.chains_per_step,
+            resolve_loops_resident: self.resolve_loops_resident + o.resolve_loops_resident,
+            resolve_loops_per_step: self.resolve_loops_per_step + o.resolve_loops_per_step,
+            borrow_loops_resident: self.borrow_loops_resident + o.borrow_loops_resident,
+            borrow_loops_per_step: self.borrow_loops_per_step + o.borrow_loops_per_step,
+            superops_fused: self.superops_fused + o.superops_fused,
+            fallbacks: self.fallbacks + o.fallbacks,
+        }
+    }
+}
+
+impl AddAssign for FastPathStats {
+    fn add_assign(&mut self, o: FastPathStats) {
+        *self = *self + o;
+    }
+}
+
+impl fmt::Display for FastPathStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "chains {}+{} (resident+per-step), resolve loops {}+{}, borrow loops {}+{}, superops {}, fallbacks {}",
+            self.chains_resident,
+            self.chains_per_step,
+            self.resolve_loops_resident,
+            self.resolve_loops_per_step,
+            self.borrow_loops_resident,
+            self.borrow_loops_per_step,
+            self.superops_fused,
+            self.fallbacks
+        )
     }
 }
 

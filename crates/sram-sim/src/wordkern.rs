@@ -26,6 +26,12 @@
 //!   construction — and verified against each other by this module's tests
 //!   and by the workspace's replay-equivalence property tests run under
 //!   both settings in CI.
+//! * **Register-resident execution up to four chunks.** Rows of 1–4
+//!   chunks (≤1024 columns — the paper's geometry *and* the HE-batch lane
+//!   counts) execute whole multiplier chains and whole resolution loops
+//!   with every live row held in vector registers, the inter-chunk shift
+//!   carries threaded in-register; see [`FastPathKind`], which each
+//!   geometry decides once instead of re-testing row widths per superop.
 //!
 //! The module also hosts the single-pass bodies of the *epilogue
 //! superops* (carry-save add, conditional select/copy, sign-fix,
@@ -379,67 +385,126 @@ pub(crate) fn signfix(
     }
 }
 
-// ---- register-resident single-chunk execution ------------------------------
+// ---- register-resident multi-chunk execution -------------------------------
 //
-// At the paper's geometry (≤ 256 columns) a whole row is ONE chunk, so a
-// multiplier chain or a resolution loop can keep every live row in a
-// vector register for its entire duration, touching memory only at entry
-// and exit. This is where the word-engine's speedup actually comes from:
-// the per-step kernels above spend most of their time on loads and stores
-// (nine memory ops for ~a dozen ALU ops), which the chain executor repeats
-// ~36 times per modular multiplication.
+// Rows of up to MAX_RESIDENT_CHUNKS chunks (1024 bits — the HE-batch
+// 1024-column geometry) qualify for register-resident execution: a whole
+// multiplier chain or resolution loop keeps every live row in vector
+// registers for its entire duration, touching memory only at entry, exit,
+// and the halve steps' predicate-latch spills. This is where the
+// word-engine's speedup actually comes from: the per-step kernels above
+// spend most of their time on loads and stores (nine memory ops for ~a
+// dozen ALU ops), which the chain executor repeats ~36 times per modular
+// multiplication. The one-bit shifts thread their carries between chunks
+// in-register (`shl1_chain`/`shr1_chain`), so the K-chunk variants are the
+// exact widening of the single-chunk case — K = 1 *is* the paper-geometry
+// fast path of PR 2, now one instantiation of the const-generic kernels.
 
-/// True when rows of this word count qualify for the register-resident
-/// single-chunk fast paths (one chunk per row, SIMD active).
-#[inline]
-#[must_use]
-pub(crate) fn onechunk_fast_path(n_words: usize) -> bool {
-    #[cfg(target_arch = "x86_64")]
-    {
-        n_words == CHUNK && simd_active()
+/// Widest register-resident row, in chunks. Four chunks (16 words) is 42
+/// Dilithium lanes at 1024 columns; beyond that the working set is no
+/// longer worth pinning and the per-step kernels take over.
+pub(crate) const MAX_RESIDENT_CHUNKS: usize = 4;
+
+/// Storage words behind the widest register-resident row (the chain
+/// executor's fixed-size latch spill buffers).
+pub(crate) const MAX_RESIDENT_WORDS: usize = MAX_RESIDENT_CHUNKS * CHUNK;
+
+/// How a controller geometry executes fused multiplier chains and
+/// resolution loops. Decided once per geometry (and recorded per
+/// [`CompiledProgram`](crate::CompiledProgram) at compile time), so replay
+/// never re-derives it from the row width per superop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FastPathKind {
+    /// Row too wide (or not x86-64): per-step kernels only.
+    PerStep,
+    /// Row spans this many whole chunks (1..=[`MAX_RESIDENT_CHUNKS`]),
+    /// kept register-resident when SIMD is active.
+    Resident(u8),
+}
+
+impl FastPathKind {
+    /// The fast-path kind of a row backed by `n_words` (chunk-padded)
+    /// storage words.
+    #[must_use]
+    pub fn for_words(n_words: usize) -> FastPathKind {
+        debug_assert!(n_words.is_multiple_of(CHUNK));
+        let chunks = n_words / CHUNK;
+        #[cfg(target_arch = "x86_64")]
+        if (1..=MAX_RESIDENT_CHUNKS).contains(&chunks) {
+            return FastPathKind::Resident(chunks as u8);
+        }
+        let _ = chunks;
+        FastPathKind::PerStep
     }
-    #[cfg(not(target_arch = "x86_64"))]
-    {
-        let _ = n_words;
-        false
+
+    /// True when this geometry can run register-resident (given SIMD is
+    /// also active at run time).
+    #[must_use]
+    pub fn is_resident(self) -> bool {
+        matches!(self, FastPathKind::Resident(_))
     }
 }
 
-/// Scalar predicate latch from tile-relative bit 0 of `src` into `pm`,
-/// using the controller's word-oriented fill plan (the in-register chain's
-/// counterpart of `exec::latch_words`, specialized to the halve step's
-/// LSB check and a one-chunk buffer).
-#[cfg(target_arch = "x86_64")]
-fn latch_bit0_chunk(
-    word_fill: &[(u32, u64)],
-    word_fill_starts: &[u32],
-    src: &[u64; CHUNK],
-    pm: &mut [u64; CHUNK],
+/// Branchless predicate latch: reads tile-relative bit `bit` of every
+/// tile of `src` and broadcasts it across the tile's columns of `pm`.
+///
+/// Three word-level layers, no per-tile loop:
+///
+/// 1. *align* — a global right shift by `bit` moves every tile's checked
+///    bit onto its tile-base column (borrowing from the next word, like
+///    any cross-word shift);
+/// 2. *select* — `base_mask` keeps exactly the tile-base columns;
+/// 3. *smear* — multiplying a word whose set bits sit ≥ `tile_width`
+///    apart by `2^tile_width − 1` replicates each bit across its whole
+///    tile with no carry collisions; the 128-bit high half is the spill
+///    of a tile straddling into the next word.
+///
+/// `base_mask` covers only real tiles, so padding words (and the tail of
+/// a partial last word) latch as zero — the invariant every kernel
+/// expects of the predicate image.
+///
+/// Requires `tile_width <= 64` (a tile wider than its smear constant
+/// would broadcast across only 64 of its columns) — the controller
+/// rejects wider tiles at construction, as the whole ISA does.
+pub(crate) fn latch_tile_bit(
+    base_mask: &[u64],
+    tile_width: usize,
+    src: &[u64],
+    bit: usize,
+    pm: &mut [u64],
 ) {
-    for w in 0..CHUNK {
-        let (f0, f1) = (
-            word_fill_starts[w] as usize,
-            word_fill_starts[w + 1] as usize,
-        );
-        let mut pmw = 0u64;
-        for &(base, mask) in &word_fill[f0..f1] {
-            let pos = base as usize;
-            let v = (src[pos >> 6] >> (pos & 63)) & 1;
-            pmw |= mask & v.wrapping_neg();
-        }
-        pm[w] = pmw;
+    debug_assert!(tile_width <= 64, "tile words are at most 64 bits");
+    debug_assert!(bit < tile_width && src.len() >= pm.len());
+    let smear = if tile_width == 64 {
+        u128::from(u64::MAX)
+    } else {
+        (1u128 << tile_width) - 1
+    };
+    let n = pm.len();
+    let mut spill = 0u64;
+    for w in 0..n {
+        let aligned = if bit == 0 {
+            src[w]
+        } else {
+            let hi = if w + 1 < n { src[w + 1] } else { 0 };
+            (src[w] >> bit) | (hi << (64 - bit))
+        };
+        let prod = u128::from(aligned & base_mask[w]) * smear;
+        pm[w] = (prod as u64) | spill;
+        spill = (prod >> 64) as u64;
     }
 }
 
 /// Runs a whole multiplier chain (add-B / halve steps over one accumulator
-/// row set) with every row register-resident; memory is touched once on
-/// entry, once per halve-latch spill, and once on exit. `pred_mask` is
-/// read at entry and left holding the last halve's latch image — exactly
-/// the state per-step execution leaves. Caller must have verified
-/// [`onechunk_fast_path`] and an all-enabled tile mask.
-#[cfg(target_arch = "x86_64")]
+/// row set) register-resident when `kind` and the SIMD dispatch allow it;
+/// memory is touched once on entry, once per halve-latch spill, and once
+/// on exit. `pred_mask` is read at entry and left holding the last halve's
+/// latch image — exactly the state per-step execution leaves. Caller must
+/// hold an all-enabled tile mask. Returns `false` (rows untouched) when
+/// the geometry or dispatch demands the per-step path.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn chain_onechunk(
+pub(crate) fn chain_resident(
+    kind: FastPathKind,
     sw: &mut [u64],
     cw: &mut [u64],
     tsw: &mut [u64],
@@ -449,66 +514,127 @@ pub(crate) fn chain_onechunk(
     pred_mask: &mut [u64],
     shr_keep: &[u64],
     steps: &[crate::program::ChainStep],
-    word_fill: &[(u32, u64)],
-    word_fill_starts: &[u32],
-) {
-    debug_assert!(sw.len() == CHUNK && onechunk_fast_path(CHUNK));
-    // SAFETY: `onechunk_fast_path` verified AVX2 support.
-    unsafe {
-        avx2::chain_onechunk(
-            sw,
-            cw,
-            tsw,
-            tcw,
-            bw,
-            mw,
-            pred_mask,
-            shr_keep,
-            steps,
-            word_fill,
-            word_fill_starts,
+    base_mask: &[u64],
+    tile_width: usize,
+) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let FastPathKind::Resident(chunks) = kind else {
+            return false;
+        };
+        if !simd_active() {
+            return false;
+        }
+        debug_assert_eq!(sw.len(), usize::from(chunks) * CHUNK);
+        // SAFETY: the dispatch above verified AVX2 support.
+        unsafe {
+            match chunks {
+                1 => avx2::chain_chunks::<1>(
+                    sw, cw, tsw, tcw, bw, mw, pred_mask, shr_keep, steps, base_mask, tile_width,
+                ),
+                2 => avx2::chain_chunks::<2>(
+                    sw, cw, tsw, tcw, bw, mw, pred_mask, shr_keep, steps, base_mask, tile_width,
+                ),
+                3 => avx2::chain_chunks::<3>(
+                    sw, cw, tsw, tcw, bw, mw, pred_mask, shr_keep, steps, base_mask, tile_width,
+                ),
+                _ => avx2::chain_chunks::<4>(
+                    sw, cw, tsw, tcw, bw, mw, pred_mask, shr_keep, steps, base_mask, tile_width,
+                ),
+            }
+        }
+        true
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (
+            kind, sw, cw, tsw, tcw, bw, mw, pred_mask, shr_keep, steps, base_mask, tile_width,
         );
+        false
     }
 }
 
 /// Runs a whole zero-terminated carry-resolution loop register-resident.
-/// Returns `(bodies, checks, converged)`; the caller replays the cost
-/// sequence (one check per iteration, round costs per body) in emission
-/// order and sets the zero flag to `converged`.
-#[cfg(target_arch = "x86_64")]
-pub(crate) fn resolve_loop_onechunk(
+/// Returns `Some((bodies, checks, converged))` — the caller replays the
+/// cost sequence (one check per iteration, round costs per body) in
+/// emission order and sets the zero flag to `converged` — or `None` when
+/// the geometry or dispatch demands the per-round path.
+pub(crate) fn resolve_loop_resident(
+    kind: FastPathKind,
     sw: &mut [u64],
     cw: &mut [u64],
     shl_keep: &[u64],
     max_checks: usize,
-) -> (usize, u64, bool) {
-    debug_assert!(sw.len() == CHUNK && onechunk_fast_path(CHUNK));
-    // SAFETY: `onechunk_fast_path` verified AVX2 support.
-    unsafe { avx2::resolve_loop_onechunk(sw, cw, shl_keep, max_checks) }
+) -> Option<(usize, u64, bool)> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let FastPathKind::Resident(chunks) = kind else {
+            return None;
+        };
+        if !simd_active() {
+            return None;
+        }
+        debug_assert_eq!(sw.len(), usize::from(chunks) * CHUNK);
+        // SAFETY: the dispatch above verified AVX2 support.
+        unsafe {
+            Some(match chunks {
+                1 => avx2::resolve_loop_chunks::<1>(sw, cw, shl_keep, max_checks),
+                2 => avx2::resolve_loop_chunks::<2>(sw, cw, shl_keep, max_checks),
+                3 => avx2::resolve_loop_chunks::<3>(sw, cw, shl_keep, max_checks),
+                _ => avx2::resolve_loop_chunks::<4>(sw, cw, shl_keep, max_checks),
+            })
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (kind, sw, cw, shl_keep, max_checks);
+        None
+    }
 }
 
 /// Runs a whole zero-terminated borrow-resolution loop register-resident,
 /// the live value ping-ponging between the `live` and `other` rows by
 /// round parity exactly as emission writes them. Returns
-/// `(bodies, checks, converged)`.
-#[cfg(target_arch = "x86_64")]
-pub(crate) fn borrow_loop_onechunk(
+/// `Some((bodies, checks, converged))`, or `None` for the per-round path.
+pub(crate) fn borrow_loop_resident(
+    kind: FastPathKind,
     live: &mut [u64],
     other: &mut [u64],
     tw: &mut [u64],
     shl_keep: &[u64],
     max_checks: usize,
-) -> (usize, u64, bool) {
-    debug_assert!(live.len() == CHUNK && onechunk_fast_path(CHUNK));
-    // SAFETY: `onechunk_fast_path` verified AVX2 support.
-    unsafe { avx2::borrow_loop_onechunk(live, other, tw, shl_keep, max_checks) }
+) -> Option<(usize, u64, bool)> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let FastPathKind::Resident(chunks) = kind else {
+            return None;
+        };
+        if !simd_active() {
+            return None;
+        }
+        debug_assert_eq!(live.len(), usize::from(chunks) * CHUNK);
+        // SAFETY: the dispatch above verified AVX2 support.
+        unsafe {
+            Some(match chunks {
+                1 => avx2::borrow_loop_chunks::<1>(live, other, tw, shl_keep, max_checks),
+                2 => avx2::borrow_loop_chunks::<2>(live, other, tw, shl_keep, max_checks),
+                3 => avx2::borrow_loop_chunks::<3>(live, other, tw, shl_keep, max_checks),
+                _ => avx2::borrow_loop_chunks::<4>(live, other, tw, shl_keep, max_checks),
+            })
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (kind, live, other, tw, shl_keep, max_checks);
+        None
+    }
 }
 
 // ---- AVX2 paths ------------------------------------------------------------
 
 #[cfg(target_arch = "x86_64")]
 mod avx2 {
-    use super::CHUNK;
+    use super::{latch_tile_bit, CHUNK, MAX_RESIDENT_WORDS};
     use std::arch::x86_64::{
         __m256i, _mm256_and_si256, _mm256_andnot_si256, _mm256_blend_epi32, _mm256_extract_epi64,
         _mm256_loadu_si256, _mm256_or_si256, _mm256_permute4x64_epi64, _mm256_set1_epi64x,
@@ -556,25 +682,6 @@ mod avx2 {
         // rot = [v1, v2, v3, v0]; blend lane 3 to next_word → next.
         let rot = _mm256_permute4x64_epi64::<0b00_11_10_01>(v);
         let nxt = _mm256_blend_epi32::<0b1100_0000>(rot, _mm256_set1_epi64x(next_word as i64));
-        _mm256_or_si256(_mm256_srli_epi64::<1>(v), _mm256_slli_epi64::<63>(nxt))
-    }
-
-    /// Whole-row (single-chunk) global 1-bit left shift: zero enters the
-    /// bottom lane, nothing chains in or out.
-    #[inline]
-    #[target_feature(enable = "avx2")]
-    fn shl1_row(v: __m256i) -> __m256i {
-        let rot = _mm256_permute4x64_epi64::<0b10_01_00_11>(v);
-        let prev = _mm256_blend_epi32::<0b0000_0011>(rot, _mm256_setzero_si256());
-        _mm256_or_si256(_mm256_slli_epi64::<1>(v), _mm256_srli_epi64::<63>(prev))
-    }
-
-    /// Whole-row (single-chunk) global 1-bit right shift.
-    #[inline]
-    #[target_feature(enable = "avx2")]
-    fn shr1_row(v: __m256i) -> __m256i {
-        let rot = _mm256_permute4x64_epi64::<0b00_11_10_01>(v);
-        let nxt = _mm256_blend_epi32::<0b1100_0000>(rot, _mm256_setzero_si256());
         _mm256_or_si256(_mm256_srli_epi64::<1>(v), _mm256_slli_epi64::<63>(nxt))
     }
 
@@ -698,14 +805,45 @@ mod avx2 {
         }
     }
 
-    /// Register-resident multiplier chain (see
-    /// [`super::chain_onechunk`]). Each step is the single-chunk
-    /// specialization of the per-step kernels above: `Always` add-B with
+    /// Loads `K` consecutive chunks of a row into a register array.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn load_row<const K: usize>(s: &[u64]) -> [__m256i; K] {
+        let mut v = [_mm256_setzero_si256(); K];
+        for (k, vk) in v.iter_mut().enumerate() {
+            // SAFETY: caller guarantees `s.len() == K * CHUNK`.
+            *vk = unsafe { load(s, k * CHUNK) };
+        }
+        v
+    }
+
+    /// Stores a register array back over `K` consecutive chunks.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn store_row<const K: usize>(s: &mut [u64], v: &[__m256i; K]) {
+        for (k, &vk) in v.iter().enumerate() {
+            // SAFETY: caller guarantees `s.len() == K * CHUNK`.
+            unsafe { store(s, k * CHUNK, vk) };
+        }
+    }
+
+    /// Register-resident multiplier chain over a `K`-chunk row set (see
+    /// [`super::chain_resident`]). Each step is the in-register
+    /// specialization of the per-step kernels above — `Always` add-B with
     /// an all-enabled mask loses its gating entirely, halve spills `Sum`
-    /// once per step for the scalar predicate latch.
+    /// once per step for the scalar predicate latch — with the one-bit
+    /// shift carries threaded between chunks through `shl1_chain` /
+    /// `shr1_chain` instead of round-tripping through memory.
+    ///
+    /// Register budget: only the four accumulator rows live in register
+    /// arrays (4·K vectors). The read-only operand rows (`b`, `m`,
+    /// `shr_keep`) reload from their L1-hot slices per use, and the
+    /// predicate image lives canonically in its latch spill buffer — at
+    /// K = 2 the accumulators plus temporaries fit the 16-register file,
+    /// where keeping every row resident would thrash the stack.
     #[allow(clippy::too_many_arguments)]
     #[target_feature(enable = "avx2")]
-    pub(super) unsafe fn chain_onechunk(
+    pub(super) unsafe fn chain_chunks<const K: usize>(
         sw: &mut [u64],
         cw: &mut [u64],
         tsw: &mut [u64],
@@ -715,159 +853,219 @@ mod avx2 {
         pred_mask: &mut [u64],
         shr_keep: &[u64],
         steps: &[crate::program::ChainStep],
-        word_fill: &[(u32, u64)],
-        word_fill_starts: &[u32],
+        base_mask: &[u64],
+        tile_width: usize,
     ) {
         use crate::isa::PredMode;
         use crate::program::ChainStep;
-        // SAFETY: all slices are one chunk long (caller contract).
+        // SAFETY: all slices are K chunks long (caller contract).
         unsafe {
-            let mut s = load(sw, 0);
-            let mut c = load(cw, 0);
-            let mut ts = load(tsw, 0);
-            let mut tc = load(tcw, 0);
-            let b = load(bw, 0);
-            let m = load(mw, 0);
-            let shr = load(shr_keep, 0);
-            let mut p = load(pred_mask, 0);
-            let mut sum_buf = [0u64; CHUNK];
-            let mut pm_buf = [0u64; CHUNK];
+            let mut s = load_row::<K>(sw);
+            let mut c = load_row::<K>(cw);
+            let mut ts = load_row::<K>(tsw);
+            let mut tc = load_row::<K>(tcw);
+            let mut sum_buf = [0u64; MAX_RESIDENT_WORDS];
+            let mut pm_buf = [0u64; MAX_RESIDENT_WORDS];
+            pm_buf[..K * CHUNK].copy_from_slice(pred_mask);
             for step in steps {
                 match *step {
                     ChainStep::AddB(PredMode::Always) => {
                         // All-enabled, unpredicated: the gating drops out.
-                        let c1 = _mm256_and_si256(s, b);
-                        let s1 = _mm256_xor_si256(s, b);
-                        let csh = shl1_row(c);
-                        let c2 = _mm256_and_si256(csh, s1);
-                        s = _mm256_xor_si256(csh, s1);
-                        ts = s1;
-                        tc = c1;
-                        c = _mm256_or_si256(c2, c1);
+                        let mut carry = 0u64;
+                        for k in 0..K {
+                            let b = load(bw, k * CHUNK);
+                            let c1 = _mm256_and_si256(s[k], b);
+                            let s1 = _mm256_xor_si256(s[k], b);
+                            let (csh, nc) = shl1_chain(c[k], carry);
+                            carry = nc;
+                            let c2 = _mm256_and_si256(csh, s1);
+                            s[k] = _mm256_xor_si256(csh, s1);
+                            ts[k] = s1;
+                            tc[k] = c1;
+                            c[k] = _mm256_or_si256(c2, c1);
+                        }
                     }
                     ChainStep::AddB(_) => {
                         // IfSet (IfClear is never matched into add-B ops).
-                        let g = p;
-                        let c1 = _mm256_and_si256(s, b);
-                        let s1 = _mm256_xor_si256(s, b);
-                        let csh = shl1_row(c);
-                        let c_eff =
-                            _mm256_or_si256(_mm256_and_si256(csh, g), _mm256_andnot_si256(g, c));
-                        let ts_eff =
-                            _mm256_or_si256(_mm256_and_si256(s1, g), _mm256_andnot_si256(g, ts));
-                        let tc_new =
-                            _mm256_or_si256(_mm256_and_si256(c1, g), _mm256_andnot_si256(g, tc));
-                        let c2 = _mm256_and_si256(c_eff, ts_eff);
-                        let s2 = _mm256_xor_si256(c_eff, ts_eff);
-                        s = _mm256_or_si256(_mm256_and_si256(s2, g), _mm256_andnot_si256(g, s));
-                        ts = ts_eff;
-                        tc = tc_new;
-                        c = _mm256_or_si256(
-                            _mm256_and_si256(_mm256_or_si256(c2, tc_new), g),
-                            _mm256_andnot_si256(g, c_eff),
-                        );
+                        let mut carry = 0u64;
+                        for k in 0..K {
+                            let b = load(bw, k * CHUNK);
+                            let g = load(&pm_buf[..K * CHUNK], k * CHUNK);
+                            let c1 = _mm256_and_si256(s[k], b);
+                            let s1 = _mm256_xor_si256(s[k], b);
+                            let (csh, nc) = shl1_chain(c[k], carry);
+                            carry = nc;
+                            let c_eff = _mm256_or_si256(
+                                _mm256_and_si256(csh, g),
+                                _mm256_andnot_si256(g, c[k]),
+                            );
+                            let ts_eff = _mm256_or_si256(
+                                _mm256_and_si256(s1, g),
+                                _mm256_andnot_si256(g, ts[k]),
+                            );
+                            let tc_new = _mm256_or_si256(
+                                _mm256_and_si256(c1, g),
+                                _mm256_andnot_si256(g, tc[k]),
+                            );
+                            let c2 = _mm256_and_si256(c_eff, ts_eff);
+                            let s2 = _mm256_xor_si256(c_eff, ts_eff);
+                            s[k] = _mm256_or_si256(
+                                _mm256_and_si256(s2, g),
+                                _mm256_andnot_si256(g, s[k]),
+                            );
+                            ts[k] = ts_eff;
+                            tc[k] = tc_new;
+                            c[k] = _mm256_or_si256(
+                                _mm256_and_si256(_mm256_or_si256(c2, tc_new), g),
+                                _mm256_andnot_si256(g, c_eff),
+                            );
+                        }
                     }
                     ChainStep::Halve => {
                         // The Check(Sum, bit 0) latch: spill Sum, run the
-                        // scalar fill plan, reload the predicate image.
-                        _mm256_storeu_si256(sum_buf.as_mut_ptr().cast(), s);
-                        super::latch_bit0_chunk(word_fill, word_fill_starts, &sum_buf, &mut pm_buf);
-                        p = _mm256_loadu_si256(pm_buf.as_ptr().cast());
-                        let mp = _mm256_and_si256(m, p);
-                        let tmp = _mm256_xor_si256(s, mp);
-                        let ts1 = _mm256_and_si256(shr1_row(tmp), shr);
-                        let tc1 = _mm256_and_si256(s, mp);
-                        let new_tc = _mm256_and_si256(ts1, tc1);
-                        let new_ts = _mm256_xor_si256(ts1, tc1);
-                        let c5 = _mm256_and_si256(c, new_ts);
-                        s = _mm256_xor_si256(c, new_ts);
-                        ts = new_ts;
-                        tc = new_tc;
-                        c = _mm256_or_si256(c5, new_tc);
+                        // scalar fill plan into the canonical predicate
+                        // buffer.
+                        store_row::<K>(&mut sum_buf[..K * CHUNK], &s);
+                        latch_tile_bit(
+                            base_mask,
+                            tile_width,
+                            &sum_buf[..K * CHUNK],
+                            0,
+                            &mut pm_buf[..K * CHUNK],
+                        );
+                        // Single pass per chunk: the right-shift
+                        // lookahead word is recomputed scalar-side from
+                        // the spill buffers, so no whole-row temporary
+                        // arrays are needed.
+                        for k in 0..K {
+                            let m = load(mw, k * CHUNK);
+                            let p = load(&pm_buf[..K * CHUNK], k * CHUNK);
+                            let mp = _mm256_and_si256(m, p);
+                            let tmp = _mm256_xor_si256(s[k], mp);
+                            let next_word = if k + 1 < K {
+                                let w = (k + 1) * CHUNK;
+                                sum_buf[w] ^ (mw[w] & pm_buf[w])
+                            } else {
+                                0
+                            };
+                            let ts1 = _mm256_and_si256(
+                                shr1_chain(tmp, next_word),
+                                load(shr_keep, k * CHUNK),
+                            );
+                            let tc1 = _mm256_and_si256(s[k], mp);
+                            let new_tc = _mm256_and_si256(ts1, tc1);
+                            let new_ts = _mm256_xor_si256(ts1, tc1);
+                            let c5 = _mm256_and_si256(c[k], new_ts);
+                            s[k] = _mm256_xor_si256(c[k], new_ts);
+                            ts[k] = new_ts;
+                            tc[k] = new_tc;
+                            c[k] = _mm256_or_si256(c5, new_tc);
+                        }
                     }
                 }
             }
-            store(sw, 0, s);
-            store(cw, 0, c);
-            store(tsw, 0, ts);
-            store(tcw, 0, tc);
-            store(pred_mask, 0, p);
+            store_row::<K>(sw, &s);
+            store_row::<K>(cw, &c);
+            store_row::<K>(tsw, &ts);
+            store_row::<K>(tcw, &tc);
+            pred_mask.copy_from_slice(&pm_buf[..K * CHUNK]);
         }
     }
 
-    /// Register-resident carry-resolution loop (see
-    /// [`super::resolve_loop_onechunk`]).
+    /// Wired-OR zero test of a register-resident row.
+    #[inline]
     #[target_feature(enable = "avx2")]
-    pub(super) unsafe fn resolve_loop_onechunk(
+    fn is_zero_regs<const K: usize>(v: &[__m256i; K]) -> bool {
+        let mut any = v[0];
+        for &vk in &v[1..] {
+            any = _mm256_or_si256(any, vk);
+        }
+        _mm256_testz_si256(any, any) == 1
+    }
+
+    /// Register-resident carry-resolution loop over a `K`-chunk row pair
+    /// (see [`super::resolve_loop_resident`]).
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn resolve_loop_chunks<const K: usize>(
         sw: &mut [u64],
         cw: &mut [u64],
         shl_keep: &[u64],
         max_checks: usize,
     ) -> (usize, u64, bool) {
-        // SAFETY: all slices are one chunk long (caller contract).
+        // SAFETY: all slices are K chunks long (caller contract).
         unsafe {
-            let mut s = load(sw, 0);
-            let mut c = load(cw, 0);
-            let shl = load(shl_keep, 0);
+            let mut s = load_row::<K>(sw);
+            let mut c = load_row::<K>(cw);
+            let shl = load_row::<K>(shl_keep);
             let mut bodies = 0usize;
             let mut checks = 0u64;
             let mut converged = false;
             for _ in 0..max_checks {
                 checks += 1;
-                if _mm256_testz_si256(c, c) == 1 {
+                if is_zero_regs(&c) {
                     converged = true;
                     break;
                 }
-                let csh = _mm256_and_si256(shl1_row(c), shl);
-                let c_new = _mm256_and_si256(s, csh);
-                s = _mm256_xor_si256(s, csh);
-                c = c_new;
+                let mut carry = 0u64;
+                for k in 0..K {
+                    let (csh0, nc) = shl1_chain(c[k], carry);
+                    carry = nc;
+                    let csh = _mm256_and_si256(csh0, shl[k]);
+                    let c_new = _mm256_and_si256(s[k], csh);
+                    s[k] = _mm256_xor_si256(s[k], csh);
+                    c[k] = c_new;
+                }
                 bodies += 1;
             }
-            store(sw, 0, s);
-            store(cw, 0, c);
+            store_row::<K>(sw, &s);
+            store_row::<K>(cw, &c);
             (bodies, checks, converged)
         }
     }
 
-    /// Register-resident borrow-resolution loop (see
-    /// [`super::borrow_loop_onechunk`]).
+    /// Register-resident borrow-resolution loop over a `K`-chunk row trio
+    /// (see [`super::borrow_loop_resident`]).
     #[target_feature(enable = "avx2")]
-    pub(super) unsafe fn borrow_loop_onechunk(
+    pub(super) unsafe fn borrow_loop_chunks<const K: usize>(
         live: &mut [u64],
         other: &mut [u64],
         tw: &mut [u64],
         shl_keep: &[u64],
         max_checks: usize,
     ) -> (usize, u64, bool) {
-        // SAFETY: all slices are one chunk long (caller contract).
+        // SAFETY: all slices are K chunks long (caller contract).
         unsafe {
-            let mut va = load(live, 0);
-            let mut vb = load(other, 0);
-            let mut vt = load(tw, 0);
-            let shl = load(shl_keep, 0);
+            let mut va = load_row::<K>(live);
+            let mut vb = load_row::<K>(other);
+            let mut vt = load_row::<K>(tw);
+            let shl = load_row::<K>(shl_keep);
             let mut bodies = 0usize;
             let mut checks = 0u64;
             let mut converged = false;
-            for k in 0..max_checks {
+            for round in 0..max_checks {
                 checks += 1;
-                if _mm256_testz_si256(vt, vt) == 1 {
+                if is_zero_regs(&vt) {
                     converged = true;
                     break;
                 }
-                let tsh = _mm256_and_si256(shl1_row(vt), shl);
-                if k % 2 == 0 {
-                    vb = _mm256_xor_si256(va, tsh);
-                    vt = _mm256_and_si256(vb, tsh);
-                } else {
-                    va = _mm256_xor_si256(vb, tsh);
-                    vt = _mm256_and_si256(va, tsh);
+                let mut carry = 0u64;
+                for k in 0..K {
+                    let (tsh0, nc) = shl1_chain(vt[k], carry);
+                    carry = nc;
+                    let tsh = _mm256_and_si256(tsh0, shl[k]);
+                    if round % 2 == 0 {
+                        vb[k] = _mm256_xor_si256(va[k], tsh);
+                        vt[k] = _mm256_and_si256(vb[k], tsh);
+                    } else {
+                        va[k] = _mm256_xor_si256(vb[k], tsh);
+                        vt[k] = _mm256_and_si256(va[k], tsh);
+                    }
                 }
                 bodies += 1;
             }
-            store(live, 0, va);
-            store(other, 0, vb);
-            store(tw, 0, vt);
+            store_row::<K>(live, &va);
+            store_row::<K>(other, &vb);
+            store_row::<K>(tw, &vt);
             (bodies, checks, converged)
         }
     }
@@ -996,6 +1194,190 @@ mod tests {
                 unsafe { avx2::borrow_round(&cur, &mut nxt2, &mut t2, &shl) };
                 assert_eq!((&nxt1, &t1), (&nxt2, &t2), "borrow n={n}");
             }
+        }
+    }
+
+    #[test]
+    fn fast_path_kind_tracks_chunk_count() {
+        #[cfg(target_arch = "x86_64")]
+        {
+            assert_eq!(FastPathKind::for_words(4), FastPathKind::Resident(1));
+            assert_eq!(FastPathKind::for_words(8), FastPathKind::Resident(2));
+            assert_eq!(FastPathKind::for_words(12), FastPathKind::Resident(3));
+            assert_eq!(FastPathKind::for_words(16), FastPathKind::Resident(4));
+            assert_eq!(FastPathKind::for_words(20), FastPathKind::PerStep);
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            assert_eq!(FastPathKind::for_words(4), FastPathKind::PerStep);
+        }
+    }
+
+    /// Tile-base column image for a row of `n_words` full storage words
+    /// tiled at `tile_width` (the same construction as
+    /// `exec::Controller::new`, for kernel-local tests).
+    fn base_mask_of(n_words: usize, tile_width: usize) -> Vec<u64> {
+        let cols = n_words * 64;
+        let mut mask = vec![0u64; n_words];
+        for base in (0..cols).step_by(tile_width) {
+            mask[base / 64] |= 1u64 << (base % 64);
+        }
+        mask
+    }
+
+    /// The multiply-smear latch agrees with a naive per-tile read.
+    #[test]
+    fn latch_tile_bit_matches_naive_broadcast() {
+        // Tile widths always divide the column count (controller
+        // invariant); cover in-word, cross-word, and whole-word tiles.
+        for (n_words, tile_width) in [(4usize, 32usize), (3, 24), (12, 24), (7, 14), (16, 64)] {
+            let cols = n_words * 64;
+            let usable_tiles = cols / tile_width;
+            let base_mask = base_mask_of(n_words, tile_width);
+            for seed in 1..=4u64 {
+                let src = rng_words(n_words, seed * 31);
+                for bit in [0usize, 1, tile_width / 2, tile_width - 1] {
+                    let mut pm = rng_words(n_words, seed * 37);
+                    latch_tile_bit(&base_mask, tile_width, &src, bit, &mut pm);
+                    let mut expect = vec![0u64; n_words];
+                    for t in 0..usable_tiles {
+                        let pos = t * tile_width + bit;
+                        if (src[pos / 64] >> (pos % 64)) & 1 == 1 {
+                            for col in t * tile_width..(t + 1) * tile_width {
+                                expect[col / 64] |= 1u64 << (col % 64);
+                            }
+                        }
+                    }
+                    assert_eq!(
+                        pm, expect,
+                        "n_words={n_words} tile={tile_width} bit={bit} seed={seed}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Register-resident K-chunk chains and loops match the per-step
+    /// scalar kernels bit for bit, for every resident chunk count.
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn resident_chains_and_loops_match_per_step() {
+        use crate::isa::PredMode;
+        use crate::program::ChainStep;
+        if !std::arch::is_x86_feature_detected!("avx2") {
+            eprintln!("no AVX2; skipping");
+            return;
+        }
+
+        fn run_chunks<const K: usize>(seed: u64) {
+            const TILE: usize = 32;
+            let n = K * CHUNK;
+            let base_mask = base_mask_of(n, TILE);
+            // All-enabled mask; tile-boundary keep masks for 32-bit tiles.
+            let mask: Vec<u64> = vec![u64::MAX; n];
+            let shr: Vec<u64> = vec![!((1u64 << 31) | (1u64 << 63)); n];
+            let shl: Vec<u64> = vec![!((1u64) | (1u64 << 32)); n];
+            let steps = [
+                ChainStep::AddB(PredMode::Always),
+                ChainStep::Halve,
+                ChainStep::AddB(PredMode::IfSet),
+                ChainStep::Halve,
+                ChainStep::Halve,
+                ChainStep::AddB(PredMode::IfSet),
+                ChainStep::Halve,
+            ];
+
+            // Per-step reference (the exec_chain fallback path, scalar).
+            let bw = rng_words(n, seed * 3 + 1);
+            let mw = rng_words(n, seed * 3 + 2);
+            let mut s1 = rng_words(n, seed * 7 + 1);
+            let mut c1 = rng_words(n, seed * 7 + 2);
+            let mut ts1 = rng_words(n, seed * 7 + 3);
+            let mut tc1 = rng_words(n, seed * 7 + 4);
+            let mut p1 = rng_words(n, seed * 7 + 5);
+            let (mut s2, mut c2, mut ts2, mut tc2, mut p2) =
+                (s1.clone(), c1.clone(), ts1.clone(), tc1.clone(), p1.clone());
+            for step in &steps {
+                match *step {
+                    ChainStep::AddB(pred) => addb_scalar(
+                        &mut s1,
+                        &mut c1,
+                        &mut ts1,
+                        &mut tc1,
+                        &bw,
+                        &mask,
+                        &p1,
+                        pred == PredMode::IfSet,
+                    ),
+                    ChainStep::Halve => {
+                        latch_tile_bit(&base_mask, TILE, &s1, 0, &mut p1);
+                        halve_scalar(&mut s1, &mut c1, &mut ts1, &mut tc1, &mw, &p1, &shr);
+                    }
+                }
+            }
+            unsafe {
+                avx2::chain_chunks::<K>(
+                    &mut s2, &mut c2, &mut ts2, &mut tc2, &bw, &mw, &mut p2, &shr, &steps,
+                    &base_mask, TILE,
+                );
+            }
+            assert_eq!(
+                (&s1, &c1, &ts1, &tc1, &p1),
+                (&s2, &c2, &ts2, &tc2, &p2),
+                "chain K={K} seed={seed}"
+            );
+
+            // Carry-resolution loop: reference is check + per-round kernel.
+            let mut s1 = rng_words(n, seed * 11 + 1);
+            let mut c1 = rng_words(n, seed * 11 + 2);
+            let (mut s2, mut c2) = (s1.clone(), c1.clone());
+            let max_checks = 40;
+            let mut ref_out = (0usize, 0u64, false);
+            for _ in 0..max_checks {
+                ref_out.1 += 1;
+                if c1.iter().all(|&w| w == 0) {
+                    ref_out.2 = true;
+                    break;
+                }
+                resolve_round_scalar(&mut s1, &mut c1, &shl);
+                ref_out.0 += 1;
+            }
+            let fast =
+                unsafe { avx2::resolve_loop_chunks::<K>(&mut s2, &mut c2, &shl, max_checks) };
+            assert_eq!(ref_out, fast, "resolve loop K={K}");
+            assert_eq!((&s1, &c1), (&s2, &c2), "resolve rows K={K}");
+
+            // Borrow-resolution loop with its live-row ping-pong.
+            let mut a1 = rng_words(n, seed * 13 + 1);
+            let mut b1 = rng_words(n, seed * 13 + 2);
+            let mut t1 = rng_words(n, seed * 13 + 3);
+            let (mut a2, mut b2, mut t2) = (a1.clone(), b1.clone(), t1.clone());
+            let mut ref_out = (0usize, 0u64, false);
+            {
+                let (mut cur, mut nxt) = (&mut a1, &mut b1);
+                for _ in 0..max_checks {
+                    ref_out.1 += 1;
+                    if t1.iter().all(|&w| w == 0) {
+                        ref_out.2 = true;
+                        break;
+                    }
+                    borrow_round_scalar(cur, nxt, &mut t1, &shl);
+                    std::mem::swap(&mut cur, &mut nxt);
+                    ref_out.0 += 1;
+                }
+            }
+            let fast = unsafe {
+                avx2::borrow_loop_chunks::<K>(&mut a2, &mut b2, &mut t2, &shl, max_checks)
+            };
+            assert_eq!(ref_out, fast, "borrow loop K={K}");
+            assert_eq!((&a1, &b1, &t1), (&a2, &b2, &t2), "borrow rows K={K}");
+        }
+
+        for seed in 1..=6u64 {
+            run_chunks::<1>(seed);
+            run_chunks::<2>(seed);
+            run_chunks::<3>(seed);
+            run_chunks::<4>(seed);
         }
     }
 

@@ -1,13 +1,16 @@
-//! Property tests for the vectorized word-engine and the epilogue
-//! superop fusion: replay through the fused superops — on the SIMD path
-//! *and* on the forced-scalar fallback — must be indistinguishable from
-//! instruction-by-instruction emission, and the two kernel paths must be
-//! bit-identical to each other. Coverage spans the Kyber-class (7681),
-//! Dilithium (8 380 417), and HE-level (1 073 738 753) parameter sets plus
-//! column counts whose storage word counts are *not* chunk-aligned
-//! (1, 2, 3, and 5 words before padding), which exercises both the
-//! single-chunk register-resident fast paths and the multi-chunk
-//! carry-chained kernels.
+//! Property tests for the vectorized word-engine, the epilogue superop
+//! fusion, and the fused emission path: replay through the fused
+//! superops *and* fused emission (`forward_uncached`, which routes the
+//! generated stream through the same executors) — on the SIMD path *and*
+//! on the forced-scalar fallback — must be indistinguishable from
+//! strictly per-instruction emission (`forward_uncached_generic`), and
+//! the two kernel paths must be bit-identical to each other. Coverage
+//! spans the Kyber-class (7681), Dilithium (8 380 417), and HE-level
+//! (1 073 738 753) parameter sets, column counts whose storage word
+//! counts are *not* chunk-aligned (1, 2, 3, and 5 words before padding),
+//! and the wide HE-batch geometries (320/512/768/1024 columns — 2-, 3-,
+//! and 4-chunk rows), which exercises every register-resident chunk
+//! count of the multiplier-chain and resolution-loop fast paths.
 //!
 //! The kernel dispatch is process-wide, so every test that toggles it
 //! serializes on one mutex. Toggling is safe by construction — both paths
@@ -47,6 +50,10 @@ fn nonaligned_config(cols: usize) -> BpNttConfig {
 
 const NONALIGNED_COLS: [usize; 4] = [48, 96, 144, 312];
 
+/// Wide HE-batch geometries: 2-chunk (320 → padded, 512), 3-chunk (768),
+/// and 4-chunk (1024) rows — every multi-chunk register-resident variant.
+const WIDE_COLS: [usize; 4] = [320, 512, 768, 1024];
+
 fn pseudo_batch(cfg: &BpNttConfig, lanes: usize, seed: u64) -> Vec<Vec<u64>> {
     let n = cfg.params().n();
     let q = cfg.params().modulus();
@@ -65,9 +72,11 @@ fn pseudo_batch(cfg: &BpNttConfig, lanes: usize, seed: u64) -> Vec<Vec<u64>> {
         .collect()
 }
 
-/// Runs forward (+ optionally inverse) via replay and via per-call
-/// emission on identical data and asserts every physical row and the full
-/// `Stats` (including the f64 energy accumulator) match bit for bit.
+/// Runs forward (+ optionally inverse) three ways on identical data —
+/// compiled-program replay, fused emission, and strictly per-instruction
+/// emission — and asserts every physical row and the full `Stats`
+/// (including the f64 energy accumulator) match bit for bit across all
+/// three.
 fn assert_replay_equivalent(cfg: &BpNttConfig, seed: u64, inverse_too: bool) {
     let lanes = cfg.layout().lanes();
     let batch = 1 + (seed as usize) % lanes;
@@ -80,26 +89,45 @@ fn assert_replay_equivalent(cfg: &BpNttConfig, seed: u64, inverse_too: bool) {
         replayed.inverse().unwrap();
     }
 
-    let mut emitted = BpNtt::new(cfg.clone()).unwrap();
-    emitted.load_batch(&polys).unwrap();
-    emitted.forward_uncached().unwrap();
+    let mut fused = BpNtt::new(cfg.clone()).unwrap();
+    fused.load_batch(&polys).unwrap();
+    fused.forward_uncached().unwrap();
     if inverse_too {
-        emitted.inverse_uncached().unwrap();
+        fused.inverse_uncached().unwrap();
+    }
+
+    let mut generic = BpNtt::new(cfg.clone()).unwrap();
+    generic.load_batch(&polys).unwrap();
+    generic.forward_uncached_generic().unwrap();
+    if inverse_too {
+        generic.inverse_uncached_generic().unwrap();
     }
 
     for r in 0..cfg.rows() {
         assert_eq!(
             replayed.peek_row(r),
-            emitted.peek_row(r),
-            "row {r} diverged (cols {}, seed {seed})",
+            generic.peek_row(r),
+            "replay row {r} diverged from generic emission (cols {}, seed {seed})",
+            cfg.layout().active_cols()
+        );
+        assert_eq!(
+            fused.peek_row(r),
+            generic.peek_row(r),
+            "fused-emission row {r} diverged from generic emission (cols {}, seed {seed})",
             cfg.layout().active_cols()
         );
     }
-    let (rs, es) = (*replayed.stats(), *emitted.stats());
-    assert_eq!(rs.cycles, es.cycles);
-    assert_eq!(rs.counts, es.counts);
-    assert_eq!(rs.row_loads, es.row_loads);
-    assert_eq!(rs.energy_pj.to_bits(), es.energy_pj.to_bits());
+    let (rs, es, gs) = (*replayed.stats(), *fused.stats(), *generic.stats());
+    for (name, s) in [("replay", rs), ("fused emission", es)] {
+        assert_eq!(s.cycles, gs.cycles, "{name} cycles");
+        assert_eq!(s.counts, gs.counts, "{name} counts");
+        assert_eq!(s.row_loads, gs.row_loads, "{name} row loads");
+        assert_eq!(
+            s.energy_pj.to_bits(),
+            gs.energy_pj.to_bits(),
+            "{name} energy accumulator"
+        );
+    }
 }
 
 /// Runs one full replay roundtrip and returns every row image plus stats.
@@ -151,6 +179,59 @@ proptest! {
             bpntt_sram::force_scalar(false);
         }
     }
+
+    /// Wide HE-batch geometries (2-/3-/4-chunk rows) stay equivalent on
+    /// both kernel paths — the multi-chunk register-resident chains and
+    /// loops against the per-step scalar reference, with `Stats`
+    /// (including the f64 energy order) pinned bit for bit.
+    #[test]
+    fn wide_cols_replay_equivalent(seed in any::<u64>()) {
+        for scalar in [false, true] {
+            let _guard = pin_dispatch(scalar);
+            for cols in WIDE_COLS {
+                assert_replay_equivalent(&nonaligned_config(cols), seed, cols == 512);
+            }
+            bpntt_sram::force_scalar(false);
+        }
+    }
+}
+
+/// The register-resident fast paths actually fire — on the paper
+/// geometry *and* the wide HE-batch geometries, via replay *and* via
+/// fused emission. This is the coverage telemetry's reason to exist: a
+/// dispatch or matcher regression turns these counters to zero long
+/// before anyone notices a wall-clock mystery.
+#[test]
+fn resident_fast_paths_fire_on_wide_geometries() {
+    let _guard = pin_dispatch(false);
+    if !bpntt_sram::simd_active() {
+        eprintln!("no SIMD on this host; skipping coverage assertion");
+        return;
+    }
+    for cols in [256usize, 512, 1024] {
+        let cfg = nonaligned_config(cols);
+        let polys = pseudo_batch(&cfg, 1, 42);
+        let mut acc = BpNtt::new(cfg).unwrap();
+        acc.load_batch(&polys).unwrap();
+        acc.forward().unwrap();
+        acc.reset_stats();
+        acc.forward().unwrap();
+        let replay = *acc.fastpath_stats();
+        assert!(replay.chains_resident > 0, "cols={cols}: replay chains");
+        assert!(
+            replay.resolve_loops_resident > 0 && replay.borrow_loops_resident > 0,
+            "cols={cols}: replay loops"
+        );
+        assert!(replay.superops_fused > 0, "cols={cols}: replay superops");
+        acc.reset_stats();
+        acc.forward_uncached().unwrap();
+        let emit = *acc.fastpath_stats();
+        assert_eq!(
+            (emit.chains_resident, emit.resolve_loops_resident),
+            (replay.chains_resident, replay.resolve_loops_resident),
+            "cols={cols}: fused emission covers the same chains and loops"
+        );
+    }
 }
 
 /// The SIMD and forced-scalar paths produce bit-identical rows and
@@ -161,6 +242,7 @@ fn simd_and_scalar_paths_bit_identical() {
     let configs: Vec<BpNttConfig> = (0..3)
         .map(crypto_config)
         .chain(NONALIGNED_COLS.map(nonaligned_config))
+        .chain(WIDE_COLS.map(nonaligned_config))
         .collect();
     for (i, cfg) in configs.iter().enumerate() {
         let seed = 1000 + i as u64;
