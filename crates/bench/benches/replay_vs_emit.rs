@@ -11,7 +11,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use bpntt_core::{BpNtt, BpNttConfig, ShardedBpNtt};
+use bpntt_core::{BpNtt, BpNttConfig, ExecMode, ShardedBpNtt};
 use bpntt_ntt::NttParams;
 
 fn dilithium_config(cols: usize) -> BpNttConfig {
@@ -47,7 +47,7 @@ fn bench_replay_vs_emit(c: &mut Criterion) {
         let mut emit = BpNtt::new(cfg.clone()).unwrap();
         emit.load_batch(&batch).unwrap();
         g.bench_function(format!("emit_per_call/{cols}cols_{lanes}lanes"), |b| {
-            b.iter(|| emit.forward_uncached().unwrap());
+            b.iter(|| emit.forward_mode(ExecMode::FusedEmit).unwrap());
         });
 
         let mut replay = BpNtt::new(cfg.clone()).unwrap();

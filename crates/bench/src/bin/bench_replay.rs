@@ -20,21 +20,32 @@
 //! machine runs this (the container is a single-core VM; treat absolute
 //! numbers as indicative and the emit/replay ratios as the signal).
 //! `emit_ms` is strictly per-instruction emission
-//! (`forward_uncached_generic`) — the same baseline every prior PR's
-//! trajectory used — and `speedup` keeps its historical meaning of
+//! (`forward_mode(ExecMode::Generic)`) — the same baseline every prior
+//! PR's trajectory used — and `speedup` keeps its historical meaning of
 //! replay vs that baseline; `emit_fused_ms` is the fused emission path
-//! (`forward_uncached`, which routes the generated stream through the
-//! replay executors). Each config also reports the compiled forward
+//! (`ExecMode::FusedEmit`, which routes the generated stream through
+//! the replay executors). Each config also reports the compiled forward
 //! program's fused epilogue-superop count and the replay run's
 //! fast-path coverage counters, so "the fast path silently stopped
 //! firing" is visible in the JSON rather than a bench-regression
 //! mystery.
+//!
+//! The `pipeline` block measures the op-graph API end to end on a
+//! polymul-capable geometry (2·256 + 6 rows): `pipeline_polymul_ms` is
+//! the canned polymul spec through `run_pipeline`, interleaved
+//! in-process against the retained pre-pipeline `polymul`
+//! implementation (`legacy_polymul_ms`) — the only trustworthy A/B on
+//! this box — plus `spectral_polymul_ms`, the NTT-domain-cached product
+//! (pointwise + scaled inverse on host-cached spectra) that skips both
+//! forward transforms and one operand reload per product, and the
+//! pipeline replay run's fast-path coverage counters.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use bpntt_core::{BpNtt, BpNttConfig, ShardedBpNtt};
-use bpntt_ntt::NttParams;
+use bpntt_core::{BpNtt, BpNttConfig, ExecMode, PipelineSpec, ShardedBpNtt};
+use bpntt_ntt::forward::ntt_in_place;
+use bpntt_ntt::{NttParams, TwiddleTable};
 
 struct Options {
     cols: Vec<usize>,
@@ -126,8 +137,12 @@ fn main() {
         let mut bf = f64::MAX;
         let mut br = f64::MAX;
         for _ in 0..8 {
-            be = be.min(best_of(1, 3, || emit.forward_uncached_generic().unwrap()));
-            bf = bf.min(best_of(1, 3, || emit.forward_uncached().unwrap()));
+            be = be.min(best_of(1, 3, || {
+                emit.forward_mode(ExecMode::Generic).unwrap();
+            }));
+            bf = bf.min(best_of(1, 3, || {
+                emit.forward_mode(ExecMode::FusedEmit).unwrap();
+            }));
             br = br.min(best_of(1, 3, || replay.forward().unwrap()));
         }
         // Fast-path coverage of one replay call (the counters replay and
@@ -163,7 +178,95 @@ fn main() {
             be / bf,
         );
     }
-    json.push_str("\n  ],\n  \"sharded\": [\n");
+    json.push_str("\n  ],\n");
+
+    // ---- pipeline A/B: the op-graph API vs the retained fixed-shape
+    // polymul, interleaved in-process (the only trustworthy signal on a
+    // noisy single-core box), on a polymul-capable geometry.
+    {
+        let params = NttParams::new(256, 8_380_417).unwrap();
+        let cfg = BpNttConfig::new(518, 256, 24, params.clone()).unwrap();
+        let lanes = opts
+            .lanes
+            .map_or(cfg.layout().lanes(), |l| l.min(cfg.layout().lanes()).max(1));
+        let a = pseudo_batch(&cfg, lanes, 11);
+        let b = pseudo_batch(&cfg, lanes, 12);
+        let spec = PipelineSpec::polymul();
+
+        let mut legacy = BpNtt::new(cfg.clone()).unwrap();
+        legacy.polymul_legacy(&a, &b).unwrap();
+        let mut piped = BpNtt::new(cfg.clone()).unwrap();
+        // Compile once, execute many — the FFTW-style usage the API is
+        // built around; legacy polymul re-derives its four program keys
+        // (and the n⁻¹·R² constant) on every call.
+        let plan = piped.compile_pipeline(&spec).unwrap();
+
+        // Host-cached spectra for the NTT-domain-cached product.
+        let t = TwiddleTable::new(&params);
+        let to_spectra = |polys: &[Vec<u64>]| -> Vec<Vec<u64>> {
+            polys
+                .iter()
+                .map(|p| {
+                    let mut s = p.clone();
+                    ntt_in_place(&params, &t, &mut s).unwrap();
+                    s
+                })
+                .collect()
+        };
+        let (sa, sb) = (to_spectra(&a), to_spectra(&b));
+        let spectral = PipelineSpec::polymul_spectral();
+        piped
+            .run_pipeline(&spectral, ExecMode::Replay, &[&sa, &sb])
+            .unwrap();
+
+        let mut bl = f64::MAX;
+        let mut bp = f64::MAX;
+        let mut bs = f64::MAX;
+        for _ in 0..8 {
+            bl = bl.min(best_of(1, 3, || {
+                legacy.polymul_legacy(&a, &b).unwrap();
+            }));
+            bp = bp.min(best_of(1, 3, || {
+                piped
+                    .run_compiled_pipeline(&plan, ExecMode::Replay, &[&a, &b])
+                    .unwrap();
+            }));
+            bs = bs.min(best_of(1, 3, || {
+                piped
+                    .run_pipeline(&spectral, ExecMode::Replay, &[&sa, &sb])
+                    .unwrap();
+            }));
+        }
+        // Fast-path coverage of one pipeline replay run.
+        piped.reset_stats();
+        piped
+            .run_compiled_pipeline(&plan, ExecMode::Replay, &[&a, &b])
+            .unwrap();
+        let fp = *piped.fastpath_stats();
+        let _ = writeln!(
+            json,
+            "  \"pipeline\": {{\"rows\": 518, \"cols\": 256, \"lanes\": {lanes}, \"legacy_polymul_ms\": {:.3}, \"pipeline_polymul_ms\": {:.3}, \"pipeline_vs_legacy\": {:.3}, \"spectral_polymul_ms\": {:.3}, \"fastpath\": {{\"chains_resident\": {}, \"chains_per_step\": {}, \"resolve_loops_resident\": {}, \"borrow_loops_resident\": {}, \"superops_fused\": {}, \"fallbacks\": {}}}}},",
+            bl * 1e3,
+            bp * 1e3,
+            bl / bp,
+            bs * 1e3,
+            fp.chains_resident,
+            fp.chains_per_step,
+            fp.resolve_loops_resident,
+            fp.borrow_loops_resident,
+            fp.superops_fused,
+            fp.fallbacks
+        );
+        println!(
+            "pipeline (518x256, {lanes} lanes): legacy polymul {:.2} ms, pipeline polymul {:.2} ms ({:.3}x), spectral (NTT-domain-cached) {:.2} ms, fastpath[{fp}]",
+            bl * 1e3,
+            bp * 1e3,
+            bl / bp,
+            bs * 1e3,
+        );
+    }
+
+    json.push_str("  \"sharded\": [\n");
 
     // Sharded trajectory rows stay at the paper's 256-column geometry
     // when it is in the sweep (continuity with prior PRs' JSON).

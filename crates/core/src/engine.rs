@@ -28,17 +28,28 @@
 //! are shared — [`ShardedBpNtt`](crate::ShardedBpNtt) clones them across
 //! shards behind an `Arc`.
 //!
-//! The *emit* path shares those executors: [`BpNtt::forward_uncached`] /
-//! [`BpNtt::inverse_uncached`] stream their generated instructions
-//! through a [`FusedSink`], which matches the same recorded shapes online
-//! and runs them fused, so per-call code generation no longer executes
-//! ~15 generic instructions per butterfly epilogue. The strictly
-//! per-instruction originals survive as
-//! [`BpNtt::forward_uncached_generic`] /
-//! [`BpNtt::inverse_uncached_generic`] — the ground truth the
-//! equivalence proptests pin every other path against, and the
-//! denominator of the replay-speedup trajectory.
-//! [`BpNtt::fastpath_stats`] reports which strategy actually executed.
+//! Every schedule executes under an explicit [`ExecMode`]: `Replay`
+//! (compiled programs, the production path), `FusedEmit` (per-call code
+//! generation streamed through a [`FusedSink`] into the same fused
+//! word-engine executors), or `Generic` (strictly per-instruction
+//! emission — the ground truth the equivalence proptests pin the other
+//! two against, and the denominator of the replay-speedup trajectory).
+//! The former `forward`/`forward_uncached`/`forward_uncached_generic`
+//! triplicate collapsed into [`BpNtt::forward_mode`] /
+//! [`BpNtt::inverse_mode`]; the old names survive as deprecated
+//! one-line shims. [`BpNtt::fastpath_stats`] reports which strategy
+//! actually executed.
+//!
+//! # Pipelines
+//!
+//! Whole workloads — the negacyclic product the paper's Table 3 scores,
+//! NTT-domain-cached multiply-accumulate chains, scale-and-inverse —
+//! compile and execute as one [`PipelineSpec`] op-graph through
+//! [`BpNtt::run_pipeline`]: operands load once, every segment runs
+//! in-SRAM back to back, results read once. See the
+//! [`pipeline`](crate::pipeline) module docs for the spec/compile/cache
+//! contract; [`BpNtt::polymul`] is a thin wrapper over the canned
+//! polymul spec.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -47,6 +58,9 @@ use crate::config::BpNttConfig;
 use crate::error::BpNttError;
 use crate::kernels::Kernels;
 use crate::layout::Layout;
+use crate::pipeline::{
+    CompiledPipeline, ConfigFingerprint, ExecMode, PipeOp, PipelineSegment, PipelineSpec,
+};
 use bpntt_modmath::montgomery::MontCtx;
 use bpntt_modmath::zq::mul_mod;
 use bpntt_ntt::TwiddleTable;
@@ -65,6 +79,10 @@ pub(crate) enum ProgramKey {
     Inverse { base: u16, scale_mont: u64 },
     /// Pointwise products `a_j ← â_j · b̂_j · R⁻¹` over two regions.
     Pointwise { a_base: u16, b_base: u16 },
+    /// Constant scaling `a_j ← a_j · c` over one region (`factor_mont` is
+    /// `c·R mod q`). Emitted for [`PipeOp::ScaleBy`](crate::PipeOp) and
+    /// for pipeline Montgomery-debt compensation segments.
+    Scale { base: u16, factor_mont: u64 },
 }
 
 /// The BP-NTT accelerator instance.
@@ -93,6 +111,7 @@ pub struct BpNtt {
     kernels: Kernels,
     ctl: Controller,
     programs: HashMap<ProgramKey, Arc<CompiledProgram>>,
+    pipelines: HashMap<PipelineSpec, Arc<CompiledPipeline>>,
 }
 
 /// Emits complete NTT schedules into any [`InstrSink`]: a live controller
@@ -391,6 +410,28 @@ impl<'a> Emitter<'a> {
         Ok(())
     }
 
+    /// Constant scaling `a_j ← a_j · c` (with `c` in Montgomery form)
+    /// over every coefficient row of one region.
+    fn scale_region<S: InstrSink>(
+        &self,
+        sink: &mut S,
+        base: usize,
+        factor_mont: u64,
+    ) -> Result<(), BpNttError> {
+        if self.layout.is_multi_tile() {
+            for r in 0..self.layout.coeffs_per_tile() {
+                self.kernels
+                    .scale_const(sink, self.layout.offset_row(r), factor_mont)?;
+            }
+            return Ok(());
+        }
+        for j in 0..self.n {
+            self.kernels
+                .scale_const(sink, RowAddr((base + j) as u16), factor_mont)?;
+        }
+        Ok(())
+    }
+
     /// Emits the schedule identified by `key`.
     fn emit_key<S: InstrSink>(&self, sink: &mut S, key: ProgramKey) -> Result<(), BpNttError> {
         match key {
@@ -400,6 +441,9 @@ impl<'a> Emitter<'a> {
             }
             ProgramKey::Pointwise { a_base, b_base } => {
                 self.pointwise(sink, usize::from(a_base), usize::from(b_base))
+            }
+            ProgramKey::Scale { base, factor_mont } => {
+                self.scale_region(sink, usize::from(base), factor_mont)
             }
         }
     }
@@ -440,6 +484,7 @@ impl BpNtt {
             kernels,
             ctl,
             programs: HashMap::new(),
+            pipelines: HashMap::new(),
         })
     }
 
@@ -471,16 +516,24 @@ impl BpNtt {
     }
 
     /// Replaces the timing model (for sensitivity studies). Invalidates
-    /// the compiled-program cache: programs embed precomputed costs.
+    /// the compiled-program and compiled-pipeline caches: programs embed
+    /// precomputed costs.
     pub fn set_timing_model(&mut self, t: bpntt_sram::TimingModel) {
         self.ctl.set_timing_model(t);
         self.programs.clear();
+        self.pipelines.clear();
     }
 
     /// Number of schedules currently compiled and cached.
     #[must_use]
     pub fn cached_programs(&self) -> usize {
         self.programs.len()
+    }
+
+    /// Number of pipelines currently compiled and cached.
+    #[must_use]
+    pub fn cached_pipelines(&self) -> usize {
+        self.pipelines.len()
     }
 
     /// Uncosted debug view of one physical array row (delegates to the
@@ -525,57 +578,13 @@ impl BpNtt {
     }
 
     /// The key of the standalone forward-NTT program (coefficient region
-    /// based at row 0). Named accessor so batch warm-up paths
-    /// ([`ShardedBpNtt`](crate::ShardedBpNtt), the service dispatcher)
-    /// never select a program by its position inside
-    /// [`Self::transform_program_keys`] — a reordering there cannot
-    /// silently warm the wrong schedule.
+    /// based at row 0) — the schedule [`Self::forward_mode`] runs.
+    /// (Named-key warm-up arrays for batch paths are gone: shards and
+    /// tenants now warm whole [`PipelineSpec`]s through
+    /// [`Self::compile_pipeline`], whose segment keys are derived, not
+    /// hand-listed.)
     pub(crate) fn forward_program_key(&self) -> ProgramKey {
         ProgramKey::Forward { base: 0 }
-    }
-
-    /// The four program keys [`Self::polymul`] replays, in execution order.
-    pub(crate) fn polymul_program_keys(&self) -> [ProgramKey; 4] {
-        let n = self.n() as u16;
-        let n_inv_r2 = self.mont.to_mont(mul_mod(
-            self.config.params().n_inv(),
-            self.mont.r_mod_m(),
-            self.q(),
-        ));
-        [
-            ProgramKey::Forward { base: 0 },
-            ProgramKey::Forward { base: n },
-            ProgramKey::Pointwise {
-                a_base: 0,
-                b_base: n,
-            },
-            ProgramKey::Inverse {
-                base: 0,
-                scale_mont: n_inv_r2,
-            },
-        ]
-    }
-
-    /// The program keys of a forward + inverse roundtrip.
-    ///
-    /// Ordering invariant: the forward key comes first and equals
-    /// [`Self::forward_program_key`] (debug-asserted); callers that need
-    /// only the forward schedule should use the named accessor instead of
-    /// indexing into this array.
-    pub(crate) fn transform_program_keys(&self) -> [ProgramKey; 2] {
-        let scale = self.mont.to_mont(self.config.params().n_inv());
-        let keys = [
-            self.forward_program_key(),
-            ProgramKey::Inverse {
-                base: 0,
-                scale_mont: scale,
-            },
-        ];
-        debug_assert!(
-            matches!(keys[0], ProgramKey::Forward { base: 0 }),
-            "transform_program_keys must keep the forward key first"
-        );
-        keys
     }
 
     /// Every compiled program currently cached, as `(key, Arc)` pairs (the
@@ -702,101 +711,346 @@ impl BpNtt {
         Ok(out)
     }
 
+    // ---- pipelines ---------------------------------------------------------
+
+    /// `R^d mod q` — the compensation constant for `d` accumulated
+    /// Montgomery debts (see the [`pipeline`](crate::pipeline) docs).
+    fn r_pow(&self, d: u32) -> u64 {
+        let q = self.q();
+        let mut acc = 1 % q;
+        for _ in 0..d {
+            acc = mul_mod(acc, self.mont.r_mod_m(), q);
+        }
+        acc
+    }
+
+    /// Compiles (or fetches from the per-engine cache) the pipeline for
+    /// `spec`: validates the op-graph against this configuration, folds
+    /// the Montgomery-debt bookkeeping into the constant-scaling
+    /// segments, and lowers each op to a compiled program shared through
+    /// the existing program cache. See the
+    /// [`pipeline`](crate::pipeline) module docs for the cache-key and
+    /// segment-boundary contract.
+    ///
+    /// # Errors
+    ///
+    /// [`BpNttError::InvalidPipeline`] for graph defects,
+    /// [`BpNttError::CapacityExceeded`] when the referenced slots do not
+    /// fit this layout; otherwise trace/compile failures.
+    pub fn compile_pipeline(
+        &mut self,
+        spec: &PipelineSpec,
+    ) -> Result<Arc<CompiledPipeline>, BpNttError> {
+        if let Some(p) = self.pipelines.get(spec) {
+            return Ok(Arc::clone(p));
+        }
+        spec.check(self.config.layout(), self.q())?;
+        let n = self.n();
+        let base = |slot: u8| (usize::from(slot) * n) as u16;
+        let mut debt = vec![0u32; spec.slots()];
+        let mut keys: Vec<ProgramKey> = Vec::with_capacity(spec.ops().len() + 1);
+        for &op in spec.ops() {
+            match op {
+                PipeOp::Forward { slot } => keys.push(ProgramKey::Forward { base: base(slot) }),
+                PipeOp::Inverse { slot } => {
+                    let d = std::mem::take(&mut debt[usize::from(slot)]);
+                    let scale = mul_mod(self.config.params().n_inv(), self.r_pow(d), self.q());
+                    keys.push(ProgramKey::Inverse {
+                        base: base(slot),
+                        scale_mont: self.mont.to_mont(scale),
+                    });
+                }
+                PipeOp::Pointwise { dst, src } => {
+                    debt[usize::from(dst)] += debt[usize::from(src)] + 1;
+                    keys.push(ProgramKey::Pointwise {
+                        a_base: base(dst),
+                        b_base: base(src),
+                    });
+                }
+                PipeOp::ScaleBy { slot, factor } => {
+                    let d = std::mem::take(&mut debt[usize::from(slot)]);
+                    let c = mul_mod(factor, self.r_pow(d), self.q());
+                    keys.push(ProgramKey::Scale {
+                        base: base(slot),
+                        factor_mont: self.mont.to_mont(c),
+                    });
+                }
+            }
+        }
+        // Residual debt on the output slot gets one appended compensation
+        // segment, so pipeline outputs always live in the plain domain.
+        if let Some(out) = spec.output_slot() {
+            let d = debt[usize::from(out)];
+            if d > 0 {
+                keys.push(ProgramKey::Scale {
+                    base: base(out),
+                    factor_mont: self.mont.to_mont(self.r_pow(d)),
+                });
+            }
+        }
+        let mut segments = Vec::with_capacity(keys.len());
+        for key in keys {
+            segments.push(PipelineSegment {
+                key,
+                program: self.program(key)?,
+            });
+        }
+        let pipe = Arc::new(CompiledPipeline {
+            spec: spec.clone(),
+            segments,
+            fingerprint: ConfigFingerprint::of(&self.config),
+        });
+        self.pipelines.insert(spec.clone(), Arc::clone(&pipe));
+        Ok(pipe)
+    }
+
+    /// Installs an externally compiled pipeline (and its segment
+    /// programs) into this engine's caches — the sharded/service share
+    /// path: one compilation, every shard and every identically
+    /// configured tenant replays it.
+    pub(crate) fn install_pipeline(&mut self, pipe: &Arc<CompiledPipeline>) {
+        for (key, prog) in pipe.export_segments() {
+            self.programs.insert(key, prog);
+        }
+        self.pipelines.insert(pipe.spec().clone(), Arc::clone(pipe));
+    }
+
+    /// Whether `spec` is already compiled in this engine's cache.
+    pub(crate) fn has_pipeline(&self, spec: &PipelineSpec) -> bool {
+        self.pipelines.contains_key(spec)
+    }
+
+    /// Runs one schedule under an execution mode: replay the cached
+    /// compiled program, emit through the fused executors, or emit
+    /// strictly per-instruction.
+    fn run_key(&mut self, key: ProgramKey, mode: ExecMode) -> Result<(), BpNttError> {
+        match mode {
+            ExecMode::Replay => {
+                let prog = self.program(key)?;
+                self.ctl.run_compiled(&prog)?;
+                Ok(())
+            }
+            ExecMode::FusedEmit => {
+                let em = Emitter::of(&self.kernels, &self.config, &self.twiddles, &self.mont);
+                let mut sink = FusedSink::new(&mut self.ctl);
+                em.emit_key(&mut sink, key)?;
+                sink.finish()?;
+                Ok(())
+            }
+            ExecMode::Generic => {
+                let em = Emitter::of(&self.kernels, &self.config, &self.twiddles, &self.mont);
+                em.emit_key(&mut self.ctl, key)
+            }
+        }
+    }
+
+    /// Runs one compiled segment; replay uses the segment's own `Arc` so
+    /// the hot path never touches the cache map.
+    fn run_segment(&mut self, seg: &PipelineSegment, mode: ExecMode) -> Result<(), BpNttError> {
+        if let ExecMode::Replay = mode {
+            self.ctl.run_compiled(&seg.program)?;
+            return Ok(());
+        }
+        self.run_key(seg.key, mode)
+    }
+
+    /// Compiles `spec` (cached) and executes it on `inputs`: one batch
+    /// per declared input slot, loaded once before the first segment; the
+    /// whole op-graph then runs in-SRAM with **no intermediate
+    /// `load_batch`/`read_batch` round-trips**, and the output slot is
+    /// read once at the end. The batch size is the largest input batch;
+    /// loading a slot zeroes its lanes beyond the supplied batch (the
+    /// same discipline as [`Self::load_batch`]), while slots *not*
+    /// declared as inputs are left untouched — that is where a resident
+    /// spectrum survives between pipelines. A spec with no inputs reads
+    /// back every lane.
+    ///
+    /// # Errors
+    ///
+    /// Compilation failures (see [`Self::compile_pipeline`]),
+    /// [`BpNttError::InvalidPipeline`] when `inputs` does not match the
+    /// spec's declared input slots, and load/validation/simulator
+    /// failures.
+    pub fn run_pipeline(
+        &mut self,
+        spec: &PipelineSpec,
+        mode: ExecMode,
+        inputs: &[&[Vec<u64>]],
+    ) -> Result<Vec<Vec<u64>>, BpNttError> {
+        let pipe = self.compile_pipeline(spec)?;
+        self.run_compiled_pipeline(&pipe, mode, inputs)
+    }
+
+    /// Executes an already compiled pipeline (the sharded hot path); see
+    /// [`Self::run_pipeline`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::run_pipeline`], minus compilation; additionally
+    /// [`BpNttError::InvalidPipeline`] when the pipeline was compiled
+    /// for a different configuration (compiled programs embed absolute
+    /// row addresses and tile geometry, so they are only valid on an
+    /// identically configured engine).
+    pub fn run_compiled_pipeline(
+        &mut self,
+        pipe: &CompiledPipeline,
+        mode: ExecMode,
+        inputs: &[&[Vec<u64>]],
+    ) -> Result<Vec<Vec<u64>>, BpNttError> {
+        let fp = ConfigFingerprint::of(&self.config);
+        if pipe.fingerprint != fp {
+            return Err(BpNttError::InvalidPipeline {
+                reason: format!(
+                    "pipeline was compiled for a different configuration \
+                     ({}x{} cols, {}-bit, n={}, q={}) than this engine \
+                     ({}x{} cols, {}-bit, n={}, q={})",
+                    pipe.fingerprint.rows,
+                    pipe.fingerprint.cols,
+                    pipe.fingerprint.bitwidth,
+                    pipe.fingerprint.n,
+                    pipe.fingerprint.q,
+                    fp.rows,
+                    fp.cols,
+                    fp.bitwidth,
+                    fp.n,
+                    fp.q
+                ),
+            });
+        }
+        let spec = pipe.spec();
+        if inputs.len() != spec.input_slots().len() {
+            return Err(BpNttError::InvalidPipeline {
+                reason: format!(
+                    "spec declares {} input slot(s) but {} batch(es) were supplied",
+                    spec.input_slots().len(),
+                    inputs.len()
+                ),
+            });
+        }
+        let n = pipe.n();
+        let mut batch = 0usize;
+        for (&slot, polys) in spec.input_slots().iter().zip(inputs) {
+            batch = batch.max(polys.len());
+            self.load_batch_at(usize::from(slot) * n, polys)?;
+        }
+        if inputs.is_empty() {
+            batch = self.config.layout().lanes();
+        }
+        for seg in &pipe.segments {
+            self.run_segment(seg, mode)?;
+        }
+        match spec.output_slot() {
+            Some(slot) => self.read_batch_at(usize::from(slot) * n, batch),
+            None => Ok(Vec::new()),
+        }
+    }
+
     // ---- schedules ---------------------------------------------------------
 
     /// Runs the in-place forward NTT (paper Algorithm 1) on the loaded
     /// batch: natural order in, bit-reversed order out. Replays the cached
-    /// compiled program (tracing it on first call).
+    /// compiled program (tracing it on first call); equivalent to
+    /// [`Self::forward_mode`] with [`ExecMode::Replay`].
     ///
     /// # Errors
     ///
     /// Propagates simulator faults.
     pub fn forward(&mut self) -> Result<(), BpNttError> {
-        let prog = self.program(ProgramKey::Forward { base: 0 })?;
-        self.ctl.run_compiled(&prog)?;
-        Ok(())
+        self.forward_mode(ExecMode::Replay)
     }
 
-    /// Forward NTT through per-call code generation (no program cache),
-    /// with the emitted stream executed through the same fused
-    /// word-engine executors replay uses ([`FusedSink`]). Produces
-    /// bit-identical rows and [`Stats`] to [`Self::forward`] *and* to
-    /// [`Self::forward_uncached_generic`]; kept as the replay-equivalence
-    /// baseline and for benchmarking the compile-once win.
+    /// Forward NTT under an explicit [`ExecMode`] — the single
+    /// implementation behind the former `forward` /
+    /// `forward_uncached` / `forward_uncached_generic` triplicate.
+    /// All three modes produce bit-identical rows and bit-identical
+    /// [`Stats`] (enforced by the equivalence proptests); they differ
+    /// only in how the instruction stream is produced and executed.
     ///
     /// # Errors
     ///
     /// Propagates simulator faults.
+    pub fn forward_mode(&mut self, mode: ExecMode) -> Result<(), BpNttError> {
+        self.run_key(self.forward_program_key(), mode)
+    }
+
+    /// Deprecated shim for [`Self::forward_mode`] with
+    /// [`ExecMode::FusedEmit`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator faults.
+    #[deprecated(note = "use forward_mode(ExecMode::FusedEmit)")]
     pub fn forward_uncached(&mut self) -> Result<(), BpNttError> {
-        let em = Emitter::of(&self.kernels, &self.config, &self.twiddles, &self.mont);
-        let mut sink = FusedSink::new(&mut self.ctl);
-        em.forward_region(&mut sink, 0)?;
-        sink.finish()?;
-        Ok(())
+        self.forward_mode(ExecMode::FusedEmit)
     }
 
-    /// Forward NTT through per-call code generation with strictly
-    /// per-instruction execution — no fused executors anywhere. The
-    /// original emission semantics, kept as the ground-truth baseline the
-    /// equivalence proptests pin both replay and fused emission against,
-    /// and as the denominator of the replay-speedup trajectory.
+    /// Deprecated shim for [`Self::forward_mode`] with
+    /// [`ExecMode::Generic`].
     ///
     /// # Errors
     ///
     /// Propagates simulator faults.
+    #[deprecated(note = "use forward_mode(ExecMode::Generic)")]
     pub fn forward_uncached_generic(&mut self) -> Result<(), BpNttError> {
-        let em = Emitter::of(&self.kernels, &self.config, &self.twiddles, &self.mont);
-        em.forward_region(&mut self.ctl, 0)
+        self.forward_mode(ExecMode::Generic)
     }
 
     /// Runs the in-place inverse NTT: bit-reversed order in, natural order
     /// out, including the final `N⁻¹` scaling. Replays the cached compiled
-    /// program (tracing it on first call).
+    /// program (tracing it on first call); equivalent to
+    /// [`Self::inverse_mode`] with [`ExecMode::Replay`].
     ///
     /// # Errors
     ///
     /// Propagates simulator faults.
     pub fn inverse(&mut self) -> Result<(), BpNttError> {
-        let scale = self.mont.to_mont(self.config.params().n_inv());
-        let prog = self.program(ProgramKey::Inverse {
-            base: 0,
-            scale_mont: scale,
-        })?;
-        self.ctl.run_compiled(&prog)?;
-        Ok(())
+        self.inverse_mode(ExecMode::Replay)
     }
 
-    /// Inverse NTT through per-call code generation with fused execution
-    /// (no program cache); see [`Self::forward_uncached`].
+    /// Inverse NTT under an explicit [`ExecMode`]; see
+    /// [`Self::forward_mode`].
     ///
     /// # Errors
     ///
     /// Propagates simulator faults.
+    pub fn inverse_mode(&mut self, mode: ExecMode) -> Result<(), BpNttError> {
+        let scale = self.mont.to_mont(self.config.params().n_inv());
+        self.run_key(
+            ProgramKey::Inverse {
+                base: 0,
+                scale_mont: scale,
+            },
+            mode,
+        )
+    }
+
+    /// Deprecated shim for [`Self::inverse_mode`] with
+    /// [`ExecMode::FusedEmit`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator faults.
+    #[deprecated(note = "use inverse_mode(ExecMode::FusedEmit)")]
     pub fn inverse_uncached(&mut self) -> Result<(), BpNttError> {
-        let scale = self.mont.to_mont(self.config.params().n_inv());
-        let em = Emitter::of(&self.kernels, &self.config, &self.twiddles, &self.mont);
-        let mut sink = FusedSink::new(&mut self.ctl);
-        em.inverse_region(&mut sink, 0, scale)?;
-        sink.finish()?;
-        Ok(())
+        self.inverse_mode(ExecMode::FusedEmit)
     }
 
-    /// Inverse NTT through strictly per-instruction code generation; see
-    /// [`Self::forward_uncached_generic`].
+    /// Deprecated shim for [`Self::inverse_mode`] with
+    /// [`ExecMode::Generic`].
     ///
     /// # Errors
     ///
     /// Propagates simulator faults.
+    #[deprecated(note = "use inverse_mode(ExecMode::Generic)")]
     pub fn inverse_uncached_generic(&mut self) -> Result<(), BpNttError> {
-        let scale = self.mont.to_mont(self.config.params().n_inv());
-        let em = Emitter::of(&self.kernels, &self.config, &self.twiddles, &self.mont);
-        em.inverse_region(&mut self.ctl, 0, scale)
+        self.inverse_mode(ExecMode::Generic)
     }
 
     /// Full negacyclic polynomial multiplication on the accelerator:
-    /// loads `a` and `b` batches, transforms both, multiplies pointwise
-    /// (data-driven multiplier), inverse-transforms, and returns the
-    /// products. All four compute phases replay cached compiled programs.
+    /// a thin wrapper over [`Self::run_pipeline`] with the canned
+    /// [`PipelineSpec::polymul`] graph (forward both operands, pointwise
+    /// with the data-driven multiplier, debt-folded scaled inverse),
+    /// replaying cached compiled programs.
     ///
     /// Requires a single-tile layout with room for both operands
     /// (`2N + 6` rows).
@@ -806,6 +1060,27 @@ impl BpNtt {
     /// [`BpNttError::CapacityExceeded`] when the operands do not fit;
     /// otherwise propagates load/validation/simulator failures.
     pub fn polymul(&mut self, a: &[Vec<u64>], b: &[Vec<u64>]) -> Result<Vec<Vec<u64>>, BpNttError> {
+        self.run_pipeline(&PipelineSpec::polymul(), ExecMode::Replay, &[a, b])
+    }
+
+    /// The retained pre-pipeline `polymul` implementation: loads both
+    /// operands, derives the four program keys by hand (including the
+    /// `n⁻¹·R²` inverse-scale constant that cancels the pointwise step's
+    /// `R⁻¹`), and replays them back to back. Kept verbatim as the
+    /// ground truth the pipeline≡legacy equivalence proptests pin
+    /// [`Self::run_pipeline`] against, and as the baseline of the
+    /// `pipeline_polymul_ms` bench column — not part of the supported
+    /// API surface.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::polymul`].
+    #[doc(hidden)]
+    pub fn polymul_legacy(
+        &mut self,
+        a: &[Vec<u64>],
+        b: &[Vec<u64>],
+    ) -> Result<Vec<Vec<u64>>, BpNttError> {
         let layout = self.config.layout().clone();
         let n = self.n();
         if layout.is_multi_tile() || 2 * n + layout.reserved_rows() > self.config.rows() {
@@ -1026,14 +1301,14 @@ mod tests {
             let mut emitted = mk();
             emitted.load_batch(&polys).unwrap();
             emitted.reset_stats();
-            emitted.forward_uncached().unwrap();
-            emitted.inverse_uncached().unwrap();
+            emitted.forward_mode(ExecMode::FusedEmit).unwrap();
+            emitted.inverse_mode(ExecMode::FusedEmit).unwrap();
 
             let mut generic = mk();
             generic.load_batch(&polys).unwrap();
             generic.reset_stats();
-            generic.forward_uncached_generic().unwrap();
-            generic.inverse_uncached_generic().unwrap();
+            generic.forward_mode(ExecMode::Generic).unwrap();
+            generic.inverse_mode(ExecMode::Generic).unwrap();
 
             // Snapshot stats before read_batch (reads are costed).
             let (rs, es, gs) = (*replayed.stats(), *emitted.stats(), *generic.stats());
@@ -1055,6 +1330,223 @@ mod tests {
             assert!(emitted.fastpath_stats().hits() > 0, "n={n}");
             assert_eq!(generic.fastpath_stats().hits(), 0, "n={n}");
         }
+    }
+
+    #[test]
+    fn deprecated_uncached_shims_still_work() {
+        // The one-line shims route to the ExecMode implementations and
+        // stay bit-identical to them.
+        #![allow(deprecated)]
+        let params = NttParams::new(8, 97).unwrap();
+        let cfg = BpNttConfig::new(16, 32, 8, params).unwrap();
+        let polys = vec![pseudo(8, 97, 31)];
+        let mut shimmed = BpNtt::new(cfg.clone()).unwrap();
+        shimmed.load_batch(&polys).unwrap();
+        shimmed.forward_uncached().unwrap();
+        shimmed.inverse_uncached().unwrap();
+        shimmed.forward_uncached_generic().unwrap();
+        shimmed.inverse_uncached_generic().unwrap();
+        let mut moded = BpNtt::new(cfg).unwrap();
+        moded.load_batch(&polys).unwrap();
+        moded.forward_mode(ExecMode::FusedEmit).unwrap();
+        moded.inverse_mode(ExecMode::FusedEmit).unwrap();
+        moded.forward_mode(ExecMode::Generic).unwrap();
+        moded.inverse_mode(ExecMode::Generic).unwrap();
+        assert_eq!(shimmed.read_batch(1).unwrap(), moded.read_batch(1).unwrap());
+    }
+
+    #[test]
+    fn pipeline_polymul_matches_legacy_bit_for_bit() {
+        // The canned polymul spec compiles to the exact four programs the
+        // retained legacy implementation replays: rows and Stats
+        // (including the f64 energy order) are bit-identical.
+        let params = NttParams::new(8, 97).unwrap();
+        let cfg = BpNttConfig::new(32, 32, 8, params).unwrap();
+        let a = vec![pseudo(8, 97, 400), pseudo(8, 97, 401)];
+        let b = vec![pseudo(8, 97, 500)];
+
+        let mut legacy = BpNtt::new(cfg.clone()).unwrap();
+        legacy.reset_stats();
+        let legacy_out = legacy.polymul_legacy(&a, &b).unwrap();
+        let ls = *legacy.stats();
+
+        for mode in ExecMode::ALL {
+            let mut piped = BpNtt::new(cfg.clone()).unwrap();
+            piped.reset_stats();
+            let piped_out = piped
+                .run_pipeline(&PipelineSpec::polymul(), mode, &[&a, &b])
+                .unwrap();
+            assert_eq!(piped_out, legacy_out, "{mode:?}");
+            let ps = *piped.stats();
+            assert_eq!(ps.cycles, ls.cycles, "{mode:?}");
+            assert_eq!(ps.counts, ls.counts, "{mode:?}");
+            assert_eq!(ps.row_loads, ls.row_loads, "{mode:?}");
+            assert_eq!(
+                ps.energy_pj.to_bits(),
+                ls.energy_pj.to_bits(),
+                "{mode:?} energy order"
+            );
+        }
+        // And the public polymul entry point is the same pipeline.
+        let mut public = BpNtt::new(cfg).unwrap();
+        public.reset_stats();
+        assert_eq!(public.polymul(&a, &b).unwrap(), legacy_out);
+        assert_eq!(public.stats().cycles, ls.cycles);
+        assert_eq!(public.cached_pipelines(), 1);
+        assert_eq!(public.cached_programs(), 4, "fwd×2 + pointwise + inverse");
+    }
+
+    #[test]
+    fn pipeline_debt_compensation_keeps_outputs_plain() {
+        // Pointwise with no following inverse: the compiler must append
+        // one R^debt compensation segment so the output is the plain
+        // NTT-domain product â·b̂ (not â·b̂·R⁻¹).
+        let params = NttParams::new(8, 97).unwrap();
+        let cfg = BpNttConfig::new(32, 32, 8, params.clone()).unwrap();
+        let a = vec![pseudo(8, 97, 600)];
+        let b = vec![pseudo(8, 97, 601)];
+        let spec = PipelineSpec::new()
+            .input(0)
+            .input(1)
+            .forward(0)
+            .forward(1)
+            .pointwise(0, 1)
+            .output(0);
+        let mut acc = BpNtt::new(cfg).unwrap();
+        let pipe = acc.compile_pipeline(&spec).unwrap();
+        assert_eq!(pipe.segments(), 4, "3 ops + 1 appended compensation");
+        let got = acc
+            .run_pipeline(&spec, ExecMode::Replay, &[&a, &b])
+            .unwrap();
+        let t = TwiddleTable::new(&params);
+        let (mut ea, mut eb) = (a[0].clone(), b[0].clone());
+        ntt_in_place(&params, &t, &mut ea).unwrap();
+        ntt_in_place(&params, &t, &mut eb).unwrap();
+        let expect: Vec<u64> = ea
+            .iter()
+            .zip(&eb)
+            .map(|(&x, &y)| mul_mod(x, y, 97))
+            .collect();
+        assert_eq!(got[0], expect);
+    }
+
+    #[test]
+    fn pipeline_scale_by_and_spectral_polymul() {
+        let params = NttParams::new(8, 97).unwrap();
+        let cfg = BpNttConfig::new(32, 32, 8, params.clone()).unwrap();
+        let a = vec![pseudo(8, 97, 700)];
+        // ScaleBy alone: out = 3·a.
+        let spec = PipelineSpec::new().input(0).scale_by(0, 3).output(0);
+        let mut acc = BpNtt::new(cfg.clone()).unwrap();
+        let got = acc.run_pipeline(&spec, ExecMode::Replay, &[&a]).unwrap();
+        let expect: Vec<u64> = a[0].iter().map(|&x| (x * 3) % 97).collect();
+        assert_eq!(got[0], expect);
+
+        // NTT-domain caching: transform b once (resident, no output),
+        // then run pointwise+inverse products against the cached
+        // spectrum — one fewer operand load and two fewer transforms per
+        // product than legacy polymul.
+        let b = vec![pseudo(8, 97, 701)];
+        let cache_spec = PipelineSpec::new().input(1).forward(1);
+        let mac_spec = PipelineSpec::new()
+            .input(0)
+            .forward(0)
+            .pointwise(0, 1)
+            .inverse(0)
+            .output(0);
+        let mut mac = BpNtt::new(cfg).unwrap();
+        assert!(mac
+            .run_pipeline(&cache_spec, ExecMode::Replay, &[&b])
+            .unwrap()
+            .is_empty());
+        for seed in [710u64, 711, 712] {
+            let ai = vec![pseudo(8, 97, seed)];
+            let got = mac
+                .run_pipeline(&mac_spec, ExecMode::Replay, &[&ai])
+                .unwrap();
+            let expect = polymul_schoolbook(&params, &ai[0], &b[0]).unwrap();
+            assert_eq!(got[0], expect, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn pipeline_saves_load_read_roundtrips() {
+        // A two-stage graph in one pipeline (load once, fwd + inv, read
+        // once) vs the same workload composed from fixed op shapes
+        // (read the spectrum back, reload it, inverse): the pipeline does
+        // at least one fewer load and one fewer read round-trip per lane.
+        let params = NttParams::new(8, 97).unwrap();
+        let cfg = BpNttConfig::new(32, 32, 8, params).unwrap();
+        let lanes = cfg.layout().lanes();
+        let polys: Vec<Vec<u64>> = (0..lanes as u64).map(|s| pseudo(8, 97, s + 800)).collect();
+
+        let mut piped = BpNtt::new(cfg.clone()).unwrap();
+        piped.reset_stats();
+        let piped_out = piped
+            .run_pipeline(&PipelineSpec::roundtrip(), ExecMode::Replay, &[&polys])
+            .unwrap();
+        let ps = *piped.stats();
+
+        let mut fixed = BpNtt::new(cfg).unwrap();
+        fixed.reset_stats();
+        fixed.load_batch(&polys).unwrap();
+        fixed.forward().unwrap();
+        let spectra = fixed.read_batch(lanes).unwrap();
+        fixed.load_batch(&spectra).unwrap();
+        fixed.inverse().unwrap();
+        let fixed_out = fixed.read_batch(lanes).unwrap();
+        let fs = *fixed.stats();
+
+        assert_eq!(piped_out, fixed_out);
+        let n = 8u64;
+        assert!(
+            ps.row_loads + n <= fs.row_loads,
+            "pipeline must save ≥ one load round-trip per lane ({} vs {})",
+            ps.row_loads,
+            fs.row_loads
+        );
+        assert!(
+            ps.row_stores <= fs.row_stores,
+            "pipeline must not add stores"
+        );
+    }
+
+    #[test]
+    fn compiled_pipeline_rejects_foreign_engines() {
+        // Compiled programs embed absolute row addresses: a pipeline
+        // compiled on one configuration must be rejected (typed error,
+        // not a panic or silent corruption) on any other.
+        let params = NttParams::new(8, 97).unwrap();
+        let tall = BpNttConfig::new(32, 32, 8, params.clone()).unwrap();
+        let short = BpNttConfig::new(22, 32, 8, params).unwrap();
+        let mut compiler = BpNtt::new(tall).unwrap();
+        let pipe = compiler.compile_pipeline(&PipelineSpec::polymul()).unwrap();
+        let a = vec![pseudo(8, 97, 1)];
+        let mut other = BpNtt::new(short).unwrap();
+        assert!(matches!(
+            other.run_compiled_pipeline(&pipe, ExecMode::Replay, &[&a, &a]),
+            Err(BpNttError::InvalidPipeline { .. })
+        ));
+    }
+
+    #[test]
+    fn pipeline_validation_is_typed() {
+        let params = NttParams::new(8, 97).unwrap();
+        let cfg = BpNttConfig::new(16, 32, 8, params).unwrap(); // one slot only
+        let mut acc = BpNtt::new(cfg).unwrap();
+        assert!(matches!(
+            acc.run_pipeline(&PipelineSpec::polymul(), ExecMode::Replay, &[&[], &[]]),
+            Err(BpNttError::CapacityExceeded { .. })
+        ));
+        assert!(matches!(
+            acc.run_pipeline(&PipelineSpec::new().output(0), ExecMode::Replay, &[]),
+            Err(BpNttError::InvalidPipeline { .. })
+        ));
+        // Batch count must match declared inputs.
+        assert!(matches!(
+            acc.run_pipeline(&PipelineSpec::forward_ntt(), ExecMode::Replay, &[]),
+            Err(BpNttError::InvalidPipeline { .. })
+        ));
     }
 
     #[test]

@@ -65,6 +65,13 @@ pub enum BpNttError {
         /// Requested shard count.
         shards: usize,
     },
+    /// A pipeline spec is structurally invalid (empty op-graph,
+    /// duplicate input slots, pointwise self-product, unreduced scale
+    /// factor, or mismatched input batches at execution time).
+    InvalidPipeline {
+        /// Human-readable defect description.
+        reason: String,
+    },
     /// Paired batch operands must have equal lengths.
     BatchMismatch {
         /// Length of the first operand batch.
@@ -142,6 +149,9 @@ impl fmt::Display for BpNttError {
                     "a sharded engine needs at least one shard (got {shards})"
                 )
             }
+            BpNttError::InvalidPipeline { reason } => {
+                write!(f, "invalid pipeline: {reason}")
+            }
             BpNttError::BatchMismatch { a, b } => {
                 write!(
                     f,
@@ -214,6 +224,11 @@ mod tests {
             capacity: 128,
         };
         assert!(e.to_string().contains("128 of 128"));
+        let e = BpNttError::InvalidPipeline {
+            reason: "pointwise self-product on slot 3".into(),
+        };
+        assert!(e.to_string().contains("invalid pipeline"));
+        assert!(e.to_string().contains("slot 3"));
         assert!(BpNttError::ServiceShutdown
             .to_string()
             .contains("shut down"));

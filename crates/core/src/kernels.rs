@@ -47,7 +47,10 @@
 //! proptests still pass — but the benchmarks regress and the fast-path
 //! coverage counters `FastPathStats` drop to zero, which the CI
 //! coverage assertion catches); update the matchers alongside any
-//! change.
+//! change. Pipeline segments (`bpntt_core::pipeline`) compile each op
+//! through these same emitters, one program per op — the segment
+//! boundary is an op boundary, so a fusion or matcher change never has
+//! to reason across ops.
 
 use crate::error::BpNttError;
 use crate::layout::RowMap;

@@ -48,6 +48,7 @@ pub mod error;
 pub mod kernels;
 pub mod layout;
 pub mod metrics;
+pub mod pipeline;
 pub mod service;
 pub mod sharded;
 
@@ -57,5 +58,6 @@ pub use error::BpNttError;
 pub use kernels::Kernels;
 pub use layout::{Layout, RowMap};
 pub use metrics::{PerfReport, ServiceMetrics};
-pub use service::{NttService, ServiceOptions, TenantId, Ticket};
+pub use pipeline::{CompiledPipeline, ExecMode, PipeOp, PipelineSpec};
+pub use service::{NttService, PipelineRequest, ServiceOptions, TenantId, Ticket};
 pub use sharded::ShardedBpNtt;

@@ -164,6 +164,13 @@ pub struct ServiceMetrics {
     pub program_cache_entries: usize,
     /// Tenant registrations served from the cache without recompiling.
     pub program_cache_hits: u64,
+    /// Distinct `(params, layout, spec)` entries in the cross-tenant
+    /// compiled-pipeline cache.
+    pub pipeline_cache_entries: usize,
+    /// Pipeline resolutions served from the cache without recompiling
+    /// (tenant registrations with an identical configuration, plus novel
+    /// specs imported into a second tenant's engine).
+    pub pipeline_cache_hits: u64,
     /// Registered tenants.
     pub tenants: usize,
 }
@@ -204,8 +211,13 @@ impl ServiceMetrics {
         );
         let _ = write!(
             s,
-            "\"program_cache_entries\": {}, \"program_cache_hits\": {}, \"tenants\": {}}}",
-            self.program_cache_entries, self.program_cache_hits, self.tenants
+            "\"program_cache_entries\": {}, \"program_cache_hits\": {}, ",
+            self.program_cache_entries, self.program_cache_hits
+        );
+        let _ = write!(
+            s,
+            "\"pipeline_cache_entries\": {}, \"pipeline_cache_hits\": {}, \"tenants\": {}}}",
+            self.pipeline_cache_entries, self.pipeline_cache_hits, self.tenants
         );
         s
     }
@@ -255,6 +267,8 @@ mod tests {
             shard_secs_max: 0.003,
             program_cache_entries: 2,
             program_cache_hits: 1,
+            pipeline_cache_entries: 5,
+            pipeline_cache_hits: 4,
             tenants: 3,
         };
         let json = m.to_json();
@@ -268,6 +282,8 @@ mod tests {
             "\"polys_per_sec\": 76.0",
             "\"shard_ms_p90\": 2.0000",
             "\"program_cache_hits\": 1",
+            "\"pipeline_cache_entries\": 5",
+            "\"pipeline_cache_hits\": 4",
             "\"tenants\": 3",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");

@@ -8,27 +8,39 @@
 //! signature verification) arrive as *streams of small requests*, not
 //! pre-assembled batches. [`NttService`] closes the gap:
 //!
-//! * **Submission API** — [`NttService::submit_forward`] /
-//!   [`NttService::submit_polymul`] validate the operands, enqueue the
-//!   request, and return a [`Ticket`]: a completion handle that is also
-//!   a [`std::future::Future`] (waker wiring on the completion slot), so
-//!   it `.await`s from any executor; `Ticket::wait` blocks and
-//!   `Ticket::try_wait` polls for synchronous callers.
+//! * **Submission API** — every request is a pipeline:
+//!   [`NttService::submit_pipeline`] takes a [`PipelineRequest`] (an
+//!   arbitrary [`PipelineSpec`] op-graph plus one polynomial per
+//!   declared input slot), validates it eagerly against the tenant's
+//!   parameters — input count, lengths against `params.n`, coefficient
+//!   reduction, slot capacity — so a malformed request fails its own
+//!   submission with a typed [`BpNttError`] instead of failing inside
+//!   the dispatcher thread, and returns a [`Ticket`]: a completion
+//!   handle that is also a [`std::future::Future`] (waker wiring on the
+//!   completion slot), so it `.await`s from any executor; `Ticket::wait`
+//!   blocks and `Ticket::try_wait` polls for synchronous callers.
+//!   [`NttService::submit_forward`] / [`NttService::submit_polymul`] are
+//!   canned specs ([`PipelineSpec::forward_ntt`] /
+//!   [`PipelineSpec::polymul`]) over the same path.
 //! * **Wave coalescing** — a dispatcher thread drains the queue in
 //!   batches: it waits (up to `coalesce_window`) for enough requests to
 //!   fill every lane of every shard, then executes one
-//!   [`ShardedBpNtt`] batch call per `(tenant, operation)` group. Inside
-//!   the engine the chunks are **work-stolen** across shards, so a slow
-//!   shard claims fewer chunks instead of stalling the wave.
+//!   [`ShardedBpNtt::run_pipeline_batch`] call per
+//!   `(tenant, spec, mode)` group — the whole op-graph runs per lane
+//!   with no intermediate load/read round-trips. Inside the engine the
+//!   chunks are **work-stolen** across shards, so a slow shard claims
+//!   fewer chunks instead of stalling the wave.
 //! * **Backpressure** — the queue is bounded; when it is full,
 //!   submission fails fast with [`BpNttError::Overloaded`] instead of
 //!   buffering without limit.
-//! * **Tenants and the program cache** — each tenant registers a
+//! * **Tenants and the caches** — each tenant registers a
 //!   [`BpNttConfig`]; the dispatcher keeps one sharded engine per tenant
-//!   and a cross-tenant cache of compiled programs keyed by
-//!   `(params, layout)`, so a second tenant with an identical
-//!   configuration installs `Arc`-shared programs instead of
-//!   recompiling.
+//!   plus two cross-tenant caches: compiled programs keyed by
+//!   `(params, layout)` and compiled pipelines keyed by
+//!   `(params, layout, spec)`, so a second tenant with an identical
+//!   configuration installs `Arc`-shared artifacts instead of
+//!   recompiling, and a novel spec compiles once per configuration, not
+//!   once per tenant.
 //! * **Metrics** — [`NttService::metrics`] snapshots queue depth, wave
 //!   occupancy, throughput, and per-shard wall-clock percentiles as a
 //!   [`ServiceMetrics`], exportable as JSON.
@@ -59,7 +71,9 @@ use std::time::{Duration, Instant};
 use crate::config::BpNttConfig;
 use crate::engine::ProgramKey;
 use crate::error::BpNttError;
+use crate::layout::Layout;
 use crate::metrics::{percentile, ServiceMetrics};
+use crate::pipeline::{CompiledPipeline, ExecMode, PipelineSpec};
 use crate::sharded::ShardedBpNtt;
 use bpntt_sram::CompiledProgram;
 
@@ -263,20 +277,61 @@ impl std::future::Future for Ticket {
 
 type Reply<T> = mpsc::Sender<Result<T, BpNttError>>;
 
-/// One queued request. Control requests (tenant registration) travel on
-/// a separate lane so data-plane coalescing never delays them.
-enum Request {
-    Forward {
-        tenant: TenantId,
-        poly: Vec<u64>,
-        reply: TicketSender,
-    },
-    Polymul {
-        tenant: TenantId,
-        a: Vec<u64>,
-        b: Vec<u64>,
-        reply: TicketSender,
-    },
+/// One pipeline execution request: the spec, its input polynomials (one
+/// per declared input slot, in declaration order), the execution mode,
+/// and the target tenant. Built with [`PipelineRequest::new`] and the
+/// `with_*` builders; `submit_forward`/`submit_polymul` construct canned
+/// instances internally.
+#[derive(Debug, Clone)]
+pub struct PipelineRequest {
+    /// Target tenant; `None` routes to the service's default tenant.
+    pub tenant: Option<TenantId>,
+    /// The op-graph to execute. Must declare an output slot — a service
+    /// request's result *is* the output read-back.
+    pub spec: PipelineSpec,
+    /// Execution mode (defaults to [`ExecMode::Replay`], the production
+    /// path; the emit modes exist for equivalence auditing).
+    pub mode: ExecMode,
+    /// One polynomial per input slot the spec declares.
+    pub inputs: Vec<Vec<u64>>,
+}
+
+impl PipelineRequest {
+    /// A replay-mode request for the default tenant.
+    #[must_use]
+    pub fn new(spec: PipelineSpec, inputs: Vec<Vec<u64>>) -> Self {
+        PipelineRequest {
+            tenant: None,
+            spec,
+            mode: ExecMode::Replay,
+            inputs,
+        }
+    }
+
+    /// Routes the request to a specific tenant.
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = Some(tenant);
+        self
+    }
+
+    /// Overrides the execution mode.
+    #[must_use]
+    pub fn with_mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+}
+
+/// One queued (validated) request. Control requests (tenant
+/// registration) travel on a separate lane so data-plane coalescing
+/// never delays them.
+struct Request {
+    tenant: TenantId,
+    spec: PipelineSpec,
+    mode: ExecMode,
+    inputs: Vec<Vec<u64>>,
+    reply: TicketSender,
 }
 
 enum Control {
@@ -287,14 +342,13 @@ enum Control {
 }
 
 /// What submit-side validation needs to know about a tenant without
-/// touching the dispatcher-owned engine.
-#[derive(Debug, Clone, Copy)]
+/// touching the dispatcher-owned engine: the NTT parameters and the
+/// layout every spec is checked against.
+#[derive(Debug, Clone)]
 struct TenantInfo {
     n: usize,
     q: u64,
-    /// Whether the layout supports on-array polymul (single tile,
-    /// `2N + reserved` rows available).
-    polymul_capacity: Result<(), (usize, usize)>,
+    layout: Layout,
 }
 
 /// Queue state guarded by the service mutex.
@@ -320,6 +374,8 @@ struct MetricsState {
     shard_secs: VecDeque<f64>,
     program_cache_entries: usize,
     program_cache_hits: u64,
+    pipeline_cache_entries: usize,
+    pipeline_cache_hits: u64,
 }
 
 struct Shared {
@@ -335,6 +391,9 @@ struct Shared {
 /// exactly when their `(params, layout)` agree (the layout is fully
 /// determined by rows/cols/bitwidth/n, and every engine uses the default
 /// timing model, so equal keys imply bit-identical programs and costs).
+/// The pipeline cache extends this to `(params, layout, spec)`: one
+/// [`ProgramCacheKey`] maps to the compiled pipelines of every spec seen
+/// for that configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct ProgramCacheKey {
     n: usize,
@@ -463,7 +522,8 @@ impl NttService {
         self.submit_forward_as(self.default_tenant, poly)
     }
 
-    /// Submits one forward NTT for a specific tenant.
+    /// Submits one forward NTT for a specific tenant — the canned
+    /// [`PipelineSpec::forward_ntt`] over [`Self::submit_pipeline`].
     ///
     /// # Errors
     ///
@@ -473,19 +533,14 @@ impl NttService {
         tenant: TenantId,
         poly: Vec<u64>,
     ) -> Result<Ticket, BpNttError> {
-        let info = self.tenant_info(tenant)?;
-        validate_poly(&info, &poly)?;
-        let (ticket, reply) = Ticket::channel();
-        self.enqueue(Request::Forward {
-            tenant,
-            poly,
-            reply,
-        })?;
-        Ok(ticket)
+        self.submit_pipeline(
+            PipelineRequest::new(PipelineSpec::forward_ntt(), vec![poly]).with_tenant(tenant),
+        )
     }
 
     /// Submits one negacyclic polynomial multiplication (`a ⊛ b`) for
-    /// the default tenant.
+    /// the default tenant — the canned [`PipelineSpec::polymul`] over
+    /// [`Self::submit_pipeline`].
     ///
     /// # Errors
     ///
@@ -507,17 +562,71 @@ impl NttService {
         a: Vec<u64>,
         b: Vec<u64>,
     ) -> Result<Ticket, BpNttError> {
-        let info = self.tenant_info(tenant)?;
-        if let Err((n, capacity)) = info.polymul_capacity {
-            return Err(BpNttError::CapacityExceeded { n, capacity });
-        }
-        validate_poly(&info, &a)?;
-        validate_poly(&info, &b)?;
-        let (ticket, reply) = Ticket::channel();
-        self.enqueue(Request::Polymul {
+        self.submit_pipeline(
+            PipelineRequest::new(PipelineSpec::polymul(), vec![a, b]).with_tenant(tenant),
+        )
+    }
+
+    /// Submits one pipeline op-graph execution. The request is validated
+    /// **at submit time** against the tenant's registered parameters —
+    /// spec sanity and slot capacity ([`PipelineSpec::check`]), an
+    /// output-slot requirement, input count against the spec's declared
+    /// input slots, and every polynomial's length (`params.n`) and
+    /// coefficient reduction — so a malformed request fails here with a
+    /// typed error instead of poisoning the coalesced wave it would have
+    /// joined. Requests coalesce into waves per `(tenant, spec, mode)`
+    /// group; identical specs from different clients batch into one
+    /// sharded pipeline call.
+    ///
+    /// # Errors
+    ///
+    /// [`BpNttError::UnknownTenant`], [`BpNttError::InvalidPipeline`]
+    /// (graph defects, missing output, input-count mismatch),
+    /// [`BpNttError::CapacityExceeded`], [`BpNttError::WrongLength`] /
+    /// [`BpNttError::Unreduced`] per polynomial,
+    /// [`BpNttError::Overloaded`] under backpressure, and
+    /// [`BpNttError::ServiceShutdown`] after shutdown.
+    pub fn submit_pipeline(&self, req: PipelineRequest) -> Result<Ticket, BpNttError> {
+        let PipelineRequest {
             tenant,
-            a,
-            b,
+            spec,
+            mode,
+            inputs,
+        } = req;
+        let tenant = tenant.unwrap_or(self.default_tenant);
+        let info = self.tenant_info(tenant)?;
+        spec.check(&info.layout, info.q)?;
+        if spec.output_slot().is_none() {
+            return Err(BpNttError::InvalidPipeline {
+                reason: "service pipelines must declare an output slot".into(),
+            });
+        }
+        if spec.input_slots().is_empty() {
+            // Resident (no-input) graphs are an engine-level feature; the
+            // sharded work-stealing dispatcher has no stable chunk→shard
+            // assignment for on-array state to survive between requests.
+            return Err(BpNttError::InvalidPipeline {
+                reason: "service pipelines must declare at least one input slot".into(),
+            });
+        }
+        if inputs.len() != spec.input_slots().len() {
+            return Err(BpNttError::InvalidPipeline {
+                reason: format!(
+                    "spec declares {} input slot(s) but {} polynomial(s) were supplied",
+                    spec.input_slots().len(),
+                    inputs.len()
+                ),
+            });
+        }
+        for poly in &inputs {
+            validate_poly(&info, poly)?;
+        }
+        let (ticket, reply) = Ticket::channel();
+        self.enqueue(Request {
+            tenant,
+            spec,
+            mode,
+            inputs,
             reply,
         })?;
         Ok(ticket)
@@ -568,6 +677,8 @@ impl NttService {
             shard_secs_max: sorted.last().copied().unwrap_or(0.0),
             program_cache_entries: m.program_cache_entries,
             program_cache_hits: m.program_cache_hits,
+            pipeline_cache_entries: m.pipeline_cache_entries,
+            pipeline_cache_hits: m.pipeline_cache_hits,
             tenants,
         }
     }
@@ -602,7 +713,7 @@ impl NttService {
             .lock()
             .expect("tenant map poisoned")
             .get(&tenant)
-            .copied()
+            .cloned()
             .ok_or(BpNttError::UnknownTenant { tenant: tenant.0 })
     }
 
@@ -665,35 +776,49 @@ fn validate_poly(info: &TenantInfo, poly: &[u64]) -> Result<(), BpNttError> {
 }
 
 fn tenant_info_of(config: &BpNttConfig) -> TenantInfo {
-    let layout = config.layout();
-    let n = config.params().n();
-    let capacity = config.rows().saturating_sub(layout.reserved_rows());
-    let polymul_capacity = if layout.is_multi_tile() || 2 * n > capacity {
-        Err((2 * n, capacity))
-    } else {
-        Ok(())
-    };
     TenantInfo {
-        n,
+        n: config.params().n(),
         q: config.params().modulus(),
-        polymul_capacity,
+        layout: config.layout().clone(),
     }
 }
 
-/// One `(tenant, operation)` group of a drained wave, executed as a
-/// single sharded batch call.
+/// One registered tenant's dispatcher-side state: the sharded engine and
+/// the `(params, layout)` key its artifacts are cached under.
+struct TenantEngine {
+    engine: ShardedBpNtt,
+    key: ProgramCacheKey,
+}
+
+/// One `(tenant, spec, mode)` group of a drained wave, executed as a
+/// single sharded pipeline call. `slots` is slot-major: one batch per
+/// input slot the spec declares.
 struct WaveGroup {
     tenant: TenantId,
-    polymul: bool,
-    a: Vec<Vec<u64>>,
-    b: Vec<Vec<u64>>,
+    spec: PipelineSpec,
+    mode: ExecMode,
+    slots: Vec<Vec<Vec<u64>>>,
     replies: Vec<TicketSender>,
 }
 
+/// Both cross-tenant caches: programs keyed by `(params, layout)` and
+/// compiled pipelines keyed by `(params, layout, spec)` (a nested map:
+/// configuration → spec → pipeline).
+#[derive(Default)]
+struct SharedArtifacts {
+    programs: HashMap<ProgramCacheKey, Vec<(ProgramKey, Arc<CompiledProgram>)>>,
+    pipelines: HashMap<ProgramCacheKey, HashMap<PipelineSpec, Arc<CompiledPipeline>>>,
+}
+
+impl SharedArtifacts {
+    fn pipeline_entries(&self) -> usize {
+        self.pipelines.values().map(HashMap::len).sum()
+    }
+}
+
 fn dispatcher_loop(shared: &Shared, shards: usize) {
-    let mut engines: HashMap<TenantId, ShardedBpNtt> = HashMap::new();
-    let mut prog_cache: HashMap<ProgramCacheKey, Vec<(ProgramKey, Arc<CompiledProgram>)>> =
-        HashMap::new();
+    let mut engines: HashMap<TenantId, TenantEngine> = HashMap::new();
+    let mut cache = SharedArtifacts::default();
     let mut next_tenant: u32 = 0;
     loop {
         enum Action {
@@ -724,7 +849,7 @@ fn dispatcher_loop(shared: &Shared, shards: usize) {
                     &config,
                     shards,
                     &mut engines,
-                    &mut prog_cache,
+                    &mut cache,
                     &mut next_tenant,
                 );
                 let _ = reply.send(result);
@@ -735,7 +860,7 @@ fn dispatcher_loop(shared: &Shared, shards: usize) {
                 // everything that arrived.
                 let target = engines
                     .values()
-                    .map(ShardedBpNtt::lanes_total)
+                    .map(|t| t.engine.lanes_total())
                     .max()
                     .unwrap_or(1)
                     .min(shared.max_queue.max(1));
@@ -756,7 +881,7 @@ fn dispatcher_loop(shared: &Shared, shards: usize) {
                     st.queue.drain(..).collect()
                 };
                 if !drained.is_empty() {
-                    execute_wave(shared, &mut engines, drained);
+                    execute_wave(shared, &mut engines, &mut cache, drained);
                 }
             }
         }
@@ -767,25 +892,46 @@ fn register_tenant(
     shared: &Shared,
     config: &BpNttConfig,
     shards: usize,
-    engines: &mut HashMap<TenantId, ShardedBpNtt>,
-    prog_cache: &mut HashMap<ProgramCacheKey, Vec<(ProgramKey, Arc<CompiledProgram>)>>,
+    engines: &mut HashMap<TenantId, TenantEngine>,
+    cache: &mut SharedArtifacts,
     next_tenant: &mut u32,
 ) -> Result<TenantId, BpNttError> {
     let info = tenant_info_of(config);
     let mut engine = ShardedBpNtt::new(config, shards)?;
     let key = ProgramCacheKey::of(config);
-    if let Some(progs) = prog_cache.get(&key) {
+    if let Some(progs) = cache.programs.get(&key) {
         engine.import_programs(progs);
+        // Identical configuration: every compiled pipeline of that
+        // configuration installs too.
+        if let Some(pipes) = cache.pipelines.get(&key) {
+            for pipe in pipes.values() {
+                engine.import_pipeline(pipe);
+            }
+        }
         let mut m = shared.metrics.lock().expect("metrics poisoned");
         m.program_cache_hits += 1;
+        m.pipeline_cache_hits += 1;
     } else {
-        engine.warm_transform()?;
-        if info.polymul_capacity.is_ok() {
-            engine.warm_polymul()?;
+        // Warm the canned specs every tenant is expected to run;
+        // polymul only when two operand slots fit the layout.
+        let mut warmed = vec![
+            engine.warm_pipeline(&PipelineSpec::forward_ntt())?,
+            engine.warm_pipeline(&PipelineSpec::roundtrip())?,
+        ];
+        if PipelineSpec::polymul()
+            .check(config.layout(), config.params().modulus())
+            .is_ok()
+        {
+            warmed.push(engine.warm_pipeline(&PipelineSpec::polymul())?);
         }
-        prog_cache.insert(key, engine.export_programs());
+        cache.programs.insert(key, engine.export_programs());
+        let by_spec = cache.pipelines.entry(key).or_default();
+        for pipe in warmed {
+            by_spec.insert(pipe.spec().clone(), pipe);
+        }
         let mut m = shared.metrics.lock().expect("metrics poisoned");
-        m.program_cache_entries = prog_cache.len();
+        m.program_cache_entries = cache.programs.len();
+        m.pipeline_cache_entries = cache.pipeline_entries();
     }
     let id = TenantId(*next_tenant);
     *next_tenant += 1;
@@ -794,51 +940,54 @@ fn register_tenant(
         .lock()
         .expect("tenant map poisoned")
         .insert(id, info);
-    engines.insert(id, engine);
+    engines.insert(id, TenantEngine { engine, key });
     Ok(id)
 }
 
 /// Executes one drained wave: requests are grouped by
-/// `(tenant, operation)` preserving submission order inside each group,
-/// each group runs as one sharded batch call, and every ticket receives
-/// its own result (or the group's error).
+/// `(tenant, spec, mode)` preserving submission order inside each group,
+/// each group runs as **one** sharded pipeline call (the whole op-graph
+/// per lane, operands loaded once, one read-back), and every ticket
+/// receives its own result (or the group's error). Novel specs resolve
+/// through the cross-tenant `(params, layout, spec)` pipeline cache —
+/// import on a hit, compile-and-publish on a miss.
 fn execute_wave(
     shared: &Shared,
-    engines: &mut HashMap<TenantId, ShardedBpNtt>,
+    engines: &mut HashMap<TenantId, TenantEngine>,
+    cache: &mut SharedArtifacts,
     drained: Vec<Request>,
 ) {
     let mut groups: Vec<WaveGroup> = Vec::new();
-    let mut index: HashMap<(TenantId, bool), usize> = HashMap::new();
+    let mut index: HashMap<(TenantId, PipelineSpec, ExecMode), usize> = HashMap::new();
     for req in drained {
-        let (tenant, polymul) = match &req {
-            Request::Forward { tenant, .. } => (*tenant, false),
-            Request::Polymul { tenant, .. } => (*tenant, true),
-        };
-        let slot = *index.entry((tenant, polymul)).or_insert_with(|| {
-            groups.push(WaveGroup {
-                tenant,
-                polymul,
-                a: Vec::new(),
-                b: Vec::new(),
-                replies: Vec::new(),
+        let Request {
+            tenant,
+            spec,
+            mode,
+            inputs,
+            reply,
+        } = req;
+        let slot = *index
+            .entry((tenant, spec.clone(), mode))
+            .or_insert_with(|| {
+                groups.push(WaveGroup {
+                    tenant,
+                    slots: vec![Vec::new(); spec.input_slots().len()],
+                    spec,
+                    mode,
+                    replies: Vec::new(),
+                });
+                groups.len() - 1
             });
-            groups.len() - 1
-        });
         let g = &mut groups[slot];
-        match req {
-            Request::Forward { poly, reply, .. } => {
-                g.a.push(poly);
-                g.replies.push(reply);
-            }
-            Request::Polymul { a, b, reply, .. } => {
-                g.a.push(a);
-                g.b.push(b);
-                g.replies.push(reply);
-            }
+        debug_assert_eq!(inputs.len(), g.slots.len(), "validated at submission");
+        for (slot_batch, poly) in g.slots.iter_mut().zip(inputs) {
+            slot_batch.push(poly);
         }
+        g.replies.push(reply);
     }
     for group in groups {
-        let Some(engine) = engines.get_mut(&group.tenant) else {
+        let Some(te) = engines.get_mut(&group.tenant) else {
             // Unreachable in practice: submission validates tenants. Still
             // counted as failures so submitted == completed + failed holds.
             {
@@ -852,19 +1001,57 @@ fn execute_wave(
             }
             continue;
         };
+        // Resolve the pipeline through the cross-tenant cache before the
+        // timed engine call: a spec another tenant of this configuration
+        // already compiled imports in O(segments); a genuinely novel
+        // spec compiles once here and is published for everyone.
+        if !te.engine.has_pipeline(&group.spec) {
+            let cached = cache
+                .pipelines
+                .get(&te.key)
+                .and_then(|by_spec| by_spec.get(&group.spec))
+                .cloned();
+            if let Some(pipe) = cached {
+                te.engine.import_pipeline(&pipe);
+                let mut m = shared.metrics.lock().expect("metrics poisoned");
+                m.pipeline_cache_hits += 1;
+            } else {
+                match te.engine.warm_pipeline(&group.spec) {
+                    Ok(pipe) => {
+                        cache
+                            .pipelines
+                            .entry(te.key)
+                            .or_default()
+                            .insert(group.spec.clone(), pipe);
+                        // Publish any newly traced segment programs too.
+                        cache.programs.insert(te.key, te.engine.export_programs());
+                        let mut m = shared.metrics.lock().expect("metrics poisoned");
+                        m.pipeline_cache_entries = cache.pipeline_entries();
+                    }
+                    Err(e) => {
+                        let mut m = shared.metrics.lock().expect("metrics poisoned");
+                        m.failed += group.replies.len() as u64;
+                        drop(m);
+                        for reply in group.replies {
+                            reply.send(Err(e.clone()));
+                        }
+                        continue;
+                    }
+                }
+            }
+        }
+        let engine = &mut te.engine;
         let capacity = engine.lanes_total().max(1);
+        let batch = group.replies.len();
+        let slot_refs: Vec<&[Vec<u64>]> = group.slots.iter().map(Vec::as_slice).collect();
         let t = Instant::now();
-        let result = if group.polymul {
-            engine.polymul_batch(&group.a, &group.b)
-        } else {
-            engine.forward_batch(&group.a)
-        };
+        let result = engine.run_pipeline_batch(&group.spec, group.mode, &slot_refs);
         let elapsed = t.elapsed().as_secs_f64();
         {
             let mut m = shared.metrics.lock().expect("metrics poisoned");
             m.waves += 1;
-            m.wave_polys += group.a.len() as u64;
-            m.occupancy_sum += (group.a.len() as f64 / capacity as f64).min(1.0);
+            m.wave_polys += batch as u64;
+            m.occupancy_sum += (batch as f64 / capacity as f64).min(1.0);
             m.busy_secs += elapsed;
             for &s in engine.last_wave_shard_secs() {
                 if m.shard_secs.len() == SHARD_SAMPLE_WINDOW {
@@ -873,8 +1060,8 @@ fn execute_wave(
                 m.shard_secs.push_back(s);
             }
             match &result {
-                Ok(_) => m.completed += group.replies.len() as u64,
-                Err(_) => m.failed += group.replies.len() as u64,
+                Ok(_) => m.completed += batch as u64,
+                Err(_) => m.failed += batch as u64,
             }
         }
         match result {

@@ -40,6 +40,7 @@ use std::sync::Arc;
 use crate::config::BpNttConfig;
 use crate::engine::BpNtt;
 use crate::error::BpNttError;
+use crate::pipeline::{CompiledPipeline, ExecMode, PipelineSpec};
 use bpntt_sram::{CompiledProgram, Stats};
 
 /// `K` identically configured BP-NTT arrays replaying shared compiled
@@ -53,14 +54,6 @@ pub struct ShardedBpNtt {
     /// chunk it claimed), indexed by shard. Shards that spawned no worker
     /// (fewer chunks than shards) report no entry.
     last_shard_secs: Vec<f64>,
-}
-
-/// Which batch operation the wave fan-out runs on each claimed chunk.
-#[derive(Clone, Copy)]
-enum Op {
-    Forward,
-    Roundtrip,
-    Polymul,
 }
 
 /// One shard worker's outcome: the chunks it completed (tagged with their
@@ -143,35 +136,57 @@ impl ShardedBpNtt {
         &self.last_shard_secs
     }
 
-    /// Compiles the programs for `keys` once (on shard 0) and installs the
-    /// shared `Arc`s into every other shard, so the parallel phase never
-    /// compiles.
-    fn warm_programs(&mut self, keys: &[crate::engine::ProgramKey]) -> Result<(), BpNttError> {
-        for &key in keys {
-            let prog = self.shards[0].program(key)?;
-            for shard in &mut self.shards[1..] {
-                shard.install_program(key, Arc::clone(&prog));
-            }
+    /// Compiles the pipeline for `spec` once (on shard 0) and installs
+    /// the shared `Arc` (and its segment programs) into every other
+    /// shard, so the parallel phase never compiles. Used by the service
+    /// layer so tenant registration, not the first request, pays the
+    /// compile.
+    pub(crate) fn warm_pipeline(
+        &mut self,
+        spec: &PipelineSpec,
+    ) -> Result<Arc<CompiledPipeline>, BpNttError> {
+        let pipe = self.shards[0].compile_pipeline(spec)?;
+        for shard in &mut self.shards[1..] {
+            shard.install_pipeline(&pipe);
         }
-        Ok(())
+        Ok(pipe)
     }
 
-    /// The single timed execution path of every batch operation: the
+    /// Whether shard 0 already holds a compiled pipeline for `spec`.
+    pub(crate) fn has_pipeline(&self, spec: &PipelineSpec) -> bool {
+        self.shards[0].has_pipeline(spec)
+    }
+
+    /// Installs an externally compiled pipeline into every shard (the
+    /// service layer's cross-tenant `(params, layout, spec)` cache hit
+    /// path).
+    pub(crate) fn import_pipeline(&mut self, pipe: &Arc<CompiledPipeline>) {
+        for shard in &mut self.shards {
+            shard.install_pipeline(pipe);
+        }
+    }
+
+    /// Executes one compiled pipeline over an arbitrarily large batch —
+    /// **the** single timed execution path of every batch operation. The
     /// batch is cut into chunks of `lanes_per_shard` polynomials, one
     /// worker thread spawns per participating shard
     /// (`min(shards, chunks)`), and workers **steal** the next unclaimed
     /// chunk from a shared counter — a slow shard never stalls the wave,
-    /// it just claims fewer chunks. Output order matches input order
-    /// (chunks are reassembled by index). `b` carries the second operand
-    /// batch for [`Op::Polymul`] and must have `a`'s length.
+    /// it just claims fewer chunks. Each claimed chunk runs the *whole*
+    /// op-graph on-array (operands loaded once, one read-back at the
+    /// end — no intermediate `read_batch`/`load_batch` round-trips
+    /// between ops). Output order matches input order (chunks are
+    /// reassembled by index). `inputs` is slot-major: one batch per
+    /// declared input slot, all of equal length.
     fn run_wave(
         &mut self,
-        a: &[Vec<u64>],
-        b: Option<&[Vec<u64>]>,
-        op: Op,
+        pipe: &Arc<CompiledPipeline>,
+        mode: ExecMode,
+        inputs: &[&[Vec<u64>]],
     ) -> Result<Vec<Vec<u64>>, BpNttError> {
+        let batch = inputs.first().map_or(0, |b| b.len());
         let lanes = self.lanes_per_shard.max(1);
-        let n_chunks = a.len().div_ceil(lanes);
+        let n_chunks = batch.div_ceil(lanes);
         let workers = self.shards.len().min(n_chunks);
         let next = AtomicUsize::new(0);
         let mut outcomes: Vec<ShardOutcome> = Vec::new();
@@ -179,6 +194,7 @@ impl ShardedBpNtt {
             let mut handles = Vec::new();
             for shard in self.shards.iter_mut().take(workers) {
                 let next = &next;
+                let pipe = Arc::clone(pipe);
                 handles.push(scope.spawn(move || {
                     let t = std::time::Instant::now();
                     let mut done: Vec<(usize, Vec<Vec<u64>>)> = Vec::new();
@@ -189,24 +205,10 @@ impl ShardedBpNtt {
                             break;
                         }
                         let lo = i * lanes;
-                        let hi = (lo + lanes).min(a.len());
-                        let chunk_a = &a[lo..hi];
-                        let r = match op {
-                            Op::Forward | Op::Roundtrip => {
-                                shard.load_batch(chunk_a).and_then(|()| {
-                                    shard.forward()?;
-                                    if matches!(op, Op::Roundtrip) {
-                                        shard.inverse()?;
-                                    }
-                                    shard.read_batch(chunk_a.len())
-                                })
-                            }
-                            Op::Polymul => {
-                                let chunk_b = &b.expect("polymul wave carries operand b")[lo..hi];
-                                shard.polymul(chunk_a, chunk_b)
-                            }
-                        };
-                        match r {
+                        let hi = (lo + lanes).min(batch);
+                        let chunk: Vec<&[Vec<u64>]> =
+                            inputs.iter().map(|slot| &slot[lo..hi]).collect();
+                        match shard.run_compiled_pipeline(&pipe, mode, &chunk) {
                             Ok(v) => done.push((i, v)),
                             Err(e) => {
                                 // Poison the counter so the other workers
@@ -244,14 +246,71 @@ impl ShardedBpNtt {
         if let Some(e) = first_err {
             return Err(e);
         }
-        let mut out = Vec::with_capacity(a.len());
+        let mut out = Vec::with_capacity(batch);
         for s in slots {
             out.extend(s.expect("error-free wave fills every chunk"));
         }
         Ok(out)
     }
 
-    /// Forward-transforms an arbitrarily large batch: waves of
+    /// Executes a pipeline op-graph over an arbitrarily large batch: the
+    /// spec compiles once (on shard 0, `Arc`-shared everywhere), the
+    /// batch is work-stolen across shards in lane-sized chunks, and each
+    /// chunk runs the whole graph per lane in one load/read cycle.
+    /// `inputs` is slot-major — one batch per input slot the spec
+    /// declares, all of equal length.
+    ///
+    /// # Errors
+    ///
+    /// [`BpNttError::InvalidPipeline`] for input-count mismatches and
+    /// for no-input specs (resident graphs are a single-engine feature:
+    /// work-stealing gives a wave no stable chunk→shard assignment for
+    /// on-array state to survive between calls),
+    /// [`BpNttError::BatchMismatch`] for unequal batch lengths;
+    /// otherwise compilation, validation, and simulator failures.
+    pub fn run_pipeline_batch(
+        &mut self,
+        spec: &PipelineSpec,
+        mode: ExecMode,
+        inputs: &[&[Vec<u64>]],
+    ) -> Result<Vec<Vec<u64>>, BpNttError> {
+        // Clear before any early return: even a rejected call must not
+        // leave a previous wave's timings behind.
+        self.last_shard_secs.clear();
+        if spec.input_slots().is_empty() {
+            return Err(BpNttError::InvalidPipeline {
+                reason: "sharded pipelines must declare at least one input slot \
+                         (resident no-input graphs only exist on a single engine)"
+                    .into(),
+            });
+        }
+        if inputs.len() != spec.input_slots().len() {
+            return Err(BpNttError::InvalidPipeline {
+                reason: format!(
+                    "spec declares {} input slot(s) but {} batch(es) were supplied",
+                    spec.input_slots().len(),
+                    inputs.len()
+                ),
+            });
+        }
+        if let (Some(first), Some(shorter)) = (
+            inputs.first(),
+            inputs.iter().find(|b| b.len() != inputs[0].len()),
+        ) {
+            return Err(BpNttError::BatchMismatch {
+                a: first.len(),
+                b: shorter.len(),
+            });
+        }
+        if inputs[0].is_empty() {
+            return Ok(Vec::new());
+        }
+        let pipe = self.warm_pipeline(spec)?;
+        self.run_wave(&pipe, mode, inputs)
+    }
+
+    /// Forward-transforms an arbitrarily large batch — the canned
+    /// [`PipelineSpec::forward_ntt`] graph under replay: waves of
     /// `lanes_total` polynomials are partitioned across shards and each
     /// shard replays the shared compiled forward program. Output order
     /// matches input order.
@@ -260,39 +319,30 @@ impl ShardedBpNtt {
     ///
     /// Propagates validation (length/reduction) and simulator failures.
     pub fn forward_batch(&mut self, polys: &[Vec<u64>]) -> Result<Vec<Vec<u64>>, BpNttError> {
-        self.last_shard_secs.clear();
-        if polys.is_empty() {
-            return Ok(Vec::new());
-        }
-        self.warm_programs(&[self.shards[0].forward_program_key()])?;
-        self.run_wave(polys, None, Op::Forward)
+        self.run_pipeline_batch(&PipelineSpec::forward_ntt(), ExecMode::Replay, &[polys])
     }
 
-    /// Forward + inverse roundtrip over an arbitrarily large batch
-    /// (primarily a correctness/throughput harness: the output equals the
-    /// input when the transform pair is exact).
+    /// Forward + inverse roundtrip over an arbitrarily large batch — the
+    /// canned [`PipelineSpec::roundtrip`] graph under replay (primarily a
+    /// correctness/throughput harness: the output equals the input when
+    /// the transform pair is exact).
     ///
     /// # Errors
     ///
     /// Propagates validation and simulator failures.
     pub fn roundtrip_batch(&mut self, polys: &[Vec<u64>]) -> Result<Vec<Vec<u64>>, BpNttError> {
-        self.last_shard_secs.clear();
-        if polys.is_empty() {
-            return Ok(Vec::new());
-        }
-        let keys = self.shards[0].transform_program_keys();
-        self.warm_programs(&keys)?;
-        self.run_wave(polys, None, Op::Roundtrip)
+        self.run_pipeline_batch(&PipelineSpec::roundtrip(), ExecMode::Replay, &[polys])
     }
 
     /// Negacyclic polynomial multiplication over an arbitrarily large
-    /// batch of operand pairs: `out[i] = a[i] ⊛ b[i]`. Chunks of pairs
-    /// are work-stolen across shards through the same timed
+    /// batch of operand pairs: `out[i] = a[i] ⊛ b[i]` — the canned
+    /// [`PipelineSpec::polymul`] graph under replay. Chunks of pairs are
+    /// work-stolen across shards through the same timed
     /// [`run_wave`](Self::run_wave) path as the transforms, so
-    /// [`Self::last_wave_shard_secs`] describes *this* call (it used to
-    /// silently report the previous forward/roundtrip wave); every shard
-    /// replays the four shared compiled programs (two forwards,
-    /// pointwise, scaled inverse).
+    /// [`Self::last_wave_shard_secs`] describes *this* call; every shard
+    /// replays the four shared compiled segments (two forwards,
+    /// pointwise, debt-folded scaled inverse) per chunk with no
+    /// intermediate load/read round-trips.
     ///
     /// # Errors
     ///
@@ -303,35 +353,7 @@ impl ShardedBpNtt {
         a: &[Vec<u64>],
         b: &[Vec<u64>],
     ) -> Result<Vec<Vec<u64>>, BpNttError> {
-        // Clear before any early return: even a rejected call must not
-        // leave a previous wave's timings behind.
-        self.last_shard_secs.clear();
-        if a.len() != b.len() {
-            return Err(BpNttError::BatchMismatch {
-                a: a.len(),
-                b: b.len(),
-            });
-        }
-        if a.is_empty() {
-            return Ok(Vec::new());
-        }
-        let keys = self.shards[0].polymul_program_keys();
-        self.warm_programs(&keys)?;
-        self.run_wave(a, Some(b), Op::Polymul)
-    }
-
-    /// Warms the forward + inverse transform programs (compile once on
-    /// shard 0, install everywhere). Used by the service layer so tenant
-    /// registration, not the first request, pays the compile.
-    pub(crate) fn warm_transform(&mut self) -> Result<(), BpNttError> {
-        let keys = self.shards[0].transform_program_keys();
-        self.warm_programs(&keys)
-    }
-
-    /// Warms the four polymul programs; see [`Self::warm_transform`].
-    pub(crate) fn warm_polymul(&mut self) -> Result<(), BpNttError> {
-        let keys = self.shards[0].polymul_program_keys();
-        self.warm_programs(&keys)
+        self.run_pipeline_batch(&PipelineSpec::polymul(), ExecMode::Replay, &[a, b])
     }
 
     /// Every compiled program shard 0 holds, for the service layer's

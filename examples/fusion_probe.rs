@@ -6,7 +6,7 @@
 
 use std::time::Instant;
 
-use bpntt_core::{BpNtt, BpNttConfig};
+use bpntt_core::{BpNtt, BpNttConfig, ExecMode};
 use bpntt_ntt::NttParams;
 
 fn main() {
@@ -39,7 +39,7 @@ fn main() {
         acc.forward().unwrap();
         println!("  replay coverage:     {}", acc.fastpath_stats());
         acc.reset_stats();
-        acc.forward_uncached().unwrap();
+        acc.forward_mode(ExecMode::FusedEmit).unwrap();
         println!("  fused-emit coverage: {}", acc.fastpath_stats());
         // In-process A/B: same program, toggled kernel implementation,
         // interleaved across the three execution paths to cancel
@@ -58,12 +58,12 @@ fn main() {
                 best_r = best_r.min(t.elapsed().as_secs_f64() / 3.0);
                 let t = Instant::now();
                 for _ in 0..3 {
-                    acc.forward_uncached().unwrap();
+                    acc.forward_mode(ExecMode::FusedEmit).unwrap();
                 }
                 best_f = best_f.min(t.elapsed().as_secs_f64() / 3.0);
                 let t = Instant::now();
                 for _ in 0..3 {
-                    acc.forward_uncached_generic().unwrap();
+                    acc.forward_mode(ExecMode::Generic).unwrap();
                 }
                 best_e = best_e.min(t.elapsed().as_secs_f64() / 3.0);
             }

@@ -11,7 +11,7 @@
 //!    seven-layer NTT with degree-1 base multiplication — the "generality"
 //!    case the paper claims BP-NTT covers.
 
-use bpntt_core::{BpNtt, BpNttConfig};
+use bpntt_core::{BpNtt, BpNttConfig, ExecMode, PipelineSpec};
 use bpntt_ntt::incomplete::{negacyclic_schoolbook, IncompleteNtt};
 use bpntt_ntt::{polymul, NttParams, Polynomial};
 
@@ -32,6 +32,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
 
     let mut acc = BpNtt::new(cfg)?;
+    // `polymul` is the canned pipeline spec — forward, forward,
+    // pointwise, debt-folded inverse — compiled once and replayed.
     let products = acc.polymul(&a, &b)?;
     for lane in 0..batch {
         let expect = polymul::polymul_schoolbook(&params, &a[lane], &b[lane])?;
@@ -41,6 +43,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     println!("  {batch} products verified against schoolbook");
+    // The same graph as an explicit pipeline, one compiled object.
+    let again = acc.run_pipeline(&PipelineSpec::polymul(), ExecMode::Replay, &[&a, &b])?;
+    assert_eq!(again, products, "explicit pipeline ≡ canned polymul");
+    println!(
+        "  explicit PipelineSpec::polymul() replayed identically ({} cached pipelines)",
+        acc.cached_pipelines()
+    );
     println!("  simulator:\n{}", acc.stats());
 
     // ---- software path: FIPS-203 Kyber (q = 3329, incomplete NTT) --------

@@ -1,7 +1,8 @@
-//! The request-queue service end to end: two client threads stream
-//! mixed forward/polymul requests at the dispatcher, which coalesces
-//! them into waves over a 2-shard engine; a second tenant with the same
-//! configuration shows the cross-tenant program cache.
+//! The request-queue service end to end: three client threads stream
+//! mixed forward/polymul/custom-pipeline requests at the dispatcher,
+//! which coalesces them into `(tenant, spec, mode)` waves over a 2-shard
+//! engine; a second tenant with the same configuration shows the
+//! cross-tenant program and pipeline caches.
 //!
 //! ```text
 //! cargo run --release --example service_demo
@@ -9,7 +10,7 @@
 
 use std::time::Duration;
 
-use bpntt_core::{BpNttConfig, NttService, ServiceOptions};
+use bpntt_core::{BpNttConfig, NttService, PipelineRequest, PipelineSpec, ServiceOptions};
 use bpntt_ntt::polymul::polymul_schoolbook;
 use bpntt_ntt::NttParams;
 
@@ -67,16 +68,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 assert_eq!(got, expect, "service polymul must match the reference");
             }
         });
+        // Client 3: a custom op-graph — scale-and-roundtrip — through
+        // submit_pipeline. Identical specs coalesce into shared waves.
+        scope.spawn(move || {
+            let spec = PipelineSpec::new()
+                .input(0)
+                .forward(0)
+                .inverse(0)
+                .scale_by(0, 3)
+                .output(0);
+            for s in 0..12u64 {
+                let p = mk_poly(3000 + s);
+                let ticket = service
+                    .submit_pipeline(PipelineRequest::new(spec.clone(), vec![p.clone()]))
+                    .expect("submit pipeline");
+                let got = ticket.wait().expect("pipeline result");
+                let expect: Vec<u64> = p.iter().map(|&c| c * 3 % q).collect();
+                assert_eq!(got, expect, "scale-and-roundtrip must equal 3·p");
+            }
+        });
     });
 
     let metrics = service.shutdown();
-    println!("\nall 36 requests verified; final service metrics:");
+    println!("\nall 48 requests verified; final service metrics:");
     println!("{}", metrics.to_json());
-    assert_eq!(metrics.completed, 36);
+    assert_eq!(metrics.completed, 48);
     assert_eq!(metrics.failed, 0);
     assert!(
         metrics.program_cache_hits >= 1,
         "tenant 2 must reuse tenant 1's compiled programs"
+    );
+    assert!(
+        metrics.pipeline_cache_entries >= 4,
+        "canned specs plus the custom graph live in the pipeline cache"
     );
     Ok(())
 }

@@ -11,7 +11,7 @@
 
 use proptest::prelude::*;
 
-use bpntt_core::{BpNtt, BpNttConfig, ShardedBpNtt};
+use bpntt_core::{BpNtt, BpNttConfig, ExecMode, ShardedBpNtt};
 use bpntt_ntt::NttParams;
 
 /// The three parameter sets under test.
@@ -61,9 +61,9 @@ fn assert_replay_equivalent(idx: usize, seed: u64, inverse_too: bool) {
 
     let mut emitted = BpNtt::new(cfg.clone()).unwrap();
     emitted.load_batch(&polys).unwrap();
-    emitted.forward_uncached().unwrap();
+    emitted.forward_mode(ExecMode::FusedEmit).unwrap();
     if inverse_too {
-        emitted.inverse_uncached().unwrap();
+        emitted.inverse_mode(ExecMode::FusedEmit).unwrap();
     }
 
     // Every physical row — coefficients, accumulator, temporaries,

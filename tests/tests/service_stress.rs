@@ -12,7 +12,10 @@
 
 use std::time::Duration;
 
-use bpntt_core::{BpNttConfig, BpNttError, NttService, ServiceOptions, TenantId};
+use bpntt_core::{
+    BpNttConfig, BpNttError, ExecMode, NttService, PipelineRequest, PipelineSpec, ServiceOptions,
+    TenantId,
+};
 use bpntt_ntt::forward::ntt_in_place;
 use bpntt_ntt::polymul::polymul_schoolbook;
 use bpntt_ntt::{NttParams, Polynomial, TwiddleTable};
@@ -195,6 +198,151 @@ fn multi_tenant_clients_share_the_program_cache() {
         m.program_cache_hits >= 1,
         "the cloned tenant must hit the cache"
     );
+}
+
+#[test]
+fn pipeline_requests_coalesce_and_match_reference() {
+    // Custom op-graphs through submit_pipeline: concurrent clients run
+    // the spectral (NTT-domain-cached) product — pointwise + scaled
+    // inverse on host-cached spectra — and a roundtrip graph; every
+    // result checks bit-exactly against the software reference.
+    let params = NttParams::new(8, 97).unwrap();
+    let twiddles = TwiddleTable::new(&params);
+    let service = NttService::start(
+        &config8(),
+        ServiceOptions {
+            shards: 2,
+            max_queue: 64,
+            coalesce_window: Duration::from_micros(500),
+        },
+    )
+    .unwrap();
+    let spectrum = |p: &[u64]| {
+        let mut s = p.to_vec();
+        ntt_in_place(&params, &twiddles, &mut s).unwrap();
+        s
+    };
+    std::thread::scope(|scope| {
+        for c in 0..3u64 {
+            let service = &service;
+            let params = &params;
+            let spectrum = &spectrum;
+            scope.spawn(move || {
+                for r in 0..8u64 {
+                    let seed = c * 1000 + r * 13 + 1;
+                    let a = pseudo(8, 97, seed);
+                    let b = pseudo(8, 97, seed + 5);
+                    let ticket = submit_with_retry(|| {
+                        service.submit_pipeline(PipelineRequest::new(
+                            PipelineSpec::polymul_spectral(),
+                            vec![spectrum(&a), spectrum(&b)],
+                        ))
+                    });
+                    let expect = polymul_schoolbook(params, &a, &b).unwrap();
+                    assert_eq!(ticket.wait().unwrap(), expect, "client {c} req {r}");
+
+                    let p = pseudo(8, 97, seed + 11);
+                    let ticket = submit_with_retry(|| {
+                        service.submit_pipeline(PipelineRequest::new(
+                            PipelineSpec::roundtrip(),
+                            vec![p.clone()],
+                        ))
+                    });
+                    assert_eq!(ticket.wait().unwrap(), p, "roundtrip client {c} req {r}");
+                }
+            });
+        }
+    });
+    let m = service.shutdown();
+    assert_eq!(m.completed, 48);
+    assert_eq!(m.failed, 0);
+    assert!(
+        m.pipeline_cache_entries >= 4,
+        "forward+roundtrip (registration) plus the novel spectral spec \
+         must be cached ({} entries)",
+        m.pipeline_cache_entries
+    );
+}
+
+#[test]
+fn pipeline_submission_validates_eagerly() {
+    let service = NttService::start(&config8(), ServiceOptions::default()).unwrap();
+    // Input-count mismatch against the spec's declared slots.
+    assert!(matches!(
+        service.submit_pipeline(PipelineRequest::new(
+            PipelineSpec::polymul(),
+            vec![pseudo(8, 97, 1)],
+        )),
+        Err(BpNttError::InvalidPipeline { .. })
+    ));
+    // Wrong length and unreduced coefficients, validated per polynomial
+    // against the tenant's params.n/q at submit time.
+    assert!(matches!(
+        service.submit_pipeline(PipelineRequest::new(
+            PipelineSpec::forward_ntt(),
+            vec![vec![0; 7]],
+        )),
+        Err(BpNttError::WrongLength {
+            expected: 8,
+            actual: 7
+        })
+    ));
+    assert!(matches!(
+        service.submit_pipeline(PipelineRequest::new(
+            PipelineSpec::forward_ntt(),
+            vec![vec![97; 8]],
+        )),
+        Err(BpNttError::Unreduced { value: 97, .. })
+    ));
+    // No output slot, no input slots, structural defects.
+    assert!(matches!(
+        service.submit_pipeline(PipelineRequest::new(
+            PipelineSpec::new().input(0).forward(0),
+            vec![pseudo(8, 97, 2)],
+        )),
+        Err(BpNttError::InvalidPipeline { .. })
+    ));
+    assert!(matches!(
+        service.submit_pipeline(PipelineRequest::new(
+            PipelineSpec::new().forward(0).output(0),
+            vec![],
+        )),
+        Err(BpNttError::InvalidPipeline { .. })
+    ));
+    // Slot capacity against the tenant's layout (config8 fits 3 slots of
+    // 8 points in 26 usable rows; slot 3 exceeds it).
+    assert!(matches!(
+        service.submit_pipeline(PipelineRequest::new(
+            PipelineSpec::new().input(0).forward(3).output(0),
+            vec![pseudo(8, 97, 3)],
+        )),
+        Err(BpNttError::CapacityExceeded { .. })
+    ));
+    let m = service.shutdown();
+    assert_eq!(m.submitted, 0, "invalid requests never enter the queue");
+}
+
+#[test]
+fn pipeline_modes_agree_through_the_service() {
+    // The same graph under Replay and the two emit modes returns the
+    // same polynomials through the service path.
+    let service = NttService::start(&config8(), ServiceOptions::default()).unwrap();
+    let a = pseudo(8, 97, 21);
+    let b = pseudo(8, 97, 22);
+    let mut outs = Vec::new();
+    for mode in ExecMode::ALL {
+        let ticket = service
+            .submit_pipeline(
+                PipelineRequest::new(PipelineSpec::polymul(), vec![a.clone(), b.clone()])
+                    .with_mode(mode),
+            )
+            .unwrap();
+        outs.push(ticket.wait().unwrap());
+    }
+    assert_eq!(outs[0], outs[1]);
+    assert_eq!(outs[1], outs[2]);
+    let params = NttParams::new(8, 97).unwrap();
+    assert_eq!(outs[0], polymul_schoolbook(&params, &a, &b).unwrap());
 }
 
 #[test]

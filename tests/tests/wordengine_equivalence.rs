@@ -20,7 +20,7 @@ use std::sync::{Mutex, MutexGuard};
 
 use proptest::prelude::*;
 
-use bpntt_core::{BpNtt, BpNttConfig};
+use bpntt_core::{BpNtt, BpNttConfig, ExecMode};
 use bpntt_ntt::NttParams;
 
 static DISPATCH: Mutex<()> = Mutex::new(());
@@ -91,16 +91,16 @@ fn assert_replay_equivalent(cfg: &BpNttConfig, seed: u64, inverse_too: bool) {
 
     let mut fused = BpNtt::new(cfg.clone()).unwrap();
     fused.load_batch(&polys).unwrap();
-    fused.forward_uncached().unwrap();
+    fused.forward_mode(ExecMode::FusedEmit).unwrap();
     if inverse_too {
-        fused.inverse_uncached().unwrap();
+        fused.inverse_mode(ExecMode::FusedEmit).unwrap();
     }
 
     let mut generic = BpNtt::new(cfg.clone()).unwrap();
     generic.load_batch(&polys).unwrap();
-    generic.forward_uncached_generic().unwrap();
+    generic.forward_mode(ExecMode::Generic).unwrap();
     if inverse_too {
-        generic.inverse_uncached_generic().unwrap();
+        generic.inverse_mode(ExecMode::Generic).unwrap();
     }
 
     for r in 0..cfg.rows() {
@@ -224,7 +224,7 @@ fn resident_fast_paths_fire_on_wide_geometries() {
         );
         assert!(replay.superops_fused > 0, "cols={cols}: replay superops");
         acc.reset_stats();
-        acc.forward_uncached().unwrap();
+        acc.forward_mode(ExecMode::FusedEmit).unwrap();
         let emit = *acc.fastpath_stats();
         assert_eq!(
             (emit.chains_resident, emit.resolve_loops_resident),
