@@ -17,6 +17,14 @@
 //!   500).
 //! * `--json-out PATH` — where to write the JSON (default
 //!   `BENCH_service.json`).
+//! * `--chaos-rate R` — per-instruction transient bit-flip probability
+//!   injected into every shard's SRAM (default 0 = no faults). Use with
+//!   `--verify` so corruption is detected and recovered, not returned.
+//! * `--verify POLICY` — output verification: `off`, `range`, `spot`
+//!   (2-point spot check), or `full` (default `off`; anything active
+//!   also arms retries and the software fallback). The recovery
+//!   counters (`faults_detected`, `retries`, `quarantined_shards`,
+//!   `fallback_polys`, `verify_ms`) land in the JSON's `service` object.
 //!
 //! The workload is a 64-point NTT modulo 7681 (Kyber-class prime) in
 //! 14-bit words — small enough that queueing, coalescing, and fan-out
@@ -30,7 +38,7 @@ use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-use bpntt_core::{BpNttConfig, BpNttError, NttService, ServiceOptions};
+use bpntt_core::{BpNttConfig, BpNttError, FaultPlan, NttService, ServiceOptions, VerifyPolicy};
 use bpntt_ntt::forward::ntt_in_place;
 use bpntt_ntt::polymul::polymul_schoolbook;
 use bpntt_ntt::{NttParams, Polynomial, TwiddleTable};
@@ -42,6 +50,8 @@ struct Options {
     queue: usize,
     coalesce_us: u64,
     json_out: String,
+    chaos_rate: f64,
+    verify: VerifyPolicy,
 }
 
 fn parse_args() -> Options {
@@ -52,6 +62,8 @@ fn parse_args() -> Options {
         queue: 512,
         coalesce_us: 500,
         json_out: "BENCH_service.json".to_string(),
+        chaos_rate: 0.0,
+        verify: VerifyPolicy::Off,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -72,8 +84,24 @@ fn parse_args() -> Options {
                     .expect("--coalesce-us integer");
             }
             "--json-out" => opts.json_out = value("--json-out"),
+            "--chaos-rate" => {
+                opts.chaos_rate = value("--chaos-rate").parse().expect("--chaos-rate float");
+                assert!(
+                    (0.0..=1.0).contains(&opts.chaos_rate),
+                    "--chaos-rate must be in [0, 1]"
+                );
+            }
+            "--verify" => {
+                opts.verify = match value("--verify").as_str() {
+                    "off" => VerifyPolicy::Off,
+                    "range" => VerifyPolicy::Range,
+                    "spot" => VerifyPolicy::SpotCheck { points: 2 },
+                    "full" => VerifyPolicy::Full,
+                    other => panic!("--verify must be off|range|spot|full, got {other}"),
+                };
+            }
             other => panic!(
-                "unknown option {other} (see --shards/--clients/--requests/--queue/--coalesce-us/--json-out)"
+                "unknown option {other} (see --shards/--clients/--requests/--queue/--coalesce-us/--json-out/--chaos-rate/--verify)"
             ),
         }
     }
@@ -95,12 +123,24 @@ fn main() {
     let lanes_total = cfg.layout().lanes() * opts.shards;
     let twiddles = TwiddleTable::new(&params);
 
+    let chaos = (opts.chaos_rate > 0.0)
+        .then(|| FaultPlan::seeded(0xBEEF_CAFE).transient_rate(opts.chaos_rate));
+    if chaos.is_some() && !opts.verify.is_active() {
+        eprintln!(
+            "warning: --chaos-rate without --verify will corrupt results; \
+             the divergence assertions below are expected to fire"
+        );
+    }
     let service = NttService::start(
         &cfg,
         ServiceOptions {
             shards: opts.shards,
             max_queue: opts.queue,
             coalesce_window: Duration::from_micros(opts.coalesce_us),
+            verify: opts.verify,
+            retry_budget: if opts.verify.is_active() { 2 } else { 0 },
+            fault_plan: chaos,
+            ..ServiceOptions::default()
         },
     )
     .unwrap();
@@ -167,8 +207,8 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "  \"options\": {{\"shards\": {}, \"clients\": {}, \"requests_per_client\": {}, \"max_queue\": {}, \"coalesce_us\": {}}},",
-        opts.shards, opts.clients, opts.requests, opts.queue, opts.coalesce_us
+        "  \"options\": {{\"shards\": {}, \"clients\": {}, \"requests_per_client\": {}, \"max_queue\": {}, \"coalesce_us\": {}, \"chaos_rate\": {:e}, \"verify\": \"{:?}\"}},",
+        opts.shards, opts.clients, opts.requests, opts.queue, opts.coalesce_us, opts.chaos_rate, opts.verify
     );
     let _ = write!(
         json,
@@ -197,5 +237,19 @@ fn main() {
         metrics.shard_secs_max * 1e3,
         metrics.rejected
     );
+    if opts.chaos_rate > 0.0 || opts.verify.is_active() {
+        println!(
+            "recovery: {} faults detected, {} retries, {} shards quarantined, {} fallback polys, verify {:.2} ms",
+            metrics.faults_detected,
+            metrics.retries,
+            metrics.quarantined_shards,
+            metrics.fallback_polys,
+            metrics.verify_ms
+        );
+        assert_eq!(
+            metrics.failed, 0,
+            "chaos run must complete every request (zero escapes, zero failures)"
+        );
+    }
     println!("wrote {}", opts.json_out);
 }

@@ -61,12 +61,13 @@ use crate::layout::Layout;
 use crate::pipeline::{
     CompiledPipeline, ConfigFingerprint, ExecMode, PipeOp, PipelineSegment, PipelineSpec,
 };
+use crate::verify::{Verifier, VerifyPolicy};
 use bpntt_modmath::montgomery::MontCtx;
 use bpntt_modmath::zq::mul_mod;
 use bpntt_ntt::TwiddleTable;
 use bpntt_sram::{
-    BitRow, CompiledProgram, Controller, FastPathStats, FusedSink, InstrSink, Instruction,
-    PredMode, Recorder, RowAddr, ShiftDir, SramArray, Stats, UnaryKind,
+    BitRow, CompiledProgram, Controller, FastPathStats, FaultPlan, FaultStats, FusedSink,
+    InstrSink, Instruction, PredMode, Recorder, RowAddr, ShiftDir, SramArray, Stats, UnaryKind,
 };
 
 /// Cache key for one compiled schedule.
@@ -112,6 +113,18 @@ pub struct BpNtt {
     ctl: Controller,
     programs: HashMap<ProgramKey, Arc<CompiledProgram>>,
     pipelines: HashMap<PipelineSpec, Arc<CompiledPipeline>>,
+    /// How pipeline outputs are checked before being returned (the
+    /// *detect* rung of the recovery ladder; default [`VerifyPolicy::Off`]).
+    verify: VerifyPolicy,
+    /// Lazily built software verifier (one reference transform at
+    /// construction); present once an active policy has been set.
+    verifier: Option<Verifier>,
+    /// Seed stream for spot-check sampling: bumped per verified run so a
+    /// retry probes fresh points.
+    verify_nonce: u64,
+    /// Wall-clock seconds spent verifying since the last
+    /// [`Self::take_verify_secs`].
+    verify_secs: f64,
 }
 
 /// Emits complete NTT schedules into any [`InstrSink`]: a live controller
@@ -485,7 +498,64 @@ impl BpNtt {
             ctl,
             programs: HashMap::new(),
             pipelines: HashMap::new(),
+            verify: VerifyPolicy::Off,
+            verifier: None,
+            verify_nonce: 0,
+            verify_secs: 0.0,
         })
+    }
+
+    /// Sets the output [`VerifyPolicy`] applied by
+    /// [`Self::run_pipeline`] / [`Self::run_compiled_pipeline`]. An
+    /// active policy builds the software [`Verifier`] once, up front.
+    /// Verification never touches the simulator or its [`Stats`] — the
+    /// replay≡emission bit-identity contract is unaffected.
+    pub fn set_verify_policy(&mut self, policy: VerifyPolicy) {
+        self.verify = policy;
+        if policy.is_active() && self.verifier.is_none() {
+            self.verifier = Some(Verifier::new(self.config.params()));
+        }
+    }
+
+    /// The current output verification policy.
+    #[must_use]
+    pub fn verify_policy(&self) -> VerifyPolicy {
+        self.verify
+    }
+
+    /// This engine's software verifier (built on demand): the reference
+    /// model behind [`VerifyPolicy::Full`] and the recovery ladder's
+    /// software fallback.
+    pub fn verifier(&mut self) -> &Verifier {
+        if self.verifier.is_none() {
+            self.verifier = Some(Verifier::new(self.config.params()));
+        }
+        self.verifier.as_ref().expect("just built")
+    }
+
+    /// Installs a fault-injection [`FaultPlan`] on the underlying SRAM
+    /// controller (see [`bpntt_sram::fault`]).
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        self.ctl.install_fault_plan(plan);
+    }
+
+    /// Removes any installed fault plan, returning its injection
+    /// counters.
+    pub fn clear_fault_plan(&mut self) -> FaultStats {
+        self.ctl.clear_fault_plan()
+    }
+
+    /// Injection counters of the installed fault plan, if any.
+    #[must_use]
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.ctl.fault_stats()
+    }
+
+    /// Returns and zeroes the wall-clock seconds spent verifying outputs
+    /// since the last call (harvested per-chunk by the sharded engine
+    /// into `verify_ms` telemetry).
+    pub fn take_verify_secs(&mut self) -> f64 {
+        std::mem::take(&mut self.verify_secs)
     }
 
     /// The configuration.
@@ -939,10 +1009,20 @@ impl BpNtt {
         for seg in &pipe.segments {
             self.run_segment(seg, mode)?;
         }
-        match spec.output_slot() {
-            Some(slot) => self.read_batch_at(usize::from(slot) * n, batch),
-            None => Ok(Vec::new()),
+        let out = match spec.output_slot() {
+            Some(slot) => self.read_batch_at(usize::from(slot) * n, batch)?,
+            None => Vec::new(),
+        };
+        if self.verify.is_active() && spec.output_slot().is_some() {
+            let t0 = std::time::Instant::now();
+            let seed = self.verify_nonce;
+            self.verify_nonce = self.verify_nonce.wrapping_add(1);
+            let verifier = self.verifier.as_ref().expect("built when policy was set");
+            let res = verifier.check(spec, inputs, &out, self.verify, seed);
+            self.verify_secs += t0.elapsed().as_secs_f64();
+            res?;
         }
+        Ok(out)
     }
 
     // ---- schedules ---------------------------------------------------------

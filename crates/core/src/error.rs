@@ -95,6 +95,28 @@ pub enum BpNttError {
         /// The unrecognised tenant id.
         tenant: u32,
     },
+    /// An output failed verification (see
+    /// [`VerifyPolicy`](crate::VerifyPolicy)): the array returned a
+    /// result that does not match the inputs it was computed from.
+    IntegrityFailure {
+        /// The pipeline output slot that failed the check.
+        slot: usize,
+        /// Which check failed and where (lane / point / values).
+        detail: String,
+    },
+    /// A shard worker thread panicked mid-wave (e.g. an injected hard
+    /// fault). The wave is lost but the engine and the remaining shards
+    /// stay usable.
+    WorkerPanicked {
+        /// The shard whose worker died.
+        shard: usize,
+    },
+    /// The request's deadline passed before the dispatcher could execute
+    /// it.
+    DeadlineExpired {
+        /// How far past the deadline the request was picked up.
+        late_ms: u64,
+    },
     /// Underlying NTT parameter failure.
     Ntt(NttError),
     /// Underlying modular-arithmetic failure.
@@ -169,6 +191,15 @@ impl fmt::Display for BpNttError {
             }
             BpNttError::UnknownTenant { tenant } => {
                 write!(f, "tenant {tenant} is not registered with this service")
+            }
+            BpNttError::IntegrityFailure { slot, detail } => {
+                write!(f, "integrity failure on output slot {slot}: {detail}")
+            }
+            BpNttError::WorkerPanicked { shard } => {
+                write!(f, "shard {shard} worker panicked mid-wave")
+            }
+            BpNttError::DeadlineExpired { late_ms } => {
+                write!(f, "request deadline expired {late_ms} ms before dispatch")
             }
             BpNttError::Ntt(e) => write!(f, "ntt parameter error: {e}"),
             BpNttError::Math(e) => write!(f, "modular arithmetic error: {e}"),

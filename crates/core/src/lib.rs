@@ -51,6 +51,7 @@ pub mod metrics;
 pub mod pipeline;
 pub mod service;
 pub mod sharded;
+pub mod verify;
 
 pub use config::BpNttConfig;
 pub use engine::BpNtt;
@@ -60,4 +61,9 @@ pub use layout::{Layout, RowMap};
 pub use metrics::{PerfReport, ServiceMetrics};
 pub use pipeline::{CompiledPipeline, ExecMode, PipeOp, PipelineSpec};
 pub use service::{NttService, PipelineRequest, ServiceOptions, TenantId, Ticket};
-pub use sharded::ShardedBpNtt;
+pub use sharded::{RecoveryOptions, RecoveryReport, ShardedBpNtt};
+pub use verify::{Verifier, VerifyPolicy};
+
+// The fault-injection surface of the SRAM layer, re-exported so chaos
+// drills and the service's chaos knob need only this crate.
+pub use bpntt_sram::{FaultPlan, FaultStats};

@@ -171,6 +171,25 @@ pub struct ServiceMetrics {
     /// (tenant registrations with an identical configuration, plus novel
     /// specs imported into a second tenant's engine).
     pub pipeline_cache_hits: u64,
+    /// Chunk attempts the recovery ladder failed on detection
+    /// (verification mismatch, simulator error, or contained panic),
+    /// summed across tenant engines.
+    pub faults_detected: u64,
+    /// Chunk re-executions the ladder performed (same shard or
+    /// re-dispatched after quarantine).
+    pub retries: u64,
+    /// High-water mark of simultaneously quarantined shards on any one
+    /// tenant engine.
+    pub quarantined_shards: u64,
+    /// Polynomials answered by the software reference fallback (the
+    /// ladder's last rung).
+    pub fallback_polys: u64,
+    /// Requests that expired in the queue and failed typed with
+    /// [`DeadlineExpired`](crate::BpNttError::DeadlineExpired).
+    pub deadline_expired: u64,
+    /// Wall-clock milliseconds spent verifying outputs
+    /// ([`VerifyPolicy`](crate::VerifyPolicy) overhead).
+    pub verify_ms: f64,
     /// Registered tenants.
     pub tenants: usize,
 }
@@ -216,9 +235,20 @@ impl ServiceMetrics {
         );
         let _ = write!(
             s,
-            "\"pipeline_cache_entries\": {}, \"pipeline_cache_hits\": {}, \"tenants\": {}}}",
-            self.pipeline_cache_entries, self.pipeline_cache_hits, self.tenants
+            "\"pipeline_cache_entries\": {}, \"pipeline_cache_hits\": {}, ",
+            self.pipeline_cache_entries, self.pipeline_cache_hits
         );
+        let _ = write!(
+            s,
+            "\"faults_detected\": {}, \"retries\": {}, \"quarantined_shards\": {}, ",
+            self.faults_detected, self.retries, self.quarantined_shards
+        );
+        let _ = write!(
+            s,
+            "\"fallback_polys\": {}, \"deadline_expired\": {}, \"verify_ms\": {:.4}, ",
+            self.fallback_polys, self.deadline_expired, self.verify_ms
+        );
+        let _ = write!(s, "\"tenants\": {}}}", self.tenants);
         s
     }
 }
@@ -269,6 +299,12 @@ mod tests {
             program_cache_hits: 1,
             pipeline_cache_entries: 5,
             pipeline_cache_hits: 4,
+            faults_detected: 6,
+            retries: 4,
+            quarantined_shards: 1,
+            fallback_polys: 2,
+            deadline_expired: 3,
+            verify_ms: 1.25,
             tenants: 3,
         };
         let json = m.to_json();
@@ -284,6 +320,12 @@ mod tests {
             "\"program_cache_hits\": 1",
             "\"pipeline_cache_entries\": 5",
             "\"pipeline_cache_hits\": 4",
+            "\"faults_detected\": 6",
+            "\"retries\": 4",
+            "\"quarantined_shards\": 1",
+            "\"fallback_polys\": 2",
+            "\"deadline_expired\": 3",
+            "\"verify_ms\": 1.2500",
             "\"tenants\": 3",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");

@@ -33,6 +33,22 @@
 //! * **Backpressure** — the queue is bounded; when it is full,
 //!   submission fails fast with [`BpNttError::Overloaded`] instead of
 //!   buffering without limit.
+//! * **Deadlines** — each request may carry a queueing deadline
+//!   ([`PipelineRequest::with_deadline`], or
+//!   [`ServiceOptions::default_deadline`] for all). The dispatcher never
+//!   coalesces past the earliest queued deadline, and a request that
+//!   expires before dispatch resolves its ticket to
+//!   [`BpNttError::DeadlineExpired`] — it fails typed, it never blocks a
+//!   wave or its caller.
+//! * **Fault tolerance** — [`ServiceOptions::verify`] applies a
+//!   [`VerifyPolicy`] to every chunk of every wave and arms the
+//!   detect → retry → quarantine → degrade ladder
+//!   ([`RecoveryOptions`](crate::RecoveryOptions)) on each tenant
+//!   engine, so a verified service completes every accepted request with
+//!   a correct answer even while [`ServiceOptions::fault_plan`] injects
+//!   SRAM faults. Ladder activity surfaces in [`ServiceMetrics`]
+//!   (`faults_detected`, `retries`, `quarantined_shards`,
+//!   `fallback_polys`, `verify_ms`).
 //! * **Tenants and the caches** — each tenant registers a
 //!   [`BpNttConfig`]; the dispatcher keeps one sharded engine per tenant
 //!   plus two cross-tenant caches: compiled programs keyed by
@@ -74,8 +90,9 @@ use crate::error::BpNttError;
 use crate::layout::Layout;
 use crate::metrics::{percentile, ServiceMetrics};
 use crate::pipeline::{CompiledPipeline, ExecMode, PipelineSpec};
-use crate::sharded::ShardedBpNtt;
-use bpntt_sram::CompiledProgram;
+use crate::sharded::{RecoveryOptions, ShardedBpNtt};
+use crate::verify::VerifyPolicy;
+use bpntt_sram::{CompiledProgram, FaultPlan};
 
 /// How many recent per-shard wall-clock samples the percentile window
 /// keeps (a ring buffer; old samples fall off).
@@ -93,6 +110,25 @@ pub struct ServiceOptions {
     /// partially filled wave. Zero dispatches immediately (lowest
     /// latency, worst occupancy).
     pub coalesce_window: Duration,
+    /// Output verification applied by every tenant engine to every
+    /// chunk ([`VerifyPolicy::Off`] by default). An active policy also
+    /// arms the software-reference fallback, so a verified service never
+    /// returns a corrupted polynomial: a chunk that cannot be recovered
+    /// on the array is recomputed in software.
+    pub verify: VerifyPolicy,
+    /// Extra attempts a shard gives a failing chunk before quarantining
+    /// itself (the recovery ladder's retry rung).
+    pub retry_budget: usize,
+    /// Deadline applied to every request that does not carry its own
+    /// ([`PipelineRequest::with_deadline`]). A request still queued when
+    /// its deadline passes fails typed with
+    /// [`BpNttError::DeadlineExpired`] instead of occupying a wave.
+    pub default_deadline: Option<Duration>,
+    /// Chaos knob: a fault plan installed on every tenant engine
+    /// (reseeded per shard). Combine with an active [`Self::verify`]
+    /// policy so injected corruption is detected and recovered rather
+    /// than returned.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for ServiceOptions {
@@ -101,6 +137,10 @@ impl Default for ServiceOptions {
             shards: 2,
             max_queue: 1024,
             coalesce_window: Duration::from_millis(2),
+            verify: VerifyPolicy::Off,
+            retry_budget: 0,
+            default_deadline: None,
+            fault_plan: None,
         }
     }
 }
@@ -294,6 +334,11 @@ pub struct PipelineRequest {
     pub mode: ExecMode,
     /// One polynomial per input slot the spec declares.
     pub inputs: Vec<Vec<u64>>,
+    /// Per-request deadline, measured from submission. `None` inherits
+    /// [`ServiceOptions::default_deadline`]. A request still queued when
+    /// the deadline passes resolves its ticket to
+    /// [`BpNttError::DeadlineExpired`] instead of joining a wave.
+    pub deadline: Option<Duration>,
 }
 
 impl PipelineRequest {
@@ -305,6 +350,7 @@ impl PipelineRequest {
             spec,
             mode: ExecMode::Replay,
             inputs,
+            deadline: None,
         }
     }
 
@@ -321,6 +367,15 @@ impl PipelineRequest {
         self.mode = mode;
         self
     }
+
+    /// Bounds how long this request may wait in the queue.
+    /// `Duration::ZERO` expires the request on the dispatcher's first
+    /// look — useful for probing.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
 }
 
 /// One queued (validated) request. Control requests (tenant
@@ -332,6 +387,9 @@ struct Request {
     mode: ExecMode,
     inputs: Vec<Vec<u64>>,
     reply: TicketSender,
+    /// Absolute expiry instant (resolved at submission from the
+    /// request's own deadline or the service default).
+    deadline: Option<Instant>,
 }
 
 enum Control {
@@ -376,6 +434,12 @@ struct MetricsState {
     program_cache_hits: u64,
     pipeline_cache_entries: usize,
     pipeline_cache_hits: u64,
+    faults_detected: u64,
+    retries: u64,
+    quarantined_shards: u64,
+    fallback_polys: u64,
+    deadline_expired: u64,
+    verify_secs: f64,
 }
 
 struct Shared {
@@ -385,6 +449,9 @@ struct Shared {
     metrics: Mutex<MetricsState>,
     max_queue: usize,
     coalesce_window: Duration,
+    default_deadline: Option<Duration>,
+    recovery: RecoveryOptions,
+    fault_plan: Option<FaultPlan>,
 }
 
 /// Cross-tenant compiled-program cache key: two tenants share programs
@@ -463,6 +530,17 @@ impl NttService {
             metrics: Mutex::new(MetricsState::default()),
             max_queue: opts.max_queue,
             coalesce_window: opts.coalesce_window,
+            default_deadline: opts.default_deadline,
+            recovery: RecoveryOptions {
+                verify: opts.verify,
+                retry_budget: opts.retry_budget,
+                // An active ladder always keeps its last rung: the whole
+                // point of verifying service output is never returning a
+                // corrupted polynomial, and the software reference is
+                // what guarantees an answer once the array is distrusted.
+                software_fallback: opts.verify.is_active() || opts.retry_budget > 0,
+            },
+            fault_plan: opts.fault_plan.clone(),
         });
         let dispatcher = {
             let shared = Arc::clone(&shared);
@@ -592,6 +670,7 @@ impl NttService {
             spec,
             mode,
             inputs,
+            deadline,
         } = req;
         let tenant = tenant.unwrap_or(self.default_tenant);
         let info = self.tenant_info(tenant)?;
@@ -622,12 +701,16 @@ impl NttService {
             validate_poly(&info, poly)?;
         }
         let (ticket, reply) = Ticket::channel();
+        let deadline = deadline
+            .or(self.shared.default_deadline)
+            .map(|d| Instant::now() + d);
         self.enqueue(Request {
             tenant,
             spec,
             mode,
             inputs,
             reply,
+            deadline,
         })?;
         Ok(ticket)
     }
@@ -679,6 +762,12 @@ impl NttService {
             program_cache_hits: m.program_cache_hits,
             pipeline_cache_entries: m.pipeline_cache_entries,
             pipeline_cache_hits: m.pipeline_cache_hits,
+            faults_detected: m.faults_detected,
+            retries: m.retries,
+            quarantined_shards: m.quarantined_shards,
+            fallback_polys: m.fallback_polys,
+            deadline_expired: m.deadline_expired,
+            verify_ms: m.verify_secs * 1e3,
             tenants,
         }
     }
@@ -868,7 +957,16 @@ fn dispatcher_loop(shared: &Shared, shards: usize) {
                     let mut st = shared.state.lock().expect("service state poisoned");
                     let deadline = Instant::now() + shared.coalesce_window;
                     while !st.shutdown && st.control.is_empty() && st.queue.len() < target {
-                        let remaining = deadline.saturating_duration_since(Instant::now());
+                        // Never coalesce past the earliest per-request
+                        // deadline: a tight-deadline request would expire
+                        // while the dispatcher idles waiting for company.
+                        let cutoff = st
+                            .queue
+                            .iter()
+                            .filter_map(|r| r.deadline)
+                            .min()
+                            .map_or(deadline, |d| d.min(deadline));
+                        let remaining = cutoff.saturating_duration_since(Instant::now());
                         if remaining.is_zero() {
                             break;
                         }
@@ -898,6 +996,12 @@ fn register_tenant(
 ) -> Result<TenantId, BpNttError> {
     let info = tenant_info_of(config);
     let mut engine = ShardedBpNtt::new(config, shards)?;
+    if shared.recovery.is_active() {
+        engine.set_recovery(shared.recovery);
+    }
+    if let Some(plan) = &shared.fault_plan {
+        engine.install_fault_plan(plan);
+    }
     let key = ProgramCacheKey::of(config);
     if let Some(progs) = cache.programs.get(&key) {
         engine.import_programs(progs);
@@ -959,6 +1063,7 @@ fn execute_wave(
 ) {
     let mut groups: Vec<WaveGroup> = Vec::new();
     let mut index: HashMap<(TenantId, PipelineSpec, ExecMode), usize> = HashMap::new();
+    let now = Instant::now();
     for req in drained {
         let Request {
             tenant,
@@ -966,7 +1071,23 @@ fn execute_wave(
             mode,
             inputs,
             reply,
+            deadline,
         } = req;
+        if let Some(d) = deadline {
+            // Expired in the queue: fail typed before the request costs
+            // a lane. The engine call itself is never aborted — deadlines
+            // bound queueing, not execution.
+            if d <= now {
+                let late_ms = now.saturating_duration_since(d).as_millis() as u64;
+                {
+                    let mut m = shared.metrics.lock().expect("metrics poisoned");
+                    m.failed += 1;
+                    m.deadline_expired += 1;
+                }
+                reply.send(Err(BpNttError::DeadlineExpired { late_ms }));
+                continue;
+            }
+        }
         let slot = *index
             .entry((tenant, spec.clone(), mode))
             .or_insert_with(|| {
@@ -1059,6 +1180,15 @@ fn execute_wave(
                 }
                 m.shard_secs.push_back(s);
             }
+            // Harvest what the recovery ladder did during this wave.
+            let rep = engine.last_recovery();
+            m.faults_detected += rep.faults_detected;
+            m.retries += rep.retries;
+            m.fallback_polys += rep.fallback_polys;
+            m.verify_secs += rep.verify_secs;
+            // Quarantine is a level, not a count: report the high-water
+            // mark across waves and tenant engines.
+            m.quarantined_shards = m.quarantined_shards.max(rep.quarantined_shards);
             match &result {
                 Ok(_) => m.completed += batch as u64,
                 Err(_) => m.failed += batch as u64,
@@ -1173,6 +1303,81 @@ mod tests {
         // Forward still works on the same tenant.
         let ticket = service.submit_forward(pseudo(8, 97, 3)).unwrap();
         assert_eq!(ticket.wait().unwrap().len(), 8);
+    }
+
+    #[test]
+    fn zero_deadline_expires_typed_without_blocking() {
+        let service = NttService::start(
+            &config8(),
+            ServiceOptions {
+                coalesce_window: Duration::from_millis(20),
+                ..ServiceOptions::default()
+            },
+        )
+        .unwrap();
+        let doomed = service
+            .submit_pipeline(
+                PipelineRequest::new(PipelineSpec::forward_ntt(), vec![pseudo(8, 97, 1)])
+                    .with_deadline(Duration::ZERO),
+            )
+            .unwrap();
+        // A generous-deadline companion still completes in the same wave.
+        let fine = service
+            .submit_pipeline(
+                PipelineRequest::new(PipelineSpec::forward_ntt(), vec![pseudo(8, 97, 2)])
+                    .with_deadline(Duration::from_secs(30)),
+            )
+            .unwrap();
+        assert!(matches!(
+            doomed.wait(),
+            Err(BpNttError::DeadlineExpired { .. })
+        ));
+        assert_eq!(fine.wait().unwrap().len(), 8);
+        let m = service.shutdown();
+        assert_eq!(m.deadline_expired, 1);
+        assert_eq!(m.failed, 1);
+        assert_eq!(m.completed, 1);
+    }
+
+    #[test]
+    fn chaos_plan_with_verification_completes_all_requests_correctly() {
+        let plan = FaultPlan::seeded(0xD15EA5E).transient_rate(1e-4);
+        let service = NttService::start(
+            &config8(),
+            ServiceOptions {
+                shards: 2,
+                verify: VerifyPolicy::Full,
+                retry_budget: 2,
+                fault_plan: Some(plan),
+                ..ServiceOptions::default()
+            },
+        )
+        .unwrap();
+        let params = NttParams::new(8, 97).unwrap();
+        let t = TwiddleTable::new(&params);
+        let tickets: Vec<(Vec<u64>, Ticket)> = (0..48)
+            .map(|s| {
+                let p = pseudo(8, 97, s + 1);
+                let ticket = service.submit_forward(p.clone()).unwrap();
+                (p, ticket)
+            })
+            .collect();
+        for (p, ticket) in tickets {
+            let mut expect = p;
+            ntt_in_place(&params, &t, &mut expect).unwrap();
+            assert_eq!(
+                ticket.wait().unwrap(),
+                expect,
+                "no corrupted result escapes"
+            );
+        }
+        let m = service.shutdown();
+        assert_eq!(m.completed, 48, "every request completes despite faults");
+        assert_eq!(m.failed, 0);
+        assert!(m.verify_ms > 0.0, "verification time was accounted");
+        let json = m.to_json();
+        assert!(json.contains("\"faults_detected\""));
+        assert!(json.contains("\"verify_ms\""));
     }
 
     #[test]

@@ -34,14 +34,115 @@
 //! # Ok::<(), bpntt_core::BpNttError>(())
 //! ```
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use crate::config::BpNttConfig;
 use crate::engine::BpNtt;
 use crate::error::BpNttError;
 use crate::pipeline::{CompiledPipeline, ExecMode, PipelineSpec};
-use bpntt_sram::{CompiledProgram, Stats};
+use crate::verify::VerifyPolicy;
+use bpntt_sram::{CompiledProgram, FaultPlan, FaultStats, Stats};
+
+/// How a sharded wave detects and recovers from corrupted or crashed
+/// chunks — the detect→retry→quarantine→degrade ladder.
+///
+/// The default is the historical behavior: no verification, no retries,
+/// and the first chunk error (now including a worker panic, surfaced as
+/// [`BpNttError::WorkerPanicked`]) fails the wave. With recovery active
+/// the ladder guarantees a correct answer always comes back:
+///
+/// 1. **detect** — each shard checks its chunk under `verify`
+///    (see [`VerifyPolicy`]);
+/// 2. **retry** — a failed chunk reruns on the same shard up to
+///    `retry_budget` more times (a transient upset is consumed by the
+///    failed run, so the retry executes on clean state, and every retry
+///    spot-checks fresh points);
+/// 3. **quarantine** — a shard that exhausts the budget is presumed
+///    persistently faulty (stuck-at cell, dead wordline): it stops
+///    claiming work for this and future waves and its chunk re-dispatches
+///    once to a healthy shard through the work queue;
+/// 4. **degrade** — chunks still unfilled at reassembly (re-dispatch also
+///    failed, or every shard is quarantined) are recomputed with the
+///    software reference when `software_fallback` is set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryOptions {
+    /// Output verification applied by every shard to every chunk.
+    pub verify: VerifyPolicy,
+    /// Extra attempts a shard gives a failing chunk before quarantining
+    /// itself.
+    pub retry_budget: usize,
+    /// Recompute terminally failed chunks with the software reference
+    /// instead of failing the wave.
+    pub software_fallback: bool,
+}
+
+impl Default for RecoveryOptions {
+    fn default() -> Self {
+        RecoveryOptions {
+            verify: VerifyPolicy::Off,
+            retry_budget: 0,
+            software_fallback: false,
+        }
+    }
+}
+
+impl RecoveryOptions {
+    /// The full ladder: spot-check verification, two retries, software
+    /// fallback.
+    #[must_use]
+    pub fn resilient() -> Self {
+        RecoveryOptions {
+            verify: VerifyPolicy::SpotCheck { points: 2 },
+            retry_budget: 2,
+            software_fallback: true,
+        }
+    }
+
+    /// Whether any recovery rung beyond fail-the-wave is active.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.verify.is_active() || self.retry_budget > 0 || self.software_fallback
+    }
+}
+
+/// What the recovery ladder actually did — per wave
+/// ([`ShardedBpNtt::last_recovery`]) and cumulatively
+/// ([`ShardedBpNtt::recovery_totals`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RecoveryReport {
+    /// Chunk attempts that failed detection (verification or simulator
+    /// error) or crashed.
+    pub faults_detected: u64,
+    /// Chunk re-executions (same shard or re-dispatched).
+    pub retries: u64,
+    /// Shards currently quarantined.
+    pub quarantined_shards: u64,
+    /// Polynomials answered by the software reference fallback.
+    pub fallback_polys: u64,
+    /// Worker panics contained by `catch_unwind`.
+    pub worker_panics: u64,
+    /// Wall-clock seconds spent verifying outputs.
+    pub verify_secs: f64,
+    /// Whether this wave (or any wave, for totals) left the happy path:
+    /// a shard was quarantined or a chunk fell back to software.
+    pub degraded: bool,
+}
+
+impl RecoveryReport {
+    fn absorb(&mut self, other: &RecoveryReport) {
+        self.faults_detected += other.faults_detected;
+        self.retries += other.retries;
+        // "Currently quarantined" is a level, not a count: totals keep
+        // the high-water mark, per-wave reports overwrite.
+        self.quarantined_shards = self.quarantined_shards.max(other.quarantined_shards);
+        self.fallback_polys += other.fallback_polys;
+        self.worker_panics += other.worker_panics;
+        self.verify_secs += other.verify_secs;
+        self.degraded |= other.degraded;
+    }
+}
 
 /// `K` identically configured BP-NTT arrays replaying shared compiled
 /// programs over partitioned batches.
@@ -54,13 +155,33 @@ pub struct ShardedBpNtt {
     /// chunk it claimed), indexed by shard. Shards that spawned no worker
     /// (fewer chunks than shards) report no entry.
     last_shard_secs: Vec<f64>,
+    recovery: RecoveryOptions,
+    /// Shards the ladder has quarantined (persists across waves until
+    /// [`Self::lift_quarantine`]).
+    quarantined: Vec<bool>,
+    last_report: RecoveryReport,
+    totals: RecoveryReport,
 }
 
-/// One shard worker's outcome: the chunks it completed (tagged with their
-/// chunk index so the wave can reassemble input order), the first error it
-/// hit (it stops claiming chunks after one), and its thread's total
-/// wall-clock seconds.
-type ShardOutcome = (Vec<(usize, Vec<Vec<u64>>)>, Option<BpNttError>, f64);
+/// One shard worker's outcome.
+struct ShardOutcome {
+    /// Completed chunks, tagged with their chunk index so the wave can
+    /// reassemble input order.
+    done: Vec<(usize, Vec<Vec<u64>>)>,
+    /// The error that stopped this worker (fail-the-wave mode only).
+    err: Option<BpNttError>,
+    /// The worker thread's total wall-clock seconds.
+    secs: f64,
+    /// Whether the worker quarantined its shard.
+    quarantined: bool,
+    /// Detection/retry/panic/verify-time counters for the wave report.
+    report: RecoveryReport,
+}
+
+/// A chunk awaiting re-dispatch after its owning shard was quarantined:
+/// `(chunk index, hops)`. One hop is allowed — a chunk that fails on a
+/// *second* shard goes to the software fallback, not around the ring.
+type Requeue = Mutex<Vec<(usize, u8)>>;
 
 impl ShardedBpNtt {
     /// Provisions `shards` arrays with the given configuration.
@@ -77,10 +198,15 @@ impl ShardedBpNtt {
             .map(|_| BpNtt::new(config.clone()))
             .collect::<Result<_, _>>()?;
         let lanes_per_shard = config.layout().lanes();
+        let n_shards = shards.len();
         Ok(ShardedBpNtt {
             shards,
             lanes_per_shard,
             last_shard_secs: Vec::new(),
+            recovery: RecoveryOptions::default(),
+            quarantined: vec![false; n_shards],
+            last_report: RecoveryReport::default(),
+            totals: RecoveryReport::default(),
         })
     }
 
@@ -88,6 +214,73 @@ impl ShardedBpNtt {
     #[must_use]
     pub fn shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Configures the detect→retry→quarantine→degrade ladder (see
+    /// [`RecoveryOptions`]); applies the verification policy to every
+    /// shard.
+    pub fn set_recovery(&mut self, opts: RecoveryOptions) {
+        self.recovery = opts;
+        for s in &mut self.shards {
+            s.set_verify_policy(opts.verify);
+        }
+    }
+
+    /// The active recovery configuration.
+    #[must_use]
+    pub fn recovery(&self) -> RecoveryOptions {
+        self.recovery
+    }
+
+    /// Installs `plan` on every shard, reseeded per shard so the shards
+    /// draw independent fault streams from one chaos description.
+    pub fn install_fault_plan(&mut self, plan: &FaultPlan) {
+        for (i, s) in self.shards.iter_mut().enumerate() {
+            let seed = plan
+                .seed()
+                .wrapping_add((i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            s.install_fault_plan(plan.clone().with_seed(seed));
+        }
+    }
+
+    /// Clears every shard's fault plan, returning the summed injection
+    /// counters.
+    pub fn clear_fault_plans(&mut self) -> FaultStats {
+        let mut total = FaultStats::default();
+        for s in &mut self.shards {
+            let st = s.clear_fault_plan();
+            total.transients += st.transients;
+            total.persistent_imposications += st.persistent_imposications;
+        }
+        total
+    }
+
+    /// Indices of the shards the ladder has quarantined.
+    #[must_use]
+    pub fn quarantined(&self) -> Vec<usize> {
+        self.quarantined
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &q)| q.then_some(i))
+            .collect()
+    }
+
+    /// Returns every quarantined shard to service (e.g. after clearing an
+    /// injected fault plan or replacing the faulty array).
+    pub fn lift_quarantine(&mut self) {
+        self.quarantined.fill(false);
+    }
+
+    /// What the recovery ladder did during the most recent wave.
+    #[must_use]
+    pub fn last_recovery(&self) -> &RecoveryReport {
+        &self.last_report
+    }
+
+    /// Cumulative ladder activity since construction.
+    #[must_use]
+    pub fn recovery_totals(&self) -> &RecoveryReport {
+        &self.totals
     }
 
     /// Polynomials processed per wave across all shards.
@@ -187,68 +380,122 @@ impl ShardedBpNtt {
         let batch = inputs.first().map_or(0, |b| b.len());
         let lanes = self.lanes_per_shard.max(1);
         let n_chunks = batch.div_ceil(lanes);
-        let workers = self.shards.len().min(n_chunks);
+        let ladder = self.recovery.is_active();
+        let retry_budget = self.recovery.retry_budget;
+        let healthy = self.quarantined.clone();
         let next = AtomicUsize::new(0);
-        let mut outcomes: Vec<ShardOutcome> = Vec::new();
+        let requeue: Requeue = Mutex::new(Vec::new());
+        let mut outcomes: Vec<(usize, ShardOutcome)> = Vec::new();
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
-            for shard in self.shards.iter_mut().take(workers) {
-                let next = &next;
-                let pipe = Arc::clone(pipe);
-                handles.push(scope.spawn(move || {
-                    let t = std::time::Instant::now();
-                    let mut done: Vec<(usize, Vec<Vec<u64>>)> = Vec::new();
-                    let mut err: Option<BpNttError> = None;
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n_chunks {
-                            break;
-                        }
-                        let lo = i * lanes;
-                        let hi = (lo + lanes).min(batch);
-                        let chunk: Vec<&[Vec<u64>]> =
-                            inputs.iter().map(|slot| &slot[lo..hi]).collect();
-                        match shard.run_compiled_pipeline(&pipe, mode, &chunk) {
-                            Ok(v) => done.push((i, v)),
-                            Err(e) => {
-                                // Poison the counter so the other workers
-                                // stop claiming: the wave is already
-                                // doomed, finishing remaining chunks
-                                // would be discarded work.
-                                next.store(n_chunks, Ordering::Relaxed);
-                                err = Some(e);
-                                break;
-                            }
-                        }
-                    }
-                    (done, err, t.elapsed().as_secs_f64())
-                }));
+            for (sid, shard) in self.shards.iter_mut().enumerate() {
+                if healthy[sid] || handles.len() == n_chunks {
+                    continue;
+                }
+                let (next, requeue, pipe) = (&next, &requeue, Arc::clone(pipe));
+                handles.push((
+                    sid,
+                    scope.spawn(move || {
+                        run_worker(WorkerCtx {
+                            shard,
+                            sid,
+                            pipe: &pipe,
+                            mode,
+                            inputs,
+                            batch,
+                            lanes,
+                            n_chunks,
+                            next,
+                            requeue,
+                            ladder,
+                            retry_budget,
+                        })
+                    }),
+                ));
             }
-            for h in handles {
-                outcomes.push(h.join().expect("shard thread panicked"));
+            for (sid, h) in handles {
+                // A panic that escaped the per-chunk catch_unwind (e.g. in
+                // the claim loop itself) loses the worker's chunks but not
+                // the wave's type-safety: it surfaces as WorkerPanicked.
+                let outcome = h.join().unwrap_or_else(|_| ShardOutcome {
+                    done: Vec::new(),
+                    err: Some(BpNttError::WorkerPanicked { shard: sid }),
+                    secs: 0.0,
+                    quarantined: ladder,
+                    report: RecoveryReport {
+                        faults_detected: 1,
+                        worker_panics: 1,
+                        ..RecoveryReport::default()
+                    },
+                });
+                outcomes.push((sid, outcome));
             }
         });
         // Every worker has joined, so record all timings before the first
         // shard error can propagate — a failed wave still reports one
         // entry per participating shard.
         self.last_shard_secs.clear();
-        self.last_shard_secs.extend(outcomes.iter().map(|o| o.2));
+        self.last_shard_secs
+            .extend(outcomes.iter().map(|(_, o)| o.secs));
+        let mut wave = RecoveryReport::default();
         let mut slots: Vec<Option<Vec<Vec<u64>>>> = (0..n_chunks).map(|_| None).collect();
         let mut first_err = None;
-        for (done, err, _) in outcomes {
-            for (i, v) in done {
+        for (sid, o) in outcomes {
+            wave.absorb(&o.report);
+            for (i, v) in o.done {
                 slots[i] = Some(v);
             }
-            if let Some(e) = err {
+            if o.quarantined {
+                self.quarantined[sid] = true;
+                wave.degraded = true;
+            }
+            if let Some(e) = o.err {
                 first_err.get_or_insert(e);
             }
         }
-        if let Some(e) = first_err {
+        // The degrade rung: chunks nobody completed (their shard
+        // quarantined and the one re-dispatch hop failed or never ran)
+        // are recomputed with the software reference.
+        let mut fallback_err = None;
+        if ladder && self.recovery.software_fallback && slots.iter().any(Option::is_none) {
+            let verifier = self.shards[0].verifier().clone();
+            for (i, slot) in slots.iter_mut().enumerate() {
+                if slot.is_some() {
+                    continue;
+                }
+                let lo = i * lanes;
+                let hi = (lo + lanes).min(batch);
+                let chunk: Vec<&[Vec<u64>]> = inputs.iter().map(|s| &s[lo..hi]).collect();
+                match verifier.software_outputs(pipe.spec(), &chunk) {
+                    Ok(v) => {
+                        wave.fallback_polys += (hi - lo) as u64;
+                        wave.degraded = true;
+                        *slot = Some(v);
+                    }
+                    Err(e) => {
+                        fallback_err.get_or_insert(e);
+                        break;
+                    }
+                }
+            }
+        }
+        wave.quarantined_shards = self.quarantined.iter().filter(|&&q| q).count() as u64;
+        self.last_report = wave;
+        self.totals.absorb(&wave);
+        self.totals.quarantined_shards = wave.quarantined_shards;
+        if let Some(e) = fallback_err {
             return Err(e);
+        }
+        if slots.iter().any(Option::is_none) {
+            // Ladder off (or fallback disabled): the wave fails with the
+            // first chunk error — a legitimate chunk error propagates
+            // instead of panicking, and a panicked worker surfaces as
+            // WorkerPanicked. The engines stay usable for the next wave.
+            return Err(first_err.unwrap_or(BpNttError::WorkerPanicked { shard: 0 }));
         }
         let mut out = Vec::with_capacity(batch);
         for s in slots {
-            out.extend(s.expect("error-free wave fills every chunk"));
+            out.extend(s.expect("every chunk filled or the wave failed above"));
         }
         Ok(out)
     }
@@ -275,8 +522,9 @@ impl ShardedBpNtt {
         inputs: &[&[Vec<u64>]],
     ) -> Result<Vec<Vec<u64>>, BpNttError> {
         // Clear before any early return: even a rejected call must not
-        // leave a previous wave's timings behind.
+        // leave a previous wave's timings or recovery report behind.
         self.last_shard_secs.clear();
+        self.last_report = RecoveryReport::default();
         if spec.input_slots().is_empty() {
             return Err(BpNttError::InvalidPipeline {
                 reason: "sharded pipelines must declare at least one input slot \
@@ -375,6 +623,116 @@ impl ShardedBpNtt {
             }
         }
     }
+}
+
+/// Everything one wave worker needs (bundled so the spawn site stays
+/// readable).
+struct WorkerCtx<'scope, 'env> {
+    shard: &'scope mut BpNtt,
+    sid: usize,
+    pipe: &'scope CompiledPipeline,
+    mode: ExecMode,
+    inputs: &'scope [&'env [Vec<u64>]],
+    batch: usize,
+    lanes: usize,
+    n_chunks: usize,
+    next: &'scope AtomicUsize,
+    requeue: &'scope Requeue,
+    ladder: bool,
+    retry_budget: usize,
+}
+
+/// One shard worker: claim chunks (re-dispatched ones first, then the
+/// shared counter), run each with the ladder's per-chunk attempt budget,
+/// self-quarantine on exhaustion.
+fn run_worker(ctx: WorkerCtx<'_, '_>) -> ShardOutcome {
+    let WorkerCtx {
+        shard,
+        sid,
+        pipe,
+        mode,
+        inputs,
+        batch,
+        lanes,
+        n_chunks,
+        next,
+        requeue,
+        ladder,
+        retry_budget,
+    } = ctx;
+    let t = std::time::Instant::now();
+    let mut out = ShardOutcome {
+        done: Vec::new(),
+        err: None,
+        secs: 0.0,
+        quarantined: false,
+        report: RecoveryReport::default(),
+    };
+    'claim: loop {
+        // Chunks orphaned by a quarantined shard take priority over new
+        // work: they are the wave's critical path.
+        let requeued = requeue.lock().expect("requeue lock").pop();
+        let (i, hops) = match requeued {
+            Some(c) => c,
+            None => {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n_chunks {
+                    break;
+                }
+                (i, 0)
+            }
+        };
+        let lo = i * lanes;
+        let hi = (lo + lanes).min(batch);
+        let chunk: Vec<&[Vec<u64>]> = inputs.iter().map(|slot| &slot[lo..hi]).collect();
+        let attempts = if ladder { 1 + retry_budget } else { 1 };
+        let mut last_err: Option<BpNttError> = None;
+        for attempt in 0..attempts {
+            if attempt > 0 || hops > 0 {
+                out.report.retries += 1;
+            }
+            // Isolate the attempt: an injected hard fault (or any other
+            // panic inside the simulator) must cost at most this chunk,
+            // never the process. The engine reloads all inputs on the
+            // next attempt, so mid-pipeline array state is not a hazard.
+            let res = catch_unwind(AssertUnwindSafe(|| {
+                shard.run_compiled_pipeline(pipe, mode, &chunk)
+            }));
+            out.report.verify_secs += shard.take_verify_secs();
+            match res {
+                Ok(Ok(v)) => {
+                    out.done.push((i, v));
+                    continue 'claim;
+                }
+                Ok(Err(e)) => {
+                    out.report.faults_detected += 1;
+                    last_err = Some(e);
+                }
+                Err(_) => {
+                    out.report.faults_detected += 1;
+                    out.report.worker_panics += 1;
+                    last_err = Some(BpNttError::WorkerPanicked { shard: sid });
+                }
+            }
+        }
+        // Budget exhausted. With the ladder active the shard is presumed
+        // persistently faulty: quarantine it and hand the chunk to a
+        // healthy shard (one hop; a twice-failed chunk waits for the
+        // software fallback). Without the ladder, poison the counter —
+        // the wave is already doomed.
+        out.err = last_err;
+        if ladder {
+            if hops == 0 {
+                requeue.lock().expect("requeue lock").push((i, 1));
+            }
+            out.quarantined = true;
+        } else {
+            next.store(n_chunks, Ordering::Relaxed);
+        }
+        break;
+    }
+    out.secs = t.elapsed().as_secs_f64();
+    out
 }
 
 #[cfg(test)]
@@ -578,6 +936,113 @@ mod tests {
         }
         // Workers spawn for min(shards, chunks) — all 3 here.
         assert_eq!(sharded.last_wave_shard_secs().len(), 3);
+    }
+
+    #[test]
+    fn worker_panic_is_typed_and_scoped_to_one_wave() {
+        // Regression for the old `join().expect("shard thread panicked")`:
+        // an injected hard fault panics a worker mid-wave; the wave must
+        // fail with the typed WorkerPanicked error (not abort the
+        // process) and the very next wave must succeed on the same
+        // engines.
+        let mut sharded = ShardedBpNtt::new(&config(), 2).unwrap();
+        let batch: Vec<Vec<u64>> = (0..8).map(|s| pseudo(8, 97, s + 600)).collect();
+        let clean = sharded.forward_batch(&batch).unwrap();
+        sharded.install_fault_plan(&FaultPlan::seeded(5).hard_fault_at(0));
+        let err = sharded.forward_batch(&batch).unwrap_err();
+        assert!(
+            matches!(err, BpNttError::WorkerPanicked { .. }),
+            "got {err:?}"
+        );
+        assert!(sharded.last_recovery().worker_panics >= 1);
+        // The hard fault fires once per shard; the engines stay usable.
+        assert_eq!(sharded.forward_batch(&batch).unwrap(), clean);
+    }
+
+    #[test]
+    fn chunk_error_propagates_instead_of_panicking() {
+        // Regression for `expect("error-free wave fills every chunk")`:
+        // a chunk failing verification mid-wave (ladder off except
+        // detection) must surface its typed error.
+        let mut sharded = ShardedBpNtt::new(&config(), 2).unwrap();
+        sharded.set_recovery(RecoveryOptions {
+            verify: VerifyPolicy::Full,
+            retry_budget: 0,
+            software_fallback: false,
+        });
+        // A dead wordline in the coefficient region corrupts every chunk.
+        sharded.install_fault_plan(&FaultPlan::seeded(1).dead_row(0));
+        let batch: Vec<Vec<u64>> = (0..8).map(|s| pseudo(8, 97, s + 650)).collect();
+        match sharded.forward_batch(&batch) {
+            Err(BpNttError::IntegrityFailure { .. }) => {}
+            other => panic!("expected IntegrityFailure, got {other:?}"),
+        }
+        assert!(sharded.last_recovery().faults_detected >= 1);
+    }
+
+    #[test]
+    fn ladder_recovers_hard_fault_via_retry() {
+        // One hard fault per shard at instruction 0: the first attempt of
+        // the first chunk on each shard panics, the retry (fault
+        // consumed) succeeds. The full ladder returns a correct,
+        // complete wave.
+        let params = NttParams::new(8, 97).unwrap();
+        let mut sharded = ShardedBpNtt::new(&config(), 2).unwrap();
+        sharded.set_recovery(RecoveryOptions::resilient());
+        sharded.install_fault_plan(&FaultPlan::seeded(9).hard_fault_at(0));
+        let batch: Vec<Vec<u64>> = (0..12).map(|s| pseudo(8, 97, s + 660)).collect();
+        let got = sharded.forward_batch(&batch).unwrap();
+        let t = TwiddleTable::new(&params);
+        for (i, p) in batch.iter().enumerate() {
+            let mut expect = p.clone();
+            ntt_in_place(&params, &t, &mut expect).unwrap();
+            assert_eq!(got[i], expect, "poly {i}");
+        }
+        let r = sharded.recovery_totals();
+        assert!(r.worker_panics >= 1);
+        assert!(r.retries >= 1);
+        assert!(r.faults_detected >= 1);
+    }
+
+    #[test]
+    fn stuck_at_fault_quarantines_and_falls_back() {
+        // A dead row on every shard corrupts persistently: retries are
+        // useless, every shard quarantines, and the software fallback
+        // still delivers the correct answer for every polynomial.
+        let params = NttParams::new(8, 97).unwrap();
+        let mut sharded = ShardedBpNtt::new(&config(), 2).unwrap();
+        sharded.set_recovery(RecoveryOptions {
+            verify: VerifyPolicy::Full,
+            retry_budget: 1,
+            software_fallback: true,
+        });
+        sharded.install_fault_plan(&FaultPlan::seeded(3).dead_row(2));
+        let batch: Vec<Vec<u64>> = (0..8).map(|s| pseudo(8, 97, s + 670)).collect();
+        let got = sharded.forward_batch(&batch).unwrap();
+        let t = TwiddleTable::new(&params);
+        for (i, p) in batch.iter().enumerate() {
+            let mut expect = p.clone();
+            ntt_in_place(&params, &t, &mut expect).unwrap();
+            assert_eq!(got[i], expect, "poly {i} must come from the fallback");
+        }
+        let r = sharded.last_recovery();
+        assert!(r.degraded);
+        assert!(r.fallback_polys > 0);
+        assert_eq!(r.quarantined_shards, 2);
+        assert_eq!(sharded.quarantined(), vec![0, 1]);
+
+        // With every shard quarantined the next wave is pure software —
+        // still correct, still complete.
+        let got = sharded.forward_batch(&batch).unwrap();
+        assert_eq!(got.len(), 8);
+        assert_eq!(sharded.last_recovery().fallback_polys, 8);
+
+        // Lifting the quarantine (fault cleared) restores hardware waves.
+        sharded.clear_fault_plans();
+        sharded.lift_quarantine();
+        sharded.forward_batch(&batch).unwrap();
+        assert_eq!(sharded.last_recovery().fallback_polys, 0);
+        assert!(!sharded.last_recovery().degraded);
     }
 
     #[test]

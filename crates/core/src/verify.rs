@@ -1,0 +1,737 @@
+//! End-to-end output verification for pipeline runs.
+//!
+//! The simulator computes inside SRAM arrays, exactly the substrate where
+//! transient upsets and stuck cells corrupt results silently; this module
+//! is the *detect* rung of the recovery ladder. A [`VerifyPolicy`] chooses
+//! how much to pay for detection:
+//!
+//! * [`VerifyPolicy::Range`] — every output coefficient must be `< q`.
+//!   O(N) compares per lane; catches most high-bit flips for pennies but
+//!   misses corruption that lands inside the legal range.
+//! * [`VerifyPolicy::SpotCheck`] — Freivalds-style random-point checks
+//!   *plus* whole-output moment identities. An NTT output at index `i`
+//!   equals the input polynomial evaluated at the root power `r_i` (with
+//!   `r_i^n ≡ −1` in the negacyclic ring), so one O(N) Horner evaluation
+//!   checks one output point against the untransformed input — versus
+//!   O(N log N) to recompute the transform. The same identity gives a
+//!   product check for polynomial multiplication
+//!   (`c(r_i) = a(r_i)·b(r_i)`) and a spectral check for NTT-domain
+//!   pipelines.
+//!
+//!   Point sampling alone has a blind spot this module explicitly
+//!   closes: the difference between a corrupted output and the truth,
+//!   evaluated at the points `r_i`, is exactly the *spectrum* of the
+//!   error — and faults that strike while the pipeline is in the NTT
+//!   domain produce errors that are **sparse in that spectrum**, hence
+//!   zero at all but a few of the `n` sample points. (No better points
+//!   exist: every `r` with `r^n = −1` in `Z_q` already is an NTT sample
+//!   point.) So every recognized shape also gets two **moment**
+//!   identities — O(N) functionals `Σ t^i·(…)` at two frozen points
+//!   `t₁, t₂` that weigh *all* coefficients (for products, the host-side
+//!   spectra supply the right-hand side at O(N log N)). A single
+//!   corrupted coefficient or spectral index shifts a moment by
+//!   `δ·t^k ≢ 0` and is caught with certainty; a random multi-point
+//!   error escapes only if both frozen points are roots of the error
+//!   polynomial, probability ≈ `((n−1)/q)²` per lane. Specs without a
+//!   closed-form identity compare against a full software recomputation
+//!   of the lane. Residual escapes never survive a retry with a fresh
+//!   seed plus the ladder's terminal full-reference fallback.
+//! * [`VerifyPolicy::Full`] — recompute every lane with the software
+//!   reference NTT and compare exactly. The most expensive and the only
+//!   policy with zero escape probability in a single pass.
+//!
+//! Failures surface as [`BpNttError::IntegrityFailure`], which the
+//! sharded engine's retry/quarantine/fallback ladder consumes
+//! (see [`crate::ShardedBpNtt`]). The [`Verifier`] also exposes the
+//! software reference execution of a whole pipeline
+//! ([`Verifier::software_outputs`]) — the ladder's terminal *degrade*
+//! rung, guaranteeing a correct answer even on a hopelessly faulty array.
+
+use crate::error::BpNttError;
+use crate::pipeline::{PipeOp, PipelineSpec};
+use bpntt_modmath::zq::{add_mod, mul_mod, pow_mod};
+use bpntt_ntt::{forward::ntt_in_place, inverse::intt_in_place, NttParams, TwiddleTable};
+
+/// How aggressively pipeline outputs are checked before being returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VerifyPolicy {
+    /// No verification (the default): outputs are trusted as-is.
+    #[default]
+    Off,
+    /// Assert every output coefficient is reduced (`< q`).
+    Range,
+    /// Freivalds-style random-point evaluation (`points` checked points
+    /// per lane, each O(N)) plus two whole-output moment identities per
+    /// lane; see the [module docs](self) for the escape probability.
+    SpotCheck {
+        /// Points checked per output lane (0 behaves like `Off`).
+        points: usize,
+    },
+    /// Full comparison against the software reference transform.
+    Full,
+}
+
+impl VerifyPolicy {
+    /// Whether this policy performs any checking at all.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        !matches!(
+            self,
+            VerifyPolicy::Off | VerifyPolicy::SpotCheck { points: 0 }
+        )
+    }
+}
+
+/// Checks pipeline outputs against the inputs they were computed from.
+///
+/// Holds the parameter set, a software twiddle table, and the evaluation
+/// points `r_i` (the root power the transform evaluates at output index
+/// `i`, extracted convention-independently by transforming `x` — the
+/// transform of `e_1` at index `i` *is* `r_i`).
+#[derive(Debug, Clone)]
+pub struct Verifier {
+    params: NttParams,
+    twiddles: TwiddleTable,
+    /// `eval_points[i]` = the point the forward transform evaluates at
+    /// output index `i`, in this library's output ordering.
+    eval_points: Vec<u64>,
+    /// Powers `t₁^i` of the first frozen Freivalds point — the weight
+    /// vector of the O(N) whole-output *moment* check
+    /// `Σ_i t^i·out[i] = Σ_j w_j·in[j]`.
+    t_pows: Vec<u64>,
+    /// `w_j = Σ_i t₁^i·r_i^j`: the moment weights of the input side,
+    /// precomputed once (O(N²) at construction).
+    moment_w: Vec<u64>,
+    /// Powers of the second frozen point `t₂ ≠ t₁`. Requiring both
+    /// moment functionals to match squares the escape probability of a
+    /// random multi-coefficient error (each functional vanishes only if
+    /// its point is a root of the degree-`< n` error polynomial).
+    t2_pows: Vec<u64>,
+    /// Input-side moment weights at the second frozen point.
+    moment_w2: Vec<u64>,
+}
+
+/// Splitmix-style seed scrambler so consecutive nonces give unrelated
+/// streams.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Small xorshift stream for lane/point sampling (never zero-seeded).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(mix(seed) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Horner evaluation of `poly` at `r` modulo `q`.
+fn eval_at(poly: &[u64], r: u64, q: u64) -> u64 {
+    let mut acc = 0u64;
+    for &c in poly.iter().rev() {
+        acc = add_mod(mul_mod(acc, r, q), c % q, q);
+    }
+    acc
+}
+
+/// The zero polynomial a slot's lanes beyond its supplied batch hold
+/// (`load_batch_at` zeroes them).
+fn lane_or_zero<'a>(batch: &'a [Vec<u64>], lane: usize, zero: &'a [u64]) -> &'a [u64] {
+    batch.get(lane).map_or(zero, Vec::as_slice)
+}
+
+impl Verifier {
+    /// Builds a verifier for one parameter set (one software transform of
+    /// `x` to extract the evaluation points).
+    #[must_use]
+    pub fn new(params: &NttParams) -> Self {
+        let twiddles = TwiddleTable::new(params);
+        let mut e1 = vec![0u64; params.n()];
+        if params.n() > 1 {
+            e1[1] = 1;
+        }
+        ntt_in_place(params, &twiddles, &mut e1).expect("transforming x never fails");
+        let n = params.n();
+        let q = params.modulus();
+        // Freeze two distinct Freivalds points per verifier. Against
+        // random faults (not an adversary) fixed points are sound: a
+        // single-coefficient corruption δ·x^k shifts each moment by
+        // δ·t^k ≢ 0 (q prime keeps every power of t nonzero), and a
+        // multi-coefficient error escapes only if *both* points happen
+        // to be roots of the error polynomial.
+        let span = q.saturating_sub(3).max(1);
+        let t = 2 + mix(q ^ (n as u64)) % span;
+        let mut t2 = 2 + mix(q ^ (n as u64) ^ 0xa5a5_a5a5_a5a5_a5a5) % span;
+        if t2 == t {
+            t2 = 2 + (t - 2 + 1) % span;
+        }
+        let tables = |t: u64| {
+            let mut t_pows = vec![0u64; n];
+            let mut acc = 1u64;
+            for p in &mut t_pows {
+                *p = acc;
+                acc = mul_mod(acc, t, q);
+            }
+            let mut moment_w = vec![0u64; n];
+            for (j, w) in moment_w.iter_mut().enumerate() {
+                let mut s = 0u64;
+                for (i, &ti) in t_pows.iter().enumerate() {
+                    // r_i^j by repeated squaring is overkill for one table
+                    // build; Horner-free accumulation keeps it O(N²) total.
+                    s = add_mod(s, mul_mod(ti, pow_mod(e1[i], j as u64, q), q), q);
+                }
+                *w = s;
+            }
+            (t_pows, moment_w)
+        };
+        let (t_pows, moment_w) = tables(t);
+        let (t2_pows, moment_w2) = tables(t2);
+        Verifier {
+            params: params.clone(),
+            twiddles,
+            eval_points: e1,
+            t_pows,
+            moment_w,
+            t2_pows,
+            moment_w2,
+        }
+    }
+
+    /// Dot product `Σ weights[i]·values[i] mod q`.
+    fn dot(&self, weights: &[u64], values: &[u64]) -> u64 {
+        let q = self.params.modulus();
+        weights
+            .iter()
+            .zip(values)
+            .fold(0u64, |acc, (&w, &v)| add_mod(acc, mul_mod(w, v % q, q), q))
+    }
+
+    /// The evaluation point behind output index `i`.
+    #[must_use]
+    pub fn eval_point(&self, i: usize) -> u64 {
+        self.eval_points[i]
+    }
+
+    /// Runs `spec` in plain software for one lane: `inputs` holds one
+    /// polynomial per declared input slot, in spec order. Returns the
+    /// output lane, or `None` for output-less specs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reference-transform failures (wrong-length lanes).
+    pub fn software_lane(
+        &self,
+        spec: &PipelineSpec,
+        inputs: &[&[u64]],
+    ) -> Result<Option<Vec<u64>>, BpNttError> {
+        let n = self.params.n();
+        let q = self.params.modulus();
+        let n_slots = spec.slots();
+        let mut slots: Vec<Vec<u64>> = vec![vec![0u64; n]; n_slots];
+        for (&s, lane) in spec.input_slots().iter().zip(inputs) {
+            slots[usize::from(s)] = lane.to_vec();
+        }
+        for op in spec.ops() {
+            match *op {
+                PipeOp::Forward { slot } => {
+                    ntt_in_place(&self.params, &self.twiddles, &mut slots[usize::from(slot)])?;
+                }
+                PipeOp::Inverse { slot } => {
+                    intt_in_place(&self.params, &self.twiddles, &mut slots[usize::from(slot)])?;
+                }
+                PipeOp::Pointwise { dst, src } => {
+                    let (d, s) = (usize::from(dst), usize::from(src));
+                    let src_lane = slots[s].clone();
+                    for (c, &m) in slots[d].iter_mut().zip(&src_lane) {
+                        *c = mul_mod(*c, m, q);
+                    }
+                }
+                PipeOp::ScaleBy { slot, factor } => {
+                    for c in &mut slots[usize::from(slot)] {
+                        *c = mul_mod(*c, factor, q);
+                    }
+                }
+            }
+        }
+        Ok(spec
+            .output_slot()
+            .map(|s| std::mem::take(&mut slots[usize::from(s)])))
+    }
+
+    /// Runs `spec` in plain software for a whole batch — the recovery
+    /// ladder's terminal fallback. `inputs` holds one batch per declared
+    /// input slot; lanes beyond a slot's batch are the zero polynomial
+    /// (mirroring the engine's load discipline), and the output batch is
+    /// as long as the largest input batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reference-transform failures.
+    pub fn software_outputs(
+        &self,
+        spec: &PipelineSpec,
+        inputs: &[&[Vec<u64>]],
+    ) -> Result<Vec<Vec<u64>>, BpNttError> {
+        let batch = inputs.iter().map(|b| b.len()).max().unwrap_or(0);
+        let zero = vec![0u64; self.params.n()];
+        let mut out = Vec::with_capacity(batch);
+        for lane in 0..batch {
+            let lane_inputs: Vec<&[u64]> = inputs
+                .iter()
+                .map(|b| lane_or_zero(b, lane, &zero))
+                .collect();
+            match self.software_lane(spec, &lane_inputs)? {
+                Some(o) => out.push(o),
+                None => return Ok(Vec::new()),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Checks `outputs` (one lane per entry) of a pipeline run of `spec`
+    /// on `inputs` under `policy`. `seed` drives the spot-check sampling;
+    /// vary it between retries so a repeated check probes fresh points.
+    ///
+    /// # Errors
+    ///
+    /// [`BpNttError::IntegrityFailure`] naming the output slot and the
+    /// first mismatching lane/coefficient when a check fails.
+    pub fn check(
+        &self,
+        spec: &PipelineSpec,
+        inputs: &[&[Vec<u64>]],
+        outputs: &[Vec<u64>],
+        policy: VerifyPolicy,
+        seed: u64,
+    ) -> Result<(), BpNttError> {
+        let Some(out_slot) = spec.output_slot() else {
+            return Ok(());
+        };
+        let slot = usize::from(out_slot);
+        let q = self.params.modulus();
+        let n = self.params.n();
+        match policy {
+            VerifyPolicy::Off => Ok(()),
+            VerifyPolicy::Range => {
+                for (lane, out) in outputs.iter().enumerate() {
+                    if let Some(i) = out.iter().position(|&c| c >= q) {
+                        return Err(BpNttError::IntegrityFailure {
+                            slot,
+                            detail: format!(
+                                "range check: lane {lane} coefficient {i} is {} ≥ q = {q}",
+                                out[i]
+                            ),
+                        });
+                    }
+                }
+                Ok(())
+            }
+            VerifyPolicy::SpotCheck { points } if points > 0 => {
+                // Range discipline is part of every stronger policy: a
+                // point identity holds mod q even for unreduced outputs.
+                self.check(spec, inputs, outputs, VerifyPolicy::Range, seed)?;
+                let shape = Self::classify(spec);
+                let mut rng = Rng::new(seed);
+                let zero = vec![0u64; n];
+                for (lane, out) in outputs.iter().enumerate() {
+                    let lane_inputs: Vec<&[u64]> = inputs
+                        .iter()
+                        .map(|b| lane_or_zero(b, lane, &zero))
+                        .collect();
+                    // Whole-output moment identities — every coefficient
+                    // weighed, at two frozen points. Sampled points alone
+                    // miss spectrally sparse corruption (see module docs);
+                    // these O(N) functionals catch any single corrupted
+                    // coefficient or spectral index with certainty. For
+                    // product shapes, host NTTs of the inputs supply the
+                    // expected spectrum `p̂_i = â_i·b̂_i`, and
+                    // `Σ_j w_j·c_j = Σ_i t^i·p̂_i` closes the identity.
+                    let moments: Option<[(u64, u64); 2]> = match shape {
+                        SpecShape::Forward => Some([
+                            (
+                                self.dot(&self.t_pows, out),
+                                self.dot(&self.moment_w, lane_inputs[0]),
+                            ),
+                            (
+                                self.dot(&self.t2_pows, out),
+                                self.dot(&self.moment_w2, lane_inputs[0]),
+                            ),
+                        ]),
+                        SpecShape::Roundtrip => Some([
+                            (
+                                self.dot(&self.t_pows, out),
+                                self.dot(&self.t_pows, lane_inputs[0]),
+                            ),
+                            (
+                                self.dot(&self.t2_pows, out),
+                                self.dot(&self.t2_pows, lane_inputs[0]),
+                            ),
+                        ]),
+                        SpecShape::Polymul | SpecShape::PolymulSpectral => {
+                            let spectrum = |lane: &[u64]| -> Result<Vec<u64>, BpNttError> {
+                                let mut v: Vec<u64> = lane.iter().map(|&c| c % q).collect();
+                                v.resize(n, 0);
+                                if matches!(shape, SpecShape::Polymul) {
+                                    ntt_in_place(&self.params, &self.twiddles, &mut v)?;
+                                }
+                                Ok(v)
+                            };
+                            let ahat = spectrum(lane_inputs[0])?;
+                            let bhat = spectrum(lane_inputs[1])?;
+                            let phat: Vec<u64> = ahat
+                                .iter()
+                                .zip(&bhat)
+                                .map(|(&x, &y)| mul_mod(x, y, q))
+                                .collect();
+                            Some([
+                                (self.dot(&self.moment_w, out), self.dot(&self.t_pows, &phat)),
+                                (
+                                    self.dot(&self.moment_w2, out),
+                                    self.dot(&self.t2_pows, &phat),
+                                ),
+                            ])
+                        }
+                        SpecShape::General => None,
+                    };
+                    if let Some(pairs) = moments {
+                        for (k, (got, want)) in pairs.into_iter().enumerate() {
+                            if got != want {
+                                return Err(BpNttError::IntegrityFailure {
+                                    slot,
+                                    detail: format!(
+                                        "moment spot check: lane {lane} functional {k} \
+                                         is {got}, expected {want}"
+                                    ),
+                                });
+                            }
+                        }
+                        for _ in 0..points.min(n) {
+                            let i = rng.below(n);
+                            self.spot_check_point(&shape, &lane_inputs, out, lane, i, slot)?;
+                        }
+                    } else {
+                        // No closed-form identity, and sampling a software
+                        // reference that already cost O(N log N) to build
+                        // leaves detection on the table — compare it whole.
+                        let reference = self
+                            .software_lane(spec, &lane_inputs)?
+                            .expect("spec has an output slot");
+                        if let Some(i) = (0..n).find(|&i| out.get(i) != Some(&reference[i])) {
+                            return Err(BpNttError::IntegrityFailure {
+                                slot,
+                                detail: format!(
+                                    "reference spot check: lane {lane} coefficient {i} \
+                                     is {:?}, reference {}",
+                                    out.get(i),
+                                    reference[i]
+                                ),
+                            });
+                        }
+                    }
+                }
+                Ok(())
+            }
+            VerifyPolicy::SpotCheck { .. } => Ok(()),
+            VerifyPolicy::Full => {
+                let zero = vec![0u64; n];
+                for (lane, out) in outputs.iter().enumerate() {
+                    let lane_inputs: Vec<&[u64]> = inputs
+                        .iter()
+                        .map(|b| lane_or_zero(b, lane, &zero))
+                        .collect();
+                    let reference = self
+                        .software_lane(spec, &lane_inputs)?
+                        .expect("spec has an output slot");
+                    if let Some(i) = (0..n).find(|&i| out.get(i) != Some(&reference[i])) {
+                        return Err(BpNttError::IntegrityFailure {
+                            slot,
+                            detail: format!(
+                                "full check: lane {lane} coefficient {i} is {:?}, reference {}",
+                                out.get(i),
+                                reference[i]
+                            ),
+                        });
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// One random-point identity check of output index `i` of one lane.
+    ///
+    /// Only called for the recognized spec shapes with an O(N)
+    /// closed-form identity; [`SpecShape::General`] lanes are compared
+    /// whole against the software reference instead.
+    fn spot_check_point(
+        &self,
+        shape: &SpecShape,
+        lane_inputs: &[&[u64]],
+        out: &[u64],
+        lane: usize,
+        i: usize,
+        slot: usize,
+    ) -> Result<(), BpNttError> {
+        let q = self.params.modulus();
+        let fail = |kind: &str, got: u64, want: u64| BpNttError::IntegrityFailure {
+            slot,
+            detail: format!("{kind} spot check: lane {lane} point {i} is {got}, expected {want}"),
+        };
+        let r = self.eval_points[i];
+        let got = out.get(i).copied().unwrap_or(u64::MAX);
+        match shape {
+            SpecShape::Forward => {
+                // out[i] = A(r_i): one Horner pass over the input.
+                let want = eval_at(lane_inputs[0], r, q);
+                if got != want {
+                    return Err(fail("forward", got, want));
+                }
+            }
+            SpecShape::Roundtrip => {
+                let want = lane_inputs[0].get(i).copied().unwrap_or(0) % q;
+                if got != want {
+                    return Err(fail("roundtrip", got, want));
+                }
+            }
+            SpecShape::Polymul => {
+                // Freivalds: c(r_i) = a(r_i)·b(r_i) in Z_q[x]/(x^n + 1),
+                // because r_i^n ≡ −1 makes r_i a root-compatible point.
+                let want = mul_mod(
+                    eval_at(lane_inputs[0], r, q),
+                    eval_at(lane_inputs[1], r, q),
+                    q,
+                );
+                let got_eval = eval_at(out, r, q);
+                if got_eval != want {
+                    return Err(fail("product", got_eval, want));
+                }
+            }
+            SpecShape::PolymulSpectral => {
+                // Inputs are resident spectra: out(r_i) must equal the
+                // pointwise product â_i·b̂_i.
+                let want = mul_mod(
+                    lane_inputs[0].get(i).copied().unwrap_or(0),
+                    lane_inputs[1].get(i).copied().unwrap_or(0),
+                    q,
+                );
+                let got_eval = eval_at(out, r, q);
+                if got_eval != want {
+                    return Err(fail("spectral", got_eval, want));
+                }
+            }
+            SpecShape::General => unreachable!("general shapes use the full reference compare"),
+        }
+        Ok(())
+    }
+
+    /// Structural classification of a spec into the shapes with
+    /// closed-form point identities.
+    fn classify(spec: &PipelineSpec) -> SpecShape {
+        let ops = spec.ops();
+        let ins = spec.input_slots();
+        let out = spec.output_slot();
+        match (ops, ins, out) {
+            ([PipeOp::Forward { slot }], [i], Some(o)) if slot == i && *slot == o => {
+                SpecShape::Forward
+            }
+            ([PipeOp::Forward { slot: f }, PipeOp::Inverse { slot: v }], [i], Some(o))
+                if f == v && f == i && *f == o =>
+            {
+                SpecShape::Roundtrip
+            }
+            (
+                [PipeOp::Forward { slot: fa }, PipeOp::Forward { slot: fb }, PipeOp::Pointwise { dst, src }, PipeOp::Inverse { slot: v }],
+                [a, b],
+                Some(o),
+            ) if fa == a && fb == b && dst == a && src == b && v == a && *a == o => {
+                SpecShape::Polymul
+            }
+            ([PipeOp::Pointwise { dst, src }, PipeOp::Inverse { slot: v }], [a, b], Some(o))
+                if dst == a && src == b && v == a && *a == o =>
+            {
+                SpecShape::PolymulSpectral
+            }
+            _ => SpecShape::General,
+        }
+    }
+}
+
+/// Spec shapes with dedicated O(N) point identities.
+enum SpecShape {
+    Forward,
+    Roundtrip,
+    Polymul,
+    PolymulSpectral,
+    General,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpntt_ntt::Polynomial;
+
+    fn params() -> NttParams {
+        NttParams::new(16, 193).unwrap()
+    }
+
+    fn rand_poly(seed: u64) -> Vec<u64> {
+        Polynomial::pseudo_random(&params(), seed).into_coeffs()
+    }
+
+    #[test]
+    fn eval_points_satisfy_negacyclic_identity() {
+        let p = params();
+        let v = Verifier::new(&p);
+        for i in 0..p.n() {
+            let r = v.eval_point(i);
+            let rn = bpntt_modmath::zq::pow_mod(r, p.n() as u64, p.modulus());
+            assert_eq!(rn, p.modulus() - 1, "r_{i}^n must be −1");
+        }
+    }
+
+    #[test]
+    fn forward_spot_check_accepts_truth_and_rejects_corruption() {
+        let p = params();
+        let v = Verifier::new(&p);
+        let spec = PipelineSpec::forward_ntt();
+        let a = rand_poly(7);
+        let mut out = a.clone();
+        ntt_in_place(&p, &v.twiddles, &mut out).unwrap();
+        let batch = [a.clone()];
+        let inputs: Vec<&[Vec<u64>]> = vec![&batch];
+        let policy = VerifyPolicy::SpotCheck { points: 16 };
+        v.check(&spec, &inputs, &[out.clone()], policy, 1).unwrap();
+        let mut bad = out;
+        bad[3] = (bad[3] + 1) % p.modulus();
+        let err = v.check(&spec, &inputs, &[bad], policy, 1).unwrap_err();
+        assert!(matches!(err, BpNttError::IntegrityFailure { slot: 0, .. }));
+    }
+
+    #[test]
+    fn polymul_freivalds_catches_single_flip() {
+        let p = params();
+        let v = Verifier::new(&p);
+        let spec = PipelineSpec::polymul();
+        let (a, b) = (rand_poly(1), rand_poly(2));
+        let c = bpntt_ntt::polymul::polymul_schoolbook(&p, &a, &b).unwrap();
+        let (ba, bb) = ([a.clone()], [b.clone()]);
+        let inputs: Vec<&[Vec<u64>]> = vec![&ba, &bb];
+        // Every point of a correct product passes.
+        v.check(
+            &spec,
+            &inputs,
+            std::slice::from_ref(&c),
+            VerifyPolicy::SpotCheck { points: 16 },
+            3,
+        )
+        .unwrap();
+        // A flip changes c(r) for every r (degree < n polynomial), so a
+        // single checked point suffices.
+        let mut bad = c;
+        bad[0] ^= 1;
+        let err = v
+            .check(
+                &spec,
+                &inputs,
+                &[bad],
+                VerifyPolicy::SpotCheck { points: 1 },
+                3,
+            )
+            .unwrap_err();
+        assert!(matches!(err, BpNttError::IntegrityFailure { .. }));
+    }
+
+    #[test]
+    fn polymul_spot_check_catches_spectrally_sparse_corruption() {
+        // The regression the moment identities exist for: an error that
+        // is a single spike in the NTT spectrum vanishes at every
+        // unsampled Freivalds point, so point sampling alone misses it
+        // with probability ≈ 1 − points/n. The whole-output moments must
+        // catch it at any seed.
+        let p = params();
+        let v = Verifier::new(&p);
+        let spec = PipelineSpec::polymul();
+        let (a, b) = (rand_poly(21), rand_poly(22));
+        let c = bpntt_ntt::polymul::polymul_schoolbook(&p, &a, &b).unwrap();
+        let mut chat = c.clone();
+        ntt_in_place(&p, &v.twiddles, &mut chat).unwrap();
+        chat[5] = (chat[5] + 1) % p.modulus();
+        let mut bad = chat;
+        intt_in_place(&p, &v.twiddles, &mut bad).unwrap();
+        assert_ne!(bad, c);
+        let (ba, bb) = ([a], [b]);
+        let inputs: Vec<&[Vec<u64>]> = vec![&ba, &bb];
+        for seed in 0..32 {
+            let err = v
+                .check(
+                    &spec,
+                    &inputs,
+                    std::slice::from_ref(&bad),
+                    VerifyPolicy::SpotCheck { points: 2 },
+                    seed,
+                )
+                .unwrap_err();
+            assert!(matches!(err, BpNttError::IntegrityFailure { .. }));
+        }
+    }
+
+    #[test]
+    fn range_and_full_policies() {
+        let p = params();
+        let v = Verifier::new(&p);
+        let spec = PipelineSpec::forward_ntt();
+        let a = rand_poly(9);
+        let mut out = a.clone();
+        ntt_in_place(&p, &v.twiddles, &mut out).unwrap();
+        let batch = [a.clone()];
+        let inputs: Vec<&[Vec<u64>]> = vec![&batch];
+        v.check(&spec, &inputs, &[out.clone()], VerifyPolicy::Range, 0)
+            .unwrap();
+        v.check(&spec, &inputs, &[out.clone()], VerifyPolicy::Full, 0)
+            .unwrap();
+        let mut unreduced = out.clone();
+        unreduced[5] += p.modulus();
+        assert!(v
+            .check(&spec, &inputs, &[unreduced], VerifyPolicy::Range, 0)
+            .is_err());
+        // In-range corruption slips past Range but not Full.
+        let mut subtle = out;
+        subtle[5] = (subtle[5] + 1) % p.modulus();
+        v.check(&spec, &inputs, &[subtle.clone()], VerifyPolicy::Range, 0)
+            .unwrap();
+        assert!(v
+            .check(&spec, &inputs, &[subtle], VerifyPolicy::Full, 0)
+            .is_err());
+    }
+
+    #[test]
+    fn software_outputs_match_schoolbook() {
+        let p = params();
+        let v = Verifier::new(&p);
+        let (a, b) = (rand_poly(4), rand_poly(5));
+        let want = bpntt_ntt::polymul::polymul_schoolbook(&p, &a, &b).unwrap();
+        let (ba, bb) = ([a], [b]);
+        let inputs: Vec<&[Vec<u64>]> = vec![&ba, &bb];
+        let got = v
+            .software_outputs(&PipelineSpec::polymul(), &inputs)
+            .unwrap();
+        assert_eq!(got, vec![want]);
+    }
+}

@@ -5,6 +5,7 @@ use crate::array::SramArray;
 use crate::bitrow::BitRow;
 use crate::cost::{EnergyModel, TimingModel};
 use crate::error::SramError;
+use crate::fault::{FaultPlan, FaultState, FaultStats};
 use crate::isa::{BitOp, Instruction, PredMode, Program, ShiftDir, UnaryKind};
 use crate::stats::{FastPathStats, Stats};
 use crate::wordkern::FastPathKind;
@@ -85,6 +86,9 @@ pub struct Controller {
     /// layer of the multiply-smear predicate latch
     /// ([`crate::wordkern::latch_tile_bit`]).
     tile_base_mask: Vec<u64>,
+    /// Installed fault-injection state ([`crate::fault`]); `None` in
+    /// normal operation, where the per-batch hook is one pointer test.
+    fault: Option<Box<FaultState>>,
 }
 
 impl Controller {
@@ -140,7 +144,84 @@ impl Controller {
             shl_keep,
             shr_keep,
             tile_base_mask,
+            fault: None,
         })
+    }
+
+    /// Installs a [`FaultPlan`], replacing any existing one. Faults are
+    /// applied at instruction-batch boundaries on every execution path
+    /// (replay, fused emission, generic emission) and at every costed
+    /// data-row load/read; see the [`crate::fault`] module docs for the
+    /// fault model and determinism guarantees. Installing an empty plan
+    /// still routes execution through the hook, which is the cheap way
+    /// to check the hook itself is cost-neutral.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = Some(Box::new(FaultState::new(plan)));
+    }
+
+    /// Removes the installed fault plan, returning its injection
+    /// counters ([`FaultStats::default`] when none was installed).
+    pub fn clear_fault_plan(&mut self) -> FaultStats {
+        self.fault.take().map(|s| s.stats).unwrap_or_default()
+    }
+
+    /// Injection counters of the installed plan (`None` when no plan is
+    /// installed).
+    #[must_use]
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.fault.as_ref().map(|s| s.stats)
+    }
+
+    /// The fault hook: called once per instruction-batch boundary. The
+    /// common no-plan case is a single `Option` discriminant test.
+    #[inline]
+    pub(crate) fn fault_tick(&mut self) {
+        if self.fault.is_some() {
+            self.fault_tick_slow();
+        }
+    }
+
+    /// Applies every fault due at the current instruction clock
+    /// (`Stats::counts.total()`, which the bit-identity contract makes
+    /// mode-independent): fires due transients as live bit-flips,
+    /// re-imposes stuck cells and dead rows, and trips a scheduled hard
+    /// fault as a controller panic.
+    #[cold]
+    fn fault_tick_slow(&mut self) {
+        let now = self.stats.counts.total();
+        let rows = self.array.rows();
+        let cols = self.array.cols();
+        let Some(state) = self.fault.as_mut() else {
+            return;
+        };
+        let mut flips = Vec::new();
+        let hard = state.collect_due(now, rows, cols, &mut flips);
+        for (r, b) in flips {
+            let row = self.array.row_mut(r);
+            let v = row.bit(b);
+            row.set_bit(b, !v);
+        }
+        if state.has_persistent() {
+            state.stats.persistent_imposications += 1;
+            // Clone the small fault lists so the array can be mutated
+            // while the state stays borrowed-free.
+            let dead = state.plan.dead_rows.clone();
+            let stuck = state.plan.stuck.clone();
+            for r in dead {
+                if r < rows {
+                    let row = self.array.row_mut(r);
+                    *row = BitRow::zero(cols);
+                }
+            }
+            for c in stuck {
+                if c.row < rows && c.bit < cols {
+                    self.array.row_mut(c.row).set_bit(c.bit, c.value);
+                }
+            }
+        }
+        if hard {
+            panic!("injected hard fault: SRAM controller wordline latch-up at instruction {now}");
+        }
     }
 
     /// Latches the per-tile predicate from tile-relative column `bit` of
@@ -254,6 +335,7 @@ impl Controller {
         self.stats.row_loads += 1;
         self.stats.cycles += self.timing.row_io;
         self.stats.energy_pj += self.energy.row_io_pj(self.array.cols());
+        self.fault_tick();
     }
 
     /// Reads one data row through the normal SRAM read port (costed).
@@ -266,6 +348,7 @@ impl Controller {
         self.stats.row_stores += 1;
         self.stats.cycles += self.timing.row_io;
         self.stats.energy_pj += self.energy.row_io_pj(self.array.cols());
+        self.fault_tick();
         self.array.row(r).clone()
     }
 

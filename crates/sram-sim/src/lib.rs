@@ -73,6 +73,7 @@ pub mod bitrow;
 pub mod cost;
 pub mod error;
 pub mod exec;
+pub mod fault;
 pub mod geometry;
 pub mod isa;
 pub mod program;
@@ -84,6 +85,7 @@ pub use bitrow::BitRow;
 pub use cost::{EnergyModel, TimingModel};
 pub use error::SramError;
 pub use exec::Controller;
+pub use fault::{FaultPlan, FaultStats};
 pub use geometry::{AreaBreakdown, AreaModel, ArrayGeometry, FrequencyModel};
 pub use isa::{BitOp, Instruction, PredMode, Program, RowAddr, ShiftDir, UnaryKind};
 pub use program::{

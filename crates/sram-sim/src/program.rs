@@ -113,10 +113,15 @@ pub trait InstrSink {
 
 impl InstrSink for Controller {
     fn emit(&mut self, i: Instruction) -> Result<(), SramError> {
+        self.fault_tick();
         self.execute(&i)
     }
 
     fn zero_loop(&mut self, spec: ZeroLoopSpec<'_>) -> Result<(), SramError> {
+        // Tick only at the loop boundary, never between rounds: the
+        // max_checks convergence bound covers arbitrary data at loop
+        // entry but not mid-loop mutation.
+        self.fault_tick();
         let mut bodies = 0usize;
         for k in 0..spec.max_checks {
             self.execute(&Instruction::CheckZero { src: spec.src })?;
@@ -1200,6 +1205,7 @@ impl<'c> FusedSink<'c> {
 
 impl InstrSink for FusedSink<'_> {
     fn emit(&mut self, i: Instruction) -> Result<(), SramError> {
+        self.ctl.fault_tick();
         self.window.push(i);
         // Keep a full lookahead window so a short prefix of a long
         // pattern is never claimed by a shorter matcher (replay lowers
@@ -1212,6 +1218,7 @@ impl InstrSink for FusedSink<'_> {
 
     fn zero_loop(&mut self, spec: ZeroLoopSpec<'_>) -> Result<(), SramError> {
         self.flush()?;
+        self.ctl.fault_tick();
         let check = Instruction::CheckZero { src: spec.src };
         self.ctl.validate_instr(&check)?;
         let check_cycles = self.ctl.timing_model().cycles(&check);
@@ -1936,6 +1943,10 @@ impl Controller {
         // executors never re-derive it from slice lengths per superop.
         debug_assert_eq!(prog.fast_path, self.fast_path_kind());
         for c in &prog.ctrl {
+            // Control entries are whole superops, so this boundary is
+            // never inside a resolution loop — the one place injected
+            // corruption could stall the zero-flag convergence bound.
+            self.fault_tick();
             self.exec_ctrl(prog, *c);
         }
         Ok(())

@@ -31,6 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             shards: 2,
             max_queue: 256,
             coalesce_window: Duration::from_micros(500),
+            ..ServiceOptions::default()
         },
     )?;
 

@@ -1,10 +1,24 @@
-//! Failure injection: every public construction and loading path rejects
-//! invalid input with a specific, typed error.
+//! Failure injection, in two halves:
+//!
+//! 1. **Rejection paths** — every public construction and loading path
+//!    rejects invalid input with a specific, typed error.
+//! 2. **Fault drills** — seeded SRAM [`FaultPlan`]s (transient bit
+//!    flips, stuck-at cells, dead rows, hard faults) run against every
+//!    execution mode with output verification armed, exercising the
+//!    detect → retry → quarantine → degrade recovery ladder end to end.
+//!    The drills' core invariant: **no corrupted polynomial is ever
+//!    returned as verified** — a run either produces the
+//!    reference-exact result or fails with a typed error.
 
-use bpntt_core::{BpNtt, BpNttConfig, BpNttError, Layout};
+use bpntt_core::{
+    BpNtt, BpNttConfig, BpNttError, ExecMode, FaultPlan, Layout, PipelineSpec, RecoveryOptions,
+    ShardedBpNtt, VerifyPolicy,
+};
 use bpntt_modmath::ModMathError;
-use bpntt_ntt::{NttError, NttParams};
+use bpntt_ntt::forward::ntt_in_place;
+use bpntt_ntt::{NttError, NttParams, Polynomial, TwiddleTable};
 use bpntt_sram::{Controller, Instruction, RowAddr, SramArray, SramError};
+use proptest::prelude::*;
 
 #[test]
 fn modmath_rejections() {
@@ -166,4 +180,230 @@ fn errors_format_and_chain() {
     assert!(!e.to_string().is_empty());
     let e = BpNttError::from(NttError::InvalidLength { n: 3 });
     assert!(e.to_string().contains('3'));
+}
+
+// ---------------------------------------------------------------------
+// Fault drills
+// ---------------------------------------------------------------------
+
+const MODES: [ExecMode; 3] = [ExecMode::Replay, ExecMode::FusedEmit, ExecMode::Generic];
+
+/// 8-point mod-97 config with polymul capacity.
+fn drill_config() -> BpNttConfig {
+    BpNttConfig::new(32, 32, 8, NttParams::new(8, 97).unwrap()).unwrap()
+}
+
+fn pseudo(seed: u64) -> Vec<u64> {
+    Polynomial::pseudo_random(&NttParams::new(8, 97).unwrap(), seed).into_coeffs()
+}
+
+fn forward_reference(p: &[u64]) -> Vec<u64> {
+    let params = NttParams::new(8, 97).unwrap();
+    let tw = TwiddleTable::new(&params);
+    let mut v = p.to_vec();
+    ntt_in_place(&params, &tw, &mut v).unwrap();
+    v
+}
+
+/// Every fault mode × every execution mode on a single verified engine:
+/// a run either returns the reference-exact spectra or fails with
+/// `IntegrityFailure` — corrupted output is never returned as verified.
+/// The dead-row plan (certain corruption of pseudo-random data) must
+/// additionally be *detected* at least once per mode.
+#[test]
+fn fault_drill_no_corrupted_output_escapes_any_mode() {
+    let plans: [(&str, FaultPlan); 3] = [
+        ("transient", FaultPlan::seeded(3).transient_rate(5e-4)),
+        ("stuck-at", FaultPlan::seeded(4).stuck_at(1, 3, true)),
+        ("dead-row", FaultPlan::seeded(5).dead_row(2)),
+    ];
+    let polys: Vec<Vec<u64>> = (1u64..=4).map(pseudo).collect();
+    let expect: Vec<Vec<u64>> = polys.iter().map(|p| forward_reference(p)).collect();
+    for mode in MODES {
+        for (name, plan) in &plans {
+            let mut acc = BpNtt::new(drill_config()).unwrap();
+            acc.set_verify_policy(VerifyPolicy::Full);
+            acc.install_fault_plan(plan.clone());
+            let mut detected = 0u32;
+            for round in 0..6 {
+                match acc.run_pipeline(&PipelineSpec::forward_ntt(), mode, &[&polys]) {
+                    Ok(out) => assert_eq!(
+                        out, expect,
+                        "corrupted output returned verified ({name}, {mode:?}, round {round})"
+                    ),
+                    Err(BpNttError::IntegrityFailure { .. }) => detected += 1,
+                    Err(e) => panic!("unexpected error class ({name}, {mode:?}): {e}"),
+                }
+            }
+            if *name == "dead-row" {
+                assert!(detected > 0, "dead row escaped detection ({mode:?})");
+            }
+        }
+    }
+}
+
+/// Transient chaos against the full recovery ladder, per execution
+/// mode: every wave completes with reference-exact results, and the
+/// ladder's counters show detection and retries actually happened.
+#[test]
+fn fault_drill_ladder_recovers_transients_every_mode() {
+    let polys: Vec<Vec<u64>> = (10u64..18).map(pseudo).collect();
+    let expect: Vec<Vec<u64>> = polys.iter().map(|p| forward_reference(p)).collect();
+    for mode in MODES {
+        let mut eng = ShardedBpNtt::new(&drill_config(), 2).unwrap();
+        eng.set_recovery(RecoveryOptions {
+            verify: VerifyPolicy::Full,
+            retry_budget: 3,
+            software_fallback: true,
+        });
+        eng.install_fault_plan(&FaultPlan::seeded(11).transient_rate(1e-3));
+        for round in 0..6 {
+            let out = eng
+                .run_pipeline_batch(&PipelineSpec::forward_ntt(), mode, &[&polys])
+                .unwrap_or_else(|e| panic!("ladder failed ({mode:?}, round {round}): {e}"));
+            assert_eq!(
+                out, expect,
+                "escape past the ladder ({mode:?}, round {round})"
+            );
+        }
+        let totals = eng.recovery_totals();
+        assert!(
+            totals.faults_detected > 0,
+            "chaos rate injected nothing ({mode:?}); raise the rate"
+        );
+        assert!(totals.retries > 0, "detections never retried ({mode:?})");
+    }
+}
+
+/// A persistent dead row exhausts retries, quarantines the owning
+/// shards, and degrades to the software reference — while every wave
+/// still completes correctly. Clearing the plan and lifting quarantine
+/// restores fault-free operation.
+#[test]
+fn fault_drill_persistent_fault_quarantines_then_recovers() {
+    let polys: Vec<Vec<u64>> = (20u64..28).map(pseudo).collect();
+    let expect: Vec<Vec<u64>> = polys.iter().map(|p| forward_reference(p)).collect();
+    for mode in MODES {
+        let mut eng = ShardedBpNtt::new(&drill_config(), 2).unwrap();
+        eng.set_recovery(RecoveryOptions {
+            verify: VerifyPolicy::Full,
+            retry_budget: 1,
+            software_fallback: true,
+        });
+        eng.install_fault_plan(&FaultPlan::seeded(21).dead_row(2));
+        let out = eng
+            .run_pipeline_batch(&PipelineSpec::forward_ntt(), mode, &[&polys])
+            .unwrap();
+        assert_eq!(
+            out, expect,
+            "degraded wave still answers correctly ({mode:?})"
+        );
+        let wave = eng.last_recovery();
+        assert!(wave.degraded, "persistent fault did not degrade ({mode:?})");
+        assert!(wave.fallback_polys > 0, "no software fallback ({mode:?})");
+        assert!(
+            !eng.quarantined().is_empty(),
+            "no shard quarantined ({mode:?})"
+        );
+        // Heal: remove the plan, readmit the shards, run clean.
+        let stats = eng.clear_fault_plans();
+        assert!(stats.persistent_imposications > 0, "dead row never imposed");
+        eng.lift_quarantine();
+        let out = eng
+            .run_pipeline_batch(&PipelineSpec::forward_ntt(), mode, &[&polys])
+            .unwrap();
+        assert_eq!(out, expect);
+        let wave = eng.last_recovery();
+        assert!(!wave.degraded, "healed engine still degraded ({mode:?})");
+        assert_eq!(wave.fallback_polys, 0);
+    }
+}
+
+/// SpotCheck (not just Full) stops chaos escapes: with a transient rate
+/// and the cheap O(N)-per-point policy, every completed wave is still
+/// reference-exact.
+#[test]
+fn fault_drill_spotcheck_stops_escapes_under_chaos() {
+    let polys: Vec<Vec<u64>> = (30u64..38).map(pseudo).collect();
+    let expect: Vec<Vec<u64>> = polys.iter().map(|p| forward_reference(p)).collect();
+    let mut eng = ShardedBpNtt::new(&drill_config(), 2).unwrap();
+    eng.set_recovery(RecoveryOptions {
+        verify: VerifyPolicy::SpotCheck { points: 2 },
+        retry_budget: 3,
+        software_fallback: true,
+    });
+    eng.install_fault_plan(&FaultPlan::seeded(31).transient_rate(1e-3));
+    for round in 0..8 {
+        let out = eng
+            .run_pipeline_batch(&PipelineSpec::forward_ntt(), ExecMode::Replay, &[&polys])
+            .unwrap();
+        assert_eq!(
+            out, expect,
+            "SpotCheck let a corrupted poly escape (round {round})"
+        );
+    }
+    assert!(
+        eng.recovery_totals().faults_detected > 0,
+        "chaos was a no-op"
+    );
+}
+
+/// A hard fault (worker panic) is contained: the wave that hits it
+/// either recovers through the ladder or fails typed, and the engine
+/// survives to serve the next wave.
+#[test]
+fn fault_drill_hard_fault_is_contained_and_typed() {
+    let polys: Vec<Vec<u64>> = (40u64..44).map(pseudo).collect();
+    let expect: Vec<Vec<u64>> = polys.iter().map(|p| forward_reference(p)).collect();
+    // Ladder off: the panic surfaces as WorkerPanicked, not a crash.
+    let mut bare = ShardedBpNtt::new(&drill_config(), 2).unwrap();
+    bare.install_fault_plan(&FaultPlan::seeded(41).hard_fault_at(40));
+    let r = bare.run_pipeline_batch(&PipelineSpec::forward_ntt(), ExecMode::Replay, &[&polys]);
+    assert!(
+        matches!(r, Err(BpNttError::WorkerPanicked { .. })),
+        "expected WorkerPanicked, got {r:?}"
+    );
+    // The hard fault is one-shot: the engine answers the next wave.
+    let out = bare
+        .run_pipeline_batch(&PipelineSpec::forward_ntt(), ExecMode::Replay, &[&polys])
+        .unwrap();
+    assert_eq!(out, expect);
+
+    // Ladder on: the same fault is absorbed by retry within one wave.
+    let mut laddered = ShardedBpNtt::new(&drill_config(), 2).unwrap();
+    laddered.set_recovery(RecoveryOptions {
+        verify: VerifyPolicy::Full,
+        retry_budget: 2,
+        software_fallback: true,
+    });
+    laddered.install_fault_plan(&FaultPlan::seeded(41).hard_fault_at(40));
+    let out = laddered
+        .run_pipeline_batch(&PipelineSpec::forward_ntt(), ExecMode::Replay, &[&polys])
+        .unwrap();
+    assert_eq!(out, expect);
+    assert!(
+        laddered.recovery_totals().worker_panics > 0,
+        "panic not contained in-ladder"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// SpotCheck never false-positives on clean (fault-free) runs: for
+    /// arbitrary inputs and point counts, verified forward, roundtrip,
+    /// and polymul pipelines all pass.
+    #[test]
+    fn spotcheck_clean_runs_never_false_positive(seed in any::<u64>(), points in 1usize..4) {
+        let mut acc = BpNtt::new(drill_config()).unwrap();
+        acc.set_verify_policy(VerifyPolicy::SpotCheck { points });
+        let a: Vec<Vec<u64>> = (0u64..3).map(|i| pseudo(seed ^ (i + 1))).collect();
+        let b: Vec<Vec<u64>> = (0u64..3).map(|i| pseudo(seed ^ (i + 11))).collect();
+        acc.run_pipeline(&PipelineSpec::forward_ntt(), ExecMode::Replay, &[&a])
+            .expect("clean forward flagged");
+        acc.run_pipeline(&PipelineSpec::roundtrip(), ExecMode::Replay, &[&a])
+            .expect("clean roundtrip flagged");
+        acc.run_pipeline(&PipelineSpec::polymul(), ExecMode::Replay, &[&a, &b])
+            .expect("clean polymul flagged");
+    }
 }

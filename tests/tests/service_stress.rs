@@ -107,6 +107,7 @@ fn concurrent_mixed_clients_match_reference() {
             shards: 2,
             max_queue: 64,
             coalesce_window: Duration::from_millis(2),
+            ..ServiceOptions::default()
         },
     )
     .unwrap();
@@ -146,6 +147,7 @@ fn mixed_clients_on_forced_scalar_path() {
             shards: 2,
             max_queue: 64,
             coalesce_window: Duration::from_micros(500),
+            ..ServiceOptions::default()
         },
     )
     .unwrap();
@@ -167,6 +169,7 @@ fn multi_tenant_clients_share_the_program_cache() {
             shards: 2,
             max_queue: 128,
             coalesce_window: Duration::from_micros(500),
+            ..ServiceOptions::default()
         },
     )
     .unwrap();
@@ -214,6 +217,7 @@ fn pipeline_requests_coalesce_and_match_reference() {
             shards: 2,
             max_queue: 64,
             coalesce_window: Duration::from_micros(500),
+            ..ServiceOptions::default()
         },
     )
     .unwrap();
@@ -367,4 +371,88 @@ fn backpressure_is_typed_and_counted() {
     let m = service.shutdown();
     assert_eq!(m.rejected, 3);
     assert_eq!(m.submitted, 0);
+}
+
+/// Chaos scenario: mixed-tenant load under injected SRAM transients,
+/// full verification, and a scattering of tight deadlines. Invariants:
+/// every non-deadline request completes with the reference-exact
+/// result (zero corrupted escapes), deadline-expired tickets fail typed
+/// with `DeadlineExpired` and never block their callers, and the
+/// recovery counters surface in the metrics JSON.
+#[test]
+fn chaos_mixed_tenants_with_faults_and_tight_deadlines() {
+    use bpntt_core::{FaultPlan, VerifyPolicy};
+    let params8 = NttParams::new(8, 97).unwrap();
+    let params16 = NttParams::new(16, 193).unwrap();
+    let service = NttService::start(
+        &config8(),
+        ServiceOptions {
+            shards: 2,
+            max_queue: 128,
+            coalesce_window: Duration::from_millis(1),
+            verify: VerifyPolicy::Full,
+            retry_budget: 2,
+            fault_plan: Some(FaultPlan::seeded(0xC0FFEE).transient_rate(2e-4)),
+            ..ServiceOptions::default()
+        },
+    )
+    .unwrap();
+    let t8 = service.default_tenant();
+    let t16 = service.add_tenant(&config16()).unwrap();
+
+    // Tight-deadline probes interleaved with the load: zero-deadline
+    // requests expire on the dispatcher's first look, typed, and the
+    // ticket resolves instead of hanging.
+    let mut doomed = Vec::new();
+    std::thread::scope(|scope| {
+        let service = &service;
+        let params8 = &params8;
+        let params16 = &params16;
+        scope.spawn(move || run_mixed_stress(service, t8, params8, 3, 16));
+        scope.spawn(move || run_mixed_stress(service, t16, params16, 3, 16));
+        for s in 0..6 {
+            doomed.push(submit_with_retry(|| {
+                service.submit_pipeline(
+                    PipelineRequest::new(PipelineSpec::forward_ntt(), vec![pseudo(8, 97, 900 + s)])
+                        .with_tenant(t8)
+                        .with_deadline(Duration::ZERO),
+                )
+            }));
+        }
+    });
+    let mut expired = 0u64;
+    for t in doomed {
+        // Bounded wait: an expired ticket must resolve, never block.
+        match t
+            .wait_timeout(Duration::from_secs(30))
+            .expect("deadline ticket hung")
+        {
+            Err(BpNttError::DeadlineExpired { .. }) => expired += 1,
+            Ok(out) => assert_eq!(out.len(), 8, "raced the dispatcher and completed"),
+            Err(e) => panic!("unexpected error for deadline probe: {e}"),
+        }
+    }
+    let m = service.shutdown();
+    assert_eq!(
+        m.completed + m.failed,
+        m.submitted,
+        "every accepted request resolved"
+    );
+    assert_eq!(
+        m.failed, m.deadline_expired,
+        "only deadline probes may fail"
+    );
+    assert_eq!(m.deadline_expired, expired);
+    assert!(m.verify_ms > 0.0, "verification ran");
+    let json = m.to_json();
+    for key in [
+        "\"faults_detected\"",
+        "\"retries\"",
+        "\"quarantined_shards\"",
+        "\"fallback_polys\"",
+        "\"deadline_expired\"",
+        "\"verify_ms\"",
+    ] {
+        assert!(json.contains(key), "missing {key} in metrics JSON");
+    }
 }
