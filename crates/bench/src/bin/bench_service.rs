@@ -1,6 +1,7 @@
-//! Emits `BENCH_service.json`: throughput and queue metrics of the
-//! request-queue service under a concurrent mixed workload. Run from the
-//! workspace root:
+//! Emits `bench_service_mixed.json`: throughput and queue metrics of the
+//! request-queue service under a concurrent mixed workload. (The tracked
+//! `BENCH_service.json` trajectory belongs to the `loadgen` bin, which
+//! drives the wire front-end.) Run from the workspace root:
 //!
 //! ```text
 //! cargo run --release -p bpntt-bench --bin bench_service [-- OPTIONS]
@@ -16,7 +17,7 @@
 //! * `--coalesce-us N` — dispatcher coalescing window in µs (default
 //!   500).
 //! * `--json-out PATH` — where to write the JSON (default
-//!   `BENCH_service.json`).
+//!   `bench_service_mixed.json`).
 //! * `--chaos-rate R` — per-instruction transient bit-flip probability
 //!   injected into every shard's SRAM (default 0 = no faults). Use with
 //!   `--verify` so corruption is detected and recovered, not returned.
@@ -61,7 +62,7 @@ fn parse_args() -> Options {
         requests: 48,
         queue: 512,
         coalesce_us: 500,
-        json_out: "BENCH_service.json".to_string(),
+        json_out: "bench_service_mixed.json".to_string(),
         chaos_rate: 0.0,
         verify: VerifyPolicy::Off,
     };

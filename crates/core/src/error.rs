@@ -79,14 +79,34 @@ pub enum BpNttError {
         /// Length of the second operand batch.
         b: usize,
     },
-    /// The service's bounded request queue is full — backpressure: the
-    /// client should retry after draining some tickets.
+    /// The service shed the request under load — the bounded queue is
+    /// full, or queue-depth load shedding kicked in above the configured
+    /// threshold. Backpressure: the client should retry after
+    /// `retry_after_ms` (the service's drain-rate estimate of when a
+    /// slot frees up).
     Overloaded {
         /// Requests currently queued.
         depth: usize,
         /// The queue's configured capacity.
         capacity: usize,
+        /// Suggested client back-off before resubmitting, in
+        /// milliseconds (estimated from the dispatcher's recent drain
+        /// rate; never zero).
+        retry_after_ms: u64,
     },
+    /// The tenant's token-bucket rate limit rejected the request.
+    /// Distinct from [`Self::Overloaded`]: this is a per-tenant
+    /// admission decision, not global queue pressure.
+    RateLimited {
+        /// The rate-limited tenant.
+        tenant: u32,
+        /// Milliseconds until the bucket refills enough for one request.
+        retry_after_ms: u64,
+    },
+    /// The request was cancelled before (or while) executing — its
+    /// ticket was dropped or explicitly cancelled, e.g. a network client
+    /// disconnecting mid-request.
+    Cancelled,
     /// The service dispatcher has shut down (or dropped a reply channel);
     /// no further requests will be served.
     ServiceShutdown,
@@ -180,11 +200,28 @@ impl fmt::Display for BpNttError {
                     "paired batches must have equal lengths (got {a} and {b})"
                 )
             }
-            BpNttError::Overloaded { depth, capacity } => {
+            BpNttError::Overloaded {
+                depth,
+                capacity,
+                retry_after_ms,
+            } => {
                 write!(
                     f,
-                    "service queue overloaded ({depth} of {capacity} slots in use)"
+                    "service queue overloaded ({depth} of {capacity} slots in use; \
+                     retry after {retry_after_ms} ms)"
                 )
+            }
+            BpNttError::RateLimited {
+                tenant,
+                retry_after_ms,
+            } => {
+                write!(
+                    f,
+                    "tenant {tenant} rate-limited; retry after {retry_after_ms} ms"
+                )
+            }
+            BpNttError::Cancelled => {
+                write!(f, "the request was cancelled before completing")
             }
             BpNttError::ServiceShutdown => {
                 write!(f, "the NTT service has shut down")
@@ -253,8 +290,17 @@ mod tests {
         let e = BpNttError::Overloaded {
             depth: 128,
             capacity: 128,
+            retry_after_ms: 7,
         };
         assert!(e.to_string().contains("128 of 128"));
+        assert!(e.to_string().contains("retry after 7 ms"));
+        let e = BpNttError::RateLimited {
+            tenant: 3,
+            retry_after_ms: 12,
+        };
+        assert!(e.to_string().contains("tenant 3"));
+        assert!(e.to_string().contains("12 ms"));
+        assert!(BpNttError::Cancelled.to_string().contains("cancelled"));
         let e = BpNttError::InvalidPipeline {
             reason: "pointwise self-product on slot 3".into(),
         };

@@ -58,9 +58,9 @@ pub use engine::BpNtt;
 pub use error::BpNttError;
 pub use kernels::Kernels;
 pub use layout::{Layout, RowMap};
-pub use metrics::{PerfReport, ServiceMetrics};
+pub use metrics::{PerfReport, ServiceMetrics, TenantMetrics};
 pub use pipeline::{CompiledPipeline, ExecMode, PipeOp, PipelineSpec};
-pub use service::{NttService, PipelineRequest, ServiceOptions, TenantId, Ticket};
+pub use service::{NttService, PipelineRequest, RateLimit, ServiceOptions, TenantId, Ticket};
 pub use sharded::{RecoveryOptions, RecoveryReport, ShardedBpNtt};
 pub use verify::{Verifier, VerifyPolicy};
 

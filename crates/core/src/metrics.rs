@@ -120,11 +120,61 @@ impl fmt::Display for PerfReport {
     }
 }
 
+/// Per-tenant slice of the service counters: how one tenant's traffic
+/// fared through admission, the fair queue, and the waves. The fairness
+/// observable — a starved tenant shows up as a low completed/submitted
+/// ratio or a ballooning `queued` next to its peers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TenantMetrics {
+    /// The tenant's raw id.
+    pub tenant: u32,
+    /// Requests accepted into this tenant's fair sub-queue.
+    pub submitted: u64,
+    /// Requests currently queued for this tenant.
+    pub queued: usize,
+    /// Requests shed at admission (queue overload or token-bucket rate
+    /// limit) with a typed retry hint.
+    pub shed: u64,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Requests completed with an error (including deadline expiry).
+    pub failed: u64,
+    /// Requests that expired in the queue
+    /// ([`DeadlineExpired`](crate::BpNttError::DeadlineExpired)).
+    pub deadline_expired: u64,
+    /// Requests dropped because their ticket was cancelled before
+    /// execution ([`Cancelled`](crate::BpNttError::Cancelled)).
+    pub cancelled: u64,
+    /// Operand payload bytes accepted into the queue (the deficit
+    /// round-robin cost unit: 8 bytes per input coefficient).
+    pub bytes: u64,
+}
+
+impl TenantMetrics {
+    fn to_json(self) -> String {
+        format!(
+            "{{\"tenant\": {}, \"submitted\": {}, \"queued\": {}, \"shed\": {}, \
+             \"completed\": {}, \"failed\": {}, \"deadline_expired\": {}, \
+             \"cancelled\": {}, \"bytes\": {}}}",
+            self.tenant,
+            self.submitted,
+            self.queued,
+            self.shed,
+            self.completed,
+            self.failed,
+            self.deadline_expired,
+            self.cancelled,
+            self.bytes
+        )
+    }
+}
+
 /// A point-in-time snapshot of the request-queue service
 /// ([`NttService`](crate::NttService)): queue pressure, wave coalescing
 /// efficiency, throughput, per-shard wall-clock percentiles, and the
 /// cross-tenant compiled-program cache. Exportable as JSON for scrapers
-/// and the `bench_service` trajectory file.
+/// and the `bench_service` trajectory file, and as Prometheus text
+/// format ([`Self::to_prometheus`]) for pull-based monitoring.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServiceMetrics {
     /// Requests queued right now.
@@ -190,8 +240,18 @@ pub struct ServiceMetrics {
     /// Wall-clock milliseconds spent verifying outputs
     /// ([`VerifyPolicy`](crate::VerifyPolicy) overhead).
     pub verify_ms: f64,
+    /// Requests rejected by a per-tenant token bucket
+    /// ([`RateLimited`](crate::BpNttError::RateLimited)); a subset of
+    /// [`Self::rejected`].
+    pub rate_limited: u64,
+    /// Requests dropped before execution because their ticket was
+    /// cancelled (e.g. a disconnected network client).
+    pub cancelled: u64,
     /// Registered tenants.
     pub tenants: usize,
+    /// Per-tenant counter slices, sorted by tenant id. Tenants with no
+    /// traffic yet still appear (zeroed) once registered.
+    pub per_tenant: Vec<TenantMetrics>,
 }
 
 impl ServiceMetrics {
@@ -248,7 +308,231 @@ impl ServiceMetrics {
             "\"fallback_polys\": {}, \"deadline_expired\": {}, \"verify_ms\": {:.4}, ",
             self.fallback_polys, self.deadline_expired, self.verify_ms
         );
-        let _ = write!(s, "\"tenants\": {}}}", self.tenants);
+        let _ = write!(
+            s,
+            "\"rate_limited\": {}, \"cancelled\": {}, ",
+            self.rate_limited, self.cancelled
+        );
+        let _ = write!(s, "\"tenants\": {}, \"per_tenant\": [", self.tenants);
+        for (i, t) in self.per_tenant.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&t.to_json());
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Renders the snapshot in Prometheus text exposition format (one
+    /// `# TYPE` line per family, `bpntt_` prefix, per-tenant families
+    /// labelled `{tenant="<id>"}`). Values agree exactly with
+    /// [`Self::to_json`] — the parity is pinned by a test.
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        let mut s = String::new();
+        let mut gauge = |name: &str, help: &str, v: f64| {
+            let _ = writeln!(s, "# HELP bpntt_{name} {help}");
+            let _ = writeln!(s, "# TYPE bpntt_{name} gauge");
+            if v.fract() == 0.0 && v.abs() < 9e15 {
+                let _ = writeln!(s, "bpntt_{name} {}", v as i64);
+            } else {
+                let _ = writeln!(s, "bpntt_{name} {v}");
+            }
+        };
+        gauge(
+            "queue_depth",
+            "Requests queued right now",
+            self.queue_depth as f64,
+        );
+        gauge(
+            "peak_queue_depth",
+            "High-water mark of the queue depth",
+            self.peak_queue_depth as f64,
+        );
+        gauge(
+            "queue_capacity",
+            "Bounded queue capacity",
+            self.queue_capacity as f64,
+        );
+        gauge(
+            "submitted_total",
+            "Requests accepted",
+            self.submitted as f64,
+        );
+        gauge(
+            "rejected_total",
+            "Requests shed at admission",
+            self.rejected as f64,
+        );
+        gauge(
+            "rate_limited_total",
+            "Requests rejected by a tenant token bucket",
+            self.rate_limited as f64,
+        );
+        gauge(
+            "completed_total",
+            "Requests completed successfully",
+            self.completed as f64,
+        );
+        gauge(
+            "failed_total",
+            "Requests completed with an error",
+            self.failed as f64,
+        );
+        gauge(
+            "cancelled_total",
+            "Requests dropped after ticket cancellation",
+            self.cancelled as f64,
+        );
+        gauge(
+            "waves_total",
+            "Coalesced waves dispatched",
+            self.waves as f64,
+        );
+        gauge(
+            "wave_polys_total",
+            "Polynomial results produced through waves",
+            self.wave_polys as f64,
+        );
+        gauge(
+            "wave_occupancy",
+            "Mean wave fill ratio",
+            self.wave_occupancy,
+        );
+        gauge(
+            "busy_seconds_total",
+            "Dispatcher wall-clock inside engine calls",
+            self.busy_secs,
+        );
+        gauge(
+            "polys_per_sec",
+            "Results per busy second",
+            self.polys_per_sec,
+        );
+        gauge(
+            "shard_seconds_p50",
+            "Median recent per-shard wall-clock",
+            self.shard_secs_p50,
+        );
+        gauge(
+            "shard_seconds_p90",
+            "P90 recent per-shard wall-clock",
+            self.shard_secs_p90,
+        );
+        gauge(
+            "shard_seconds_max",
+            "Max recent per-shard wall-clock",
+            self.shard_secs_max,
+        );
+        gauge(
+            "program_cache_entries",
+            "Distinct compiled-program cache entries",
+            self.program_cache_entries as f64,
+        );
+        gauge(
+            "program_cache_hits_total",
+            "Program cache hits",
+            self.program_cache_hits as f64,
+        );
+        gauge(
+            "pipeline_cache_entries",
+            "Distinct compiled-pipeline cache entries",
+            self.pipeline_cache_entries as f64,
+        );
+        gauge(
+            "pipeline_cache_hits_total",
+            "Pipeline cache hits",
+            self.pipeline_cache_hits as f64,
+        );
+        gauge(
+            "faults_detected_total",
+            "Chunk attempts failed on detection",
+            self.faults_detected as f64,
+        );
+        gauge(
+            "retries_total",
+            "Chunk re-executions by the recovery ladder",
+            self.retries as f64,
+        );
+        gauge(
+            "quarantined_shards",
+            "High-water mark of quarantined shards",
+            self.quarantined_shards as f64,
+        );
+        gauge(
+            "fallback_polys_total",
+            "Polynomials answered by the software fallback",
+            self.fallback_polys as f64,
+        );
+        gauge(
+            "deadline_expired_total",
+            "Requests expired in the queue",
+            self.deadline_expired as f64,
+        );
+        gauge(
+            "verify_milliseconds_total",
+            "Wall-clock spent verifying outputs",
+            self.verify_ms,
+        );
+        gauge("tenants", "Registered tenants", self.tenants as f64);
+        // Per-tenant families: one TYPE line each, then one labelled
+        // sample per tenant.
+        type TenantField = fn(&TenantMetrics) -> u64;
+        let families: [(&str, &str, TenantField); 7] = [
+            (
+                "tenant_submitted_total",
+                "Requests accepted per tenant",
+                |t| t.submitted,
+            ),
+            (
+                "tenant_queued",
+                "Requests currently queued per tenant",
+                |t| t.queued as u64,
+            ),
+            (
+                "tenant_shed_total",
+                "Requests shed at admission per tenant",
+                |t| t.shed,
+            ),
+            (
+                "tenant_completed_total",
+                "Requests completed per tenant",
+                |t| t.completed,
+            ),
+            ("tenant_failed_total", "Requests failed per tenant", |t| {
+                t.failed
+            }),
+            (
+                "tenant_deadline_expired_total",
+                "Requests expired in queue per tenant",
+                |t| t.deadline_expired,
+            ),
+            (
+                "tenant_bytes_total",
+                "Operand bytes accepted per tenant",
+                |t| t.bytes,
+            ),
+        ];
+        for (name, help, get) in families {
+            let _ = writeln!(s, "# HELP bpntt_{name} {help}");
+            let _ = writeln!(s, "# TYPE bpntt_{name} gauge");
+            for t in &self.per_tenant {
+                let _ = writeln!(s, "bpntt_{name}{{tenant=\"{}\"}} {}", t.tenant, get(t));
+            }
+        }
+        let _ = writeln!(
+            s,
+            "# HELP bpntt_tenant_cancelled_total Requests cancelled per tenant"
+        );
+        let _ = writeln!(s, "# TYPE bpntt_tenant_cancelled_total gauge");
+        for t in &self.per_tenant {
+            let _ = writeln!(
+                s,
+                "bpntt_tenant_cancelled_total{{tenant=\"{}\"}} {}",
+                t.tenant, t.cancelled
+            );
+        }
         s
     }
 }
@@ -305,7 +589,28 @@ mod tests {
             fallback_polys: 2,
             deadline_expired: 3,
             verify_ms: 1.25,
+            rate_limited: 2,
+            cancelled: 1,
             tenants: 3,
+            per_tenant: vec![
+                TenantMetrics {
+                    tenant: 0,
+                    submitted: 30,
+                    queued: 1,
+                    shed: 2,
+                    completed: 28,
+                    failed: 1,
+                    deadline_expired: 3,
+                    cancelled: 1,
+                    bytes: 15_360,
+                },
+                TenantMetrics {
+                    tenant: 7,
+                    submitted: 10,
+                    completed: 9,
+                    ..TenantMetrics::default()
+                },
+            ],
         };
         let json = m.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
@@ -326,9 +631,129 @@ mod tests {
             "\"fallback_polys\": 2",
             "\"deadline_expired\": 3",
             "\"verify_ms\": 1.2500",
+            "\"rate_limited\": 2",
+            "\"cancelled\": 1",
             "\"tenants\": 3",
+            "\"per_tenant\": [{\"tenant\": 0,",
+            "\"bytes\": 15360",
+            "{\"tenant\": 7, \"submitted\": 10,",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    /// The JSON and Prometheus exports must agree on every shared value —
+    /// a scraper watching one and a dashboard watching the other see the
+    /// same service.
+    #[test]
+    fn json_and_prometheus_exports_agree() {
+        let m = ServiceMetrics {
+            queue_depth: 4,
+            peak_queue_depth: 11,
+            queue_capacity: 64,
+            submitted: 123,
+            rejected: 5,
+            completed: 110,
+            failed: 4,
+            waves: 17,
+            wave_polys: 120,
+            wave_occupancy: 0.75,
+            busy_secs: 1.5,
+            polys_per_sec: 80.0,
+            shard_secs_p50: 0.002,
+            shard_secs_p90: 0.004,
+            shard_secs_max: 0.006,
+            program_cache_entries: 1,
+            program_cache_hits: 2,
+            pipeline_cache_entries: 3,
+            pipeline_cache_hits: 6,
+            faults_detected: 9,
+            retries: 8,
+            quarantined_shards: 1,
+            fallback_polys: 2,
+            deadline_expired: 4,
+            verify_ms: 3.5,
+            rate_limited: 3,
+            cancelled: 2,
+            tenants: 2,
+            per_tenant: vec![
+                TenantMetrics {
+                    tenant: 1,
+                    submitted: 100,
+                    queued: 3,
+                    shed: 4,
+                    completed: 90,
+                    failed: 3,
+                    deadline_expired: 3,
+                    cancelled: 2,
+                    bytes: 51_200,
+                },
+                TenantMetrics {
+                    tenant: 2,
+                    submitted: 23,
+                    queued: 1,
+                    shed: 1,
+                    completed: 20,
+                    failed: 1,
+                    deadline_expired: 1,
+                    cancelled: 0,
+                    bytes: 11_776,
+                },
+            ],
+        };
+        let json = m.to_json();
+        let prom = m.to_prometheus();
+        // Pull a scalar out of each export and compare.
+        let json_val = |key: &str| -> u64 {
+            let pat = format!("\"{key}\": ");
+            let at = json
+                .find(&pat)
+                .unwrap_or_else(|| panic!("no {key} in json"));
+            let rest = &json[at + pat.len()..];
+            let end = rest
+                .find(|c: char| !c.is_ascii_digit())
+                .unwrap_or(rest.len());
+            rest[..end].parse().unwrap()
+        };
+        let prom_val = |sample: &str| -> u64 {
+            let line = prom
+                .lines()
+                .find(|l| l.starts_with(sample) && l[sample.len()..].starts_with(' '))
+                .unwrap_or_else(|| panic!("no sample {sample} in prometheus export"));
+            line[sample.len() + 1..].parse().unwrap()
+        };
+        for (jk, pk) in [
+            ("queue_depth", "bpntt_queue_depth"),
+            ("submitted", "bpntt_submitted_total"),
+            ("rejected", "bpntt_rejected_total"),
+            ("rate_limited", "bpntt_rate_limited_total"),
+            ("completed", "bpntt_completed_total"),
+            ("failed", "bpntt_failed_total"),
+            ("cancelled", "bpntt_cancelled_total"),
+            ("waves", "bpntt_waves_total"),
+            ("faults_detected", "bpntt_faults_detected_total"),
+            ("deadline_expired", "bpntt_deadline_expired_total"),
+            ("tenants", "bpntt_tenants"),
+        ] {
+            assert_eq!(json_val(jk), prom_val(pk), "mismatch on {jk}");
+        }
+        // Per-tenant parity: each tenant's JSON slice matches its
+        // labelled Prometheus samples.
+        for t in &m.per_tenant {
+            let label = |fam: &str| format!("bpntt_{fam}{{tenant=\"{}\"}}", t.tenant);
+            assert_eq!(prom_val(&label("tenant_submitted_total")), t.submitted);
+            assert_eq!(prom_val(&label("tenant_queued")), t.queued as u64);
+            assert_eq!(prom_val(&label("tenant_shed_total")), t.shed);
+            assert_eq!(prom_val(&label("tenant_completed_total")), t.completed);
+            assert_eq!(prom_val(&label("tenant_failed_total")), t.failed);
+            assert_eq!(
+                prom_val(&label("tenant_deadline_expired_total")),
+                t.deadline_expired
+            );
+            assert_eq!(prom_val(&label("tenant_cancelled_total")), t.cancelled);
+            assert_eq!(prom_val(&label("tenant_bytes_total")), t.bytes);
+            let slice = t.to_json();
+            assert!(json.contains(&slice), "json lacks tenant slice {slice}");
         }
     }
 

@@ -88,7 +88,7 @@ use crate::config::BpNttConfig;
 use crate::engine::ProgramKey;
 use crate::error::BpNttError;
 use crate::layout::Layout;
-use crate::metrics::{percentile, ServiceMetrics};
+use crate::metrics::{percentile, ServiceMetrics, TenantMetrics};
 use crate::pipeline::{CompiledPipeline, ExecMode, PipelineSpec};
 use crate::sharded::{RecoveryOptions, ShardedBpNtt};
 use crate::verify::VerifyPolicy;
@@ -97,6 +97,22 @@ use bpntt_sram::{CompiledProgram, FaultPlan};
 /// How many recent per-shard wall-clock samples the percentile window
 /// keeps (a ring buffer; old samples fall off).
 const SHARD_SAMPLE_WINDOW: usize = 4096;
+
+/// Per-tenant token-bucket admission limit
+/// ([`ServiceOptions::rate_limit`]). Each tenant gets its own bucket:
+/// `burst` tokens to start, refilled at `requests_per_sec`, one token
+/// per submission. An empty bucket rejects the submission typed with
+/// [`BpNttError::RateLimited`] carrying a `retry_after_ms` refill
+/// estimate — a per-tenant admission decision, independent of global
+/// queue pressure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateLimit {
+    /// Sustained refill rate, in requests per second.
+    pub requests_per_sec: f64,
+    /// Bucket capacity: how far a tenant may burst above the sustained
+    /// rate.
+    pub burst: f64,
+}
 
 /// Tuning knobs for [`NttService::start`].
 #[derive(Debug, Clone)]
@@ -129,6 +145,27 @@ pub struct ServiceOptions {
     /// policy so injected corruption is detected and recovered rather
     /// than returned.
     pub fault_plan: Option<FaultPlan>,
+    /// Per-tenant token-bucket admission limit; `None` (the default)
+    /// admits on queue capacity alone.
+    pub rate_limit: Option<RateLimit>,
+    /// Queue-depth load shedding: submissions shed typed
+    /// ([`BpNttError::Overloaded`] with a `retry_after_ms` hint) once the
+    /// fair queue holds `shed_threshold × max_queue` requests or more.
+    /// `1.0` (the default) sheds only at capacity — the historical
+    /// bounded-queue behavior; lower values shed earlier, keeping
+    /// headroom for latency-sensitive tenants. Shedding is tenant-fair:
+    /// past the threshold, only tenants at or above their fair share
+    /// (`shed_at / registered tenants`, at least one slot) of the queue
+    /// shed, and below-share tenants may still be admitted into the
+    /// `shed_at..max_queue` headroom — so set `shed_threshold < 1.0`
+    /// whenever multi-tenant admission fairness matters.
+    pub shed_threshold: f64,
+    /// Deficit-round-robin quantum in bytes: how much operand payload
+    /// each tenant with queued work may drain per round. Smaller quanta
+    /// interleave tenants more finely; the quantum should cover at least
+    /// one typical request (`8 × n × input_slots` bytes) or a tenant
+    /// needs several rounds to release its head request.
+    pub drr_quantum: u64,
 }
 
 impl Default for ServiceOptions {
@@ -141,6 +178,9 @@ impl Default for ServiceOptions {
             retry_budget: 0,
             default_deadline: None,
             fault_plan: None,
+            rate_limit: None,
+            shed_threshold: 1.0,
+            drr_quantum: 4096,
         }
     }
 }
@@ -155,6 +195,16 @@ impl TenantId {
     #[must_use]
     pub fn raw(self) -> u32 {
         self.0
+    }
+
+    /// Reconstructs a tenant id from its raw value — the inverse of
+    /// [`Self::raw`], used by front-ends that carry tenant ids over a
+    /// wire. An id that was never registered with the target service
+    /// fails its submission typed with [`BpNttError::UnknownTenant`];
+    /// nothing else distinguishes a forged id from a stale one.
+    #[must_use]
+    pub fn from_raw(raw: u32) -> Self {
+        TenantId(raw)
     }
 }
 
@@ -174,12 +224,27 @@ struct CompletionState {
     /// Set when the send side is gone (result delivered, or dispatcher
     /// exited without answering).
     sender_gone: bool,
+    /// Set by [`Ticket::cancel`] or the ticket's drop: the waiter is
+    /// gone, so the dispatcher sheds the request instead of executing it
+    /// (and an all-cancelled wave group aborts mid-flight).
+    cancelled: bool,
+    /// Set when a local [`Ticket::wait_timeout`] observed the request
+    /// deadline pass: the ticket already resolved to `DeadlineExpired`,
+    /// so a late wave result is discarded rather than delivered twice.
+    expired: bool,
 }
 
 impl CompletionState {
     /// Takes the terminal outcome, if any: the result (at most once), or
     /// `ServiceShutdown` once the sender is gone.
     fn take_outcome(&mut self) -> Option<Result<Vec<u64>, BpNttError>> {
+        if self.expired {
+            // The local deadline already resolved this ticket; a result
+            // that arrived late is discarded, and the slot reads as
+            // spent.
+            self.result = None;
+            return self.sender_gone.then_some(Err(BpNttError::ServiceShutdown));
+        }
         match self.result.take() {
             Some(r) => Some(r),
             None if self.sender_gone => Some(Err(BpNttError::ServiceShutdown)),
@@ -198,6 +263,16 @@ impl TicketSender {
     fn send(self, r: Result<Vec<u64>, BpNttError>) {
         self.0.state.lock().expect("ticket state poisoned").result = Some(r);
         // Drop wakes both kinds of waiters.
+    }
+
+    /// Whether the receiving ticket was cancelled (dropped, explicitly
+    /// cancelled, or locally expired) — the dispatcher's shed probe.
+    fn is_cancelled(&self) -> bool {
+        self.0
+            .state
+            .lock()
+            .expect("ticket state poisoned")
+            .cancelled
     }
 }
 
@@ -222,8 +297,11 @@ impl Drop for TicketSender {
 /// [`Ticket::try_wait`], [`Ticket::wait_timeout`], or an `.await` has
 /// returned the result, later polls of the same ticket report
 /// [`BpNttError::ServiceShutdown`] (the slot is spent), not the result
-/// again. Dropping the ticket cancels nothing — the request still
-/// executes — but its result is discarded.
+/// again. Dropping the ticket **cancels** the request: a request still
+/// queued is shed typed ([`BpNttError::Cancelled`]) instead of spending
+/// a lane, and a wave whose every waiter is gone aborts mid-flight — the
+/// behavior a disconnecting network client needs. Use [`Ticket::cancel`]
+/// to cancel while keeping the handle.
 ///
 /// `Ticket` implements [`std::future::Future`] (waker wiring on the
 /// completion slot), so it can be `.await`ed from any executor; the
@@ -232,18 +310,38 @@ impl Drop for TicketSender {
 #[derive(Debug)]
 pub struct Ticket {
     completion: Arc<Completion>,
+    /// The request's absolute queueing deadline, mirrored from the
+    /// [`Request`] so local waits clamp against it
+    /// ([`Self::wait_timeout`]).
+    deadline: Option<Instant>,
 }
 
 impl Ticket {
     /// Creates the connected `(ticket, sender)` pair.
-    fn channel() -> (Ticket, TicketSender) {
+    fn channel(deadline: Option<Instant>) -> (Ticket, TicketSender) {
         let completion = Arc::new(Completion::default());
         (
             Ticket {
                 completion: Arc::clone(&completion),
+                deadline,
             },
             TicketSender(completion),
         )
+    }
+
+    /// Cancels the request without consuming the handle: if it has not
+    /// started executing, the dispatcher sheds it
+    /// ([`BpNttError::Cancelled`]) instead of spending a wave lane; a
+    /// mid-flight wave aborts once every request in its group is
+    /// cancelled. A result that was already delivered stays readable —
+    /// cancellation is advisory, not retroactive. Dropping the ticket
+    /// cancels implicitly.
+    pub fn cancel(&self) {
+        self.completion
+            .state
+            .lock()
+            .expect("ticket state poisoned")
+            .cancelled = true;
     }
 
     /// Blocks until the result is ready.
@@ -272,25 +370,52 @@ impl Ticket {
             .take_outcome()
     }
 
-    /// Blocks up to `timeout`; `None` on timeout.
+    /// Blocks up to `timeout`, clamped against the request's own
+    /// deadline; `None` on a plain timeout. A wait that reaches the
+    /// *deadline* with no result resolves typed —
+    /// `Some(Err(`[`BpNttError::DeadlineExpired`]`))` — instead of making
+    /// the caller poll past its own deadline, and marks the ticket
+    /// cancelled so the dispatcher sheds the request rather than
+    /// computing a result nobody will read.
     pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<Vec<u64>, BpNttError>> {
-        let deadline = Instant::now() + timeout;
+        let mut until = Instant::now() + timeout;
+        if let Some(d) = self.deadline {
+            until = until.min(d);
+        }
         let mut st = self.completion.state.lock().expect("ticket state poisoned");
         loop {
             if let Some(outcome) = st.take_outcome() {
                 return Some(outcome);
             }
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            if remaining.is_zero() {
+            let now = Instant::now();
+            if now >= until {
+                if let Some(d) = self.deadline {
+                    if now >= d {
+                        st.expired = true;
+                        st.cancelled = true;
+                        let late_ms = now.saturating_duration_since(d).as_millis() as u64;
+                        return Some(Err(BpNttError::DeadlineExpired { late_ms }));
+                    }
+                }
                 return None;
             }
             let (guard, _) = self
                 .completion
                 .cv
-                .wait_timeout(st, remaining)
+                .wait_timeout(st, until - now)
                 .expect("ticket state poisoned");
             st = guard;
         }
+    }
+}
+
+impl Drop for Ticket {
+    fn drop(&mut self) {
+        // The waiter is gone: let the dispatcher shed the request (or
+        // abort an all-cancelled wave) instead of computing into a slot
+        // nobody reads. Harmless after delivery — the flag is only
+        // consulted for work not yet resolved.
+        self.cancel();
     }
 }
 
@@ -390,6 +515,9 @@ struct Request {
     /// Absolute expiry instant (resolved at submission from the
     /// request's own deadline or the service default).
     deadline: Option<Instant>,
+    /// Deficit-round-robin cost: operand payload bytes (8 per
+    /// coefficient, floored so even tiny requests spend deficit).
+    cost: u64,
 }
 
 enum Control {
@@ -409,11 +537,188 @@ struct TenantInfo {
     layout: Layout,
 }
 
+/// Deficit-round-robin fair queue keyed by tenant: one sub-queue per
+/// tenant with pending work, a ring of those tenants in round order, and
+/// a byte-weighted deficit per tenant. Each round the tenant at the ring
+/// head gains `quantum` bytes of deficit and releases queued requests
+/// while its deficit covers their operand cost; an exhausted deficit
+/// rotates the ring. A zipf-hot tenant therefore drains at the same
+/// byte rate as everyone else once the queue contends — it can saturate
+/// idle capacity, never starve a peer.
+struct FairQueue {
+    sub: HashMap<TenantId, VecDeque<Request>>,
+    /// Tenants with queued requests, in round order.
+    ring: VecDeque<TenantId>,
+    deficit: HashMap<TenantId, u64>,
+    quantum: u64,
+    len: usize,
+}
+
+impl FairQueue {
+    fn new(quantum: u64) -> Self {
+        FairQueue {
+            sub: HashMap::new(),
+            ring: VecDeque::new(),
+            deficit: HashMap::new(),
+            quantum: quantum.max(1),
+            len: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn push(&mut self, req: Request) {
+        let q = self.sub.entry(req.tenant).or_default();
+        if q.is_empty() {
+            // (Re-)entering the ring starts from a clean deficit: credit
+            // does not accrue while a tenant has nothing queued.
+            self.ring.push_back(req.tenant);
+            self.deficit.insert(req.tenant, 0);
+        }
+        q.push_back(req);
+        self.len += 1;
+    }
+
+    fn earliest_deadline(&self) -> Option<Instant> {
+        self.sub.values().flatten().filter_map(|r| r.deadline).min()
+    }
+
+    /// Per-tenant queued depths, for the metrics snapshot.
+    fn depths(&self) -> HashMap<TenantId, usize> {
+        self.sub.iter().map(|(t, q)| (*t, q.len())).collect()
+    }
+
+    /// One tenant's queued depth, for fair-share admission.
+    fn depth_of(&self, tenant: TenantId) -> usize {
+        self.sub.get(&tenant).map_or(0, VecDeque::len)
+    }
+
+    /// One DRR drain of up to `max` requests into `out`. The ring head
+    /// gains `quantum` deficit per visit and releases requests while the
+    /// deficit covers their cost; an emptied tenant leaves the ring, an
+    /// exhausted one rotates behind its peers.
+    fn drain_round(&mut self, max: usize, out: &mut Vec<Request>) {
+        while out.len() < max && self.len > 0 {
+            let Some(&tenant) = self.ring.front() else {
+                break;
+            };
+            let deficit = self.deficit.entry(tenant).or_insert(0);
+            *deficit = deficit.saturating_add(self.quantum);
+            let q = self
+                .sub
+                .get_mut(&tenant)
+                .expect("ring tenant has a sub-queue");
+            while out.len() < max {
+                let Some(head) = q.front() else { break };
+                if head.cost > *deficit {
+                    break;
+                }
+                *deficit -= head.cost;
+                out.push(q.pop_front().expect("front() was Some"));
+                self.len -= 1;
+            }
+            if q.is_empty() {
+                self.ring.pop_front();
+                self.sub.remove(&tenant);
+                self.deficit.remove(&tenant);
+            } else if out.len() < max {
+                // Deficit exhausted with work left: next tenant's turn.
+                self.ring.rotate_left(1);
+            }
+        }
+    }
+
+    /// Removes every queued request that already expired or whose ticket
+    /// was cancelled, so dead work sheds typed before it costs a wave
+    /// lane (or blocks a live request behind it in the sub-queue).
+    fn remove_dead(&mut self, now: Instant) -> Vec<Request> {
+        let mut dead = Vec::new();
+        for q in self.sub.values_mut() {
+            let mut keep = VecDeque::with_capacity(q.len());
+            while let Some(r) = q.pop_front() {
+                let expired = r.deadline.is_some_and(|d| d <= now);
+                if expired || r.reply.is_cancelled() {
+                    dead.push(r);
+                } else {
+                    keep.push_back(r);
+                }
+            }
+            *q = keep;
+        }
+        if !dead.is_empty() {
+            self.len -= dead.len();
+            let emptied: Vec<TenantId> = self
+                .sub
+                .iter()
+                .filter(|(_, q)| q.is_empty())
+                .map(|(t, _)| *t)
+                .collect();
+            for t in &emptied {
+                self.sub.remove(t);
+                self.deficit.remove(t);
+            }
+            self.ring.retain(|t| !emptied.contains(t));
+        }
+        dead
+    }
+
+    /// Empties the whole queue (shutdown paths; fairness no longer
+    /// matters when every drained request fails typed).
+    fn drain_all(&mut self) -> Vec<Request> {
+        let mut out = Vec::with_capacity(self.len);
+        for (_, q) in self.sub.drain() {
+            out.extend(q);
+        }
+        self.ring.clear();
+        self.deficit.clear();
+        self.len = 0;
+        out
+    }
+}
+
 /// Queue state guarded by the service mutex.
 struct QueueState {
-    queue: VecDeque<Request>,
+    queue: FairQueue,
     control: VecDeque<Control>,
     shutdown: bool,
+    /// With `shutdown`: fail queued requests typed instead of draining
+    /// them through waves ([`NttService::shutdown_now`]).
+    abort: bool,
+}
+
+/// One tenant's token bucket ([`RateLimit`] admission state).
+struct TokenBucket {
+    tokens: f64,
+    last: Instant,
+}
+
+impl TokenBucket {
+    /// Refills for elapsed time, then takes one token — or reports how
+    /// many milliseconds until one is available.
+    fn admit(&mut self, limit: RateLimit, now: Instant) -> Result<(), u64> {
+        let dt = now.saturating_duration_since(self.last).as_secs_f64();
+        self.last = now;
+        self.tokens = (self.tokens + dt * limit.requests_per_sec).min(limit.burst.max(1.0));
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            return Ok(());
+        }
+        let need = 1.0 - self.tokens;
+        let ms = if limit.requests_per_sec > 0.0 {
+            (need / limit.requests_per_sec * 1e3).ceil() as u64
+        } else {
+            // A zero-rate limit never refills; report a long, finite
+            // back-off instead of dividing by zero.
+            60_000
+        };
+        Err(ms.max(1))
+    }
 }
 
 /// Dispatcher-side counters behind their own lock (snapshots never block
@@ -440,6 +745,42 @@ struct MetricsState {
     fallback_polys: u64,
     deadline_expired: u64,
     verify_secs: f64,
+    rate_limited: u64,
+    cancelled: u64,
+    /// EWMA of the dispatcher's recent drain rate (requests per second),
+    /// the basis of the `retry_after_ms` back-off hints.
+    drain_rate: f64,
+    per_tenant: HashMap<u32, TenantCounters>,
+}
+
+impl MetricsState {
+    fn tenant(&mut self, t: TenantId) -> &mut TenantCounters {
+        self.per_tenant.entry(t.0).or_default()
+    }
+}
+
+/// Dispatcher-side per-tenant counters (the mutable backing of
+/// [`TenantMetrics`]; `queued` is snapshotted from the fair queue).
+#[derive(Default, Clone, Copy)]
+struct TenantCounters {
+    submitted: u64,
+    shed: u64,
+    completed: u64,
+    failed: u64,
+    deadline_expired: u64,
+    cancelled: u64,
+    bytes: u64,
+}
+
+/// `retry_after_ms` hint: how long until the dispatcher has likely
+/// drained `depth` requests at its recent rate. Never zero; clamped so a
+/// cold or stalled estimate cannot tell clients "never retry".
+fn retry_hint(drain_rate: f64, depth: usize) -> u64 {
+    if drain_rate > 1e-9 {
+        ((((depth + 1) as f64) / drain_rate * 1e3).ceil() as u64).clamp(1, 30_000)
+    } else {
+        50
+    }
 }
 
 struct Shared {
@@ -447,11 +788,15 @@ struct Shared {
     cv: Condvar,
     tenants: Mutex<HashMap<TenantId, TenantInfo>>,
     metrics: Mutex<MetricsState>,
+    /// Per-tenant token buckets (populated lazily on first submission).
+    buckets: Mutex<HashMap<TenantId, TokenBucket>>,
     max_queue: usize,
     coalesce_window: Duration,
     default_deadline: Option<Duration>,
     recovery: RecoveryOptions,
     fault_plan: Option<FaultPlan>,
+    rate_limit: Option<RateLimit>,
+    shed_threshold: f64,
 }
 
 /// Cross-tenant compiled-program cache key: two tenants share programs
@@ -521,13 +866,15 @@ impl NttService {
         }
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState {
-                queue: VecDeque::new(),
+                queue: FairQueue::new(opts.drr_quantum),
                 control: VecDeque::new(),
                 shutdown: false,
+                abort: false,
             }),
             cv: Condvar::new(),
             tenants: Mutex::new(HashMap::new()),
             metrics: Mutex::new(MetricsState::default()),
+            buckets: Mutex::new(HashMap::new()),
             max_queue: opts.max_queue,
             coalesce_window: opts.coalesce_window,
             default_deadline: opts.default_deadline,
@@ -541,6 +888,8 @@ impl NttService {
                 software_fallback: opts.verify.is_active() || opts.retry_budget > 0,
             },
             fault_plan: opts.fault_plan.clone(),
+            rate_limit: opts.rate_limit,
+            shed_threshold: opts.shed_threshold,
         });
         let dispatcher = {
             let shared = Arc::clone(&shared);
@@ -700,10 +1049,15 @@ impl NttService {
         for poly in &inputs {
             validate_poly(&info, poly)?;
         }
-        let (ticket, reply) = Ticket::channel();
         let deadline = deadline
             .or(self.shared.default_deadline)
             .map(|d| Instant::now() + d);
+        let (ticket, reply) = Ticket::channel(deadline);
+        let cost = inputs
+            .iter()
+            .map(|p| p.len() as u64 * 8)
+            .sum::<u64>()
+            .max(64);
         self.enqueue(Request {
             tenant,
             spec,
@@ -711,6 +1065,7 @@ impl NttService {
             inputs,
             reply,
             deadline,
+            cost,
         })?;
         Ok(ticket)
     }
@@ -718,13 +1073,10 @@ impl NttService {
     /// Snapshots the service counters.
     #[must_use]
     pub fn metrics(&self) -> ServiceMetrics {
-        let queue_depth = self
-            .shared
-            .state
-            .lock()
-            .expect("service state poisoned")
-            .queue
-            .len();
+        let (queue_depth, tenant_depths) = {
+            let st = self.shared.state.lock().expect("service state poisoned");
+            (st.queue.len(), st.queue.depths())
+        };
         let tenants = self
             .shared
             .tenants
@@ -732,6 +1084,27 @@ impl NttService {
             .expect("tenant map poisoned")
             .len();
         let m = self.shared.metrics.lock().expect("metrics poisoned");
+        // Per-tenant slices: every tenant the counters have seen (a
+        // registered tenant is seeded at registration), sorted by id.
+        let mut ids: Vec<u32> = m.per_tenant.keys().copied().collect();
+        ids.sort_unstable();
+        let per_tenant: Vec<TenantMetrics> = ids
+            .into_iter()
+            .map(|id| {
+                let c = m.per_tenant.get(&id).copied().unwrap_or_default();
+                TenantMetrics {
+                    tenant: id,
+                    submitted: c.submitted,
+                    queued: tenant_depths.get(&TenantId(id)).copied().unwrap_or(0),
+                    shed: c.shed,
+                    completed: c.completed,
+                    failed: c.failed,
+                    deadline_expired: c.deadline_expired,
+                    cancelled: c.cancelled,
+                    bytes: c.bytes,
+                }
+            })
+            .collect();
         let mut sorted: Vec<f64> = m.shard_secs.iter().copied().collect();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("shard secs are finite"));
         ServiceMetrics {
@@ -768,16 +1141,38 @@ impl NttService {
             fallback_polys: m.fallback_polys,
             deadline_expired: m.deadline_expired,
             verify_ms: m.verify_secs * 1e3,
+            rate_limited: m.rate_limited,
+            cancelled: m.cancelled,
             tenants,
+            per_tenant,
         }
     }
 
-    /// Shuts the dispatcher down after it drains every queued request,
-    /// and returns the final metrics snapshot. Results already produced
-    /// remain readable from their tickets.
+    /// Shuts the dispatcher down after it drains every queued request
+    /// (drain mode), and returns the final metrics snapshot. Results
+    /// already produced remain readable from their tickets.
     #[must_use = "the final metrics snapshot is the service's exit report"]
     pub fn shutdown(mut self) -> ServiceMetrics {
         self.shutdown_inner();
+        self.metrics()
+    }
+
+    /// Shuts down **now**: the wave currently executing completes (and
+    /// its tickets resolve normally), but requests still queued fail
+    /// typed with [`BpNttError::ServiceShutdown`] instead of draining
+    /// through waves — no blocked [`Ticket::wait`] hangs, no queued work
+    /// executes. Returns the final metrics snapshot.
+    #[must_use = "the final metrics snapshot is the service's exit report"]
+    pub fn shutdown_now(mut self) -> ServiceMetrics {
+        {
+            let mut st = self.shared.state.lock().expect("service state poisoned");
+            st.shutdown = true;
+            st.abort = true;
+        }
+        self.shared.cv.notify_all();
+        if let Some(handle) = self.dispatcher.take() {
+            let _ = handle.join();
+        }
         self.metrics()
     }
 
@@ -807,22 +1202,68 @@ impl NttService {
     }
 
     fn enqueue(&self, req: Request) -> Result<(), BpNttError> {
+        let tenant = req.tenant;
+        let cost = req.cost;
+        // Token-bucket admission runs before queue-depth shedding: a
+        // rate-limited tenant is told to back off even when the queue has
+        // room, so its burst cannot crowd the shared queue.
+        if let Some(limit) = self.shared.rate_limit {
+            let now = Instant::now();
+            let verdict = {
+                let mut buckets = self.shared.buckets.lock().expect("rate buckets poisoned");
+                buckets
+                    .entry(tenant)
+                    .or_insert_with(|| TokenBucket {
+                        tokens: limit.burst.max(1.0),
+                        last: now,
+                    })
+                    .admit(limit, now)
+            };
+            if let Err(retry_after_ms) = verdict {
+                let mut m = self.shared.metrics.lock().expect("metrics poisoned");
+                m.rejected += 1;
+                m.rate_limited += 1;
+                m.tenant(tenant).shed += 1;
+                return Err(BpNttError::RateLimited {
+                    tenant: tenant.0,
+                    retry_after_ms,
+                });
+            }
+        }
+        let registered = self.shared.tenants.lock().expect("tenants poisoned").len();
         {
             let mut st = self.shared.state.lock().expect("service state poisoned");
             if st.shutdown {
                 return Err(BpNttError::ServiceShutdown);
             }
-            if st.queue.len() >= self.shared.max_queue {
-                let depth = st.queue.len();
+            // Load shedding: the configured threshold of the bounded
+            // queue (1.0 = the historical full-queue backpressure).
+            // Admission is *tenant-fair*: past the threshold, only
+            // tenants at or above their fair share of the congested
+            // queue shed; a below-share tenant may still use the
+            // `shed_at..max_queue` headroom, so a flooding hot tenant
+            // cannot crowd everyone else out of admission (it can still
+            // starve itself — its own slots are the ones full).
+            let shed_at = ((self.shared.shed_threshold * self.shared.max_queue as f64).floor()
+                as usize)
+                .min(self.shared.max_queue);
+            let fair_share = (shed_at / registered.max(1)).max(1);
+            let depth = st.queue.len();
+            if depth >= self.shared.max_queue
+                || (depth >= shed_at && st.queue.depth_of(tenant) >= fair_share)
+            {
                 drop(st);
                 let mut m = self.shared.metrics.lock().expect("metrics poisoned");
+                let retry_after_ms = retry_hint(m.drain_rate, depth);
                 m.rejected += 1;
+                m.tenant(tenant).shed += 1;
                 return Err(BpNttError::Overloaded {
                     depth,
                     capacity: self.shared.max_queue,
+                    retry_after_ms,
                 });
             }
-            st.queue.push_back(req);
+            st.queue.push(req);
             // Count the submission before the state lock drops: once it
             // does, the dispatcher may complete the request, and a
             // snapshot must never show completed > submitted. (Metrics
@@ -832,6 +1273,9 @@ impl NttService {
             let mut m = self.shared.metrics.lock().expect("metrics poisoned");
             m.submitted += 1;
             m.peak_queue_depth = m.peak_queue_depth.max(depth);
+            let tc = m.tenant(tenant);
+            tc.submitted += 1;
+            tc.bytes += cost;
         }
         self.shared.cv.notify_all();
         Ok(())
@@ -905,7 +1349,43 @@ impl SharedArtifacts {
     }
 }
 
+/// Dispatcher drop guard: however the dispatcher thread exits — normal
+/// drain-mode shutdown (queue already empty), abort-mode shutdown (queue
+/// deliberately left populated), or a panic unwinding out of a wave —
+/// every request still queued resolves typed with
+/// [`BpNttError::ServiceShutdown`]. This is the guarantee that a blocked
+/// [`Ticket::wait`] can never hang forever on a dead dispatcher.
+struct QueueDrainGuard<'a>(&'a Shared);
+
+impl Drop for QueueDrainGuard<'_> {
+    fn drop(&mut self) {
+        let drained: Vec<Request> = {
+            // A panic while holding the state lock poisons it; the
+            // senders inside are then unreachable, but so is the queue —
+            // nothing more can be done from here.
+            let Ok(mut st) = self.0.state.lock() else {
+                return;
+            };
+            st.shutdown = true;
+            st.queue.drain_all()
+        };
+        if drained.is_empty() {
+            return;
+        }
+        if let Ok(mut m) = self.0.metrics.lock() {
+            m.failed += drained.len() as u64;
+            for r in &drained {
+                m.tenant(r.tenant).failed += 1;
+            }
+        }
+        for req in drained {
+            req.reply.send(Err(BpNttError::ServiceShutdown));
+        }
+    }
+}
+
 fn dispatcher_loop(shared: &Shared, shards: usize) {
+    let _guard = QueueDrainGuard(shared);
     let mut engines: HashMap<TenantId, TenantEngine> = HashMap::new();
     let mut cache = SharedArtifacts::default();
     let mut next_tenant: u32 = 0;
@@ -920,6 +1400,11 @@ fn dispatcher_loop(shared: &Shared, shards: usize) {
             loop {
                 if let Some(ctrl) = st.control.pop_front() {
                     break Action::Control(ctrl);
+                }
+                if st.shutdown && st.abort {
+                    // Immediate shutdown: the drop guard fails whatever
+                    // is still queued, typed.
+                    break Action::Exit;
                 }
                 if !st.queue.is_empty() {
                     break Action::Work;
@@ -945,16 +1430,22 @@ fn dispatcher_loop(shared: &Shared, shards: usize) {
             }
             Action::Work => {
                 // Coalesce: wait (bounded) until the queue could fill
-                // every lane of the widest tenant engine, then drain
-                // everything that arrived.
+                // every lane of the widest tenant engine, then drain one
+                // fair round of at most that many requests — a wave's
+                // worth, deficit-round-robin across tenants, so a deep
+                // hot-tenant backlog cannot monopolize the next wave.
                 let target = engines
                     .values()
                     .map(|t| t.engine.lanes_total())
                     .max()
                     .unwrap_or(1)
                     .min(shared.max_queue.max(1));
-                let drained: Vec<Request> = {
+                let (dead, drained) = {
                     let mut st = shared.state.lock().expect("service state poisoned");
+                    // Shed dead work (expired deadlines, cancelled
+                    // tickets) from the whole queue first, so it neither
+                    // joins this wave nor blocks live requests behind it.
+                    let dead = st.queue.remove_dead(Instant::now());
                     let deadline = Instant::now() + shared.coalesce_window;
                     while !st.shutdown && st.control.is_empty() && st.queue.len() < target {
                         // Never coalesce past the earliest per-request
@@ -962,9 +1453,7 @@ fn dispatcher_loop(shared: &Shared, shards: usize) {
                         // while the dispatcher idles waiting for company.
                         let cutoff = st
                             .queue
-                            .iter()
-                            .filter_map(|r| r.deadline)
-                            .min()
+                            .earliest_deadline()
                             .map_or(deadline, |d| d.min(deadline));
                         let remaining = cutoff.saturating_duration_since(Instant::now());
                         if remaining.is_zero() {
@@ -976,12 +1465,51 @@ fn dispatcher_loop(shared: &Shared, shards: usize) {
                             .expect("service state poisoned");
                         st = guard;
                     }
-                    st.queue.drain(..).collect()
+                    let mut drained = Vec::new();
+                    if !st.abort {
+                        st.queue.drain_round(target.max(1), &mut drained);
+                    }
+                    (dead, drained)
                 };
+                resolve_dead(shared, dead);
                 if !drained.is_empty() {
                     execute_wave(shared, &mut engines, &mut cache, drained);
                 }
             }
+        }
+    }
+}
+
+/// Resolves requests [`FairQueue::remove_dead`] shed: expired ones fail
+/// typed with their lateness, cancelled ones with
+/// [`BpNttError::Cancelled`] (nobody reads it — the count is the
+/// observable).
+fn resolve_dead(shared: &Shared, dead: Vec<Request>) {
+    if dead.is_empty() {
+        return;
+    }
+    let now = Instant::now();
+    for req in dead {
+        let expired = req.deadline.filter(|&d| d <= now);
+        {
+            let mut m = shared.metrics.lock().expect("metrics poisoned");
+            if expired.is_some() {
+                m.failed += 1;
+                m.deadline_expired += 1;
+                let tc = m.tenant(req.tenant);
+                tc.failed += 1;
+                tc.deadline_expired += 1;
+            } else {
+                m.cancelled += 1;
+                m.tenant(req.tenant).cancelled += 1;
+            }
+        }
+        match expired {
+            Some(d) => {
+                let late_ms = now.saturating_duration_since(d).as_millis() as u64;
+                req.reply.send(Err(BpNttError::DeadlineExpired { late_ms }));
+            }
+            None => req.reply.send(Err(BpNttError::Cancelled)),
         }
     }
 }
@@ -1044,6 +1572,9 @@ fn register_tenant(
         .lock()
         .expect("tenant map poisoned")
         .insert(id, info);
+    // Seed the per-tenant metrics slice so a registered-but-idle tenant
+    // appears (zeroed) in every snapshot.
+    let _ = shared.metrics.lock().expect("metrics poisoned").tenant(id);
     engines.insert(id, TenantEngine { engine, key });
     Ok(id)
 }
@@ -1072,21 +1603,36 @@ fn execute_wave(
             inputs,
             reply,
             deadline,
+            cost: _,
         } = req;
         if let Some(d) = deadline {
             // Expired in the queue: fail typed before the request costs
-            // a lane. The engine call itself is never aborted — deadlines
-            // bound queueing, not execution.
+            // a lane. Deadlines bound queueing, not execution — only
+            // cancellation (below) can abort a running wave.
             if d <= now {
                 let late_ms = now.saturating_duration_since(d).as_millis() as u64;
                 {
                     let mut m = shared.metrics.lock().expect("metrics poisoned");
                     m.failed += 1;
                     m.deadline_expired += 1;
+                    let tc = m.tenant(tenant);
+                    tc.failed += 1;
+                    tc.deadline_expired += 1;
                 }
                 reply.send(Err(BpNttError::DeadlineExpired { late_ms }));
                 continue;
             }
+        }
+        if reply.is_cancelled() {
+            // The waiter disconnected between drain and execution: shed
+            // instead of spending a lane on an unread result.
+            {
+                let mut m = shared.metrics.lock().expect("metrics poisoned");
+                m.cancelled += 1;
+                m.tenant(tenant).cancelled += 1;
+            }
+            reply.send(Err(BpNttError::Cancelled));
+            continue;
         }
         let slot = *index
             .entry((tenant, spec.clone(), mode))
@@ -1165,8 +1711,17 @@ fn execute_wave(
         let capacity = engine.lanes_total().max(1);
         let batch = group.replies.len();
         let slot_refs: Vec<&[Vec<u64>]> = group.slots.iter().map(Vec::as_slice).collect();
+        // A group whose every waiter disconnects mid-wave aborts: the
+        // workers stop claiming chunks and the call returns `Cancelled`.
+        let replies = &group.replies;
+        let all_cancelled = move || replies.iter().all(TicketSender::is_cancelled);
         let t = Instant::now();
-        let result = engine.run_pipeline_batch(&group.spec, group.mode, &slot_refs);
+        let result = engine.run_pipeline_batch_cancellable(
+            &group.spec,
+            group.mode,
+            &slot_refs,
+            &all_cancelled,
+        );
         let elapsed = t.elapsed().as_secs_f64();
         {
             let mut m = shared.metrics.lock().expect("metrics poisoned");
@@ -1174,6 +1729,14 @@ fn execute_wave(
             m.wave_polys += batch as u64;
             m.occupancy_sum += (batch as f64 / capacity as f64).min(1.0);
             m.busy_secs += elapsed;
+            // Drain-rate EWMA: the basis of retry_after_ms hints handed
+            // to shed clients.
+            let rate = batch as f64 / elapsed.max(1e-6);
+            m.drain_rate = if m.drain_rate == 0.0 {
+                rate
+            } else {
+                0.2 * rate + 0.8 * m.drain_rate
+            };
             for &s in engine.last_wave_shard_secs() {
                 if m.shard_secs.len() == SHARD_SAMPLE_WINDOW {
                     m.shard_secs.pop_front();
@@ -1190,8 +1753,18 @@ fn execute_wave(
             // mark across waves and tenant engines.
             m.quarantined_shards = m.quarantined_shards.max(rep.quarantined_shards);
             match &result {
-                Ok(_) => m.completed += batch as u64,
-                Err(_) => m.failed += batch as u64,
+                Ok(_) => {
+                    m.completed += batch as u64;
+                    m.tenant(group.tenant).completed += batch as u64;
+                }
+                Err(BpNttError::Cancelled) => {
+                    m.cancelled += batch as u64;
+                    m.tenant(group.tenant).cancelled += batch as u64;
+                }
+                Err(_) => {
+                    m.failed += batch as u64;
+                    m.tenant(group.tenant).failed += batch as u64;
+                }
             }
         }
         match result {
@@ -1280,15 +1853,201 @@ mod tests {
             },
         )
         .unwrap();
-        assert!(matches!(
-            service.submit_forward(pseudo(8, 97, 1)),
+        match service.submit_forward(pseudo(8, 97, 1)) {
             Err(BpNttError::Overloaded {
                 depth: 0,
-                capacity: 0
-            })
-        ));
+                capacity: 0,
+                retry_after_ms,
+            }) => assert!(retry_after_ms >= 1, "back-off hint must be nonzero"),
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
         let m = service.shutdown();
         assert_eq!(m.rejected, 1);
+    }
+
+    #[test]
+    fn rate_limit_sheds_typed_with_retry_hint() {
+        let service = NttService::start(
+            &config8(),
+            ServiceOptions {
+                rate_limit: Some(RateLimit {
+                    requests_per_sec: 0.001, // effectively no refill mid-test
+                    burst: 2.0,
+                }),
+                ..ServiceOptions::default()
+            },
+        )
+        .unwrap();
+        let a = service.submit_forward(pseudo(8, 97, 1)).unwrap();
+        let b = service.submit_forward(pseudo(8, 97, 2)).unwrap();
+        match service.submit_forward(pseudo(8, 97, 3)) {
+            Err(BpNttError::RateLimited {
+                tenant: 0,
+                retry_after_ms,
+            }) => assert!(retry_after_ms >= 1),
+            other => panic!("expected RateLimited, got {other:?}"),
+        }
+        assert!(a.wait().is_ok());
+        assert!(b.wait().is_ok());
+        let m = service.shutdown();
+        assert_eq!(m.rate_limited, 1);
+        assert_eq!(m.rejected, 1);
+        assert_eq!(m.completed, 2);
+        let t0 = &m.per_tenant[0];
+        assert_eq!(t0.tenant, 0);
+        assert_eq!(t0.submitted, 2);
+        assert_eq!(t0.shed, 1);
+        assert_eq!(t0.completed, 2);
+        assert!(t0.bytes >= 2 * 64);
+    }
+
+    #[test]
+    fn shutdown_now_fails_queued_typed_and_unblocks_waiters() {
+        // Regression: a request still queued at shutdown must resolve a
+        // blocked `Ticket::wait` with a typed ServiceShutdown, never hang.
+        let service = NttService::start(
+            &config8(),
+            ServiceOptions {
+                // Long window so the requests are still queued when the
+                // abort lands.
+                coalesce_window: Duration::from_secs(30),
+                ..ServiceOptions::default()
+            },
+        )
+        .unwrap();
+        let blocked = service.submit_forward(pseudo(8, 97, 1)).unwrap();
+        let queued = service.submit_forward(pseudo(8, 97, 2)).unwrap();
+        let waiter = std::thread::spawn(move || blocked.wait());
+        // Give the waiter time to actually park in wait().
+        std::thread::sleep(Duration::from_millis(50));
+        let m = service.shutdown_now();
+        assert!(matches!(
+            waiter.join().unwrap(),
+            Err(BpNttError::ServiceShutdown)
+        ));
+        assert!(matches!(queued.wait(), Err(BpNttError::ServiceShutdown)));
+        assert_eq!(m.completed, 0, "abort mode must not execute queued work");
+        assert_eq!(m.failed, 2);
+    }
+
+    #[test]
+    fn dropped_ticket_cancels_queued_request() {
+        let service = NttService::start(
+            &config8(),
+            ServiceOptions {
+                coalesce_window: Duration::from_secs(30),
+                ..ServiceOptions::default()
+            },
+        )
+        .unwrap();
+        let doomed = service.submit_forward(pseudo(8, 97, 1)).unwrap();
+        drop(doomed); // client disconnected
+        let fine = service.submit_forward(pseudo(8, 97, 2)).unwrap();
+        // Drain-mode shutdown: the live request completes, the cancelled
+        // one is shed without costing a lane.
+        let m = service.shutdown();
+        assert!(fine.wait().is_ok());
+        assert_eq!(m.completed, 1);
+        assert_eq!(m.cancelled, 1);
+        assert_eq!(m.per_tenant[0].cancelled, 1);
+    }
+
+    #[test]
+    fn wait_timeout_clamps_to_request_deadline() {
+        // Regression: a caller could wait far past its own deadline
+        // before learning of DeadlineExpired. Channel-level check: the
+        // sender stays unanswered, so only the deadline clamp can end
+        // this wait — a broken clamp would run the full 60 s.
+        let deadline = Instant::now() + Duration::from_millis(30);
+        let (ticket, sender) = Ticket::channel(Some(deadline));
+        let t = Instant::now();
+        let got = ticket.wait_timeout(Duration::from_secs(60));
+        let waited = t.elapsed();
+        assert!(matches!(got, Some(Err(BpNttError::DeadlineExpired { .. }))));
+        assert!(
+            waited < Duration::from_secs(10),
+            "wait_timeout must clamp to the 30ms deadline, waited {waited:?}"
+        );
+        assert!(
+            sender.is_cancelled(),
+            "local expiry must mark the request shed-able"
+        );
+        // A result arriving after the local expiry is discarded — the
+        // slot is spent and never yields a success.
+        sender.send(Ok(vec![1]));
+        match ticket.try_wait() {
+            None | Some(Err(_)) => {}
+            Some(Ok(_)) => panic!("spent ticket must not deliver a late result"),
+        }
+        // And a *plain* timeout (no deadline) still reports None.
+        let (plain, _keep) = Ticket::channel(None);
+        assert!(plain.wait_timeout(Duration::from_millis(5)).is_none());
+    }
+
+    #[test]
+    fn fair_queue_interleaves_tenants_per_round() {
+        // Direct DRR check: tenant 0 floods 6 requests, tenant 1 queues
+        // 2; with one quantum covering one request, a 4-request round
+        // takes 2 from each instead of 4 from the flooder.
+        let mk = |tenant: u32, seed: u64| {
+            let (_t, reply) = Ticket::channel(None);
+            Request {
+                tenant: TenantId(tenant),
+                spec: PipelineSpec::forward_ntt(),
+                mode: ExecMode::Replay,
+                inputs: vec![pseudo(8, 97, seed)],
+                reply,
+                deadline: None,
+                cost: 64,
+            }
+        };
+        let mut q = FairQueue::new(64);
+        for s in 0..6 {
+            q.push(mk(0, s + 1));
+        }
+        for s in 0..2 {
+            q.push(mk(1, s + 10));
+        }
+        assert_eq!(q.len(), 8);
+        let mut round = Vec::new();
+        q.drain_round(4, &mut round);
+        let hot = round.iter().filter(|r| r.tenant == TenantId(0)).count();
+        let cold = round.iter().filter(|r| r.tenant == TenantId(1)).count();
+        assert_eq!((hot, cold), (2, 2), "DRR must interleave the tenants");
+        // Tenant 1 empties out; the rest of the backlog belongs to 0.
+        let mut rest = Vec::new();
+        q.drain_round(10, &mut rest);
+        assert_eq!(rest.len(), 4);
+        assert!(rest.iter().all(|r| r.tenant == TenantId(0)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn fair_service_completes_all_tenants_under_hot_flood() {
+        // End-to-end: a hot tenant floods, a cold tenant trickles; both
+        // complete everything and the per-tenant slices account for it.
+        let service = NttService::start(&config8(), ServiceOptions::default()).unwrap();
+        let cold = service.add_tenant(&config8()).unwrap();
+        let mut tickets = Vec::new();
+        for s in 0..40 {
+            tickets.push(service.submit_forward(pseudo(8, 97, s + 1)).unwrap());
+        }
+        for s in 0..4 {
+            tickets.push(
+                service
+                    .submit_forward_as(cold, pseudo(8, 97, s + 100))
+                    .unwrap(),
+            );
+        }
+        for t in tickets {
+            assert!(t.wait().is_ok());
+        }
+        let m = service.shutdown();
+        assert_eq!(m.completed, 44);
+        assert_eq!(m.per_tenant.len(), 2);
+        assert_eq!(m.per_tenant[0].completed, 40);
+        assert_eq!(m.per_tenant[1].completed, 4);
+        assert_eq!(m.per_tenant[1].tenant, cold.raw());
     }
 
     #[test]

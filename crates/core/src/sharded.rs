@@ -376,6 +376,7 @@ impl ShardedBpNtt {
         pipe: &Arc<CompiledPipeline>,
         mode: ExecMode,
         inputs: &[&[Vec<u64>]],
+        cancel: Option<&(dyn Fn() -> bool + Sync)>,
     ) -> Result<Vec<Vec<u64>>, BpNttError> {
         let batch = inputs.first().map_or(0, |b| b.len());
         let lanes = self.lanes_per_shard.max(1);
@@ -409,6 +410,7 @@ impl ShardedBpNtt {
                             requeue,
                             ladder,
                             retry_budget,
+                            cancel,
                         })
                     }),
                 ));
@@ -452,6 +454,18 @@ impl ShardedBpNtt {
             if let Some(e) = o.err {
                 first_err.get_or_insert(e);
             }
+        }
+        // A cancelled wave (every waiter gone — e.g. the last network
+        // client of the group disconnected) stops claiming chunks; the
+        // unfilled remainder is reported typed, not recomputed in
+        // software. Completed chunks' timings and ladder activity are
+        // still recorded below.
+        if slots.iter().any(Option::is_none) && cancel.is_some_and(|c| c()) {
+            wave.quarantined_shards = self.quarantined.iter().filter(|&&q| q).count() as u64;
+            self.last_report = wave;
+            self.totals.absorb(&wave);
+            self.totals.quarantined_shards = wave.quarantined_shards;
+            return Err(BpNttError::Cancelled);
         }
         // The degrade rung: chunks nobody completed (their shard
         // quarantined and the one re-dispatch hop failed or never ran)
@@ -521,6 +535,38 @@ impl ShardedBpNtt {
         mode: ExecMode,
         inputs: &[&[Vec<u64>]],
     ) -> Result<Vec<Vec<u64>>, BpNttError> {
+        self.run_pipeline_batch_inner(spec, mode, inputs, None)
+    }
+
+    /// [`Self::run_pipeline_batch`] with a cooperative cancellation
+    /// probe: workers consult `cancel` before claiming each chunk, and a
+    /// wave whose probe turns true mid-flight stops claiming and fails
+    /// typed with [`BpNttError::Cancelled`] instead of finishing (or
+    /// software-recomputing) work nobody is waiting for. Chunks already
+    /// claimed still run to completion — cancellation is a claim-time
+    /// boundary, never a mid-chunk abort.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::run_pipeline_batch`], plus [`BpNttError::Cancelled`]
+    /// when the probe fired before the wave filled every chunk.
+    pub fn run_pipeline_batch_cancellable(
+        &mut self,
+        spec: &PipelineSpec,
+        mode: ExecMode,
+        inputs: &[&[Vec<u64>]],
+        cancel: &(dyn Fn() -> bool + Sync),
+    ) -> Result<Vec<Vec<u64>>, BpNttError> {
+        self.run_pipeline_batch_inner(spec, mode, inputs, Some(cancel))
+    }
+
+    fn run_pipeline_batch_inner(
+        &mut self,
+        spec: &PipelineSpec,
+        mode: ExecMode,
+        inputs: &[&[Vec<u64>]],
+        cancel: Option<&(dyn Fn() -> bool + Sync)>,
+    ) -> Result<Vec<Vec<u64>>, BpNttError> {
         // Clear before any early return: even a rejected call must not
         // leave a previous wave's timings or recovery report behind.
         self.last_shard_secs.clear();
@@ -554,7 +600,7 @@ impl ShardedBpNtt {
             return Ok(Vec::new());
         }
         let pipe = self.warm_pipeline(spec)?;
-        self.run_wave(&pipe, mode, inputs)
+        self.run_wave(&pipe, mode, inputs, cancel)
     }
 
     /// Forward-transforms an arbitrarily large batch — the canned
@@ -640,6 +686,7 @@ struct WorkerCtx<'scope, 'env> {
     requeue: &'scope Requeue,
     ladder: bool,
     retry_budget: usize,
+    cancel: Option<&'env (dyn Fn() -> bool + Sync)>,
 }
 
 /// One shard worker: claim chunks (re-dispatched ones first, then the
@@ -659,6 +706,7 @@ fn run_worker(ctx: WorkerCtx<'_, '_>) -> ShardOutcome {
         requeue,
         ladder,
         retry_budget,
+        cancel,
     } = ctx;
     let t = std::time::Instant::now();
     let mut out = ShardOutcome {
@@ -669,6 +717,11 @@ fn run_worker(ctx: WorkerCtx<'_, '_>) -> ShardOutcome {
         report: RecoveryReport::default(),
     };
     'claim: loop {
+        // Cancelled mid-wave: stop claiming. Unclaimed chunks stay
+        // unfilled and the wave reports `Cancelled` at reassembly.
+        if cancel.is_some_and(|c| c()) {
+            break;
+        }
         // Chunks orphaned by a quarantined shard take priority over new
         // work: they are the wave's critical path.
         let requeued = requeue.lock().expect("requeue lock").pop();

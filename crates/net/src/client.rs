@@ -1,0 +1,155 @@
+//! A minimal blocking client for the BP-NTT wire protocol — one
+//! request in flight per connection, typed errors surfaced as
+//! [`ClientError::Remote`].
+
+use crate::frame::{
+    decode_poly_body, decode_response, encode_request, read_frame, write_frame, FrameError,
+    FrameLimits, RecvError, Request, Response, SubmitRequest, WireErrorCode,
+};
+use std::error::Error;
+use std::fmt;
+use std::io::{self, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (incl. timeouts and dropped connections).
+    Io(io::Error),
+    /// The server's bytes violated the protocol.
+    Frame(FrameError),
+    /// The server answered with a typed error.
+    Remote {
+        /// The failure class.
+        code: WireErrorCode,
+        /// Back-off hint, milliseconds.
+        retry_after_ms: u32,
+        /// Server-rendered detail.
+        message: String,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "socket error: {e}"),
+            ClientError::Frame(e) => write!(f, "protocol error: {e}"),
+            ClientError::Remote {
+                code,
+                retry_after_ms,
+                message,
+            } => write!(
+                f,
+                "server error {code:?} (retry after {retry_after_ms} ms): {message}"
+            ),
+        }
+    }
+}
+
+impl Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+impl From<RecvError> for ClientError {
+    fn from(e: RecvError) -> Self {
+        match e {
+            RecvError::Closed => ClientError::Io(io::Error::new(
+                io::ErrorKind::ConnectionAborted,
+                "server closed the connection",
+            )),
+            RecvError::Io(e) => ClientError::Io(e),
+            RecvError::Frame(e) => ClientError::Frame(e),
+        }
+    }
+}
+
+/// One blocking protocol connection.
+pub struct NetClient {
+    stream: TcpStream,
+    limits: FrameLimits,
+}
+
+impl NetClient {
+    /// Connects with default [`FrameLimits`] and no socket timeouts.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(NetClient {
+            stream,
+            limits: FrameLimits::default(),
+        })
+    }
+
+    /// Applies a read timeout to responses (useful in chaos tests so a
+    /// wedged server cannot wedge the client).
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    fn round_trip(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &encode_request(req))?;
+        let payload = read_frame(&mut self.stream, &self.limits)?;
+        Ok(decode_response(&payload)?)
+    }
+
+    fn expect_ok(resp: Response) -> Result<Vec<u8>, ClientError> {
+        match resp {
+            Response::Ok(body) => Ok(body),
+            Response::Err {
+                code,
+                retry_after_ms,
+                message,
+            } => Err(ClientError::Remote {
+                code,
+                retry_after_ms,
+                message,
+            }),
+        }
+    }
+
+    /// Submits a pipeline and blocks for the result polynomial.
+    pub fn submit(&mut self, sub: SubmitRequest) -> Result<Vec<u64>, ClientError> {
+        let resp = self.round_trip(&Request::Submit(sub))?;
+        Ok(decode_poly_body(&Self::expect_ok(resp)?)?)
+    }
+
+    /// Fetches the service metrics as JSON text.
+    pub fn metrics_json(&mut self) -> Result<String, ClientError> {
+        let body = Self::expect_ok(self.round_trip(&Request::MetricsJson)?)?;
+        String::from_utf8(body).map_err(|_| ClientError::Frame(FrameError::BadText))
+    }
+
+    /// Fetches the service metrics in Prometheus text format.
+    pub fn metrics_prometheus(&mut self) -> Result<String, ClientError> {
+        let body = Self::expect_ok(self.round_trip(&Request::MetricsProm)?)?;
+        String::from_utf8(body).map_err(|_| ClientError::Frame(FrameError::BadText))
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        Self::expect_ok(self.round_trip(&Request::Ping)?).map(drop)
+    }
+
+    /// Writes raw bytes straight onto the socket — the chaos harness's
+    /// entry point for malformed frames and partial writes.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()
+    }
+
+    /// Reads one raw response frame (after [`Self::send_raw`]).
+    pub fn recv_frame(&mut self) -> Result<Vec<u8>, ClientError> {
+        Ok(read_frame(&mut self.stream, &self.limits)?)
+    }
+}

@@ -1,0 +1,66 @@
+//! Network front-end for the BP-NTT service: a length-prefixed TCP
+//! protocol whose design goal is *resilience under hostile and
+//! overloaded traffic*, extending the engine's robustness ladder
+//! (detect → retry → quarantine → degrade) one layer up into the
+//! request path.
+//!
+//! Three defenses, one per module:
+//!
+//! * [`frame`] — a versioned, length-prefixed codec with hard caps on
+//!   frame size, op count, slot count, and polynomial length. Decoding
+//!   is bounds-checked and total: adversarial bytes yield typed
+//!   [`FrameError`]s, never panics or unbounded allocations.
+//! * [`server`] — per-connection read/write timeouts (slow-loris and
+//!   truncated-frame clients are dropped before touching the
+//!   dispatcher), mid-request disconnect detection that cancels the
+//!   pending ticket, and a drain shutdown.
+//! * [`client`] — a small blocking client that surfaces the server's
+//!   typed errors (including `retry_after_ms` back-off hints from
+//!   admission control) and doubles as the chaos harness's raw socket.
+//!
+//! Fairness and admission control themselves live in
+//! [`bpntt_core::service`] (deficit-round-robin queue, token buckets,
+//! load shedding); this crate is the membrane that lets untrusted
+//! remote traffic reach them safely.
+//!
+//! # Example
+//!
+//! ```
+//! use bpntt_core::{BpNttConfig, ExecMode, NttService, PipelineSpec, ServiceOptions};
+//! use bpntt_net::{NetClient, NetOptions, NetServer, SubmitRequest};
+//! use std::sync::Arc;
+//!
+//! let service = Arc::new(NttService::start(
+//!     &BpNttConfig::new(32, 32, 8, bpntt_ntt::NttParams::new(8, 97)?)?,
+//!     ServiceOptions::default(),
+//! )?);
+//! let server = NetServer::bind("127.0.0.1:0", Arc::clone(&service), NetOptions::default())?;
+//!
+//! let mut client = NetClient::connect(server.local_addr())?;
+//! let spectrum = client.submit(SubmitRequest {
+//!     tenant: None,
+//!     mode: ExecMode::Replay,
+//!     deadline_ms: 0,
+//!     spec: PipelineSpec::forward_ntt(),
+//!     inputs: vec![vec![1, 2, 3, 4, 5, 6, 7, 8]],
+//! }).unwrap();
+//! assert_eq!(spectrum.len(), 8);
+//!
+//! server.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod frame;
+pub mod server;
+
+pub use client::{ClientError, NetClient};
+pub use frame::{
+    decode_poly_body, decode_request, decode_response, encode_poly_body, encode_request,
+    encode_response, read_frame, write_frame, FrameError, FrameLimits, RecvError, Request,
+    Response, SubmitRequest, WireErrorCode,
+};
+pub use server::{NetOptions, NetServer};

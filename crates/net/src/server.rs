@@ -1,0 +1,278 @@
+//! The TCP front-end: one accept loop, one thread per connection,
+//! [`NttService`] underneath.
+//!
+//! Resilience posture (the point of this layer — see the crate docs):
+//!
+//! * **Slow-loris / truncated frames** — every socket carries read and
+//!   write timeouts; a client that stalls mid-frame (either direction)
+//!   is dropped without ever touching the dispatcher.
+//! * **Hostile bytes** — frames are decoded against [`FrameLimits`]
+//!   before any request-sized allocation; decode failures answer typed
+//!   (`BadFrame`) when the stream is still framed, and drop the
+//!   connection when it is not (oversized length prefix).
+//! * **Mid-request disconnect** — while a submission waits on its
+//!   [`Ticket`](bpntt_core::Ticket), the connection is polled for EOF;
+//!   a vanished client drops the ticket, which *cancels* the queued
+//!   request instead of leaking it into a wave.
+//! * **Drain shutdown** — [`NetServer::shutdown`] stops accepting,
+//!   wakes every connection thread, and joins them; requests already
+//!   admitted to the service keep their usual completion guarantees.
+
+use crate::frame::{
+    decode_request, encode_poly_body, encode_response, read_frame, write_frame, FrameLimits,
+    RecvError, Request, Response, SubmitRequest, WireErrorCode,
+};
+use bpntt_core::{BpNttError, NttService, PipelineRequest, TenantId, Ticket};
+use std::io::{self, ErrorKind};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Tuning knobs for [`NetServer::bind`].
+#[derive(Debug, Clone)]
+pub struct NetOptions {
+    /// Per-read socket timeout. A peer that keeps a frame incomplete
+    /// longer than this is dropped (slow-loris defense). Also bounds how
+    /// long a shutdown waits for idle connections.
+    pub read_timeout: Duration,
+    /// Per-write socket timeout; a peer that stops draining its
+    /// responses is dropped rather than wedging the connection thread.
+    pub write_timeout: Duration,
+    /// Decode caps applied to every inbound frame.
+    pub limits: FrameLimits,
+}
+
+impl Default for NetOptions {
+    fn default() -> Self {
+        NetOptions {
+            read_timeout: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(2),
+            limits: FrameLimits::default(),
+        }
+    }
+}
+
+/// A running front-end. Dropping the handle leaks the background
+/// threads until process exit; call [`Self::shutdown`] for an orderly
+/// stop.
+pub struct NetServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl NetServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts serving `service`.
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        service: Arc<NttService>,
+        opts: NetOptions,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            thread::Builder::new()
+                .name("bpntt-net-accept".into())
+                .spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        match listener.accept() {
+                            Ok((stream, _peer)) => {
+                                let service = Arc::clone(&service);
+                                let stop = Arc::clone(&stop);
+                                let opts = opts.clone();
+                                let handle = thread::Builder::new()
+                                    .name("bpntt-net-conn".into())
+                                    .spawn(move || serve_conn(stream, &service, &opts, &stop))
+                                    .expect("spawn connection thread");
+                                let mut guard = conns.lock().unwrap_or_else(|p| p.into_inner());
+                                // Reap finished threads so a long-lived
+                                // server does not accumulate handles.
+                                guard.retain(|h| !h.is_finished());
+                                guard.push(handle);
+                            }
+                            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                                thread::sleep(Duration::from_millis(2));
+                            }
+                            Err(_) => thread::sleep(Duration::from_millis(10)),
+                        }
+                    }
+                })
+                .expect("spawn accept thread")
+        };
+        Ok(NetServer {
+            addr,
+            stop,
+            accept: Some(accept),
+            conns,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, then joins every connection thread. Connections
+    /// notice the stop flag at their next read timeout (or frame
+    /// boundary), so this returns within roughly one
+    /// [`NetOptions::read_timeout`] of the last active request.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let handles = {
+            let mut guard = self.conns.lock().unwrap_or_else(|p| p.into_inner());
+            std::mem::take(&mut *guard)
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn serve_conn(stream: TcpStream, service: &NttService, opts: &NetOptions, stop: &AtomicBool) {
+    let _ = stream.set_read_timeout(Some(opts.read_timeout));
+    let _ = stream.set_write_timeout(Some(opts.write_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut reader = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    while !stop.load(Ordering::Relaxed) {
+        let payload = match read_frame(&mut reader, &opts.limits) {
+            Ok(p) => p,
+            Err(RecvError::Closed) => return,
+            Err(RecvError::Io(e))
+                if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
+            {
+                // Idle between frames is fine; a stall *inside* a frame
+                // never reaches here (read_exact reports it as an
+                // UnexpectedEof/TimedOut after partial progress — both
+                // drop the peer below). Loop to re-check the stop flag.
+                continue;
+            }
+            Err(RecvError::Io(_)) => return,
+            Err(RecvError::Frame(e)) => {
+                // The length prefix itself was hostile; answer typed and
+                // hang up — the stream cannot be resynchronised.
+                let _ = respond(
+                    &mut writer,
+                    &Response::Err {
+                        code: WireErrorCode::BadFrame,
+                        retry_after_ms: 0,
+                        message: e.to_string(),
+                    },
+                );
+                return;
+            }
+        };
+        let req = match decode_request(&payload, &opts.limits) {
+            Ok(r) => r,
+            Err(e) => {
+                // Framing held, so the stream is still aligned: answer
+                // typed and keep the connection.
+                if respond(
+                    &mut writer,
+                    &Response::Err {
+                        code: WireErrorCode::BadFrame,
+                        retry_after_ms: 0,
+                        message: e.to_string(),
+                    },
+                )
+                .is_err()
+                {
+                    return;
+                }
+                continue;
+            }
+        };
+        let resp = match req {
+            Request::Ping => Response::Ok(Vec::new()),
+            Request::MetricsJson => Response::Ok(service.metrics().to_json().into_bytes()),
+            Request::MetricsProm => Response::Ok(service.metrics().to_prometheus().into_bytes()),
+            Request::Submit(sub) => match handle_submit(service, sub) {
+                SubmitOutcome::Reply(resp) => resp,
+                SubmitOutcome::Wait(ticket) => match wait_with_disconnect(ticket, &mut reader) {
+                    Some(result) => result
+                        .map_or_else(error_response, |poly| Response::Ok(encode_poly_body(&poly))),
+                    // Peer vanished mid-wait: the ticket was dropped,
+                    // cancelling the request. Nothing left to answer.
+                    None => return,
+                },
+            },
+        };
+        if respond(&mut writer, &resp).is_err() {
+            return;
+        }
+    }
+}
+
+enum SubmitOutcome {
+    Reply(Response),
+    Wait(Ticket),
+}
+
+fn handle_submit(service: &NttService, sub: SubmitRequest) -> SubmitOutcome {
+    let tenant = sub
+        .tenant
+        .map_or_else(|| service.default_tenant(), TenantId::from_raw);
+    let mut req = PipelineRequest::new(sub.spec, sub.inputs)
+        .with_tenant(tenant)
+        .with_mode(sub.mode);
+    if sub.deadline_ms > 0 {
+        req = req.with_deadline(Duration::from_millis(u64::from(sub.deadline_ms)));
+    }
+    match service.submit_pipeline(req) {
+        Ok(ticket) => SubmitOutcome::Wait(ticket),
+        Err(e) => SubmitOutcome::Reply(error_response(e)),
+    }
+}
+
+/// Waits for a ticket while watching the connection: a peer that
+/// disappears (EOF on a nonblocking peek) aborts the wait by *dropping*
+/// the ticket, which cancels the queued request. Returns `None` when
+/// the wait was abandoned. A server shutdown does *not* abandon the
+/// wait — an admitted request keeps its drain guarantee, and the ticket
+/// resolves typed even if the service itself stops.
+fn wait_with_disconnect(
+    ticket: Ticket,
+    conn: &mut TcpStream,
+) -> Option<Result<Vec<u64>, BpNttError>> {
+    loop {
+        if let Some(result) = ticket.wait_timeout(Duration::from_millis(20)) {
+            return Some(result);
+        }
+        if conn.set_nonblocking(true).is_err() {
+            return None;
+        }
+        let gone = matches!(conn.peek(&mut [0u8; 1]), Ok(0));
+        let still_ok = conn.set_nonblocking(false).is_ok();
+        if gone || !still_ok {
+            return None;
+        }
+    }
+}
+
+fn error_response(e: BpNttError) -> Response {
+    let (code, retry_after_ms) = WireErrorCode::classify(&e);
+    Response::Err {
+        code,
+        retry_after_ms: retry_after_ms.min(u64::from(u32::MAX)) as u32,
+        message: e.to_string(),
+    }
+}
+
+fn respond(w: &mut TcpStream, resp: &Response) -> io::Result<()> {
+    write_frame(w, &encode_response(resp))
+}

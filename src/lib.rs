@@ -10,6 +10,8 @@
 //! * [`ntt`] — software reference NTT (forward/inverse/polymul);
 //! * [`core`] — the BP-NTT accelerator engine (layout, kernels,
 //!   compile-once/replay-many programs, sharded batch execution);
+//! * [`net`] — the length-prefixed TCP front-end over the core service
+//!   (framing, per-tenant fairness, admission control);
 //! * [`baselines`], [`cachesim`], [`eval`] — comparison designs and the
 //!   paper-figure evaluation harness.
 
@@ -20,5 +22,6 @@ pub use bpntt_cachesim as cachesim;
 pub use bpntt_core as core;
 pub use bpntt_eval as eval;
 pub use bpntt_modmath as modmath;
+pub use bpntt_net as net;
 pub use bpntt_ntt as ntt;
 pub use bpntt_sram as sram;

@@ -1,0 +1,263 @@
+//! Integration tests for the TCP front-end: real sockets against a
+//! real service, covering the connection-chaos ladder — malformed
+//! frames answered typed on a surviving connection, hostile prefixes
+//! dropped, slow-loris clients timed out, mid-request disconnects
+//! cancelling their tickets, and deadlines propagating over the wire.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bpntt_core::{BpNttConfig, ExecMode, NttService, PipelineSpec, ServiceOptions, VerifyPolicy};
+use bpntt_net::{
+    decode_response, encode_request, write_frame, ClientError, FrameLimits, NetClient, NetOptions,
+    NetServer, Request, Response, SubmitRequest, WireErrorCode,
+};
+use bpntt_ntt::forward::ntt_in_place;
+use bpntt_ntt::{NttParams, Polynomial, TwiddleTable};
+
+fn config8() -> BpNttConfig {
+    BpNttConfig::new(32, 32, 8, NttParams::new(8, 97).unwrap()).unwrap()
+}
+
+fn start(opts: ServiceOptions) -> (Arc<NttService>, NetServer) {
+    let service = Arc::new(NttService::start(&config8(), opts).unwrap());
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&service),
+        NetOptions {
+            read_timeout: Duration::from_millis(200),
+            write_timeout: Duration::from_secs(2),
+            limits: FrameLimits::default(),
+        },
+    )
+    .unwrap();
+    (service, server)
+}
+
+fn pseudo(seed: u64) -> Vec<u64> {
+    Polynomial::pseudo_random(&NttParams::new(8, 97).unwrap(), seed).into_coeffs()
+}
+
+fn forward_submit(seed: u64, deadline_ms: u32) -> SubmitRequest {
+    SubmitRequest {
+        tenant: None,
+        mode: ExecMode::Replay,
+        deadline_ms,
+        spec: PipelineSpec::forward_ntt(),
+        inputs: vec![pseudo(seed)],
+    }
+}
+
+#[test]
+fn submit_over_tcp_is_reference_exact() {
+    let (service, server) = start(ServiceOptions::default());
+    let params = NttParams::new(8, 97).unwrap();
+    let twiddles = TwiddleTable::new(&params);
+    let mut client = NetClient::connect(server.local_addr()).unwrap();
+    for seed in 1..6u64 {
+        let got = client.submit(forward_submit(seed, 0)).unwrap();
+        let mut expect = pseudo(seed);
+        ntt_in_place(&params, &twiddles, &mut expect).unwrap();
+        assert_eq!(got, expect, "wire round-trip diverged (seed {seed})");
+    }
+    // Both metrics exports are served over the same connection.
+    let json = client.metrics_json().unwrap();
+    assert!(json.contains("\"completed\": 5"));
+    let prom = client.metrics_prometheus().unwrap();
+    assert!(prom.contains("bpntt_completed_total 5"));
+    server.shutdown();
+    drop(service);
+}
+
+#[test]
+fn malformed_frame_answers_typed_and_connection_survives() {
+    let (service, server) = start(ServiceOptions::default());
+    let mut client = NetClient::connect(server.local_addr()).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // Well-framed garbage: typed BadFrame response, connection kept.
+    client
+        .send_raw(&{
+            let mut f = (11u32).to_le_bytes().to_vec();
+            f.extend_from_slice(b"XXXXGARBAGE");
+            f
+        })
+        .unwrap();
+    let frame = client.recv_frame().unwrap();
+    match decode_response(&frame).unwrap() {
+        Response::Err { code, .. } => assert_eq!(code, WireErrorCode::BadFrame),
+        other => panic!("expected a typed error, got {other:?}"),
+    }
+    // The same connection still works afterwards.
+    client.ping().unwrap();
+    assert!(client.submit(forward_submit(9, 0)).is_ok());
+    server.shutdown();
+    drop(service);
+}
+
+#[test]
+fn oversized_length_prefix_drops_the_connection() {
+    let (service, server) = start(ServiceOptions::default());
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    // The server answers typed (FrameTooLarge → BadFrame) and hangs up;
+    // reading to EOF must terminate instead of seeing a 4 GiB echo.
+    let mut all = Vec::new();
+    stream.read_to_end(&mut all).unwrap();
+    let payload = &all[4..];
+    match decode_response(payload).unwrap() {
+        Response::Err { code, message, .. } => {
+            assert_eq!(code, WireErrorCode::BadFrame);
+            assert!(message.contains("exceeds"), "got: {message}");
+        }
+        other => panic!("expected a typed error, got {other:?}"),
+    }
+    server.shutdown();
+    drop(service);
+}
+
+#[test]
+fn slow_loris_is_dropped_at_the_read_timeout() {
+    let (service, server) = start(ServiceOptions::default());
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    // Half a length prefix, then stall. The server's 200 ms read
+    // timeout must drop us; the subsequent read sees EOF (or a reset),
+    // never a hang.
+    stream.write_all(&[0x04, 0x00]).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let t0 = Instant::now();
+    let mut buf = [0u8; 8];
+    let outcome = stream.read(&mut buf);
+    assert!(
+        matches!(outcome, Ok(0) | Err(_)),
+        "server must drop a stalled frame, got {outcome:?}"
+    );
+    assert!(
+        t0.elapsed() < Duration::from_secs(8),
+        "drop must come from the server's timeout, not ours"
+    );
+    server.shutdown();
+    drop(service);
+}
+
+#[test]
+fn mid_request_disconnect_cancels_the_pending_ticket() {
+    // A long coalesce window parks the request in the queue, so the
+    // client can vanish while it is still pending.
+    let (service, server) = start(ServiceOptions {
+        coalesce_window: Duration::from_millis(400),
+        ..ServiceOptions::default()
+    });
+    {
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        write_frame(
+            &mut stream,
+            &encode_request(&Request::Submit(forward_submit(3, 0))),
+        )
+        .unwrap();
+        // Drop without reading the response: mid-request disconnect.
+    }
+    // The server's peek loop (20 ms cadence) must notice the EOF and
+    // drop the ticket, which cancels the queued request before (or as)
+    // the wave forms.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let m = service.metrics();
+        if m.cancelled >= 1 {
+            assert_eq!(m.completed, 0, "a cancelled request must not complete");
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "disconnect never cancelled the ticket: {:?}",
+            (m.cancelled, m.completed, m.failed)
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    server.shutdown();
+    drop(service);
+}
+
+#[test]
+fn deadline_propagates_from_frame_to_typed_expiry() {
+    // Coalesce far longer than the 1 ms wire deadline: the request
+    // expires in the queue and the client hears DeadlineExpired.
+    let (service, server) = start(ServiceOptions {
+        coalesce_window: Duration::from_millis(300),
+        ..ServiceOptions::default()
+    });
+    let mut client = NetClient::connect(server.local_addr()).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    match client.submit(forward_submit(4, 1)) {
+        Err(ClientError::Remote { code, .. }) => {
+            assert_eq!(code, WireErrorCode::DeadlineExpired);
+        }
+        other => panic!("expected a wire DeadlineExpired, got {other:?}"),
+    }
+    server.shutdown();
+    drop(service);
+}
+
+#[test]
+fn shed_requests_carry_retry_hints_over_the_wire() {
+    let (service, server) = start(ServiceOptions {
+        max_queue: 0,
+        ..ServiceOptions::default()
+    });
+    let mut client = NetClient::connect(server.local_addr()).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    match client.submit(forward_submit(5, 0)) {
+        Err(ClientError::Remote {
+            code,
+            retry_after_ms,
+            ..
+        }) => {
+            assert_eq!(code, WireErrorCode::Overloaded);
+            assert!(retry_after_ms >= 1, "shed must carry a back-off hint");
+        }
+        other => panic!("expected a wire Overloaded, got {other:?}"),
+    }
+    server.shutdown();
+    drop(service);
+}
+
+#[test]
+fn verified_service_over_wire_stays_exact_under_faults() {
+    use bpntt_core::FaultPlan;
+    let (service, server) = start(ServiceOptions {
+        verify: VerifyPolicy::Full,
+        retry_budget: 2,
+        fault_plan: Some(FaultPlan::seeded(0xFEED).transient_rate(0.002)),
+        ..ServiceOptions::default()
+    });
+    let params = NttParams::new(8, 97).unwrap();
+    let twiddles = TwiddleTable::new(&params);
+    let mut client = NetClient::connect(server.local_addr()).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    for seed in 20..40u64 {
+        let got = client.submit(forward_submit(seed, 0)).unwrap();
+        let mut expect = pseudo(seed);
+        ntt_in_place(&params, &twiddles, &mut expect).unwrap();
+        assert_eq!(got, expect, "fault leaked through the wire (seed {seed})");
+    }
+    server.shutdown();
+    let m = Arc::try_unwrap(service)
+        .unwrap_or_else(|_| panic!("service still shared"))
+        .shutdown();
+    assert_eq!(m.completed, 20);
+    assert_eq!(m.failed, 0);
+}

@@ -364,7 +364,8 @@ fn backpressure_is_typed_and_counted() {
             service.submit_forward(pseudo(8, 97, 5)),
             Err(BpNttError::Overloaded {
                 depth: 0,
-                capacity: 0
+                capacity: 0,
+                ..
             })
         ));
     }
