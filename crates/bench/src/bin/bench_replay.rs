@@ -39,12 +39,25 @@
 //! (pointwise + scaled inverse on host-cached spectra) that skips both
 //! forward transforms and one operand reload per product, and the
 //! pipeline replay run's fast-path coverage counters.
+//!
+//! The `backend` block measures the backend HAL per geometry: the same
+//! compiled polymul pipeline on the simulator backend
+//! (`sim_polymul_ms`, full cost accounting) and the native
+//! direct-execution backend (`native_polymul_ms`, accounting compiled
+//! out — honest wall clock), interleaved against the Shoup software NTT
+//! (`shoup_sw_polymul_ms`, Harvey's word-sized formulation: one
+//! forward/forward/pointwise/inverse product per lane).
+//! `native_vs_shoup` > 1 means the bit-parallel native backend beats
+//! the software NTT on this box.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use bpntt_core::{BpNtt, BpNttConfig, ExecMode, PipelineSpec, ShardedBpNtt};
+use bpntt_core::{
+    new_backend, BackendKind, BpNtt, BpNttConfig, ExecMode, PipelineSpec, ShardedBpNtt,
+};
 use bpntt_ntt::forward::ntt_in_place;
+use bpntt_ntt::polymul::polymul_ntt_with;
 use bpntt_ntt::{NttParams, TwiddleTable};
 
 struct Options {
@@ -265,6 +278,76 @@ fn main() {
             bs * 1e3,
         );
     }
+
+    // ---- backend dimension: the native direct-execution backend (cost
+    // accounting compiled out, same compiled programs) against the Shoup
+    // software NTT (Harvey-style word-sized baseline: forward both
+    // operands, pointwise, inverse — one product per lane), per
+    // geometry. The simulator backend runs interleaved too, so the JSON
+    // shows what the cost accounting itself costs in wall clock.
+    json.push_str("  \"backend\": [\n");
+    {
+        let params = NttParams::new(256, 8_380_417).unwrap();
+        let t = TwiddleTable::new(&params);
+        let mut first = true;
+        for &cols in &opts.cols {
+            // Polymul needs two operand slots: 2·256 + 6 rows.
+            let cfg = BpNttConfig::new(518, cols, 24, params.clone()).unwrap();
+            let lanes = opts
+                .lanes
+                .map_or(cfg.layout().lanes(), |l| l.min(cfg.layout().lanes()).max(1));
+            let a = pseudo_batch(&cfg, lanes, 21);
+            let b = pseudo_batch(&cfg, lanes, 22);
+            let spec = PipelineSpec::polymul();
+
+            let mut sim = new_backend(BackendKind::Sim, &cfg).unwrap();
+            let plan = sim.compile(&spec).unwrap();
+            let mut native = new_backend(BackendKind::Native, &cfg).unwrap();
+            native.install_pipeline(&plan);
+
+            // Interleaved best-of: sim backend, native backend, Shoup
+            // software NTT (the per-lane batch does `lanes` products per
+            // timed call on every contender).
+            let mut bsim = f64::MAX;
+            let mut bnat = f64::MAX;
+            let mut bsw = f64::MAX;
+            for _ in 0..8 {
+                bsim = bsim.min(best_of(1, 3, || {
+                    sim.execute(&plan, ExecMode::Replay, &[&a, &b]).unwrap();
+                }));
+                bnat = bnat.min(best_of(1, 3, || {
+                    native.execute(&plan, ExecMode::Replay, &[&a, &b]).unwrap();
+                }));
+                bsw = bsw.min(best_of(1, 3, || {
+                    for (pa, pb) in a.iter().zip(&b) {
+                        polymul_ntt_with(&params, &t, pa, pb).unwrap();
+                    }
+                }));
+            }
+            if !first {
+                json.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(
+                json,
+                "    {{\"cols\": {cols}, \"lanes\": {lanes}, \"sim_polymul_ms\": {:.3}, \"native_polymul_ms\": {:.3}, \"shoup_sw_polymul_ms\": {:.3}, \"native_vs_sim\": {:.2}, \"native_vs_shoup\": {:.3}}}",
+                bsim * 1e3,
+                bnat * 1e3,
+                bsw * 1e3,
+                bsim / bnat,
+                bsw / bnat
+            );
+            println!(
+                "backend cols={cols} lanes={lanes}: sim {:.2} ms, native {:.2} ms ({:.2}x vs sim), shoup software {:.2} ms (native is {:.3}x the software NTT)",
+                bsim * 1e3,
+                bnat * 1e3,
+                bsim / bnat,
+                bsw * 1e3,
+                bsw / bnat,
+            );
+        }
+    }
+    json.push_str("\n  ],\n");
 
     json.push_str("  \"sharded\": [\n");
 

@@ -18,7 +18,8 @@
 //! [`BpNtt::polymul`]); replay skips code generation, twiddle Montgomery
 //! conversions, per-instruction validation, and cost-model evaluation,
 //! while producing bit-identical array contents and bit-identical
-//! [`Stats`] to direct emission (see [`BpNtt::forward_uncached`]). The
+//! [`Stats`] to direct emission
+//! (see [`BpNtt::forward_mode`] with [`ExecMode::FusedEmit`]). The
 //! compiled stream runs almost entirely as fused word-engine superops —
 //! multiplier chains, resolution loops, and the butterfly epilogues
 //! (`CompiledProgram::fused_epilogues` counts the latter) — which the
@@ -36,9 +37,20 @@
 //! two against, and the denominator of the replay-speedup trajectory).
 //! The former `forward`/`forward_uncached`/`forward_uncached_generic`
 //! triplicate collapsed into [`BpNtt::forward_mode`] /
-//! [`BpNtt::inverse_mode`]; the old names survive as deprecated
-//! one-line shims. [`BpNtt::fastpath_stats`] reports which strategy
-//! actually executed.
+//! [`BpNtt::inverse_mode`]; the deprecated `*_uncached` shim names were
+//! removed with the backend HAL (see the README migration notes).
+//! [`BpNtt::fastpath_stats`] reports which strategy actually executed.
+//!
+//! # Backends
+//!
+//! `BpNtt` is the execution core of both [`crate::backend`]
+//! implementations: [`SimBackend`](crate::backend::SimBackend) runs it
+//! with full per-instruction cost accounting (the paper's simulated
+//! accelerator), while [`NativeBackend`](crate::backend::NativeBackend)
+//! runs the *same* compiled programs with accounting disabled in the
+//! controller — rows, fault injection, and verification behave
+//! identically, [`Stats`] stays frozen, and the only honest metric is
+//! wall clock.
 //!
 //! # Pipelines
 //!
@@ -70,20 +82,41 @@ use bpntt_sram::{
     InstrSink, Instruction, PredMode, Recorder, RowAddr, ShiftDir, SramArray, Stats, UnaryKind,
 };
 
-/// Cache key for one compiled schedule.
+/// Cache key for one compiled schedule. Public because the
+/// [`NttBackend`](crate::backend::NttBackend) trait moves compiled
+/// programs across the backend seam (`export_programs` /
+/// `install_program`); construct values only through engine compilation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub(crate) enum ProgramKey {
+pub enum ProgramKey {
     /// Forward NTT over the coefficient region based at `base`.
-    Forward { base: u16 },
+    Forward {
+        /// First row of the coefficient region.
+        base: u16,
+    },
     /// Inverse NTT (with its final scaling constant, in Montgomery form)
     /// over the region based at `base`.
-    Inverse { base: u16, scale_mont: u64 },
+    Inverse {
+        /// First row of the coefficient region.
+        base: u16,
+        /// The folded final scaling constant, in Montgomery form.
+        scale_mont: u64,
+    },
     /// Pointwise products `a_j ← â_j · b̂_j · R⁻¹` over two regions.
-    Pointwise { a_base: u16, b_base: u16 },
+    Pointwise {
+        /// First row of the destination (and left operand) region.
+        a_base: u16,
+        /// First row of the right operand region.
+        b_base: u16,
+    },
     /// Constant scaling `a_j ← a_j · c` over one region (`factor_mont` is
     /// `c·R mod q`). Emitted for [`PipeOp::ScaleBy`](crate::PipeOp) and
     /// for pipeline Montgomery-debt compensation segments.
-    Scale { base: u16, factor_mont: u64 },
+    Scale {
+        /// First row of the scaled region.
+        base: u16,
+        /// The scaling constant `c·R mod q`.
+        factor_mont: u64,
+    },
 }
 
 /// The BP-NTT accelerator instance.
@@ -470,11 +503,25 @@ impl BpNtt {
     ///
     /// Propagates configuration and simulator construction failures.
     pub fn new(config: BpNttConfig) -> Result<Self, BpNttError> {
+        Self::new_inner(config, true)
+    }
+
+    /// Builds the engine with cost accounting disabled in the controller:
+    /// the [`NativeBackend`](crate::backend::NativeBackend) constructor.
+    /// Rows, fault hooks, and verification behave identically; [`Stats`]
+    /// stays zero for the engine's whole lifetime (including the
+    /// constant-row setup below).
+    pub(crate) fn new_native(config: BpNttConfig) -> Result<Self, BpNttError> {
+        Self::new_inner(config, false)
+    }
+
+    fn new_inner(config: BpNttConfig, costed: bool) -> Result<Self, BpNttError> {
         let layout = config.layout().clone();
         let q = config.params().modulus();
         let bw = config.bitwidth();
         let array = SramArray::new(config.rows(), layout.active_cols())?;
         let mut ctl = Controller::new(array, bw)?;
+        ctl.set_cost_accounting(costed);
         let mont = MontCtx::new(q, bw as u32)?;
         let kernels = Kernels::new(*layout.rowmap(), q, bw);
         let twiddles = TwiddleTable::new(config.params());
@@ -564,10 +611,19 @@ impl BpNtt {
         &self.config
     }
 
-    /// Accumulated simulator statistics.
+    /// Accumulated simulator statistics. With cost accounting disabled
+    /// (the native backend), this stays frozen at zero.
     #[must_use]
     pub fn stats(&self) -> &Stats {
         self.ctl.stats()
+    }
+
+    /// Whether the underlying controller runs with cost accounting
+    /// (`true` for the simulated backend, `false` for native direct
+    /// execution).
+    #[must_use]
+    pub fn cost_accounting(&self) -> bool {
+        self.ctl.cost_accounting()
     }
 
     /// Resets the statistics (array contents are untouched). Also clears
@@ -1053,28 +1109,6 @@ impl BpNtt {
         self.run_key(self.forward_program_key(), mode)
     }
 
-    /// Deprecated shim for [`Self::forward_mode`] with
-    /// [`ExecMode::FusedEmit`].
-    ///
-    /// # Errors
-    ///
-    /// Propagates simulator faults.
-    #[deprecated(note = "use forward_mode(ExecMode::FusedEmit)")]
-    pub fn forward_uncached(&mut self) -> Result<(), BpNttError> {
-        self.forward_mode(ExecMode::FusedEmit)
-    }
-
-    /// Deprecated shim for [`Self::forward_mode`] with
-    /// [`ExecMode::Generic`].
-    ///
-    /// # Errors
-    ///
-    /// Propagates simulator faults.
-    #[deprecated(note = "use forward_mode(ExecMode::Generic)")]
-    pub fn forward_uncached_generic(&mut self) -> Result<(), BpNttError> {
-        self.forward_mode(ExecMode::Generic)
-    }
-
     /// Runs the in-place inverse NTT: bit-reversed order in, natural order
     /// out, including the final `N⁻¹` scaling. Replays the cached compiled
     /// program (tracing it on first call); equivalent to
@@ -1102,28 +1136,6 @@ impl BpNtt {
             },
             mode,
         )
-    }
-
-    /// Deprecated shim for [`Self::inverse_mode`] with
-    /// [`ExecMode::FusedEmit`].
-    ///
-    /// # Errors
-    ///
-    /// Propagates simulator faults.
-    #[deprecated(note = "use inverse_mode(ExecMode::FusedEmit)")]
-    pub fn inverse_uncached(&mut self) -> Result<(), BpNttError> {
-        self.inverse_mode(ExecMode::FusedEmit)
-    }
-
-    /// Deprecated shim for [`Self::inverse_mode`] with
-    /// [`ExecMode::Generic`].
-    ///
-    /// # Errors
-    ///
-    /// Propagates simulator faults.
-    #[deprecated(note = "use inverse_mode(ExecMode::Generic)")]
-    pub fn inverse_uncached_generic(&mut self) -> Result<(), BpNttError> {
-        self.inverse_mode(ExecMode::Generic)
     }
 
     /// Full negacyclic polynomial multiplication on the accelerator:
@@ -1410,29 +1422,6 @@ mod tests {
             assert!(emitted.fastpath_stats().hits() > 0, "n={n}");
             assert_eq!(generic.fastpath_stats().hits(), 0, "n={n}");
         }
-    }
-
-    #[test]
-    fn deprecated_uncached_shims_still_work() {
-        // The one-line shims route to the ExecMode implementations and
-        // stay bit-identical to them.
-        #![allow(deprecated)]
-        let params = NttParams::new(8, 97).unwrap();
-        let cfg = BpNttConfig::new(16, 32, 8, params).unwrap();
-        let polys = vec![pseudo(8, 97, 31)];
-        let mut shimmed = BpNtt::new(cfg.clone()).unwrap();
-        shimmed.load_batch(&polys).unwrap();
-        shimmed.forward_uncached().unwrap();
-        shimmed.inverse_uncached().unwrap();
-        shimmed.forward_uncached_generic().unwrap();
-        shimmed.inverse_uncached_generic().unwrap();
-        let mut moded = BpNtt::new(cfg).unwrap();
-        moded.load_batch(&polys).unwrap();
-        moded.forward_mode(ExecMode::FusedEmit).unwrap();
-        moded.inverse_mode(ExecMode::FusedEmit).unwrap();
-        moded.forward_mode(ExecMode::Generic).unwrap();
-        moded.inverse_mode(ExecMode::Generic).unwrap();
-        assert_eq!(shimmed.read_batch(1).unwrap(), moded.read_batch(1).unwrap());
     }
 
     #[test]

@@ -38,7 +38,7 @@
 //! and borrow-save initiators, `cond_sub_q`'s conditional copy,
 //! `add_mod`'s conditional select, `sub_mod`'s sign-fix) — and lowers
 //! each to a single-pass word-engine superop. The *emit path is bound by
-//! the same contract*: `BpNtt::*_uncached` streams these emissions
+//! the same contract*: `ExecMode::FusedEmit` streams these emissions
 //! through `bpntt_sram::FusedSink`, which runs the identical matchers
 //! online (same shapes, same order, same chain accumulation) and
 //! executes matched groups through the fused executors. Reordering or

@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod bank;
 pub mod config;
 pub mod engine;
@@ -53,6 +54,7 @@ pub mod service;
 pub mod sharded;
 pub mod verify;
 
+pub use backend::{new_backend, BackendKind, BackendStats, NativeBackend, NttBackend, SimBackend};
 pub use config::BpNttConfig;
 pub use engine::BpNtt;
 pub use error::BpNttError;

@@ -75,6 +75,14 @@
 //!   ground-truth baseline the equivalence proptests pin the other two
 //!   against.
 //!
+//! # Backends
+//!
+//! Compiled pipelines are backend-independent: a [`CompiledPipeline`]
+//! produced on one [`NttBackend`](crate::backend::NttBackend) installs
+//! and executes unchanged on another (fingerprint-checked), so the
+//! cost-accounted simulator and the native direct-execution backend
+//! share plans. See the [`backend`](crate::backend) module.
+//!
 //! # Example
 //!
 //! ```

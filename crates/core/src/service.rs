@@ -84,6 +84,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use crate::backend::BackendKind;
 use crate::config::BpNttConfig;
 use crate::engine::ProgramKey;
 use crate::error::BpNttError;
@@ -166,6 +167,13 @@ pub struct ServiceOptions {
     /// one typical request (`8 × n × input_slots` bytes) or a tenant
     /// needs several rounds to release its head request.
     pub drr_quantum: u64,
+    /// Execution backend for tenants registered without an explicit
+    /// kind ([`NttService::start`]'s default tenant and
+    /// [`NttService::add_tenant`]): the cost-accounted simulator by
+    /// default. Individual tenants override it through
+    /// [`NttService::add_tenant_with_backend`] — one process can serve
+    /// simulated and native tenants side by side.
+    pub backend: BackendKind,
 }
 
 impl Default for ServiceOptions {
@@ -181,6 +189,7 @@ impl Default for ServiceOptions {
             rate_limit: None,
             shed_threshold: 1.0,
             drr_quantum: 4096,
+            backend: BackendKind::Sim,
         }
     }
 }
@@ -523,6 +532,7 @@ struct Request {
 enum Control {
     AddTenant {
         config: Box<BpNttConfig>,
+        backend: BackendKind,
         reply: Reply<TenantId>,
     },
 }
@@ -797,17 +807,27 @@ struct Shared {
     fault_plan: Option<FaultPlan>,
     rate_limit: Option<RateLimit>,
     shed_threshold: f64,
+    /// Backend kind for tenants registered without an explicit one.
+    backend: BackendKind,
 }
 
 /// Cross-tenant compiled-program cache key: two tenants share programs
-/// exactly when their `(params, layout)` agree (the layout is fully
-/// determined by rows/cols/bitwidth/n, and every engine uses the default
-/// timing model, so equal keys imply bit-identical programs and costs).
-/// The pipeline cache extends this to `(params, layout, spec)`: one
-/// [`ProgramCacheKey`] maps to the compiled pipelines of every spec seen
-/// for that configuration.
+/// exactly when their `(backend, params, layout)` agree (the layout is
+/// fully determined by rows/cols/bitwidth/n, and every engine uses the
+/// default timing model, so equal keys imply bit-identical programs and
+/// costs). The pipeline cache extends this to
+/// `(backend, params, layout, spec)`: one [`ProgramCacheKey`] maps to
+/// the compiled pipelines of every spec seen for that configuration.
+///
+/// Today's two backends compile identical artifacts (both keep the
+/// default cost models), so the `backend` dimension costs one duplicate
+/// compile when the same configuration is registered on both kinds —
+/// paid deliberately, so a backend whose compilation diverges (a GPU
+/// lowering, a cost-model experiment) can never poison another backend's
+/// cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct ProgramCacheKey {
+    backend: BackendKind,
     n: usize,
     q: u64,
     rows: usize,
@@ -816,8 +836,9 @@ struct ProgramCacheKey {
 }
 
 impl ProgramCacheKey {
-    fn of(config: &BpNttConfig) -> Self {
+    fn of(config: &BpNttConfig, backend: BackendKind) -> Self {
         ProgramCacheKey {
+            backend,
             n: config.params().n(),
             q: config.params().modulus(),
             rows: config.rows(),
@@ -890,6 +911,7 @@ impl NttService {
             fault_plan: opts.fault_plan.clone(),
             rate_limit: opts.rate_limit,
             shed_threshold: opts.shed_threshold,
+            backend: opts.backend,
         });
         let dispatcher = {
             let shared = Arc::clone(&shared);
@@ -908,15 +930,32 @@ impl NttService {
         Ok(service)
     }
 
-    /// Registers another tenant configuration, building its sharded
+    /// Registers another tenant configuration on the service's default
+    /// backend ([`ServiceOptions::backend`]), building its sharded
     /// engine and warming its programs (from the cross-tenant cache when
-    /// an identical `(params, layout)` is already registered).
+    /// an identical `(backend, params, layout)` is already registered).
     ///
     /// # Errors
     ///
     /// Engine construction / program compilation failures, or
     /// [`BpNttError::ServiceShutdown`] after shutdown.
     pub fn add_tenant(&self, config: &BpNttConfig) -> Result<TenantId, BpNttError> {
+        self.add_tenant_with_backend(config, self.shared.backend)
+    }
+
+    /// Registers a tenant on an explicit execution backend — tenants on
+    /// different backends coexist in one service (each tenant's sharded
+    /// engine is homogeneous; the compiled-artifact cache is keyed by
+    /// backend kind, so kinds never share cache entries).
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::add_tenant`].
+    pub fn add_tenant_with_backend(
+        &self,
+        config: &BpNttConfig,
+        backend: BackendKind,
+    ) -> Result<TenantId, BpNttError> {
         let (tx, rx) = mpsc::channel();
         {
             let mut st = self.shared.state.lock().expect("service state poisoned");
@@ -925,6 +964,7 @@ impl NttService {
             }
             st.control.push_back(Control::AddTenant {
                 config: Box::new(config.clone()),
+                backend,
                 reply: tx,
             });
         }
@@ -1417,10 +1457,15 @@ fn dispatcher_loop(shared: &Shared, shards: usize) {
         };
         match action {
             Action::Exit => break,
-            Action::Control(Control::AddTenant { config, reply }) => {
+            Action::Control(Control::AddTenant {
+                config,
+                backend,
+                reply,
+            }) => {
                 let result = register_tenant(
                     shared,
                     &config,
+                    backend,
                     shards,
                     &mut engines,
                     &mut cache,
@@ -1517,20 +1562,21 @@ fn resolve_dead(shared: &Shared, dead: Vec<Request>) {
 fn register_tenant(
     shared: &Shared,
     config: &BpNttConfig,
+    backend: BackendKind,
     shards: usize,
     engines: &mut HashMap<TenantId, TenantEngine>,
     cache: &mut SharedArtifacts,
     next_tenant: &mut u32,
 ) -> Result<TenantId, BpNttError> {
     let info = tenant_info_of(config);
-    let mut engine = ShardedBpNtt::new(config, shards)?;
+    let mut engine = ShardedBpNtt::with_backend(config, shards, backend)?;
     if shared.recovery.is_active() {
         engine.set_recovery(shared.recovery);
     }
     if let Some(plan) = &shared.fault_plan {
         engine.install_fault_plan(plan);
     }
-    let key = ProgramCacheKey::of(config);
+    let key = ProgramCacheKey::of(config, backend);
     if let Some(progs) = cache.programs.get(&key) {
         engine.import_programs(progs);
         // Identical configuration: every compiled pipeline of that

@@ -3,12 +3,14 @@
 //! A single BP-NTT array processes `lanes` polynomials per batch. Real
 //! workloads (HE ciphertext limbs, server-side signature verification)
 //! arrive in batches of hundreds to thousands — far beyond one array. A
-//! [`ShardedBpNtt`] provisions `K` identically configured [`BpNtt`]
-//! arrays, compiles each schedule **once**, shares the compiled program
-//! across every shard behind an `Arc`, and replays it on all shards in
-//! parallel (one OS thread per shard, via `std::thread::scope` — the
-//! dependency-free equivalent of a rayon fan-out). Batches larger than
-//! `K × lanes` are processed in waves.
+//! [`ShardedBpNtt`] provisions `K` identically configured engines behind
+//! the [`NttBackend`] seam (the cost-accounted simulator by default, the
+//! native direct-execution backend via [`ShardedBpNtt::with_backend`] — see
+//! [`crate::backend`]), compiles each schedule **once**, shares the
+//! compiled program across every shard behind an `Arc`, and replays it on
+//! all shards in parallel (one OS thread per shard, via
+//! `std::thread::scope` — the dependency-free equivalent of a rayon
+//! fan-out). Batches larger than `K × lanes` are processed in waves.
 //!
 //! This mirrors the paper's scaling argument: BP-NTT's area is small
 //! enough (0.063 mm² per 256×256 array) that a memory chip hosts hundreds
@@ -38,8 +40,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
+use crate::backend::{new_backend, BackendKind, NttBackend};
 use crate::config::BpNttConfig;
-use crate::engine::BpNtt;
 use crate::error::BpNttError;
 use crate::pipeline::{CompiledPipeline, ExecMode, PipelineSpec};
 use crate::verify::VerifyPolicy;
@@ -148,7 +150,8 @@ impl RecoveryReport {
 /// programs over partitioned batches.
 #[derive(Debug)]
 pub struct ShardedBpNtt {
-    shards: Vec<BpNtt>,
+    shards: Vec<Box<dyn NttBackend>>,
+    backend: BackendKind,
     lanes_per_shard: usize,
     /// Wall-clock seconds each participating shard thread spent in the
     /// most recent batch fan-out (load + compute + read-back across every
@@ -184,23 +187,42 @@ struct ShardOutcome {
 type Requeue = Mutex<Vec<(usize, u8)>>;
 
 impl ShardedBpNtt {
-    /// Provisions `shards` arrays with the given configuration.
+    /// Provisions `shards` arrays with the given configuration on the
+    /// default [`BackendKind::Sim`] backend.
     ///
     /// # Errors
     ///
     /// [`BpNttError::InvalidShardCount`] for zero shards; otherwise
     /// propagates per-array construction failures.
     pub fn new(config: &BpNttConfig, shards: usize) -> Result<Self, BpNttError> {
+        Self::with_backend(config, shards, BackendKind::Sim)
+    }
+
+    /// Provisions `shards` engines of the requested backend kind. Every
+    /// shard runs the same kind — heterogeneous waves are a service-layer
+    /// concern (one sharded engine per tenant, tenants on different
+    /// backends).
+    ///
+    /// # Errors
+    ///
+    /// [`BpNttError::InvalidShardCount`] for zero shards; otherwise
+    /// propagates per-engine construction failures.
+    pub fn with_backend(
+        config: &BpNttConfig,
+        shards: usize,
+        backend: BackendKind,
+    ) -> Result<Self, BpNttError> {
         if shards == 0 {
             return Err(BpNttError::InvalidShardCount { shards });
         }
-        let shards: Vec<BpNtt> = (0..shards)
-            .map(|_| BpNtt::new(config.clone()))
+        let shards: Vec<Box<dyn NttBackend>> = (0..shards)
+            .map(|_| new_backend(backend, config))
             .collect::<Result<_, _>>()?;
         let lanes_per_shard = config.layout().lanes();
         let n_shards = shards.len();
         Ok(ShardedBpNtt {
             shards,
+            backend,
             lanes_per_shard,
             last_shard_secs: Vec::new(),
             recovery: RecoveryOptions::default(),
@@ -214,6 +236,12 @@ impl ShardedBpNtt {
     #[must_use]
     pub fn shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Which backend kind every shard runs on.
+    #[must_use]
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend
     }
 
     /// Configures the detect→retry→quarantine→degrade ladder (see
@@ -299,11 +327,15 @@ impl ShardedBpNtt {
     /// `Stats` discipline (replay ≡ emit, SIMD ≡ scalar) is a
     /// *per-engine* invariant and is unaffected — don't compare sharded
     /// aggregate energy bit-for-bit across runs.
+    ///
+    /// On the [`BackendKind::Native`] backend no shard models cost, so
+    /// the aggregate is all zeros — wall clock
+    /// ([`Self::last_wave_shard_secs`]) is the native metric.
     #[must_use]
     pub fn stats(&self) -> Stats {
-        self.shards
-            .iter()
-            .fold(Stats::default(), |acc, s| acc + *s.stats())
+        self.shards.iter().fold(Stats::default(), |acc, s| {
+            acc + s.sim_stats().unwrap_or_default()
+        })
     }
 
     /// Resets every shard's statistics.
@@ -338,7 +370,7 @@ impl ShardedBpNtt {
         &mut self,
         spec: &PipelineSpec,
     ) -> Result<Arc<CompiledPipeline>, BpNttError> {
-        let pipe = self.shards[0].compile_pipeline(spec)?;
+        let pipe = self.shards[0].compile(spec)?;
         for shard in &mut self.shards[1..] {
             shard.install_pipeline(&pipe);
         }
@@ -394,6 +426,7 @@ impl ShardedBpNtt {
                     continue;
                 }
                 let (next, requeue, pipe) = (&next, &requeue, Arc::clone(pipe));
+                let shard: &mut dyn NttBackend = shard.as_mut();
                 handles.push((
                     sid,
                     scope.spawn(move || {
@@ -674,7 +707,7 @@ impl ShardedBpNtt {
 /// Everything one wave worker needs (bundled so the spawn site stays
 /// readable).
 struct WorkerCtx<'scope, 'env> {
-    shard: &'scope mut BpNtt,
+    shard: &'scope mut dyn NttBackend,
     sid: usize,
     pipe: &'scope CompiledPipeline,
     mode: ExecMode,
@@ -749,7 +782,7 @@ fn run_worker(ctx: WorkerCtx<'_, '_>) -> ShardOutcome {
             // never the process. The engine reloads all inputs on the
             // next attempt, so mid-pipeline array state is not a hazard.
             let res = catch_unwind(AssertUnwindSafe(|| {
-                shard.run_compiled_pipeline(pipe, mode, &chunk)
+                shard.execute(pipe, mode, &chunk).map(|(rows, _)| rows)
             }));
             out.report.verify_secs += shard.take_verify_secs();
             match res {

@@ -89,6 +89,16 @@ pub struct Controller {
     /// Installed fault-injection state ([`crate::fault`]); `None` in
     /// normal operation, where the per-batch hook is one pointer test.
     fault: Option<Box<FaultState>>,
+    /// When `false` every cost primitive — cycles, energy, instruction
+    /// counts, row-I/O stats — is skipped and [`Self::native_clock`]
+    /// advances instead. This is the native direct-execution backend's
+    /// mode: same rows, same fault hooks, no cost model. Default `true`.
+    costed: bool,
+    /// The uncosted instruction clock: advanced by exactly the amounts
+    /// `Stats::counts.total()` would grow under cost accounting, so an
+    /// installed [`FaultPlan`] fires at identical instruction clocks in
+    /// both modes (the clock the fault module addresses campaigns by).
+    native_clock: u64,
 }
 
 impl Controller {
@@ -145,7 +155,31 @@ impl Controller {
             shr_keep,
             tile_base_mask,
             fault: None,
+            costed: true,
+            native_clock: 0,
         })
+    }
+
+    /// Enables or disables cost accounting. With accounting off, row
+    /// contents, predicate latches, the zero flag, and fault injection
+    /// behave identically, but [`Stats`] stays frozen and the
+    /// [`Self::native_clock`] carries the instruction clock instead —
+    /// the contract the native direct-execution backend runs under.
+    pub fn set_cost_accounting(&mut self, costed: bool) {
+        self.costed = costed;
+    }
+
+    /// Whether cost accounting is currently enabled.
+    #[must_use]
+    pub fn cost_accounting(&self) -> bool {
+        self.costed
+    }
+
+    /// The uncosted instruction clock (always 0 while cost accounting is
+    /// enabled — the costed clock is `stats().counts.total()`).
+    #[must_use]
+    pub fn native_clock(&self) -> u64 {
+        self.native_clock
     }
 
     /// Installs a [`FaultPlan`], replacing any existing one. Faults are
@@ -183,12 +217,15 @@ impl Controller {
 
     /// Applies every fault due at the current instruction clock
     /// (`Stats::counts.total()`, which the bit-identity contract makes
-    /// mode-independent): fires due transients as live bit-flips,
-    /// re-imposes stuck cells and dead rows, and trips a scheduled hard
-    /// fault as a controller panic.
+    /// mode-independent; with cost accounting off, the `native_clock`
+    /// mirror of the same count): fires due transients as live
+    /// bit-flips, re-imposes stuck cells and dead rows, and trips a
+    /// scheduled hard fault as a controller panic.
     #[cold]
     fn fault_tick_slow(&mut self) {
-        let now = self.stats.counts.total();
+        // Exactly one addend is ever nonzero: the two clocks advance by
+        // the same increments, but only the active mode's clock moves.
+        let now = self.stats.counts.total() + self.native_clock;
         let rows = self.array.rows();
         let cols = self.array.cols();
         let Some(state) = self.fault.as_mut() else {
@@ -296,10 +333,12 @@ impl Controller {
     }
 
     /// Resets the statistics to zero (array contents are untouched). Also
-    /// clears the fast-path coverage counters.
+    /// clears the fast-path coverage counters and rewinds the uncosted
+    /// instruction clock (mirroring the costed clock's reset).
     pub fn reset_stats(&mut self) {
         self.stats = Stats::default();
         self.fastpath = FastPathStats::default();
+        self.native_clock = 0;
     }
 
     /// Fast-path coverage telemetry accumulated since the last reset.
@@ -332,9 +371,11 @@ impl Controller {
     /// Panics if `r` is out of range or the row width mismatches.
     pub fn load_data_row(&mut self, r: usize, data: BitRow) {
         self.array.write_row(r, data);
-        self.stats.row_loads += 1;
-        self.stats.cycles += self.timing.row_io;
-        self.stats.energy_pj += self.energy.row_io_pj(self.array.cols());
+        if self.costed {
+            self.stats.row_loads += 1;
+            self.stats.cycles += self.timing.row_io;
+            self.stats.energy_pj += self.energy.row_io_pj(self.array.cols());
+        }
         self.fault_tick();
     }
 
@@ -345,9 +386,11 @@ impl Controller {
     /// Panics if `r` is out of range.
     #[must_use]
     pub fn read_data_row(&mut self, r: usize) -> BitRow {
-        self.stats.row_stores += 1;
-        self.stats.cycles += self.timing.row_io;
-        self.stats.energy_pj += self.energy.row_io_pj(self.array.cols());
+        if self.costed {
+            self.stats.row_stores += 1;
+            self.stats.cycles += self.timing.row_io;
+            self.stats.energy_pj += self.energy.row_io_pj(self.array.cols());
+        }
         self.fault_tick();
         self.array.row(r).clone()
     }
@@ -461,7 +504,13 @@ impl Controller {
     /// costs per call) and compiled-program replay (which validated at
     /// compile time and replays precomputed costs).
     pub(crate) fn apply_instr(&mut self, instr: &Instruction) {
-        self.stats.counts.record(instr);
+        if self.costed {
+            self.stats.counts.record(instr);
+        } else {
+            // Every instruction records exactly one primary class, so
+            // the costed clock (`counts.total()`) grows by one here.
+            self.native_clock += 1;
+        }
         match *instr {
             Instruction::Check { src, bit } => {
                 self.latch_preds(src.index(), usize::from(bit));
@@ -569,10 +618,15 @@ impl Controller {
     }
 
     /// Adds precomputed instruction costs (compiled-program replay path).
+    /// Pure cost, no instruction semantics — an uncosted controller
+    /// drops it entirely (the paired `add_counts`/`apply_instr` call
+    /// advances the native clock).
     #[inline]
     pub(crate) fn add_cost(&mut self, cycles: u64, energy_pj: f64) {
-        self.stats.cycles += cycles;
-        self.stats.energy_pj += energy_pj;
+        if self.costed {
+            self.stats.cycles += cycles;
+            self.stats.energy_pj += energy_pj;
+        }
     }
 
     /// Adds a fused group's pre-aggregated costs. Cycle and count sums are
@@ -580,6 +634,10 @@ impl Controller {
     /// floating-point accumulator matches per-instruction execution bit
     /// for bit.
     pub(crate) fn apply_group_cost(&mut self, gc: &crate::program::GroupCost) {
+        if !self.costed {
+            self.native_clock += gc.counts.total();
+            return;
+        }
         self.stats.cycles += gc.cycles;
         self.stats.counts += gc.counts;
         for &e in &gc.energy {
@@ -602,7 +660,11 @@ impl Controller {
     /// Adds batched instruction-class counts.
     #[inline]
     pub(crate) fn add_counts(&mut self, counts: crate::stats::InstrCounts) {
-        self.stats.counts += counts;
+        if self.costed {
+            self.stats.counts += counts;
+        } else {
+            self.native_clock += counts.total();
+        }
     }
 
     /// Adds a sequence of per-instruction energies in order (the
@@ -610,6 +672,9 @@ impl Controller {
     /// sequence, so the result is bit-identical to one-at-a-time adds).
     #[inline]
     pub(crate) fn add_energy_seq(&mut self, energies: &[f64]) {
+        if !self.costed {
+            return;
+        }
         let mut acc = self.stats.energy_pj;
         for &e in energies {
             acc += e;
@@ -623,6 +688,11 @@ impl Controller {
     /// bump — so a fused-emitted group's [`Stats`] are bit-identical to
     /// executing its instructions one at a time.
     pub(crate) fn add_emit_group_cost(&mut self, instrs: &[Instruction]) {
+        if !self.costed {
+            // One primary-class count per instruction.
+            self.native_clock += instrs.len() as u64;
+            return;
+        }
         let cols = self.array.cols();
         let mut cycles = 0u64;
         let mut e_acc = self.stats.energy_pj;
@@ -901,6 +971,10 @@ impl Controller {
     ) {
         self.zero_flag = converged;
         debug_assert!(converged, "resolution loop must converge within max_checks");
+        if !self.costed {
+            self.native_clock += checks + bodies as u64 * round_cost.counts.total();
+            return;
+        }
         let mut e_acc = self.stats.energy_pj;
         for _ in 0..bodies {
             e_acc += check_energy;
@@ -1189,9 +1263,11 @@ impl Controller {
     /// without allocating (costed identically to [`Self::load_data_row`]).
     pub(crate) fn load_data_row_ref(&mut self, r: usize, data: &BitRow) {
         self.array.row_mut(r).copy_from(data);
-        self.stats.row_loads += 1;
-        self.stats.cycles += self.timing.row_io;
-        self.stats.energy_pj += self.energy.row_io_pj(self.array.cols());
+        if self.costed {
+            self.stats.row_loads += 1;
+            self.stats.cycles += self.timing.row_io;
+            self.stats.energy_pj += self.energy.row_io_pj(self.array.cols());
+        }
     }
 
     /// Executes one instruction.
@@ -1201,8 +1277,10 @@ impl Controller {
     /// [`SramError::RowOutOfRange`] for bad row addresses and
     /// [`SramError::CheckBitOutOfRange`] for a `Check` outside the tile.
     pub fn execute(&mut self, instr: &Instruction) -> Result<(), SramError> {
-        self.stats.cycles += self.timing.cycles(instr);
-        self.stats.energy_pj += self.energy.energy_pj(instr, self.array.cols());
+        if self.costed {
+            self.stats.cycles += self.timing.cycles(instr);
+            self.stats.energy_pj += self.energy.energy_pj(instr, self.array.cols());
+        }
         self.validate_instr(instr)?;
         self.apply_instr(instr);
         Ok(())

@@ -1958,6 +1958,14 @@ impl Controller {
     /// accumulated value), so the result stays bit-identical.
     fn run_instr_range(&mut self, prog: &CompiledProgram, range: InstrRange) {
         let (start, end) = (range.0 as usize, range.1 as usize);
+        if !self.cost_accounting() {
+            // Native direct execution: semantic work only, no cost-table
+            // reads (`apply_instr` advances the native clock per instruction).
+            for instr in &prog.instrs[start..end] {
+                self.apply_instr(instr);
+            }
+            return;
+        }
         let mut cycles = 0u64;
         let mut e_acc = self.stats_energy();
         for (instr, &ci) in prog.instrs[start..end]

@@ -1,9 +1,9 @@
 //! Property tests for the vectorized word-engine, the epilogue superop
 //! fusion, and the fused emission path: replay through the fused
-//! superops *and* fused emission (`forward_uncached`, which routes the
+//! superops *and* fused emission (`ExecMode::FusedEmit`, which routes the
 //! generated stream through the same executors) — on the SIMD path *and*
 //! on the forced-scalar fallback — must be indistinguishable from
-//! strictly per-instruction emission (`forward_uncached_generic`), and
+//! strictly per-instruction emission (`ExecMode::Generic`), and
 //! the two kernel paths must be bit-identical to each other. Coverage
 //! spans the Kyber-class (7681), Dilithium (8 380 417), and HE-level
 //! (1 073 738 753) parameter sets, column counts whose storage word
