@@ -40,6 +40,15 @@
 //! * `--slowloris N` — connections that stall inside a frame (2).
 //! * `--fairness-bound X` — max/min completion-ratio spread gate (1.5).
 //! * `--json-out PATH` — output path (`BENCH_service.json`).
+//! * `--burst` — the self-healing drill (off): swaps the transient
+//!   chaos plan for a windowed `dead_row` **burst** that corrupts each
+//!   shard's first chunk and then burns out, arms the service's
+//!   background scrubber (fast probe cadence), forces `--verify full`,
+//!   and gives every fair client an automatic retry policy. Release
+//!   gates on top of the usual ones: at least one shard must be
+//!   probed, canaried, and **reintegrated with no manual
+//!   `lift_quarantine` call**, and zero corruptions may escape to any
+//!   client.
 
 use std::fmt::Write as _;
 use std::io::{Read as _, Write as _};
@@ -47,11 +56,14 @@ use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-use bpntt_core::{BpNttConfig, FaultPlan, NttService, RateLimit, ServiceOptions, VerifyPolicy};
+use bpntt_core::{
+    BpNttConfig, FaultPlan, HealthOptions, NttService, RateLimit, ServiceOptions, ShardedBpNtt,
+    VerifyPolicy,
+};
 use bpntt_core::{ExecMode, PipelineSpec};
 use bpntt_net::{
     encode_request, write_frame, ClientError, FrameLimits, NetClient, NetOptions, NetServer,
-    Request, SubmitRequest, WireErrorCode,
+    Request, RetryPolicy, SubmitRequest, WireErrorCode,
 };
 use bpntt_ntt::forward::ntt_in_place;
 use bpntt_ntt::polymul::polymul_schoolbook;
@@ -73,6 +85,7 @@ struct Options {
     slowloris: usize,
     fairness_bound: f64,
     json_out: String,
+    burst: bool,
 }
 
 fn parse_args() -> Options {
@@ -92,6 +105,7 @@ fn parse_args() -> Options {
         slowloris: 2,
         fairness_bound: 1.5,
         json_out: "BENCH_service.json".to_string(),
+        burst: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -157,6 +171,7 @@ fn parse_args() -> Options {
                     .expect("--fairness-bound float");
             }
             "--json-out" => opts.json_out = value("--json-out"),
+            "--burst" => opts.burst = true,
             other => panic!("unknown option {other} (see the module docs for the full list)"),
         }
     }
@@ -169,6 +184,26 @@ struct TenantStats {
     completed: AtomicU64,
     shed: AtomicU64,
     failed: AtomicU64,
+}
+
+/// What the client-side resilience layer did, summed over every fair
+/// connection (reported in the JSON `client` block).
+#[derive(Default)]
+struct ClientAgg {
+    retries: AtomicU64,
+    reconnects: AtomicU64,
+    hedges_launched: AtomicU64,
+    hedges_won: AtomicU64,
+}
+
+impl ClientAgg {
+    fn absorb(&self, s: bpntt_net::ClientStats) {
+        self.retries.fetch_add(s.retries, Ordering::Relaxed);
+        self.reconnects.fetch_add(s.reconnects, Ordering::Relaxed);
+        self.hedges_launched
+            .fetch_add(s.hedges_launched, Ordering::Relaxed);
+        self.hedges_won.fetch_add(s.hedges_won, Ordering::Relaxed);
+    }
 }
 
 fn pseudo(params: &NttParams, seed: u64) -> Vec<u64> {
@@ -187,8 +222,10 @@ fn fair_client(
     params: &NttParams,
     twiddles: &TwiddleTable,
     stats: &TenantStats,
+    policy: RetryPolicy,
+    agg: &ClientAgg,
 ) {
-    let mut client = NetClient::connect(addr).expect("connect fair client");
+    let mut client = NetClient::connect_with_policy(addr, policy).expect("connect fair client");
     client
         .set_read_timeout(Some(Duration::from_secs(30)))
         .expect("client read timeout");
@@ -205,7 +242,11 @@ fn fair_client(
         };
         stats.offered.fetch_add(1, Ordering::Relaxed);
         let sent = inputs.clone();
-        match client.submit(SubmitRequest {
+        // With `max_attempts: 1` (the default run) this is the plain
+        // submit path; the burst drill arms real retries, so sheds and
+        // dropped sockets are healed inside the client and only
+        // post-retry failures surface here.
+        match client.submit_with_retry(&SubmitRequest {
             tenant: tenant_raw,
             mode: ExecMode::Replay,
             deadline_ms: 10_000,
@@ -247,6 +288,7 @@ fn fair_client(
             }
         }
     }
+    agg.absorb(client.stats());
 }
 
 /// Chaos: submit a valid request, then vanish without reading the
@@ -316,7 +358,7 @@ fn slowloris(addr: std::net::SocketAddr, hold: Duration) {
 }
 
 fn main() {
-    let opts = parse_args();
+    let mut opts = parse_args();
     // Same 64-point Kyber-class workload as bench_service: 134 rows,
     // 14-bit tiles in 256 columns → 18 lanes per shard.
     let params = NttParams::new(64, 7681).unwrap();
@@ -325,12 +367,51 @@ fn main() {
     let n = params.n();
     let q = params.modulus();
 
-    let chaos_plan = (opts.chaos_rate > 0.0)
-        .then(|| FaultPlan::seeded(0xBEEF_CAFE).transient_rate(opts.chaos_rate));
+    let chaos_plan = if opts.burst {
+        // A dead row corrupts whole coefficients, so only a full check
+        // is a reliable detector — anything weaker can let the burst
+        // escape to a client and fail the run on the wrong gate.
+        if opts.verify != VerifyPolicy::Full {
+            eprintln!("--burst forces --verify full (was {:?})", opts.verify);
+            opts.verify = VerifyPolicy::Full;
+        }
+        // Calibrate the burst window to one chunk's instruction count,
+        // so each shard's dead row burns out after its first chunk and
+        // the scrubber's probes (which advance the same per-shard
+        // instruction clock) find a healable array.
+        let mut probe_engine = ShardedBpNtt::new(&cfg, 1).expect("burst calibration engine");
+        let warmup: Vec<Vec<u64>> = (0..4).map(|s| pseudo(&params, s + 1)).collect();
+        probe_engine
+            .forward_batch(&warmup)
+            .expect("burst calibration wave");
+        let chunk_instrs = probe_engine.stats().counts.total();
+        Some(
+            FaultPlan::seeded(0xB0057)
+                .dead_row(2)
+                .active_between(0, chunk_instrs),
+        )
+    } else {
+        (opts.chaos_rate > 0.0)
+            .then(|| FaultPlan::seeded(0xBEEF_CAFE).transient_rate(opts.chaos_rate))
+    };
+    let opts = opts;
     assert!(
         chaos_plan.is_none() || opts.verify.is_active(),
         "--chaos-rate needs an active --verify policy, or corruption escapes"
     );
+    // The self-healing drill arms the background scrubber: quarantined
+    // shards are probed on a fast cadence and walk back to duty through
+    // canary mode with no manual lift_quarantine call anywhere below.
+    let health = opts.burst.then(|| HealthOptions {
+        probe_interval: Duration::from_millis(5),
+        probes_to_canary: 2,
+        canary_waves_to_healthy: 2,
+        max_probe_backoff: Duration::from_millis(200),
+        decay_half_life: Duration::from_millis(100),
+        probe_score_threshold: 1e9,
+        patrol: true,
+        patrol_interval: Duration::from_millis(100),
+    });
     let service = std::sync::Arc::new(
         NttService::start(
             &cfg,
@@ -346,6 +427,7 @@ fn main() {
                     requests_per_sec: rps,
                     burst: rps,
                 }),
+                health,
                 ..ServiceOptions::default()
             },
         )
@@ -372,6 +454,24 @@ fn main() {
     let addr = server.local_addr();
 
     let stats: Vec<TenantStats> = (0..opts.tenants).map(|_| TenantStats::default()).collect();
+    let agg = ClientAgg::default();
+    // The burst drill gives every fair connection real resilience;
+    // the plain benchmark keeps the one-shot submit path so the shed
+    // accounting gates below stay meaningful.
+    let policy = if opts.burst {
+        RetryPolicy {
+            max_attempts: 5,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(50),
+            ..RetryPolicy::default()
+        }
+    } else {
+        RetryPolicy {
+            max_attempts: 1,
+            reconnect: false,
+            ..RetryPolicy::default()
+        }
+    };
     let t0 = Instant::now();
     std::thread::scope(|scope| {
         // 10:1 zipf-ish offered load: `hot_conns` connections hammer
@@ -379,18 +479,40 @@ fn main() {
         let mut conn_seed = 0u64;
         for _ in 0..opts.hot_conns {
             conn_seed += 1;
-            let (params, twiddles, stats) = (&params, &twiddles, &stats[0]);
+            let (params, twiddles, stats, agg) = (&params, &twiddles, &stats[0], &agg);
             let seed = conn_seed;
             scope.spawn(move || {
-                fair_client(addr, None, 0, seed, opts.requests, params, twiddles, stats);
+                fair_client(
+                    addr,
+                    None,
+                    0,
+                    seed,
+                    opts.requests,
+                    params,
+                    twiddles,
+                    stats,
+                    policy,
+                    agg,
+                );
             });
         }
         for (t, raw) in tenant_raws.iter().enumerate().skip(1) {
             conn_seed += 1;
-            let (params, twiddles, stats) = (&params, &twiddles, &stats[t]);
+            let (params, twiddles, stats, agg) = (&params, &twiddles, &stats[t], &agg);
             let (seed, raw) = (conn_seed, *raw);
             scope.spawn(move || {
-                fair_client(addr, raw, t, seed, opts.requests, params, twiddles, stats);
+                fair_client(
+                    addr,
+                    raw,
+                    t,
+                    seed,
+                    opts.requests,
+                    params,
+                    twiddles,
+                    stats,
+                    policy,
+                    agg,
+                );
             });
         }
         // Chaos runs concurrently with the fair traffic.
@@ -419,6 +541,38 @@ fn main() {
     probe.ping().expect("post-chaos ping");
     let prom = probe.metrics_prometheus().expect("post-chaos prometheus");
     assert!(prom.contains("bpntt_tenant_completed_total"));
+    if opts.burst {
+        assert!(
+            prom.contains("bpntt_shard_health_state"),
+            "burst drill: shard health must be visible on the Prometheus wire"
+        );
+        // One hedged submission against the live server: with an
+        // immediate hedge threshold both arms race for real, and the
+        // loser's connection drop is absorbed as a normal cancel.
+        let mut hedger = NetClient::connect_with_policy(
+            addr,
+            RetryPolicy {
+                hedge_after: Some(Duration::ZERO),
+                ..policy
+            },
+        )
+        .expect("hedge drill connect");
+        let sent = pseudo(&params, 0x4ED6E);
+        let got = hedger
+            .submit_hedged(&SubmitRequest {
+                tenant: None,
+                mode: ExecMode::Replay,
+                deadline_ms: 10_000,
+                spec: PipelineSpec::forward_ntt(),
+                inputs: vec![sent.clone()],
+            })
+            .expect("hedged submit");
+        let mut expect = sent;
+        ntt_in_place(&params, &twiddles, &mut expect).unwrap();
+        assert_eq!(got, expect, "hedged submit diverged from the reference");
+        assert_eq!(hedger.stats().hedges_launched, 1);
+        agg.absorb(hedger.stats());
+    }
     server.shutdown();
     let metrics = std::sync::Arc::try_unwrap(service)
         .unwrap_or_else(|_| panic!("server threads still hold the service"))
@@ -461,6 +615,28 @@ fn main() {
          (ratios {ratios:?})",
         opts.fairness_bound
     );
+    if opts.burst {
+        // The self-healing gates: the burst-benched shards must have
+        // been probed and reintegrated by the scrubber alone, mid-run,
+        // with every admitted request still reference-exact (failed==0
+        // above covers the zero-escaped-corruptions half).
+        assert!(
+            metrics.probes_run >= 1 && metrics.probes_passed >= 1,
+            "burst drill: the scrubber never probed a shard \
+             (probes_run {}, probes_passed {})",
+            metrics.probes_run,
+            metrics.probes_passed
+        );
+        assert!(
+            metrics.reintegrations >= 1,
+            "burst drill: no shard was reintegrated by the scrubber"
+        );
+        assert_eq!(
+            completed,
+            offered - shed,
+            "burst drill: every admitted request must complete"
+        );
+    }
 
     // ---- JSON --------------------------------------------------------
     let parallelism = std::thread::available_parallelism().map_or(1, usize::from);
@@ -472,7 +648,7 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "  \"options\": {{\"shards\": {}, \"max_queue\": {}, \"shed_threshold\": {}, \"coalesce_us\": {}, \"chaos_rate\": {:e}, \"verify\": \"{:?}\", \"rate_limit_rps\": {}, \"disconnects\": {}, \"malformed\": {}, \"slowloris\": {}}},",
+        "  \"options\": {{\"shards\": {}, \"max_queue\": {}, \"shed_threshold\": {}, \"coalesce_us\": {}, \"chaos_rate\": {:e}, \"verify\": \"{:?}\", \"rate_limit_rps\": {}, \"disconnects\": {}, \"malformed\": {}, \"slowloris\": {}, \"burst\": {}}},",
         opts.shards,
         opts.queue,
         opts.shed,
@@ -482,7 +658,8 @@ fn main() {
         opts.rate_limit.map_or("null".to_string(), |r| format!("{r}")),
         opts.disconnects,
         opts.malformed,
-        opts.slowloris
+        opts.slowloris,
+        opts.burst
     );
     let _ = writeln!(
         json,
@@ -503,6 +680,14 @@ fn main() {
         );
     }
     json.push_str("],\n");
+    let _ = writeln!(
+        json,
+        "  \"client\": {{\"retries\": {}, \"reconnects\": {}, \"hedges_launched\": {}, \"hedges_won\": {}}},",
+        agg.retries.load(Ordering::Relaxed),
+        agg.reconnects.load(Ordering::Relaxed),
+        agg.hedges_launched.load(Ordering::Relaxed),
+        agg.hedges_won.load(Ordering::Relaxed)
+    );
     let _ = writeln!(json, "  \"service\": {},", metrics.to_json());
     let _ = write!(
         json,
@@ -523,5 +708,19 @@ fn main() {
         metrics.cancelled,
         metrics.tenants
     );
+    if opts.burst {
+        println!(
+            "health: {} probes ({} passed), {} reintegrations, {} canary demotions, shard states {:?}; client retries {}, reconnects {}, hedges {}/{}",
+            metrics.probes_run,
+            metrics.probes_passed,
+            metrics.reintegrations,
+            metrics.canary_demotions,
+            metrics.shard_health,
+            agg.retries.load(Ordering::Relaxed),
+            agg.reconnects.load(Ordering::Relaxed),
+            agg.hedges_won.load(Ordering::Relaxed),
+            agg.hedges_launched.load(Ordering::Relaxed)
+        );
+    }
     println!("wrote {}", opts.json_out);
 }

@@ -131,6 +131,11 @@ pub enum BpNttError {
         /// The shard whose worker died.
         shard: usize,
     },
+    /// The service dispatcher died mid-flight (panicked) and the
+    /// watchdog respawned it. Requests that were queued when it died
+    /// fail with this error instead of hanging; the respawned
+    /// dispatcher serves new submissions, so resubmitting is safe.
+    DispatcherRestarted,
     /// The request's deadline passed before the dispatcher could execute
     /// it.
     DeadlineExpired {
@@ -235,6 +240,12 @@ impl fmt::Display for BpNttError {
             BpNttError::WorkerPanicked { shard } => {
                 write!(f, "shard {shard} worker panicked mid-wave")
             }
+            BpNttError::DispatcherRestarted => {
+                write!(
+                    f,
+                    "the service dispatcher was restarted by the watchdog; resubmit the request"
+                )
+            }
             BpNttError::DeadlineExpired { late_ms } => {
                 write!(f, "request deadline expired {late_ms} ms before dispatch")
             }
@@ -309,6 +320,9 @@ mod tests {
         assert!(BpNttError::ServiceShutdown
             .to_string()
             .contains("shut down"));
+        let e = BpNttError::DispatcherRestarted;
+        assert!(e.to_string().contains("restarted"));
+        assert!(e.to_string().contains("resubmit"));
         assert!(BpNttError::UnknownTenant { tenant: 7 }
             .to_string()
             .contains("tenant 7"));

@@ -46,6 +46,7 @@ pub mod bank;
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod health;
 pub mod kernels;
 pub mod layout;
 pub mod metrics;
@@ -58,12 +59,15 @@ pub use backend::{new_backend, BackendKind, BackendStats, NativeBackend, NttBack
 pub use config::BpNttConfig;
 pub use engine::BpNtt;
 pub use error::BpNttError;
+pub use health::{
+    HealthCounters, HealthMonitor, HealthOptions, HealthTransition, ShardHealthState,
+};
 pub use kernels::Kernels;
 pub use layout::{Layout, RowMap};
 pub use metrics::{PerfReport, ServiceMetrics, TenantMetrics};
 pub use pipeline::{CompiledPipeline, ExecMode, PipeOp, PipelineSpec};
 pub use service::{NttService, PipelineRequest, RateLimit, ServiceOptions, TenantId, Ticket};
-pub use sharded::{RecoveryOptions, RecoveryReport, ShardedBpNtt};
+pub use sharded::{RecoveryOptions, RecoveryReport, ScrubReport, ShardedBpNtt};
 pub use verify::{Verifier, VerifyPolicy};
 
 // The fault-injection surface of the SRAM layer, re-exported so chaos

@@ -247,6 +247,28 @@ pub struct ServiceMetrics {
     /// Requests dropped before execution because their ticket was
     /// cancelled (e.g. a disconnected network client).
     pub cancelled: u64,
+    /// Known-answer probes the scrubber executed against benched shards,
+    /// summed across tenant engines.
+    pub probes_run: u64,
+    /// Probes whose output matched the precomputed reference exactly.
+    pub probes_passed: u64,
+    /// Quarantined shards returned to full service through the
+    /// probe → canary → clean-wave ladder.
+    pub reintegrations: u64,
+    /// Canary shards demoted back to quarantine by a failed wave.
+    pub canary_demotions: u64,
+    /// Patrol probes run against healthy shards between waves.
+    pub patrol_probes: u64,
+    /// Healthy shards a patrol probe caught corrupting (benched before
+    /// any tenant traffic reached them).
+    pub patrol_quarantines: u64,
+    /// Dispatcher or scrubber threads the watchdog respawned after a
+    /// panic.
+    pub respawns: u64,
+    /// Per-shard health state of the default tenant's engine
+    /// (0 healthy, 1 canary, 2 probing, 3 quarantined), refreshed by
+    /// waves and scrub passes. Empty until the first wave or scrub.
+    pub shard_health: Vec<u8>,
     /// Registered tenants.
     pub tenants: usize,
     /// Per-tenant counter slices, sorted by tenant id. Tenants with no
@@ -313,6 +335,27 @@ impl ServiceMetrics {
             "\"rate_limited\": {}, \"cancelled\": {}, ",
             self.rate_limited, self.cancelled
         );
+        let _ = write!(
+            s,
+            "\"health\": {{\"probes_run\": {}, \"probes_passed\": {}, \
+             \"reintegrations\": {}, \"canary_demotions\": {}, \
+             \"patrol_probes\": {}, \"patrol_quarantines\": {}, \
+             \"respawns\": {}, \"shard_states\": [",
+            self.probes_run,
+            self.probes_passed,
+            self.reintegrations,
+            self.canary_demotions,
+            self.patrol_probes,
+            self.patrol_quarantines,
+            self.respawns
+        );
+        for (i, st) in self.shard_health.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "{st}");
+        }
+        s.push_str("]}, ");
         let _ = write!(s, "\"tenants\": {}, \"per_tenant\": [", self.tenants);
         for (i, t) in self.per_tenant.iter().enumerate() {
             if i > 0 {
@@ -475,7 +518,53 @@ impl ServiceMetrics {
             "Wall-clock spent verifying outputs",
             self.verify_ms,
         );
+        gauge(
+            "health_probes_total",
+            "Known-answer probes run by the scrubber",
+            self.probes_run as f64,
+        );
+        gauge(
+            "health_probes_passed_total",
+            "Probes that matched the reference exactly",
+            self.probes_passed as f64,
+        );
+        gauge(
+            "health_reintegrations_total",
+            "Quarantined shards returned to full service",
+            self.reintegrations as f64,
+        );
+        gauge(
+            "health_canary_demotions_total",
+            "Canary shards demoted back to quarantine",
+            self.canary_demotions as f64,
+        );
+        gauge(
+            "health_patrol_probes_total",
+            "Patrol probes run against healthy shards",
+            self.patrol_probes as f64,
+        );
+        gauge(
+            "health_patrol_quarantines_total",
+            "Healthy shards benched by a failed patrol probe",
+            self.patrol_quarantines as f64,
+        );
+        gauge(
+            "respawns_total",
+            "Service threads respawned by the watchdog",
+            self.respawns as f64,
+        );
         gauge("tenants", "Registered tenants", self.tenants as f64);
+        // Per-shard health of the default tenant, one labelled sample
+        // per shard (0 healthy, 1 canary, 2 probing, 3 quarantined).
+        let _ = writeln!(
+            s,
+            "# HELP bpntt_shard_health_state Default-tenant shard health \
+             (0 healthy, 1 canary, 2 probing, 3 quarantined)"
+        );
+        let _ = writeln!(s, "# TYPE bpntt_shard_health_state gauge");
+        for (i, st) in self.shard_health.iter().enumerate() {
+            let _ = writeln!(s, "bpntt_shard_health_state{{shard=\"{i}\"}} {st}");
+        }
         // Per-tenant families: one TYPE line each, then one labelled
         // sample per tenant.
         type TenantField = fn(&TenantMetrics) -> u64;
@@ -591,6 +680,14 @@ mod tests {
             verify_ms: 1.25,
             rate_limited: 2,
             cancelled: 1,
+            probes_run: 12,
+            probes_passed: 10,
+            reintegrations: 2,
+            canary_demotions: 1,
+            patrol_probes: 7,
+            patrol_quarantines: 1,
+            respawns: 1,
+            shard_health: vec![0, 1, 3],
             tenants: 3,
             per_tenant: vec![
                 TenantMetrics {
@@ -633,6 +730,13 @@ mod tests {
             "\"verify_ms\": 1.2500",
             "\"rate_limited\": 2",
             "\"cancelled\": 1",
+            "\"health\": {\"probes_run\": 12, \"probes_passed\": 10",
+            "\"reintegrations\": 2",
+            "\"canary_demotions\": 1",
+            "\"patrol_probes\": 7",
+            "\"patrol_quarantines\": 1",
+            "\"respawns\": 1",
+            "\"shard_states\": [0, 1, 3]",
             "\"tenants\": 3",
             "\"per_tenant\": [{\"tenant\": 0,",
             "\"bytes\": 15360",
@@ -675,6 +779,14 @@ mod tests {
             verify_ms: 3.5,
             rate_limited: 3,
             cancelled: 2,
+            probes_run: 20,
+            probes_passed: 18,
+            reintegrations: 3,
+            canary_demotions: 1,
+            patrol_probes: 9,
+            patrol_quarantines: 2,
+            respawns: 1,
+            shard_health: vec![0, 3],
             tenants: 2,
             per_tenant: vec![
                 TenantMetrics {
@@ -733,9 +845,27 @@ mod tests {
             ("waves", "bpntt_waves_total"),
             ("faults_detected", "bpntt_faults_detected_total"),
             ("deadline_expired", "bpntt_deadline_expired_total"),
+            ("probes_run", "bpntt_health_probes_total"),
+            ("probes_passed", "bpntt_health_probes_passed_total"),
+            ("reintegrations", "bpntt_health_reintegrations_total"),
+            ("canary_demotions", "bpntt_health_canary_demotions_total"),
+            ("patrol_probes", "bpntt_health_patrol_probes_total"),
+            (
+                "patrol_quarantines",
+                "bpntt_health_patrol_quarantines_total",
+            ),
+            ("respawns", "bpntt_respawns_total"),
             ("tenants", "bpntt_tenants"),
         ] {
             assert_eq!(json_val(jk), prom_val(pk), "mismatch on {jk}");
+        }
+        // Per-shard health parity: each JSON shard_states entry matches
+        // its labelled Prometheus sample.
+        for (i, st) in m.shard_health.iter().enumerate() {
+            assert_eq!(
+                prom_val(&format!("bpntt_shard_health_state{{shard=\"{i}\"}}")),
+                u64::from(*st)
+            );
         }
         // Per-tenant parity: each tenant's JSON slice matches its
         // labelled Prometheus samples.

@@ -88,6 +88,7 @@ use crate::backend::BackendKind;
 use crate::config::BpNttConfig;
 use crate::engine::ProgramKey;
 use crate::error::BpNttError;
+use crate::health::{HealthCounters, HealthOptions};
 use crate::layout::Layout;
 use crate::metrics::{percentile, ServiceMetrics, TenantMetrics};
 use crate::pipeline::{CompiledPipeline, ExecMode, PipelineSpec};
@@ -174,6 +175,18 @@ pub struct ServiceOptions {
     /// [`NttService::add_tenant_with_backend`] — one process can serve
     /// simulated and native tenants side by side.
     pub backend: BackendKind,
+    /// Arms the self-healing subsystem: a background **scrubber** thread
+    /// that runs known-answer probes against quarantined shards (and
+    /// patrols idle healthy ones) so a shard whose fault burst has
+    /// passed reintegrates automatically through the
+    /// quarantined → probing → canary → healthy ladder, plus a
+    /// **watchdog** thread that respawns a panicked dispatcher or
+    /// scrubber (failing requests queued at the crash typed with
+    /// [`BpNttError::DispatcherRestarted`]). `None` (the default)
+    /// disables both — quarantines then last until
+    /// [`ShardedBpNtt::lift_quarantine`] is called, the pre-existing
+    /// behavior.
+    pub health: Option<HealthOptions>,
 }
 
 impl Default for ServiceOptions {
@@ -190,6 +203,7 @@ impl Default for ServiceOptions {
             shed_threshold: 1.0,
             drr_quantum: 4096,
             backend: BackendKind::Sim,
+            health: None,
         }
     }
 }
@@ -535,6 +549,14 @@ enum Control {
         backend: BackendKind,
         reply: Reply<TenantId>,
     },
+    /// Scrubber tick: run one scrub pass over every tenant engine and
+    /// publish the harvested health counters. At most one is queued at
+    /// a time — ticks never pile up behind a slow wave.
+    Scrub,
+    /// Test-only: panic the dispatcher mid-loop, exercising the
+    /// watchdog respawn path.
+    #[cfg(test)]
+    Crash,
 }
 
 /// What submit-side validation needs to know about a tenant without
@@ -757,6 +779,14 @@ struct MetricsState {
     verify_secs: f64,
     rate_limited: u64,
     cancelled: u64,
+    /// Aggregated [`HealthCounters`] across tenant engines (absolute —
+    /// re-harvested after every wave and scrub pass, not accumulated).
+    health: HealthCounters,
+    /// Dispatcher/scrubber threads the watchdog respawned.
+    respawns: u64,
+    /// Default tenant's per-shard health codes, refreshed with the
+    /// counters.
+    shard_health: Vec<u8>,
     /// EWMA of the dispatcher's recent drain rate (requests per second),
     /// the basis of the `retry_after_ms` back-off hints.
     drain_rate: f64,
@@ -809,6 +839,20 @@ struct Shared {
     shed_threshold: f64,
     /// Backend kind for tenants registered without an explicit one.
     backend: BackendKind,
+    /// Self-healing knobs; `Some` arms the scrubber and watchdog.
+    health: Option<HealthOptions>,
+    /// Shards per tenant engine (the dispatcher needs it to rebuild
+    /// engines after a watchdog respawn).
+    shards: usize,
+    /// The dispatcher's join handle, held shared so the watchdog can
+    /// detect its death and replace it.
+    dispatcher: Mutex<Option<JoinHandle<()>>>,
+    /// The scrubber's join handle, supervised the same way.
+    scrubber: Mutex<Option<JoinHandle<()>>>,
+    /// Every registered tenant's full configuration, in registration
+    /// order — what a respawned dispatcher needs to rebuild each engine
+    /// under its original id.
+    registry: Mutex<Vec<(TenantId, BpNttConfig, BackendKind)>>,
 }
 
 /// Cross-tenant compiled-program cache key: two tenants share programs
@@ -859,7 +903,10 @@ impl ProgramCacheKey {
 #[derive(Debug)]
 pub struct NttService {
     shared: Arc<Shared>,
-    dispatcher: Option<JoinHandle<()>>,
+    /// The watchdog's handle (only under [`ServiceOptions::health`]).
+    /// The dispatcher and scrubber handles live in [`Shared`], where the
+    /// watchdog can replace them.
+    watchdog: Option<JoinHandle<()>>,
     default_tenant: TenantId,
 }
 
@@ -912,18 +959,25 @@ impl NttService {
             rate_limit: opts.rate_limit,
             shed_threshold: opts.shed_threshold,
             backend: opts.backend,
+            health: opts.health,
+            shards: opts.shards,
+            dispatcher: Mutex::new(None),
+            scrubber: Mutex::new(None),
+            registry: Mutex::new(Vec::new()),
         });
-        let dispatcher = {
-            let shared = Arc::clone(&shared);
-            let shards = opts.shards;
-            std::thread::Builder::new()
-                .name("bpntt-service-dispatcher".into())
-                .spawn(move || dispatcher_loop(&shared, shards))
-                .expect("spawn service dispatcher")
-        };
+        *shared
+            .dispatcher
+            .lock()
+            .expect("dispatcher handle poisoned") = Some(spawn_dispatcher(&shared));
+        let mut watchdog = None;
+        if let Some(h) = opts.health {
+            *shared.scrubber.lock().expect("scrubber handle poisoned") =
+                Some(spawn_scrubber(&shared, h));
+            watchdog = Some(spawn_watchdog(&shared));
+        }
         let mut service = NttService {
             shared,
-            dispatcher: Some(dispatcher),
+            watchdog,
             default_tenant: TenantId(0),
         };
         service.default_tenant = service.add_tenant(config)?;
@@ -1183,6 +1237,14 @@ impl NttService {
             verify_ms: m.verify_secs * 1e3,
             rate_limited: m.rate_limited,
             cancelled: m.cancelled,
+            probes_run: m.health.probes_run,
+            probes_passed: m.health.probes_passed,
+            reintegrations: m.health.reintegrations,
+            canary_demotions: m.health.canary_demotions,
+            patrol_probes: m.health.patrol_probes,
+            patrol_quarantines: m.health.patrol_quarantines,
+            respawns: m.respawns,
+            shard_health: m.shard_health.clone(),
             tenants,
             per_tenant,
         }
@@ -1210,9 +1272,7 @@ impl NttService {
             st.abort = true;
         }
         self.shared.cv.notify_all();
-        if let Some(handle) = self.dispatcher.take() {
-            let _ = handle.join();
-        }
+        self.join_threads();
         self.metrics()
     }
 
@@ -1222,13 +1282,47 @@ impl NttService {
             st.shutdown = true;
         }
         self.shared.cv.notify_all();
-        if let Some(handle) = self.dispatcher.take() {
-            // Tolerate a panicked dispatcher: this runs from Drop, where a
-            // second panic would abort the process and swallow the
-            // original panic message. Outstanding tickets already observe
-            // the failure as `ServiceShutdown`.
+        self.join_threads();
+    }
+
+    /// Joins every service thread after the shutdown flag is up. The
+    /// watchdog goes first, so no respawn can race the joins below; all
+    /// joins tolerate a panicked thread (this runs from Drop, where a
+    /// second panic would abort the process and swallow the original
+    /// panic message — outstanding tickets already observe the failure
+    /// typed).
+    fn join_threads(&mut self) {
+        if let Some(handle) = self.watchdog.take() {
             let _ = handle.join();
         }
+        let dispatcher = self
+            .shared
+            .dispatcher
+            .lock()
+            .expect("dispatcher handle poisoned")
+            .take();
+        if let Some(handle) = dispatcher {
+            let _ = handle.join();
+        }
+        let scrubber = self
+            .shared
+            .scrubber
+            .lock()
+            .expect("scrubber handle poisoned")
+            .take();
+        if let Some(handle) = scrubber {
+            let _ = handle.join();
+        }
+    }
+
+    /// Test-only: make the dispatcher panic on its next control pop,
+    /// exercising the drain guard and the watchdog respawn path.
+    #[cfg(test)]
+    fn crash_dispatcher(&self) {
+        let mut st = self.shared.state.lock().expect("service state poisoned");
+        st.control.push_back(Control::Crash);
+        drop(st);
+        self.shared.cv.notify_all();
     }
 
     fn tenant_info(&self, tenant: TenantId) -> Result<TenantInfo, BpNttError> {
@@ -1392,13 +1486,21 @@ impl SharedArtifacts {
 /// Dispatcher drop guard: however the dispatcher thread exits — normal
 /// drain-mode shutdown (queue already empty), abort-mode shutdown (queue
 /// deliberately left populated), or a panic unwinding out of a wave —
-/// every request still queued resolves typed with
-/// [`BpNttError::ServiceShutdown`]. This is the guarantee that a blocked
-/// [`Ticket::wait`] can never hang forever on a dead dispatcher.
+/// every request still queued resolves typed. This is the guarantee
+/// that a blocked [`Ticket::wait`] can never hang forever on a dead
+/// dispatcher.
+///
+/// The flavor depends on supervision: an unsupervised exit (or any
+/// clean shutdown) marks the service shut down and fails the queue with
+/// [`BpNttError::ServiceShutdown`]; a **panic under an armed watchdog**
+/// fails the queue with [`BpNttError::DispatcherRestarted`] and leaves
+/// the shutdown flag alone, so the respawned dispatcher keeps serving
+/// new submissions.
 struct QueueDrainGuard<'a>(&'a Shared);
 
 impl Drop for QueueDrainGuard<'_> {
     fn drop(&mut self) {
+        let respawning = std::thread::panicking() && self.0.health.is_some();
         let drained: Vec<Request> = {
             // A panic while holding the state lock poisons it; the
             // senders inside are then unreachable, but so is the queue —
@@ -1406,7 +1508,9 @@ impl Drop for QueueDrainGuard<'_> {
             let Ok(mut st) = self.0.state.lock() else {
                 return;
             };
-            st.shutdown = true;
+            if !respawning {
+                st.shutdown = true;
+            }
             st.queue.drain_all()
         };
         if drained.is_empty() {
@@ -1418,17 +1522,193 @@ impl Drop for QueueDrainGuard<'_> {
                 m.tenant(r.tenant).failed += 1;
             }
         }
+        let err = if respawning {
+            BpNttError::DispatcherRestarted
+        } else {
+            BpNttError::ServiceShutdown
+        };
         for req in drained {
-            req.reply.send(Err(BpNttError::ServiceShutdown));
+            req.reply.send(Err(err.clone()));
         }
     }
 }
 
-fn dispatcher_loop(shared: &Shared, shards: usize) {
+fn spawn_dispatcher(shared: &Arc<Shared>) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name("bpntt-service-dispatcher".into())
+        .spawn(move || dispatcher_loop(&shared))
+        .expect("spawn service dispatcher")
+}
+
+/// The scrubber thread: on every tick, enqueue one [`Control::Scrub`]
+/// for the dispatcher (which owns the tenant engines) and wake it. The
+/// tick is the finer of the probe and patrol intervals; a deadline (not
+/// a plain `wait_timeout` restart) keeps submission-notify traffic from
+/// starving the tick.
+fn spawn_scrubber(shared: &Arc<Shared>, opts: HealthOptions) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    let tick = opts
+        .probe_interval
+        .min(opts.patrol_interval)
+        .max(Duration::from_millis(1));
+    std::thread::Builder::new()
+        .name("bpntt-service-scrubber".into())
+        .spawn(move || scrubber_loop(&shared, tick))
+        .expect("spawn service scrubber")
+}
+
+fn scrubber_loop(shared: &Shared, tick: Duration) {
+    let mut next = Instant::now() + tick;
+    loop {
+        {
+            let mut st = shared.state.lock().expect("service state poisoned");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                let now = Instant::now();
+                if now >= next {
+                    break;
+                }
+                let (guard, _) = shared
+                    .cv
+                    .wait_timeout(st, next - now)
+                    .expect("service state poisoned");
+                st = guard;
+            }
+            if !st.control.iter().any(|c| matches!(c, Control::Scrub)) {
+                st.control.push_back(Control::Scrub);
+            }
+        }
+        shared.cv.notify_all();
+        next = Instant::now() + tick;
+    }
+}
+
+/// How often the watchdog checks its wards' pulses.
+const WATCHDOG_TICK: Duration = Duration::from_millis(10);
+
+fn spawn_watchdog(shared: &Arc<Shared>) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name("bpntt-service-watchdog".into())
+        .spawn(move || watchdog_loop(&shared))
+        .expect("spawn service watchdog")
+}
+
+fn watchdog_loop(shared: &Arc<Shared>) {
+    loop {
+        {
+            let st = shared.state.lock().expect("service state poisoned");
+            if st.shutdown {
+                return;
+            }
+            let (st, _) = shared
+                .cv
+                .wait_timeout(st, WATCHDOG_TICK)
+                .expect("service state poisoned");
+            if st.shutdown {
+                return;
+            }
+        }
+        if !revive(shared, &shared.dispatcher, spawn_dispatcher) {
+            return;
+        }
+        let spawn_scrub = |shared: &Arc<Shared>| {
+            let opts = shared.health.expect("watchdog only runs supervised");
+            spawn_scrubber(shared, opts)
+        };
+        if !revive(shared, &shared.scrubber, spawn_scrub) {
+            return;
+        }
+    }
+}
+
+/// Respawns one supervised thread if it died. Returns `false` when the
+/// service turned out to be shutting down (the watchdog should exit).
+fn revive(
+    shared: &Arc<Shared>,
+    slot: &Mutex<Option<JoinHandle<()>>>,
+    spawn: impl Fn(&Arc<Shared>) -> JoinHandle<()>,
+) -> bool {
+    let dead = slot
+        .lock()
+        .expect("thread handle poisoned")
+        .as_ref()
+        .is_some_and(JoinHandle::is_finished);
+    if !dead {
+        return true;
+    }
+    // Join outside the handle lock (the handle is finished, so this
+    // cannot block meaningfully) to collect the panic payload.
+    let handle = slot.lock().expect("thread handle poisoned").take();
+    if let Some(h) = handle {
+        let _ = h.join();
+    }
+    // A thread that exited because the service is shutting down must
+    // stay down.
+    if shared
+        .state
+        .lock()
+        .expect("service state poisoned")
+        .shutdown
+    {
+        return false;
+    }
+    shared.metrics.lock().expect("metrics poisoned").respawns += 1;
+    *slot.lock().expect("thread handle poisoned") = Some(spawn(shared));
+    shared.cv.notify_all();
+    true
+}
+
+/// Harvests every tenant engine's health counters (absolute sums) and
+/// the default tenant's per-shard health states into the metrics
+/// snapshot.
+fn harvest_health(shared: &Shared, engines: &HashMap<TenantId, TenantEngine>) {
+    let mut totals = HealthCounters::default();
+    for te in engines.values() {
+        let c = te.engine.health_counters();
+        totals.probes_run += c.probes_run;
+        totals.probes_passed += c.probes_passed;
+        totals.reintegrations += c.reintegrations;
+        totals.canary_demotions += c.canary_demotions;
+        totals.patrol_probes += c.patrol_probes;
+        totals.patrol_quarantines += c.patrol_quarantines;
+    }
+    let shard_health: Vec<u8> = engines
+        .get(&TenantId(0))
+        .map(|te| {
+            te.engine
+                .shard_health()
+                .iter()
+                .map(|s| s.as_code())
+                .collect()
+        })
+        .unwrap_or_default();
+    let mut m = shared.metrics.lock().expect("metrics poisoned");
+    m.health = totals;
+    m.shard_health = shard_health;
+}
+
+fn dispatcher_loop(shared: &Shared) {
+    let shards = shared.shards;
     let _guard = QueueDrainGuard(shared);
     let mut engines: HashMap<TenantId, TenantEngine> = HashMap::new();
     let mut cache = SharedArtifacts::default();
+    // Rebuild every registered tenant's engine under its original id —
+    // a no-op on first spawn (empty registry), the recovery path after
+    // a watchdog respawn. A tenant whose engine fails to rebuild stays
+    // registered; its waves fail typed with `UnknownTenant`.
     let mut next_tenant: u32 = 0;
+    let registry: Vec<(TenantId, BpNttConfig, BackendKind)> =
+        shared.registry.lock().expect("registry poisoned").clone();
+    for (id, config, backend) in &registry {
+        next_tenant = next_tenant.max(id.0 + 1);
+        if let Ok(te) = build_engine(shared, config, *backend, shards, &mut cache) {
+            engines.insert(*id, te);
+        }
+    }
     loop {
         enum Action {
             Control(Control),
@@ -1472,6 +1752,16 @@ fn dispatcher_loop(shared: &Shared, shards: usize) {
                     &mut next_tenant,
                 );
                 let _ = reply.send(result);
+            }
+            Action::Control(Control::Scrub) => {
+                for te in engines.values_mut() {
+                    let _ = te.engine.scrub_pass();
+                }
+                harvest_health(shared, &engines);
+            }
+            #[cfg(test)]
+            Action::Control(Control::Crash) => {
+                panic!("dispatcher crash requested (test control)");
             }
             Action::Work => {
                 // Coalesce: wait (bounded) until the queue could fill
@@ -1569,12 +1859,47 @@ fn register_tenant(
     next_tenant: &mut u32,
 ) -> Result<TenantId, BpNttError> {
     let info = tenant_info_of(config);
+    let te = build_engine(shared, config, backend, shards, cache)?;
+    let id = TenantId(*next_tenant);
+    *next_tenant += 1;
+    shared
+        .tenants
+        .lock()
+        .expect("tenant map poisoned")
+        .insert(id, info);
+    // Record the full configuration so a watchdog-respawned dispatcher
+    // can rebuild this engine under the same id.
+    shared
+        .registry
+        .lock()
+        .expect("registry poisoned")
+        .push((id, config.clone(), backend));
+    // Seed the per-tenant metrics slice so a registered-but-idle tenant
+    // appears (zeroed) in every snapshot.
+    let _ = shared.metrics.lock().expect("metrics poisoned").tenant(id);
+    engines.insert(id, te);
+    Ok(id)
+}
+
+/// Builds one tenant's sharded engine: recovery ladder, fault plan, and
+/// health options applied, programs and pipelines imported from the
+/// cross-tenant cache (or compiled and published on a miss).
+fn build_engine(
+    shared: &Shared,
+    config: &BpNttConfig,
+    backend: BackendKind,
+    shards: usize,
+    cache: &mut SharedArtifacts,
+) -> Result<TenantEngine, BpNttError> {
     let mut engine = ShardedBpNtt::with_backend(config, shards, backend)?;
     if shared.recovery.is_active() {
         engine.set_recovery(shared.recovery);
     }
     if let Some(plan) = &shared.fault_plan {
         engine.install_fault_plan(plan);
+    }
+    if let Some(h) = shared.health {
+        engine.set_health_options(h);
     }
     let key = ProgramCacheKey::of(config, backend);
     if let Some(progs) = cache.programs.get(&key) {
@@ -1611,18 +1936,7 @@ fn register_tenant(
         m.program_cache_entries = cache.programs.len();
         m.pipeline_cache_entries = cache.pipeline_entries();
     }
-    let id = TenantId(*next_tenant);
-    *next_tenant += 1;
-    shared
-        .tenants
-        .lock()
-        .expect("tenant map poisoned")
-        .insert(id, info);
-    // Seed the per-tenant metrics slice so a registered-but-idle tenant
-    // appears (zeroed) in every snapshot.
-    let _ = shared.metrics.lock().expect("metrics poisoned").tenant(id);
-    engines.insert(id, TenantEngine { engine, key });
-    Ok(id)
+    Ok(TenantEngine { engine, key })
 }
 
 /// Executes one drained wave: requests are grouped by
@@ -1827,6 +2141,9 @@ fn execute_wave(
             }
         }
     }
+    // Waves move the health machine too (faults scored, quarantines,
+    // canary credit): refresh the published counters and shard states.
+    harvest_health(shared, engines);
 }
 
 #[cfg(test)]
@@ -2287,6 +2604,169 @@ mod tests {
         assert!(first.is_ok(), "drained result still readable");
         let second = block_on(&mut ticket);
         assert!(matches!(second, Err(BpNttError::ServiceShutdown)));
+    }
+
+    #[test]
+    fn scrubber_reintegrates_burst_quarantined_shards_unattended() {
+        // The tentpole drill at the service layer: a windowed dead-row
+        // burst corrupts the first wave on both shards (quarantine +
+        // software fallback), then the background scrubber probes,
+        // canaries, and reintegrates them with NO manual lift — tenant
+        // traffic keeps completing reference-exact throughout, and the
+        // whole transition is visible in the metrics exports.
+        let params = NttParams::new(8, 97).unwrap();
+        let t = TwiddleTable::new(&params);
+        let polys: Vec<Vec<u64>> = (0..24).map(|s| pseudo(8, 97, s + 500)).collect();
+        let expect: Vec<Vec<u64>> = polys
+            .iter()
+            .map(|p| {
+                let mut e = p.clone();
+                ntt_in_place(&params, &t, &mut e).unwrap();
+                e
+            })
+            .collect();
+        // Calibrate the burst window to one chunk's worth of
+        // instructions (the clock is mode- and backend-independent).
+        let mut probe = ShardedBpNtt::new(&config8(), 1).unwrap();
+        probe.forward_batch(&polys[..4]).unwrap();
+        let chunk_instrs = probe.stats().counts.total();
+        assert!(chunk_instrs > 0);
+
+        let service = NttService::start(
+            &config8(),
+            ServiceOptions {
+                shards: 2,
+                verify: VerifyPolicy::Full,
+                fault_plan: Some(
+                    FaultPlan::seeded(3)
+                        .dead_row(2)
+                        .active_between(0, chunk_instrs),
+                ),
+                health: Some(HealthOptions::aggressive()),
+                coalesce_window: Duration::from_millis(5),
+                ..ServiceOptions::default()
+            },
+        )
+        .unwrap();
+        // Keep waves flowing until the scrubber has walked both shards
+        // back to healthy (canary promotion needs claimed clean waves).
+        let mut healed = false;
+        for _round in 0..40 {
+            let tickets: Vec<Ticket> = polys
+                .iter()
+                .map(|p| service.submit_forward(p.clone()).unwrap())
+                .collect();
+            for (ticket, e) in tickets.into_iter().zip(&expect) {
+                assert_eq!(
+                    &ticket.wait().unwrap(),
+                    e,
+                    "no corruption escapes mid-drill"
+                );
+            }
+            let m = service.metrics();
+            if m.reintegrations >= 2 && m.shard_health.iter().all(|&s| s == 0) {
+                healed = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(
+            healed,
+            "scrubber never reintegrated the burst-faulted shards"
+        );
+        let m = service.shutdown();
+        assert_eq!(m.failed, 0);
+        assert!(m.probes_run >= 2, "scrubber probed the benched shards");
+        assert!(m.probes_passed >= 2);
+        assert!(m.reintegrations >= 2);
+        assert!(m.fallback_polys >= 1, "burst wave answered by fallback");
+        // Observability: the transition shows up in both exports.
+        let json = m.to_json();
+        assert!(json.contains("\"health\": {\"probes_run\""));
+        assert!(json.contains("\"reintegrations\""));
+        assert!(m
+            .to_prometheus()
+            .contains("bpntt_shard_health_state{shard=\"0\"} 0"));
+    }
+
+    #[test]
+    fn watchdog_respawns_crashed_dispatcher_and_fails_queued_typed() {
+        let service = NttService::start(
+            &config8(),
+            ServiceOptions {
+                health: Some(HealthOptions::aggressive()),
+                ..ServiceOptions::default()
+            },
+        )
+        .unwrap();
+        let warm = service.submit_forward(pseudo(8, 97, 1)).unwrap();
+        assert!(warm.wait().is_ok());
+        // Queue a request and the crash control under one lock: the
+        // dispatcher pops controls before work, so it panics with the
+        // request still queued — the drain guard must fail it typed
+        // without marking the service shut down.
+        let doomed = {
+            let (ticket, reply) = Ticket::channel(None);
+            let mut st = service.shared.state.lock().unwrap();
+            st.queue.push(Request {
+                tenant: service.default_tenant,
+                spec: PipelineSpec::forward_ntt(),
+                mode: ExecMode::Replay,
+                inputs: vec![pseudo(8, 97, 2)],
+                reply,
+                deadline: None,
+                cost: 64,
+            });
+            st.control.push_back(Control::Crash);
+            drop(st);
+            service.shared.cv.notify_all();
+            ticket
+        };
+        assert!(matches!(
+            doomed.wait(),
+            Err(BpNttError::DispatcherRestarted)
+        ));
+        // The watchdog notices within a few ticks and respawns.
+        let mut respawned = false;
+        for _ in 0..500 {
+            if service.metrics().respawns >= 1 {
+                respawned = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(respawned, "watchdog never respawned the dispatcher");
+        // The respawned dispatcher rebuilt the tenant engine from the
+        // registry and keeps serving under the original tenant id.
+        let after = service.submit_forward(pseudo(8, 97, 3)).unwrap();
+        assert_eq!(after.wait().unwrap().len(), 8);
+        let m = service.shutdown();
+        assert!(m.respawns >= 1);
+        assert_eq!(m.completed, 2);
+        assert_eq!(m.failed, 1, "the queued request failed typed, once");
+    }
+
+    #[test]
+    fn unsupervised_crash_stays_down_typed() {
+        // Without a watchdog, a dispatcher panic keeps the historical
+        // contract: the service marks itself shut down and every later
+        // submission fails typed.
+        let service = NttService::start(&config8(), ServiceOptions::default()).unwrap();
+        service.crash_dispatcher();
+        let mut down = false;
+        for _ in 0..500 {
+            if matches!(
+                service.submit_forward(pseudo(8, 97, 1)),
+                Err(BpNttError::ServiceShutdown)
+            ) {
+                down = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(down, "unsupervised crash must shut the service down");
+        let m = service.shutdown();
+        assert_eq!(m.respawns, 0);
     }
 
     #[test]

@@ -39,10 +39,12 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use crate::backend::{new_backend, BackendKind, NttBackend};
 use crate::config::BpNttConfig;
 use crate::error::BpNttError;
+use crate::health::{HealthCounters, HealthMonitor, HealthOptions, ShardHealthState};
 use crate::pipeline::{CompiledPipeline, ExecMode, PipelineSpec};
 use crate::verify::VerifyPolicy;
 use bpntt_sram::{CompiledProgram, FaultPlan, FaultStats, Stats};
@@ -159,11 +161,47 @@ pub struct ShardedBpNtt {
     /// (fewer chunks than shards) report no entry.
     last_shard_secs: Vec<f64>,
     recovery: RecoveryOptions,
-    /// Shards the ladder has quarantined (persists across waves until
-    /// [`Self::lift_quarantine`]).
-    quarantined: Vec<bool>,
+    /// The per-shard healing state machine: quarantine flags, canary
+    /// progress, decayed fault scores, probe scheduling (see
+    /// [`crate::health`]).
+    health: HealthMonitor,
+    /// Construction instant — the monitor's monotonic time base.
+    t0: Instant,
+    /// Lazily built known-answer probe vectors (see [`Self::scrub_pass`]).
+    probe: Option<ProbeSet>,
     last_report: RecoveryReport,
     totals: RecoveryReport,
+}
+
+/// One probe vector: slot-major inputs (one lane per slot) paired with
+/// the software-reference output rows they must reproduce exactly.
+type ProbeVector = (Vec<Vec<Vec<u64>>>, Vec<u64>);
+
+/// Precomputed known-answer probe data: seeded inputs and their
+/// software-reference outputs, compared reference-exact against the
+/// probed shard's rows.
+#[derive(Debug)]
+struct ProbeSet {
+    spec: PipelineSpec,
+    /// Probe vectors rotated across probes.
+    vectors: Vec<ProbeVector>,
+    /// Rotation cursor.
+    cursor: usize,
+}
+
+/// What one [`ShardedBpNtt::scrub_pass`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Known-answer probes executed this pass (scrub + patrol).
+    pub probes_run: u64,
+    /// Probes whose rows matched the reference exactly.
+    pub probes_passed: u64,
+    /// Shards promoted quarantined/probing → canary this pass.
+    pub entered_canary: u64,
+    /// Patrol probes of healthy shards (subset of `probes_run`).
+    pub patrol_probes: u64,
+    /// Healthy shards benched by a failing patrol probe.
+    pub patrol_quarantines: u64,
 }
 
 /// One shard worker's outcome.
@@ -226,10 +264,18 @@ impl ShardedBpNtt {
             lanes_per_shard,
             last_shard_secs: Vec::new(),
             recovery: RecoveryOptions::default(),
-            quarantined: vec![false; n_shards],
+            health: HealthMonitor::new(n_shards, HealthOptions::default()),
+            t0: Instant::now(),
+            probe: None,
             last_report: RecoveryReport::default(),
             totals: RecoveryReport::default(),
         })
+    }
+
+    /// Monotonic seconds since construction — the health monitor's time
+    /// base.
+    fn now_secs(&self) -> f64 {
+        self.t0.elapsed().as_secs_f64()
     }
 
     /// Number of shards.
@@ -283,20 +329,223 @@ impl ShardedBpNtt {
         total
     }
 
-    /// Indices of the shards the ladder has quarantined.
+    /// Indices of the shards currently benched (quarantined or under
+    /// probe) — canary shards are back in service and not listed.
     #[must_use]
     pub fn quarantined(&self) -> Vec<usize> {
-        self.quarantined
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &q)| q.then_some(i))
+        (0..self.shards.len())
+            .filter(|&i| self.health.is_benched(i))
             .collect()
     }
 
-    /// Returns every quarantined shard to service (e.g. after clearing an
-    /// injected fault plan or replacing the faulty array).
-    pub fn lift_quarantine(&mut self) {
-        self.quarantined.fill(false);
+    /// Benches one shard: it stops claiming wave chunks until the
+    /// scrubber reintegrates it or an operator lifts the quarantine.
+    /// The ladder calls this automatically on budget exhaustion; it is
+    /// public for operator-driven removal (e.g. a known-bad array).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_idx` is out of range.
+    pub fn quarantine(&mut self, shard_idx: usize) {
+        assert!(
+            shard_idx < self.shards.len(),
+            "shard {shard_idx} out of range"
+        );
+        let now = self.now_secs();
+        self.health.quarantine(shard_idx, now);
+    }
+
+    /// Operator override: returns one quarantined (or canary) shard
+    /// straight to full duty, forgetting its fault history and probe
+    /// backoff — e.g. after physically replacing the faulty array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_idx` is out of range.
+    pub fn lift_quarantine(&mut self, shard_idx: usize) {
+        assert!(
+            shard_idx < self.shards.len(),
+            "shard {shard_idx} out of range"
+        );
+        self.health.lift(shard_idx);
+    }
+
+    /// Returns every benched shard to service (e.g. after clearing an
+    /// injected fault plan across the board).
+    pub fn lift_all_quarantines(&mut self) {
+        for i in 0..self.shards.len() {
+            self.health.lift(i);
+        }
+    }
+
+    /// Every shard's healing state, indexed by shard.
+    #[must_use]
+    pub fn shard_health(&self) -> Vec<ShardHealthState> {
+        self.health.states()
+    }
+
+    /// Cumulative healing-ladder counters (probes, reintegrations,
+    /// canary demotions).
+    #[must_use]
+    pub fn health_counters(&self) -> HealthCounters {
+        self.health.counters()
+    }
+
+    /// Replaces the healing knobs (probe cadence, canary thresholds,
+    /// decay half-life; see [`HealthOptions`]).
+    pub fn set_health_options(&mut self, opts: HealthOptions) {
+        self.health.set_options(opts);
+    }
+
+    /// The decayed fault score of one shard right now (unit: faults,
+    /// halved per [`HealthOptions::decay_half_life`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_idx` is out of range.
+    #[must_use]
+    pub fn shard_score(&self, shard_idx: usize) -> f64 {
+        self.health.score(shard_idx, self.now_secs())
+    }
+
+    /// Number of compiled programs each shard engine currently caches
+    /// (caches are kept uniform across shards; this reads shard 0).
+    #[must_use]
+    pub fn cached_programs(&self) -> usize {
+        self.shards[0].cached_programs()
+    }
+
+    /// Opaque identities of the programs cached by shard `shard_idx`,
+    /// sorted. Two equal snapshots mean the cache still holds the
+    /// *same* program objects — nothing was recompiled or replaced in
+    /// between (scrub probes must replay, never mutate the cache).
+    ///
+    /// Panics if `shard_idx` is out of range.
+    #[must_use]
+    pub fn program_identities(&self, shard_idx: usize) -> Vec<usize> {
+        let mut ids: Vec<usize> = self.shards[shard_idx]
+            .export_programs()
+            .iter()
+            .map(|(_, prog)| Arc::as_ptr(prog) as usize)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// One scrubber pass: runs seeded known-answer probes against every
+    /// benched shard whose backoff has elapsed (and whose decayed fault
+    /// score has cooled), and patrol-probes idle healthy shards whose
+    /// patrol interval has elapsed. Probe rows are compared
+    /// **reference-exact** against precomputed software-reference
+    /// output; probes run on probe-owned inputs and never touch
+    /// tenant-visible operand slots or mutate already-cached programs.
+    ///
+    /// Shards accumulating enough consecutive passes re-enter service
+    /// in canary mode (see [`crate::health`]); the promotion back to
+    /// full duty happens in [`Self::run_pipeline_batch`] waves, not
+    /// here. The service layer drives this from its background scrubber
+    /// thread; standalone users call it on their own cadence.
+    pub fn scrub_pass(&mut self) -> ScrubReport {
+        let mut report = ScrubReport::default();
+        for idx in 0..self.shards.len() {
+            let now = self.now_secs();
+            if self.health.due_for_probe(idx, now) {
+                let passed = self.probe_shard(idx);
+                report.probes_run += 1;
+                report.probes_passed += u64::from(passed);
+                let now = self.now_secs();
+                if let Some(crate::health::HealthTransition::EnteredCanary) =
+                    self.health.record_probe(idx, passed, now)
+                {
+                    report.entered_canary += 1;
+                }
+            } else if self.health.due_for_patrol(idx, now) {
+                let passed = self.probe_shard(idx);
+                report.probes_run += 1;
+                report.probes_passed += u64::from(passed);
+                report.patrol_probes += 1;
+                report.patrol_quarantines += u64::from(!passed);
+                let now = self.now_secs();
+                self.health.record_patrol(idx, passed, now);
+            }
+        }
+        report
+    }
+
+    /// Executes one known-answer probe on shard `shard_idx`: a compiled
+    /// pipeline over seeded probe inputs, rows asserted reference-exact
+    /// against the precomputed software reference. Any divergence,
+    /// typed error, or contained panic is a failed probe.
+    fn probe_shard(&mut self, shard_idx: usize) -> bool {
+        if self.ensure_probe_set().is_err() {
+            return false;
+        }
+        let probe = self.probe.as_mut().expect("probe set built above");
+        let (inputs, expected) = {
+            let v = &probe.vectors[probe.cursor % probe.vectors.len()];
+            probe.cursor += 1;
+            (&v.0, &v.1)
+        };
+        let spec = probe.spec.clone();
+        let shard = &mut self.shards[shard_idx];
+        // Compile-or-cache-hit: probes of a warmed engine never
+        // recompile, a cold engine pays the compile once.
+        let pipe = match shard.compile(&spec) {
+            Ok(p) => p,
+            Err(_) => return false,
+        };
+        let chunk: Vec<&[Vec<u64>]> = inputs.iter().map(|slot| slot.as_slice()).collect();
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            shard
+                .execute(&pipe, ExecMode::Replay, &chunk)
+                .map(|(rows, _)| rows)
+        }));
+        // Probe verification time must not pollute the next wave's
+        // recovery report.
+        let _ = shard.take_verify_secs();
+        match res {
+            Ok(Ok(rows)) => rows.len() == 1 && rows[0] == *expected,
+            _ => false,
+        }
+    }
+
+    /// Builds the probe vectors on first use: seeded pseudo-random
+    /// operands for the canned forward-NTT graph, with the expected rows
+    /// precomputed by the software reference.
+    fn ensure_probe_set(&mut self) -> Result<(), BpNttError> {
+        if self.probe.is_some() {
+            return Ok(());
+        }
+        let spec = PipelineSpec::forward_ntt();
+        let cfg = self.shards[0].config();
+        let n = cfg.params().n();
+        let q = cfg.params().modulus();
+        let mut vectors = Vec::new();
+        for seed in [0x5C_12_u64, 0xBBED_u64] {
+            let mut x = seed | 1;
+            let poly: Vec<u64> = (0..n)
+                .map(|_| {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    x % q
+                })
+                .collect();
+            let expected = self.shards[0]
+                .verifier()
+                .clone()
+                .software_lane(&spec, &[&poly])?
+                .ok_or_else(|| BpNttError::InvalidPipeline {
+                    reason: "probe spec has no software reference".into(),
+                })?;
+            vectors.push((vec![vec![poly]], expected));
+        }
+        self.probe = Some(ProbeSet {
+            spec,
+            vectors,
+            cursor: 0,
+        });
+        Ok(())
     }
 
     /// What the recovery ladder did during the most recent wave.
@@ -415,15 +664,26 @@ impl ShardedBpNtt {
         let n_chunks = batch.div_ceil(lanes);
         let ladder = self.recovery.is_active();
         let retry_budget = self.recovery.retry_budget;
-        let healthy = self.quarantined.clone();
+        let benched: Vec<bool> = (0..self.shards.len())
+            .map(|i| self.health.is_benched(i))
+            .collect();
+        let canary: Vec<bool> = (0..self.shards.len())
+            .map(|i| self.health.is_canary(i))
+            .collect();
+        let wave_policy = self.recovery.verify;
         let next = AtomicUsize::new(0);
         let requeue: Requeue = Mutex::new(Vec::new());
         let mut outcomes: Vec<(usize, ShardOutcome)> = Vec::new();
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (sid, shard) in self.shards.iter_mut().enumerate() {
-                if healthy[sid] || handles.len() == n_chunks {
+                if benched[sid] || handles.len() == n_chunks {
                     continue;
+                }
+                if canary[sid] {
+                    // Canary leash: every chunk this shard touches is
+                    // fully verified, whatever the wave's policy.
+                    shard.set_verify_policy(VerifyPolicy::Full);
                 }
                 let (next, requeue, pipe) = (&next, &requeue, Arc::clone(pipe));
                 let shard: &mut dyn NttBackend = shard.as_mut();
@@ -466,23 +726,45 @@ impl ShardedBpNtt {
                 outcomes.push((sid, outcome));
             }
         });
+        // Restore the wave policy on canary shards before any early
+        // return (the leash is per-wave, the policy field is persistent).
+        for (sid, shard) in self.shards.iter_mut().enumerate() {
+            if canary[sid] {
+                shard.set_verify_policy(wave_policy);
+            }
+        }
         // Every worker has joined, so record all timings before the first
         // shard error can propagate — a failed wave still reports one
         // entry per participating shard.
         self.last_shard_secs.clear();
         self.last_shard_secs
             .extend(outcomes.iter().map(|(_, o)| o.secs));
+        let now = self.now_secs();
         let mut wave = RecoveryReport::default();
         let mut slots: Vec<Option<Vec<Vec<u64>>>> = (0..n_chunks).map(|_| None).collect();
         let mut first_err = None;
         for (sid, o) in outcomes {
             wave.absorb(&o.report);
+            for _ in 0..o.report.faults_detected {
+                self.health.record_fault(sid, now);
+            }
+            let claimed = !o.done.is_empty();
             for (i, v) in o.done {
                 slots[i] = Some(v);
             }
             if o.quarantined {
-                self.quarantined[sid] = true;
+                if canary[sid] {
+                    // A canary wave faulted: demote with doubled probe
+                    // backoff — it must re-earn canary duty.
+                    self.health.record_canary_wave(sid, false, now);
+                } else {
+                    self.health.quarantine(sid, now);
+                }
                 wave.degraded = true;
+            } else if canary[sid] && claimed && o.err.is_none() {
+                // A clean, fully verified canary wave counts toward
+                // reintegration.
+                self.health.record_canary_wave(sid, true, now);
             }
             if let Some(e) = o.err {
                 first_err.get_or_insert(e);
@@ -494,7 +776,7 @@ impl ShardedBpNtt {
         // software. Completed chunks' timings and ladder activity are
         // still recorded below.
         if slots.iter().any(Option::is_none) && cancel.is_some_and(|c| c()) {
-            wave.quarantined_shards = self.quarantined.iter().filter(|&&q| q).count() as u64;
+            wave.quarantined_shards = self.quarantined().len() as u64;
             self.last_report = wave;
             self.totals.absorb(&wave);
             self.totals.quarantined_shards = wave.quarantined_shards;
@@ -526,7 +808,7 @@ impl ShardedBpNtt {
                 }
             }
         }
-        wave.quarantined_shards = self.quarantined.iter().filter(|&&q| q).count() as u64;
+        wave.quarantined_shards = self.quarantined().len() as u64;
         self.last_report = wave;
         self.totals.absorb(&wave);
         self.totals.quarantined_shards = wave.quarantined_shards;
@@ -1041,8 +1323,22 @@ mod tests {
             "got {err:?}"
         );
         assert!(sharded.last_recovery().worker_panics >= 1);
-        // The hard fault fires once per shard; the engines stay usable.
-        assert_eq!(sharded.forward_batch(&batch).unwrap(), clean);
+        // The hard fault fires once per shard, but a poisoned wave can
+        // end before the *other* shard's worker ran (and consumed its
+        // own fault) — each retry wave burns at least one remaining
+        // fault, so the engines run clean within shards + 1 waves.
+        let mut healed = None;
+        for _ in 0..3 {
+            match sharded.forward_batch(&batch) {
+                Ok(out) => {
+                    healed = Some(out);
+                    break;
+                }
+                Err(BpNttError::WorkerPanicked { .. }) => {}
+                Err(other) => panic!("expected WorkerPanicked, got {other:?}"),
+            }
+        }
+        assert_eq!(healed.expect("engines never ran clean"), clean);
     }
 
     #[test]
@@ -1125,10 +1421,177 @@ mod tests {
 
         // Lifting the quarantine (fault cleared) restores hardware waves.
         sharded.clear_fault_plans();
-        sharded.lift_quarantine();
+        sharded.lift_all_quarantines();
         sharded.forward_batch(&batch).unwrap();
         assert_eq!(sharded.last_recovery().fallback_polys, 0);
         assert!(!sharded.last_recovery().degraded);
+    }
+
+    #[test]
+    fn burst_fault_heals_through_probe_canary_reintegration() {
+        // The full self-healing ladder with NO manual lift_quarantine:
+        // a windowed dead-row burst corrupts the first wave on every
+        // shard (quarantine), the burst window closes, scrubber probes
+        // pass (canary), and a clean fully-verified wave reintegrates.
+        let params = NttParams::new(8, 97).unwrap();
+        let t = TwiddleTable::new(&params);
+        // 6 chunks per wave: enough that a canary shard reliably claims
+        // work even when the healthy shard gets a head start.
+        let batch: Vec<Vec<u64>> = (0..24).map(|s| pseudo(8, 97, s + 700)).collect();
+        let expect: Vec<Vec<u64>> = batch
+            .iter()
+            .map(|p| {
+                let mut e = p.clone();
+                ntt_in_place(&params, &t, &mut e).unwrap();
+                e
+            })
+            .collect();
+
+        // Calibrate the burst window: instructions one shard spends on
+        // one chunk (the clock is mode- and backend-independent).
+        let mut probe = ShardedBpNtt::new(&config(), 1).unwrap();
+        probe.forward_batch(&batch[..4]).unwrap();
+        let chunk_instrs = probe.stats().counts.total();
+        assert!(chunk_instrs > 0);
+
+        let mut sharded = ShardedBpNtt::new(&config(), 2).unwrap();
+        sharded.set_recovery(RecoveryOptions {
+            verify: VerifyPolicy::Full,
+            retry_budget: 0,
+            software_fallback: true,
+        });
+        sharded.set_health_options(HealthOptions::aggressive());
+        // Dead wordline for exactly the first chunk's worth of
+        // instructions on each shard, then the array heals.
+        sharded.install_fault_plan(
+            &FaultPlan::seeded(3)
+                .dead_row(2)
+                .active_between(0, chunk_instrs),
+        );
+
+        // Wave 1: both shards corrupt, quarantine, fallback answers.
+        let got = sharded.forward_batch(&batch).unwrap();
+        assert_eq!(got, expect, "degraded wave still reference-exact");
+        assert_eq!(sharded.quarantined(), vec![0, 1]);
+        assert!(sharded.shard_score(0) > 0.0, "faults scored");
+
+        // Scrub until the burst window closes under the probes
+        // themselves (each probe advances the shard's instruction
+        // clock, so a probe that still lands inside the window fails,
+        // backs off, and the next one lands beyond it).
+        let mut entered_canary = 0;
+        for _ in 0..50 {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            entered_canary += sharded.scrub_pass().entered_canary;
+            if sharded.quarantined().is_empty() {
+                break;
+            }
+        }
+        assert_eq!(entered_canary, 2, "both shards promoted to canary");
+        assert!(sharded.quarantined().is_empty());
+        assert_eq!(
+            sharded.shard_health(),
+            vec![ShardHealthState::Canary, ShardHealthState::Canary]
+        );
+
+        // Canary shards run fully verified; one clean claimed wave each
+        // reintegrates them (canary_waves_to_healthy = 1). Work-stealing
+        // gives no claim guarantee per wave, so run a few.
+        for _ in 0..10 {
+            let got = sharded.forward_batch(&batch).unwrap();
+            assert_eq!(got, expect);
+            assert_eq!(sharded.last_recovery().fallback_polys, 0, "hardware wave");
+            if sharded
+                .shard_health()
+                .iter()
+                .all(|&s| s == ShardHealthState::Healthy)
+            {
+                break;
+            }
+        }
+        assert_eq!(
+            sharded.shard_health(),
+            vec![ShardHealthState::Healthy, ShardHealthState::Healthy]
+        );
+        let c = sharded.health_counters();
+        assert_eq!(c.reintegrations, 2);
+        assert_eq!(c.canary_demotions, 0);
+        assert!(c.probes_passed >= 2);
+
+        // Wave 3: fully healed, full speed, no degradation.
+        let got = sharded.forward_batch(&batch).unwrap();
+        assert_eq!(got, expect);
+        assert!(!sharded.last_recovery().degraded);
+    }
+
+    #[test]
+    fn canary_failure_demotes_with_doubled_backoff() {
+        // A persistent (un-windowed) dead row: probes executed while the
+        // fault is live keep failing, so the shard stays benched and
+        // never corrupts tenant output.
+        let mut sharded = ShardedBpNtt::new(&config(), 2).unwrap();
+        sharded.set_recovery(RecoveryOptions {
+            verify: VerifyPolicy::Full,
+            retry_budget: 0,
+            software_fallback: true,
+        });
+        sharded.set_health_options(HealthOptions::aggressive());
+        sharded.install_fault_plan(&FaultPlan::seeded(3).dead_row(2));
+        let batch: Vec<Vec<u64>> = (0..8).map(|s| pseudo(8, 97, s + 710)).collect();
+        sharded.forward_batch(&batch).unwrap();
+        assert_eq!(sharded.quarantined(), vec![0, 1]);
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let scrub = sharded.scrub_pass();
+        assert_eq!(scrub.probes_run, 2);
+        assert_eq!(scrub.probes_passed, 0, "probes catch the live fault");
+        assert_eq!(sharded.quarantined(), vec![0, 1], "still benched");
+        // Output stays reference-exact throughout (software fallback).
+        let params = NttParams::new(8, 97).unwrap();
+        let t = TwiddleTable::new(&params);
+        let got = sharded.forward_batch(&batch).unwrap();
+        for (i, p) in batch.iter().enumerate() {
+            let mut e = p.clone();
+            ntt_in_place(&params, &t, &mut e).unwrap();
+            assert_eq!(got[i], e, "poly {i}");
+        }
+    }
+
+    #[test]
+    fn per_shard_quarantine_and_lift() {
+        // Satellite: operator-grade per-shard control.
+        let mut sharded = ShardedBpNtt::new(&config(), 3).unwrap();
+        sharded.quarantine(1);
+        assert_eq!(sharded.quarantined(), vec![1]);
+        assert_eq!(sharded.shard_health()[1], ShardHealthState::Quarantined);
+        // Waves route around the benched shard and stay correct.
+        let batch: Vec<Vec<u64>> = (0..12).map(|s| pseudo(8, 97, s + 720)).collect();
+        let got = sharded.forward_batch(&batch).unwrap();
+        assert_eq!(got.len(), 12);
+        assert!(sharded.last_wave_shard_secs().len() <= 2);
+        sharded.lift_quarantine(1);
+        assert!(sharded.quarantined().is_empty());
+        sharded.quarantine(0);
+        sharded.quarantine(2);
+        sharded.lift_all_quarantines();
+        assert!(sharded.quarantined().is_empty());
+    }
+
+    #[test]
+    fn patrol_probe_finds_latent_damage_before_traffic() {
+        // A healthy-looking shard with a live persistent fault is
+        // benched by the patrol scrubber, not by a tenant wave.
+        let mut sharded = ShardedBpNtt::new(&config(), 2).unwrap();
+        sharded.set_recovery(RecoveryOptions::resilient());
+        let mut opts = HealthOptions::aggressive();
+        opts.patrol_interval = std::time::Duration::from_millis(1);
+        sharded.set_health_options(opts);
+        sharded.install_fault_plan(&FaultPlan::seeded(3).dead_row(2));
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let scrub = sharded.scrub_pass();
+        assert_eq!(scrub.patrol_probes, 2);
+        assert_eq!(scrub.patrol_quarantines, 2);
+        assert_eq!(sharded.quarantined(), vec![0, 1]);
+        assert_eq!(sharded.health_counters().patrol_quarantines, 2);
     }
 
     #[test]

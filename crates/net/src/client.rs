@@ -1,6 +1,9 @@
-//! A minimal blocking client for the BP-NTT wire protocol — one
-//! request in flight per connection, typed errors surfaced as
-//! [`ClientError::Remote`].
+//! A blocking client for the BP-NTT wire protocol — one request in
+//! flight per connection, typed errors surfaced as
+//! [`ClientError::Remote`], and an optional resilience layer
+//! ([`RetryPolicy`]) that turns the server's back-pressure hints into
+//! automatic capped-backoff retries, reconnects dropped sockets, and
+//! hedges slow submissions with a second connection.
 
 use crate::frame::{
     decode_poly_body, decode_response, encode_request, read_frame, write_frame, FrameError,
@@ -9,7 +12,9 @@ use crate::frame::{
 use std::error::Error;
 use std::fmt;
 use std::io::{self, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::mpsc;
+use std::thread;
 use std::time::Duration;
 
 /// Client-side failure.
@@ -74,26 +79,124 @@ impl From<RecvError> for ClientError {
     }
 }
 
+/// Automatic-resilience knobs for [`NetClient::submit_with_retry`] and
+/// [`NetClient::submit_hedged`].
+///
+/// The retry loop only re-sends on failures the server has declared
+/// transient — `Overloaded` and `RateLimited` (both carry a
+/// `retry_after_ms` hint) — plus socket-level drops when
+/// [`Self::reconnect`] is on. Everything else (invalid requests,
+/// integrity failures, unknown tenants) is a caller bug or a permanent
+/// condition and is returned on the first attempt.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total submission attempts, including the first; clamped to ≥ 1.
+    pub max_attempts: u32,
+    /// Backoff before the first retry when the server sent no hint (or
+    /// a smaller one); doubles per retry up to [`Self::max_backoff`].
+    pub base_backoff: Duration,
+    /// Cap on any single wait, including server `retry_after_ms` hints.
+    pub max_backoff: Duration,
+    /// Adds a deterministic 0–25 % jitter to each wait so a fleet of
+    /// shed clients does not resubmit in lockstep.
+    pub jitter: bool,
+    /// Reopen the socket (to the address captured at connect time) when
+    /// a round trip fails with an I/O error mid-flight.
+    pub reconnect: bool,
+    /// When set, [`NetClient::submit_hedged`] launches a second
+    /// connection after this long without a response and races the two;
+    /// when `None`, hedged submits degrade to [`NetClient::submit_with_retry`].
+    pub hedge_after: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(2),
+            jitter: true,
+            reconnect: true,
+            hedge_after: None,
+        }
+    }
+}
+
+/// Counters for what the resilience layer did on this client's behalf.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Submissions re-sent after a transient failure (shed, rate limit,
+    /// or reconnected socket).
+    pub retries: u64,
+    /// Sockets reopened after an I/O failure mid-round-trip.
+    pub reconnects: u64,
+    /// Hedge connections actually launched (the primary was still
+    /// silent past `hedge_after`).
+    pub hedges_launched: u64,
+    /// Hedged submissions where the *hedge* arm produced the winning
+    /// response.
+    pub hedges_won: u64,
+}
+
 /// One blocking protocol connection.
 pub struct NetClient {
     stream: TcpStream,
     limits: FrameLimits,
+    addr: SocketAddr,
+    policy: RetryPolicy,
+    stats: ClientStats,
+    read_timeout: Option<Duration>,
+    jitter_state: u64,
 }
 
 impl NetClient {
     /// Connects with default [`FrameLimits`] and no socket timeouts.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        Self::connect_with_policy(addr, RetryPolicy::default())
+    }
+
+    /// Connects with an explicit [`RetryPolicy`] for the resilient
+    /// submission paths.
+    pub fn connect_with_policy<A: ToSocketAddrs>(addr: A, policy: RetryPolicy) -> io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        let addr = stream.peer_addr()?;
         Ok(NetClient {
             stream,
             limits: FrameLimits::default(),
+            addr,
+            policy,
+            stats: ClientStats::default(),
+            read_timeout: None,
+            // Deterministic per-connection seed: the ephemeral local
+            // port differs between clients, which is all the jitter
+            // needs to decorrelate a fleet.
+            jitter_state: 0x9E37_79B9_7F4A_7C15 ^ u64::from(addr.port()),
         })
     }
 
+    /// Replaces the retry policy.
+    pub fn set_policy(&mut self, policy: RetryPolicy) {
+        self.policy = policy;
+    }
+
+    /// The active retry policy.
+    #[must_use]
+    pub fn policy(&self) -> RetryPolicy {
+        self.policy
+    }
+
+    /// What the resilience layer has done so far on this client.
+    #[must_use]
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
     /// Applies a read timeout to responses (useful in chaos tests so a
-    /// wedged server cannot wedge the client).
-    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+    /// wedged server cannot wedge the client). Remembered and re-applied
+    /// after a [`RetryPolicy::reconnect`].
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.read_timeout = timeout;
         self.stream.set_read_timeout(timeout)
     }
 
@@ -124,6 +227,157 @@ impl NetClient {
         Ok(decode_poly_body(&Self::expect_ok(resp)?)?)
     }
 
+    /// Submits with the [`RetryPolicy`]: transient server rejections
+    /// (`Overloaded`, `RateLimited`) are retried after
+    /// `max(retry_after_ms, backoff)` with capped exponential backoff
+    /// and optional jitter, and socket drops are healed by reconnecting
+    /// to the original address. Non-transient errors return immediately.
+    pub fn submit_with_retry(&mut self, sub: &SubmitRequest) -> Result<Vec<u64>, ClientError> {
+        let policy = self.policy;
+        let attempts = policy.max_attempts.max(1);
+        let mut backoff = policy.base_backoff;
+        for attempt in 1..=attempts {
+            let err = match self.submit(sub.clone()) {
+                Ok(poly) => return Ok(poly),
+                Err(e) => e,
+            };
+            if attempt == attempts {
+                return Err(err);
+            }
+            match &err {
+                ClientError::Remote {
+                    code: WireErrorCode::Overloaded | WireErrorCode::RateLimited,
+                    retry_after_ms,
+                    ..
+                } => {
+                    let hint = Duration::from_millis(u64::from(*retry_after_ms));
+                    let wait = hint.max(backoff).min(policy.max_backoff);
+                    thread::sleep(self.jittered(wait));
+                }
+                ClientError::Io(_) if policy.reconnect => {
+                    // The stream is mid-frame in an unknown state — a
+                    // fresh socket is the only way back to alignment.
+                    if self.reconnect().is_err() {
+                        thread::sleep(self.jittered(backoff));
+                        if self.reconnect().is_err() {
+                            return Err(err);
+                        }
+                    }
+                }
+                _ => return Err(err),
+            }
+            self.stats.retries += 1;
+            backoff = (backoff * 2).min(policy.max_backoff);
+        }
+        unreachable!("retry loop returns on the final attempt")
+    }
+
+    /// Submits with hedging: the request goes out on a fresh
+    /// connection, and if no response has arrived after
+    /// [`RetryPolicy::hedge_after`], a second connection races the
+    /// first — whichever answers `Ok` first wins (tail-latency
+    /// insurance against a slow or half-dead server thread). Each arm
+    /// applies the full retry policy independently. With `hedge_after`
+    /// unset this is plain [`Self::submit_with_retry`].
+    ///
+    /// The losing arm's connection is abandoned to finish (and be
+    /// dropped) in the background; the server sees that as a normal
+    /// client disconnect and cancels any still-queued duplicate.
+    pub fn submit_hedged(&mut self, sub: &SubmitRequest) -> Result<Vec<u64>, ClientError> {
+        let Some(delay) = self.policy.hedge_after else {
+            return self.submit_with_retry(sub);
+        };
+        let (tx, rx) = mpsc::channel();
+        let launch = |hedge: bool| {
+            let tx = tx.clone();
+            let addr = self.addr;
+            let policy = self.policy;
+            let read_timeout = self.read_timeout;
+            let sub = sub.clone();
+            thread::spawn(move || {
+                let res = Self::arm_submit(addr, policy, read_timeout, &sub);
+                let _ = tx.send((hedge, res));
+            });
+        };
+        launch(false);
+        let mut live = 1u32;
+        let first = match rx.recv_timeout(delay) {
+            Ok(outcome) => Some(outcome),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                return Err(ClientError::Io(io::Error::other("hedge arm panicked")))
+            }
+        };
+        // Hedge whenever the primary has not *succeeded* yet — a silent
+        // primary and a failed primary both warrant a second try.
+        let first = match first {
+            Some((_, Ok(poly))) => return Ok(poly),
+            other => {
+                launch(true);
+                self.stats.hedges_launched += 1;
+                live += 1;
+                other
+            }
+        };
+        let mut last_err = None;
+        if let Some((_, Err(e))) = first {
+            live -= 1;
+            last_err = Some(e);
+        }
+        while live > 0 {
+            match rx.recv() {
+                Ok((hedge, Ok(poly))) => {
+                    if hedge {
+                        self.stats.hedges_won += 1;
+                    }
+                    return Ok(poly);
+                }
+                Ok((_, Err(e))) => {
+                    live -= 1;
+                    last_err = Some(e);
+                }
+                Err(_) => break,
+            }
+        }
+        Err(last_err.unwrap_or_else(|| ClientError::Io(io::Error::other("hedge arms vanished"))))
+    }
+
+    /// One hedging arm: a fresh connection running the retry loop.
+    fn arm_submit(
+        addr: SocketAddr,
+        policy: RetryPolicy,
+        read_timeout: Option<Duration>,
+        sub: &SubmitRequest,
+    ) -> Result<Vec<u64>, ClientError> {
+        let mut arm = Self::connect_with_policy(addr, policy)?;
+        arm.set_read_timeout(read_timeout)?;
+        arm.submit_with_retry(sub)
+    }
+
+    /// Reopens the socket to the address captured at connect time and
+    /// re-applies the remembered read timeout.
+    pub fn reconnect(&mut self) -> io::Result<()> {
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(self.read_timeout)?;
+        self.stream = stream;
+        self.stats.reconnects += 1;
+        Ok(())
+    }
+
+    /// Deterministic 0–25 % additive jitter (xorshift over a
+    /// per-connection seed).
+    fn jittered(&mut self, wait: Duration) -> Duration {
+        if !self.policy.jitter {
+            return wait;
+        }
+        let s = &mut self.jitter_state;
+        *s ^= *s << 13;
+        *s ^= *s >> 7;
+        *s ^= *s << 17;
+        wait + wait.mul_f64((*s % 256) as f64 / 1024.0)
+    }
+
     /// Fetches the service metrics as JSON text.
     pub fn metrics_json(&mut self) -> Result<String, ClientError> {
         let body = Self::expect_ok(self.round_trip(&Request::MetricsJson)?)?;
@@ -151,5 +405,226 @@ impl NetClient {
     /// Reads one raw response frame (after [`Self::send_raw`]).
     pub fn recv_frame(&mut self) -> Result<Vec<u8>, ClientError> {
         Ok(read_frame(&mut self.stream, &self.limits)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{encode_poly_body, encode_response};
+    use bpntt_core::{ExecMode, PipelineSpec};
+    use std::net::TcpListener;
+    use std::time::Instant;
+
+    fn test_sub() -> SubmitRequest {
+        SubmitRequest {
+            tenant: None,
+            mode: ExecMode::Replay,
+            deadline_ms: 0,
+            spec: PipelineSpec::forward_ntt(),
+            inputs: vec![vec![1, 2, 3, 4]],
+        }
+    }
+
+    /// Reads and discards one request frame, then plays `resp` back.
+    fn serve_one(conn: &mut TcpStream, resp: &Response) {
+        read_frame(conn, &FrameLimits::default()).expect("read request");
+        write_frame(conn, &encode_response(resp)).expect("write response");
+    }
+
+    fn shed(code: WireErrorCode, retry_after_ms: u32) -> Response {
+        Response::Err {
+            code,
+            retry_after_ms,
+            message: "scripted shed".into(),
+        }
+    }
+
+    fn ok_poly(poly: &[u64]) -> Response {
+        Response::Ok(encode_poly_body(poly))
+    }
+
+    /// A scripted shedding server: sheds the first submissions with
+    /// `retry_after_ms` hints, then serves — the retry loop must honor
+    /// every hint (the total wait bounds it from below) and count each
+    /// resubmission.
+    #[test]
+    fn retry_honors_shed_hints_then_succeeds() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            serve_one(&mut conn, &shed(WireErrorCode::Overloaded, 40));
+            serve_one(&mut conn, &shed(WireErrorCode::RateLimited, 25));
+            serve_one(&mut conn, &ok_poly(&[9, 8, 7, 6]));
+        });
+        let mut client = NetClient::connect_with_policy(
+            addr,
+            RetryPolicy {
+                max_attempts: 4,
+                base_backoff: Duration::from_millis(1),
+                jitter: false,
+                ..RetryPolicy::default()
+            },
+        )
+        .unwrap();
+        let t0 = Instant::now();
+        let poly = client.submit_with_retry(&test_sub()).unwrap();
+        assert_eq!(poly, vec![9, 8, 7, 6]);
+        // Two hints of 40 ms and 25 ms were honored in full.
+        assert!(
+            t0.elapsed() >= Duration::from_millis(65),
+            "retry loop ignored the server's retry_after_ms hints ({:?})",
+            t0.elapsed()
+        );
+        assert_eq!(client.stats().retries, 2);
+        assert_eq!(client.stats().reconnects, 0);
+        server.join().unwrap();
+    }
+
+    /// Non-transient rejections must surface on the first attempt —
+    /// retrying a malformed submission would just shed it again.
+    #[test]
+    fn non_transient_errors_are_not_retried() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            serve_one(&mut conn, &shed(WireErrorCode::InvalidRequest, 0));
+        });
+        let mut client = NetClient::connect(addr).unwrap();
+        let err = client.submit_with_retry(&test_sub()).unwrap_err();
+        assert!(matches!(
+            err,
+            ClientError::Remote {
+                code: WireErrorCode::InvalidRequest,
+                ..
+            }
+        ));
+        assert_eq!(client.stats().retries, 0);
+        server.join().unwrap();
+    }
+
+    /// A server that drops the connection mid-request: the client must
+    /// reconnect to the remembered address and resubmit.
+    #[test]
+    fn reconnects_and_resubmits_after_connection_drop() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            // First connection: swallow the request, hang up.
+            let (mut conn, _) = listener.accept().unwrap();
+            read_frame(&mut conn, &FrameLimits::default()).expect("read request");
+            drop(conn);
+            // Second connection (the reconnect): serve properly.
+            let (mut conn, _) = listener.accept().unwrap();
+            serve_one(&mut conn, &ok_poly(&[5, 5, 5, 5]));
+        });
+        let mut client = NetClient::connect_with_policy(
+            addr,
+            RetryPolicy {
+                base_backoff: Duration::from_millis(1),
+                ..RetryPolicy::default()
+            },
+        )
+        .unwrap();
+        let poly = client.submit_with_retry(&test_sub()).unwrap();
+        assert_eq!(poly, vec![5, 5, 5, 5]);
+        assert_eq!(client.stats().reconnects, 1);
+        assert_eq!(client.stats().retries, 1);
+        server.join().unwrap();
+    }
+
+    /// With `reconnect` off, a dropped connection is a hard error.
+    #[test]
+    fn reconnect_can_be_disabled() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            read_frame(&mut conn, &FrameLimits::default()).expect("read request");
+            drop(conn);
+        });
+        let mut client = NetClient::connect_with_policy(
+            addr,
+            RetryPolicy {
+                reconnect: false,
+                ..RetryPolicy::default()
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            client.submit_with_retry(&test_sub()),
+            Err(ClientError::Io(_))
+        ));
+        assert_eq!(client.stats().reconnects, 0);
+        server.join().unwrap();
+    }
+
+    /// A wedged primary connection: the hedge arm fires after
+    /// `hedge_after`, wins the race, and the client returns long before
+    /// the stalled arm would have.
+    #[test]
+    fn hedge_beats_a_stalled_primary() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            // Connection 0: the client's own socket, unused by hedging.
+            let (_idle, _) = listener.accept().unwrap();
+            // Connection 1 (primary arm): stall, then answer late.
+            let (mut slow, _) = listener.accept().unwrap();
+            let slow_thread = std::thread::spawn(move || {
+                read_frame(&mut slow, &FrameLimits::default()).expect("read request");
+                std::thread::sleep(Duration::from_millis(600));
+                let _ = write_frame(&mut slow, &encode_response(&ok_poly(&[1, 1, 1, 1])));
+            });
+            // Connection 2 (hedge arm): answer immediately.
+            let (mut fast, _) = listener.accept().unwrap();
+            serve_one(&mut fast, &ok_poly(&[2, 2, 2, 2]));
+            slow_thread.join().unwrap();
+        });
+        let mut client = NetClient::connect_with_policy(
+            addr,
+            RetryPolicy {
+                hedge_after: Some(Duration::from_millis(40)),
+                ..RetryPolicy::default()
+            },
+        )
+        .unwrap();
+        let t0 = Instant::now();
+        let poly = client.submit_hedged(&test_sub()).unwrap();
+        assert_eq!(poly, vec![2, 2, 2, 2], "the hedge arm's answer wins");
+        assert!(
+            t0.elapsed() < Duration::from_millis(500),
+            "hedged submit waited for the stalled arm ({:?})",
+            t0.elapsed()
+        );
+        assert_eq!(client.stats().hedges_launched, 1);
+        assert_eq!(client.stats().hedges_won, 1);
+        server.join().unwrap();
+    }
+
+    /// A healthy fast primary: no hedge is ever launched.
+    #[test]
+    fn no_hedge_when_the_primary_is_prompt() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (_idle, _) = listener.accept().unwrap();
+            let (mut conn, _) = listener.accept().unwrap();
+            serve_one(&mut conn, &ok_poly(&[3, 3, 3, 3]));
+        });
+        let mut client = NetClient::connect_with_policy(
+            addr,
+            RetryPolicy {
+                hedge_after: Some(Duration::from_millis(400)),
+                ..RetryPolicy::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(client.submit_hedged(&test_sub()).unwrap(), vec![3, 3, 3, 3]);
+        assert_eq!(client.stats().hedges_launched, 0);
+        assert_eq!(client.stats().hedges_won, 0);
+        server.join().unwrap();
     }
 }

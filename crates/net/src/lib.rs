@@ -15,8 +15,10 @@
 //!   dispatcher), mid-request disconnect detection that cancels the
 //!   pending ticket, and a drain shutdown.
 //! * [`client`] — a small blocking client that surfaces the server's
-//!   typed errors (including `retry_after_ms` back-off hints from
-//!   admission control) and doubles as the chaos harness's raw socket.
+//!   typed errors, doubles as the chaos harness's raw socket, and
+//!   (via [`RetryPolicy`]) turns `retry_after_ms` back-off hints from
+//!   admission control into automatic capped-backoff retries,
+//!   reconnects dropped sockets, and hedges slow submissions.
 //!
 //! Fairness and admission control themselves live in
 //! [`bpntt_core::service`] (deficit-round-robin queue, token buckets,
@@ -57,7 +59,7 @@ pub mod client;
 pub mod frame;
 pub mod server;
 
-pub use client::{ClientError, NetClient};
+pub use client::{ClientError, ClientStats, NetClient, RetryPolicy};
 pub use frame::{
     decode_poly_body, decode_request, decode_response, encode_poly_body, encode_request,
     encode_response, read_frame, write_frame, FrameError, FrameLimits, RecvError, Request,

@@ -238,7 +238,7 @@ impl Controller {
             let v = row.bit(b);
             row.set_bit(b, !v);
         }
-        if state.has_persistent() {
+        if state.persistent_active(now) {
             state.stats.persistent_imposications += 1;
             // Clone the small fault lists so the array can be mutated
             // while the state stays borrowed-free.

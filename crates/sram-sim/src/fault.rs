@@ -78,6 +78,10 @@ pub struct FaultPlan {
     pub(crate) stuck: Vec<StuckCell>,
     pub(crate) dead_rows: Vec<usize>,
     pub(crate) hard_fault_at: Option<u64>,
+    /// Inclusive instruction-clock window outside which the plan is
+    /// inert (see [`FaultPlan::active_between`]).
+    pub(crate) active_lo: u64,
+    pub(crate) active_hi: u64,
 }
 
 impl FaultPlan {
@@ -92,6 +96,8 @@ impl FaultPlan {
             stuck: Vec::new(),
             dead_rows: Vec::new(),
             hard_fault_at: None,
+            active_lo: 0,
+            active_hi: u64::MAX,
         }
     }
 
@@ -145,6 +151,46 @@ impl FaultPlan {
     pub fn hard_fault_at(mut self, at_instr: u64) -> Self {
         self.hard_fault_at = Some(at_instr);
         self
+    }
+
+    /// Bounds the plan to the inclusive instruction-clock window
+    /// `[instr_lo, instr_hi]`: outside it no fault of any kind fires and
+    /// persistent (stuck-at / dead-row) state is *not* re-imposed — the
+    /// substrate behaves as if fully repaired. This is how tests and
+    /// chaos drills model a transient *burst* that should heal (and be
+    /// healed from, by the scrubber) rather than permanent damage.
+    ///
+    /// Addressed transients and hard faults whose trigger index falls
+    /// before `instr_lo` fire at the first boundary inside the window;
+    /// ones still pending when the clock passes `instr_hi` expire
+    /// silently.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `instr_lo > instr_hi`.
+    #[must_use]
+    pub fn active_between(mut self, instr_lo: u64, instr_hi: u64) -> Self {
+        assert!(
+            instr_lo <= instr_hi,
+            "fault window must be non-empty (lo {instr_lo} > hi {instr_hi})"
+        );
+        self.active_lo = instr_lo;
+        self.active_hi = instr_hi;
+        self
+    }
+
+    /// The inclusive instruction-clock window in which the plan is live
+    /// (`(0, u64::MAX)` unless [`FaultPlan::active_between`] bounded it).
+    #[must_use]
+    pub fn active_window(&self) -> (u64, u64) {
+        (self.active_lo, self.active_hi)
+    }
+
+    /// Whether the instruction clock `now` falls inside the active
+    /// window.
+    #[must_use]
+    pub fn window_contains(&self, now: u64) -> bool {
+        (self.active_lo..=self.active_hi).contains(&now)
     }
 
     /// Returns the same plan reseeded with `seed` — how a sharded engine
@@ -262,34 +308,50 @@ impl FaultState {
         cols: usize,
         out: &mut Vec<(usize, usize)>,
     ) -> bool {
+        let (lo, hi) = (self.plan.active_lo, self.plan.active_hi);
         while let Some(t) = self.plan.transients.get(self.cursor) {
-            if t.at_instr > now {
+            if t.at_instr > now || now < lo {
+                // Not yet due, or the window has not opened: an
+                // addressed fault before the window fires at the first
+                // boundary inside it.
                 break;
             }
-            out.push((t.row.min(rows - 1), t.bit.min(cols - 1)));
+            // Past `hi` the pending fault expires silently.
+            if now <= hi {
+                out.push((t.row.min(rows - 1), t.bit.min(cols - 1)));
+            }
             self.cursor += 1;
         }
         while self.next_rate_at <= now {
+            let at = self.next_rate_at;
             let r = (self.next_u64() % rows as u64) as usize;
             let b = (self.next_u64() % cols as u64) as usize;
-            out.push((r, b));
-            self.next_rate_at = self.draw_next_rate_at(self.next_rate_at);
+            // The draw sequence is window-independent (same seed, same
+            // trace → same draws); the window only gates delivery.
+            if (lo..=hi).contains(&at) {
+                out.push((r, b));
+            }
+            self.next_rate_at = self.draw_next_rate_at(at);
         }
         self.stats.transients += out.len() as u64;
         match self.plan.hard_fault_at {
-            Some(at) if at <= now => {
-                // Fire at most once even if the panic is caught.
+            Some(at) if at.max(lo) <= now => {
+                // Fire at most once even if the panic is caught; a hard
+                // fault still pending when the window closes expires.
                 self.plan.hard_fault_at = None;
-                true
+                now <= hi
             }
             _ => false,
         }
     }
 
     /// Whether the plan carries persistent (stuck-at / dead-row) state
-    /// that must be re-imposed each tick.
-    pub(crate) fn has_persistent(&self) -> bool {
-        !self.plan.stuck.is_empty() || !self.plan.dead_rows.is_empty()
+    /// that must be re-imposed at instruction clock `now` — false
+    /// outside the plan's active window, which is how a windowed plan
+    /// models damage that heals.
+    pub(crate) fn persistent_active(&self, now: u64) -> bool {
+        (!self.plan.stuck.is_empty() || !self.plan.dead_rows.is_empty())
+            && self.plan.window_contains(now)
     }
 }
 
@@ -359,6 +421,66 @@ mod tests {
         // Roughly rate × horizon (loose 3× band: it is one random draw).
         assert!((hi / 1000.0) > 0.33 && (hi / 1000.0) < 3.0, "hi = {hi}");
         assert!(count(9, 0.0, 1_000_000).is_empty());
+    }
+
+    #[test]
+    fn window_gates_every_fault_class() {
+        // Rate draws outside [lo, hi] are suppressed; inside they fire.
+        let mut st = FaultState::new(
+            FaultPlan::seeded(9)
+                .transient_rate(0.5)
+                .active_between(100, 200),
+        );
+        let mut out = Vec::new();
+        st.collect_due(99, 8, 8, &mut out);
+        assert!(out.is_empty(), "no rate draws before the window opens");
+        st.collect_due(200, 8, 8, &mut out);
+        assert!(!out.is_empty(), "the window admits the burst");
+        out.clear();
+        st.collect_due(10_000, 8, 8, &mut out);
+        assert!(out.is_empty(), "the burst heals after the window closes");
+
+        // An addressed transient before the window fires at the first
+        // boundary inside it; one pending past the window expires.
+        let mut st = FaultState::new(
+            FaultPlan::seeded(9)
+                .transient_at(50, 1, 1)
+                .transient_at(150, 2, 2)
+                .active_between(100, 120),
+        );
+        let mut out = Vec::new();
+        st.collect_due(60, 8, 8, &mut out);
+        assert!(out.is_empty());
+        st.collect_due(110, 8, 8, &mut out);
+        assert_eq!(out, vec![(1, 1)]);
+        out.clear();
+        st.collect_due(500, 8, 8, &mut out);
+        assert!(out.is_empty(), "transient due past the window expires");
+
+        // Persistent state is only re-imposed inside the window.
+        let st = FaultState::new(
+            FaultPlan::seeded(9)
+                .stuck_at(0, 0, true)
+                .active_between(10, 20),
+        );
+        assert!(!st.persistent_active(9));
+        assert!(st.persistent_active(10));
+        assert!(st.persistent_active(20));
+        assert!(!st.persistent_active(21));
+
+        // Hard faults: deferred into the window, expired past it.
+        let mut st = FaultState::new(FaultPlan::seeded(9).hard_fault_at(5).active_between(10, 20));
+        let mut out = Vec::new();
+        assert!(!st.collect_due(9, 8, 8, &mut out));
+        assert!(st.collect_due(10, 8, 8, &mut out));
+        let mut st = FaultState::new(FaultPlan::seeded(9).hard_fault_at(5).active_between(1, 3));
+        assert!(!st.collect_due(50, 8, 8, &mut out), "expired hard fault");
+    }
+
+    #[test]
+    #[should_panic(expected = "fault window")]
+    fn rejects_inverted_window() {
+        let _ = FaultPlan::seeded(1).active_between(10, 5);
     }
 
     #[test]

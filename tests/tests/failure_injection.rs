@@ -308,7 +308,7 @@ fn fault_drill_persistent_fault_quarantines_then_recovers() {
         // Heal: remove the plan, readmit the shards, run clean.
         let stats = eng.clear_fault_plans();
         assert!(stats.persistent_imposications > 0, "dead row never imposed");
-        eng.lift_quarantine();
+        eng.lift_all_quarantines();
         let out = eng
             .run_pipeline_batch(&PipelineSpec::forward_ntt(), mode, &[&polys])
             .unwrap();

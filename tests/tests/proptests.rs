@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 
-use bpntt_core::{Kernels, Layout};
+use bpntt_core::{BpNttConfig, HealthOptions, Kernels, Layout, ShardedBpNtt};
 use bpntt_modmath::bitparallel::{bp_modmul_full, bp_modmul_reduced};
 use bpntt_modmath::bits::{bit_reverse, low_mask};
 use bpntt_modmath::carrysave::CsPair;
@@ -217,5 +217,75 @@ proptest! {
         prop_assert_eq!(add_mod(sub_mod(a, b, q), b, q), a);
         prop_assert_eq!(reduce_once(add_mod(a, b, q), q), add_mod(a, b, q));
         prop_assert_eq!(mul_mod(a, b, q), mul_mod(b, a, q));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Scrubber probes are invisible to tenants: interleaving scrub
+    /// passes with batches changes no tenant-visible result (probes run
+    /// on probe-owned operand slots), and probes replay the warmed
+    /// program cache — they never recompile or replace cached program
+    /// objects.
+    #[test]
+    fn scrub_probes_are_tenant_invisible(
+        seed in any::<u64>(),
+        shards in 1usize..=3,
+        scrubs in 1usize..=3,
+    ) {
+        let cfg = BpNttConfig::new(32, 32, 8, NttParams::new(8, 97).unwrap()).unwrap();
+        let mut x = seed | 1;
+        let batch: Vec<Vec<u64>> = (0..6)
+            .map(|_| {
+                (0..8)
+                    .map(|_| {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        x % 97
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut control = ShardedBpNtt::new(&cfg, shards).unwrap();
+        let mut scrubbed = ShardedBpNtt::new(&cfg, shards).unwrap();
+        scrubbed.set_health_options(HealthOptions::aggressive());
+        if shards > 1 {
+            // Bench one shard so the scrubber exercises the quarantine
+            // probe path; single-shard engines are patrol-probed.
+            scrubbed.quarantine(shards - 1);
+        }
+
+        let mut probes_run = 0u64;
+        let mut warm = None;
+        for round in 0..3 {
+            for _ in 0..scrubs {
+                // The aggressive probe/patrol intervals are 1 ms / 5 ms
+                // of wall clock; give each pass a chance to come due.
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                probes_run += scrubbed.scrub_pass().probes_run;
+            }
+            let expect = control.forward_batch(&batch).unwrap();
+            let got = scrubbed.forward_batch(&batch).unwrap();
+            prop_assert_eq!(
+                &got, &expect,
+                "round {}: scrub probes leaked into tenant-visible results", round
+            );
+            if round == 0 {
+                warm = Some((scrubbed.cached_programs(), scrubbed.program_identities(0)));
+            }
+        }
+        prop_assert!(probes_run >= 1, "vacuous run: no probe ever came due");
+        let (warm_count, warm_ids) = warm.unwrap();
+        prop_assert_eq!(
+            scrubbed.cached_programs(), warm_count,
+            "scrub probes changed the number of cached programs"
+        );
+        prop_assert_eq!(
+            scrubbed.program_identities(0), warm_ids,
+            "scrub probes replaced cached program objects"
+        );
     }
 }
