@@ -2,6 +2,7 @@
 
 use bpntt_modmath::ModMathError;
 use bpntt_ntt::NttError;
+use bpntt_rns::RnsError;
 use bpntt_sram::SramError;
 use std::error::Error;
 use std::fmt;
@@ -142,6 +143,8 @@ pub enum BpNttError {
         /// How far past the deadline the request was picked up.
         late_ms: u64,
     },
+    /// Underlying RNS basis / residue failure.
+    Rns(RnsError),
     /// Underlying NTT parameter failure.
     Ntt(NttError),
     /// Underlying modular-arithmetic failure.
@@ -249,6 +252,7 @@ impl fmt::Display for BpNttError {
             BpNttError::DeadlineExpired { late_ms } => {
                 write!(f, "request deadline expired {late_ms} ms before dispatch")
             }
+            BpNttError::Rns(e) => write!(f, "rns error: {e}"),
             BpNttError::Ntt(e) => write!(f, "ntt parameter error: {e}"),
             BpNttError::Math(e) => write!(f, "modular arithmetic error: {e}"),
             BpNttError::Sram(e) => write!(f, "sram simulator error: {e}"),
@@ -259,11 +263,18 @@ impl fmt::Display for BpNttError {
 impl Error for BpNttError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
+            BpNttError::Rns(e) => Some(e),
             BpNttError::Ntt(e) => Some(e),
             BpNttError::Math(e) => Some(e),
             BpNttError::Sram(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<RnsError> for BpNttError {
+    fn from(e: RnsError) -> Self {
+        BpNttError::Rns(e)
     }
 }
 

@@ -51,6 +51,7 @@ pub mod kernels;
 pub mod layout;
 pub mod metrics;
 pub mod pipeline;
+pub mod rns;
 pub mod service;
 pub mod sharded;
 pub mod verify;
@@ -66,10 +67,18 @@ pub use kernels::Kernels;
 pub use layout::{Layout, RowMap};
 pub use metrics::{PerfReport, ServiceMetrics, TenantMetrics};
 pub use pipeline::{CompiledPipeline, ExecMode, PipeOp, PipelineSpec};
-pub use service::{NttService, PipelineRequest, RateLimit, ServiceOptions, TenantId, Ticket};
+pub use rns::{RnsContext, RnsPlanCache, RnsWaveReport};
+pub use service::{
+    NttService, PipelineRequest, RateLimit, RnsHandle, RnsRequest, RnsResult, RnsTicket,
+    ServiceOptions, TenantId, Ticket,
+};
 pub use sharded::{RecoveryOptions, RecoveryReport, ScrubReport, ShardedBpNtt};
 pub use verify::{Verifier, VerifyPolicy};
 
 // The fault-injection surface of the SRAM layer, re-exported so chaos
 // drills and the service's chaos knob need only this crate.
 pub use bpntt_sram::{FaultPlan, FaultStats};
+
+// The RNS vocabulary types, re-exported so `submit_rns` callers need
+// only this crate.
+pub use bpntt_rns::{BigUint, RnsBasis, RnsError};

@@ -247,6 +247,18 @@ pub struct ServiceMetrics {
     /// Requests dropped before execution because their ticket was
     /// cancelled (e.g. a disconnected network client).
     pub cancelled: u64,
+    /// Big-modulus requests accepted through
+    /// [`submit_rns`](crate::NttService::submit_rns) (one per group,
+    /// however many limbs it decomposed into).
+    pub rns_requests: u64,
+    /// Limb sub-requests those RNS groups expanded to.
+    pub rns_limbs: u64,
+    /// Concurrent RNS fan-out rounds the dispatcher executed (each round
+    /// runs several limb engines in one wall-clock window).
+    pub rns_fanout_waves: u64,
+    /// Mean occupancy of those rounds: busy lanes across every engine of
+    /// the round over the round's total lane capacity.
+    pub rns_fanout_occupancy: f64,
     /// Known-answer probes the scrubber executed against benched shards,
     /// summed across tenant engines.
     pub probes_run: u64,
@@ -334,6 +346,12 @@ impl ServiceMetrics {
             s,
             "\"rate_limited\": {}, \"cancelled\": {}, ",
             self.rate_limited, self.cancelled
+        );
+        let _ = write!(
+            s,
+            "\"rns_requests\": {}, \"rns_limbs\": {}, \"rns_fanout_waves\": {}, \
+             \"rns_fanout_occupancy\": {:.4}, ",
+            self.rns_requests, self.rns_limbs, self.rns_fanout_waves, self.rns_fanout_occupancy
         );
         let _ = write!(
             s,
@@ -519,6 +537,26 @@ impl ServiceMetrics {
             self.verify_ms,
         );
         gauge(
+            "rns_requests_total",
+            "Big-modulus requests accepted through submit_rns",
+            self.rns_requests as f64,
+        );
+        gauge(
+            "rns_limbs_total",
+            "Limb sub-requests RNS groups expanded to",
+            self.rns_limbs as f64,
+        );
+        gauge(
+            "rns_fanout_waves_total",
+            "Concurrent RNS fan-out rounds executed",
+            self.rns_fanout_waves as f64,
+        );
+        gauge(
+            "rns_fanout_occupancy",
+            "Mean lane occupancy of RNS fan-out rounds",
+            self.rns_fanout_occupancy,
+        );
+        gauge(
             "health_probes_total",
             "Known-answer probes run by the scrubber",
             self.probes_run as f64,
@@ -680,6 +718,10 @@ mod tests {
             verify_ms: 1.25,
             rate_limited: 2,
             cancelled: 1,
+            rns_requests: 4,
+            rns_limbs: 12,
+            rns_fanout_waves: 4,
+            rns_fanout_occupancy: 0.5,
             probes_run: 12,
             probes_passed: 10,
             reintegrations: 2,
@@ -730,6 +772,10 @@ mod tests {
             "\"verify_ms\": 1.2500",
             "\"rate_limited\": 2",
             "\"cancelled\": 1",
+            "\"rns_requests\": 4",
+            "\"rns_limbs\": 12",
+            "\"rns_fanout_waves\": 4",
+            "\"rns_fanout_occupancy\": 0.5000",
             "\"health\": {\"probes_run\": 12, \"probes_passed\": 10",
             "\"reintegrations\": 2",
             "\"canary_demotions\": 1",
@@ -779,6 +825,10 @@ mod tests {
             verify_ms: 3.5,
             rate_limited: 3,
             cancelled: 2,
+            rns_requests: 5,
+            rns_limbs: 15,
+            rns_fanout_waves: 5,
+            rns_fanout_occupancy: 0.6,
             probes_run: 20,
             probes_passed: 18,
             reintegrations: 3,
@@ -843,6 +893,9 @@ mod tests {
             ("failed", "bpntt_failed_total"),
             ("cancelled", "bpntt_cancelled_total"),
             ("waves", "bpntt_waves_total"),
+            ("rns_requests", "bpntt_rns_requests_total"),
+            ("rns_limbs", "bpntt_rns_limbs_total"),
+            ("rns_fanout_waves", "bpntt_rns_fanout_waves_total"),
             ("faults_detected", "bpntt_faults_detected_total"),
             ("deadline_expired", "bpntt_deadline_expired_total"),
             ("probes_run", "bpntt_health_probes_total"),

@@ -78,7 +78,7 @@
 //! # Ok::<(), bpntt_core::BpNttError>(())
 //! ```
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -94,6 +94,7 @@ use crate::metrics::{percentile, ServiceMetrics, TenantMetrics};
 use crate::pipeline::{CompiledPipeline, ExecMode, PipelineSpec};
 use crate::sharded::{RecoveryOptions, ShardedBpNtt};
 use crate::verify::VerifyPolicy;
+use bpntt_rns::{BigUint, RnsBasis};
 use bpntt_sram::{CompiledProgram, FaultPlan};
 
 /// How many recent per-shard wall-clock samples the percentile window
@@ -526,6 +527,145 @@ impl PipelineRequest {
     }
 }
 
+/// A registered RNS tenant group ([`NttService::add_rns_tenant`]): one
+/// limb tenant per residue prime of the basis, all sharing one array
+/// geometry. Cheap to clone (the basis is shared behind an [`Arc`]).
+#[derive(Debug, Clone)]
+pub struct RnsHandle {
+    basis: Arc<RnsBasis>,
+    limbs: Vec<TenantId>,
+}
+
+impl RnsHandle {
+    /// The residue basis this group decomposes against.
+    #[must_use]
+    pub fn basis(&self) -> &Arc<RnsBasis> {
+        &self.basis
+    }
+
+    /// The per-limb tenant ids, in basis prime order. Useful for
+    /// steering per-limb chaos (fault plans) or reading per-tenant
+    /// metric slices.
+    #[must_use]
+    pub fn limb_tenants(&self) -> &[TenantId] {
+        &self.limbs
+    }
+
+    /// Number of residue limbs (tenants) in the group.
+    #[must_use]
+    pub fn limbs(&self) -> usize {
+        self.limbs.len()
+    }
+}
+
+/// One big-modulus pipeline request ([`NttService::submit_rns`]): the
+/// op-graph runs once per residue limb over the limb decomposition of
+/// the big-integer inputs, and the limb outputs CRT-reconstruct into
+/// coefficients mod `Q`.
+#[derive(Debug, Clone)]
+pub struct RnsRequest {
+    /// The op-graph to execute on every limb. Must declare an output
+    /// slot and at least one input slot, like any service pipeline.
+    pub spec: PipelineSpec,
+    /// Execution mode (defaults to [`ExecMode::Replay`]).
+    pub mode: ExecMode,
+    /// One big-integer polynomial per input slot, each of the basis
+    /// degree `n` with coefficients reduced mod `Q`.
+    pub inputs: Vec<Vec<BigUint>>,
+    /// Per-request deadline, as [`PipelineRequest::deadline`]. Applies
+    /// to every limb of the group.
+    pub deadline: Option<Duration>,
+}
+
+impl RnsRequest {
+    /// A replay-mode request.
+    #[must_use]
+    pub fn new(spec: PipelineSpec, inputs: Vec<Vec<BigUint>>) -> Self {
+        RnsRequest {
+            spec,
+            mode: ExecMode::Replay,
+            inputs,
+            deadline: None,
+        }
+    }
+
+    /// A negacyclic polynomial multiplication `a ⊛ b mod (x^n + 1, Q)`
+    /// — the canned [`PipelineSpec::polymul`] per limb.
+    #[must_use]
+    pub fn polymul(a: Vec<BigUint>, b: Vec<BigUint>) -> Self {
+        Self::new(PipelineSpec::polymul(), vec![a, b])
+    }
+
+    /// Overrides the execution mode.
+    #[must_use]
+    pub fn with_mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Bounds how long the limb group may wait in the queue.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// A claim on an in-flight RNS limb group: one [`Ticket`] per limb plus
+/// the basis to CRT-reconstruct the limb outputs.
+#[derive(Debug)]
+pub struct RnsTicket {
+    tickets: Vec<Ticket>,
+    basis: Arc<RnsBasis>,
+}
+
+impl RnsTicket {
+    /// Number of limb tickets in the group.
+    #[must_use]
+    pub fn limbs(&self) -> usize {
+        self.tickets.len()
+    }
+
+    /// Cancels every limb of the group (best-effort, as
+    /// [`Ticket::cancel`]).
+    pub fn cancel(&self) {
+        for t in &self.tickets {
+            t.cancel();
+        }
+    }
+
+    /// Blocks until every limb resolves, then CRT-reconstructs the
+    /// big-integer result.
+    ///
+    /// # Errors
+    ///
+    /// The first limb failure (in limb order) — a limb that fails
+    /// recovery fails its ticket exactly as a single-prime request
+    /// would — or an [`BpNttError::Rns`] reconstruction defect.
+    pub fn wait(self) -> Result<RnsResult, BpNttError> {
+        let mut limbs = Vec::with_capacity(self.tickets.len());
+        for t in self.tickets {
+            limbs.push(t.wait()?);
+        }
+        let coefficients = self.basis.reconstruct_poly(&limbs)?;
+        Ok(RnsResult {
+            limbs,
+            coefficients,
+        })
+    }
+}
+
+/// A completed RNS request: the raw per-limb residue outputs and their
+/// CRT reconstruction mod `Q`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RnsResult {
+    /// Limb-major residue outputs: `limbs[i][k]` is output coefficient
+    /// `k` mod `q_i`, in basis prime order.
+    pub limbs: Vec<Vec<u64>>,
+    /// The reconstructed output polynomial, coefficients in `0..Q`.
+    pub coefficients: Vec<BigUint>,
+}
+
 /// One queued (validated) request. Control requests (tenant
 /// registration) travel on a separate lane so data-plane coalescing
 /// never delays them.
@@ -541,6 +681,10 @@ struct Request {
     /// Deficit-round-robin cost: operand payload bytes (8 per
     /// coefficient, floored so even tiny requests spend deficit).
     cost: u64,
+    /// Part of an RNS limb group ([`NttService::submit_rns`]): the
+    /// dispatcher fans the wave's RNS groups out concurrently (one
+    /// engine per limb tenant) instead of running them back to back.
+    rns: bool,
 }
 
 enum Control {
@@ -790,6 +934,16 @@ struct MetricsState {
     /// EWMA of the dispatcher's recent drain rate (requests per second),
     /// the basis of the `retry_after_ms` back-off hints.
     drain_rate: f64,
+    /// Big-modulus requests accepted through `submit_rns` (one per
+    /// group, however many limbs it decomposed into).
+    rns_requests: u64,
+    /// Limb sub-requests those RNS groups expanded to.
+    rns_limbs: u64,
+    /// Concurrent RNS fan-out rounds the dispatcher executed.
+    rns_fanout_waves: u64,
+    /// Occupancy accumulator over those rounds: busy lanes across every
+    /// engine of the round / the round's total lane capacity.
+    rns_fanout_occupancy_sum: f64,
     per_tenant: HashMap<u32, TenantCounters>,
 }
 
@@ -1160,8 +1314,152 @@ impl NttService {
             reply,
             deadline,
             cost,
+            rns: false,
         })?;
         Ok(ticket)
+    }
+
+    /// Registers an RNS tenant group on the service's default backend:
+    /// one limb tenant per residue prime of `basis`, all with the same
+    /// array geometry (`rows × cols`, `bitwidth`-bit words). Limb
+    /// tenants share compiled artifacts through the ordinary
+    /// cross-tenant cache when their `(backend, params, layout)` keys
+    /// collide (e.g. two RNS groups over the same basis).
+    ///
+    /// # Errors
+    ///
+    /// Per-limb configuration failures ([`BpNttError::NoHeadroom`] when
+    /// a basis prime does not fit `bitwidth`-bit words,
+    /// [`BpNttError::CapacityExceeded`], ...), plus everything
+    /// [`Self::add_tenant`] can return.
+    pub fn add_rns_tenant(
+        &self,
+        rows: usize,
+        cols: usize,
+        bitwidth: usize,
+        basis: &Arc<RnsBasis>,
+    ) -> Result<RnsHandle, BpNttError> {
+        self.add_rns_tenant_with_backend(rows, cols, bitwidth, basis, self.shared.backend)
+    }
+
+    /// Registers an RNS tenant group on an explicit execution backend —
+    /// see [`Self::add_rns_tenant`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::add_rns_tenant`].
+    pub fn add_rns_tenant_with_backend(
+        &self,
+        rows: usize,
+        cols: usize,
+        bitwidth: usize,
+        basis: &Arc<RnsBasis>,
+        backend: BackendKind,
+    ) -> Result<RnsHandle, BpNttError> {
+        let mut limbs = Vec::with_capacity(basis.limbs());
+        for params in basis.params() {
+            let config = BpNttConfig::new(rows, cols, bitwidth, params.clone())?;
+            limbs.push(self.add_tenant_with_backend(&config, backend)?);
+        }
+        Ok(RnsHandle {
+            basis: Arc::clone(basis),
+            limbs,
+        })
+    }
+
+    /// Submits one big-modulus pipeline execution over an RNS tenant
+    /// group. The big-integer inputs decompose into one residue
+    /// polynomial per limb at submit time (validating degree and
+    /// reduction mod `Q`); the limb requests enqueue **atomically** as
+    /// one wave-coherent group, so the dispatcher picks them up in the
+    /// same wave and fans them out concurrently across the limb
+    /// tenants' engines. The returned [`RnsTicket`] resolves to the
+    /// per-limb outputs plus their CRT reconstruction.
+    ///
+    /// Fault tolerance is per limb: a corrupted limb walks the ordinary
+    /// detect → retry → quarantine → degrade ladder on its own engine
+    /// and heals (or fails) before reconstruction ever sees it.
+    ///
+    /// # Errors
+    ///
+    /// [`BpNttError::InvalidPipeline`] (graph defects, missing output,
+    /// input-count mismatch), [`BpNttError::Rns`] (wrong degree /
+    /// unreduced coefficients), [`BpNttError::UnknownTenant`] for a
+    /// stale handle, [`BpNttError::Overloaded`] /
+    /// [`BpNttError::RateLimited`] under backpressure (the whole group
+    /// is admitted or shed — never a partial limb set), and
+    /// [`BpNttError::ServiceShutdown`] after shutdown.
+    pub fn submit_rns(&self, handle: &RnsHandle, req: RnsRequest) -> Result<RnsTicket, BpNttError> {
+        let RnsRequest {
+            spec,
+            mode,
+            inputs,
+            deadline,
+        } = req;
+        let basis = &handle.basis;
+        if spec.output_slot().is_none() {
+            return Err(BpNttError::InvalidPipeline {
+                reason: "service pipelines must declare an output slot".into(),
+            });
+        }
+        if spec.input_slots().is_empty() {
+            return Err(BpNttError::InvalidPipeline {
+                reason: "service pipelines must declare at least one input slot".into(),
+            });
+        }
+        if inputs.len() != spec.input_slots().len() {
+            return Err(BpNttError::InvalidPipeline {
+                reason: format!(
+                    "spec declares {} input slot(s) but {} polynomial(s) were supplied",
+                    spec.input_slots().len(),
+                    inputs.len()
+                ),
+            });
+        }
+        // The spec must hold under every limb modulus (scale factors
+        // etc. are checked against each q_i) and the shared layout.
+        for &tenant in &handle.limbs {
+            let info = self.tenant_info(tenant)?;
+            spec.check(&info.layout, info.q)?;
+        }
+        // Decompose slot-by-slot into limb-major residues; this is also
+        // where degree and mod-Q reduction are enforced.
+        let mut limb_inputs: Vec<Vec<Vec<u64>>> =
+            vec![Vec::with_capacity(inputs.len()); handle.limbs.len()];
+        for poly in &inputs {
+            for (limb, residues) in basis.decompose_poly(poly)?.into_iter().enumerate() {
+                limb_inputs[limb].push(residues);
+            }
+        }
+        let deadline = deadline
+            .or(self.shared.default_deadline)
+            .map(|d| Instant::now() + d);
+        let mut tickets = Vec::with_capacity(handle.limbs.len());
+        let mut requests = Vec::with_capacity(handle.limbs.len());
+        for (&tenant, inputs) in handle.limbs.iter().zip(limb_inputs) {
+            let (ticket, reply) = Ticket::channel(deadline);
+            let cost = inputs
+                .iter()
+                .map(|p| p.len() as u64 * 8)
+                .sum::<u64>()
+                .max(64);
+            requests.push(Request {
+                tenant,
+                spec: spec.clone(),
+                mode,
+                inputs,
+                reply,
+                deadline,
+                cost,
+                rns: true,
+            });
+            tickets.push(ticket);
+        }
+        self.enqueue_rns_group(requests)?;
+        Ok(RnsTicket {
+            tickets,
+            basis: Arc::clone(basis),
+        })
     }
 
     /// Snapshots the service counters.
@@ -1237,6 +1535,14 @@ impl NttService {
             verify_ms: m.verify_secs * 1e3,
             rate_limited: m.rate_limited,
             cancelled: m.cancelled,
+            rns_requests: m.rns_requests,
+            rns_limbs: m.rns_limbs,
+            rns_fanout_waves: m.rns_fanout_waves,
+            rns_fanout_occupancy: if m.rns_fanout_waves == 0 {
+                0.0
+            } else {
+                m.rns_fanout_occupancy_sum / m.rns_fanout_waves as f64
+            },
             probes_run: m.health.probes_run,
             probes_passed: m.health.probes_passed,
             reintegrations: m.health.reintegrations,
@@ -1414,6 +1720,83 @@ impl NttService {
         self.shared.cv.notify_all();
         Ok(())
     }
+
+    /// Enqueues an RNS limb group atomically: every limb request is
+    /// admitted or the whole group is shed — a partially-admitted group
+    /// would leave the client's [`RnsTicket`] waiting on limbs that
+    /// never ran. The group spends **one** rate-limit token (on the
+    /// lead limb's bucket): an RNS submission is one logical request,
+    /// however many limbs it fans into.
+    fn enqueue_rns_group(&self, reqs: Vec<Request>) -> Result<(), BpNttError> {
+        let limbs = reqs.len();
+        let lead = reqs[0].tenant;
+        if let Some(limit) = self.shared.rate_limit {
+            let now = Instant::now();
+            let verdict = {
+                let mut buckets = self.shared.buckets.lock().expect("rate buckets poisoned");
+                buckets
+                    .entry(lead)
+                    .or_insert_with(|| TokenBucket {
+                        tokens: limit.burst.max(1.0),
+                        last: now,
+                    })
+                    .admit(limit, now)
+            };
+            if let Err(retry_after_ms) = verdict {
+                let mut m = self.shared.metrics.lock().expect("metrics poisoned");
+                m.rejected += 1;
+                m.rate_limited += 1;
+                m.tenant(lead).shed += 1;
+                return Err(BpNttError::RateLimited {
+                    tenant: lead.0,
+                    retry_after_ms,
+                });
+            }
+        }
+        let registered = self.shared.tenants.lock().expect("tenants poisoned").len();
+        {
+            let mut st = self.shared.state.lock().expect("service state poisoned");
+            if st.shutdown {
+                return Err(BpNttError::ServiceShutdown);
+            }
+            let shed_at = ((self.shared.shed_threshold * self.shared.max_queue as f64).floor()
+                as usize)
+                .min(self.shared.max_queue);
+            let fair_share = (shed_at / registered.max(1)).max(1);
+            let depth = st.queue.len();
+            if depth + limbs > self.shared.max_queue
+                || (depth >= shed_at && st.queue.depth_of(lead) >= fair_share)
+            {
+                drop(st);
+                let mut m = self.shared.metrics.lock().expect("metrics poisoned");
+                let retry_after_ms = retry_hint(m.drain_rate, depth);
+                m.rejected += 1;
+                m.tenant(lead).shed += 1;
+                return Err(BpNttError::Overloaded {
+                    depth,
+                    capacity: self.shared.max_queue,
+                    retry_after_ms,
+                });
+            }
+            let costs: Vec<(TenantId, u64)> = reqs.iter().map(|r| (r.tenant, r.cost)).collect();
+            for req in reqs {
+                st.queue.push(req);
+            }
+            let depth = st.queue.len();
+            let mut m = self.shared.metrics.lock().expect("metrics poisoned");
+            m.submitted += limbs as u64;
+            m.rns_requests += 1;
+            m.rns_limbs += limbs as u64;
+            m.peak_queue_depth = m.peak_queue_depth.max(depth);
+            for (tenant, cost) in costs {
+                let tc = m.tenant(tenant);
+                tc.submitted += 1;
+                tc.bytes += cost;
+            }
+        }
+        self.shared.cv.notify_all();
+        Ok(())
+    }
 }
 
 impl Drop for NttService {
@@ -1466,6 +1849,9 @@ struct WaveGroup {
     mode: ExecMode,
     slots: Vec<Vec<Vec<u64>>>,
     replies: Vec<TicketSender>,
+    /// Any member request was an RNS limb: the group joins the wave's
+    /// concurrent RNS fan-out rounds instead of the serial pass.
+    rns: bool,
 }
 
 /// Both cross-tenant caches: programs keyed by `(params, layout)` and
@@ -1964,6 +2350,7 @@ fn execute_wave(
             reply,
             deadline,
             cost: _,
+            rns,
         } = req;
         if let Some(d) = deadline {
             // Expired in the queue: fail typed before the request costs
@@ -2003,147 +2390,238 @@ fn execute_wave(
                     spec,
                     mode,
                     replies: Vec::new(),
+                    rns: false,
                 });
                 groups.len() - 1
             });
         let g = &mut groups[slot];
+        g.rns |= rns;
         debug_assert_eq!(inputs.len(), g.slots.len(), "validated at submission");
         for (slot_batch, poly) in g.slots.iter_mut().zip(inputs) {
             slot_batch.push(poly);
         }
         g.replies.push(reply);
     }
-    for group in groups {
+    // Partition: plain groups run back to back (the historical serial
+    // pass); RNS limb groups fan out concurrently in rounds of distinct
+    // tenants — the limbs of one big-modulus request live on independent
+    // engines, so they can share the wall-clock window instead of
+    // queueing behind each other.
+    let (rns_groups, serial): (Vec<WaveGroup>, Vec<WaveGroup>) =
+        groups.into_iter().partition(|g| g.rns);
+    for group in serial {
         let Some(te) = engines.get_mut(&group.tenant) else {
-            // Unreachable in practice: submission validates tenants. Still
-            // counted as failures so submitted == completed + failed holds.
-            {
-                let mut m = shared.metrics.lock().expect("metrics poisoned");
-                m.failed += group.replies.len() as u64;
-            }
-            for reply in group.replies {
-                reply.send(Err(BpNttError::UnknownTenant {
-                    tenant: group.tenant.0,
-                }));
-            }
+            fail_unknown_tenant(shared, group);
             continue;
         };
-        // Resolve the pipeline through the cross-tenant cache before the
-        // timed engine call: a spec another tenant of this configuration
-        // already compiled imports in O(segments); a genuinely novel
-        // spec compiles once here and is published for everyone.
-        if !te.engine.has_pipeline(&group.spec) {
-            let cached = cache
-                .pipelines
-                .get(&te.key)
-                .and_then(|by_spec| by_spec.get(&group.spec))
-                .cloned();
-            if let Some(pipe) = cached {
-                te.engine.import_pipeline(&pipe);
-                let mut m = shared.metrics.lock().expect("metrics poisoned");
-                m.pipeline_cache_hits += 1;
+        match resolve_pipeline(shared, te, cache, &group.spec) {
+            Ok(()) => run_group(shared, &mut te.engine, group),
+            Err(e) => fail_group(shared, group, &e),
+        }
+    }
+    // RNS fan-out: resolve every group's pipeline first (the cache needs
+    // exclusive access), then execute rounds of groups with pairwise
+    // distinct tenants — scoped threads over disjoint engines. Two
+    // groups on the same limb tenant land in different rounds.
+    let mut ready: Vec<WaveGroup> = Vec::new();
+    for group in rns_groups {
+        let Some(te) = engines.get_mut(&group.tenant) else {
+            fail_unknown_tenant(shared, group);
+            continue;
+        };
+        match resolve_pipeline(shared, te, cache, &group.spec) {
+            Ok(()) => ready.push(group),
+            Err(e) => fail_group(shared, group, &e),
+        }
+    }
+    while !ready.is_empty() {
+        let mut seen: HashSet<TenantId> = HashSet::new();
+        let mut round: Vec<WaveGroup> = Vec::new();
+        let mut rest: Vec<WaveGroup> = Vec::new();
+        for g in ready {
+            if seen.insert(g.tenant) {
+                round.push(g);
             } else {
-                match te.engine.warm_pipeline(&group.spec) {
-                    Ok(pipe) => {
-                        cache
-                            .pipelines
-                            .entry(te.key)
-                            .or_default()
-                            .insert(group.spec.clone(), pipe);
-                        // Publish any newly traced segment programs too.
-                        cache.programs.insert(te.key, te.engine.export_programs());
-                        let mut m = shared.metrics.lock().expect("metrics poisoned");
-                        m.pipeline_cache_entries = cache.pipeline_entries();
-                    }
-                    Err(e) => {
-                        let mut m = shared.metrics.lock().expect("metrics poisoned");
-                        m.failed += group.replies.len() as u64;
-                        drop(m);
-                        for reply in group.replies {
-                            reply.send(Err(e.clone()));
-                        }
-                        continue;
-                    }
-                }
+                rest.push(g);
             }
         }
-        let engine = &mut te.engine;
-        let capacity = engine.lanes_total().max(1);
-        let batch = group.replies.len();
-        let slot_refs: Vec<&[Vec<u64>]> = group.slots.iter().map(Vec::as_slice).collect();
-        // A group whose every waiter disconnects mid-wave aborts: the
-        // workers stop claiming chunks and the call returns `Cancelled`.
-        let replies = &group.replies;
-        let all_cancelled = move || replies.iter().all(TicketSender::is_cancelled);
-        let t = Instant::now();
-        let result = engine.run_pipeline_batch_cancellable(
-            &group.spec,
-            group.mode,
-            &slot_refs,
-            &all_cancelled,
-        );
-        let elapsed = t.elapsed().as_secs_f64();
+        ready = rest;
+        // Pair each group with its engine in one mutable pass — tenants
+        // in a round are distinct, so the borrows are disjoint.
+        let mut by_tenant: HashMap<TenantId, &mut TenantEngine> = engines
+            .iter_mut()
+            .filter(|(id, _)| seen.contains(id))
+            .map(|(id, te)| (*id, te))
+            .collect();
+        let pairs: Vec<(&mut TenantEngine, WaveGroup)> = round
+            .into_iter()
+            .map(|g| {
+                let te = by_tenant.remove(&g.tenant).expect("engine resolved above");
+                (te, g)
+            })
+            .collect();
+        // Fan-out accounting before the spawn: how full this concurrent
+        // window is across every participating engine's lanes.
+        let cap_sum: usize = pairs
+            .iter()
+            .map(|(te, _)| te.engine.lanes_total().max(1))
+            .sum();
+        let busy_sum: usize = pairs
+            .iter()
+            .map(|(te, g)| g.replies.len().min(te.engine.lanes_total().max(1)))
+            .sum();
         {
             let mut m = shared.metrics.lock().expect("metrics poisoned");
-            m.waves += 1;
-            m.wave_polys += batch as u64;
-            m.occupancy_sum += (batch as f64 / capacity as f64).min(1.0);
-            m.busy_secs += elapsed;
-            // Drain-rate EWMA: the basis of retry_after_ms hints handed
-            // to shed clients.
-            let rate = batch as f64 / elapsed.max(1e-6);
-            m.drain_rate = if m.drain_rate == 0.0 {
-                rate
-            } else {
-                0.2 * rate + 0.8 * m.drain_rate
-            };
-            for &s in engine.last_wave_shard_secs() {
-                if m.shard_secs.len() == SHARD_SAMPLE_WINDOW {
-                    m.shard_secs.pop_front();
-                }
-                m.shard_secs.push_back(s);
-            }
-            // Harvest what the recovery ladder did during this wave.
-            let rep = engine.last_recovery();
-            m.faults_detected += rep.faults_detected;
-            m.retries += rep.retries;
-            m.fallback_polys += rep.fallback_polys;
-            m.verify_secs += rep.verify_secs;
-            // Quarantine is a level, not a count: report the high-water
-            // mark across waves and tenant engines.
-            m.quarantined_shards = m.quarantined_shards.max(rep.quarantined_shards);
-            match &result {
-                Ok(_) => {
-                    m.completed += batch as u64;
-                    m.tenant(group.tenant).completed += batch as u64;
-                }
-                Err(BpNttError::Cancelled) => {
-                    m.cancelled += batch as u64;
-                    m.tenant(group.tenant).cancelled += batch as u64;
-                }
-                Err(_) => {
-                    m.failed += batch as u64;
-                    m.tenant(group.tenant).failed += batch as u64;
-                }
-            }
+            m.rns_fanout_waves += 1;
+            m.rns_fanout_occupancy_sum += (busy_sum as f64 / cap_sum.max(1) as f64).min(1.0);
         }
-        match result {
-            Ok(outs) => {
-                debug_assert_eq!(outs.len(), group.replies.len());
-                for (reply, out) in group.replies.into_iter().zip(outs) {
-                    reply.send(Ok(out));
-                }
+        std::thread::scope(|scope| {
+            for (te, group) in pairs {
+                scope.spawn(move || run_group(shared, &mut te.engine, group));
             }
-            Err(e) => {
-                for reply in group.replies {
-                    reply.send(Err(e.clone()));
-                }
-            }
-        }
+        });
     }
     // Waves move the health machine too (faults scored, quarantines,
     // canary credit): refresh the published counters and shard states.
     harvest_health(shared, engines);
+}
+
+/// Fails every ticket of a group whose tenant has no engine.
+/// Unreachable in practice — submission validates tenants — but still
+/// counted as failures so `submitted == completed + failed` holds.
+fn fail_unknown_tenant(shared: &Shared, group: WaveGroup) {
+    {
+        let mut m = shared.metrics.lock().expect("metrics poisoned");
+        m.failed += group.replies.len() as u64;
+    }
+    for reply in group.replies {
+        reply.send(Err(BpNttError::UnknownTenant {
+            tenant: group.tenant.0,
+        }));
+    }
+}
+
+/// Fails every ticket of a group with one shared (pre-execution) error.
+fn fail_group(shared: &Shared, group: WaveGroup, e: &BpNttError) {
+    {
+        let mut m = shared.metrics.lock().expect("metrics poisoned");
+        m.failed += group.replies.len() as u64;
+    }
+    for reply in group.replies {
+        reply.send(Err(e.clone()));
+    }
+}
+
+/// Resolves a spec's compiled pipeline through the cross-tenant cache
+/// before the timed engine call: a spec another tenant of this
+/// configuration already compiled imports in O(segments); a genuinely
+/// novel spec compiles once here and is published for everyone.
+fn resolve_pipeline(
+    shared: &Shared,
+    te: &mut TenantEngine,
+    cache: &mut SharedArtifacts,
+    spec: &PipelineSpec,
+) -> Result<(), BpNttError> {
+    if te.engine.has_pipeline(spec) {
+        return Ok(());
+    }
+    let cached = cache
+        .pipelines
+        .get(&te.key)
+        .and_then(|by_spec| by_spec.get(spec))
+        .cloned();
+    if let Some(pipe) = cached {
+        te.engine.import_pipeline(&pipe);
+        let mut m = shared.metrics.lock().expect("metrics poisoned");
+        m.pipeline_cache_hits += 1;
+    } else {
+        let pipe = te.engine.warm_pipeline(spec)?;
+        cache
+            .pipelines
+            .entry(te.key)
+            .or_default()
+            .insert(spec.clone(), pipe);
+        // Publish any newly traced segment programs too.
+        cache.programs.insert(te.key, te.engine.export_programs());
+        let mut m = shared.metrics.lock().expect("metrics poisoned");
+        m.pipeline_cache_entries = cache.pipeline_entries();
+    }
+    Ok(())
+}
+
+/// Runs one resolved group as a single sharded pipeline call and
+/// resolves every ticket — the timed leg of both the serial pass and
+/// the concurrent RNS rounds (engines are disjoint there, so this runs
+/// on scoped threads; all counters live behind the metrics lock).
+fn run_group(shared: &Shared, engine: &mut ShardedBpNtt, group: WaveGroup) {
+    let capacity = engine.lanes_total().max(1);
+    let batch = group.replies.len();
+    let slot_refs: Vec<&[Vec<u64>]> = group.slots.iter().map(Vec::as_slice).collect();
+    // A group whose every waiter disconnects mid-wave aborts: the
+    // workers stop claiming chunks and the call returns `Cancelled`.
+    let replies = &group.replies;
+    let all_cancelled = move || replies.iter().all(TicketSender::is_cancelled);
+    let t = Instant::now();
+    let result =
+        engine.run_pipeline_batch_cancellable(&group.spec, group.mode, &slot_refs, &all_cancelled);
+    let elapsed = t.elapsed().as_secs_f64();
+    {
+        let mut m = shared.metrics.lock().expect("metrics poisoned");
+        m.waves += 1;
+        m.wave_polys += batch as u64;
+        m.occupancy_sum += (batch as f64 / capacity as f64).min(1.0);
+        m.busy_secs += elapsed;
+        // Drain-rate EWMA: the basis of retry_after_ms hints handed
+        // to shed clients.
+        let rate = batch as f64 / elapsed.max(1e-6);
+        m.drain_rate = if m.drain_rate == 0.0 {
+            rate
+        } else {
+            0.2 * rate + 0.8 * m.drain_rate
+        };
+        for &s in engine.last_wave_shard_secs() {
+            if m.shard_secs.len() == SHARD_SAMPLE_WINDOW {
+                m.shard_secs.pop_front();
+            }
+            m.shard_secs.push_back(s);
+        }
+        // Harvest what the recovery ladder did during this wave.
+        let rep = engine.last_recovery();
+        m.faults_detected += rep.faults_detected;
+        m.retries += rep.retries;
+        m.fallback_polys += rep.fallback_polys;
+        m.verify_secs += rep.verify_secs;
+        // Quarantine is a level, not a count: report the high-water
+        // mark across waves and tenant engines.
+        m.quarantined_shards = m.quarantined_shards.max(rep.quarantined_shards);
+        match &result {
+            Ok(_) => {
+                m.completed += batch as u64;
+                m.tenant(group.tenant).completed += batch as u64;
+            }
+            Err(BpNttError::Cancelled) => {
+                m.cancelled += batch as u64;
+                m.tenant(group.tenant).cancelled += batch as u64;
+            }
+            Err(_) => {
+                m.failed += batch as u64;
+                m.tenant(group.tenant).failed += batch as u64;
+            }
+        }
+    }
+    match result {
+        Ok(outs) => {
+            debug_assert_eq!(outs.len(), group.replies.len());
+            for (reply, out) in group.replies.into_iter().zip(outs) {
+                reply.send(Ok(out));
+            }
+        }
+        Err(e) => {
+            for reply in group.replies {
+                reply.send(Err(e.clone()));
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -2362,6 +2840,7 @@ mod tests {
                 reply,
                 deadline: None,
                 cost: 64,
+                rns: false,
             }
         };
         let mut q = FairQueue::new(64);
@@ -2716,6 +3195,7 @@ mod tests {
                 reply,
                 deadline: None,
                 cost: 64,
+                rns: false,
             });
             st.control.push_back(Control::Crash);
             drop(st);
@@ -2784,5 +3264,219 @@ mod tests {
             std::thread::yield_now();
         };
         assert_eq!(result.unwrap().len(), 8);
+    }
+
+    /// 14-bit NTT-friendly primes valid for n up to 512.
+    const RNS_P: [u64; 3] = [12289, 13313, 15361];
+
+    fn rns_basis64() -> Arc<RnsBasis> {
+        Arc::new(RnsBasis::new(64, &RNS_P).unwrap())
+    }
+
+    /// A deterministic degree-n polynomial with coefficients spread over
+    /// the full multi-limb range `0..Q`.
+    fn big_poly(basis: &RnsBasis, seed: u64) -> Vec<BigUint> {
+        (0..basis.n())
+            .map(|k| {
+                let lo = seed
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add((k as u64).wrapping_mul(0x2545_f491_4f6c_dd1d));
+                let hi = lo.rotate_left(23) ^ (k as u64);
+                BigUint::from_limbs(vec![lo, hi]).rem(basis.modulus())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rns_polymul_reconstructs_exactly() {
+        let service = NttService::start(&config8(), ServiceOptions::default()).unwrap();
+        let basis = rns_basis64();
+        let handle = service.add_rns_tenant(140, 128, 16, &basis).unwrap();
+        assert_eq!(handle.limbs(), 3);
+        let a = big_poly(&basis, 1);
+        let b = big_poly(&basis, 2);
+        let expect = bpntt_rns::reference::negacyclic_polymul_basis(&a, &b, &basis).unwrap();
+        let ticket = service
+            .submit_rns(&handle, RnsRequest::polymul(a, b))
+            .unwrap();
+        let result = ticket.wait().unwrap();
+        assert_eq!(result.limbs.len(), 3);
+        assert_eq!(result.coefficients, expect);
+        // Each raw limb output is the reference reduced mod that prime.
+        for (limb, &q) in basis.primes().iter().enumerate() {
+            for (k, c) in expect.iter().enumerate() {
+                assert_eq!(result.limbs[limb][k], c.rem_u64(q));
+            }
+        }
+        let m = service.shutdown();
+        assert_eq!(m.rns_requests, 1);
+        assert_eq!(m.rns_limbs, 3);
+        assert!(m.rns_fanout_waves >= 1, "limb group never fanned out");
+        assert!(m.rns_fanout_occupancy > 0.0);
+        assert_eq!(m.completed, 3, "three limb requests completed");
+    }
+
+    #[test]
+    fn rns_submission_validates_before_enqueue() {
+        let service = NttService::start(&config8(), ServiceOptions::default()).unwrap();
+        let basis = rns_basis64();
+        let handle = service.add_rns_tenant(140, 128, 16, &basis).unwrap();
+        let a = big_poly(&basis, 3);
+        let b = big_poly(&basis, 4);
+        // Input-count mismatch against the spec's declared slots.
+        assert!(matches!(
+            service.submit_rns(
+                &handle,
+                RnsRequest::new(PipelineSpec::polymul(), vec![a.clone()]),
+            ),
+            Err(BpNttError::InvalidPipeline { .. })
+        ));
+        // Wrong degree.
+        assert!(matches!(
+            service.submit_rns(&handle, RnsRequest::polymul(a[..63].to_vec(), b.clone())),
+            Err(BpNttError::Rns(bpntt_rns::RnsError::WrongLength { .. }))
+        ));
+        // Unreduced coefficient (≥ Q).
+        let mut bad = a.clone();
+        bad[5] = basis.modulus().clone();
+        assert!(matches!(
+            service.submit_rns(&handle, RnsRequest::polymul(bad, b)),
+            Err(BpNttError::Rns(bpntt_rns::RnsError::Unreduced { index: 5 }))
+        ));
+        let m = service.shutdown();
+        assert_eq!(m.submitted, 0, "invalid RNS requests never enter the queue");
+        assert_eq!(m.rns_requests, 0);
+    }
+
+    #[test]
+    fn rns_group_admits_all_limbs_or_sheds_whole() {
+        // Queue of 2 cannot hold a 3-limb group: the submission sheds as
+        // one unit — no partial limb set is ever admitted.
+        let service = NttService::start(
+            &config8(),
+            ServiceOptions {
+                max_queue: 2,
+                ..ServiceOptions::default()
+            },
+        )
+        .unwrap();
+        let basis = rns_basis64();
+        let handle = service.add_rns_tenant(140, 128, 16, &basis).unwrap();
+        let a = big_poly(&basis, 5);
+        let b = big_poly(&basis, 6);
+        match service.submit_rns(&handle, RnsRequest::polymul(a, b)) {
+            Err(BpNttError::Overloaded { capacity: 2, .. }) => {}
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        let m = service.shutdown();
+        assert_eq!(m.submitted, 0, "no limb of a shed group is enqueued");
+        assert_eq!(m.rejected, 1, "the group sheds once, not per limb");
+        assert_eq!(m.rns_requests, 0);
+    }
+
+    #[test]
+    fn rns_group_spends_one_rate_limit_token() {
+        let service = NttService::start(
+            &config8(),
+            ServiceOptions {
+                rate_limit: Some(RateLimit {
+                    requests_per_sec: 0.001,
+                    burst: 2.0,
+                }),
+                ..ServiceOptions::default()
+            },
+        )
+        .unwrap();
+        let basis = rns_basis64();
+        let handle = service.add_rns_tenant(140, 128, 16, &basis).unwrap();
+        // Two whole groups fit the burst of 2 — a group is one logical
+        // request, not three.
+        let t1 = service
+            .submit_rns(
+                &handle,
+                RnsRequest::polymul(big_poly(&basis, 7), big_poly(&basis, 8)),
+            )
+            .unwrap();
+        let t2 = service
+            .submit_rns(
+                &handle,
+                RnsRequest::polymul(big_poly(&basis, 9), big_poly(&basis, 10)),
+            )
+            .unwrap();
+        // The third group exhausts the lead limb's bucket.
+        assert!(matches!(
+            service.submit_rns(
+                &handle,
+                RnsRequest::polymul(big_poly(&basis, 11), big_poly(&basis, 12)),
+            ),
+            Err(BpNttError::RateLimited { .. })
+        ));
+        assert!(t1.wait().is_ok());
+        assert!(t2.wait().is_ok());
+        let m = service.shutdown();
+        assert_eq!(m.rns_requests, 2);
+        assert_eq!(m.rate_limited, 1);
+    }
+
+    #[test]
+    fn rns_limb_groups_share_compiled_artifacts() {
+        // A second RNS group over the same basis and geometry hits the
+        // cross-tenant artifact cache for every limb.
+        let service = NttService::start(&config8(), ServiceOptions::default()).unwrap();
+        let basis = rns_basis64();
+        let h1 = service.add_rns_tenant(140, 128, 16, &basis).unwrap();
+        let before = service.metrics();
+        let h2 = service.add_rns_tenant(140, 128, 16, &basis).unwrap();
+        let after = service.metrics();
+        assert_eq!(
+            after.pipeline_cache_hits - before.pipeline_cache_hits,
+            basis.limbs() as u64,
+            "every limb of the second group must reuse compiled plans"
+        );
+        // Both groups still compute correctly.
+        let a = big_poly(&basis, 13);
+        let b = big_poly(&basis, 14);
+        let expect = bpntt_rns::reference::negacyclic_polymul_basis(&a, &b, &basis).unwrap();
+        for h in [&h1, &h2] {
+            let got = service
+                .submit_rns(h, RnsRequest::polymul(a.clone(), b.clone()))
+                .unwrap()
+                .wait()
+                .unwrap();
+            assert_eq!(got.coefficients, expect);
+        }
+        let _ = service.shutdown();
+    }
+
+    #[test]
+    fn rns_limb_fault_heals_before_reconstruction() {
+        // A service-wide fault plan corrupts rows on every limb engine;
+        // the per-limb recovery ladder (verify + retry) must heal each
+        // limb before CRT reconstruction ever sees a corrupted residue.
+        let service = NttService::start(
+            &config8(),
+            ServiceOptions {
+                fault_plan: Some(FaultPlan::seeded(0xC0FFEE).transient_rate(1e-4)),
+                verify: VerifyPolicy::Full,
+                retry_budget: 2,
+                ..ServiceOptions::default()
+            },
+        )
+        .unwrap();
+        let basis = rns_basis64();
+        let handle = service.add_rns_tenant(140, 128, 16, &basis).unwrap();
+        let a = big_poly(&basis, 15);
+        let b = big_poly(&basis, 16);
+        let expect = bpntt_rns::reference::negacyclic_polymul_basis(&a, &b, &basis).unwrap();
+        let got = service
+            .submit_rns(&handle, RnsRequest::polymul(a, b))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(
+            got.coefficients, expect,
+            "reconstruction must be exact despite injected limb faults"
+        );
+        let _ = service.shutdown();
     }
 }

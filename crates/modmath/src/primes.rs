@@ -209,6 +209,94 @@ pub fn find_ntt_prime_high(bits: u32, stride: u64) -> Result<u64, ModMathError> 
     Err(ModMathError::NoPrimeFound { bits, stride })
 }
 
+/// Sieve of Eratosthenes over `2..limit`, the cheap pre-filter in front
+/// of Miller–Rabin when a basis search walks many candidates.
+fn sieve_small_primes(limit: u64) -> Vec<u64> {
+    let limit = limit.max(3) as usize;
+    let mut composite = vec![false; limit];
+    let mut primes = Vec::new();
+    for p in 2..limit {
+        if composite[p] {
+            continue;
+        }
+        primes.push(p as u64);
+        let mut m = p * p;
+        while m < limit {
+            composite[m] = true;
+            m += p;
+        }
+    }
+    primes
+}
+
+/// Finds the `count` smallest distinct NTT-friendly primes of exactly
+/// `bits` bits for an `n`-point negacyclic NTT — every prime satisfies
+/// `q ≡ 1 (mod 2n)`, so each supports the primitive `2n`-th root of
+/// unity the transform needs. This is the residue-basis generator the
+/// RNS/CRT layer builds on: `count` pairwise-coprime word-sized primes
+/// whose product covers a multi-hundred-bit ciphertext modulus.
+///
+/// Candidates walk upward from `2^(bits-1)` in steps of `2n`; each is
+/// pre-filtered by a small-prime sieve before the deterministic
+/// Miller–Rabin test ([`is_prime`]) settles it, so the dominant cost on
+/// a long walk is cheap trial division, not modular exponentiation.
+///
+/// # Errors
+///
+/// [`ModMathError::InvalidBitWidth`] for `bits` outside `3..=63`, and
+/// [`ModMathError::NoPrimeFound`] when fewer than `count` such primes
+/// exist below `2^bits` (or `count` is zero — an empty basis is a
+/// caller bug worth failing loudly on).
+///
+/// # Example
+///
+/// ```
+/// // A 3-limb basis of 14-bit primes for a 512-point negacyclic NTT.
+/// let basis = bpntt_modmath::primes::find_ntt_primes(14, 512, 3)?;
+/// assert_eq!(basis, vec![12289, 13313, 15361]);
+/// # Ok::<(), bpntt_modmath::ModMathError>(())
+/// ```
+pub fn find_ntt_primes(bits: u32, n: u64, count: usize) -> Result<Vec<u64>, ModMathError> {
+    if !(3..=63).contains(&bits) {
+        return Err(ModMathError::InvalidBitWidth { bits });
+    }
+    let stride = n
+        .checked_mul(2)
+        .filter(|&s| s > 0)
+        .ok_or(ModMathError::NoPrimeFound { bits, stride: n })?;
+    let no_prime = ModMathError::NoPrimeFound { bits, stride };
+    if count == 0 {
+        return Err(no_prime);
+    }
+    let small = sieve_small_primes(1024);
+    let lo = 1u64 << (bits - 1);
+    let hi = 1u64 << bits;
+    let rem = (lo - 1) % stride;
+    let mut q = if rem == 0 {
+        lo
+    } else {
+        lo.checked_add(stride - rem).ok_or(no_prime.clone())?
+    };
+    let mut primes = Vec::with_capacity(count);
+    while q < hi && primes.len() < count {
+        let sieved_out = small
+            .iter()
+            .take_while(|&&p| p.saturating_mul(p) <= q)
+            .any(|&p| q != p && q.is_multiple_of(p));
+        if !sieved_out && is_prime(q) {
+            primes.push(q);
+        }
+        q = match q.checked_add(stride) {
+            Some(next) => next,
+            None => break,
+        };
+    }
+    if primes.len() < count {
+        return Err(no_prime);
+    }
+    Ok(primes)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -293,5 +381,72 @@ mod tests {
     fn ntt_prime_rejects_bad_width() {
         assert!(find_ntt_prime(2, 8).is_err());
         assert!(find_ntt_prime(64, 8).is_err());
+    }
+
+    #[test]
+    fn ntt_primes_match_exhaustive_search() {
+        // Every (bits, n) small case is cross-checked against a brute
+        // force walk over the full bit range: the generator must return
+        // exactly the first `count` primes ≡ 1 mod 2n, in order.
+        for (bits, n) in [(10u32, 4u64), (12, 64), (12, 128), (14, 256), (16, 256)] {
+            let stride = 2 * n;
+            let all: Vec<u64> = ((1u64 << (bits - 1))..(1u64 << bits))
+                .filter(|q| q % stride == 1 && is_prime(*q))
+                .collect();
+            assert!(!all.is_empty(), "no primes for bits={bits} n={n}");
+            for count in 1..=all.len() {
+                assert_eq!(
+                    find_ntt_primes(bits, n, count).unwrap(),
+                    all[..count],
+                    "bits={bits} n={n} count={count}"
+                );
+            }
+            // Asking for one more than exists fails typed.
+            assert_eq!(
+                find_ntt_primes(bits, n, all.len() + 1),
+                Err(ModMathError::NoPrimeFound { bits, stride })
+            );
+        }
+    }
+
+    #[test]
+    fn ntt_primes_agree_with_single_prime_search() {
+        for (bits, n) in [(14u32, 128u64), (14, 512), (23, 256), (30, 256)] {
+            let primes = find_ntt_primes(bits, n, 3).unwrap();
+            assert_eq!(primes[0], find_ntt_prime(bits, 2 * n).unwrap());
+            assert_eq!(primes.len(), 3);
+            for w in primes.windows(2) {
+                assert!(w[0] < w[1], "ascending and distinct: {primes:?}");
+            }
+            for &q in &primes {
+                assert!(is_prime(q));
+                assert_eq!(q % (2 * n), 1);
+                assert_eq!(64 - q.leading_zeros(), bits);
+            }
+        }
+    }
+
+    #[test]
+    fn ntt_primes_reject_degenerate_requests() {
+        assert_eq!(
+            find_ntt_primes(2, 8, 1),
+            Err(ModMathError::InvalidBitWidth { bits: 2 })
+        );
+        assert_eq!(
+            find_ntt_primes(64, 8, 1),
+            Err(ModMathError::InvalidBitWidth { bits: 64 })
+        );
+        // Zero-count and overflow-stride requests fail typed, not panic.
+        assert!(find_ntt_primes(12, 128, 0).is_err());
+        assert!(find_ntt_primes(12, u64::MAX, 1).is_err());
+        // 13-bit primes ≡ 1 mod 2048 do not exist.
+        assert!(find_ntt_primes(13, 1024, 1).is_err());
+    }
+
+    #[test]
+    fn sieve_matches_is_prime() {
+        let sieved = sieve_small_primes(1024);
+        let expect: Vec<u64> = (2..1024).filter(|&x| is_prime(x)).collect();
+        assert_eq!(sieved, expect);
     }
 }

@@ -1,0 +1,520 @@
+//! RNS bases: validated sets of NTT-friendly primes with precomputed
+//! CRT constants.
+//!
+//! An [`RnsBasis`] fixes a ring degree `n` and an ordered list of
+//! distinct primes `q_0 … q_{L-1}`, each NTT-friendly for `n`
+//! (`q_i ≡ 1 mod 2n`, so the negacyclic transform exists per limb).
+//! The composite modulus is `Q = Π q_i`; distinct primes are
+//! automatically pairwise coprime, so the Chinese Remainder Theorem
+//! gives a bijection
+//!
+//! ```text
+//! Z_Q  ≅  Z_{q_0} × … × Z_{q_{L-1}}
+//! x   ↦  (x mod q_0, …, x mod q_{L-1})
+//! ```
+//!
+//! with the inverse map precomputed here as the classic Garner-free
+//! explicit CRT: with `q̂_i = Q / q_i` and
+//! `q̂_i⁻¹ = (q̂_i mod q_i)⁻¹ mod q_i`,
+//!
+//! ```text
+//! x = Σ_i ( (x_i · q̂_i⁻¹) mod q_i ) · q̂_i   (mod Q)
+//! ```
+//!
+//! Each summand is `< q_i · q̂_i = Q`, so the raw sum is `< L·Q` and
+//! reconstruction needs at most `L-1` conditional subtractions of `Q`
+//! — no big-integer division in the hot path.
+
+use std::error::Error;
+use std::fmt;
+
+use bpntt_modmath::zq::{inv_mod, mul_mod};
+use bpntt_modmath::ModMathError;
+use bpntt_ntt::{NttError, NttParams};
+
+use crate::bigint::BigUint;
+
+/// Errors from basis construction and residue (de)composition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RnsError {
+    /// A basis needs at least one prime.
+    EmptyBasis,
+    /// The same prime appears twice; limbs must be pairwise coprime.
+    DuplicatePrime {
+        /// The repeated prime.
+        q: u64,
+    },
+    /// A limb prime failed NTT-friendliness validation for the degree.
+    BadLimb {
+        /// The offending limb prime.
+        q: u64,
+        /// The underlying parameter-validation failure.
+        source: NttError,
+    },
+    /// No basis of the requested width could be assembled.
+    InsufficientBits {
+        /// The requested composite-modulus bit width.
+        requested: u32,
+        /// The bit width the assembled basis actually reached.
+        achieved: u32,
+    },
+    /// Prime search or constant precomputation failed.
+    PrimeSearch {
+        /// The underlying modular-arithmetic failure.
+        source: ModMathError,
+    },
+    /// A polynomial had the wrong length for the basis degree.
+    WrongLength {
+        /// The basis degree `n`.
+        expected: usize,
+        /// The length actually supplied.
+        actual: usize,
+    },
+    /// A coefficient was not reduced modulo the composite modulus.
+    Unreduced {
+        /// Index of the offending coefficient.
+        index: usize,
+    },
+    /// A residue vector's limb count does not match the basis.
+    LimbCountMismatch {
+        /// The basis limb count `L`.
+        expected: usize,
+        /// The limb count actually supplied.
+        actual: usize,
+    },
+    /// A limb residue was not reduced modulo its prime.
+    UnreducedLimb {
+        /// Index of the limb.
+        limb: usize,
+        /// Index of the offending coefficient within the limb.
+        index: usize,
+        /// The unreduced residue value.
+        value: u64,
+        /// The limb prime it should be below.
+        q: u64,
+    },
+}
+
+impl fmt::Display for RnsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RnsError::EmptyBasis => write!(f, "an RNS basis needs at least one prime"),
+            RnsError::DuplicatePrime { q } => {
+                write!(f, "prime {q} appears more than once in the basis")
+            }
+            RnsError::BadLimb { q, source } => {
+                write!(f, "limb prime {q} is not usable: {source}")
+            }
+            RnsError::InsufficientBits {
+                requested,
+                achieved,
+            } => write!(
+                f,
+                "could not reach {requested} modulus bits (achieved {achieved})"
+            ),
+            RnsError::PrimeSearch { source } => {
+                write!(f, "prime search for basis failed: {source}")
+            }
+            RnsError::WrongLength { expected, actual } => {
+                write!(
+                    f,
+                    "polynomial has {actual} coefficients, basis degree is {expected}"
+                )
+            }
+            RnsError::Unreduced { index } => {
+                write!(
+                    f,
+                    "coefficient {index} is not reduced modulo the composite modulus"
+                )
+            }
+            RnsError::LimbCountMismatch { expected, actual } => {
+                write!(f, "residue set has {actual} limbs, basis has {expected}")
+            }
+            RnsError::UnreducedLimb {
+                limb,
+                index,
+                value,
+                q,
+            } => write!(
+                f,
+                "limb {limb} coefficient {index} = {value} is not reduced mod {q}"
+            ),
+        }
+    }
+}
+
+impl Error for RnsError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RnsError::BadLimb { source, .. } => Some(source),
+            RnsError::PrimeSearch { source } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// A validated RNS basis: degree, limb primes, per-limb NTT parameters,
+/// and precomputed CRT reconstruction constants.
+#[derive(Debug, Clone)]
+pub struct RnsBasis {
+    n: usize,
+    primes: Vec<u64>,
+    params: Vec<NttParams>,
+    modulus: BigUint,
+    modulus_bits: u32,
+    q_hat: Vec<BigUint>,
+    q_hat_inv: Vec<u64>,
+}
+
+impl RnsBasis {
+    /// Builds a basis from explicit primes, validating each one for the
+    /// degree and precomputing all CRT constants.
+    pub fn new(n: usize, primes: &[u64]) -> Result<Self, RnsError> {
+        if primes.is_empty() {
+            return Err(RnsError::EmptyBasis);
+        }
+        let mut params = Vec::with_capacity(primes.len());
+        for (i, &q) in primes.iter().enumerate() {
+            if primes[..i].contains(&q) {
+                return Err(RnsError::DuplicatePrime { q });
+            }
+            // NttParams::new checks primality and q ≡ 1 mod 2n; distinct
+            // primes are then pairwise coprime by construction.
+            let p = NttParams::new(n, q).map_err(|source| RnsError::BadLimb { q, source })?;
+            params.push(p);
+        }
+        let mut modulus = BigUint::one();
+        for &q in primes {
+            modulus = modulus.mul_u64(q);
+        }
+        let mut q_hat = Vec::with_capacity(primes.len());
+        let mut q_hat_inv = Vec::with_capacity(primes.len());
+        for &q in primes {
+            let (hat, rem) = modulus.div_rem(&BigUint::from_u64(q));
+            debug_assert!(rem.is_zero(), "q divides Q");
+            let hat_mod_q = hat.rem_u64(q);
+            let inv = inv_mod(hat_mod_q, q).map_err(|source| RnsError::PrimeSearch { source })?;
+            q_hat.push(hat);
+            q_hat_inv.push(inv);
+        }
+        Ok(RnsBasis {
+            n,
+            primes: primes.to_vec(),
+            params,
+            modulus_bits: modulus.bits(),
+            modulus,
+            q_hat,
+            q_hat_inv,
+        })
+    }
+
+    /// Assembles a basis whose composite modulus has at least
+    /// `min_bits` bits, using consecutive `limb_bits`-bit NTT-friendly
+    /// primes from [`bpntt_modmath::find_ntt_primes`].
+    pub fn with_min_bits(n: usize, min_bits: u32, limb_bits: u32) -> Result<Self, RnsError> {
+        // Each limb contributes at least limb_bits - 1 bits to Q.
+        let floor_per_limb = u64::from(limb_bits.saturating_sub(1)).max(1);
+        let count = u64::from(min_bits).div_ceil(floor_per_limb).max(1) as usize;
+        let primes = bpntt_modmath::primes::find_ntt_primes(limb_bits, n as u64, count)
+            .map_err(|source| RnsError::PrimeSearch { source })?;
+        let basis = RnsBasis::new(n, &primes)?;
+        if basis.modulus_bits < min_bits {
+            return Err(RnsError::InsufficientBits {
+                requested: min_bits,
+                achieved: basis.modulus_bits,
+            });
+        }
+        Ok(basis)
+    }
+
+    /// Ring degree `n`.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of limbs `L`.
+    #[must_use]
+    pub fn limbs(&self) -> usize {
+        self.primes.len()
+    }
+
+    /// The limb primes, in basis order.
+    #[must_use]
+    pub fn primes(&self) -> &[u64] {
+        &self.primes
+    }
+
+    /// Per-limb NTT parameters, aligned with [`primes`](Self::primes).
+    #[must_use]
+    pub fn params(&self) -> &[NttParams] {
+        &self.params
+    }
+
+    /// The composite modulus `Q = Π q_i`.
+    #[must_use]
+    pub fn modulus(&self) -> &BigUint {
+        &self.modulus
+    }
+
+    /// Bit width of the composite modulus.
+    #[must_use]
+    pub fn modulus_bits(&self) -> u32 {
+        self.modulus_bits
+    }
+
+    /// Decomposes one value `x < Q` into its residues `(x mod q_i)_i`.
+    #[must_use]
+    pub fn decompose(&self, x: &BigUint) -> Vec<u64> {
+        self.primes.iter().map(|&q| x.rem_u64(q)).collect()
+    }
+
+    /// Decomposes a degree-`n` polynomial with coefficients `< Q` into
+    /// limb-major residue polynomials: result `[i][k]` is coefficient
+    /// `k` modulo `q_i`.
+    pub fn decompose_poly(&self, poly: &[BigUint]) -> Result<Vec<Vec<u64>>, RnsError> {
+        if poly.len() != self.n {
+            return Err(RnsError::WrongLength {
+                expected: self.n,
+                actual: poly.len(),
+            });
+        }
+        for (index, c) in poly.iter().enumerate() {
+            if c >= &self.modulus {
+                return Err(RnsError::Unreduced { index });
+            }
+        }
+        let mut out = vec![Vec::with_capacity(self.n); self.primes.len()];
+        for c in poly {
+            for (limb, &q) in self.primes.iter().enumerate() {
+                out[limb].push(c.rem_u64(q));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Reconstructs `x < Q` from one residue per limb via explicit CRT.
+    pub fn reconstruct(&self, residues: &[u64]) -> Result<BigUint, RnsError> {
+        if residues.len() != self.primes.len() {
+            return Err(RnsError::LimbCountMismatch {
+                expected: self.primes.len(),
+                actual: residues.len(),
+            });
+        }
+        for (limb, (&x, &q)) in residues.iter().zip(&self.primes).enumerate() {
+            if x >= q {
+                return Err(RnsError::UnreducedLimb {
+                    limb,
+                    index: 0,
+                    value: x,
+                    q,
+                });
+            }
+        }
+        Ok(self.reconstruct_unchecked(residues))
+    }
+
+    /// CRT sum without residue validation (callers guarantee `x_i < q_i`).
+    fn reconstruct_unchecked(&self, residues: &[u64]) -> BigUint {
+        let mut acc = BigUint::zero();
+        for (limb, &x) in residues.iter().enumerate() {
+            let t = mul_mod(x, self.q_hat_inv[limb], self.primes[limb]);
+            acc = acc.add(&self.q_hat[limb].mul_u64(t));
+        }
+        // acc < L·Q: reduce with at most L-1 conditional subtractions.
+        while let Some(next) = acc.checked_sub(&self.modulus) {
+            acc = next;
+        }
+        acc
+    }
+
+    /// Reconstructs a polynomial from limb-major residue polynomials
+    /// (the inverse of [`decompose_poly`](Self::decompose_poly)).
+    pub fn reconstruct_poly(&self, limbs: &[Vec<u64>]) -> Result<Vec<BigUint>, RnsError> {
+        if limbs.len() != self.primes.len() {
+            return Err(RnsError::LimbCountMismatch {
+                expected: self.primes.len(),
+                actual: limbs.len(),
+            });
+        }
+        for (limb, residues) in limbs.iter().enumerate() {
+            if residues.len() != self.n {
+                return Err(RnsError::WrongLength {
+                    expected: self.n,
+                    actual: residues.len(),
+                });
+            }
+            let q = self.primes[limb];
+            for (index, &value) in residues.iter().enumerate() {
+                if value >= q {
+                    return Err(RnsError::UnreducedLimb {
+                        limb,
+                        index,
+                        value,
+                        q,
+                    });
+                }
+            }
+        }
+        let mut point = vec![0u64; self.primes.len()];
+        let mut out = Vec::with_capacity(self.n);
+        for k in 0..self.n {
+            for (limb, residues) in limbs.iter().enumerate() {
+                point[limb] = residues[k];
+            }
+            out.push(self.reconstruct_unchecked(&point));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 14-bit NTT-friendly primes for n up to 512.
+    const P14: [u64; 3] = [12289, 13313, 15361];
+
+    #[test]
+    fn basis_constants_are_consistent() {
+        let basis = RnsBasis::new(256, &P14).unwrap();
+        assert_eq!(basis.limbs(), 3);
+        let q_prod = 12289u128 * 13313 * 15361;
+        assert_eq!(
+            basis.modulus().rem_u64(u64::MAX),
+            (q_prod % u128::from(u64::MAX)) as u64
+        );
+        assert_eq!(basis.modulus_bits(), 128 - q_prod.leading_zeros());
+        for (i, &q) in basis.primes().iter().enumerate() {
+            // q̂_i · q̂_i⁻¹ ≡ 1 mod q_i
+            let hat_mod_q = basis.q_hat[i].rem_u64(q);
+            assert_eq!(mul_mod(hat_mod_q, basis.q_hat_inv[i], q), 1);
+            // q̂_i · q_i = Q
+            assert_eq!(basis.q_hat[i].mul_u64(q), *basis.modulus());
+            assert_eq!(basis.params()[i].modulus(), q);
+            assert_eq!(basis.params()[i].n(), 256);
+        }
+    }
+
+    #[test]
+    fn decompose_reconstruct_round_trip() {
+        let basis = RnsBasis::new(64, &P14).unwrap();
+        for x in [
+            BigUint::zero(),
+            BigUint::one(),
+            BigUint::from_u64(3329),
+            basis.modulus().checked_sub(&BigUint::one()).unwrap(),
+            BigUint::from_u64(u64::MAX).rem(basis.modulus()),
+        ] {
+            let residues = basis.decompose(&x);
+            assert_eq!(
+                basis.reconstruct(&residues).unwrap(),
+                x,
+                "round trip of {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn poly_round_trip_limb_major() {
+        let basis = RnsBasis::new(4, &[97, 113]).unwrap();
+        let poly: Vec<BigUint> = [0u64, 1, 96 * 113, 97 * 113 - 1]
+            .iter()
+            .map(|&c| BigUint::from_u64(c))
+            .collect();
+        let limbs = basis.decompose_poly(&poly).unwrap();
+        assert_eq!(limbs.len(), 2);
+        assert_eq!(limbs[0], vec![0, 1, (96 * 113) % 97, (97 * 113 - 1) % 97]);
+        assert_eq!(basis.reconstruct_poly(&limbs).unwrap(), poly);
+    }
+
+    #[test]
+    fn with_min_bits_covers_request() {
+        let basis = RnsBasis::with_min_bits(256, 90, 31).unwrap();
+        assert!(basis.modulus_bits() >= 90);
+        assert_eq!(basis.limbs(), 3);
+        for &q in basis.primes() {
+            assert_eq!(q % 512, 1);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_bases() {
+        assert_eq!(RnsBasis::new(64, &[]).unwrap_err(), RnsError::EmptyBasis);
+        assert_eq!(
+            RnsBasis::new(64, &[12289, 12289]).unwrap_err(),
+            RnsError::DuplicatePrime { q: 12289 }
+        );
+        // 3329 ≡ 1 mod 256 but not mod 512: fine at n=128, bad at n=256.
+        assert!(RnsBasis::new(128, &[3329, 12289]).is_ok());
+        assert!(matches!(
+            RnsBasis::new(256, &[3329, 12289]).unwrap_err(),
+            RnsError::BadLimb { q: 3329, .. }
+        ));
+        // Composite limb.
+        assert!(matches!(
+            RnsBasis::new(64, &[12289, 12289 * 3]).unwrap_err(),
+            RnsError::BadLimb { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let basis = RnsBasis::new(4, &[97, 113]).unwrap();
+        assert_eq!(
+            basis.decompose_poly(&vec![BigUint::zero(); 3]).unwrap_err(),
+            RnsError::WrongLength {
+                expected: 4,
+                actual: 3
+            }
+        );
+        let too_big = basis.modulus().clone();
+        assert_eq!(
+            basis
+                .decompose_poly(&[BigUint::zero(), too_big, BigUint::zero(), BigUint::zero()])
+                .unwrap_err(),
+            RnsError::Unreduced { index: 1 }
+        );
+        assert_eq!(
+            basis.reconstruct(&[0]).unwrap_err(),
+            RnsError::LimbCountMismatch {
+                expected: 2,
+                actual: 1
+            }
+        );
+        assert_eq!(
+            basis.reconstruct(&[97, 0]).unwrap_err(),
+            RnsError::UnreducedLimb {
+                limb: 0,
+                index: 0,
+                value: 97,
+                q: 97
+            }
+        );
+        assert_eq!(
+            basis
+                .reconstruct_poly(&[vec![0; 4], vec![0, 113, 0, 0]])
+                .unwrap_err(),
+            RnsError::UnreducedLimb {
+                limb: 1,
+                index: 1,
+                value: 113,
+                q: 113
+            }
+        );
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        let e = RnsBasis::new(256, &[3329, 12289]).unwrap_err();
+        assert!(e.to_string().contains("3329"));
+        assert!(e.source().is_some());
+        let e = RnsError::InsufficientBits {
+            requested: 500,
+            achieved: 90,
+        };
+        assert!(e.to_string().contains("500"));
+        assert!(e.source().is_none());
+    }
+}

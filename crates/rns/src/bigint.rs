@@ -1,0 +1,461 @@
+//! A minimal unsigned big integer on `Vec<u64>` limbs.
+//!
+//! This is deliberately a *schoolbook* implementation: the workspace
+//! builds offline (no external bignum crate), and the RNS layer only
+//! needs correctness at modest sizes — ciphertext moduli of a few
+//! hundred bits and `O(n²)` reference polynomial products over them.
+//! Multiplication is quadratic, division is binary shift-subtract;
+//! both are exact, allocation-light, and easy to audit, which is the
+//! point of a verification reference.
+//!
+//! Representation: little-endian 64-bit limbs with no trailing zero
+//! limb; zero is the empty limb vector. The invariant is maintained by
+//! every constructor and operation ([`BigUint::normalize`]).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An arbitrary-precision unsigned integer (little-endian `u64` limbs).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct BigUint {
+    /// Little-endian limbs, no trailing zeros (`vec![]` is zero).
+    limbs: Vec<u64>,
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Normalized limbs: longer means strictly larger; equal length
+        // compares from the most-significant limb down.
+        self.limbs
+            .len()
+            .cmp(&other.limbs.len())
+            .then_with(|| self.limbs.iter().rev().cmp(other.limbs.iter().rev()))
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl BigUint {
+    /// Zero.
+    #[must_use]
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// One.
+    #[must_use]
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// A single-word value.
+    #[must_use]
+    pub fn from_u64(x: u64) -> Self {
+        let mut v = BigUint { limbs: vec![x] };
+        v.normalize();
+        v
+    }
+
+    /// Builds from little-endian limbs (trailing zeros are trimmed).
+    #[must_use]
+    pub fn from_limbs(limbs: Vec<u64>) -> Self {
+        let mut v = BigUint { limbs };
+        v.normalize();
+        v
+    }
+
+    /// The little-endian limbs (no trailing zeros; empty for zero).
+    #[must_use]
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// Whether the value is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Number of significant bits (zero has zero bits).
+    #[must_use]
+    pub fn bits(&self) -> u32 {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => (self.limbs.len() as u32 - 1) * 64 + (64 - top.leading_zeros()),
+        }
+    }
+
+    /// Bit `i` (little-endian), `false` past the top.
+    #[must_use]
+    pub fn bit(&self, i: u32) -> bool {
+        let (limb, off) = ((i / 64) as usize, i % 64);
+        self.limbs.get(limb).is_some_and(|w| (w >> off) & 1 == 1)
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// `self + other`.
+    #[must_use]
+    pub fn add(&self, other: &BigUint) -> BigUint {
+        let n = self.limbs.len().max(other.limbs.len());
+        let mut out = Vec::with_capacity(n + 1);
+        let mut carry = 0u64;
+        for i in 0..n {
+            let a = self.limbs.get(i).copied().unwrap_or(0);
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (s1, c1) = a.overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = u64::from(c1) + u64::from(c2);
+        }
+        out.push(carry);
+        BigUint::from_limbs(out)
+    }
+
+    /// `self - other`; `None` when `other > self` (values are unsigned).
+    #[must_use]
+    pub fn checked_sub(&self, other: &BigUint) -> Option<BigUint> {
+        if self < other {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let a = self.limbs[i];
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = a.overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = u64::from(b1) + u64::from(b2);
+        }
+        debug_assert_eq!(borrow, 0, "self >= other was checked");
+        Some(BigUint::from_limbs(out))
+    }
+
+    /// Schoolbook product `self · other` (quadratic; exact).
+    #[must_use]
+    pub fn mul(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let t = u128::from(a) * u128::from(b) + u128::from(out[i + j]) + carry;
+                out[i + j] = t as u64;
+                carry = t >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry > 0 {
+                let t = u128::from(out[k]) + carry;
+                out[k] = t as u64;
+                carry = t >> 64;
+                k += 1;
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// `self · m` for a single word.
+    #[must_use]
+    pub fn mul_u64(&self, m: u64) -> BigUint {
+        self.mul(&BigUint::from_u64(m))
+    }
+
+    /// `self << bits`.
+    #[must_use]
+    pub fn shl(&self, bits: u32) -> BigUint {
+        if self.is_zero() || bits == 0 {
+            let mut v = self.clone();
+            if bits == 0 {
+                return v;
+            }
+            v.limbs.clear();
+            return v;
+        }
+        let (words, rem) = ((bits / 64) as usize, bits % 64);
+        let mut out = vec![0u64; words];
+        if rem == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &w in &self.limbs {
+                out.push((w << rem) | carry);
+                carry = w >> (64 - rem);
+            }
+            out.push(carry);
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Quotient and remainder of `self / divisor` via binary
+    /// shift-subtract long division — `O(bits · limbs)`, plenty for the
+    /// few-hundred-bit values the RNS layer handles.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero divisor.
+    #[must_use]
+    pub fn div_rem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        assert!(!divisor.is_zero(), "division by zero BigUint");
+        if self < divisor {
+            return (BigUint::zero(), self.clone());
+        }
+        let shift = self.bits() - divisor.bits();
+        let mut quotient = vec![0u64; (shift / 64 + 1) as usize];
+        let mut rem = self.clone();
+        let mut step = divisor.shl(shift);
+        for k in (0..=shift).rev() {
+            if let Some(next) = rem.checked_sub(&step) {
+                rem = next;
+                quotient[(k / 64) as usize] |= 1u64 << (k % 64);
+            }
+            step = step.shr1();
+        }
+        (BigUint::from_limbs(quotient), rem)
+    }
+
+    /// `self mod modulus`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero modulus.
+    #[must_use]
+    pub fn rem(&self, modulus: &BigUint) -> BigUint {
+        self.div_rem(modulus).1
+    }
+
+    /// `self mod m` for a single word (the per-limb residue extraction
+    /// of RNS decomposition).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `m` is zero.
+    #[must_use]
+    pub fn rem_u64(&self, m: u64) -> u64 {
+        assert!(m != 0, "division by zero word");
+        let m128 = u128::from(m);
+        let mut acc = 0u128;
+        for &w in self.limbs.iter().rev() {
+            acc = ((acc << 64) | u128::from(w)) % m128;
+        }
+        acc as u64
+    }
+
+    /// `self >> 1`.
+    #[must_use]
+    fn shr1(&self) -> BigUint {
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut carry = 0u64;
+        for &w in self.limbs.iter().rev() {
+            out.push((w >> 1) | (carry << 63));
+            carry = w & 1;
+        }
+        out.reverse();
+        BigUint::from_limbs(out)
+    }
+
+    /// Modular addition `self + other mod m` (operands already reduced).
+    #[must_use]
+    pub fn add_mod(&self, other: &BigUint, m: &BigUint) -> BigUint {
+        debug_assert!(self < m && other < m, "operands must be reduced");
+        let s = self.add(other);
+        match s.checked_sub(m) {
+            Some(r) => r,
+            None => s,
+        }
+    }
+
+    /// Modular subtraction `self - other mod m` (operands already
+    /// reduced).
+    #[must_use]
+    pub fn sub_mod(&self, other: &BigUint, m: &BigUint) -> BigUint {
+        debug_assert!(self < m && other < m, "operands must be reduced");
+        match self.checked_sub(other) {
+            Some(r) => r,
+            None => self
+                .add(m)
+                .checked_sub(other)
+                .expect("self + m >= other when other < m"),
+        }
+    }
+
+    /// Modular product `self · other mod m`.
+    #[must_use]
+    pub fn mul_mod(&self, other: &BigUint, m: &BigUint) -> BigUint {
+        self.mul(other).rem(m)
+    }
+
+    /// Total order (also available through `Ord`; kept for call sites
+    /// that read better with a method).
+    #[must_use]
+    pub fn cmp_big(&self, other: &BigUint) -> Ordering {
+        self.cmp(other)
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(x: u64) -> Self {
+        BigUint::from_u64(x)
+    }
+}
+
+impl fmt::Display for BigUint {
+    /// Lowercase hex with a `0x` prefix — exact, round-trippable by
+    /// eye, and cheap (decimal would need repeated division for no
+    /// diagnostic benefit).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.limbs.last() {
+            None => write!(f, "0x0"),
+            Some(top) => {
+                write!(f, "{top:#x}")?;
+                for w in self.limbs.iter().rev().skip(1) {
+                    write!(f, "{w:016x}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(limbs: &[u64]) -> BigUint {
+        BigUint::from_limbs(limbs.to_vec())
+    }
+
+    #[test]
+    fn construction_normalizes() {
+        assert!(BigUint::zero().is_zero());
+        assert_eq!(big(&[0, 0, 0]), BigUint::zero());
+        assert_eq!(big(&[5, 0]), BigUint::from_u64(5));
+        assert_eq!(BigUint::from_u64(0), BigUint::zero());
+        assert_eq!(BigUint::zero().bits(), 0);
+        assert_eq!(BigUint::one().bits(), 1);
+        assert_eq!(big(&[0, 1]).bits(), 65);
+    }
+
+    #[test]
+    fn add_sub_round_trip() {
+        let a = big(&[u64::MAX, u64::MAX, 7]);
+        let b = big(&[1, u64::MAX]);
+        let s = a.add(&b);
+        assert_eq!(s.checked_sub(&b).unwrap(), a);
+        assert_eq!(s.checked_sub(&a).unwrap(), b);
+        assert_eq!(b.checked_sub(&a), None);
+        assert_eq!(a.checked_sub(&a).unwrap(), BigUint::zero());
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        for (a, b) in [
+            (0u64, 17u64),
+            (1, u64::MAX),
+            (u64::MAX, u64::MAX),
+            (0xdead_beef, 0x1234_5678_9abc_def0),
+        ] {
+            let p = u128::from(a) * u128::from(b);
+            let expect = big(&[p as u64, (p >> 64) as u64]);
+            assert_eq!(BigUint::from_u64(a).mul(&BigUint::from_u64(b)), expect);
+        }
+    }
+
+    #[test]
+    fn mul_is_commutative_and_distributive() {
+        let a = big(&[0x1111_2222_3333_4444, 0x5555, 9]);
+        let b = big(&[u64::MAX, 3]);
+        let c = big(&[42, 0, 0, 1]);
+        assert_eq!(a.mul(&b), b.mul(&a));
+        assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    }
+
+    #[test]
+    fn division_reconstructs() {
+        let a = big(&[0x0123_4567_89ab_cdef, 0xfedc_ba98_7654_3210, 0xff]);
+        for d in [
+            BigUint::one(),
+            BigUint::from_u64(3),
+            big(&[u64::MAX, 1]),
+            a.clone(),
+            a.add(&BigUint::one()),
+        ] {
+            let (q, r) = a.div_rem(&d);
+            assert!(r < d);
+            assert_eq!(q.mul(&d).add(&r), a, "a = q*d + r for d={d}");
+        }
+        assert_eq!(a.div_rem(&a.add(&BigUint::one())).0, BigUint::zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let _ = BigUint::one().div_rem(&BigUint::zero());
+    }
+
+    #[test]
+    fn rem_u64_matches_div_rem() {
+        let a = big(&[0xaaaa_bbbb_cccc_dddd, 0x1234, 0x5678_0000_0000]);
+        for m in [1u64, 2, 97, 3329, 8_380_417, u64::MAX] {
+            assert_eq!(
+                a.rem_u64(m),
+                a.rem(&BigUint::from_u64(m))
+                    .limbs()
+                    .first()
+                    .copied()
+                    .unwrap_or(0)
+            );
+        }
+    }
+
+    #[test]
+    fn shifts_are_inverse() {
+        let a = big(&[0x8000_0000_0000_0001, 0x7fff_ffff_ffff_ffff]);
+        for bits in [0u32, 1, 63, 64, 65, 130] {
+            let mut v = a.shl(bits);
+            for _ in 0..bits {
+                v = v.shr1();
+            }
+            assert_eq!(v, a, "shl {bits} then shr1 x{bits}");
+        }
+    }
+
+    #[test]
+    fn modular_ops_stay_reduced() {
+        let m = big(&[0x1_0000_0001, 7]);
+        let a = big(&[u64::MAX, 6]).rem(&m);
+        let b = big(&[12345, 3]).rem(&m);
+        let s = a.add_mod(&b, &m);
+        assert!(s < m);
+        assert_eq!(s, a.add(&b).rem(&m));
+        let d = a.sub_mod(&b, &m);
+        assert!(d < m);
+        assert_eq!(d.add(&b).rem(&m), a);
+        let p = a.mul_mod(&b, &m);
+        assert_eq!(p, a.mul(&b).rem(&m));
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(BigUint::zero().to_string(), "0x0");
+        assert_eq!(BigUint::from_u64(0xbeef).to_string(), "0xbeef");
+        assert_eq!(big(&[0xdead, 0x1]).to_string(), "0x1000000000000dead");
+    }
+
+    #[test]
+    fn bit_indexing() {
+        let a = big(&[0b101, 1]);
+        assert!(a.bit(0) && !a.bit(1) && a.bit(2) && !a.bit(3));
+        assert!(a.bit(64) && !a.bit(65) && !a.bit(1000));
+    }
+}

@@ -1,0 +1,173 @@
+//! Software reference for the big-modulus negacyclic product.
+//!
+//! Computes `a · b mod (X^n + 1, Q)` directly over [`BigUint`]
+//! coefficients — no NTT, no RNS, just the defining convolution:
+//!
+//! ```text
+//! c_k = Σ_{i+j=k} a_i·b_j  −  Σ_{i+j=k+n} a_i·b_j   (mod Q)
+//! ```
+//!
+//! This is the oracle every RNS path is checked against: it shares no
+//! code with the limb decomposition, the NTT engines, or the CRT
+//! reconstruction, so agreement between the two is strong evidence of
+//! end-to-end correctness.
+
+use crate::basis::{RnsBasis, RnsError};
+use crate::bigint::BigUint;
+
+/// Negacyclic product `a · b mod (X^n + 1, Q)` with `Q` an arbitrary
+/// big modulus. Coefficients must be reduced (`< Q`) and both inputs
+/// must have exactly `n` coefficients.
+pub fn negacyclic_polymul_big(
+    a: &[BigUint],
+    b: &[BigUint],
+    n: usize,
+    modulus: &BigUint,
+) -> Result<Vec<BigUint>, RnsError> {
+    for poly in [a, b] {
+        if poly.len() != n {
+            return Err(RnsError::WrongLength {
+                expected: n,
+                actual: poly.len(),
+            });
+        }
+        for (index, c) in poly.iter().enumerate() {
+            if c >= modulus {
+                return Err(RnsError::Unreduced { index });
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(n);
+    for k in 0..n {
+        // Positive (wrapped below n) and negated (wrapped past n) parts
+        // accumulate unreduced; one reduction per coefficient at the end.
+        let mut pos = BigUint::zero();
+        let mut neg = BigUint::zero();
+        for i in 0..n {
+            let prod = a[i].mul(&b[(k + n - i) % n]);
+            if i <= k {
+                pos = pos.add(&prod);
+            } else {
+                neg = neg.add(&prod);
+            }
+        }
+        out.push(pos.rem(modulus).sub_mod(&neg.rem(modulus), modulus));
+    }
+    Ok(out)
+}
+
+/// Convenience wrapper: the reference product over a basis's composite
+/// modulus `Q`.
+pub fn negacyclic_polymul_basis(
+    a: &[BigUint],
+    b: &[BigUint],
+    basis: &RnsBasis,
+) -> Result<Vec<BigUint>, RnsError> {
+    negacyclic_polymul_big(a, b, basis.n(), basis.modulus())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpntt_modmath::zq::{mul_mod, sub_mod};
+
+    fn from_u64s(coeffs: &[u64]) -> Vec<BigUint> {
+        coeffs.iter().map(|&c| BigUint::from_u64(c)).collect()
+    }
+
+    /// Same convolution over u64 scalars, as an independent small-case
+    /// cross-check of the bigint arithmetic.
+    fn scalar_negacyclic(a: &[u64], b: &[u64], q: u64) -> Vec<u64> {
+        let n = a.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = 0u64;
+                for i in 0..n {
+                    let prod = mul_mod(a[i], b[(k + n - i) % n], q);
+                    acc = if i <= k {
+                        (acc + prod) % q
+                    } else {
+                        sub_mod(acc, prod, q)
+                    };
+                }
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_scalar_reference_single_word() {
+        let q = 3329u64;
+        let a = [1u64, 2, 3, 4, 5, 6, 7, 8];
+        let b = [3328u64, 0, 1, 17, 2500, 9, 100, 3000];
+        let big = negacyclic_polymul_big(&from_u64s(&a), &from_u64s(&b), 8, &BigUint::from_u64(q))
+            .unwrap();
+        let scalar = scalar_negacyclic(&a, &b, q);
+        assert_eq!(big, from_u64s(&scalar));
+    }
+
+    #[test]
+    fn wraparound_is_negated() {
+        // (X^{n-1})² = X^{2n-2} = −X^{n-2} mod X^n + 1.
+        let n = 4;
+        let q = BigUint::from_u64(97);
+        let mut a = vec![BigUint::zero(); n];
+        a[n - 1] = BigUint::one();
+        let c = negacyclic_polymul_big(&a, &a, n, &q).unwrap();
+        let mut expect = vec![BigUint::zero(); n];
+        expect[n - 2] = BigUint::from_u64(96); // −1 mod 97
+        assert_eq!(c, expect);
+    }
+
+    #[test]
+    fn multiplication_by_one_is_identity() {
+        let basis = RnsBasis::new(8, &[97, 113]).unwrap();
+        let mut one = vec![BigUint::zero(); 8];
+        one[0] = BigUint::one();
+        let a: Vec<BigUint> = (0..8u64)
+            .map(|i| BigUint::from_u64(97 * 113 - 1 - i * 1000))
+            .collect();
+        assert_eq!(negacyclic_polymul_basis(&a, &one, &basis).unwrap(), a);
+    }
+
+    #[test]
+    fn agrees_with_crt_of_per_limb_products() {
+        // Reference over Q must equal the CRT recombination of scalar
+        // references per limb — the same identity the engines must meet.
+        let basis = RnsBasis::new(8, &[97, 113, 193]).unwrap();
+        let a: Vec<BigUint> = (0..8u64).map(|i| BigUint::from_u64(i * 31 + 7)).collect();
+        let b: Vec<BigUint> = (0..8u64)
+            .map(|i| BigUint::from_u64(i * i * 1000 + 3))
+            .collect();
+        let direct = negacyclic_polymul_basis(&a, &b, &basis).unwrap();
+
+        let a_limbs = basis.decompose_poly(&a).unwrap();
+        let b_limbs = basis.decompose_poly(&b).unwrap();
+        let c_limbs: Vec<Vec<u64>> = basis
+            .primes()
+            .iter()
+            .enumerate()
+            .map(|(i, &q)| scalar_negacyclic(&a_limbs[i], &b_limbs[i], q))
+            .collect();
+        assert_eq!(basis.reconstruct_poly(&c_limbs).unwrap(), direct);
+    }
+
+    #[test]
+    fn rejects_unreduced_and_wrong_length() {
+        let q = BigUint::from_u64(97);
+        let good = vec![BigUint::zero(); 4];
+        assert_eq!(
+            negacyclic_polymul_big(&good, &good[..3], 4, &q).unwrap_err(),
+            RnsError::WrongLength {
+                expected: 4,
+                actual: 3
+            }
+        );
+        let mut bad = good.clone();
+        bad[2] = BigUint::from_u64(97);
+        assert_eq!(
+            negacyclic_polymul_big(&good, &bad, 4, &q).unwrap_err(),
+            RnsError::Unreduced { index: 2 }
+        );
+    }
+}
